@@ -1,0 +1,53 @@
+// Shared helpers for the figure/table reproduction benches.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/metrics.h"
+#include "common/table.h"
+#include "sim/simulation.h"
+
+namespace amcast::bench {
+
+/// Prints the standard banner so every run is self-describing.
+inline void banner(const std::string& what, const std::string& paper_ref,
+                   const std::string& setup) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", what.c_str());
+  std::printf("Reproduces: %s\n", paper_ref.c_str());
+  std::printf("Setup: %s\n", setup.c_str());
+  std::printf("================================================================\n");
+  std::fflush(stdout);
+}
+
+/// Runs the simulation for `warmup`, clears the named histograms/series so
+/// steady-state numbers exclude ramp-up, then runs the measurement window.
+inline void run_with_warmup(sim::Simulation& sim, Duration warmup,
+                            Duration window,
+                            const std::vector<std::string>& reset_hists = {}) {
+  sim.run_until(sim.now() + warmup);
+  for (const auto& h : reset_hists) {
+    if (sim.metrics().has_histogram(h)) sim.metrics().histogram(h).clear();
+  }
+  sim.run_until(sim.now() + window);
+}
+
+/// Formats a latency CDF (a few salient points) as table rows.
+inline void print_cdf(const Histogram& h, const std::string& title) {
+  TextTable t({"percentile", "latency_ms"});
+  for (double q : {0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99}) {
+    t.add_row({TextTable::num(q * 100, 0),
+               TextTable::num(double(h.percentile(q)) * 1e-6, 2)});
+  }
+  t.print(title);
+}
+
+/// ops/s measured over a window.
+inline double rate(std::int64_t ops, Duration window) {
+  return double(ops) / duration::to_seconds(window);
+}
+
+}  // namespace amcast::bench

@@ -1,0 +1,171 @@
+// Figure 3 reproduction: Multi-Ring Paxos baseline with a dummy service.
+//
+// Paper setup (§8.3.1): one ring with three processes, all of which are
+// proposers, acceptors, and learners; one acceptor coordinates. Proposers
+// run 10 closed-loop threads each; request sizes 512 B - 32 KB; batching
+// disabled in the ring; five storage modes. M=1, ∆=5 ms, λ=9000 (§8.2).
+//
+// Reported, as in the paper: throughput (Mbps), mean latency (ms),
+// coordinator CPU%, and the latency CDF for 32 KB values.
+#include <map>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "core/multicast.h"
+
+namespace amcast {
+namespace {
+
+using core::MulticastNode;
+using ringpaxos::ConfigRegistry;
+using ringpaxos::RingOptions;
+using ringpaxos::StorageOptions;
+
+/// Ring member with closed-loop proposer threads ("dummy service": commands
+/// execute nothing, §8.3.1).
+class DummyNode final : public MulticastNode {
+ public:
+  DummyNode(ConfigRegistry& reg, int threads, std::size_t size)
+      : MulticastNode(reg), threads_(threads), size_(size) {}
+
+  void start_load(GroupId g) {
+    group_ = g;
+    for (int t = 0; t < threads_; ++t) issue();
+  }
+
+  std::int64_t delivered_bytes() const { return delivered_bytes_; }
+
+ protected:
+  void on_deliver(GroupId g, const ringpaxos::ValuePtr& v) override {
+    delivered_bytes_ += std::int64_t(v->payload ? v->payload->size() : 0);
+    if (v->origin == id()) {
+      auto it = outstanding_.find(v->msg_id);
+      if (it != outstanding_.end()) {
+        sim().metrics().histogram("mrp.latency").record_duration(now() -
+                                                                 it->second);
+        outstanding_.erase(it);
+        issue();
+      }
+    }
+    MulticastNode::on_deliver(g, v);
+  }
+
+ private:
+  void issue() {
+    MessageId mid = multicast(group_, size_);
+    outstanding_[mid] = now();
+  }
+
+  int threads_;
+  std::size_t size_;
+  GroupId group_ = kInvalidGroup;
+  std::map<MessageId, Time> outstanding_;
+  std::int64_t delivered_bytes_ = 0;
+};
+
+struct Mode {
+  const char* name;
+  StorageOptions::Mode mode;
+  bool ssd;
+  double gc_factor;  ///< models the Java GC overhead of heap-buffered paths
+};
+
+struct CellResult {
+  double mbps;
+  double mean_ms;
+  double cpu_pct;
+  Histogram latency;
+};
+
+CellResult run_cell(const Mode& mode, std::size_t size) {
+  sim::Simulation sim(42);
+  ConfigRegistry registry;
+
+  std::vector<DummyNode*> nodes;
+  std::vector<ProcessId> ids;
+  for (int i = 0; i < 3; ++i) {
+    auto n = std::make_unique<DummyNode>(registry, /*threads=*/10, size);
+    if (mode.mode != StorageOptions::Mode::kMemory) {
+      n->add_disk(mode.ssd ? sim::Presets::ssd() : sim::Presets::hdd());
+    }
+    n->set_cpu_cost_factor(mode.gc_factor);
+    nodes.push_back(n.get());
+    ids.push_back(sim.add_node(std::move(n)));
+  }
+  GroupId g = registry.create_ring(ids, ids, ids[0]);
+
+  RingOptions ro;
+  ro.storage.mode = mode.mode;
+  ro.lambda = 9000;                         // paper §8.2 (local)
+  ro.delta = duration::milliseconds(5);
+  ro.packing = false;                       // batching disabled (§8.3.1)
+  for (auto* n : nodes) n->subscribe(g, ro);
+  for (auto* n : nodes) n->start_load(g);
+
+  const Duration warmup = duration::milliseconds(500);
+  const Duration window = duration::milliseconds(1500);
+  sim.run_until(warmup);
+  sim.metrics().histogram("mrp.latency").clear();
+  std::int64_t bytes0 = nodes[2]->delivered_bytes();
+  sim.node(ids[0]).take_cpu_busy_seconds();  // reset coordinator CPU window
+  sim.run_until(warmup + window);
+
+  CellResult r{};
+  std::int64_t bytes = nodes[2]->delivered_bytes() - bytes0;
+  r.mbps = double(bytes) * 8.0 / duration::to_seconds(window) / 1e6;
+  const auto& h = sim.metrics().histogram("mrp.latency");
+  r.mean_ms = h.mean_ms();
+  r.cpu_pct =
+      sim.node(ids[0]).take_cpu_busy_seconds() / duration::to_seconds(window) *
+      100.0;
+  r.latency = h;
+  return r;
+}
+
+}  // namespace
+}  // namespace amcast
+
+int main() {
+  using namespace amcast;
+  bench::banner(
+      "Figure 3 — Multi-Ring Paxos baseline (dummy service)",
+      "Benz et al., MIDDLEWARE'14, Figure 3",
+      "1 ring x 3 processes (all proposer+acceptor+learner), 10 threads each, "
+      "batching off, M=1, delta=5ms, lambda=9000");
+
+  const Mode modes[] = {
+      {"Sync Disk", StorageOptions::Mode::kSyncDisk, false, 1.2},
+      {"Sync Disk (SSD)", StorageOptions::Mode::kSyncDisk, true, 1.2},
+      {"Async Disk", StorageOptions::Mode::kAsyncDisk, false, 1.6},
+      {"Async Disk (SSD)", StorageOptions::Mode::kAsyncDisk, true, 1.6},
+      {"In Memory", StorageOptions::Mode::kMemory, false, 1.0},
+  };
+  const std::size_t sizes[] = {512, 2048, 8192, 32768};
+
+  TextTable tput({"storage mode", "512", "2k", "8k", "32k"});
+  TextTable lat({"storage mode", "512", "2k", "8k", "32k"});
+  TextTable cpu({"storage mode", "512", "2k", "8k", "32k"});
+  std::vector<std::pair<std::string, Histogram>> cdfs;
+
+  for (const auto& m : modes) {
+    std::vector<std::string> trow{m.name}, lrow{m.name}, crow{m.name};
+    for (std::size_t s : sizes) {
+      auto r = run_cell(m, s);
+      trow.push_back(TextTable::num(r.mbps, 1));
+      lrow.push_back(TextTable::num(r.mean_ms, 2));
+      crow.push_back(TextTable::num(r.cpu_pct, 0));
+      if (s == 32768) cdfs.emplace_back(m.name, std::move(r.latency));
+    }
+    tput.add_row(trow);
+    lat.add_row(lrow);
+    cpu.add_row(crow);
+  }
+
+  tput.print("Throughput (Mbps) vs value size  [paper: top-left]");
+  lat.print("Mean latency (ms) vs value size  [paper: top-right]");
+  cpu.print("Coordinator CPU%% vs value size  [paper: bottom-left]");
+  for (auto& [name, h] : cdfs) {
+    bench::print_cdf(h, "Latency CDF @32 KB — " + name + "  [paper: bottom-right]");
+  }
+  return 0;
+}

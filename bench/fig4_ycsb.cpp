@@ -1,0 +1,196 @@
+// Figure 4 reproduction: YCSB comparison of Cassandra-like EventualStore,
+// MRP-Store (independent rings), MRP-Store (global ring), and a MySQL-like
+// single-node store.
+//
+// Paper setup (§8.3.2): workloads A-F with 100 client threads; MRP-Store
+// with three partitions, three acceptors per ring, async disk writes;
+// Cassandra with three partitions and replication factor three; MySQL on a
+// single server; 1 GB initial database. We scale the database to 100k
+// 1 KB records (0.1 GB) to keep the simulated heap small — distribution
+// skew and the ops/s ratios between systems are unaffected.
+#include <memory>
+
+#include "baselines/eventual.h"
+#include "baselines/single_node.h"
+#include "bench/bench_util.h"
+#include "kvstore/deployment.h"
+#include "ycsb/workload.h"
+
+namespace amcast {
+namespace {
+
+constexpr std::uint64_t kRecords = 100'000;
+constexpr std::size_t kValueBytes = 1024;
+constexpr int kThreads = 100;
+const Duration kWarmup = duration::seconds(1);
+const Duration kWindow = duration::seconds(4);
+
+struct Cell {
+  double ops = 0;
+  double read_ms = 0, update_ms = 0, rmw_ms = 0;
+};
+
+kvstore::KvClient::Generator wrap(std::shared_ptr<ycsb::Generator> gen) {
+  return [gen](int thread, Rng& rng) { return gen->next(thread, rng); };
+}
+
+Cell measure(sim::Simulation& sim, std::int64_t completed0,
+             std::function<std::int64_t()> completed,
+             const std::string& prefix) {
+  Cell c;
+  c.ops = bench::rate(completed() - completed0, kWindow);
+  auto& m = sim.metrics();
+  c.read_ms = m.histogram(prefix + ".latency.read").mean_ms();
+  c.update_ms = m.histogram(prefix + ".latency.update").mean_ms();
+  c.rmw_ms = c.read_ms + c.update_ms;  // YCSB F: rmw = chained read+update
+  return c;
+}
+
+Cell run_mrp(ycsb::Workload w, bool global_ring) {
+  kvstore::KvDeploymentSpec spec;
+  spec.partitions = 3;
+  spec.replicas_per_partition = 3;  // rings of three acceptors (co-located)
+  spec.partitioner = kvstore::Partitioner::hash(3);
+  spec.global_ring = global_ring;
+  spec.storage = ringpaxos::StorageOptions::Mode::kAsyncDisk;
+  spec.disk = sim::Presets::hdd();
+  spec.lambda = 9000;
+  kvstore::KvDeployment d(spec);
+  d.preload(kRecords, kValueBytes, ycsb::Generator::key_of);
+
+  auto gen = std::make_shared<ycsb::Generator>(
+      ycsb::WorkloadSpec::standard(w), kRecords, kValueBytes, kThreads);
+  auto& client = d.add_client(kThreads, wrap(gen));
+
+  d.sim().run_until(kWarmup);
+  for (const char* h : {"kv.latency.read", "kv.latency.update"}) {
+    if (d.sim().metrics().has_histogram(h)) {
+      d.sim().metrics().histogram(h).clear();
+    }
+  }
+  std::int64_t c0 = client.completed();
+  d.sim().run_until(kWarmup + kWindow);
+  return measure(d.sim(), c0, [&] { return client.completed(); }, "kv");
+}
+
+Cell run_cassandra(ycsb::Workload w) {
+  sim::Simulation sim(21);
+  auto part = kvstore::Partitioner::hash(3);
+  // 3 partitions x RF 3, first replica of each partition serves requests.
+  std::vector<ProcessId> heads;
+  std::vector<std::vector<baselines::EvReplica*>> reps(3);
+  std::vector<std::vector<ProcessId>> ids(3);
+  for (int p = 0; p < 3; ++p) {
+    for (int r = 0; r < 3; ++r) {
+      auto n = std::make_unique<baselines::EvReplica>(p, part);
+      reps[std::size_t(p)].push_back(n.get());
+      ids[std::size_t(p)].push_back(sim.add_node(std::move(n)));
+    }
+    heads.push_back(ids[std::size_t(p)][0]);
+    for (int r = 0; r < 3; ++r) {
+      std::vector<ProcessId> peers;
+      for (int q = 0; q < 3; ++q) {
+        if (q != r) peers.push_back(ids[std::size_t(p)][std::size_t(q)]);
+      }
+      reps[std::size_t(p)][std::size_t(r)]->set_peers(peers);
+    }
+  }
+  for (std::uint64_t i = 0; i < kRecords; ++i) {
+    std::string key = ycsb::Generator::key_of(i);
+    int p = part.locate(key);
+    for (auto* r : reps[std::size_t(p)]) r->preload(key, kValueBytes);
+  }
+
+  auto gen = std::make_shared<ycsb::Generator>(
+      ycsb::WorkloadSpec::standard(w), kRecords, kValueBytes, kThreads);
+  baselines::EvClient::Options co;
+  co.threads = kThreads;
+  co.partitioner = part;
+  co.partition_heads = heads;
+  auto client = std::make_unique<baselines::EvClient>(co, wrap(gen));
+  auto* cp = client.get();
+  sim.add_node(std::move(client));
+
+  sim.run_until(kWarmup);
+  std::int64_t c0 = cp->completed();
+  sim.run_until(kWarmup + kWindow);
+  return measure(sim, c0, [cp] { return cp->completed(); }, "cassandra");
+}
+
+Cell run_mysql(ycsb::Workload w) {
+  sim::Simulation sim(22);
+  auto server = std::make_unique<baselines::SnServer>();
+  server->add_disk(sim::Presets::hdd());
+  for (std::uint64_t i = 0; i < kRecords; ++i) {
+    server->preload(ycsb::Generator::key_of(i), kValueBytes);
+  }
+  ProcessId sid = sim.add_node(std::move(server));
+
+  auto gen = std::make_shared<ycsb::Generator>(
+      ycsb::WorkloadSpec::standard(w), kRecords, kValueBytes, kThreads);
+  baselines::SnClient::Options co;
+  co.threads = kThreads;
+  co.server = sid;
+  auto client = std::make_unique<baselines::SnClient>(
+      co, [gen](int t, Rng& rng) { return gen->next(t, rng); });
+  auto* cp = client.get();
+  sim.add_node(std::move(client));
+
+  sim.run_until(kWarmup);
+  std::int64_t c0 = cp->completed();
+  sim.run_until(kWarmup + kWindow);
+  return measure(sim, c0, [cp] { return cp->completed(); }, "mysql");
+}
+
+}  // namespace
+}  // namespace amcast
+
+int main() {
+  using namespace amcast;
+  bench::banner(
+      "Figure 4 — YCSB: Cassandra vs MRP-Store (x2) vs MySQL",
+      "Benz et al., MIDDLEWARE'14, Figure 4",
+      "workloads A-F, 100 client threads, 3 partitions, RF=3, async disk; "
+      "database scaled to 100k x 1 KB records (see EXPERIMENTS.md)");
+
+  const ycsb::Workload all[] = {ycsb::Workload::A, ycsb::Workload::B,
+                                ycsb::Workload::C, ycsb::Workload::D,
+                                ycsb::Workload::E, ycsb::Workload::F};
+
+  TextTable t({"workload", "Cassandra", "MRP-Store (indep.)", "MRP-Store",
+               "MySQL"});
+  Cell f_indep{}, f_global{}, f_cass{}, f_sql{};
+  for (auto w : all) {
+    Cell cass = run_cassandra(w);
+    Cell indep = run_mrp(w, /*global_ring=*/false);
+    Cell global = run_mrp(w, /*global_ring=*/true);
+    Cell sql = run_mysql(w);
+    t.add_row({ycsb::workload_name(w), TextTable::num(cass.ops, 0),
+               TextTable::num(indep.ops, 0), TextTable::num(global.ops, 0),
+               TextTable::num(sql.ops, 0)});
+    if (w == ycsb::Workload::F) {
+      f_cass = cass;
+      f_indep = indep;
+      f_global = global;
+      f_sql = sql;
+    }
+  }
+  t.print("YCSB throughput, ops/s (100 threads)  [paper: Fig. 4 top]");
+
+  TextTable lt({"latency (ms)", "Cassandra", "MRP-Store (indep.)", "MRP-Store",
+                "MySQL"});
+  lt.add_row({"Read", TextTable::num(f_cass.read_ms, 2),
+              TextTable::num(f_indep.read_ms, 2),
+              TextTable::num(f_global.read_ms, 2),
+              TextTable::num(f_sql.read_ms, 2)});
+  lt.add_row({"Update", TextTable::num(f_cass.update_ms, 2),
+              TextTable::num(f_indep.update_ms, 2),
+              TextTable::num(f_global.update_ms, 2),
+              TextTable::num(f_sql.update_ms, 2)});
+  lt.add_row({"Read-Mod-Write", TextTable::num(f_cass.rmw_ms, 2),
+              TextTable::num(f_indep.rmw_ms, 2),
+              TextTable::num(f_global.rmw_ms, 2),
+              TextTable::num(f_sql.rmw_ms, 2)});
+  lt.print("Workload F latency breakdown  [paper: Fig. 4 bottom]");
+  return 0;
+}

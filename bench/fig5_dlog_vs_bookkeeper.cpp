@@ -1,0 +1,115 @@
+// Figure 5 reproduction: dLog vs a BookKeeper-like ensemble log.
+//
+// Paper setup (§8.3.3): both systems write synchronously to disk. dLog uses
+// two rings with three acceptors per ring; learners subscribe to both rings
+// and are co-located with the acceptors. BookKeeper uses an ensemble of the
+// same three nodes. A multithreaded client sends 1 KB appends; the thread
+// count sweeps the load. Reported: ops/s and mean latency vs #threads.
+#include "baselines/ensemble_log.h"
+#include "bench/bench_util.h"
+#include "dlog/deployment.h"
+
+namespace amcast {
+namespace {
+
+struct Point {
+  double ops;
+  double lat_ms;
+};
+
+Point run_dlog(int threads) {
+  dlog::DLogDeploymentSpec spec;
+  spec.logs = 2;
+  spec.server_nodes = 3;         // co-located acceptors+learners
+  spec.acceptor_nodes = 0;
+  spec.storage = ringpaxos::StorageOptions::Mode::kSyncDisk;
+  spec.server_sync_writes = false;  // service cache; consensus is durable
+  spec.disk = sim::Presets::hdd();
+  spec.lambda = 9000;
+  // Coarser rate-leveling interval: every skip range costs a synchronous
+  // acceptor-log write, so sync-disk deployments run ∆=20 ms.
+  spec.delta = duration::milliseconds(20);
+  dlog::DLogDeployment d(spec);
+
+  // Clients group commands into batches of up to 32 KB (paper §7.3).
+  auto& client = d.add_client(
+      threads,
+      [](int t, Rng&) {
+        dlog::Command c;
+        c.op = dlog::Op::kAppend;
+        c.logs = {dlog::LogId(t % 2)};  // spread threads over the two logs
+        c.value.assign(1024, 0);
+        return c;
+      },
+      /*batch_bytes=*/32 * 1024);
+
+  const Duration warmup = duration::seconds(2);
+  const Duration window = duration::seconds(4);
+  d.sim().run_until(warmup);
+  d.sim().metrics().histogram("dlog.latency").clear();
+  std::int64_t c0 = client.completed();
+  d.sim().run_until(warmup + window);
+
+  Point p{};
+  p.ops = bench::rate(client.completed() - c0, window);
+  p.lat_ms = d.sim().metrics().histogram("dlog.latency").mean_ms();
+  return p;
+}
+
+Point run_bookkeeper(int threads) {
+  sim::Simulation sim(7);
+  std::vector<ProcessId> bookies;
+  baselines::Bookie::Options bo;
+  bo.flush_bytes = 2u << 20;  // aggressive: fill large journal chunks
+  bo.max_flush_delay = duration::milliseconds(25);
+  for (int i = 0; i < 3; ++i) {
+    auto b = std::make_unique<baselines::Bookie>(bo);
+    b->add_disk(sim::Presets::hdd());
+    bookies.push_back(sim.add_node(std::move(b)));
+  }
+  baselines::BkClient::Options co;
+  co.threads = threads;
+  co.ensemble = bookies;
+  co.entry_bytes = 1024;
+  auto client = std::make_unique<baselines::BkClient>(co);
+  auto* cp = client.get();
+  sim.add_node(std::move(client));
+
+  const Duration warmup = duration::seconds(2);
+  const Duration window = duration::seconds(4);
+  sim.run_until(warmup);
+  sim.metrics().histogram("bookkeeper.latency").clear();
+  std::int64_t c0 = cp->completed();
+  sim.run_until(warmup + window);
+
+  Point p{};
+  p.ops = bench::rate(cp->completed() - c0, window);
+  p.lat_ms = sim.metrics().histogram("bookkeeper.latency").mean_ms();
+  return p;
+}
+
+}  // namespace
+}  // namespace amcast
+
+int main() {
+  using namespace amcast;
+  bench::banner("Figure 5 — dLog vs BookKeeper-like ensemble log",
+                "Benz et al., MIDDLEWARE'14, Figure 5",
+                "1 KB appends, synchronous disk; dLog: 2 rings x 3 acceptors "
+                "(learners co-located); BookKeeper: 3-bookie ensemble, ack "
+                "quorum 2, aggressive journal batching");
+
+  TextTable t({"client threads", "dLog ops/s", "dLog lat ms",
+               "BookKeeper ops/s", "BookKeeper lat ms"});
+  for (int threads : {10, 50, 100, 150, 200}) {
+    auto dl = run_dlog(threads);
+    auto bk = run_bookkeeper(threads);
+    t.add_row({TextTable::integer(threads), TextTable::num(dl.ops, 0),
+               TextTable::num(dl.lat_ms, 1), TextTable::num(bk.ops, 0),
+               TextTable::num(bk.lat_ms, 1)});
+  }
+  t.print("Throughput and mean latency vs client threads  [paper: Fig. 5]");
+  std::printf("\nExpected shape: dLog sustains higher throughput; BookKeeper's\n"
+              "aggressive journal batching drives its latency far higher under load.\n");
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Figure 6 reproduction: vertical scalability of dLog.
+//
+// Paper setup (§8.4.1): k = 1..5 rings, each ring on its own disk; each
+// ring has three processes (two acceptors+proposers, one learner-only);
+// learners subscribe to the k rings plus a shared ring; processes co-located
+// on three machines. Clients send 1 KB appends batched into 32 KB packets;
+// async disk writes; throughput reported per ring plus linear-scaling
+// percentages, and the latency CDF for disk 1.
+#include "bench/bench_util.h"
+#include "dlog/deployment.h"
+
+namespace amcast {
+namespace {
+
+struct RunResult {
+  std::vector<double> per_ring_ops;
+  double total_ops = 0;
+  Histogram latency;
+};
+
+RunResult run(int k) {
+  dlog::DLogDeploymentSpec spec;
+  spec.logs = k;
+  spec.server_nodes = 1;    // the learner-only machine runs the service
+  spec.acceptor_nodes = 2;  // two acceptor+proposer machines
+  spec.storage = ringpaxos::StorageOptions::Mode::kAsyncDisk;
+  spec.disk = sim::Presets::hdd();
+  spec.lambda = 9000;
+  dlog::DLogDeployment d(spec);
+
+  // 64 client threads per ring, 1 KB appends batched into 32 KB packets.
+  auto& client = d.add_client(
+      64 * k,
+      [k](int t, Rng&) {
+        dlog::Command c;
+        c.op = dlog::Op::kAppend;
+        c.logs = {dlog::LogId(t % k)};
+        c.value.assign(1024, 0);
+        return c;
+      },
+      /*batch_bytes=*/32 * 1024);
+
+  const Duration warmup = duration::seconds(2);
+  const Duration window = duration::seconds(5);
+  d.sim().run_until(warmup);
+  d.sim().metrics().histogram("dlog.latency").clear();
+  std::vector<std::int64_t> len0;
+  for (int l = 0; l < k; ++l) len0.push_back(d.server(0).log_length(l));
+  std::int64_t c0 = client.completed();
+  d.sim().run_until(warmup + window);
+
+  RunResult r;
+  for (int l = 0; l < k; ++l) {
+    r.per_ring_ops.push_back(
+        bench::rate(d.server(0).log_length(l) - len0[std::size_t(l)], window));
+  }
+  r.total_ops = bench::rate(client.completed() - c0, window);
+  r.latency = d.sim().metrics().histogram("dlog.latency");
+  return r;
+}
+
+}  // namespace
+}  // namespace amcast
+
+int main() {
+  using namespace amcast;
+  bench::banner(
+      "Figure 6 — dLog vertical scalability (rings == disks)",
+      "Benz et al., MIDDLEWARE'14, Figure 6",
+      "k = 1..5 rings, one disk per ring, async acceptor writes; 1 KB "
+      "appends batched to 32 KB; learners subscribe to k rings + shared ring");
+
+  TextTable t({"rings", "disk1", "disk2", "disk3", "disk4", "disk5",
+               "aggregate ops/s", "vs linear"});
+  double base = 0;
+  Histogram cdf_k1, cdf_k5;
+  for (int k = 1; k <= 5; ++k) {
+    auto r = run(k);
+    std::vector<std::string> row{TextTable::integer(k)};
+    for (int l = 0; l < 5; ++l) {
+      row.push_back(l < k ? TextTable::num(r.per_ring_ops[std::size_t(l)], 0)
+                          : "-");
+    }
+    row.push_back(TextTable::num(r.total_ops, 0));
+    if (k == 1) {
+      base = r.total_ops;
+      row.push_back("100%");
+    } else {
+      row.push_back(TextTable::num(r.total_ops / (base * k) * 100, 0) + "%");
+    }
+    t.add_row(row);
+    if (k == 1) cdf_k1 = r.latency;
+    if (k == 5) cdf_k5 = r.latency;
+  }
+  t.print("Aggregate dLog throughput (ops/s) per ring  [paper: Fig. 6 top]");
+  bench::print_cdf(cdf_k1, "Append latency CDF, 1 log  [paper: Fig. 6 bottom]");
+  bench::print_cdf(cdf_k5, "Append latency CDF, 5 logs [paper: Fig. 6 bottom]");
+  return 0;
+}

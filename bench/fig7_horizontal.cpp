@@ -1,0 +1,140 @@
+// Figure 7 reproduction: horizontal scalability of MRP-Store across EC2
+// regions.
+//
+// Paper setup (§8.4.2): regions eu-west-1, us-west-1, us-east-1, us-west-2.
+// Each region hosts one ring (three proposers/acceptors + one replica) and
+// one client; all replicas also form a global ring. Clients send 1 KB
+// update commands to their local partition only, batched into 32 KB
+// packets. M=1, ∆=20 ms, λ=2000 (§8.2, across datacenters). Reported:
+// aggregate throughput for 1..4 regions (with %-of-linear) and the latency
+// CDF measured in us-west-2.
+#include "bench/bench_util.h"
+#include "kvstore/deployment.h"
+
+namespace amcast {
+namespace {
+
+struct RunResult {
+  double total_ops = 0;
+  std::vector<double> per_region_ops;
+  Histogram latency_last_region;
+};
+
+RunResult run(int regions) {
+  kvstore::KvDeploymentSpec spec;
+  spec.partitions = regions;
+  spec.replicas_per_partition = 1;  // one replica per region (paper)
+  spec.dedicated_acceptors = 3;     // three proposers/acceptors per region
+  spec.global_ring = true;  // present even with one region (local then)
+  // Region r owns keys with prefix "r<r>-..." via range partitioning.
+  if (regions > 1) {
+    std::vector<std::string> bounds;
+    for (int r = 0; r + 1 < regions; ++r) {
+      bounds.push_back("r" + std::to_string(r) + "~");  // '~' > digits/letters
+    }
+    spec.partitioner = kvstore::Partitioner::range(bounds);
+  } else {
+    spec.partitioner = kvstore::Partitioner::hash(1);
+  }
+  spec.storage = ringpaxos::StorageOptions::Mode::kAsyncDisk;
+  spec.disk = sim::Presets::ssd();  // EC2 large instances: local SSD
+  spec.m = 1;
+  spec.delta = duration::milliseconds(20);  // paper §8.2 (WAN)
+  spec.lambda = 2000;
+  spec.topology = sim::Topology::ec2_four_regions();
+  for (int r = 0; r < regions; ++r) spec.partition_regions.push_back(r);
+  kvstore::KvDeployment d(spec);
+
+  // One client machine per region, issuing 1 KB updates on local keys,
+  // batched into 32 KB packets.
+  std::vector<kvstore::KvClient*> clients;
+  for (int r = 0; r < regions; ++r) {
+    std::string prefix = "r" + std::to_string(r) + "-key";
+    auto gen = [prefix](int, Rng& rng) {
+      kvstore::Command c;
+      c.op = kvstore::Op::kUpdate;
+      c.key = prefix + std::to_string(rng.next_u64(1000));
+      c.value.assign(1024, 0);
+      return c;
+    };
+    // 1200 worker threads with 1 s think time per region: a near-constant
+    // offered load that does not collapse when WAN latency grows (the
+    // paper's client concurrency is unspecified; see EXPERIMENTS.md).
+    clients.push_back(&d.add_client(1200, gen, r, /*batch_bytes=*/32 * 1024,
+                                    "kv.r" + std::to_string(r),
+                                    duration::seconds(1)));
+  }
+
+  // Preload the keyspace so updates hit existing entries.
+  d.preload(1000 * std::uint64_t(regions), 1024, [regions](std::uint64_t i) {
+    int r = int(i % std::uint64_t(regions));
+    return "r" + std::to_string(r) + "-key" +
+           std::to_string(i / std::uint64_t(regions));
+  });
+
+  const Duration warmup = duration::seconds(4);
+  const Duration window = duration::seconds(8);
+  d.sim().run_until(warmup);
+  std::vector<std::int64_t> c0;
+  for (int r = 0; r < regions; ++r) {
+    c0.push_back(clients[std::size_t(r)]->completed());
+    d.sim()
+        .metrics()
+        .histogram("kv.r" + std::to_string(r) + ".latency")
+        .clear();
+  }
+  d.sim().run_until(warmup + window);
+
+  RunResult res;
+  for (int r = 0; r < regions; ++r) {
+    double ops = bench::rate(
+        clients[std::size_t(r)]->completed() - c0[std::size_t(r)], window);
+    res.per_region_ops.push_back(ops);
+    res.total_ops += ops;
+  }
+  res.latency_last_region = d.sim().metrics().histogram(
+      "kv.r" + std::to_string(regions - 1) + ".latency");
+  return res;
+}
+
+}  // namespace
+}  // namespace amcast
+
+int main() {
+  using namespace amcast;
+  bench::banner(
+      "Figure 7 — MRP-Store horizontal scalability across EC2 regions",
+      "Benz et al., MIDDLEWARE'14, Figure 7",
+      "1..4 regions (eu-west-1, us-west-1, us-east-1, us-west-2); per-region "
+      "ring (3 acceptors + replica) + global ring; 1 KB local updates "
+      "batched to 32 KB; M=1, delta=20ms, lambda=2000");
+
+  const char* region_names[] = {"eu-west-1", "us-east-1", "us-west-1",
+                                "us-west-2"};
+  TextTable t({"regions", "eu-west-1", "us-east-1", "us-west-1", "us-west-2",
+               "aggregate ops/s", "vs linear"});
+  double base = 0;
+  Histogram last_cdf;
+  for (int k = 1; k <= 4; ++k) {
+    auto r = run(k);
+    std::vector<std::string> row{TextTable::integer(k)};
+    for (int i = 0; i < 4; ++i) {
+      row.push_back(i < k ? TextTable::num(r.per_region_ops[std::size_t(i)], 0)
+                          : "-");
+    }
+    row.push_back(TextTable::num(r.total_ops, 0));
+    if (k == 1) {
+      base = r.total_ops;
+      row.push_back("100%");
+    } else {
+      row.push_back(TextTable::num(r.total_ops / (base * k) * 100, 0) + "%");
+    }
+    t.add_row(row);
+    if (k == 4) last_cdf = r.latency_last_region;
+    (void)region_names;
+  }
+  t.print("Aggregate MRP-Store throughput (ops/s)  [paper: Fig. 7 top]");
+  bench::print_cdf(last_cdf,
+                   "Update latency CDF at us-west-2, 4 regions  [paper: Fig. 7 bottom]");
+  return 0;
+}

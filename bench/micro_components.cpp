@@ -1,0 +1,116 @@
+// Micro-benchmarks (google-benchmark) for the hot paths underneath the
+// figures: codec, workload generators, histogram, store apply, storage log.
+#include <benchmark/benchmark.h>
+
+#include "common/histogram.h"
+#include "common/zipf.h"
+#include "kvstore/command.h"
+#include "kvstore/store.h"
+#include "ringpaxos/storage.h"
+#include "ycsb/workload.h"
+
+namespace amcast {
+namespace {
+
+void BM_CommandEncode(benchmark::State& state) {
+  kvstore::Command c;
+  c.op = kvstore::Op::kUpdate;
+  c.key = "user000000004242";
+  c.value.assign(std::size_t(state.range(0)), 7);
+  kvstore::CommandBatch b;
+  for (int i = 0; i < 32; ++i) b.commands.push_back(c);
+  for (auto _ : state) {
+    auto bytes = b.encode();
+    benchmark::DoNotOptimize(bytes);
+  }
+  state.SetBytesProcessed(std::int64_t(state.iterations()) *
+                          std::int64_t(b.encoded_size()));
+}
+BENCHMARK(BM_CommandEncode)->Arg(128)->Arg(1024);
+
+void BM_CommandDecode(benchmark::State& state) {
+  kvstore::Command c;
+  c.op = kvstore::Op::kUpdate;
+  c.key = "user000000004242";
+  c.value.assign(std::size_t(state.range(0)), 7);
+  kvstore::CommandBatch b;
+  for (int i = 0; i < 32; ++i) b.commands.push_back(c);
+  auto bytes = b.encode();
+  for (auto _ : state) {
+    auto back = kvstore::CommandBatch::decode(bytes);
+    benchmark::DoNotOptimize(back);
+  }
+  state.SetBytesProcessed(std::int64_t(state.iterations()) *
+                          std::int64_t(bytes.size()));
+}
+BENCHMARK(BM_CommandDecode)->Arg(128)->Arg(1024);
+
+void BM_Zipfian(benchmark::State& state) {
+  ZipfianGenerator z(std::uint64_t(state.range(0)));
+  Rng rng(3);
+  for (auto _ : state) benchmark::DoNotOptimize(z.next(rng));
+}
+BENCHMARK(BM_Zipfian)->Arg(100000)->Arg(10000000);
+
+void BM_ScrambledZipfian(benchmark::State& state) {
+  ScrambledZipfianGenerator z(1000000);
+  Rng rng(3);
+  for (auto _ : state) benchmark::DoNotOptimize(z.next(rng));
+}
+BENCHMARK(BM_ScrambledZipfian);
+
+void BM_HistogramRecord(benchmark::State& state) {
+  Histogram h;
+  std::uint64_t v = 1;
+  for (auto _ : state) {
+    h.record(std::int64_t(v));
+    v = v * 2862933555777941757ULL + 3037000493ULL;
+    v >>= 34;  // spread across buckets
+  }
+}
+BENCHMARK(BM_HistogramRecord);
+
+void BM_YcsbNext(benchmark::State& state) {
+  ycsb::Generator gen(
+      ycsb::WorkloadSpec::standard(ycsb::Workload::A), 100000, 1024, 1);
+  Rng rng(4);
+  for (auto _ : state) benchmark::DoNotOptimize(gen.next(0, rng));
+}
+BENCHMARK(BM_YcsbNext);
+
+void BM_StoreApply(benchmark::State& state) {
+  kvstore::KvStore s;
+  for (int i = 0; i < 100000; ++i) {
+    s.insert("k" + std::to_string(i), std::vector<std::uint8_t>(64, 0));
+  }
+  kvstore::Command c;
+  c.op = kvstore::Op::kRead;
+  Rng rng(9);
+  for (auto _ : state) {
+    c.key = "k" + std::to_string(rng.next_u64(100000));
+    benchmark::DoNotOptimize(s.apply(c));
+  }
+}
+BENCHMARK(BM_StoreApply);
+
+void BM_AcceptorLogStoreAndTrim(benchmark::State& state) {
+  using namespace ringpaxos;
+  StorageOptions opts;
+  opts.mode = StorageOptions::Mode::kMemory;
+  opts.memory_slots = 15000;
+  for (auto _ : state) {
+    AcceptorStorage st(opts, nullptr);
+    for (InstanceId i = 0; i < 4096; ++i) {
+      st.store_vote(i, 1, 1, make_skip(0, 0, 1), [] {});
+      st.mark_decided(i, 1);
+    }
+    st.trim(2047);
+    benchmark::DoNotOptimize(st.entry_count());
+  }
+}
+BENCHMARK(BM_AcceptorLogStoreAndTrim);
+
+}  // namespace
+}  // namespace amcast
+
+BENCHMARK_MAIN();

@@ -1,0 +1,77 @@
+// Example: event sourcing with dLog.
+//
+// Two event streams ("orders" and "payments") live in separate logs; a
+// cross-stream transaction appends atomically to both via multi-append
+// (paper §6.2, Table 2). All replicas agree on every log's contents, and a
+// reader can replay any prefix.
+#include <cstdio>
+
+#include "dlog/deployment.h"
+
+using namespace amcast;
+
+int main() {
+  dlog::DLogDeploymentSpec spec;
+  spec.logs = 2;  // log 0 = orders, log 1 = payments
+  spec.server_nodes = 3;
+  spec.storage = ringpaxos::StorageOptions::Mode::kMemory;
+  spec.lambda = 2000;
+  dlog::DLogDeployment d(spec);
+
+  // Writers: order events, payment events, and paid-order transactions
+  // that must land in both streams atomically.
+  auto& writers = d.add_client(6, [](int t, Rng&) {
+    dlog::Command c;
+    switch (t % 3) {
+      case 0:
+        c.op = dlog::Op::kAppend;
+        c.logs = {0};  // order event
+        break;
+      case 1:
+        c.op = dlog::Op::kAppend;
+        c.logs = {1};  // payment event
+        break;
+      default:
+        c.op = dlog::Op::kMultiAppend;
+        c.logs = {0, 1};  // paid order: atomically in both streams
+        break;
+    }
+    c.value.assign(256, 0);
+    return c;
+  });
+
+  // A reader replaying the order stream from the beginning.
+  std::int64_t next_read = 0;
+  auto& reader = d.add_client(
+      1,
+      [&next_read](int, Rng&) {
+        dlog::Command c;
+        c.op = dlog::Op::kRead;
+        c.logs = {0};
+        c.position = next_read++;
+        return c;
+      },
+      0, "reader");
+
+  d.sim().run_until(duration::seconds(5));
+  // Quiesce before comparing replicas: stop issuing and let in-flight
+  // instances finish delivering everywhere.
+  writers.stop();
+  reader.stop();
+  d.sim().run_until(duration::seconds(7));
+
+  std::printf("appended: orders log = %lld entries, payments log = %lld\n",
+              (long long)d.server(0).log_length(0),
+              (long long)d.server(0).log_length(1));
+  bool agree = true;
+  for (int s = 1; s < d.server_count(); ++s) {
+    agree &= d.server(s).log_length(0) == d.server(0).log_length(0);
+    agree &= d.server(s).log_length(1) == d.server(0).log_length(1);
+  }
+  std::printf("replicas agree on both logs: %s\n", agree ? "yes" : "NO");
+  std::printf("writers completed %lld commands, reader replayed %lld events\n",
+              (long long)writers.completed(), (long long)reader.completed());
+  bool ok = agree && writers.completed() > 0 && reader.completed() > 0;
+  std::printf("%s\n", ok ? "OK" : "FAILED");
+  return ok ? 0 : 1;
+}

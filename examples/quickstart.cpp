@@ -1,0 +1,64 @@
+// Quickstart: atomic multicast in ~60 lines.
+//
+// Builds two multicast groups served by three nodes, subscribes all nodes
+// to both groups, multicasts a handful of messages, and shows that every
+// subscriber delivers them in the same global order — the atomic multicast
+// guarantee (agreement + validity + acyclic order, paper §2).
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "core/multicast.h"
+#include "sim/simulation.h"
+
+using namespace amcast;
+
+int main() {
+  sim::Simulation sim(/*seed=*/1);
+  core::ConfigRegistry registry;
+
+  // Three nodes; all of them acceptors and learners of both groups.
+  std::vector<core::MulticastNode*> nodes;
+  std::vector<ProcessId> ids;
+  for (int i = 0; i < 3; ++i) {
+    auto n = std::make_unique<core::MulticastNode>(registry);
+    nodes.push_back(n.get());
+    ids.push_back(sim.add_node(std::move(n)));
+  }
+
+  // One ring per multicast group (groups == rings in Multi-Ring Paxos).
+  GroupId ga = registry.create_ring(ids, ids, ids[0]);
+  GroupId gb = registry.create_ring(ids, ids, ids[1]);
+
+  // Subscribe: rate leveling (delta/lambda) keeps an idle group from
+  // stalling the deterministic merge.
+  ringpaxos::RingOptions opts;
+  opts.lambda = 1000;
+  std::vector<std::vector<MessageId>> delivered(nodes.size());
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    nodes[i]->subscribe(ga, opts);
+    nodes[i]->subscribe(gb, opts);
+    nodes[i]->set_deliver([&delivered, i](GroupId g,
+                                          const ringpaxos::ValuePtr& v) {
+      delivered[i].push_back(v->msg_id);
+      if (i == 0) {
+        std::printf("node0 delivered msg %llu from group %d\n",
+                    (unsigned long long)v->msg_id, g);
+      }
+    });
+  }
+
+  // Multicast from different nodes to different groups.
+  sim.run_until(duration::milliseconds(10));
+  for (int k = 0; k < 5; ++k) {
+    nodes[0]->multicast(ga, /*payload bytes=*/100);
+    nodes[1]->multicast(gb, 100);
+    nodes[2]->multicast(k % 2 ? ga : gb, 100);
+  }
+  sim.run_until(duration::seconds(1));
+
+  bool same = delivered[0] == delivered[1] && delivered[1] == delivered[2];
+  std::printf("\nAll 3 subscribers delivered %zu messages in the %s order.\n",
+              delivered[0].size(), same ? "SAME" : "DIFFERENT (bug!)");
+  return same && delivered[0].size() == 15 ? 0 : 1;
+}

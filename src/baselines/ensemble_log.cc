@@ -1,0 +1,83 @@
+#include "baselines/ensemble_log.h"
+
+namespace amcast::baselines {
+
+void Bookie::flush() {
+  if (flush_in_flight_ || queue_.empty()) return;
+  flush_in_flight_ = true;
+  auto acks = std::make_shared<std::deque<Pending>>(std::move(queue_));
+  queue_.clear();
+  std::size_t bytes = queued_bytes_ + 4096;  // journal chunk header/padding
+  queued_bytes_ = 0;
+  disk(0).write(bytes, [this, acks] {
+    for (const auto& p : *acks) {
+      auto ack = std::make_shared<BkAckMsg>();
+      ack->thread = p.thread;
+      ack->seq = p.seq;
+      send(p.client, ack);
+    }
+    flush_in_flight_ = false;
+    // Aggressive batching: only flush again once the chunk target or the
+    // delay timer is hit (checked on arrival / timer).
+    if (queued_bytes_ >= opts_.flush_bytes) flush();
+  });
+}
+
+void Bookie::on_message(ProcessId, const MessagePtr& m) {
+  if (m->type() != kBkAppend) return;
+  const auto& a = msg_cast<BkAppendMsg>(m);
+  queue_.push_back({a.client, a.thread, a.seq});
+  queued_bytes_ += a.bytes;
+  if (queued_bytes_ >= opts_.flush_bytes) {
+    flush();
+    return;
+  }
+  if (!flush_timer_armed_) {
+    flush_timer_armed_ = true;
+    set_timer(opts_.max_flush_delay, [this] {
+      flush_timer_armed_ = false;
+      flush();
+    });
+  }
+}
+
+BkClient::BkClient(Options opts) : opts_(std::move(opts)) {
+  threads_.resize(std::size_t(opts_.threads));
+}
+
+void BkClient::on_start() {
+  for (int t = 0; t < opts_.threads; ++t) issue(t);
+}
+
+void BkClient::issue(int thread) {
+  if (stopped_) return;
+  ThreadState& ts = threads_[std::size_t(thread)];
+  ts.seq = ++next_seq_;
+  ts.issued_at = now();
+  ts.acks = 0;
+  for (ProcessId b : opts_.ensemble) {
+    auto m = std::make_shared<BkAppendMsg>();
+    m->client = id();
+    m->thread = thread;
+    m->seq = ts.seq;
+    m->bytes = opts_.entry_bytes;
+    send(b, m);
+  }
+}
+
+void BkClient::on_message(ProcessId, const MessagePtr& m) {
+  if (m->type() != kBkAck) return;
+  const auto& a = msg_cast<BkAckMsg>(m);
+  if (a.thread < 0 || a.thread >= opts_.threads) return;
+  ThreadState& ts = threads_[std::size_t(a.thread)];
+  if (a.seq != ts.seq) return;
+  if (++ts.acks != opts_.ack_quorum) return;
+  Duration lat = now() - ts.issued_at;
+  auto& mm = sim().metrics();
+  mm.histogram(opts_.metric_prefix + ".latency").record_duration(lat);
+  mm.series(opts_.metric_prefix + ".tput").hit(now());
+  ++completed_;
+  issue(a.thread);
+}
+
+}  // namespace amcast::baselines

@@ -1,0 +1,109 @@
+// EnsembleLog: a BookKeeper-like replicated log (Figure 5 baseline).
+//
+// Each client thread writes a ledger striped over an ensemble of bookies.
+// An append is sent to every bookie; a bookie enqueues the entry in its
+// journal and acknowledges only after the journal flush that contains it is
+// durable. The journal flushes in large chunks (aggressive batching to
+// maximize disk utilization) — the very policy the paper identifies as the
+// source of BookKeeper's high latency under load (§8.3.3). The client
+// counts an append complete at an ack quorum (2 of 3).
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+
+#include "common/ids.h"
+#include "sim/node.h"
+
+namespace amcast::baselines {
+
+using sim::MessagePtr;
+using sim::msg_cast;
+
+enum BkMsgType : int {
+  kBkAppend = 520,
+  kBkAck = 521,
+};
+
+/// Client -> bookie: journal this entry.
+struct BkAppendMsg final : sim::Message {
+  ProcessId client = kInvalidProcess;
+  std::int32_t thread = 0;
+  std::uint64_t seq = 0;
+  std::size_t bytes = 0;
+  std::size_t wire_size() const override { return 24 + 16 + bytes; }
+  int type() const override { return kBkAppend; }
+  const char* name() const override { return "BkAppend"; }
+};
+
+/// Bookie -> client: entry durable.
+struct BkAckMsg final : sim::Message {
+  std::int32_t thread = 0;
+  std::uint64_t seq = 0;
+  std::size_t wire_size() const override { return 24 + 12; }
+  int type() const override { return kBkAck; }
+  const char* name() const override { return "BkAck"; }
+};
+
+/// One bookie: journal with aggressive group flushing.
+class Bookie final : public sim::Node {
+ public:
+  struct Options {
+    std::size_t flush_bytes = 512 * 1024;  ///< journal chunk target
+    Duration max_flush_delay = duration::milliseconds(10);
+  };
+  explicit Bookie(Options opts) : opts_(opts) {}
+  Bookie() : Bookie(Options{}) {}
+
+  void on_message(ProcessId from, const MessagePtr& m) override;
+
+ private:
+  struct Pending {
+    ProcessId client;
+    std::int32_t thread;
+    std::uint64_t seq;
+  };
+  void flush();
+
+  Options opts_;
+  std::deque<Pending> queue_;
+  std::size_t queued_bytes_ = 0;
+  bool flush_timer_armed_ = false;
+  bool flush_in_flight_ = false;
+};
+
+/// Closed-loop append client (one ledger per thread).
+class BkClient final : public sim::Node {
+ public:
+  struct Options {
+    int threads = 1;
+    std::vector<ProcessId> ensemble;  ///< bookies
+    int ack_quorum = 2;
+    std::size_t entry_bytes = 1024;
+    std::string metric_prefix = "bookkeeper";
+  };
+
+  explicit BkClient(Options opts);
+
+  void on_start() override;
+  void on_message(ProcessId from, const MessagePtr& m) override;
+  void stop() { stopped_ = true; }
+  std::int64_t completed() const { return completed_; }
+
+ private:
+  struct ThreadState {
+    std::uint64_t seq = 0;
+    Time issued_at = 0;
+    int acks = 0;
+  };
+  void issue(int thread);
+
+  Options opts_;
+  std::vector<ThreadState> threads_;
+  std::uint64_t next_seq_ = 0;
+  std::int64_t completed_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace amcast::baselines

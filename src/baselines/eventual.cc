@@ -1,0 +1,102 @@
+#include "baselines/eventual.h"
+
+namespace amcast::baselines {
+
+EvReplica::EvReplica(int partition, Partitioner partitioner)
+    : partition_(partition), partitioner_(std::move(partitioner)) {}
+
+void EvReplica::on_message(ProcessId from, const MessagePtr& m) {
+  switch (m->type()) {
+    case kEvRequest: {
+      const auto& req = msg_cast<EvRequestMsg>(m);
+      auto resp = std::make_shared<KvResponseMsg>();
+      resp->partition = partition_;
+      CommandBatch propagate;
+      ProcessId client = kInvalidProcess;
+      for (const auto& c : req.batch.commands) {
+        if (c.op != Op::kScan &&
+            partitioner_.locate(c.key) != partition_) {
+          continue;  // misrouted
+        }
+        client = c.client;
+        resp->results.push_back(store_.apply(c));
+        if (c.is_write()) propagate.commands.push_back(c);
+      }
+      // ONE consistency: acknowledge before peers have the write.
+      if (client != kInvalidProcess) send(client, resp);
+      if (!propagate.commands.empty()) {
+        auto rep = std::make_shared<EvReplicateMsg>();
+        rep->batch = std::move(propagate);
+        for (ProcessId p : peers_) send(p, rep);
+      }
+      return;
+    }
+    case kEvReplicate: {
+      const auto& rep = msg_cast<EvReplicateMsg>(m);
+      for (const auto& c : rep.batch.commands) store_.apply(c);
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+EvClient::EvClient(Options opts, Generator gen)
+    : opts_(std::move(opts)), gen_(std::move(gen)), rng_(opts_.seed) {
+  threads_.resize(std::size_t(opts_.threads));
+}
+
+void EvClient::on_start() {
+  for (int t = 0; t < opts_.threads; ++t) issue(t);
+}
+
+void EvClient::issue(int thread) {
+  if (stopped_) return;
+  ThreadState& ts = threads_[std::size_t(thread)];
+  Command c = gen_(thread, rng_);
+  c.client = id();
+  c.thread = thread;
+  c.seq = ++next_seq_;
+  ts.seq = c.seq;
+  ts.issued_at = now();
+  ts.op = c.op;
+  ts.responded.clear();
+
+  auto mk = [&c] {
+    auto req = std::make_shared<EvRequestMsg>();
+    req->batch.commands.push_back(c);
+    return req;
+  };
+  if (c.op == Op::kScan) {
+    auto parts = opts_.partitioner.locate_scan(c.key, c.end_key);
+    ts.awaiting = int(parts.size());
+    for (int p : parts) send(opts_.partition_heads[std::size_t(p)], mk());
+  } else {
+    ts.awaiting = 1;
+    int p = opts_.partitioner.locate(c.key);
+    send(opts_.partition_heads[std::size_t(p)], mk());
+  }
+}
+
+void EvClient::on_message(ProcessId, const MessagePtr& m) {
+  if (m->type() != kvstore::kKvResponse) return;
+  const auto& resp = msg_cast<KvResponseMsg>(m);
+  for (const auto& r : resp.results) {
+    if (r.thread < 0 || r.thread >= opts_.threads) continue;
+    ThreadState& ts = threads_[std::size_t(r.thread)];
+    if (r.seq != ts.seq) continue;
+    if (!ts.responded.insert(resp.partition).second) continue;
+    if (--ts.awaiting > 0) continue;
+    Duration lat = now() - ts.issued_at;
+    auto& mm = sim().metrics();
+    mm.histogram(opts_.metric_prefix + ".latency").record_duration(lat);
+    mm.histogram(opts_.metric_prefix + ".latency." + op_name(ts.op))
+        .record_duration(lat);
+    mm.series(opts_.metric_prefix + ".tput").hit(now());
+    ++completed_;
+    ts.seq = 0;
+    issue(r.thread);
+  }
+}
+
+}  // namespace amcast::baselines

@@ -1,0 +1,114 @@
+// EventualStore: a Cassandra-like eventually consistent key-value store
+// (the Figure 4 baseline).
+//
+// Data is partitioned and replicated RF ways. A request is served by the
+// key's first replica with consistency level ONE: writes are applied
+// locally, acknowledged immediately, and propagated to the other replicas
+// asynchronously; reads answer from local state. No ordering whatsoever is
+// imposed across requests — that is precisely why Cassandra outperforms the
+// ordered stores in the paper's YCSB comparison (§8.3.2).
+#pragma once
+
+#include <functional>
+#include <set>
+
+#include "kvstore/messages.h"
+#include "kvstore/partitioner.h"
+#include "kvstore/store.h"
+#include "sim/node.h"
+
+namespace amcast::baselines {
+
+using kvstore::Command;
+using kvstore::CommandBatch;
+using kvstore::CommandResult;
+using kvstore::KvResponseMsg;
+using kvstore::Op;
+using kvstore::Partitioner;
+using sim::MessagePtr;
+using sim::msg_cast;
+
+enum EvMsgType : int {
+  kEvRequest = 500,
+  kEvReplicate = 501,
+};
+
+/// Client -> replica: execute these commands (ONE consistency).
+struct EvRequestMsg final : sim::Message {
+  CommandBatch batch;
+  std::size_t wire_size() const override { return 24 + batch.encoded_size(); }
+  int type() const override { return kEvRequest; }
+  const char* name() const override { return "EvRequest"; }
+};
+
+/// Replica -> peer replicas: asynchronous write propagation.
+struct EvReplicateMsg final : sim::Message {
+  CommandBatch batch;
+  std::size_t wire_size() const override { return 24 + batch.encoded_size(); }
+  int type() const override { return kEvReplicate; }
+  const char* name() const override { return "EvReplicate"; }
+};
+
+/// One replica of one partition.
+class EvReplica final : public sim::Node {
+ public:
+  EvReplica(int partition, Partitioner partitioner);
+
+  /// Peer replicas of the same partition (for async propagation).
+  void set_peers(std::vector<ProcessId> peers) { peers_ = std::move(peers); }
+
+  void preload(const std::string& key, std::size_t value_size) {
+    store_.insert(key, std::vector<std::uint8_t>(value_size, 0));
+  }
+
+  void on_message(ProcessId from, const MessagePtr& m) override;
+  const kvstore::KvStore& store() const { return store_; }
+
+ private:
+  int partition_;
+  Partitioner partitioner_;
+  std::vector<ProcessId> peers_;
+  kvstore::KvStore store_;
+};
+
+/// Closed-loop client against the eventual store.
+class EvClient final : public sim::Node {
+ public:
+  using Generator = std::function<Command(int thread, Rng& rng)>;
+
+  struct Options {
+    int threads = 1;
+    Partitioner partitioner = Partitioner::hash(1);
+    /// First replica of each partition (request target).
+    std::vector<ProcessId> partition_heads;
+    std::string metric_prefix = "cassandra";
+    std::uint64_t seed = 1;
+  };
+
+  EvClient(Options opts, Generator gen);
+
+  void on_start() override;
+  void on_message(ProcessId from, const MessagePtr& m) override;
+  void stop() { stopped_ = true; }
+  std::int64_t completed() const { return completed_; }
+
+ private:
+  struct ThreadState {
+    std::uint64_t seq = 0;
+    Time issued_at = 0;
+    Op op = Op::kRead;
+    int awaiting = 0;
+    std::set<int> responded;
+  };
+  void issue(int thread);
+
+  Options opts_;
+  Generator gen_;
+  Rng rng_;
+  std::vector<ThreadState> threads_;
+  std::uint64_t next_seq_ = 0;
+  std::int64_t completed_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace amcast::baselines

@@ -1,0 +1,95 @@
+#include "baselines/single_node.h"
+
+namespace amcast::baselines {
+
+using kvstore::CommandResult;
+using kvstore::KvResponseMsg;
+using kvstore::Op;
+using sim::msg_cast;
+
+void SnServer::maybe_group_commit() {
+  if (fsync_in_flight_ || commit_queue_.empty()) return;
+  fsync_in_flight_ = true;
+  // One fsync covers everything queued (group commit).
+  auto acks = std::make_shared<std::deque<PendingAck>>(
+      std::move(commit_queue_));
+  commit_queue_.clear();
+  std::size_t bytes = commit_bytes_ + 512;  // WAL block header
+  commit_bytes_ = 0;
+  disk(0).write(bytes, [this, acks] {
+    for (auto& a : *acks) send(a.client, a.resp);
+    fsync_in_flight_ = false;
+    maybe_group_commit();
+  });
+}
+
+void SnServer::on_message(ProcessId, const MessagePtr& m) {
+  if (m->type() != kSnRequest) return;
+  const auto& req = msg_cast<SnRequestMsg>(m);
+  auto resp = std::make_shared<KvResponseMsg>();
+  resp->partition = 0;
+  bool has_write = false;
+  ProcessId client = kInvalidProcess;
+  std::size_t write_bytes = 0;
+  for (const auto& c : req.batch.commands) {
+    client = c.client;
+    resp->results.push_back(store_.apply(c));
+    if (c.is_write()) {
+      has_write = true;
+      write_bytes += c.encoded_size();
+    }
+  }
+  if (client == kInvalidProcess) return;
+  if (!has_write) {
+    send(client, resp);  // reads answer from the buffer pool
+    return;
+  }
+  commit_queue_.push_back({client, resp});
+  commit_bytes_ += write_bytes;
+  maybe_group_commit();
+}
+
+SnClient::SnClient(Options opts, Generator gen)
+    : opts_(std::move(opts)), gen_(std::move(gen)), rng_(opts_.seed) {
+  threads_.resize(std::size_t(opts_.threads));
+}
+
+void SnClient::on_start() {
+  for (int t = 0; t < opts_.threads; ++t) issue(t);
+}
+
+void SnClient::issue(int thread) {
+  if (stopped_) return;
+  ThreadState& ts = threads_[std::size_t(thread)];
+  kvstore::Command c = gen_(thread, rng_);
+  c.client = id();
+  c.thread = thread;
+  c.seq = ++next_seq_;
+  ts.seq = c.seq;
+  ts.issued_at = now();
+  ts.op = c.op;
+  auto req = std::make_shared<SnRequestMsg>();
+  req->batch.commands.push_back(std::move(c));
+  send(opts_.server, req);
+}
+
+void SnClient::on_message(ProcessId, const MessagePtr& m) {
+  if (m->type() != kvstore::kKvResponse) return;
+  const auto& resp = msg_cast<KvResponseMsg>(m);
+  for (const auto& r : resp.results) {
+    if (r.thread < 0 || r.thread >= opts_.threads) continue;
+    ThreadState& ts = threads_[std::size_t(r.thread)];
+    if (r.seq != ts.seq) continue;
+    ts.seq = 0;
+    Duration lat = now() - ts.issued_at;
+    auto& mm = sim().metrics();
+    mm.histogram(opts_.metric_prefix + ".latency").record_duration(lat);
+    mm.histogram(opts_.metric_prefix + ".latency." + op_name(ts.op))
+        .record_duration(lat);
+    mm.series(opts_.metric_prefix + ".tput").hit(now());
+    ++completed_;
+    issue(r.thread);
+  }
+}
+
+}  // namespace amcast::baselines

@@ -1,0 +1,95 @@
+// SingleNodeStore: a MySQL-like single-server database (Figure 4 baseline).
+//
+// One server holds the whole key space in an ordered tree. Writes go
+// through a group-commit write-ahead log: concurrent writes are gathered
+// and made durable with one fsync, then acknowledged (InnoDB-style). Reads
+// are served immediately. There is no replication and no scale-out — the
+// paper uses MySQL as the centralized comparator.
+#pragma once
+
+#include <deque>
+#include <functional>
+
+#include "kvstore/messages.h"
+#include "kvstore/store.h"
+#include "sim/node.h"
+
+namespace amcast::baselines {
+
+using sim::MessagePtr;
+
+enum SnMsgType : int {
+  kSnRequest = 510,
+};
+
+/// Client -> server request.
+struct SnRequestMsg final : sim::Message {
+  kvstore::CommandBatch batch;
+  std::size_t wire_size() const override { return 24 + batch.encoded_size(); }
+  int type() const override { return kSnRequest; }
+  const char* name() const override { return "SnRequest"; }
+};
+
+class SnServer final : public sim::Node {
+ public:
+  /// The server owns disk 0 for its WAL (attach before adding to the sim).
+  SnServer() = default;
+
+  void preload(const std::string& key, std::size_t value_size) {
+    store_.insert(key, std::vector<std::uint8_t>(value_size, 0));
+  }
+
+  void on_message(ProcessId from, const MessagePtr& m) override;
+  const kvstore::KvStore& store() const { return store_; }
+
+ private:
+  struct PendingAck {
+    ProcessId client;
+    std::shared_ptr<kvstore::KvResponseMsg> resp;
+  };
+  void maybe_group_commit();
+
+  kvstore::KvStore store_;
+  std::deque<PendingAck> commit_queue_;
+  std::size_t commit_bytes_ = 0;
+  bool fsync_in_flight_ = false;
+};
+
+/// Closed-loop client against the single-node store.
+class SnClient final : public sim::Node {
+ public:
+  using Generator =
+      std::function<kvstore::Command(int thread, Rng& rng)>;
+
+  struct Options {
+    int threads = 1;
+    ProcessId server = kInvalidProcess;
+    std::string metric_prefix = "mysql";
+    std::uint64_t seed = 1;
+  };
+
+  SnClient(Options opts, Generator gen);
+
+  void on_start() override;
+  void on_message(ProcessId from, const MessagePtr& m) override;
+  void stop() { stopped_ = true; }
+  std::int64_t completed() const { return completed_; }
+
+ private:
+  struct ThreadState {
+    std::uint64_t seq = 0;
+    Time issued_at = 0;
+    kvstore::Op op = kvstore::Op::kRead;
+  };
+  void issue(int thread);
+
+  Options opts_;
+  Generator gen_;
+  Rng rng_;
+  std::vector<ThreadState> threads_;
+  std::uint64_t next_seq_ = 0;
+  std::int64_t completed_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace amcast::baselines

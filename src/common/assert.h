@@ -1,0 +1,33 @@
+// Lightweight contract-checking macros used across the library.
+//
+// The C++ Core Guidelines (I.6/I.8) recommend expressing preconditions and
+// postconditions directly in code. We keep checks enabled in all build types:
+// the protocols in this library are cheap relative to the cost of silently
+// violating a quorum or ordering invariant.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace amcast {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "amcast assertion failed: %s\n  at %s:%d\n  %s\n", expr,
+               file, line, msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace amcast
+
+// Precondition / invariant check. Always on.
+#define AMCAST_ASSERT(expr)                                          \
+  do {                                                               \
+    if (!(expr)) ::amcast::assert_fail(#expr, __FILE__, __LINE__, nullptr); \
+  } while (0)
+
+// Assertion with an explanatory message.
+#define AMCAST_ASSERT_MSG(expr, msg)                               \
+  do {                                                             \
+    if (!(expr)) ::amcast::assert_fail(#expr, __FILE__, __LINE__, msg); \
+  } while (0)

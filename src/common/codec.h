@@ -1,0 +1,121 @@
+// Binary serialization used for wire-size accounting and for the durable
+// acceptor log. Little-endian, fixed-width integers plus length-prefixed
+// byte strings: simple, portable, and byte-exact so the simulator's
+// bandwidth/disk models charge realistic sizes.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/assert.h"
+
+namespace amcast {
+
+/// Append-only binary writer. All integers are encoded little-endian.
+class Encoder {
+ public:
+  Encoder() = default;
+  explicit Encoder(std::size_t reserve) { buf_.reserve(reserve); }
+
+  /// Appends a fixed-width integer.
+  template <typename T>
+  void put_int(T v) {
+    static_assert(std::is_integral_v<T>);
+    unsigned char raw[sizeof(T)];
+    std::memcpy(raw, &v, sizeof(T));
+    buf_.insert(buf_.end(), raw, raw + sizeof(T));
+  }
+
+  void put_u8(std::uint8_t v) { put_int(v); }
+  void put_u16(std::uint16_t v) { put_int(v); }
+  void put_u32(std::uint32_t v) { put_int(v); }
+  void put_u64(std::uint64_t v) { put_int(v); }
+  void put_i32(std::int32_t v) { put_int(v); }
+  void put_i64(std::int64_t v) { put_int(v); }
+  void put_bool(bool v) { put_u8(v ? 1 : 0); }
+  void put_double(double v) {
+    std::uint64_t raw;
+    std::memcpy(&raw, &v, sizeof(raw));
+    put_u64(raw);
+  }
+
+  /// Appends a 32-bit length prefix followed by the raw bytes.
+  void put_bytes(const void* data, std::size_t n) {
+    put_u32(static_cast<std::uint32_t>(n));
+    const auto* p = static_cast<const unsigned char*>(data);
+    buf_.insert(buf_.end(), p, p + n);
+  }
+  void put_bytes(const std::vector<std::uint8_t>& v) {
+    put_bytes(v.data(), v.size());
+  }
+  void put_string(std::string_view s) { put_bytes(s.data(), s.size()); }
+
+  /// Releases the encoded buffer.
+  std::vector<std::uint8_t> take() { return std::move(buf_); }
+  const std::vector<std::uint8_t>& buffer() const { return buf_; }
+  std::size_t size() const { return buf_.size(); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Sequential binary reader over a byte span. Bounds-checked: reading past
+/// the end is a contract violation (the log/wire format is trusted input
+/// produced by this library).
+class Decoder {
+ public:
+  Decoder(const std::uint8_t* data, std::size_t n) : data_(data), end_(n) {}
+  explicit Decoder(const std::vector<std::uint8_t>& v)
+      : Decoder(v.data(), v.size()) {}
+
+  template <typename T>
+  T get_int() {
+    static_assert(std::is_integral_v<T>);
+    AMCAST_ASSERT_MSG(pos_ + sizeof(T) <= end_, "decoder underrun");
+    T v;
+    std::memcpy(&v, data_ + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  std::uint8_t get_u8() { return get_int<std::uint8_t>(); }
+  std::uint16_t get_u16() { return get_int<std::uint16_t>(); }
+  std::uint32_t get_u32() { return get_int<std::uint32_t>(); }
+  std::uint64_t get_u64() { return get_int<std::uint64_t>(); }
+  std::int32_t get_i32() { return get_int<std::int32_t>(); }
+  std::int64_t get_i64() { return get_int<std::int64_t>(); }
+  bool get_bool() { return get_u8() != 0; }
+  double get_double() {
+    std::uint64_t raw = get_u64();
+    double v;
+    std::memcpy(&v, &raw, sizeof(v));
+    return v;
+  }
+
+  std::vector<std::uint8_t> get_bytes() {
+    std::uint32_t n = get_u32();
+    AMCAST_ASSERT_MSG(pos_ + n <= end_, "decoder underrun (bytes)");
+    std::vector<std::uint8_t> out(data_ + pos_, data_ + pos_ + n);
+    pos_ += n;
+    return out;
+  }
+
+  std::string get_string() {
+    auto b = get_bytes();
+    return std::string(b.begin(), b.end());
+  }
+
+  /// Bytes not yet consumed.
+  std::size_t remaining() const { return end_ - pos_; }
+  bool done() const { return pos_ == end_; }
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t end_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace amcast

@@ -1,0 +1,94 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/assert.h"
+
+namespace amcast {
+
+namespace {
+int log2_floor(std::uint64_t v) { return 63 - std::countl_zero(v | 1); }
+}  // namespace
+
+Histogram::Histogram(int sub_buckets) : sub_buckets_(sub_buckets) {
+  AMCAST_ASSERT(sub_buckets >= 2 && (sub_buckets & (sub_buckets - 1)) == 0);
+  sub_shift_ = log2_floor(std::uint64_t(sub_buckets));
+  // 64 octaves x sub_buckets linear slots covers the full int64 range.
+  buckets_.assign(std::size_t(64) * sub_buckets_, 0);
+}
+
+std::size_t Histogram::bucket_index(std::int64_t v) const {
+  if (v < 0) v = 0;
+  auto u = std::uint64_t(v);
+  if (u < std::uint64_t(sub_buckets_)) return std::size_t(u);
+  int octave = log2_floor(u) - sub_shift_ + 1;
+  std::uint64_t sub = u >> octave;  // in [sub_buckets/2, sub_buckets)
+  return std::size_t(octave) * sub_buckets_ + std::size_t(sub);
+}
+
+std::int64_t Histogram::bucket_value(std::size_t idx) const {
+  std::size_t octave = idx / sub_buckets_;
+  std::size_t sub = idx % sub_buckets_;
+  if (octave == 0) return std::int64_t(sub);
+  // Midpoint of the bucket's range for low quantization bias.
+  std::uint64_t base = std::uint64_t(sub) << octave;
+  std::uint64_t width = std::uint64_t(1) << octave;
+  return std::int64_t(base + width / 2);
+}
+
+void Histogram::record(std::int64_t value) {
+  if (value < 0) value = 0;
+  if (count_ == 0 || value < min_) min_ = value;
+  if (value > max_) max_ = value;
+  sum_ += double(value);
+  ++count_;
+  ++buckets_[bucket_index(value)];
+}
+
+std::int64_t Histogram::percentile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  std::uint64_t target = std::uint64_t(q * double(count_));
+  if (target >= count_) target = count_ - 1;
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen > target) return bucket_value(i);
+  }
+  return max_;
+}
+
+std::vector<std::pair<std::int64_t, double>> Histogram::cdf() const {
+  std::vector<std::pair<std::int64_t, double>> out;
+  if (count_ == 0) return out;
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] == 0) continue;
+    seen += buckets_[i];
+    out.emplace_back(bucket_value(i), double(seen) / double(count_));
+  }
+  return out;
+}
+
+void Histogram::merge(const Histogram& other) {
+  AMCAST_ASSERT(other.sub_buckets_ == sub_buckets_);
+  if (other.count_ == 0) return;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+  max_ = std::max(max_, other.max_);
+  sum_ += other.sum_;
+  count_ += other.count_;
+}
+
+void Histogram::clear() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = 0;
+  max_ = 0;
+}
+
+}  // namespace amcast

@@ -1,0 +1,84 @@
+// Log-bucketed latency histogram (HdrHistogram-style) plus simple running
+// statistics. Used by every benchmark to report means, percentiles and CDFs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+
+namespace amcast {
+
+/// Histogram over non-negative integer values (we record nanoseconds).
+/// Buckets are exponential with `sub_buckets` linear sub-buckets per octave,
+/// giving a bounded relative error (~1/sub_buckets) at any magnitude.
+class Histogram {
+ public:
+  explicit Histogram(int sub_buckets = 64);
+
+  /// Records one sample. Negative samples are clamped to zero.
+  void record(std::int64_t value);
+
+  /// Records a duration sample in nanoseconds.
+  void record_duration(Duration d) { record(d); }
+
+  std::uint64_t count() const { return count_; }
+  std::int64_t min() const { return count_ ? min_ : 0; }
+  std::int64_t max() const { return max_; }
+  double mean() const { return count_ ? sum_ / double(count_) : 0.0; }
+
+  /// Value at quantile q in [0, 1]; 0 when empty.
+  std::int64_t percentile(double q) const;
+
+  /// CDF as (value, cumulative_fraction) pairs, one entry per non-empty
+  /// bucket. Suitable for plotting the paper's latency CDFs.
+  std::vector<std::pair<std::int64_t, double>> cdf() const;
+
+  /// Merges another histogram with the same bucket layout into this one.
+  void merge(const Histogram& other);
+
+  void clear();
+
+  /// Convenience accessors treating samples as nanoseconds.
+  double mean_ms() const { return mean() * 1e-6; }
+  double p50_ms() const { return double(percentile(0.50)) * 1e-6; }
+  double p90_ms() const { return double(percentile(0.90)) * 1e-6; }
+  double p99_ms() const { return double(percentile(0.99)) * 1e-6; }
+
+ private:
+  std::size_t bucket_index(std::int64_t v) const;
+  std::int64_t bucket_value(std::size_t idx) const;
+
+  int sub_buckets_;
+  int sub_shift_;
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0;
+  std::int64_t min_ = 0;
+  std::int64_t max_ = 0;
+};
+
+/// Running mean/min/max accumulator for scalar series (CPU%, queue depths).
+class RunningStat {
+ public:
+  void add(double v) {
+    if (n_ == 0 || v < min_) min_ = v;
+    if (n_ == 0 || v > max_) max_ = v;
+    sum_ += v;
+    ++n_;
+  }
+  std::uint64_t count() const { return n_; }
+  double mean() const { return n_ ? sum_ / double(n_) : 0; }
+  double min() const { return n_ ? min_ : 0; }
+  double max() const { return n_ ? max_ : 0; }
+  void clear() { *this = RunningStat{}; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double sum_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+}  // namespace amcast

@@ -1,0 +1,45 @@
+// Strongly-named identifier and time types shared by every layer.
+#pragma once
+
+#include <cstdint>
+
+namespace amcast {
+
+/// Identifies a process (a simulated node hosting one or more roles).
+using ProcessId = std::int32_t;
+inline constexpr ProcessId kInvalidProcess = -1;
+
+/// Identifies a multicast group. Each group is implemented by one Ring Paxos
+/// ring, so GroupId doubles as the ring identifier (paper: groups == rings).
+using GroupId = std::int32_t;
+inline constexpr GroupId kInvalidGroup = -1;
+
+/// Consensus instance number within one ring. Instances start at 0 and are
+/// decided in order by the ring's coordinator.
+using InstanceId = std::int64_t;
+inline constexpr InstanceId kInvalidInstance = -1;
+
+/// Paxos ballot/round number within one consensus instance.
+using Round = std::int32_t;
+
+/// Unique id a proposer stamps on every multicast value; used to match
+/// deliveries/responses back to the originating request.
+using MessageId = std::uint64_t;
+
+/// Simulated time in nanoseconds since the start of the run.
+using Time = std::int64_t;
+
+/// Duration in nanoseconds.
+using Duration = std::int64_t;
+
+namespace duration {
+inline constexpr Duration nanoseconds(std::int64_t n) { return n; }
+inline constexpr Duration microseconds(std::int64_t u) { return u * 1000; }
+inline constexpr Duration milliseconds(std::int64_t m) { return m * 1000000; }
+inline constexpr Duration seconds(std::int64_t s) { return s * 1000000000; }
+inline constexpr double to_seconds(Duration d) { return double(d) * 1e-9; }
+inline constexpr double to_millis(Duration d) { return double(d) * 1e-6; }
+inline constexpr double to_micros(Duration d) { return double(d) * 1e-3; }
+}  // namespace duration
+
+}  // namespace amcast

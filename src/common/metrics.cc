@@ -1,0 +1,16 @@
+#include "common/metrics.h"
+
+namespace amcast {
+
+void TimeSeries::add(Time t, double value) {
+  if (t < 0) t = 0;
+  auto idx = std::size_t(t / width_);
+  if (idx >= sums_.size()) {
+    sums_.resize(idx + 1, 0.0);
+    counts_.resize(idx + 1, 0);
+  }
+  sums_[idx] += value;
+  counts_[idx] += 1;
+}
+
+}  // namespace amcast

@@ -1,0 +1,112 @@
+// Experiment metrics: named counters, latency histograms, and bucketed time
+// series (for the recovery timeline of Figure 8). One registry per
+// simulation run; all benches read their numbers from here.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/ids.h"
+
+namespace amcast {
+
+/// A time series accumulated into fixed-width buckets of simulated time.
+/// Used for throughput-over-time and latency-over-time plots.
+class TimeSeries {
+ public:
+  explicit TimeSeries(Duration bucket_width = duration::seconds(1))
+      : width_(bucket_width) {}
+
+  /// Adds `value` to the bucket containing time `t`.
+  void add(Time t, double value);
+
+  /// Increments the sample count only (value 0); useful for rates.
+  void hit(Time t) { add(t, 0); }
+
+  Duration bucket_width() const { return width_; }
+  std::size_t bucket_count() const { return sums_.size(); }
+
+  /// Sum of values added to bucket i.
+  double sum(std::size_t i) const { return i < sums_.size() ? sums_[i] : 0; }
+  /// Number of samples added to bucket i.
+  std::uint64_t samples(std::size_t i) const {
+    return i < counts_.size() ? counts_[i] : 0;
+  }
+  /// Mean value in bucket i (0 if empty).
+  double mean(std::size_t i) const {
+    return samples(i) ? sum(i) / double(samples(i)) : 0;
+  }
+  /// Samples per second in bucket i.
+  double rate(std::size_t i) const {
+    return double(samples(i)) / duration::to_seconds(width_);
+  }
+
+ private:
+  Duration width_;
+  std::vector<double> sums_;
+  std::vector<std::uint64_t> counts_;
+};
+
+/// Central registry for one experiment run. Not thread-safe by design: the
+/// discrete-event simulator is single-threaded.
+class Metrics {
+ public:
+  /// Monotonic counter (messages sent, bytes written, ...).
+  std::int64_t& counter(const std::string& name) { return counters_[name]; }
+  std::int64_t counter_value(const std::string& name) const {
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+  }
+
+  /// Named latency histogram; created on first use.
+  Histogram& histogram(const std::string& name) {
+    auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+      it = histograms_.emplace(name, Histogram{}).first;
+    }
+    return it->second;
+  }
+  bool has_histogram(const std::string& name) const {
+    return histograms_.count(name) > 0;
+  }
+
+  /// Named time series; created on first use with the given bucket width
+  /// (width is fixed at creation).
+  TimeSeries& series(const std::string& name,
+                     Duration width = duration::seconds(1)) {
+    auto it = series_.find(name);
+    if (it == series_.end()) {
+      it = series_.emplace(name, TimeSeries{width}).first;
+    }
+    return it->second;
+  }
+
+  /// Named running statistic (CPU utilization, queue depth...).
+  RunningStat& stat(const std::string& name) { return stats_[name]; }
+
+  const std::map<std::string, std::int64_t>& counters() const {
+    return counters_;
+  }
+  const std::map<std::string, Histogram>& histograms() const {
+    return histograms_;
+  }
+  const std::map<std::string, RunningStat>& stats() const { return stats_; }
+
+  void clear() {
+    counters_.clear();
+    histograms_.clear();
+    series_.clear();
+    stats_.clear();
+  }
+
+ private:
+  std::map<std::string, std::int64_t> counters_;
+  std::map<std::string, Histogram> histograms_;
+  std::map<std::string, TimeSeries> series_;
+  std::map<std::string, RunningStat> stats_;
+};
+
+}  // namespace amcast

@@ -1,0 +1,15 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace amcast {
+
+double Rng::next_exponential(double mean) {
+  AMCAST_ASSERT(mean > 0);
+  double u = next_double();
+  // Guard against log(0).
+  if (u <= 0) u = 1e-18;
+  return -mean * std::log(u);
+}
+
+}  // namespace amcast

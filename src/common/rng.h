@@ -1,0 +1,92 @@
+// Deterministic pseudo-random number generation.
+//
+// Every randomized component takes an explicit seed so that all experiments
+// are reproducible run-to-run; nothing in the library reads entropy from the
+// environment.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "common/assert.h"
+
+namespace amcast {
+
+/// splitmix64: used to derive well-distributed seeds from small integers.
+inline std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256**: fast, high-quality PRNG for workload generation and
+/// simulation jitter. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL) { reseed(seed); }
+
+  /// Re-initializes the state from a single 64-bit seed.
+  void reseed(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& s : s_) s = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be positive.
+  std::uint64_t next_u64(std::uint64_t bound) {
+    AMCAST_ASSERT(bound > 0);
+    // Multiply-shift rejection-free mapping (Lemire); bias is negligible for
+    // simulation purposes.
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>((*this)()) * bound) >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t next_int(std::int64_t lo, std::int64_t hi) {
+    AMCAST_ASSERT(lo <= hi);
+    return lo + static_cast<std::int64_t>(
+                    next_u64(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() { return double((*this)() >> 11) * 0x1.0p-53; }
+
+  /// Bernoulli trial with probability p.
+  bool next_bool(double p) { return next_double() < p; }
+
+  /// Exponentially distributed value with the given mean (> 0).
+  double next_exponential(double mean);
+
+  /// Derives an independent child generator (for per-node streams).
+  Rng split() {
+    std::uint64_t seed = (*this)();
+    return Rng(seed);
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4];
+};
+
+}  // namespace amcast

@@ -1,0 +1,35 @@
+#include "common/table.h"
+
+#include <algorithm>
+
+namespace amcast {
+
+void TextTable::print(const std::string& title) const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::size_t total = 0;
+  for (auto w : widths) total += w + 3;
+
+  std::printf("\n=== %s ===\n", title.c_str());
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string{};
+      std::printf("%-*s   ", int(widths[c]), cell.c_str());
+    }
+    std::printf("\n");
+  };
+  print_row(header_);
+  std::printf("%s\n", std::string(total, '-').c_str());
+  for (const auto& row : rows_) print_row(row);
+  std::fflush(stdout);
+}
+
+}  // namespace amcast

@@ -1,0 +1,40 @@
+// Small helper for printing aligned result tables from the bench binaries,
+// so every figure/table reproduction emits readable, diffable output.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace amcast {
+
+/// Column-aligned text table. Collect rows, then print to stdout.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  /// Adds one row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  /// Formats a double with the given precision.
+  static std::string num(double v, int precision = 1) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+  }
+  static std::string integer(long long v) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", v);
+    return buf;
+  }
+
+  /// Prints the table with a title banner.
+  void print(const std::string& title) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace amcast

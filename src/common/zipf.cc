@@ -1,0 +1,65 @@
+#include "common/zipf.h"
+
+#include <cmath>
+
+namespace amcast {
+
+double ZipfianGenerator::zeta(std::uint64_t n, double theta) {
+  // Exact sum for small n; for large n use the standard integral
+  // approximation YCSB applies when growing the universe. We compute exactly
+  // up to 10M items (all paper experiments are below this).
+  double sum = 0;
+  if (n <= 10'000'000) {
+    for (std::uint64_t i = 0; i < n; ++i) {
+      sum += 1.0 / std::pow(double(i + 1), theta);
+    }
+    return sum;
+  }
+  // zeta(n) ~= zeta(n0) + integral_{n0}^{n} x^-theta dx
+  const std::uint64_t n0 = 10'000'000;
+  sum = zeta(n0, theta);
+  sum += (std::pow(double(n), 1 - theta) - std::pow(double(n0), 1 - theta)) /
+         (1 - theta);
+  return sum;
+}
+
+ZipfianGenerator::ZipfianGenerator(std::uint64_t n, double theta)
+    : n_(n), theta_(theta) {
+  AMCAST_ASSERT(n > 0);
+  AMCAST_ASSERT(theta > 0 && theta < 1);
+  zetan_ = zeta(n, theta);
+  zeta2theta_ = zeta(2, theta);
+  alpha_ = 1.0 / (1.0 - theta);
+  eta_ = (1 - std::pow(2.0 / double(n), 1 - theta)) /
+         (1 - zeta2theta_ / zetan_);
+}
+
+std::uint64_t ZipfianGenerator::next(Rng& rng) const {
+  // Gray et al. inversion; identical structure to YCSB's ZipfianGenerator.
+  double u = rng.next_double();
+  double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  auto v = static_cast<std::uint64_t>(
+      double(n_) * std::pow(eta_ * u - eta_ + 1, alpha_));
+  if (v >= n_) v = n_ - 1;
+  return v;
+}
+
+void ZipfianGenerator::grow(std::uint64_t new_n) {
+  AMCAST_ASSERT(new_n >= n_);
+  if (new_n == n_) return;
+  // Incremental zeta update, as in YCSB: add the tail terms.
+  if (new_n - n_ <= 4096) {
+    for (std::uint64_t i = n_; i < new_n; ++i) {
+      zetan_ += 1.0 / std::pow(double(i + 1), theta_);
+    }
+  } else {
+    zetan_ = zeta(new_n, theta_);
+  }
+  n_ = new_n;
+  eta_ = (1 - std::pow(2.0 / double(n_), 1 - theta_)) /
+         (1 - zeta2theta_ / zetan_);
+}
+
+}  // namespace amcast

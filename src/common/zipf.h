@@ -1,0 +1,105 @@
+// Key-choosing distributions used by the YCSB workload generator (paper
+// §8.3.2). These mirror the generators in YCSB core: uniform, zipfian,
+// scrambled zipfian, and "latest" (zipfian over recency).
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+
+namespace amcast {
+
+/// Uniform generator over [0, n).
+class UniformGenerator {
+ public:
+  explicit UniformGenerator(std::uint64_t n) : n_(n) { AMCAST_ASSERT(n > 0); }
+  std::uint64_t next(Rng& rng) const { return rng.next_u64(n_); }
+  std::uint64_t item_count() const { return n_; }
+
+ private:
+  std::uint64_t n_;
+};
+
+/// Zipfian generator over [0, n) using the Gray et al. "Quickly generating
+/// billion-record synthetic databases" rejection-inversion method, the same
+/// algorithm YCSB core uses. Item 0 is the most popular.
+class ZipfianGenerator {
+ public:
+  static constexpr double kDefaultTheta = 0.99;  // YCSB default constant.
+
+  ZipfianGenerator(std::uint64_t n, double theta = kDefaultTheta);
+
+  /// Draws the next item; items near 0 are drawn most often.
+  std::uint64_t next(Rng& rng) const;
+
+  std::uint64_t item_count() const { return n_; }
+  double theta() const { return theta_; }
+
+  /// Grows the item universe (used by the "latest" distribution when new
+  /// records are inserted). Recomputes the normalization constant lazily and
+  /// cheaply using the standard YCSB approximation.
+  void grow(std::uint64_t new_n);
+
+ private:
+  static double zeta(std::uint64_t n, double theta);
+
+  std::uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  double zeta2theta_;
+};
+
+/// Scrambled zipfian: zipfian popularity spread across the key space via a
+/// hash, so that hot keys are not clustered. Used for YCSB workloads A-C/F.
+class ScrambledZipfianGenerator {
+ public:
+  explicit ScrambledZipfianGenerator(std::uint64_t n)
+      : zipf_(n), n_(n) {}
+
+  std::uint64_t next(Rng& rng) const {
+    std::uint64_t z = zipf_.next(rng);
+    return fnv64(z) % n_;
+  }
+  std::uint64_t item_count() const { return n_; }
+
+ private:
+  static std::uint64_t fnv64(std::uint64_t v) {
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (i * 8)) & 0xff;
+      h *= 0x100000001b3ULL;
+    }
+    return h;
+  }
+  ZipfianGenerator zipf_;
+  std::uint64_t n_;
+};
+
+/// "Latest" distribution: most recently inserted records are most popular
+/// (YCSB workload D). Backed by a zipfian over the distance from the newest
+/// record.
+class LatestGenerator {
+ public:
+  explicit LatestGenerator(std::uint64_t n) : zipf_(n), max_(n) {}
+
+  std::uint64_t next(Rng& rng) const {
+    std::uint64_t off = zipf_.next(rng);
+    return max_ - 1 - off;
+  }
+
+  /// Records that a new item was inserted, shifting popularity toward it.
+  void record_insert() {
+    ++max_;
+    zipf_.grow(max_);
+  }
+
+  std::uint64_t item_count() const { return max_; }
+
+ private:
+  ZipfianGenerator zipf_;
+  std::uint64_t max_;
+};
+
+}  // namespace amcast

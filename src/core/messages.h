@@ -1,0 +1,133 @@
+// Wire messages of the Multi-Ring Paxos coordination and recovery layer
+// (paper §5): quorum-based log trimming and replica recovery.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/ids.h"
+#include "sim/message.h"
+
+namespace amcast::core {
+
+using sim::MessagePtr;
+using sim::msg_cast;
+
+/// Message type tags (range 200-249).
+enum MsgType : int {
+  kTrimQuery = 200,
+  kTrimReply = 201,
+  kTrimCommand = 202,
+  kCheckpointQuery = 203,
+  kCheckpointInfo = 204,
+  kCheckpointFetch = 205,
+  kCheckpointData = 206,
+};
+
+inline constexpr std::size_t kHeaderBytes = 24;
+
+/// A replica checkpoint identifier: one entry per multicast group the
+/// replica subscribes to, ordered by ascending group id (paper §5.2).
+/// Entry semantics: the *next* instance to deliver from that group — i.e.,
+/// the checkpoint reflects all instances below it.
+struct CheckpointTuple {
+  std::vector<GroupId> groups;     ///< ascending
+  std::vector<InstanceId> next;    ///< aligned with groups
+
+  bool valid() const { return !groups.empty(); }
+
+  /// Component-wise tuple comparison (tuples in one partition are totally
+  /// ordered by Predicate 1; see checkpoint_tuple_le).
+  friend bool operator==(const CheckpointTuple&,
+                         const CheckpointTuple&) = default;
+};
+
+/// True iff a <= b component-wise. For same-partition checkpoints the
+/// round-robin delivery discipline makes this a total order (paper
+/// Predicates 1/3).
+bool tuple_le(const CheckpointTuple& a, const CheckpointTuple& b);
+
+/// Ring coordinator -> replicas subscribing to `group`: report the highest
+/// consensus instance your durable checkpoint covers for this group.
+struct TrimQueryMsg final : sim::Message {
+  GroupId group = kInvalidGroup;
+  std::uint64_t query_id = 0;
+
+  std::size_t wire_size() const override { return kHeaderBytes + 12; }
+  int type() const override { return kTrimQuery; }
+  const char* name() const override { return "TrimQuery"; }
+};
+
+/// Replica -> coordinator: my durable checkpoint covers instances below
+/// `safe_next` for this group (0 if I never checkpointed).
+struct TrimReplyMsg final : sim::Message {
+  GroupId group = kInvalidGroup;
+  std::uint64_t query_id = 0;
+  ProcessId replica = kInvalidProcess;
+  InstanceId safe_next = 0;
+
+  std::size_t wire_size() const override { return kHeaderBytes + 20; }
+  int type() const override { return kTrimReply; }
+  const char* name() const override { return "TrimReply"; }
+};
+
+/// Coordinator -> acceptors of the ring: remove log entries for instances
+/// strictly below `trim_next` (K[x]T in the paper, Predicate 2).
+struct TrimCommandMsg final : sim::Message {
+  GroupId group = kInvalidGroup;
+  InstanceId trim_next = 0;
+
+  std::size_t wire_size() const override { return kHeaderBytes + 12; }
+  int type() const override { return kTrimCommand; }
+  const char* name() const override { return "TrimCommand"; }
+};
+
+/// Recovering replica -> partition peers: describe your most recent durable
+/// checkpoint.
+struct CheckpointQueryMsg final : sim::Message {
+  std::uint64_t query_id = 0;
+
+  std::size_t wire_size() const override { return kHeaderBytes + 8; }
+  int type() const override { return kCheckpointQuery; }
+  const char* name() const override { return "CheckpointQuery"; }
+};
+
+/// Peer -> recovering replica: my checkpoint id and size. A peer that never
+/// checkpointed replies with an invalid tuple (still counted toward QR).
+struct CheckpointInfoMsg final : sim::Message {
+  std::uint64_t query_id = 0;
+  ProcessId replica = kInvalidProcess;
+  CheckpointTuple tuple;
+  std::size_t size_bytes = 0;
+
+  std::size_t wire_size() const override {
+    return kHeaderBytes + 16 + tuple.groups.size() * 12;
+  }
+  int type() const override { return kCheckpointInfo; }
+  const char* name() const override { return "CheckpointInfo"; }
+};
+
+/// Recovering replica -> chosen peer: send me your checkpoint state.
+struct CheckpointFetchMsg final : sim::Message {
+  std::uint64_t query_id = 0;
+
+  std::size_t wire_size() const override { return kHeaderBytes + 8; }
+  int type() const override { return kCheckpointFetch; }
+  const char* name() const override { return "CheckpointFetch"; }
+};
+
+/// Peer -> recovering replica: checkpoint state transfer. `state` is the
+/// service-defined immutable snapshot object; `size_bytes` is what the
+/// network model charges for the transfer.
+struct CheckpointDataMsg final : sim::Message {
+  std::uint64_t query_id = 0;
+  CheckpointTuple tuple;
+  std::size_t size_bytes = 0;
+  std::shared_ptr<const void> state;
+
+  std::size_t wire_size() const override { return kHeaderBytes + size_bytes; }
+  int type() const override { return kCheckpointData; }
+  const char* name() const override { return "CheckpointData"; }
+};
+
+}  // namespace amcast::core

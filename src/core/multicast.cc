@@ -1,0 +1,212 @@
+#include "core/multicast.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace amcast::core {
+
+bool tuple_le(const CheckpointTuple& a, const CheckpointTuple& b) {
+  AMCAST_ASSERT_MSG(a.groups == b.groups,
+                    "tuples comparable only within one partition");
+  for (std::size_t i = 0; i < a.next.size(); ++i) {
+    if (a.next[i] > b.next[i]) return false;
+  }
+  return true;
+}
+
+MulticastNode::MulticastNode(ConfigRegistry& registry, sim::CpuParams cpu)
+    : ringpaxos::RingNode(registry, cpu), next_mid_(1) {}
+
+MulticastNode::~MulticastNode() = default;
+
+void MulticastNode::subscribe(GroupId g, RingOptions opts, MergeOptions merge) {
+  join_ring(g, /*learner=*/true, opts);
+  AMCAST_ASSERT(merge.m >= 1);
+  auto [it, inserted] = merge_.emplace(g, GroupMergeState{});
+  AMCAST_ASSERT_MSG(inserted, "already subscribed");
+  it->second.merge = merge;
+  subs_.push_back(g);
+  std::sort(subs_.begin(), subs_.end());
+}
+
+void MulticastNode::join_only(GroupId g, RingOptions opts) {
+  join_ring(g, /*learner=*/false, opts);
+}
+
+MessageId MulticastNode::multicast(GroupId g, std::size_t payload_size) {
+  MessageId mid = (MessageId(id()) + 1) << 40 | next_mid_++;
+  propose(g, ringpaxos::make_value(g, mid, id(), now(), payload_size));
+  return mid;
+}
+
+MessageId MulticastNode::multicast_bytes(GroupId g,
+                                         std::vector<std::uint8_t> bytes) {
+  MessageId mid = (MessageId(id()) + 1) << 40 | next_mid_++;
+  propose(g, ringpaxos::make_value_bytes(g, mid, id(), now(), std::move(bytes)));
+  return mid;
+}
+
+void MulticastNode::on_deliver(GroupId g, const ValuePtr& v) {
+  if (deliver_) deliver_(g, v);
+}
+
+void MulticastNode::on_ring_deliver(GroupId g, InstanceId first,
+                                    std::int32_t count, const ValuePtr& value) {
+  auto it = merge_.find(g);
+  AMCAST_ASSERT_MSG(it != merge_.end(), "delivery for unsubscribed group");
+  GroupMergeState& gs = it->second;
+  if (first + count <= gs.next_expected) return;  // stale (recovery overlap)
+  gs.queue.push_back(GroupMergeState::Item{first, count, value, 0});
+  run_merge();
+}
+
+void MulticastNode::run_merge() {
+  if (subs_.empty()) return;
+  while (true) {
+    if (rr_remaining_ == 0) {
+      // Boundary before consuming from subs_[rr_index_].
+      rr_remaining_ = merge_.at(subs_[rr_index_]).merge.m;
+    }
+    GroupMergeState& gs = merge_.at(subs_[rr_index_]);
+    if (gs.queue.empty()) return;  // stalled until this ring produces more
+    auto& item = gs.queue.front();
+
+    // Ring output is in-order; the item must start at the merge cursor.
+    AMCAST_ASSERT(item.first + item.consumed == gs.next_expected);
+
+    std::int32_t avail = item.count - item.consumed;
+    std::int32_t take = std::min(avail, rr_remaining_);
+    AMCAST_ASSERT(take >= 1);
+    bool deliver_now = !item.value->is_skip() && item.consumed == 0;
+    ValuePtr v = item.value;
+    item.consumed += take;
+    gs.next_expected += take;
+    rr_remaining_ -= take;
+    if (item.consumed == item.count) gs.queue.pop_front();
+    if (deliver_now) {
+      ++delivered_count_;
+      on_deliver(subs_[rr_index_], v);
+    }
+    if (rr_remaining_ == 0) {
+      rr_index_ = (rr_index_ + 1) % subs_.size();
+      if (rr_index_ == 0 && !boundary_waiters_.empty()) {
+        auto waiters = std::move(boundary_waiters_);
+        boundary_waiters_.clear();
+        for (auto& w : waiters) w();
+      }
+    }
+  }
+}
+
+void MulticastNode::at_merge_boundary(std::function<void()> cb) {
+  if (subs_.empty() || (rr_remaining_ == 0 && rr_index_ == 0)) {
+    cb();
+    return;
+  }
+  boundary_waiters_.push_back(std::move(cb));
+}
+
+CheckpointTuple MulticastNode::merge_cursor() const {
+  CheckpointTuple t;
+  for (GroupId g : subs_) {
+    t.groups.push_back(g);
+    t.next.push_back(merge_.at(g).next_expected);
+  }
+  // Predicate 1 (paper §5.2): ascending group ids deliver in round-robin
+  // order, so earlier groups are at least as advanced — modulo the skew of
+  // one in-progress round-robin cycle, which is bounded by each group's M.
+  return t;
+}
+
+void MulticastNode::reset_merge(const CheckpointTuple& tuple) {
+  AMCAST_ASSERT(tuple.groups == subs_);
+  for (std::size_t i = 0; i < subs_.size(); ++i) {
+    GroupMergeState& gs = merge_.at(subs_[i]);
+    gs.queue.clear();
+    gs.next_expected = tuple.next[i];
+    set_delivery_cursor(subs_[i], tuple.next[i]);
+  }
+  rr_index_ = 0;
+  rr_remaining_ = 0;
+}
+
+void MulticastNode::clear_merge_queues() {
+  for (auto& [g, gs] : merge_) gs.queue.clear();
+  rr_index_ = 0;
+  rr_remaining_ = 0;
+}
+
+void MulticastNode::enable_trim(GroupId g, TrimOptions opts) {
+  AMCAST_ASSERT_MSG(!opts.partitions.empty(),
+                    "trim needs the subscribing partitions");
+  auto [it, inserted] = trim_.emplace(g, TrimState{});
+  AMCAST_ASSERT_MSG(inserted, "trim already enabled for group");
+  it->second.opts = std::move(opts);
+  set_periodic(it->second.opts.interval,
+               [this, g] { handle_trim_query_timer(g); });
+}
+
+void MulticastNode::handle_trim_query_timer(GroupId g) {
+  auto& ts = trim_.at(g);
+  ts.current_query = ts.next_query++;
+  ts.replies.clear();
+  auto q = std::make_shared<TrimQueryMsg>();
+  q->group = g;
+  q->query_id = ts.current_query;
+  for (const auto& part : ts.opts.partitions) {
+    for (ProcessId p : part) send(p, q);
+  }
+}
+
+void MulticastNode::handle_trim_reply(const TrimReplyMsg& m) {
+  auto it = trim_.find(m.group);
+  if (it == trim_.end()) return;
+  TrimState& ts = it->second;
+  if (m.query_id != ts.current_query) return;  // stale round
+  ts.replies[m.replica] = m.safe_next;
+
+  // QT: a majority of every subscribing partition (this guarantees QT
+  // intersects any partition's recovery quorum QR; paper Predicates 2-5).
+  for (const auto& part : ts.opts.partitions) {
+    std::size_t have = 0;
+    for (ProcessId p : part) have += ts.replies.count(p);
+    if (have < part.size() / 2 + 1) return;  // quorum not yet complete
+  }
+
+  InstanceId k = std::numeric_limits<InstanceId>::max();
+  for (const auto& [p, safe] : ts.replies) k = std::min(k, safe);
+  ts.current_query = 0;  // round done
+  if (k <= 0) return;    // nothing safely checkpointed yet
+
+  sim().metrics().counter("recovery.trim_rounds")++;
+  auto cmd = std::make_shared<TrimCommandMsg>();
+  cmd->group = m.group;
+  cmd->trim_next = k;
+  for (ProcessId a : registry().ring(m.group).acceptors) send(a, cmd);
+}
+
+void MulticastNode::handle_trim_command(const TrimCommandMsg& m) {
+  auto* st = storage(m.group);
+  if (st == nullptr) return;
+  // The checkpoint covers instances below trim_next; everything strictly
+  // below may be deleted.
+  st->trim(m.trim_next - 1);
+  sim().metrics().counter("recovery.acceptor_trims")++;
+  sim().metrics().series("recovery.trim_events").hit(now());
+}
+
+void MulticastNode::on_message(ProcessId from, const MessagePtr& m) {
+  switch (m->type()) {
+    case kTrimReply:
+      handle_trim_reply(msg_cast<TrimReplyMsg>(m));
+      return;
+    case kTrimCommand:
+      handle_trim_command(msg_cast<TrimCommandMsg>(m));
+      return;
+    default:
+      ringpaxos::RingNode::on_message(from, m);
+      return;
+  }
+}
+
+}  // namespace amcast::core

@@ -1,0 +1,146 @@
+// Atomic multicast over Multi-Ring Paxos: the library's primary public API.
+//
+// A MulticastNode may subscribe to any set of multicast groups (the paper's
+// "inverted" group addressing, §3): it joins each group's ring as a learner
+// and merges the per-ring decision streams with the deterministic-merge
+// strategy of §4 — M consecutive instances from each subscribed ring, in
+// ascending group-id order, round-robin. Combined with the coordinators'
+// rate leveling (∆/λ skips, implemented in the ring layer), this yields
+// atomic multicast: agreement, validity, and acyclic delivery order.
+//
+// The node also hosts the trim-protocol coordinator role of §5.2 for rings
+// it coordinates (enable_trim), and serves acceptor-side trim commands.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+
+#include "core/messages.h"
+#include "ringpaxos/node.h"
+
+namespace amcast::core {
+
+using ringpaxos::ConfigRegistry;
+using ringpaxos::RingOptions;
+using ringpaxos::Value;
+using ringpaxos::ValuePtr;
+
+/// Parameters of the deterministic merge (paper §4).
+struct MergeOptions {
+  std::int32_t m = 1;  ///< instances delivered per ring per round-robin turn
+};
+
+/// Trim-protocol configuration for one coordinated group (paper §5.2).
+struct TrimOptions {
+  Duration interval = duration::seconds(10);
+  /// Partitions of replicas subscribing to the group. The trim quorum QT
+  /// requires a majority of each partition, which guarantees intersection
+  /// with any partition's recovery quorum QR (Predicates 2-5).
+  std::vector<std::vector<ProcessId>> partitions;
+};
+
+class MulticastNode : public ringpaxos::RingNode {
+ public:
+  explicit MulticastNode(ConfigRegistry& registry,
+                         sim::CpuParams cpu = sim::Presets::server_cpu());
+  ~MulticastNode() override;
+
+  /// Subscribes to group `g`: joins the ring as learner and includes it in
+  /// the deterministic merge. Groups must be subscribed before traffic
+  /// starts. The node must be a ring member.
+  void subscribe(GroupId g, RingOptions opts, MergeOptions merge = {});
+
+  /// Joins the ring of `g` without subscribing (pure acceptor/forwarder
+  /// duty — e.g., a dedicated acceptor box).
+  void join_only(GroupId g, RingOptions opts);
+
+  /// Atomic multicast of an application payload to group `g` (paper §2
+  /// primitive multicast(γ, m)). Returns the message id used, which also
+  /// tags the eventual delivery.
+  MessageId multicast(GroupId g, std::size_t payload_size);
+  MessageId multicast_bytes(GroupId g, std::vector<std::uint8_t> bytes);
+
+  /// Delivery callback (paper §2 primitive deliver(m)): invoked in merge
+  /// order for every application value of every subscribed group.
+  using DeliverFn = std::function<void(GroupId, const ValuePtr&)>;
+  void set_deliver(DeliverFn fn) { deliver_ = std::move(fn); }
+
+  /// Enables the §5.2 trim coordinator for a group this node coordinates.
+  void enable_trim(GroupId g, TrimOptions opts);
+
+  /// The current merge cursor: for each subscribed group, the next instance
+  /// to consume. This is the checkpoint tuple of paper §5.2; Predicate 1
+  /// (x < y => k[x] >= k[y]) holds by construction and is asserted.
+  CheckpointTuple merge_cursor() const;
+
+  /// Runs `cb` at the next round-robin boundary (all groups consumed an
+  /// equal number of rounds). Checkpoints must be cut at boundaries so that
+  /// a recovering replica resuming the round-robin from group 0 reproduces
+  /// the exact delivery interleaving of the donor replica. Fires
+  /// immediately if the merge is already at a boundary.
+  void at_merge_boundary(std::function<void()> cb);
+
+  /// Subscribed groups in ascending id order.
+  const std::vector<GroupId>& subscriptions() const { return subs_; }
+
+  /// Total application values delivered through the merge.
+  std::int64_t delivered_count() const { return delivered_count_; }
+
+  void on_message(ProcessId from, const MessagePtr& m) override;
+
+ protected:
+  /// Subclasses (replicas) can extend delivery; default invokes deliver_.
+  virtual void on_deliver(GroupId g, const ValuePtr& v);
+
+  /// Ring layer feed: per-ring, in instance order.
+  void on_ring_deliver(GroupId g, InstanceId first, std::int32_t count,
+                       const ValuePtr& value) override;
+
+  /// Resets the merge machinery to a checkpoint tuple (recovery): delivery
+  /// cursors move to `tuple.next`, queued fragments below are dropped, and
+  /// the round-robin restarts from the first group.
+  void reset_merge(const CheckpointTuple& tuple);
+
+  /// Clears queued-but-unmerged items (crash wipes learner memory).
+  void clear_merge_queues();
+
+ private:
+  struct GroupMergeState {
+    MergeOptions merge;
+    // Decided-but-unmerged ring output, in instance order. An item is a
+    // range [first, first+count) carrying one value (count>1 only skips).
+    struct Item {
+      InstanceId first;
+      std::int32_t count;
+      ValuePtr value;
+      std::int32_t consumed = 0;  // instances of this item already merged
+    };
+    std::deque<Item> queue;
+    InstanceId next_expected = 0;  ///< merge cursor for this group
+  };
+
+  void run_merge();
+  void handle_trim_query_timer(GroupId g);
+  void handle_trim_reply(const TrimReplyMsg& m);
+  void handle_trim_command(const TrimCommandMsg& m);
+
+  DeliverFn deliver_;
+  std::vector<GroupId> subs_;  ///< ascending
+  std::map<GroupId, GroupMergeState> merge_;
+  std::size_t rr_index_ = 0;       ///< current group in the round-robin
+  std::int32_t rr_remaining_ = 0;  ///< instances still owed by this group
+  std::int64_t delivered_count_ = 0;
+
+  struct TrimState {
+    TrimOptions opts;
+    std::uint64_t next_query = 1;
+    std::uint64_t current_query = 0;
+    std::map<ProcessId, InstanceId> replies;
+  };
+  std::map<GroupId, TrimState> trim_;
+  std::vector<std::function<void()>> boundary_waiters_;
+  MessageId next_mid_;
+};
+
+}  // namespace amcast::core

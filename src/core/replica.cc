@@ -1,0 +1,337 @@
+#include "core/replica.h"
+
+#include <algorithm>
+
+#include "ringpaxos/messages.h"
+
+namespace amcast::core {
+
+ReplicaNode::ReplicaNode(ConfigRegistry& registry, ReplicaOptions opts,
+                         sim::CpuParams cpu)
+    : MulticastNode(registry, cpu), opts_(std::move(opts)) {}
+
+ReplicaNode::~ReplicaNode() = default;
+
+void ReplicaNode::log_event(std::string what) {
+  events_.emplace_back(now(), std::move(what));
+}
+
+void ReplicaNode::start_checkpointing() {
+  if (opts_.checkpoint_interval <= 0 || checkpoint_timer_armed_) return;
+  checkpoint_timer_armed_ = true;
+  set_periodic(opts_.checkpoint_interval, [this] {
+    if (!recovering_) do_checkpoint();
+  });
+}
+
+void ReplicaNode::checkpoint_now() { do_checkpoint(); }
+
+void ReplicaNode::do_checkpoint() {
+  if (checkpointing_) return;
+  checkpointing_ = true;
+  // Cut the snapshot at a merge round boundary so that recovery can resume
+  // the round-robin from group 0 and reproduce the delivery interleaving.
+  at_merge_boundary([this] {
+    Snapshot snap = make_snapshot();
+    snap.tuple = merge_cursor();
+    log_event("checkpoint.start");
+    // Synchronous checkpoint write (paper §7.2: MRP-Store replicas write
+    // checkpoints synchronously to disk).
+    disk(opts_.checkpoint_disk).write(snap.size_bytes, [this, snap] {
+      durable_ = snap;
+      checkpointing_ = false;
+      sim().metrics().counter("recovery.checkpoints")++;
+      log_event("checkpoint.durable");
+    });
+  });
+}
+
+void ReplicaNode::handle_trim_query(ProcessId from, const TrimQueryMsg& m) {
+  auto reply = std::make_shared<TrimReplyMsg>();
+  reply->group = m.group;
+  reply->query_id = m.query_id;
+  reply->replica = id();
+  reply->safe_next = 0;
+  if (durable_.valid()) {
+    const auto& t = durable_.tuple;
+    for (std::size_t i = 0; i < t.groups.size(); ++i) {
+      if (t.groups[i] == m.group) {
+        reply->safe_next = t.next[i];
+        break;
+      }
+    }
+  }
+  send(from, reply);
+}
+
+void ReplicaNode::on_restart() {
+  // Volatile state (service state, learner buffers, merge queues) is gone;
+  // the disk checkpoint (durable_) survives.
+  log_event("restart");
+  clear_state();
+  clear_merge_queues();
+  for (GroupId g : subscriptions()) reset_learner(g);
+  checkpointing_ = false;
+  checkpoint_timer_armed_ = false;
+  begin_recovery();
+}
+
+void ReplicaNode::begin_recovery() {
+  recovering_ = true;
+  snapshot_installed_ = false;
+  peer_info_.clear();
+  catch_up_pending_.clear();
+  decision_timer_armed_ = false;
+  recovery_query_ = next_recovery_query_++;
+  log_event("recovery.start");
+  sim().metrics().counter("recovery.recoveries")++;
+
+  auto q = std::make_shared<CheckpointQueryMsg>();
+  q->query_id = recovery_query_;
+  for (ProcessId p : opts_.partition) {
+    if (p != id()) send(p, q);
+  }
+  // Count ourselves (own disk checkpoint) toward the recovery quorum; if the
+  // partition is just us, decide immediately.
+  if (opts_.partition.size() <= 1) decide_recovery_source();
+
+  // Periodic driver: requests retransmissions until caught up.
+  std::uint64_t query = recovery_query_;
+  set_periodic(duration::milliseconds(200), [this, query] {
+    if (!recovering_ || recovery_query_ != query) return;
+    // Loss timeout: abandon a request only after a generous in-transit
+    // allowance (bulk replies may sit behind a backlog for a while).
+    for (auto& [g, nonce] : catch_up_inflight_) {
+      if (nonce != 0 && now() - catch_up_sent_[g] > duration::seconds(2)) {
+        nonce = 0;
+      }
+    }
+    maybe_finish_recovery();
+  });
+}
+
+void ReplicaNode::handle_checkpoint_query(ProcessId from,
+                                          const CheckpointQueryMsg& m) {
+  auto info = std::make_shared<CheckpointInfoMsg>();
+  info->query_id = m.query_id;
+  info->replica = id();
+  if (durable_.valid()) {
+    info->tuple = durable_.tuple;
+    info->size_bytes = durable_.size_bytes;
+  }
+  send(from, info);
+}
+
+void ReplicaNode::handle_checkpoint_info(const CheckpointInfoMsg& m) {
+  if (!recovering_ || m.query_id != recovery_query_) return;
+  Snapshot s;
+  s.tuple = m.tuple;
+  s.size_bytes = m.size_bytes;
+  peer_info_[m.replica] = std::move(s);
+
+  // QR: majority of the partition, counting this replica itself.
+  std::size_t have = peer_info_.size() + 1;
+  if (have < opts_.partition.size() / 2 + 1) return;
+  if (decision_timer_armed_) return;
+  decision_timer_armed_ = true;
+  // Give stragglers a moment — a fresher checkpoint shortens catch-up.
+  std::uint64_t query = recovery_query_;
+  set_timer(opts_.recovery_decision_delay, [this, query] {
+    if (recovering_ && recovery_query_ == query && !snapshot_installed_) {
+      decide_recovery_source();
+    }
+  });
+}
+
+void ReplicaNode::decide_recovery_source() {
+  // Pick the most up-to-date checkpoint in the quorum (Predicate 3): tuples
+  // within one partition are totally ordered, so "max" is well defined.
+  ProcessId best_peer = kInvalidProcess;
+  const CheckpointTuple* best = durable_.valid() ? &durable_.tuple : nullptr;
+  for (const auto& [p, s] : peer_info_) {
+    if (!s.tuple.valid()) continue;
+    if (best == nullptr || tuple_le(*best, s.tuple)) {
+      best = &s.tuple;
+      best_peer = p;
+    }
+  }
+
+  if (best == nullptr) {
+    // Nobody ever checkpointed: recover purely from the acceptor logs.
+    log_event("recovery.no_checkpoint");
+    Snapshot empty;
+    empty.tuple.groups = subscriptions();
+    empty.tuple.next.assign(subscriptions().size(), 0);
+    install_and_catch_up(std::move(empty), /*remote=*/false);
+    return;
+  }
+
+  if (best_peer == kInvalidProcess) {
+    // Our own disk checkpoint is the freshest: read and install it.
+    log_event("recovery.local_checkpoint");
+    disk(opts_.checkpoint_disk)
+        .read(durable_.size_bytes,
+              [this, snap = durable_] { install_and_catch_up(snap, false); });
+    return;
+  }
+
+  // Fetch the remote checkpoint (paper §5.1 optimization / §5.2: a replica
+  // may only install a checkpoint from its own partition).
+  log_event("recovery.fetch_remote");
+  auto fetch = std::make_shared<CheckpointFetchMsg>();
+  fetch->query_id = recovery_query_;
+  send(best_peer, fetch);
+}
+
+void ReplicaNode::handle_checkpoint_fetch(ProcessId from,
+                                          const CheckpointFetchMsg& m) {
+  if (!durable_.valid()) return;
+  auto data = std::make_shared<CheckpointDataMsg>();
+  data->query_id = m.query_id;
+  data->tuple = durable_.tuple;
+  data->size_bytes = durable_.size_bytes;
+  data->state = durable_.state;
+  send(from, data);  // big transfer: wire_size includes size_bytes
+  sim().metrics().counter("recovery.state_transfers")++;
+}
+
+void ReplicaNode::handle_checkpoint_data(const CheckpointDataMsg& m) {
+  if (!recovering_ || m.query_id != recovery_query_ || snapshot_installed_) {
+    return;
+  }
+  Snapshot s;
+  s.tuple = m.tuple;
+  s.size_bytes = m.size_bytes;
+  s.state = m.state;
+  install_and_catch_up(std::move(s), /*remote=*/true);
+}
+
+void ReplicaNode::install_and_catch_up(Snapshot snap, bool remote) {
+  AMCAST_ASSERT(!snapshot_installed_);
+  snapshot_installed_ = true;
+  log_event(remote ? "recovery.install_remote" : "recovery.install_local");
+  install_snapshot(snap);
+  reset_merge(snap.tuple);
+  if (remote) {
+    // Persist the installed checkpoint locally so this replica can answer
+    // future trim queries and recoveries.
+    disk(opts_.checkpoint_disk).write(snap.size_bytes, [this, snap] {
+      durable_ = snap;
+    });
+  }
+  for (GroupId g : subscriptions()) catch_up_pending_[g] = true;
+  catch_up_inflight_.clear();
+  maybe_finish_recovery();
+}
+
+void ReplicaNode::request_catch_up(GroupId g, InstanceId from) {
+  // One outstanding request per group: replies are multi-megabyte, so an
+  // unbounded request stream would grow the reply channel's queue faster
+  // than it drains and fresh chunks would never reach the head.
+  if (catch_up_inflight_[g] != 0) return;
+  std::uint64_t nonce = next_nonce_++;
+  catch_up_inflight_[g] = nonce;
+  catch_up_sent_[g] = now();
+  const auto& acceptors = registry().ring(g).acceptors;
+  AMCAST_ASSERT(!acceptors.empty());
+  // Rotate over the acceptors (skipping ourselves) so catch-up load spreads
+  // and a single slow acceptor cannot gate the whole recovery.
+  ProcessId target = kInvalidProcess;
+  for (std::size_t k = 0; k < acceptors.size(); ++k) {
+    ProcessId a = acceptors[(catch_up_rr_++) % acceptors.size()];
+    if (a != id()) {
+      target = a;
+      break;
+    }
+  }
+  if (target == kInvalidProcess) target = acceptors.front();
+  auto req = std::make_shared<ringpaxos::RetransmitRequestMsg>();
+  req->ring = g;
+  req->from_instance = from;
+  req->to_instance = kInvalidInstance;
+  req->nonce = nonce;
+  send(target, req);
+}
+
+void ReplicaNode::handle_retransmit_reply(
+    const ringpaxos::RetransmitReplyMsg& m) {
+  if (!recovering_ || !snapshot_installed_) return;
+  // Only the reply matching the outstanding request drives the state
+  // machine; superseded replies (e.g. queued during a burst) still carry
+  // valid decided entries, so inject them, but let them neither re-arm the
+  // request pipeline nor decide completion — otherwise a backlog of stale
+  // replies regenerates itself one-for-one and the fresh chunk never
+  // reaches the head of the queue.
+  bool current = catch_up_inflight_[m.ring] == m.nonce && m.nonce != 0;
+  if (current) catch_up_inflight_[m.ring] = 0;
+  InstanceId cursor = next_to_deliver(m.ring);
+  if (m.trimmed_below > cursor) {
+    // Predicate 5 violated — only possible with misconfigured quorums. Fall
+    // back to a fresh recovery round (newer checkpoints must exist).
+    sim().metrics().counter("recovery.too_old")++;
+    log_event("recovery.checkpoint_too_old");
+    begin_recovery();
+    return;
+  }
+  for (const auto& e : m.entries) {
+    inject_decided(m.ring, e.instance, e.count, e.value);
+  }
+  if (!current) return;
+  auto it = catch_up_pending_.find(m.ring);
+  if (it != catch_up_pending_.end()) {
+    // Caught up when the ring cursor passed everything the acceptor had
+    // decided at reply time (live traffic continues above that point).
+    if (m.highest_decided == kInvalidInstance ||
+        next_to_deliver(m.ring) > m.highest_decided) {
+      it->second = false;
+    }
+  }
+  maybe_finish_recovery();
+}
+
+void ReplicaNode::maybe_finish_recovery() {
+  if (!recovering_ || !snapshot_installed_) return;
+  bool all_done = true;
+  for (auto& [g, pending] : catch_up_pending_) {
+    if (pending) {
+      all_done = false;
+      request_catch_up(g, next_to_deliver(g));
+    }
+  }
+  if (!all_done) return;
+  recovering_ = false;
+  log_event("recovery.done");
+  sim().metrics().counter("recovery.completed")++;
+  start_checkpointing();
+  // Re-establish a durable checkpoint reflecting the recovered state soon.
+  checkpoint_now();
+  on_recovered();
+}
+
+void ReplicaNode::on_message(ProcessId from, const MessagePtr& m) {
+  switch (m->type()) {
+    case kTrimQuery:
+      handle_trim_query(from, msg_cast<TrimQueryMsg>(m));
+      return;
+    case kCheckpointQuery:
+      handle_checkpoint_query(from, msg_cast<CheckpointQueryMsg>(m));
+      return;
+    case kCheckpointInfo:
+      handle_checkpoint_info(msg_cast<CheckpointInfoMsg>(m));
+      return;
+    case kCheckpointFetch:
+      handle_checkpoint_fetch(from, msg_cast<CheckpointFetchMsg>(m));
+      return;
+    case kCheckpointData:
+      handle_checkpoint_data(msg_cast<CheckpointDataMsg>(m));
+      return;
+    case ringpaxos::kRetransmitReply:
+      handle_retransmit_reply(msg_cast<ringpaxos::RetransmitReplyMsg>(m));
+      return;
+    default:
+      MulticastNode::on_message(from, m);
+      return;
+  }
+}
+
+}  // namespace amcast::core

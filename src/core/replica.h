@@ -1,0 +1,142 @@
+// ReplicaNode: a service replica on top of atomic multicast, with the
+// complete recovery machinery of paper §5.2.
+//
+//  * Periodic checkpoints: the service serializes its state; the snapshot is
+//    identified by the merge-cursor tuple (one entry per subscribed group)
+//    and written synchronously to the replica's disk. Tuples are cut at
+//    merge round boundaries so resuming the round-robin reproduces the
+//    donor's delivery interleaving.
+//  * Trim participation: the replica answers the ring coordinators' trim
+//    queries with the per-group instance its last durable checkpoint covers
+//    (k[x]p, Predicate 2).
+//  * Recovery: after a crash+restart the replica (a) reloads its own disk
+//    checkpoint, (b) queries partition peers and waits for a recovery
+//    quorum QR (majority of the partition), (c) installs the most recent
+//    checkpoint available (Predicate 3) — fetching state from the peer if
+//    remote — and (d) replays missing instances retrieved from acceptors.
+//    Predicate 5 (KT <= KR) guarantees the acceptors still have them.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "core/multicast.h"
+
+namespace amcast::core {
+
+/// Recovery/durability configuration for a replica.
+struct ReplicaOptions {
+  /// Partition: all replicas (including this one) that subscribe to exactly
+  /// the same groups. Remote checkpoints can only come from here.
+  std::vector<ProcessId> partition;
+
+  /// Checkpoint cadence; 0 disables checkpointing (no trims happen then).
+  Duration checkpoint_interval = duration::seconds(30);
+
+  /// Disk used for synchronous checkpoint writes.
+  int checkpoint_disk = 0;
+
+  /// How long to wait for straggler CheckpointInfo replies before deciding
+  /// with the quorum at hand.
+  Duration recovery_decision_delay = duration::milliseconds(50);
+};
+
+/// A service snapshot: immutable state handle plus the checkpoint tuple and
+/// the byte size charged to disks and links.
+struct Snapshot {
+  CheckpointTuple tuple;
+  std::size_t size_bytes = 0;
+  std::shared_ptr<const void> state;  ///< service-defined; may be null
+  bool valid() const { return tuple.valid(); }
+};
+
+class ReplicaNode : public MulticastNode {
+ public:
+  ReplicaNode(ConfigRegistry& registry, ReplicaOptions opts,
+              sim::CpuParams cpu = sim::Presets::server_cpu());
+  ~ReplicaNode() override;
+
+  /// Arms periodic checkpointing (call after subscriptions are set up).
+  void start_checkpointing();
+
+  /// Sets the partition membership (replicas with identical subscriptions,
+  /// this one included). Must be set before any recovery runs; typically
+  /// right after all replicas are constructed and their ids are known.
+  void set_partition(std::vector<ProcessId> partition) {
+    opts_.partition = std::move(partition);
+  }
+
+  /// Takes one checkpoint now (at the next merge boundary).
+  void checkpoint_now();
+
+  /// Last checkpoint made durable on this replica's disk.
+  const Snapshot& last_durable_checkpoint() const { return durable_; }
+
+  /// True while the §5.2 recovery protocol is running.
+  bool recovering() const { return recovering_; }
+
+  /// Human-readable recovery/checkpoint event log: (time, event). Used by
+  /// the Figure 8 bench to annotate the timeline.
+  const std::vector<std::pair<Time, std::string>>& events() const {
+    return events_;
+  }
+
+  void on_message(ProcessId from, const MessagePtr& m) override;
+
+  /// Crash/restart hook: wipes volatile state and starts recovery.
+  void on_restart() override;
+
+ protected:
+  /// Service hook: serialize current state (cheap immutable handle).
+  virtual Snapshot make_snapshot() = 0;
+
+  /// Service hook: replace state with a snapshot's (remote or local).
+  virtual void install_snapshot(const Snapshot& s) = 0;
+
+  /// Service hook: wipe volatile state after a crash, before recovery.
+  virtual void clear_state() = 0;
+
+  /// Service hook: called when recovery finished and the replica is live.
+  virtual void on_recovered() {}
+
+  void log_event(std::string what);
+
+ private:
+  void do_checkpoint();
+  void begin_recovery();
+  void decide_recovery_source();
+  void install_and_catch_up(Snapshot snap, bool remote);
+  void request_catch_up(GroupId g, InstanceId from);
+  void handle_checkpoint_query(ProcessId from, const CheckpointQueryMsg& m);
+  void handle_checkpoint_info(const CheckpointInfoMsg& m);
+  void handle_checkpoint_fetch(ProcessId from, const CheckpointFetchMsg& m);
+  void handle_checkpoint_data(const CheckpointDataMsg& m);
+  void handle_retransmit_reply(const ringpaxos::RetransmitReplyMsg& m);
+  void handle_trim_query(ProcessId from, const TrimQueryMsg& m);
+  void maybe_finish_recovery();
+
+  ReplicaOptions opts_;
+  Snapshot durable_;     ///< last checkpoint completed to disk
+  bool checkpointing_ = false;
+  bool checkpoint_timer_armed_ = false;
+
+  // --- recovery state ---
+  bool recovering_ = false;
+  std::uint64_t recovery_query_ = 0;
+  std::map<ProcessId, Snapshot> peer_info_;  ///< CheckpointInfo replies
+  bool decision_timer_armed_ = false;
+  std::map<GroupId, bool> catch_up_pending_;
+  /// One outstanding retransmit request per group; re-armed by replies and
+  /// by the periodic driver (which also acts as the loss timeout).
+  std::map<GroupId, std::uint64_t> catch_up_inflight_;  ///< nonce, 0 = none
+  std::map<GroupId, Time> catch_up_sent_;  ///< request time (loss timeout)
+  std::uint64_t next_nonce_ = 1;
+  std::size_t catch_up_rr_ = 0;  ///< rotating acceptor choice
+  bool snapshot_installed_ = false;
+
+  std::vector<std::pair<Time, std::string>> events_;
+  std::uint64_t next_recovery_query_ = 1;
+};
+
+}  // namespace amcast::core

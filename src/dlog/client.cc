@@ -1,0 +1,111 @@
+#include "dlog/client.h"
+
+namespace amcast::dlog {
+
+DLogClient::DLogClient(core::ConfigRegistry& registry, DLogClientOptions opts,
+                       Generator gen, sim::CpuParams cpu)
+    : core::MulticastNode(registry, cpu),
+      opts_(std::move(opts)),
+      gen_(std::move(gen)),
+      rng_(opts_.seed) {
+  AMCAST_ASSERT(opts_.threads >= 1);
+  AMCAST_ASSERT(!opts_.log_groups.empty());
+  threads_.resize(std::size_t(opts_.threads));
+  if (opts_.proposal_timeout > 0) {
+    set_default_proposal_timeout(opts_.proposal_timeout);
+  }
+}
+
+void DLogClient::on_start() {
+  for (int t = 0; t < opts_.threads; ++t) issue(t);
+}
+
+void DLogClient::issue(int thread) {
+  if (stopped_) return;
+  ThreadState& ts = threads_[std::size_t(thread)];
+  Command c = gen_(thread, rng_);
+  c.client = id();
+  c.thread = thread;
+  c.seq = ++next_seq_;
+  ts.seq = c.seq;
+  ts.issued_at = now();
+  ts.op = c.op;
+  ts.msg_ids.clear();
+
+  GroupId ring;
+  if (c.op == Op::kMultiAppend) {
+    AMCAST_ASSERT_MSG(opts_.shared_group != kInvalidGroup,
+                      "multi-append needs a shared ring");
+    ring = opts_.shared_group;
+  } else {
+    AMCAST_ASSERT(!c.logs.empty());
+    auto it = opts_.log_groups.find(c.logs.front());
+    AMCAST_ASSERT_MSG(it != opts_.log_groups.end(), "unknown log");
+    ring = it->second;
+  }
+  dispatch(c, ring);
+}
+
+void DLogClient::dispatch(const Command& c, GroupId ring) {
+  if (opts_.batch_bytes == 0) {
+    CommandBatch b;
+    b.commands.push_back(c);
+    MessageId mid = multicast_bytes(ring, b.encode());
+    threads_[std::size_t(c.thread)].msg_ids.push_back(mid);
+    return;
+  }
+  RingBuffer& buf = buffers_[ring];
+  buf.bytes += c.encoded_size();
+  buf.batch.commands.push_back(c);
+  if (buf.bytes >= opts_.batch_bytes) {
+    flush(ring);
+    return;
+  }
+  if (!buf.flush_scheduled) {
+    buf.flush_scheduled = true;
+    set_timer(opts_.batch_delay, [this, ring] {
+      buffers_[ring].flush_scheduled = false;
+      flush(ring);
+    });
+  }
+}
+
+void DLogClient::flush(GroupId ring) {
+  RingBuffer& buf = buffers_[ring];
+  if (buf.batch.commands.empty()) return;
+  CommandBatch b = std::move(buf.batch);
+  buf.batch.commands.clear();
+  buf.bytes = 0;
+  MessageId mid = multicast_bytes(ring, b.encode());
+  for (const auto& c : b.commands) {
+    ThreadState& ts = threads_[std::size_t(c.thread)];
+    if (ts.seq == c.seq) ts.msg_ids.push_back(mid);
+  }
+}
+
+void DLogClient::on_message(ProcessId from, const MessagePtr& m) {
+  if (m->type() != kDLogResponse) {
+    core::MulticastNode::on_message(from, m);
+    return;
+  }
+  const auto& resp = msg_cast<DLogResponseMsg>(m);
+  for (const auto& r : resp.results) {
+    if (r.thread < 0 || r.thread >= opts_.threads) continue;
+    ThreadState& ts = threads_[std::size_t(r.thread)];
+    if (r.seq != ts.seq) continue;  // stale or already-completed command
+    for (MessageId mid : ts.msg_ids) clear_proposal(mid);
+    ts.msg_ids.clear();
+    ts.seq = 0;
+    ts.last_positions = r.positions;
+    Duration lat = now() - ts.issued_at;
+    auto& mm = sim().metrics();
+    mm.histogram(opts_.metric_prefix + ".latency").record_duration(lat);
+    mm.histogram(opts_.metric_prefix + ".latency." + op_name(ts.op))
+        .record_duration(lat);
+    mm.series(opts_.metric_prefix + ".tput").hit(now());
+    ++completed_;
+    issue(r.thread);
+  }
+}
+
+}  // namespace amcast::dlog

@@ -1,0 +1,75 @@
+// dLog client: closed-loop worker threads issuing log commands
+// (paper §7.3). Commands to a single log are multicast to that log's ring;
+// multi-append commands go to the shared ring every server subscribes to.
+// The first server response completes a command; batches of up to 32 KB are
+// formed per target ring when batching is enabled.
+#pragma once
+
+#include <functional>
+#include <map>
+
+#include "core/multicast.h"
+#include "dlog/messages.h"
+
+namespace amcast::dlog {
+
+struct DLogClientOptions {
+  int threads = 1;
+  std::map<LogId, GroupId> log_groups;  ///< ring of each log
+  GroupId shared_group = kInvalidGroup;  ///< multi-append ring
+  std::size_t batch_bytes = 0;
+  Duration batch_delay = duration::microseconds(500);
+  Duration proposal_timeout = 0;
+  std::string metric_prefix = "dlog";
+  std::uint64_t seed = 1;
+};
+
+class DLogClient : public core::MulticastNode {
+ public:
+  using Generator = std::function<Command(int thread, Rng& rng)>;
+
+  DLogClient(core::ConfigRegistry& registry, DLogClientOptions opts,
+             Generator gen, sim::CpuParams cpu = sim::Presets::server_cpu());
+
+  void on_start() override;
+  void on_message(ProcessId from, const MessagePtr& m) override;
+
+  void stop() { stopped_ = true; }
+  std::int64_t completed() const { return completed_; }
+
+  /// Positions returned by the most recent completed command per thread
+  /// (append/multi-append results for assertions in tests/examples).
+  const std::vector<std::int64_t>& last_positions(int thread) const {
+    return threads_[std::size_t(thread)].last_positions;
+  }
+
+ private:
+  struct ThreadState {
+    std::uint64_t seq = 0;
+    Time issued_at = 0;
+    Op op = Op::kAppend;
+    std::vector<std::int64_t> last_positions;
+    std::vector<MessageId> msg_ids;  ///< see KvClient: cleared on response
+  };
+
+  struct RingBuffer {
+    CommandBatch batch;
+    std::size_t bytes = 0;
+    bool flush_scheduled = false;
+  };
+
+  void issue(int thread);
+  void dispatch(const Command& c, GroupId ring);
+  void flush(GroupId ring);
+
+  DLogClientOptions opts_;
+  Generator gen_;
+  Rng rng_;
+  std::vector<ThreadState> threads_;
+  std::map<GroupId, RingBuffer> buffers_;
+  std::uint64_t next_seq_ = 0;
+  std::int64_t completed_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace amcast::dlog

@@ -1,0 +1,62 @@
+#include "dlog/command.h"
+
+namespace amcast::dlog {
+
+const char* op_name(Op op) {
+  switch (op) {
+    case Op::kAppend: return "append";
+    case Op::kMultiAppend: return "multi-append";
+    case Op::kRead: return "read";
+    case Op::kTrim: return "trim";
+  }
+  return "?";
+}
+
+void Command::encode(Encoder& e) const {
+  e.put_u8(std::uint8_t(op));
+  e.put_i32(client);
+  e.put_i32(thread);
+  e.put_u64(seq);
+  e.put_u32(std::uint32_t(logs.size()));
+  for (LogId l : logs) e.put_i32(l);
+  e.put_i64(position);
+  e.put_bytes(value);
+}
+
+Command Command::decode(Decoder& d) {
+  Command c;
+  c.op = Op(d.get_u8());
+  c.client = d.get_i32();
+  c.thread = d.get_i32();
+  c.seq = d.get_u64();
+  auto n = d.get_u32();
+  c.logs.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) c.logs.push_back(d.get_i32());
+  c.position = d.get_i64();
+  c.value = d.get_bytes();
+  return c;
+}
+
+std::size_t CommandBatch::encoded_size() const {
+  std::size_t n = 4;
+  for (const auto& c : commands) n += c.encoded_size();
+  return n;
+}
+
+std::vector<std::uint8_t> CommandBatch::encode() const {
+  Encoder e(encoded_size());
+  e.put_u32(std::uint32_t(commands.size()));
+  for (const auto& c : commands) c.encode(e);
+  return e.take();
+}
+
+CommandBatch CommandBatch::decode(const std::vector<std::uint8_t>& bytes) {
+  Decoder d(bytes);
+  CommandBatch b;
+  auto n = d.get_u32();
+  b.commands.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) b.commands.push_back(Command::decode(d));
+  return b;
+}
+
+}  // namespace amcast::dlog

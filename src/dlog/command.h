@@ -1,0 +1,62 @@
+// dLog command model (paper §6.2, Table 2): append, multi-append, read,
+// trim over a set of distributed shared logs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/codec.h"
+#include "common/ids.h"
+
+namespace amcast::dlog {
+
+/// Log identifiers are small integers; each log is implemented by one
+/// multicast group (ring).
+using LogId = std::int32_t;
+
+enum class Op : std::uint8_t {
+  kAppend = 0,
+  kMultiAppend = 1,
+  kRead = 2,
+  kTrim = 3,
+};
+
+const char* op_name(Op op);
+
+/// One client command.
+struct Command {
+  Op op = Op::kAppend;
+  ProcessId client = kInvalidProcess;
+  std::int32_t thread = 0;
+  std::uint64_t seq = 0;
+  std::vector<LogId> logs;           ///< one entry except multi-append
+  std::int64_t position = -1;        ///< read/trim target
+  std::vector<std::uint8_t> value;   ///< append payload
+
+  std::size_t encoded_size() const {
+    return 1 + 4 + 4 + 8 + 4 + logs.size() * 4 + 8 + 4 + value.size();
+  }
+  void encode(Encoder& e) const;
+  static Command decode(Decoder& d);
+};
+
+/// A batch of commands multicast as one value (clients group commands into
+/// packets of up to 32 KB, paper §7.3).
+struct CommandBatch {
+  std::vector<Command> commands;
+  std::size_t encoded_size() const;
+  std::vector<std::uint8_t> encode() const;
+  static CommandBatch decode(const std::vector<std::uint8_t>& bytes);
+};
+
+/// Execution result: append returns the position the data was stored at
+/// (Table 2); multi-append returns one position per addressed log.
+struct CommandResult {
+  std::uint64_t seq = 0;
+  std::int32_t thread = 0;
+  bool ok = false;
+  std::vector<std::int64_t> positions;
+  std::size_t payload_bytes = 0;  ///< read results
+};
+
+}  // namespace amcast::dlog

@@ -1,0 +1,87 @@
+#include "dlog/deployment.h"
+
+namespace amcast::dlog {
+
+DLogDeployment::DLogDeployment(DLogDeploymentSpec spec)
+    : spec_(std::move(spec)),
+      sim_(std::make_unique<sim::Simulation>(spec_.seed)) {
+  AMCAST_ASSERT(spec_.logs >= 1 && spec_.server_nodes >= 1);
+  // One disk per log ring (paper §8.4.1) plus one for the shared ring, so
+  // the shared ring's skip-instance logging never competes with log 0.
+  int disks_per_node = spec_.logs + (spec_.shared_ring ? 1 : 0);
+
+  for (int a = 0; a < spec_.acceptor_nodes; ++a) {
+    auto node = std::make_unique<core::MulticastNode>(registry_);
+    for (int d = 0; d < disks_per_node; ++d) node->add_disk(spec_.disk);
+    acceptor_ids_.push_back(sim_->add_node(std::move(node)));
+  }
+  for (int s = 0; s < spec_.server_nodes; ++s) {
+    DLogServerOptions so;
+    so.sync_writes = spec_.server_sync_writes;
+    auto node = std::make_unique<DLogServer>(registry_, so);
+    for (int d = 0; d < disks_per_node; ++d) node->add_disk(spec_.disk);
+    servers_.push_back(node.get());
+    server_ids_.push_back(sim_->add_node(std::move(node)));
+  }
+  for (auto* s : servers_) s->set_partition(server_ids_);
+
+  std::vector<ProcessId> members = acceptor_ids_;
+  for (ProcessId s : server_ids_) members.push_back(s);
+  const std::vector<ProcessId>& acceptors =
+      spec_.acceptor_nodes > 0 ? acceptor_ids_ : server_ids_;
+
+  auto ring_opts = [&](int disk_index) {
+    ringpaxos::RingOptions ro;
+    ro.storage.mode = spec_.storage;
+    ro.storage.disk_index = disk_index;
+    ro.delta = spec_.delta;
+    ro.lambda = spec_.lambda;
+    return ro;
+  };
+  core::MergeOptions mo;
+  mo.m = spec_.m;
+
+  for (LogId l = 0; l < spec_.logs; ++l) {
+    // Rotate the coordinator across acceptors so per-ring coordination load
+    // spreads over the machines, as co-located deployments do.
+    ProcessId coord = acceptors[std::size_t(l) % acceptors.size()];
+    GroupId g = registry_.create_ring(members, acceptors, coord);
+    log_groups_[l] = g;
+    for (ProcessId a : acceptor_ids_) {
+      static_cast<core::MulticastNode&>(sim_->node(a))
+          .join_only(g, ring_opts(int(l)));
+    }
+    for (auto* s : servers_) s->host_log(l, g, int(l), ring_opts(int(l)), mo);
+  }
+
+  if (spec_.shared_ring) {
+    shared_group_ =
+        registry_.create_ring(members, acceptors, acceptors.front());
+    int shared_disk = spec_.logs;
+    for (ProcessId a : acceptor_ids_) {
+      static_cast<core::MulticastNode&>(sim_->node(a))
+          .join_only(shared_group_, ring_opts(shared_disk));
+    }
+    for (auto* s : servers_) {
+      s->join_shared_ring(shared_group_, ring_opts(shared_disk), mo);
+    }
+  }
+}
+
+DLogClient& DLogDeployment::add_client(int threads, DLogClient::Generator gen,
+                                       std::size_t batch_bytes,
+                                       const std::string& metric_prefix) {
+  DLogClientOptions co;
+  co.threads = threads;
+  co.log_groups = log_groups_;
+  co.shared_group = shared_group_;
+  co.batch_bytes = batch_bytes;
+  co.metric_prefix = metric_prefix;
+  co.seed = std::uint64_t(next_client_seed_++);
+  auto client = std::make_unique<DLogClient>(registry_, co, std::move(gen));
+  DLogClient* raw = client.get();
+  sim_->add_node(std::move(client));
+  return *raw;
+}
+
+}  // namespace amcast::dlog

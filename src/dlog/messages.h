@@ -1,0 +1,35 @@
+// Client <-> server messages of the dLog service.
+#pragma once
+
+#include <vector>
+
+#include "common/ids.h"
+#include "dlog/command.h"
+#include "sim/message.h"
+
+namespace amcast::dlog {
+
+using sim::MessagePtr;
+using sim::msg_cast;
+
+enum MsgType : int {
+  kDLogResponse = 400,
+};
+
+/// Server -> client: results for a delivered command batch.
+struct DLogResponseMsg final : sim::Message {
+  ProcessId server = kInvalidProcess;
+  std::vector<CommandResult> results;
+
+  std::size_t wire_size() const override {
+    std::size_t n = 24 + 8;
+    for (const auto& r : results) {
+      n += 24 + r.positions.size() * 8 + r.payload_bytes;
+    }
+    return n;
+  }
+  int type() const override { return kDLogResponse; }
+  const char* name() const override { return "DLogResponse"; }
+};
+
+}  // namespace amcast::dlog

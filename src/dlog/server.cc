@@ -1,0 +1,230 @@
+#include "dlog/server.h"
+
+namespace amcast::dlog {
+
+namespace {
+struct DLogSnapshotState {
+  std::map<LogId, std::pair<std::int64_t, std::int64_t>> positions;
+  std::map<std::pair<ProcessId, std::int32_t>, std::uint64_t> last_seq;
+};
+}  // namespace
+
+DLogServer::DLogServer(core::ConfigRegistry& registry, DLogServerOptions opts,
+                       sim::CpuParams cpu)
+    : core::ReplicaNode(registry, opts.recovery, cpu), opts_(std::move(opts)) {}
+
+void DLogServer::host_log(LogId l, GroupId g, int disk_index,
+                          ringpaxos::RingOptions ring_opts,
+                          core::MergeOptions mo) {
+  auto [it, inserted] = logs_.emplace(l, LogState{});
+  AMCAST_ASSERT_MSG(inserted, "log already hosted");
+  it->second.group = g;
+  it->second.disk = disk_index;
+  subscribe(g, ring_opts, mo);
+}
+
+void DLogServer::join_shared_ring(GroupId g, ringpaxos::RingOptions ring_opts,
+                                  core::MergeOptions mo) {
+  shared_ring_ = g;
+  subscribe(g, ring_opts, mo);
+}
+
+DLogServer::LogState& DLogServer::log(LogId l) {
+  auto it = logs_.find(l);
+  AMCAST_ASSERT_MSG(it != logs_.end(), "log not hosted here");
+  return it->second;
+}
+
+std::int64_t DLogServer::log_length(LogId l) const {
+  auto it = logs_.find(l);
+  return it == logs_.end() ? 0 : it->second.next_position;
+}
+
+void DLogServer::evict(LogState& ls) {
+  while (ls.cache_bytes > opts_.cache_bytes && !ls.cache.empty()) {
+    auto it = ls.cache.begin();
+    ls.cache_bytes -= it->second;
+    ls.cache.erase(it);
+  }
+}
+
+std::int64_t DLogServer::do_append(LogId l, std::size_t size,
+                                   std::function<void()> durable) {
+  LogState& ls = log(l);
+  std::int64_t pos = ls.next_position++;
+  ls.cache.emplace(pos, size);
+  ls.cache_bytes += size;
+  evict(ls);
+  if (opts_.sync_writes) {
+    disk(ls.disk).write(size, std::move(durable));
+  } else {
+    disk(ls.disk).write_async(size);
+    durable();
+  }
+  ++appends_;
+  return pos;
+}
+
+CommandResult DLogServer::execute(const Command& c) {
+  // NOTE: results for appends are completed asynchronously when sync_writes
+  // is on; the caller handles the continuation (see on_deliver).
+  CommandResult r;
+  r.seq = c.seq;
+  r.thread = c.thread;
+  switch (c.op) {
+    case Op::kAppend:
+    case Op::kMultiAppend: {
+      r.ok = true;
+      for (LogId l : c.logs) {
+        if (!logs_.count(l)) continue;  // not hosted here
+        r.positions.push_back(-1);      // filled by do_append continuation
+      }
+      break;
+    }
+    case Op::kRead: {
+      LogId l = c.logs.at(0);
+      const LogState& ls = logs_.at(l);
+      r.ok = c.position >= ls.trim_position && c.position < ls.next_position;
+      if (r.ok) {
+        auto it = ls.cache.find(c.position);
+        r.payload_bytes = it != ls.cache.end() ? it->second : 1024;
+      }
+      break;
+    }
+    case Op::kTrim: {
+      LogId l = c.logs.at(0);
+      LogState& ls = log(l);
+      // Flush the cache up to the trim position; a new segment file starts
+      // on disk (paper §7.3) — modelled as a metadata write.
+      while (!ls.cache.empty() && ls.cache.begin()->first < c.position) {
+        ls.cache_bytes -= ls.cache.begin()->second;
+        ls.cache.erase(ls.cache.begin());
+      }
+      ls.trim_position = std::max(ls.trim_position, c.position);
+      disk(ls.disk).write_async(4096);
+      r.ok = true;
+      break;
+    }
+  }
+  return r;
+}
+
+void DLogServer::on_deliver(GroupId g, const ringpaxos::ValuePtr& v) {
+  AMCAST_ASSERT(v->payload != nullptr);
+  CommandBatch batch = CommandBatch::decode(*v->payload);
+
+  // Collect results per client; append results complete when the slowest
+  // involved disk write is durable (sync mode) or immediately (async).
+  struct PendingResponse {
+    std::shared_ptr<DLogResponseMsg> msg;
+    int waiting = 0;
+    bool finalized = false;
+  };
+  auto pending = std::make_shared<std::map<ProcessId, PendingResponse>>();
+
+  auto send_if_ready = [this, pending](ProcessId client) {
+    auto& pr = pending->at(client);
+    if (pr.finalized && pr.waiting == 0) send(client, pr.msg);
+  };
+
+  for (const auto& c : batch.commands) {
+    bool relevant = false;
+    for (LogId l : c.logs) relevant |= logs_.count(l) > 0;
+    if (!relevant) continue;
+
+    auto& pr = (*pending)[c.client];
+    if (pr.msg == nullptr) {
+      pr.msg = std::make_shared<DLogResponseMsg>();
+      pr.msg->server = id();
+    }
+
+    auto key = std::make_pair(c.client, c.thread);
+    auto dup = last_seq_.find(key);
+    if (dup != last_seq_.end() && c.seq <= dup->second) {
+      CommandResult r;  // duplicate: answer without re-executing
+      r.seq = c.seq;
+      r.thread = c.thread;
+      r.ok = true;
+      pr.msg->results.push_back(r);
+      continue;
+    }
+    last_seq_[key] = c.seq;
+
+    if (c.op == Op::kAppend || c.op == Op::kMultiAppend) {
+      CommandResult r;
+      r.seq = c.seq;
+      r.thread = c.thread;
+      r.ok = true;
+      std::size_t slot = pr.msg->results.size();
+      pr.msg->results.push_back(r);
+      ProcessId client = c.client;
+      for (LogId l : c.logs) {
+        if (!logs_.count(l)) continue;
+        ++pr.waiting;
+        std::int64_t pos =
+            do_append(l, c.value.size(), [this, pending, client, slot,
+                                          send_if_ready] {
+              auto& pr2 = pending->at(client);
+              --pr2.waiting;
+              (void)slot;
+              send_if_ready(client);
+            });
+        pr.msg->results[slot].positions.push_back(pos);
+      }
+    } else {
+      pr.msg->results.push_back(execute(c));
+    }
+  }
+
+  for (auto& [client, pr] : *pending) {
+    pr.finalized = true;
+    if (!pr.msg->results.empty()) send_if_ready(client);
+  }
+  core::ReplicaNode::on_deliver(g, v);
+}
+
+core::Snapshot DLogServer::make_snapshot() {
+  auto st = std::make_shared<DLogSnapshotState>();
+  std::size_t cached = 0;
+  for (const auto& [l, ls] : logs_) {
+    st->positions[l] = {ls.next_position, ls.trim_position};
+    cached += ls.cache_bytes;
+  }
+  st->last_seq = last_seq_;
+  core::Snapshot s;
+  s.state = st;
+  // The durable log data lives in segment files; the checkpoint persists
+  // positions, the dedup table, and the hot cache contents.
+  s.size_bytes = 64 + st->positions.size() * 24 + last_seq_.size() * 24 +
+                 cached;
+  return s;
+}
+
+void DLogServer::install_snapshot(const core::Snapshot& s) {
+  if (s.state == nullptr) {
+    clear_state();
+    return;
+  }
+  const auto& st = *static_cast<const DLogSnapshotState*>(s.state.get());
+  for (auto& [l, ls] : logs_) {
+    auto it = st.positions.find(l);
+    if (it == st.positions.end()) continue;
+    ls.next_position = it->second.first;
+    ls.trim_position = it->second.second;
+    ls.cache.clear();
+    ls.cache_bytes = 0;
+  }
+  last_seq_ = st.last_seq;
+}
+
+void DLogServer::clear_state() {
+  for (auto& [l, ls] : logs_) {
+    ls.next_position = 0;
+    ls.trim_position = 0;
+    ls.cache.clear();
+    ls.cache_bytes = 0;
+  }
+  last_seq_.clear();
+}
+
+}  // namespace amcast::dlog

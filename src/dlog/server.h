@@ -1,0 +1,75 @@
+// dLog server (paper §6.2/§7.3): a state-machine-replicated log server.
+//
+// The server hosts a set of logs; each log is backed by one multicast group
+// (ring), plus one shared ring that carries multi-append commands addressed
+// to several logs (delivered by every server, ordered against each log's
+// own stream by the deterministic merge). Appends land in a bounded
+// in-memory cache (200 MB in the paper) and are written to the log's disk
+// synchronously or asynchronously; a trim flushes the cache up to the trim
+// position and starts a new on-disk segment.
+#pragma once
+
+#include <map>
+
+#include "core/replica.h"
+#include "dlog/command.h"
+#include "dlog/messages.h"
+
+namespace amcast::dlog {
+
+struct DLogServerOptions {
+  bool sync_writes = false;           ///< server-side disk commit mode
+  std::size_t cache_bytes = 200u << 20;  ///< paper §7.3: 200 MB cache
+  core::ReplicaOptions recovery;
+};
+
+class DLogServer : public core::ReplicaNode {
+ public:
+  DLogServer(core::ConfigRegistry& registry, DLogServerOptions opts,
+             sim::CpuParams cpu = sim::Presets::server_cpu());
+
+  /// Hosts log `l`, served by ring `g`, persisted on node disk `disk_index`.
+  void host_log(LogId l, GroupId g, int disk_index,
+                ringpaxos::RingOptions ring_opts, core::MergeOptions mo = {});
+
+  /// Joins the shared multi-append ring.
+  void join_shared_ring(GroupId g, ringpaxos::RingOptions ring_opts,
+                        core::MergeOptions mo = {});
+
+  /// Next append position of a log (monotone; identical at all replicas).
+  std::int64_t log_length(LogId l) const;
+  std::int64_t appends_executed() const { return appends_; }
+
+ protected:
+  void on_deliver(GroupId g, const ringpaxos::ValuePtr& v) override;
+
+  core::Snapshot make_snapshot() override;
+  void install_snapshot(const core::Snapshot& s) override;
+  void clear_state() override;
+
+ private:
+  struct LogState {
+    GroupId group = kInvalidGroup;
+    int disk = 0;
+    std::int64_t next_position = 0;
+    std::int64_t trim_position = 0;  ///< positions below are flushed
+    // In-memory cache of recent appends: (position -> size). Bounded by
+    // cache_bytes across all logs; oldest evicted first.
+    std::map<std::int64_t, std::size_t> cache;
+    std::size_t cache_bytes = 0;
+  };
+
+  CommandResult execute(const Command& c);
+  std::int64_t do_append(LogId l, std::size_t size,
+                         std::function<void()> durable);
+  void evict(LogState& ls);
+  LogState& log(LogId l);
+
+  DLogServerOptions opts_;
+  std::map<LogId, LogState> logs_;
+  GroupId shared_ring_ = kInvalidGroup;
+  std::map<std::pair<ProcessId, std::int32_t>, std::uint64_t> last_seq_;
+  std::int64_t appends_ = 0;
+};
+
+}  // namespace amcast::dlog

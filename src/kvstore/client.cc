@@ -1,0 +1,138 @@
+#include "kvstore/client.h"
+
+namespace amcast::kvstore {
+
+KvClient::KvClient(core::ConfigRegistry& registry, KvClientOptions opts,
+                   Generator gen, sim::CpuParams cpu)
+    : core::MulticastNode(registry, cpu),
+      opts_(std::move(opts)),
+      gen_(std::move(gen)),
+      rng_(opts_.seed) {
+  AMCAST_ASSERT(opts_.threads >= 1);
+  AMCAST_ASSERT(!opts_.partition_groups.empty());
+  threads_.resize(std::size_t(opts_.threads));
+  if (opts_.proposal_timeout > 0) {
+    set_default_proposal_timeout(opts_.proposal_timeout);
+  }
+}
+
+void KvClient::on_start() {
+  for (int t = 0; t < opts_.threads; ++t) issue(t);
+}
+
+void KvClient::issue(int thread) {
+  if (stopped_) return;
+  ThreadState& ts = threads_[std::size_t(thread)];
+  Command c = gen_(thread, rng_);
+  c.client = id();
+  c.thread = thread;
+  c.seq = ++next_seq_;
+  ts.seq = c.seq;
+  ts.issued_at = now();
+  ts.op = c.op;
+  ts.responded.clear();
+  ts.msg_ids.clear();
+
+  if (c.op == Op::kScan) {
+    auto parts = opts_.partitioner.locate_scan(c.key, c.end_key);
+    ts.awaiting = int(parts.size());
+    if (opts_.global_group != kInvalidGroup) {
+      // One atomic multicast to the global ring; all partitions deliver it
+      // in an order consistent with their local streams.
+      CommandBatch b;
+      b.commands.push_back(std::move(c));
+      ts.msg_ids.push_back(multicast_bytes(opts_.global_group, b.encode()));
+    } else {
+      // Independent rings: one multicast per affected partition (no global
+      // order across partitions — the paper's cheaper configuration).
+      for (int p : parts) {
+        CommandBatch b;
+        b.commands.push_back(c);
+        ts.msg_ids.push_back(multicast_bytes(
+            opts_.partition_groups[std::size_t(p)], b.encode()));
+      }
+    }
+    return;
+  }
+
+  ts.awaiting = 1;
+  dispatch(c, opts_.partitioner.locate(c.key));
+}
+
+void KvClient::dispatch(const Command& c, int partition) {
+  if (opts_.batch_bytes == 0) {
+    CommandBatch b;
+    b.commands.push_back(c);
+    MessageId mid = multicast_bytes(
+        opts_.partition_groups[std::size_t(partition)], b.encode());
+    threads_[std::size_t(c.thread)].msg_ids.push_back(mid);
+    return;
+  }
+  PartitionBuffer& buf = buffers_[partition];
+  buf.bytes += c.encoded_size();
+  buf.batch.commands.push_back(c);
+  if (buf.bytes >= opts_.batch_bytes) {
+    flush(partition);
+    return;
+  }
+  if (!buf.flush_scheduled) {
+    buf.flush_scheduled = true;
+    set_timer(opts_.batch_delay, [this, partition] {
+      buffers_[partition].flush_scheduled = false;
+      flush(partition);
+    });
+  }
+}
+
+void KvClient::flush(int partition) {
+  PartitionBuffer& buf = buffers_[partition];
+  if (buf.batch.commands.empty()) return;
+  CommandBatch b = std::move(buf.batch);
+  buf.batch.commands.clear();
+  buf.bytes = 0;
+  MessageId mid = multicast_bytes(
+      opts_.partition_groups[std::size_t(partition)], b.encode());
+  // Every thread with a command in this packet tracks the multicast.
+  for (const auto& c : b.commands) {
+    ThreadState& ts = threads_[std::size_t(c.thread)];
+    if (ts.seq == c.seq) ts.msg_ids.push_back(mid);
+  }
+}
+
+void KvClient::complete(ThreadState& ts, int thread) {
+  // The command was executed, so its multicast(s) were decided: stop any
+  // re-proposal tracking for them.
+  for (MessageId mid : ts.msg_ids) clear_proposal(mid);
+  ts.msg_ids.clear();
+  Duration lat = now() - ts.issued_at;
+  auto& m = sim().metrics();
+  m.histogram(opts_.metric_prefix + ".latency").record_duration(lat);
+  m.histogram(opts_.metric_prefix + ".latency." + op_name(ts.op))
+      .record_duration(lat);
+  m.series(opts_.metric_prefix + ".tput").hit(now());
+  m.series(opts_.metric_prefix + ".latns").add(now(), double(lat));
+  ++completed_;
+  ts.seq = 0;
+  if (opts_.think_time > 0) {
+    set_timer(opts_.think_time, [this, thread] { issue(thread); });
+  } else {
+    issue(thread);
+  }
+}
+
+void KvClient::on_message(ProcessId from, const MessagePtr& m) {
+  if (m->type() != kKvResponse) {
+    core::MulticastNode::on_message(from, m);
+    return;
+  }
+  const auto& resp = msg_cast<KvResponseMsg>(m);
+  for (const auto& r : resp.results) {
+    if (r.thread < 0 || r.thread >= opts_.threads) continue;
+    ThreadState& ts = threads_[std::size_t(r.thread)];
+    if (r.seq != ts.seq) continue;  // stale/duplicate response
+    if (!ts.responded.insert(resp.partition).second) continue;  // same part.
+    if (--ts.awaiting == 0) complete(ts, r.thread);
+  }
+}
+
+}  // namespace amcast::kvstore

@@ -1,0 +1,91 @@
+// MRP-Store client: closed-loop worker threads issuing commands against the
+// partitioned store (paper §7.2).
+//
+//  * Routing: single-key commands go to the key's partition ring; scans go
+//    to the global ring when one exists (ordered across partitions) or to
+//    every affected partition ring in the "independent rings" configuration.
+//  * Batching: when enabled, small commands are grouped by partition into
+//    packets of up to `batch_bytes` (32 KB in the paper) before being
+//    multicast.
+//  * Responses: replicas answer directly (UDP in the paper); the client
+//    takes the first response per partition and, for scans, waits for one
+//    response from every involved partition (paper §7.2).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <set>
+
+#include "core/multicast.h"
+#include "kvstore/messages.h"
+#include "kvstore/partitioner.h"
+
+namespace amcast::kvstore {
+
+struct KvClientOptions {
+  int threads = 1;
+  Partitioner partitioner = Partitioner::hash(1);
+  std::vector<GroupId> partition_groups;  ///< ring of each partition
+  GroupId global_group = kInvalidGroup;   ///< cross-partition ring, if any
+  std::size_t batch_bytes = 0;            ///< 0 = no client-side batching
+  Duration batch_delay = duration::microseconds(500);
+  Duration proposal_timeout = 0;          ///< re-proposal timeout (Fig. 8)
+  /// Pause between a completion and the thread's next command; decouples
+  /// offered load from response latency (0 = tight closed loop).
+  Duration think_time = 0;
+  std::string metric_prefix = "kv";
+  std::uint64_t seed = 1;
+};
+
+class KvClient : public core::MulticastNode {
+ public:
+  /// Generates the next command for a thread; client/thread/seq fields are
+  /// stamped by the client.
+  using Generator = std::function<Command(int thread, Rng& rng)>;
+
+  KvClient(core::ConfigRegistry& registry, KvClientOptions opts,
+           Generator gen, sim::CpuParams cpu = sim::Presets::server_cpu());
+
+  void on_start() override;
+  void on_message(ProcessId from, const MessagePtr& m) override;
+
+  /// Stops issuing new commands (outstanding ones still complete).
+  void stop() { stopped_ = true; }
+
+  std::int64_t completed() const { return completed_; }
+
+ private:
+  struct ThreadState {
+    std::uint64_t seq = 0;         ///< outstanding command sequence
+    Time issued_at = 0;
+    Op op = Op::kRead;
+    int awaiting = 0;              ///< partitions still owing a response
+    std::set<int> responded;       ///< partitions already answered
+    /// Multicasts carrying the outstanding command; cleared from the
+    /// re-proposal tracker once the service acknowledges (a client is not a
+    /// ring member, so it never observes the decision itself).
+    std::vector<MessageId> msg_ids;
+  };
+
+  struct PartitionBuffer {
+    CommandBatch batch;
+    std::size_t bytes = 0;
+    bool flush_scheduled = false;
+  };
+
+  void issue(int thread);
+  void dispatch(const Command& c, int partition);
+  void flush(int partition);
+  void complete(ThreadState& ts, int thread);
+
+  KvClientOptions opts_;
+  Generator gen_;
+  Rng rng_;
+  std::vector<ThreadState> threads_;
+  std::map<int, PartitionBuffer> buffers_;
+  std::uint64_t next_seq_ = 0;
+  std::int64_t completed_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace amcast::kvstore

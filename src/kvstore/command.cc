@@ -1,0 +1,65 @@
+#include "kvstore/command.h"
+
+namespace amcast::kvstore {
+
+const char* op_name(Op op) {
+  switch (op) {
+    case Op::kRead: return "read";
+    case Op::kScan: return "scan";
+    case Op::kUpdate: return "update";
+    case Op::kInsert: return "insert";
+    case Op::kDelete: return "delete";
+  }
+  return "?";
+}
+
+std::size_t Command::encoded_size() const {
+  return 1 + 4 + 4 + 8 + (4 + key.size()) + (4 + end_key.size()) +
+         (4 + value.size());
+}
+
+void Command::encode(Encoder& e) const {
+  e.put_u8(std::uint8_t(op));
+  e.put_i32(client);
+  e.put_i32(thread);
+  e.put_u64(seq);
+  e.put_string(key);
+  e.put_string(end_key);
+  e.put_bytes(value);
+}
+
+Command Command::decode(Decoder& d) {
+  Command c;
+  c.op = Op(d.get_u8());
+  c.client = d.get_i32();
+  c.thread = d.get_i32();
+  c.seq = d.get_u64();
+  c.key = d.get_string();
+  c.end_key = d.get_string();
+  c.value = d.get_bytes();
+  return c;
+}
+
+std::size_t CommandBatch::encoded_size() const {
+  std::size_t n = 4;
+  for (const auto& c : commands) n += c.encoded_size();
+  return n;
+}
+
+std::vector<std::uint8_t> CommandBatch::encode() const {
+  Encoder e(encoded_size());
+  e.put_u32(std::uint32_t(commands.size()));
+  for (const auto& c : commands) c.encode(e);
+  return e.take();
+}
+
+CommandBatch CommandBatch::decode(const std::vector<std::uint8_t>& bytes) {
+  Decoder d(bytes);
+  CommandBatch b;
+  auto n = d.get_u32();
+  b.commands.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) b.commands.push_back(Command::decode(d));
+  return b;
+}
+
+}  // namespace amcast::kvstore

@@ -1,0 +1,68 @@
+// MRP-Store command model (paper §6.1, Table 1): read, scan, update, insert,
+// delete — plus binary encoding so payload sizes charged to the network and
+// disks are the real serialized sizes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/codec.h"
+#include "common/ids.h"
+
+namespace amcast::kvstore {
+
+/// Operation kinds of Table 1.
+enum class Op : std::uint8_t {
+  kRead = 0,
+  kScan = 1,
+  kUpdate = 2,
+  kInsert = 3,
+  kDelete = 4,
+};
+
+const char* op_name(Op op);
+
+/// One client command. `client`/`thread`/`seq` identify it uniquely and let
+/// replicas deduplicate re-proposed commands (paper Figure 8, event 5) and
+/// route responses back to the issuing client thread.
+struct Command {
+  Op op = Op::kRead;
+  ProcessId client = kInvalidProcess;
+  std::int32_t thread = 0;
+  std::uint64_t seq = 0;
+  std::string key;
+  std::string end_key;               ///< scans: inclusive upper bound
+  std::vector<std::uint8_t> value;   ///< updates/inserts
+
+  bool is_write() const {
+    return op == Op::kUpdate || op == Op::kInsert || op == Op::kDelete;
+  }
+
+  /// Serialized size (what the wire and the acceptor logs pay).
+  std::size_t encoded_size() const;
+
+  void encode(Encoder& e) const;
+  static Command decode(Decoder& d);
+};
+
+/// A batch of commands multicast as one value (paper §7.2: clients batch
+/// small commands, grouped by partition, up to 32 KB).
+struct CommandBatch {
+  std::vector<Command> commands;
+
+  std::size_t encoded_size() const;
+  std::vector<std::uint8_t> encode() const;
+  static CommandBatch decode(const std::vector<std::uint8_t>& bytes);
+};
+
+/// Result of one command execution at a replica.
+struct CommandResult {
+  std::uint64_t seq = 0;
+  std::int32_t thread = 0;
+  bool ok = false;
+  std::size_t payload_bytes = 0;  ///< size of returned data (reads/scans)
+  std::int64_t scan_hits = 0;     ///< entries matched by a scan
+};
+
+}  // namespace amcast::kvstore

@@ -1,0 +1,179 @@
+#include "kvstore/deployment.h"
+
+namespace amcast::kvstore {
+
+namespace {
+ringpaxos::RingOptions make_ring_options(const KvDeploymentSpec& spec) {
+  ringpaxos::RingOptions ro;
+  ro.storage.mode = spec.storage;
+  ro.storage.disk_index = 0;
+  ro.delta = spec.delta;
+  ro.lambda = spec.lambda;
+  ro.proposal_timeout = spec.proposal_timeout;
+  return ro;
+}
+}  // namespace
+
+KvDeployment::KvDeployment(KvDeploymentSpec spec)
+    : spec_(std::move(spec)),
+      sim_(std::make_unique<sim::Simulation>(spec_.seed, spec_.topology)) {
+  const int P = spec_.partitions;
+  AMCAST_ASSERT(P >= 1 && spec_.replicas_per_partition >= 1);
+  AMCAST_ASSERT(spec_.partitioner.partitions() == P);
+
+  auto region_of = [&](int p) -> sim::RegionId {
+    if (spec_.partition_regions.empty()) return 0;
+    return spec_.partition_regions[std::size_t(p)];
+  };
+
+  replicas_.resize(std::size_t(P));
+  replica_ids_.resize(std::size_t(P));
+  acceptor_ids_.resize(std::size_t(P));
+
+  bool needs_disk =
+      spec_.storage != ringpaxos::StorageOptions::Mode::kMemory ||
+      spec_.checkpoint_interval > 0;
+
+  // --- nodes ---
+  for (int p = 0; p < P; ++p) {
+    for (int a = 0; a < spec_.dedicated_acceptors; ++a) {
+      auto node = std::make_unique<core::MulticastNode>(registry_);
+      node->add_disk(spec_.disk);
+      ProcessId id = sim_->add_node(std::move(node));
+      sim_->network().place(id, region_of(p));
+      acceptor_ids_[std::size_t(p)].push_back(id);
+    }
+    for (int r = 0; r < spec_.replicas_per_partition; ++r) {
+      KvReplicaOptions ko;
+      ko.partition = p;
+      ko.partitioner = spec_.partitioner;
+      ko.recovery.checkpoint_interval = spec_.checkpoint_interval;
+      auto node = std::make_unique<KvReplica>(registry_, ko);
+      if (needs_disk) node->add_disk(spec_.disk);
+      KvReplica* raw = node.get();
+      ProcessId id = sim_->add_node(std::move(node));
+      sim_->network().place(id, region_of(p));
+      replicas_[std::size_t(p)].push_back(raw);
+      replica_ids_[std::size_t(p)].push_back(id);
+    }
+    for (auto* r : replicas_[std::size_t(p)]) {
+      r->set_partition(replica_ids_[std::size_t(p)]);
+    }
+  }
+
+  // --- partition rings ---
+  for (int p = 0; p < P; ++p) {
+    std::vector<ProcessId> members = acceptor_ids_[std::size_t(p)];
+    for (ProcessId r : replica_ids_[std::size_t(p)]) members.push_back(r);
+    std::vector<ProcessId> acceptors = spec_.dedicated_acceptors > 0
+                                           ? acceptor_ids_[std::size_t(p)]
+                                           : replica_ids_[std::size_t(p)];
+    partition_groups_.push_back(
+        registry_.create_ring(members, acceptors, acceptors.front()));
+  }
+
+  // --- global ring: all replicas; one acceptor per partition ---
+  if (spec_.global_ring) {
+    std::vector<ProcessId> members;
+    std::vector<ProcessId> acceptors;
+    for (int p = 0; p < P; ++p) {
+      for (ProcessId r : replica_ids_[std::size_t(p)]) members.push_back(r);
+      acceptors.push_back(replica_ids_[std::size_t(p)].front());
+    }
+    global_group_ = registry_.create_ring(members, acceptors, acceptors.front());
+  }
+
+  // --- join ---
+  ringpaxos::RingOptions ro = make_ring_options(spec_);
+  for (int p = 0; p < P; ++p) {
+    for (ProcessId a : acceptor_ids_[std::size_t(p)]) {
+      static_cast<core::MulticastNode&>(sim_->node(a))
+          .join_only(partition_groups_[std::size_t(p)], ro);
+    }
+    core::MergeOptions mo;
+    mo.m = spec_.m;
+    for (auto* r : replicas_[std::size_t(p)]) {
+      r->attach(partition_groups_[std::size_t(p)], global_group_, ro, mo);
+      if (spec_.checkpoint_interval > 0) r->start_checkpointing();
+    }
+  }
+
+  // --- trim coordination ---
+  if (spec_.trim_interval > 0) {
+    for (int p = 0; p < P; ++p) {
+      const auto& cfg = registry_.ring(partition_groups_[std::size_t(p)]);
+      core::TrimOptions to;
+      to.interval = spec_.trim_interval;
+      to.partitions = {replica_ids_[std::size_t(p)]};
+      static_cast<core::MulticastNode&>(sim_->node(cfg.coordinator))
+          .enable_trim(partition_groups_[std::size_t(p)], to);
+    }
+    if (global_group_ != kInvalidGroup) {
+      const auto& cfg = registry_.ring(global_group_);
+      core::TrimOptions to;
+      to.interval = spec_.trim_interval;
+      to.partitions = replica_ids_;
+      static_cast<core::MulticastNode&>(sim_->node(cfg.coordinator))
+          .enable_trim(global_group_, to);
+    }
+  }
+}
+
+KvClient& KvDeployment::add_client(int threads, KvClient::Generator gen,
+                                   sim::RegionId region,
+                                   std::size_t batch_bytes,
+                                   const std::string& metric_prefix,
+                                   Duration think_time) {
+  KvClientOptions co;
+  co.threads = threads;
+  co.think_time = think_time;
+  co.partitioner = spec_.partitioner;
+  co.partition_groups = partition_groups_;
+  co.global_group = global_group_;
+  co.batch_bytes = batch_bytes;
+  co.proposal_timeout = spec_.proposal_timeout;
+  co.metric_prefix = metric_prefix;
+  co.seed = std::uint64_t(next_client_seed_++);
+  auto client = std::make_unique<KvClient>(registry_, co, std::move(gen));
+  KvClient* raw = client.get();
+  ProcessId id = sim_->add_node(std::move(client));
+  sim_->network().place(id, region);
+  clients_.push_back(raw);
+  return *raw;
+}
+
+void KvDeployment::preload(
+    std::uint64_t records, std::size_t value_bytes,
+    const std::function<std::string(std::uint64_t)>& key_of) {
+  for (std::uint64_t r = 0; r < records; ++r) {
+    std::string key = key_of(r);
+    int p = spec_.partitioner.locate(key);
+    for (auto* rep : replicas_[std::size_t(p)]) rep->preload(key, value_bytes);
+  }
+}
+
+void KvDeployment::crash_replica(int partition, int index) {
+  ProcessId id = replica_ids_[std::size_t(partition)][std::size_t(index)];
+  sim_->node(id).crash();
+  // Zookeeper substitute: route the rings around the dead member.
+  registry_.remove_member(partition_groups_[std::size_t(partition)], id);
+  if (global_group_ != kInvalidGroup) {
+    registry_.remove_member(global_group_, id);
+  }
+}
+
+void KvDeployment::restart_replica(int partition, int index) {
+  ProcessId id = replica_ids_[std::size_t(partition)][std::size_t(index)];
+  bool was_acceptor = spec_.dedicated_acceptors == 0;
+  registry_.add_member(partition_groups_[std::size_t(partition)], id,
+                       was_acceptor);
+  if (global_group_ != kInvalidGroup) {
+    // Rejoin as a plain member; if the replica was a global-ring acceptor,
+    // the remaining acceptors already carry the quorum (and its log data
+    // would be stale anyway).
+    registry_.add_member(global_group_, id, /*acceptor=*/false);
+  }
+  sim_->node(id).restart();
+}
+
+}  // namespace amcast::kvstore

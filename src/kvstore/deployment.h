@@ -1,0 +1,107 @@
+// Deployment builder for MRP-Store experiments: wires partitions, rings,
+// replicas, acceptors, the optional global ring, recovery/trim plumbing and
+// clients into one simulation. Used by the benches that regenerate the
+// paper's Figures 4, 7 and 8, by the tests, and by the examples.
+#pragma once
+
+#include <memory>
+
+#include "kvstore/client.h"
+#include "kvstore/replica.h"
+#include "sim/network.h"
+#include "sim/simulation.h"
+
+namespace amcast::kvstore {
+
+struct KvDeploymentSpec {
+  int partitions = 3;
+  int replicas_per_partition = 3;
+
+  /// Dedicated acceptor nodes per partition ring. 0 means the replicas
+  /// themselves act as acceptors (the paper's co-located configuration,
+  /// §8.3.2); otherwise each ring gets this many acceptor-only nodes and
+  /// replicas are learner-only members (§8.4.2, §8.5).
+  int dedicated_acceptors = 0;
+
+  /// Adds the shared global ring for cross-partition commands. Its
+  /// acceptors are one replica (or dedicated acceptor) per partition.
+  bool global_ring = false;
+
+  Partitioner partitioner = Partitioner::hash(3);
+
+  ringpaxos::StorageOptions::Mode storage =
+      ringpaxos::StorageOptions::Mode::kAsyncDisk;
+  sim::DiskParams disk = sim::Presets::hdd();
+
+  /// Multi-Ring Paxos parameters (paper §8.2: M=1, ∆=5 ms, λ=9000 locally;
+  /// ∆=20 ms, λ=2000 across datacenters).
+  std::int32_t m = 1;
+  Duration delta = duration::milliseconds(5);
+  double lambda = 9000;
+
+  /// Recovery plumbing; 0 disables checkpoints/trims.
+  Duration checkpoint_interval = 0;
+  Duration trim_interval = 0;
+
+  Duration proposal_timeout = 0;  ///< client re-proposals (Figure 8)
+
+  /// Geo placement: topology and the region of each partition (empty =
+  /// everything in region 0 / LAN).
+  sim::Topology topology = sim::Topology::lan();
+  std::vector<sim::RegionId> partition_regions;
+
+  std::uint64_t seed = 1;
+};
+
+/// A built deployment. Owns the simulation; node objects are owned by it.
+class KvDeployment {
+ public:
+  explicit KvDeployment(KvDeploymentSpec spec);
+
+  sim::Simulation& sim() { return *sim_; }
+  core::ConfigRegistry& registry() { return registry_; }
+  const KvDeploymentSpec& spec() const { return spec_; }
+
+  GroupId partition_group(int p) const {
+    return partition_groups_[std::size_t(p)];
+  }
+  GroupId global_group() const { return global_group_; }
+
+  KvReplica& replica(int partition, int index) {
+    return *replicas_[std::size_t(partition)][std::size_t(index)];
+  }
+  int replicas_per_partition() const { return spec_.replicas_per_partition; }
+
+  /// Adds a closed-loop client in `region` running `gen` on `threads`
+  /// logical threads. Returns the client for stats access.
+  KvClient& add_client(int threads, KvClient::Generator gen,
+                       sim::RegionId region = 0,
+                       std::size_t batch_bytes = 0,
+                       const std::string& metric_prefix = "kv",
+                       Duration think_time = 0);
+
+  /// Primes `records` entries of `value_bytes` into the replicas of the
+  /// owning partitions (the YCSB load phase, without consensus traffic).
+  void preload(std::uint64_t records, std::size_t value_bytes,
+               const std::function<std::string(std::uint64_t)>& key_of);
+
+  /// Crashes a replica: removes it from its rings and kills the node.
+  void crash_replica(int partition, int index);
+
+  /// Restarts a crashed replica: rejoins rings, then runs §5.2 recovery.
+  void restart_replica(int partition, int index);
+
+ private:
+  KvDeploymentSpec spec_;
+  std::unique_ptr<sim::Simulation> sim_;
+  core::ConfigRegistry registry_;
+  std::vector<GroupId> partition_groups_;
+  GroupId global_group_ = kInvalidGroup;
+  std::vector<std::vector<KvReplica*>> replicas_;
+  std::vector<std::vector<ProcessId>> replica_ids_;
+  std::vector<std::vector<ProcessId>> acceptor_ids_;  ///< dedicated only
+  std::vector<KvClient*> clients_;
+  int next_client_seed_ = 1000;
+};
+
+}  // namespace amcast::kvstore

@@ -1,0 +1,36 @@
+// Client <-> replica wire messages of MRP-Store (paper §7.2: requests go to
+// proposers through Thrift, responses come back over UDP — here both are
+// typed messages over the simulated network with matching sizes).
+#pragma once
+
+#include <vector>
+
+#include "common/ids.h"
+#include "kvstore/command.h"
+#include "sim/message.h"
+
+namespace amcast::kvstore {
+
+using sim::MessagePtr;
+using sim::msg_cast;
+
+enum MsgType : int {
+  kKvResponse = 300,
+};
+
+/// Replica -> client: results of an executed command batch. Reads and scans
+/// carry their returned data size; other results are fixed-size acks.
+struct KvResponseMsg final : sim::Message {
+  int partition = -1;
+  std::vector<CommandResult> results;
+
+  std::size_t wire_size() const override {
+    std::size_t n = 24 + 8;
+    for (const auto& r : results) n += 24 + r.payload_bytes;
+    return n;
+  }
+  int type() const override { return kKvResponse; }
+  const char* name() const override { return "KvResponse"; }
+};
+
+}  // namespace amcast::kvstore

@@ -1,0 +1,55 @@
+#include "kvstore/partitioner.h"
+
+#include <algorithm>
+
+namespace amcast::kvstore {
+
+namespace {
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+}  // namespace
+
+Partitioner Partitioner::hash(int partitions) {
+  AMCAST_ASSERT(partitions >= 1);
+  Partitioner p;
+  p.range_ = false;
+  p.partitions_ = partitions;
+  return p;
+}
+
+Partitioner Partitioner::range(std::vector<std::string> upper_bounds) {
+  AMCAST_ASSERT(!upper_bounds.empty());
+  AMCAST_ASSERT(std::is_sorted(upper_bounds.begin(), upper_bounds.end()));
+  Partitioner p;
+  p.range_ = true;
+  p.partitions_ = int(upper_bounds.size()) + 1;
+  p.bounds_ = std::move(upper_bounds);
+  return p;
+}
+
+int Partitioner::locate(const std::string& key) const {
+  if (!range_) return int(fnv1a(key) % std::uint64_t(partitions_));
+  auto it = std::lower_bound(bounds_.begin(), bounds_.end(), key);
+  return int(it - bounds_.begin());
+}
+
+std::vector<int> Partitioner::locate_scan(const std::string& from,
+                                          const std::string& to) const {
+  std::vector<int> out;
+  if (!range_) {
+    for (int i = 0; i < partitions_; ++i) out.push_back(i);
+    return out;
+  }
+  int lo = locate(from);
+  int hi = locate(to);
+  for (int i = lo; i <= hi; ++i) out.push_back(i);
+  return out;
+}
+
+}  // namespace amcast::kvstore

@@ -1,0 +1,42 @@
+// Partitioning schema (paper §6.1): the database is divided into l
+// partitions; applications choose hash- or range-partitioning, and clients
+// must know the schema (it is stored in Zookeeper in the paper — here it is
+// a value object shared by construction).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/assert.h"
+
+namespace amcast::kvstore {
+
+class Partitioner {
+ public:
+  /// Hash partitioning over `partitions` shards.
+  static Partitioner hash(int partitions);
+
+  /// Range partitioning: `upper_bounds` are the inclusive upper bounds of
+  /// partitions 0..n-2; the last partition takes everything above.
+  static Partitioner range(std::vector<std::string> upper_bounds);
+
+  int partitions() const { return partitions_; }
+  bool is_range() const { return range_; }
+
+  /// Partition owning `key`.
+  int locate(const std::string& key) const;
+
+  /// Partitions a scan over [from, to] may touch: the overlapping ranges if
+  /// range-partitioned, every partition if hash-partitioned (paper §6.1).
+  std::vector<int> locate_scan(const std::string& from,
+                               const std::string& to) const;
+
+ private:
+  Partitioner() = default;
+  bool range_ = false;
+  int partitions_ = 1;
+  std::vector<std::string> bounds_;
+};
+
+}  // namespace amcast::kvstore

@@ -1,0 +1,103 @@
+#include "kvstore/replica.h"
+
+namespace amcast::kvstore {
+
+namespace {
+/// Snapshot state bundled for checkpoints: the tree plus the dedup table
+/// (both are replicated state and must move together).
+struct KvSnapshotState {
+  std::shared_ptr<const KvStore::Tree> tree;
+  std::map<std::pair<ProcessId, std::int32_t>, std::uint64_t> last_seq;
+};
+}  // namespace
+
+KvReplica::KvReplica(core::ConfigRegistry& registry, KvReplicaOptions opts,
+                     sim::CpuParams cpu)
+    : core::ReplicaNode(registry, opts.recovery, cpu), opts_(std::move(opts)) {}
+
+void KvReplica::attach(GroupId partition_group, GroupId global_group,
+                       ringpaxos::RingOptions ring_opts,
+                       core::MergeOptions merge) {
+  partition_group_ = partition_group;
+  global_group_ = global_group;
+  subscribe(partition_group, ring_opts, merge);
+  if (global_group != kInvalidGroup) subscribe(global_group, ring_opts, merge);
+}
+
+void KvReplica::preload(const std::string& key, std::size_t value_size) {
+  store_.insert(key, std::vector<std::uint8_t>(value_size, 0));
+}
+
+bool KvReplica::command_is_local(const Command& c) const {
+  if (c.op == Op::kScan) return true;  // every replica owns part of a scan
+  return opts_.partitioner.locate(c.key) == opts_.partition;
+}
+
+bool KvReplica::is_duplicate_and_track(const Command& c) {
+  auto key = std::make_pair(c.client, c.thread);
+  auto it = last_seq_.find(key);
+  if (it != last_seq_.end() && c.seq <= it->second) {
+    ++duplicates_;
+    return true;
+  }
+  last_seq_[key] = c.seq;
+  return false;
+}
+
+void KvReplica::on_deliver(GroupId g, const ringpaxos::ValuePtr& v) {
+  AMCAST_ASSERT(v->payload != nullptr);
+  CommandBatch batch = CommandBatch::decode(*v->payload);
+
+  // Group responses per client so one UDP-style message answers the batch.
+  std::map<ProcessId, KvResponseMsg> responses;
+  for (const auto& c : batch.commands) {
+    if (!command_is_local(c)) continue;  // other partition's share
+    CommandResult r;
+    if (is_duplicate_and_track(c)) {
+      // Duplicate of an applied command (client re-proposal): do not
+      // re-execute, but do answer — the client may be blocked on it.
+      r.seq = c.seq;
+      r.thread = c.thread;
+      r.ok = true;
+    } else {
+      r = store_.apply(c);
+      ++applied_;
+    }
+    responses[c.client].results.push_back(r);
+  }
+  for (auto& [client, resp] : responses) {
+    auto m = std::make_shared<KvResponseMsg>(std::move(resp));
+    m->partition = opts_.partition;
+    send(client, m);
+  }
+  core::ReplicaNode::on_deliver(g, v);
+}
+
+core::Snapshot KvReplica::make_snapshot() {
+  auto state = std::make_shared<KvSnapshotState>();
+  state->tree = store_.snapshot();
+  state->last_seq = last_seq_;
+  core::Snapshot s;
+  s.state = state;
+  s.size_bytes = store_.data_bytes() + 32 * store_.entry_count() +
+                 24 * last_seq_.size() + 64;
+  return s;
+}
+
+void KvReplica::install_snapshot(const core::Snapshot& s) {
+  if (s.state == nullptr) {
+    store_.clear();
+    last_seq_.clear();
+    return;
+  }
+  const auto& st = *static_cast<const KvSnapshotState*>(s.state.get());
+  store_.restore(*st.tree);
+  last_seq_ = st.last_seq;
+}
+
+void KvReplica::clear_state() {
+  store_.clear();
+  last_seq_.clear();
+}
+
+}  // namespace amcast::kvstore

@@ -1,0 +1,75 @@
+// MRP-Store replica: a state-machine-replicated partition server
+// (paper §6.1/§7.2) built on the atomic multicast ReplicaNode.
+//
+// The replica subscribes to its partition's ring and — in the global-ring
+// configuration — to the shared global ring used for cross-partition
+// operations (scans). Delivered command batches are applied to the
+// in-memory tree in delivery order; responses go straight back to clients.
+// Re-proposed duplicates (paper Figure 8, event 5) are filtered via
+// per-client-thread sequence numbers but still answered, since the client
+// may be waiting on the duplicate.
+#pragma once
+
+#include <map>
+
+#include "core/replica.h"
+#include "kvstore/messages.h"
+#include "kvstore/partitioner.h"
+#include "kvstore/store.h"
+
+namespace amcast::kvstore {
+
+struct KvReplicaOptions {
+  int partition = 0;
+  Partitioner partitioner = Partitioner::hash(1);
+  core::ReplicaOptions recovery;
+};
+
+class KvReplica : public core::ReplicaNode {
+ public:
+  KvReplica(core::ConfigRegistry& registry, KvReplicaOptions opts,
+            sim::CpuParams cpu = sim::Presets::server_cpu());
+
+  /// Wires the replica to its rings. `partition_group` is this partition's
+  /// ring; `global_group` is the shared ring for cross-partition commands
+  /// (pass kInvalidGroup for the "independent rings" configuration of
+  /// paper §8.3.2).
+  void attach(GroupId partition_group, GroupId global_group,
+              ringpaxos::RingOptions ring_opts,
+              core::MergeOptions merge = {});
+
+  /// Pre-loads an entry without going through consensus (database priming
+  /// before an experiment, like YCSB's load phase).
+  void preload(const std::string& key, std::size_t value_size);
+
+  const KvStore& store() const { return store_; }
+  int partition() const { return opts_.partition; }
+  GroupId partition_group() const { return partition_group_; }
+  std::int64_t commands_applied() const { return applied_; }
+  std::int64_t duplicates_filtered() const { return duplicates_; }
+
+ protected:
+  void on_deliver(GroupId g, const ringpaxos::ValuePtr& v) override;
+
+  // --- ReplicaNode service hooks ---
+  core::Snapshot make_snapshot() override;
+  void install_snapshot(const core::Snapshot& s) override;
+  void clear_state() override;
+
+ private:
+  bool command_is_local(const Command& c) const;
+  bool is_duplicate_and_track(const Command& c);
+
+  KvReplicaOptions opts_;
+  GroupId partition_group_ = kInvalidGroup;
+  GroupId global_group_ = kInvalidGroup;
+  KvStore store_;
+  /// Last applied sequence per (client, thread) for dedup. Part of the
+  /// replicated state: included in snapshots so recovery preserves exactly-
+  /// once semantics.
+  std::map<std::pair<ProcessId, std::int32_t>, std::uint64_t> last_seq_;
+  std::int64_t applied_ = 0;
+  std::int64_t duplicates_ = 0;
+};
+
+}  // namespace amcast::kvstore

@@ -1,0 +1,92 @@
+#include "kvstore/store.h"
+
+namespace amcast::kvstore {
+
+const std::vector<std::uint8_t>* KvStore::read(const std::string& key) const {
+  auto it = tree_.find(key);
+  return it == tree_.end() ? nullptr : &it->second;
+}
+
+std::pair<std::int64_t, std::size_t> KvStore::scan(const std::string& from,
+                                                   const std::string& to) const {
+  std::int64_t bytes = 0;
+  std::size_t hits = 0;
+  for (auto it = tree_.lower_bound(from); it != tree_.end() && it->first <= to;
+       ++it) {
+    bytes += std::int64_t(it->first.size() + it->second.size());
+    ++hits;
+  }
+  return {bytes, hits};
+}
+
+bool KvStore::update(const std::string& key, std::vector<std::uint8_t> value) {
+  auto it = tree_.find(key);
+  if (it == tree_.end()) return false;
+  data_bytes_ += value.size() - it->second.size();
+  it->second = std::move(value);
+  return true;
+}
+
+void KvStore::insert(const std::string& key, std::vector<std::uint8_t> value) {
+  auto it = tree_.find(key);
+  if (it != tree_.end()) {
+    data_bytes_ += value.size() - it->second.size();
+    it->second = std::move(value);
+    return;
+  }
+  data_bytes_ += key.size() + value.size();
+  tree_.emplace(key, std::move(value));
+}
+
+bool KvStore::erase(const std::string& key) {
+  auto it = tree_.find(key);
+  if (it == tree_.end()) return false;
+  data_bytes_ -= it->first.size() + it->second.size();
+  tree_.erase(it);
+  return true;
+}
+
+CommandResult KvStore::apply(const Command& c) {
+  CommandResult r;
+  r.seq = c.seq;
+  r.thread = c.thread;
+  switch (c.op) {
+    case Op::kRead: {
+      const auto* v = read(c.key);
+      r.ok = v != nullptr;
+      r.payload_bytes = v ? v->size() : 0;
+      break;
+    }
+    case Op::kScan: {
+      auto [bytes, hits] = scan(c.key, c.end_key);
+      r.ok = true;
+      r.payload_bytes = std::size_t(bytes);
+      r.scan_hits = std::int64_t(hits);
+      break;
+    }
+    case Op::kUpdate:
+      r.ok = update(c.key, c.value);
+      break;
+    case Op::kInsert:
+      insert(c.key, c.value);
+      r.ok = true;
+      break;
+    case Op::kDelete:
+      r.ok = erase(c.key);
+      break;
+  }
+  return r;
+}
+
+void KvStore::restore(const Tree& t) {
+  tree_ = t;
+  data_bytes_ = 0;
+  for (const auto& [k, v] : tree_) data_bytes_ += k.size() + v.size();
+}
+
+void KvStore::clear() {
+  tree_.clear();
+  data_bytes_ = 0;
+}
+
+}  // namespace amcast::kvstore

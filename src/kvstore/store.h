@@ -1,0 +1,59 @@
+// The in-memory ordered tree backing one MRP-Store replica (paper §7.2:
+// "database entries are stored in an in-memory tree at every replica").
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "kvstore/command.h"
+
+namespace amcast::kvstore {
+
+/// Ordered key-value tree with the Table 1 operations. Values are byte
+/// arrays of arbitrary size. Copy-on-snapshot: snapshots share no structure
+/// with the live tree (a full copy, as a real fork/serialize would).
+class KvStore {
+ public:
+  using Tree = std::map<std::string, std::vector<std::uint8_t>>;
+
+  /// read(k): value of entry k, or nullptr if absent.
+  const std::vector<std::uint8_t>* read(const std::string& key) const;
+
+  /// scan(k, k'): entries with k <= key <= k'; returns matched entries'
+  /// total byte size and count (benchmarks need sizes, not copies).
+  std::pair<std::int64_t, std::size_t> scan(const std::string& from,
+                                            const std::string& to) const;
+
+  /// update(k, v): overwrite if existent; returns false otherwise.
+  bool update(const std::string& key, std::vector<std::uint8_t> value);
+
+  /// insert(k, v): insert or overwrite (YCSB load semantics).
+  void insert(const std::string& key, std::vector<std::uint8_t> value);
+
+  /// delete(k): remove entry; returns false if absent.
+  bool erase(const std::string& key);
+
+  /// Applies a replicated command; returns its result.
+  CommandResult apply(const Command& c);
+
+  std::size_t entry_count() const { return tree_.size(); }
+  std::size_t data_bytes() const { return data_bytes_; }
+
+  /// Immutable full-copy snapshot for checkpoints/state transfer.
+  std::shared_ptr<const Tree> snapshot() const {
+    return std::make_shared<const Tree>(tree_);
+  }
+
+  /// Replaces the contents from a snapshot (recovery install).
+  void restore(const Tree& t);
+
+  void clear();
+
+ private:
+  Tree tree_;
+  std::size_t data_bytes_ = 0;
+};
+
+}  // namespace amcast::kvstore

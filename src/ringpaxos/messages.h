@@ -1,0 +1,177 @@
+// Wire messages of Ring Paxos (paper §4, Figure 2).
+//
+// The ring circulates two kinds of protocol traffic per instance:
+//  * a combined Phase 2A/2B message carrying the value and the accumulated
+//    acceptor votes — it makes one full loop starting at the coordinator, so
+//    each link carries the value exactly once (Ring Paxos's bandwidth
+//    efficiency claim);
+//  * a small Decision header, emitted by the acceptor whose vote completes a
+//    majority, which also makes one full loop.
+// A learner delivers an instance once it has seen both the value and the
+// decision for it.
+#pragma once
+
+#include <vector>
+
+#include "common/ids.h"
+#include "ringpaxos/value.h"
+#include "sim/message.h"
+
+namespace amcast::ringpaxos {
+
+using sim::MessagePtr;
+using sim::msg_cast;
+
+/// Message type tags (range 100-149 reserved for ring paxos).
+enum MsgType : int {
+  kProposal = 100,
+  kPhase1A = 101,
+  kPhase1B = 102,
+  kPhase2 = 103,     // combined 2A/2B
+  kDecision = 104,
+  kRetransmitRequest = 105,
+  kRetransmitReply = 106,
+  kPacked = 107,
+};
+
+inline constexpr std::size_t kHeaderBytes = 24;  ///< TCP/framing overhead
+
+/// Proposer -> coordinator: please order this value in group `ring`
+/// (paper §4: "a proposer multicasts a value to group γ by proposing the
+/// value to the coordinator responsible for γ").
+struct ProposalMsg final : sim::Message {
+  GroupId ring = kInvalidGroup;
+  ValuePtr value;
+
+  std::size_t wire_size() const override {
+    return kHeaderBytes + value->wire_size();
+  }
+  int type() const override { return kProposal; }
+  const char* name() const override { return "Proposal"; }
+};
+
+/// Coordinator -> ring: prepare rounds `round` for instances >= from.
+/// Phase 1 is pre-executed for a large window of instances (paper §4).
+struct Phase1AMsg final : sim::Message {
+  GroupId ring = kInvalidGroup;
+  Round round = 0;
+  InstanceId from_instance = 0;
+  InstanceId to_instance = 0;  // exclusive
+
+  std::size_t wire_size() const override { return kHeaderBytes + 24; }
+  int type() const override { return kPhase1A; }
+  const char* name() const override { return "Phase1A"; }
+};
+
+/// Acceptor -> coordinator: promise for the prepared window, together with
+/// any values this acceptor already accepted at lower rounds in the window
+/// (needed when a new coordinator takes over in-flight instances).
+struct Phase1BMsg final : sim::Message {
+  struct Accepted {
+    InstanceId instance;
+    std::int32_t count;
+    Round round;
+    ValuePtr value;
+  };
+  GroupId ring = kInvalidGroup;
+  Round round = 0;
+  ProcessId acceptor = kInvalidProcess;
+  std::vector<Accepted> accepted;
+
+  std::size_t wire_size() const override {
+    std::size_t n = kHeaderBytes + 16;
+    for (const auto& a : accepted) n += 16 + a.value->wire_size();
+    return n;
+  }
+  int type() const override { return kPhase1B; }
+  const char* name() const override { return "Phase1B"; }
+};
+
+/// The combined Phase 2A/2B message circulating the ring. `votes` is the
+/// number of acceptors that voted so far (the coordinator's own vote
+/// included); `hops` counts forwarding steps from the coordinator.
+struct Phase2Msg final : sim::Message {
+  GroupId ring = kInvalidGroup;
+  Round round = 0;
+  InstanceId instance = kInvalidInstance;  ///< first instance covered
+  std::int32_t count = 1;  ///< instances covered (skips may cover many)
+  ValuePtr value;
+  std::int32_t votes = 0;
+  std::int32_t hops = 0;
+
+  std::size_t wire_size() const override {
+    return kHeaderBytes + 24 + value->wire_size();
+  }
+  int type() const override { return kPhase2; }
+  const char* name() const override { return "Phase2"; }
+};
+
+/// Decision header circulating the ring once a majority voted.
+struct DecisionMsg final : sim::Message {
+  GroupId ring = kInvalidGroup;
+  Round round = 0;
+  InstanceId instance = kInvalidInstance;
+  std::int32_t count = 1;
+  std::int32_t hops = 0;
+
+  std::size_t wire_size() const override { return kHeaderBytes + 24; }
+  int type() const override { return kDecision; }
+  const char* name() const override { return "Decision"; }
+};
+
+/// Recovering learner -> acceptor: resend decided instances in
+/// [from_instance, to_instance]. to_instance == kInvalidInstance means
+/// "everything you have", and the reply reports the highest decided
+/// instance so the learner can bound its catch-up.
+struct RetransmitRequestMsg final : sim::Message {
+  GroupId ring = kInvalidGroup;
+  InstanceId from_instance = 0;
+  InstanceId to_instance = kInvalidInstance;
+  std::uint64_t nonce = 0;  ///< echoed in the reply (request/reply matching)
+
+  std::size_t wire_size() const override { return kHeaderBytes + 24; }
+  int type() const override { return kRetransmitRequest; }
+  const char* name() const override { return "RetransmitReq"; }
+};
+
+/// Acceptor -> learner: decided entries. `trimmed_below` reports the
+/// acceptor's first retained instance: if the request started below it, the
+/// learner's checkpoint is "too old" and it must fetch a remote checkpoint
+/// (paper §5.1 optimization / §5.2).
+struct RetransmitReplyMsg final : sim::Message {
+  struct Entry {
+    InstanceId instance;
+    std::int32_t count;
+    ValuePtr value;
+  };
+  GroupId ring = kInvalidGroup;
+  std::uint64_t nonce = 0;  ///< copied from the request
+  InstanceId trimmed_below = 0;
+  InstanceId highest_decided = kInvalidInstance;
+  std::vector<Entry> entries;
+
+  std::size_t wire_size() const override {
+    std::size_t n = kHeaderBytes + 24;
+    for (const auto& e : entries) n += 12 + e.value->wire_size();
+    return n;
+  }
+  int type() const override { return kRetransmitReply; }
+  const char* name() const override { return "RetransmitReply"; }
+};
+
+/// Several ring messages packed into one network packet (paper §4: "different
+/// types of messages for several consensus instances are often grouped into
+/// bigger packets"). Used by the packing ablation; disabled by default.
+struct PackedMsg final : sim::Message {
+  std::vector<sim::MessagePtr> inner;
+
+  std::size_t wire_size() const override {
+    std::size_t n = kHeaderBytes;
+    for (const auto& m : inner) n += m->wire_size();
+    return n;
+  }
+  int type() const override { return kPacked; }
+  const char* name() const override { return "Packed"; }
+};
+
+}  // namespace amcast::ringpaxos

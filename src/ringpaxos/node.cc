@@ -1,0 +1,682 @@
+#include "ringpaxos/node.h"
+
+#include <algorithm>
+
+namespace amcast::ringpaxos {
+
+RingNode::RingNode(ConfigRegistry& registry, sim::CpuParams cpu)
+    : sim::Node(cpu), registry_(registry) {}
+
+RingNode::~RingNode() = default;
+
+RingNode::RingState& RingNode::state(GroupId g) {
+  auto it = rings_.find(g);
+  AMCAST_ASSERT_MSG(it != rings_.end(), "node did not join this ring");
+  return it->second;
+}
+
+const RingNode::RingState* RingNode::find_state(GroupId g) const {
+  auto it = rings_.find(g);
+  return it == rings_.end() ? nullptr : &it->second;
+}
+
+void RingNode::join_ring(GroupId g, bool learner, RingOptions opts) {
+  AMCAST_ASSERT_MSG(rings_.count(g) == 0, "already joined this ring");
+  const RingConfig& cfg = registry_.ring(g);
+  AMCAST_ASSERT_MSG(cfg.is_member(id()), "join_ring requires membership");
+
+  RingState rs;
+  rs.cfg = cfg;
+  rs.opts = opts;
+  rs.learner = learner;
+  if (cfg.is_acceptor(id())) {
+    sim::Disk* d = nullptr;
+    if (opts.storage.mode != StorageOptions::Mode::kMemory) {
+      d = &disk(opts.storage.disk_index);
+    }
+    rs.storage = std::make_unique<AcceptorStorage>(opts.storage, d);
+  }
+  auto [it, ok] = rings_.emplace(g, std::move(rs));
+  AMCAST_ASSERT(ok);
+  if (learner) registry_.subscribe(g, id());
+
+  registry_.watch(g, [this, g](const RingConfig& cfg) {
+    if (rings_.count(g)) on_reconfigure(cfg);
+  });
+
+  if (cfg.coordinator == id()) become_coordinator(it->second);
+}
+
+void RingNode::on_start() {
+  // Coordinator bootstrap (Phase 1 pre-execution) happens lazily from
+  // become_coordinator; nothing else to do at start.
+}
+
+void RingNode::become_coordinator(RingState& rs) {
+  rs.coordinating = true;
+  // The view version doubles as the round, so rounds grow across views and
+  // a deposed coordinator's messages are rejected by promised acceptors.
+  rs.round = rs.cfg.version;
+  if (!rs.timers_armed) {
+    rs.timers_armed = true;
+    GroupId g = rs.cfg.group;
+    if (rs.opts.lambda > 0) {
+      set_periodic(rs.opts.delta, [this, g] {
+        auto& s = state(g);
+        if (s.coordinating) rate_level_tick(s);
+      });
+    }
+    if (rs.opts.instance_timeout > 0) {
+      set_periodic(rs.opts.instance_timeout / 2, [this, g] {
+        auto& s = state(g);
+        if (s.coordinating) retry_outstanding(s);
+      });
+    }
+  }
+  start_phase1(rs);
+}
+
+void RingNode::start_phase1(RingState& rs) {
+  if (rs.phase1_running) return;
+  rs.phase1_running = true;
+  rs.phase1_acks = 0;
+  rs.phase1_accepted.clear();
+
+  InstanceId from = rs.phase1_ready_until;
+  InstanceId to = from + rs.opts.phase1_batch;
+
+  // Merge this coordinator's own undecided log entries so they are finished
+  // in the new round (relevant after coordinator change).
+  for (const auto& e : rs.storage->collect_undecided(0)) {
+    auto& a = rs.phase1_accepted[e.instance];
+    if (a.value == nullptr || e.round >= a.round) {
+      a = {e.instance, e.count, e.round, e.value};
+    }
+  }
+
+  GroupId g = rs.cfg.group;
+  Round round = rs.round;
+  // Self-promise first (the coordinator is an acceptor).
+  rs.storage->promise(round, [this, g, round, from, to] {
+    auto& s = state(g);
+    if (!s.coordinating || s.round != round) return;
+    ++s.phase1_acks;
+    auto m = std::make_shared<Phase1AMsg>();
+    m->ring = g;
+    m->round = round;
+    m->from_instance = from;
+    m->to_instance = to;
+    for (ProcessId a : s.cfg.acceptors) {
+      if (a != id()) send(a, m);
+    }
+    // Single-acceptor rings complete Phase 1 immediately.
+    if (s.phase1_acks >= s.cfg.majority()) {
+      s.phase1_ready_until = to;
+      s.phase1_running = false;
+      pump(s);
+    } else {
+      s.phase1_ready_until = to;  // provisional; completed by Phase 1Bs
+    }
+  });
+}
+
+void RingNode::handle_phase1a(ProcessId from, RingState& rs,
+                              const Phase1AMsg& m) {
+  if (!rs.storage) return;
+  if (m.round < rs.storage->promised()) return;  // stale coordinator
+  GroupId g = m.ring;
+  Round round = m.round;
+  rs.storage->promise(round, [this, g, round, from] {
+    auto* s = find_state(g);
+    if (s == nullptr) return;
+    auto reply = std::make_shared<Phase1BMsg>();
+    reply->ring = g;
+    reply->round = round;
+    reply->acceptor = id();
+    for (const auto& e : s->storage->collect_undecided(0)) {
+      reply->accepted.push_back({e.instance, e.count, e.round, e.value});
+    }
+    send(from, reply);
+  });
+}
+
+void RingNode::handle_phase1b(RingState& rs, const Phase1BMsg& m) {
+  if (!rs.coordinating || m.round != rs.round || !rs.phase1_running) return;
+  for (const auto& a : m.accepted) {
+    auto& slot = rs.phase1_accepted[a.instance];
+    if (slot.value == nullptr || a.round >= slot.round) slot = a;
+  }
+  ++rs.phase1_acks;
+  if (rs.phase1_acks < rs.cfg.majority()) return;
+
+  rs.phase1_running = false;
+  // Finish in-flight instances from previous rounds with the highest-round
+  // value reported (standard Paxos), then resume fresh proposals.
+  for (auto& [inst, a] : rs.phase1_accepted) {
+    rs.next_instance = std::max(rs.next_instance, a.instance + a.count);
+    start_instance(rs, a.instance, a.count, a.value, rs.round);
+  }
+  rs.next_instance = std::max(rs.next_instance, rs.storage->last_logged_end());
+  rs.phase1_accepted.clear();
+  pump(rs);
+}
+
+void RingNode::propose(GroupId g, ValuePtr v) {
+  AMCAST_ASSERT(v != nullptr);
+  const RingConfig& cfg = registry_.ring(g);
+  if (v->msg_id != 0 && !my_proposals_.count(v->msg_id) &&
+      find_state(g) == nullptr) {
+    // Nothing: membership not required to propose.
+  }
+  if (rings_.count(g) && state(g).coordinating) {
+    // Local fast path: we are the coordinator.
+    auto& rs = state(g);
+    rs.proposal_queue.push_back(v);
+    ++rs.proposed_in_window;
+    schedule_pump(rs);
+  } else {
+    auto m = std::make_shared<ProposalMsg>();
+    m->ring = g;
+    m->value = v;
+    send(cfg.coordinator, m);
+  }
+  // Track for re-proposal if requested (per-ring option where known, else
+  // tracked with the default of "no timeout" — services set timeouts).
+  const RingState* rsp = find_state(g);
+  Duration timeout =
+      rsp ? rsp->opts.proposal_timeout : default_proposal_timeout_;
+  if (timeout > 0 && v->msg_id != 0) {
+    my_proposals_[v->msg_id] = OutstandingProposal{g, v, now()};
+    if (!proposal_timer_armed_) {
+      proposal_timer_armed_ = true;
+      set_periodic(std::max<Duration>(timeout / 2, duration::milliseconds(10)),
+                   [this] { check_proposal_timeouts(); });
+    }
+  }
+}
+
+void RingNode::check_proposal_timeouts() {
+  for (auto& [id_, p] : my_proposals_) {
+    const RingState* rs = find_state(p.ring);
+    Duration timeout =
+        rs ? rs->opts.proposal_timeout : default_proposal_timeout_;
+    if (timeout <= 0) continue;
+    if (now() - p.proposed_at < timeout) continue;
+    p.proposed_at = now();
+    sim().metrics().counter("ringpaxos.reproposals")++;
+    const RingConfig& cfg = registry_.ring(p.ring);
+    auto m = std::make_shared<ProposalMsg>();
+    m->ring = p.ring;
+    m->value = p.value;
+    send(cfg.coordinator, m);
+  }
+}
+
+void RingNode::observe_decided_value(const ValuePtr& v) {
+  if (v == nullptr || v->msg_id == 0 || my_proposals_.empty()) return;
+  my_proposals_.erase(v->msg_id);
+}
+
+void RingNode::handle_proposal(RingState& rs, const ProposalMsg& m) {
+  if (!rs.coordinating) {
+    // Deposed/not-yet coordinator: hand over to the current one.
+    if (rs.cfg.coordinator != id()) {
+      auto fwd = std::make_shared<ProposalMsg>(m);
+      send(rs.cfg.coordinator, fwd);
+    }
+    return;
+  }
+  rs.proposal_queue.push_back(m.value);
+  ++rs.proposed_in_window;
+  schedule_pump(rs);
+}
+
+void RingNode::schedule_pump(RingState& rs) {
+  if (rs.pump_scheduled) return;
+  rs.pump_scheduled = true;
+  GroupId g = rs.cfg.group;
+  sim().after(0, [this, g] {
+    auto& s = state(g);
+    s.pump_scheduled = false;
+    pump(s);
+  });
+}
+
+void RingNode::pump(RingState& rs) {
+  if (!rs.coordinating || rs.phase1_running) return;
+  while (!rs.proposal_queue.empty() &&
+         int(rs.outstanding.size()) < rs.opts.window) {
+    if (rs.next_instance + 1 > rs.phase1_ready_until) {
+      start_phase1(rs);
+      return;
+    }
+    if (!rs.storage->accepting()) {
+      GroupId g = rs.cfg.group;
+      rs.storage->when_accepting([this, g] { pump(state(g)); });
+      return;
+    }
+    ValuePtr v = rs.proposal_queue.front();
+    rs.proposal_queue.pop_front();
+    InstanceId inst = rs.next_instance;
+    rs.next_instance += 1;
+    start_instance(rs, inst, 1, std::move(v), rs.round);
+  }
+}
+
+void RingNode::rate_level_tick(RingState& rs) {
+  // Paper §4: every ∆ the coordinator compares the number of messages
+  // proposed in the window against the maximum rate λ and proposes enough
+  // skip instances to reach it — batched into a single skip range.
+  double window_sec = duration::to_seconds(rs.opts.delta);
+  std::int64_t produced =
+      rs.proposed_in_window + std::int64_t(rs.proposal_queue.size());
+  rs.proposed_in_window = 0;
+  // Fractional deficits carry over so small λ·∆ still levels eventually.
+  rs.skip_carry += rs.opts.lambda * window_sec - double(produced);
+  if (rs.skip_carry < 1.0) {
+    if (rs.skip_carry < 0) rs.skip_carry = 0;  // overload: no debt
+    return;
+  }
+  auto deficit = std::int64_t(rs.skip_carry);
+  rs.skip_carry -= double(deficit);
+  if (rs.phase1_running || !rs.storage || !rs.storage->accepting()) return;
+  if (rs.next_instance + deficit > rs.phase1_ready_until) {
+    start_phase1(rs);
+    return;
+  }
+  InstanceId inst = rs.next_instance;
+  rs.next_instance += deficit;
+  start_instance(rs, inst, std::int32_t(deficit),
+                 make_skip(rs.cfg.group, now(), std::int32_t(deficit)),
+                 rs.round);
+}
+
+void RingNode::start_instance(RingState& rs, InstanceId instance,
+                              std::int32_t count, ValuePtr value, Round round) {
+  AMCAST_ASSERT(rs.storage != nullptr);
+  rs.outstanding[instance] = Outstanding{value, count, round, now()};
+
+  GroupId g = rs.cfg.group;
+  // The coordinator sees its own value immediately (it will never receive
+  // the circulating Phase 2 for it).
+  note_value(rs, instance, count, value);
+
+  rs.storage->store_vote(
+      instance, count, round, value, [this, g, instance, count, value, round] {
+        auto& s = state(g);
+        if (!s.coordinating || round != s.round) return;
+        auto m = std::make_shared<Phase2Msg>();
+        m->ring = g;
+        m->round = round;
+        m->instance = instance;
+        m->count = count;
+        m->value = value;
+        m->votes = 1;
+        m->hops = 1;
+        if (s.cfg.size() > 1) forward(s, m);
+        if (1 >= s.cfg.majority()) emit_decision(s, instance, count, round);
+      });
+}
+
+void RingNode::retry_outstanding(RingState& rs) {
+  if (rs.phase1_running) return;
+  for (auto& [inst, o] : rs.outstanding) {
+    if (now() - o.sent_at < rs.opts.instance_timeout) continue;
+    o.sent_at = now();
+    sim().metrics().counter("ringpaxos.instance_retries")++;
+    auto m = std::make_shared<Phase2Msg>();
+    m->ring = rs.cfg.group;
+    m->round = rs.round;
+    m->instance = inst;
+    m->count = o.count;
+    m->value = o.value;
+    m->votes = 1;
+    m->hops = 1;
+    if (rs.cfg.size() > 1) forward(rs, m);
+  }
+}
+
+void RingNode::forward(RingState& rs, sim::MessagePtr m) {
+  ProcessId succ = rs.cfg.successor(id());
+  if (!rs.opts.packing) {
+    send(succ, std::move(m));
+    return;
+  }
+  rs.pack_buf_bytes += m->wire_size();
+  rs.pack_buf.push_back(std::move(m));
+  if (rs.pack_buf_bytes >= rs.opts.pack_bytes) {
+    flush_pack(rs);
+    return;
+  }
+  if (!rs.pack_flush_scheduled) {
+    rs.pack_flush_scheduled = true;
+    GroupId g = rs.cfg.group;
+    set_timer(rs.opts.pack_delay, [this, g] {
+      auto& s = state(g);
+      s.pack_flush_scheduled = false;
+      flush_pack(s);
+    });
+  }
+}
+
+void RingNode::flush_pack(RingState& rs) {
+  if (rs.pack_buf.empty()) return;
+  auto pm = std::make_shared<PackedMsg>();
+  pm->inner = std::move(rs.pack_buf);
+  rs.pack_buf.clear();
+  rs.pack_buf_bytes = 0;
+  send(rs.cfg.successor(id()), std::move(pm));
+}
+
+void RingNode::emit_decision(RingState& rs, InstanceId instance,
+                             std::int32_t count, Round round) {
+  rs.storage->mark_decided(instance, count);
+  note_decided(rs, instance, count);
+  if (rs.cfg.size() > 1) {
+    auto d = std::make_shared<DecisionMsg>();
+    d->ring = rs.cfg.group;
+    d->round = round;
+    d->instance = instance;
+    d->count = count;
+    d->hops = 1;
+    forward(rs, d);
+  }
+}
+
+void RingNode::handle_phase2(RingState& rs, const Phase2Msg& m) {
+  // Every member records the value for delivery purposes; acceptors also
+  // vote and may complete a majority.
+  note_value(rs, m.instance, m.count, m.value);
+
+  bool is_acceptor = rs.storage != nullptr;
+  bool stale = is_acceptor && m.round < rs.storage->promised();
+
+  if (!is_acceptor || stale) {
+    // Forward unchanged (non-acceptors forward as-is, paper §4).
+    if (m.hops < rs.cfg.size() - 1) {
+      auto fwd = std::make_shared<Phase2Msg>(m);
+      fwd->hops = m.hops + 1;
+      forward(rs, fwd);
+    }
+    return;
+  }
+
+  GroupId g = m.ring;
+  auto copy = std::make_shared<Phase2Msg>(m);
+  rs.storage->store_vote(m.instance, m.count, m.round, m.value, [this, g,
+                                                                 copy] {
+    auto* s = find_state(g);
+    if (s == nullptr) return;
+    std::int32_t votes = copy->votes + 1;
+    if (copy->hops < s->cfg.size() - 1) {
+      auto fwd = std::make_shared<Phase2Msg>(*copy);
+      fwd->votes = votes;
+      fwd->hops = copy->hops + 1;
+      forward(*s, fwd);
+    }
+    if (votes == s->cfg.majority()) {
+      // This acceptor's vote completes the majority: it replaces the Phase
+      // 2B by a decision (paper §4).
+      emit_decision(*s, copy->instance, copy->count, copy->round);
+    }
+  });
+}
+
+void RingNode::handle_decision(RingState& rs, const DecisionMsg& m) {
+  if (rs.storage) rs.storage->mark_decided(m.instance, m.count);
+  if (rs.coordinating) {
+    rs.outstanding.erase(m.instance);
+  }
+  note_decided(rs, m.instance, m.count);
+  if (m.hops < rs.cfg.size() - 1) {
+    auto fwd = std::make_shared<DecisionMsg>(m);
+    fwd->hops = m.hops + 1;
+    forward(rs, fwd);
+  }
+}
+
+void RingNode::handle_retransmit_request(ProcessId from, RingState& rs,
+                                         const RetransmitRequestMsg& m) {
+  if (!rs.storage) return;
+  auto reply = std::make_shared<RetransmitReplyMsg>();
+  reply->ring = m.ring;
+  reply->nonce = m.nonce;
+  reply->trimmed_below = rs.storage->first_retained();
+  reply->highest_decided = rs.storage->highest_decided();
+  InstanceId to = m.to_instance == kInvalidInstance
+                      ? rs.storage->highest_decided()
+                      : m.to_instance;
+  if (to != kInvalidInstance && to >= m.from_instance) {
+    // Chunked: recovering replicas re-request from their advanced cursor.
+    constexpr std::size_t kMaxEntriesPerReply = 2048;
+    for (const auto& e : rs.storage->collect_decided(m.from_instance, to,
+                                                     kMaxEntriesPerReply)) {
+      reply->entries.push_back({e.instance, e.count, e.value});
+    }
+  }
+  send(from, reply);
+}
+
+void RingNode::note_value(RingState& rs, InstanceId first, std::int32_t count,
+                          const ValuePtr& v) {
+  if (first + count <= rs.next_deliver) return;
+  auto& p = rs.pending[first];
+  p.count = count;
+  if (p.value == nullptr) p.value = v;
+  drain(rs);
+}
+
+void RingNode::note_decided(RingState& rs, InstanceId first,
+                            std::int32_t count) {
+  if (first + count <= rs.next_deliver) return;
+  auto& p = rs.pending[first];
+  p.count = count;
+  p.decided = true;
+  drain(rs);
+}
+
+void RingNode::inject_decided(GroupId g, InstanceId first, std::int32_t count,
+                              ValuePtr value) {
+  AMCAST_ASSERT_MSG(count >= 1, "injected entry must cover >= 1 instance");
+  auto& rs = state(g);
+  if (first + count <= rs.next_deliver) return;
+  auto& p = rs.pending[first];
+  p.count = count;
+  if (p.value == nullptr) p.value = std::move(value);
+  p.decided = true;
+  drain(rs);
+}
+
+void RingNode::reset_learner(GroupId g) {
+  auto& rs = state(g);
+  rs.pending.clear();
+  rs.next_deliver = 0;
+}
+
+void RingNode::set_delivery_cursor(GroupId g, InstanceId next) {
+  auto& rs = state(g);
+  rs.next_deliver = next;
+  while (!rs.pending.empty() && rs.pending.begin()->first < next) {
+    rs.pending.erase(rs.pending.begin());
+  }
+}
+
+void RingNode::drain(RingState& rs) {
+  while (!rs.pending.empty()) {
+    // Find the entry covering the cursor. Ranges may start below it when a
+    // checkpoint tuple was cut mid-range (skip ranges are consumed
+    // partially by the merge), so look left of upper_bound and clip.
+    auto it = rs.pending.upper_bound(rs.next_deliver);
+    if (it == rs.pending.begin()) return;  // first entry starts past cursor
+    --it;
+    InstanceId first = it->first;
+    PendingInstance& p = it->second;
+    if (first + p.count <= rs.next_deliver) {
+      rs.pending.erase(it);  // fully stale (duplicate retransmission)
+      continue;
+    }
+    if (!p.decided || p.value == nullptr) return;
+    ValuePtr v = p.value;
+    InstanceId eff_first = rs.next_deliver;
+    std::int32_t eff_count = std::int32_t(first + p.count - eff_first);
+    rs.pending.erase(it);
+    rs.next_deliver = eff_first + eff_count;
+    rs.decided_instances += eff_count;
+    if (v->is_skip()) {
+      rs.skipped_instances += eff_count;
+    } else {
+      rs.delivered_values += 1;
+    }
+    observe_decided_value(v);
+    if (rs.learner) on_ring_deliver(rs.cfg.group, eff_first, eff_count, v);
+  }
+}
+
+InstanceId RingNode::next_to_deliver(GroupId g) const {
+  const RingState* rs = find_state(g);
+  return rs ? rs->next_deliver : 0;
+}
+
+std::string RingNode::debug_learner_state(GroupId g) const {
+  const RingState* rs = find_state(g);
+  if (!rs) return "no-ring";
+  char buf[256];
+  std::string cover = "none";
+  auto it = rs->pending.upper_bound(rs->next_deliver);
+  if (it != rs->pending.begin()) {
+    auto prev = std::prev(it);
+    const PendingInstance& p = prev->second;
+    std::snprintf(buf, sizeof(buf), "[%lld +%d dec=%d val=%d]",
+                  (long long)prev->first, p.count, int(p.decided),
+                  int(p.value != nullptr));
+    cover = buf;
+  }
+  std::string nxt = "none";
+  if (it != rs->pending.end()) {
+    std::snprintf(buf, sizeof(buf), "[%lld +%d dec=%d val=%d]",
+                  (long long)it->first, it->second.count,
+                  int(it->second.decided), int(it->second.value != nullptr));
+    nxt = buf;
+  }
+  std::snprintf(buf, sizeof(buf),
+                "cursor=%lld pending=%zu below_or_at=%s above=%s",
+                (long long)rs->next_deliver, rs->pending.size(),
+                cover.c_str(), nxt.c_str());
+  return buf;
+}
+
+RingNode::RingCounters RingNode::ring_counters(GroupId g) const {
+  const RingState* rs = find_state(g);
+  RingCounters c;
+  if (rs) {
+    c.decided_instances = rs->decided_instances;
+    c.delivered_values = rs->delivered_values;
+    c.skipped_instances = rs->skipped_instances;
+  }
+  return c;
+}
+
+AcceptorStorage* RingNode::storage(GroupId g) {
+  auto* rs = const_cast<RingState*>(find_state(g));
+  return rs ? rs->storage.get() : nullptr;
+}
+
+void RingNode::on_reconfigure(const RingConfig& cfg) {
+  auto& rs = state(cfg.group);
+  bool was_coordinator = rs.coordinating;
+  rs.cfg = cfg;
+  if (cfg.coordinator == id() && !crashed()) {
+    // (Re-)take coordination under the new view; re-running Phase 1 renews
+    // promises and finishes in-flight instances under the new majority.
+    become_coordinator(rs);
+    if (was_coordinator) {
+      // Retry everything outstanding promptly under the new round once
+      // Phase 1 completes (pump/phase1 completion handles the rest).
+      for (auto& [inst, o] : rs.outstanding) o.round = rs.round;
+    }
+  } else {
+    rs.coordinating = false;
+  }
+}
+
+void RingNode::drain_deferred(RingState& rs) {
+  while (!rs.deferred.empty() && rs.storage && rs.storage->accepting()) {
+    sim::MessagePtr m = rs.deferred.front();
+    rs.deferred.pop_front();
+    handle_phase2(rs, msg_cast<Phase2Msg>(m));
+  }
+  if (!rs.deferred.empty() && !rs.drain_registered) {
+    rs.drain_registered = true;
+    GroupId g = rs.cfg.group;
+    rs.storage->when_accepting([this, g] {
+      auto& s = state(g);
+      s.drain_registered = false;
+      drain_deferred(s);
+    });
+  }
+}
+
+void RingNode::on_message(ProcessId from, const MessagePtr& m) {
+  switch (m->type()) {
+    case kPacked: {
+      const auto& pm = msg_cast<PackedMsg>(m);
+      for (const auto& inner : pm.inner) on_message(from, inner);
+      return;
+    }
+    case kProposal: {
+      const auto& pr = msg_cast<ProposalMsg>(m);
+      if (auto* rs = find_state(pr.ring)) {
+        handle_proposal(*rs, pr);
+      }
+      return;
+    }
+    case kPhase1A: {
+      const auto& p1 = msg_cast<Phase1AMsg>(m);
+      if (auto* rs = find_state(p1.ring)) {
+        handle_phase1a(from, *rs, p1);
+      }
+      return;
+    }
+    case kPhase1B: {
+      const auto& p1b = msg_cast<Phase1BMsg>(m);
+      if (auto* rs = find_state(p1b.ring)) {
+        handle_phase1b(*rs, p1b);
+      }
+      return;
+    }
+    case kPhase2: {
+      const auto& p2 = msg_cast<Phase2Msg>(m);
+      auto* rs = find_state(p2.ring);
+      if (rs == nullptr) return;
+      // Async-disk backpressure: keep ring FIFO by deferring behind any
+      // already-deferred traffic.
+      if (rs->storage &&
+          (!rs->deferred.empty() || !rs->storage->accepting())) {
+        rs->deferred.push_back(m);
+        drain_deferred(*rs);
+        return;
+      }
+      handle_phase2(*rs, p2);
+      return;
+    }
+    case kDecision: {
+      const auto& d = msg_cast<DecisionMsg>(m);
+      if (auto* rs = find_state(d.ring)) {
+        handle_decision(*rs, d);
+      }
+      return;
+    }
+    case kRetransmitRequest: {
+      const auto& rr = msg_cast<RetransmitRequestMsg>(m);
+      if (auto* rs = find_state(rr.ring)) {
+        handle_retransmit_request(from, *rs, rr);
+      }
+      return;
+    }
+    default:
+      // Not a ring message: subclasses (services) handle their own types.
+      return;
+  }
+}
+
+}  // namespace amcast::ringpaxos

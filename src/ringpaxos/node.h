@@ -1,0 +1,272 @@
+// RingNode: a process participating in one or more Ring Paxos rings.
+//
+// One node may simultaneously be proposer, acceptor, coordinator, and
+// learner in any subset of its rings (paper §8.3.1 deploys "three processes,
+// all of which are proposers, acceptors, and learners"). The Multi-Ring
+// Paxos layer (src/core) subclasses this node and merges the per-ring
+// in-order delivery streams that this class produces.
+#pragma once
+
+#include <deque>
+#include <string>
+#include <map>
+#include <memory>
+#include <utility>
+
+#include "common/ids.h"
+#include "ringpaxos/messages.h"
+#include "ringpaxos/ring.h"
+#include "ringpaxos/storage.h"
+#include "sim/node.h"
+
+namespace amcast::ringpaxos {
+
+/// Per-ring tunables.
+struct RingOptions {
+  StorageOptions storage;  ///< acceptor log mode (ignored for non-acceptors)
+
+  /// Max consensus instances in flight at the coordinator.
+  int window = 4096;
+
+  /// Phase 1 is pre-executed for this many instances at a time (paper §4).
+  InstanceId phase1_batch = 1 << 20;
+
+  /// Coordinator re-executes Phase 2 for instances undecided this long
+  /// (covers messages lost to crashed ring members).
+  Duration instance_timeout = duration::seconds(2);
+
+  /// Rate leveling (paper §4): every `delta`, the coordinator tops the ring
+  /// up to `lambda` instances/second with skip instances. lambda == 0
+  /// disables rate leveling.
+  Duration delta = duration::milliseconds(5);
+  double lambda = 0;
+
+  /// Proposer-side re-proposal timeout; 0 disables re-proposals. Duplicate
+  /// deliveries caused by spurious re-proposals must be filtered by the
+  /// service layer (paper Figure 8, event 5).
+  Duration proposal_timeout = 0;
+
+  /// Packing: group outgoing ring messages to the same successor into one
+  /// packet (paper §4 optimization; the Figure 3 baseline disables it).
+  bool packing = false;
+  Duration pack_delay = duration::microseconds(100);
+  std::size_t pack_bytes = 32 * 1024;
+};
+
+class RingNode : public sim::Node {
+ public:
+  /// `registry` must outlive the node. `cpu` models the host server.
+  explicit RingNode(ConfigRegistry& registry,
+                    sim::CpuParams cpu = sim::Presets::server_cpu());
+  ~RingNode() override;
+
+  /// Joins a ring this node is a member of. `learner` controls whether the
+  /// per-ring delivery stream is produced. Must be called before the
+  /// simulation starts delivering traffic for the ring.
+  void join_ring(GroupId g, bool learner, RingOptions opts);
+
+  /// True if this node joined `g`.
+  bool in_ring(GroupId g) const { return rings_.count(g) > 0; }
+
+  /// Proposes a value to ring `g` (any node that knows the registry may
+  /// propose — clients included). The value is sent to the ring's
+  /// coordinator; with `proposal_timeout` set, it is re-proposed until a
+  /// decision for it is observed by this node.
+  void propose(GroupId g, ValuePtr v);
+
+  /// Highest instance this node has delivered (plus pending count), per
+  /// ring. For monitoring/tests.
+  InstanceId next_to_deliver(GroupId g) const;
+
+  /// Re-proposal timeout used when proposing to rings this node is NOT a
+  /// member of (clients). 0 disables re-proposals (default).
+  void set_default_proposal_timeout(Duration d) {
+    default_proposal_timeout_ = d;
+  }
+
+  /// Stops re-proposing a message. Ring members clear automatically when
+  /// they observe the decision; pure clients (non-members) must call this
+  /// when the service acknowledges the command (e.g., a replica response).
+  void clear_proposal(MessageId id) { my_proposals_.erase(id); }
+
+  /// Read-only view of this node's acceptor log for a ring (nullptr when
+  /// not an acceptor). For monitoring and diagnostics.
+  const AcceptorStorage* storage_view(GroupId g) const {
+    const RingState* rs = find_state(g);
+    return rs ? rs->storage.get() : nullptr;
+  }
+
+  /// Human-readable learner-state summary for diagnostics.
+  std::string debug_learner_state(GroupId g) const;
+
+  /// Per-ring counters for monitoring and benches.
+  struct RingCounters {
+    std::int64_t decided_instances = 0;
+    std::int64_t delivered_values = 0;   ///< application values delivered
+    std::int64_t skipped_instances = 0;  ///< rate-leveling skips observed
+  };
+  RingCounters ring_counters(GroupId g) const;
+
+  ConfigRegistry& registry() { return registry_; }
+
+  void on_message(ProcessId from, const MessagePtr& m) override;
+  void on_start() override;
+
+ protected:
+  /// In-order per-ring delivery hook: called exactly once per instance
+  /// range, in instance order within each ring. Skip values are reported
+  /// too (the merge layer needs them to advance the round-robin).
+  virtual void on_ring_deliver(GroupId g, InstanceId first, std::int32_t count,
+                               const ValuePtr& value) = 0;
+
+  /// Lets subclasses (recovery) reset the delivery cursor of a ring, e.g.
+  /// after installing a checkpoint. Pending entries below are dropped.
+  void set_delivery_cursor(GroupId g, InstanceId next);
+
+  /// Wipes the volatile learner state of a ring (crash semantics): pending
+  /// buffers are dropped and the cursor rewinds to 0 until recovery
+  /// repositions it.
+  void reset_learner(GroupId g);
+
+  /// Injects a decided instance obtained via retransmission into the
+  /// delivery pipeline (idempotent per instance).
+  void inject_decided(GroupId g, InstanceId first, std::int32_t count,
+                      ValuePtr value);
+
+  /// Access to the acceptor log of a ring (null if not an acceptor).
+  AcceptorStorage* storage(GroupId g);
+
+ private:
+  struct PendingInstance {
+    std::int32_t count = 0;
+    ValuePtr value;
+    bool decided = false;
+  };
+
+  struct Outstanding {
+    ValuePtr value;
+    std::int32_t count = 1;
+    Round round = 0;
+    Time sent_at = 0;
+  };
+
+  struct OutstandingProposal {
+    GroupId ring;
+    ValuePtr value;
+    Time proposed_at = 0;
+  };
+
+  struct RingState {
+    RingConfig cfg;
+    RingOptions opts;
+    bool learner = false;
+    std::unique_ptr<AcceptorStorage> storage;
+
+    // --- learner ---
+    InstanceId next_deliver = 0;
+    std::map<InstanceId, PendingInstance> pending;
+
+    // --- coordinator ---
+    bool coordinating = false;
+    Round round = 0;
+    InstanceId next_instance = 0;
+    InstanceId phase1_ready_until = 0;
+    bool phase1_running = false;
+    int phase1_acks = 0;
+    std::map<InstanceId, Phase1BMsg::Accepted> phase1_accepted;
+    std::deque<ValuePtr> proposal_queue;
+    std::map<InstanceId, Outstanding> outstanding;
+    std::int64_t proposed_in_window = 0;  // rate leveling accounting
+    double skip_carry = 0;                // fractional skip debt
+    bool pump_scheduled = false;
+
+    // --- packing ---
+    std::vector<sim::MessagePtr> pack_buf;
+    std::size_t pack_buf_bytes = 0;
+    bool pack_flush_scheduled = false;
+
+    // --- acceptor backpressure (async-disk mode) ---
+    std::deque<sim::MessagePtr> deferred;
+    bool drain_registered = false;
+
+    // --- bookkeeping ---
+    bool timers_armed = false;
+    std::int64_t decided_instances = 0;
+    std::int64_t delivered_values = 0;
+    std::int64_t skipped_instances = 0;
+  };
+
+  RingState& state(GroupId g);
+  const RingState* find_state(GroupId g) const;
+  RingState* find_state(GroupId g) {
+    return const_cast<RingState*>(std::as_const(*this).find_state(g));
+  }
+
+  // Message handlers.
+  void handle_proposal(RingState& rs, const ProposalMsg& m);
+  void handle_phase1a(ProcessId from, RingState& rs, const Phase1AMsg& m);
+  void handle_phase1b(RingState& rs, const Phase1BMsg& m);
+  void handle_phase2(RingState& rs, const Phase2Msg& m);
+  void handle_decision(RingState& rs, const DecisionMsg& m);
+  void handle_retransmit_request(ProcessId from, RingState& rs,
+                                 const RetransmitRequestMsg& m);
+
+  // Coordinator machinery.
+  void become_coordinator(RingState& rs);
+  void start_phase1(RingState& rs);
+  void pump(RingState& rs);
+  void schedule_pump(RingState& rs);
+  void start_instance(RingState& rs, InstanceId instance, std::int32_t count,
+                      ValuePtr value, Round round);
+  void rate_level_tick(RingState& rs);
+  void retry_outstanding(RingState& rs);
+
+  // Ring forwarding.
+  void drain_deferred(RingState& rs);
+  void forward(RingState& rs, sim::MessagePtr m);
+  void flush_pack(RingState& rs);
+  void emit_decision(RingState& rs, InstanceId instance, std::int32_t count,
+                     Round round);
+
+  // Learner machinery.
+  void note_value(RingState& rs, InstanceId first, std::int32_t count,
+                  const ValuePtr& v);
+  void note_decided(RingState& rs, InstanceId first, std::int32_t count);
+  void drain(RingState& rs);
+
+  // Proposer machinery.
+  void check_proposal_timeouts();
+  void observe_decided_value(const ValuePtr& v);
+
+  void on_reconfigure(const RingConfig& cfg);
+
+  ConfigRegistry& registry_;
+  std::map<GroupId, RingState> rings_;
+  std::map<MessageId, OutstandingProposal> my_proposals_;
+  MessageId next_msg_id_ = 1;
+  bool proposal_timer_armed_ = false;
+  Duration default_proposal_timeout_ = 0;
+};
+
+/// A RingNode whose deliveries go to a plain callback; handy for tests and
+/// for single-ring (pure atomic broadcast) deployments.
+class CallbackRingNode final : public RingNode {
+ public:
+  using DeliverFn = std::function<void(GroupId, InstanceId, std::int32_t,
+                                       const ValuePtr&)>;
+  explicit CallbackRingNode(ConfigRegistry& reg,
+                            sim::CpuParams cpu = sim::Presets::server_cpu())
+      : RingNode(reg, cpu) {}
+  void set_deliver(DeliverFn fn) { deliver_ = std::move(fn); }
+
+ protected:
+  void on_ring_deliver(GroupId g, InstanceId first, std::int32_t count,
+                       const ValuePtr& value) override {
+    if (deliver_) deliver_(g, first, count, value);
+  }
+
+ private:
+  DeliverFn deliver_;
+};
+
+}  // namespace amcast::ringpaxos

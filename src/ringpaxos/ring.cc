@@ -1,0 +1,127 @@
+#include "ringpaxos/ring.h"
+
+#include <algorithm>
+
+namespace amcast::ringpaxos {
+
+bool RingConfig::is_member(ProcessId p) const {
+  return std::find(members.begin(), members.end(), p) != members.end();
+}
+
+bool RingConfig::is_acceptor(ProcessId p) const {
+  return std::find(acceptors.begin(), acceptors.end(), p) != acceptors.end();
+}
+
+int RingConfig::position(ProcessId p) const {
+  auto it = std::find(members.begin(), members.end(), p);
+  AMCAST_ASSERT_MSG(it != members.end(), "process not a ring member");
+  return int(it - members.begin());
+}
+
+ProcessId RingConfig::successor(ProcessId p) const {
+  int pos = position(p);
+  return members[std::size_t((pos + 1) % size())];
+}
+
+void ConfigRegistry::validate(const RingConfig& c) const {
+  AMCAST_ASSERT_MSG(!c.members.empty(), "ring needs at least one member");
+  AMCAST_ASSERT_MSG(!c.acceptors.empty(), "ring needs at least one acceptor");
+  for (ProcessId a : c.acceptors) {
+    AMCAST_ASSERT_MSG(c.is_member(a), "acceptor must be a ring member");
+  }
+  AMCAST_ASSERT_MSG(c.is_acceptor(c.coordinator),
+                    "coordinator must be an acceptor");
+}
+
+GroupId ConfigRegistry::create_ring(std::vector<ProcessId> members,
+                                    std::vector<ProcessId> acceptors,
+                                    ProcessId coordinator) {
+  RingConfig c;
+  c.group = next_group_++;
+  c.version = 1;
+  c.members = std::move(members);
+  c.acceptors = std::move(acceptors);
+  c.coordinator = coordinator;
+  validate(c);
+  rings_[c.group] = std::move(c);
+  return next_group_ - 1;
+}
+
+const RingConfig& ConfigRegistry::ring(GroupId g) const {
+  auto it = rings_.find(g);
+  AMCAST_ASSERT_MSG(it != rings_.end(), "unknown ring");
+  return it->second;
+}
+
+std::vector<GroupId> ConfigRegistry::groups() const {
+  std::vector<GroupId> out;
+  out.reserve(rings_.size());
+  for (const auto& [g, _] : rings_) out.push_back(g);
+  return out;
+}
+
+void ConfigRegistry::notify(const RingConfig& c) {
+  auto it = watchers_.find(c.group);
+  if (it == watchers_.end()) return;
+  for (auto& w : it->second) w(c);
+}
+
+void ConfigRegistry::reconfigure(GroupId g, std::vector<ProcessId> members,
+                                 std::vector<ProcessId> acceptors,
+                                 ProcessId coordinator) {
+  auto it = rings_.find(g);
+  AMCAST_ASSERT_MSG(it != rings_.end(), "unknown ring");
+  RingConfig c;
+  c.group = g;
+  c.version = it->second.version + 1;
+  c.members = std::move(members);
+  c.acceptors = std::move(acceptors);
+  c.coordinator = coordinator;
+  validate(c);
+  it->second = std::move(c);
+  notify(it->second);
+}
+
+void ConfigRegistry::remove_member(GroupId g, ProcessId p) {
+  const RingConfig& cur = ring(g);
+  if (!cur.is_member(p)) return;
+  auto members = cur.members;
+  auto acceptors = cur.acceptors;
+  members.erase(std::remove(members.begin(), members.end(), p), members.end());
+  acceptors.erase(std::remove(acceptors.begin(), acceptors.end(), p),
+                  acceptors.end());
+  ProcessId coord = cur.coordinator;
+  if (coord == p) {
+    AMCAST_ASSERT_MSG(!acceptors.empty(), "ring lost all acceptors");
+    coord = acceptors.front();
+  }
+  reconfigure(g, std::move(members), std::move(acceptors), coord);
+}
+
+void ConfigRegistry::add_member(GroupId g, ProcessId p, bool acceptor) {
+  const RingConfig& cur = ring(g);
+  if (cur.is_member(p)) return;
+  auto members = cur.members;
+  auto acceptors = cur.acceptors;
+  members.push_back(p);
+  if (acceptor) acceptors.push_back(p);
+  reconfigure(g, std::move(members), std::move(acceptors), cur.coordinator);
+}
+
+void ConfigRegistry::subscribe(GroupId g, ProcessId p) {
+  auto& subs = subscribers_[g];
+  if (std::find(subs.begin(), subs.end(), p) == subs.end()) subs.push_back(p);
+}
+
+void ConfigRegistry::unsubscribe(GroupId g, ProcessId p) {
+  auto& subs = subscribers_[g];
+  subs.erase(std::remove(subs.begin(), subs.end(), p), subs.end());
+}
+
+const std::vector<ProcessId>& ConfigRegistry::subscribers(GroupId g) const {
+  static const std::vector<ProcessId> kEmpty;
+  auto it = subscribers_.find(g);
+  return it == subscribers_.end() ? kEmpty : it->second;
+}
+
+}  // namespace amcast::ringpaxos

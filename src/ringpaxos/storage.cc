@@ -1,0 +1,142 @@
+#include "ringpaxos/storage.h"
+
+#include "common/assert.h"
+
+namespace amcast::ringpaxos {
+
+AcceptorStorage::AcceptorStorage(StorageOptions opts, sim::Disk* disk)
+    : opts_(opts), disk_(disk) {
+  if (opts_.mode != StorageOptions::Mode::kMemory) {
+    AMCAST_ASSERT_MSG(disk_ != nullptr, "disk-backed storage needs a disk");
+  }
+}
+
+void AcceptorStorage::persist(std::size_t bytes, std::function<void()> ready) {
+  switch (opts_.mode) {
+    case StorageOptions::Mode::kMemory:
+      // Off-heap slot write: no I/O, forward immediately.
+      ready();
+      return;
+    case StorageOptions::Mode::kSyncDisk:
+      // Durable before forwarding (paper §5.1).
+      disk_->write(bytes, std::move(ready));
+      return;
+    case StorageOptions::Mode::kAsyncDisk:
+      disk_->write_async(bytes);
+      ready();
+      return;
+  }
+}
+
+void AcceptorStorage::store_vote(InstanceId instance, std::int32_t count,
+                                 Round round, ValuePtr value,
+                                 std::function<void()> ready) {
+  AMCAST_ASSERT(instance >= 0 && count >= 1);
+  auto& e = log_[instance];
+  if (e.instance == kInvalidInstance) {
+    e.instance = instance;
+    e.count = count;
+  }
+  // Re-votes for the same or higher round overwrite (standard Paxos 2B).
+  if (round >= e.round) {
+    e.round = round;
+    e.value = std::move(value);
+  }
+  std::size_t bytes = 40 + (e.value ? e.value->wire_size() : 0);
+  logged_bytes_ += bytes;
+  enforce_memory_bound();
+  persist(bytes, std::move(ready));
+}
+
+void AcceptorStorage::mark_decided(InstanceId instance, std::int32_t count) {
+  auto it = log_.find(instance);
+  if (it == log_.end()) return;  // overwritten (memory mode) or trimmed
+  it->second.decided = true;
+  InstanceId last = instance + count - 1;
+  if (last > highest_decided_) highest_decided_ = last;
+}
+
+const AcceptorStorage::Entry* AcceptorStorage::find(InstanceId instance) const {
+  if (instance < first_retained_) return nullptr;
+  auto it = log_.upper_bound(instance);
+  if (it == log_.begin()) return nullptr;
+  --it;
+  const Entry& e = it->second;
+  if (instance >= e.instance && instance < e.instance + e.count) return &e;
+  return nullptr;
+}
+
+void AcceptorStorage::promise(Round r, std::function<void()> ready) {
+  AMCAST_ASSERT(r >= promised_);
+  promised_ = r;
+  persist(32, std::move(ready));
+}
+
+void AcceptorStorage::trim(InstanceId up_to) {
+  // Remove every range fully contained in (-inf, up_to].
+  auto it = log_.begin();
+  while (it != log_.end()) {
+    const Entry& e = it->second;
+    if (e.instance + e.count - 1 <= up_to) {
+      it = log_.erase(it);
+    } else {
+      break;  // map is ordered; later ranges end later
+    }
+  }
+  if (up_to + 1 > first_retained_) first_retained_ = up_to + 1;
+}
+
+void AcceptorStorage::enforce_memory_bound() {
+  if (opts_.mode != StorageOptions::Mode::kMemory) return;
+  // The pre-allocated slot ring holds `memory_slots` instances; older ones
+  // are overwritten by new votes (paper §7.1).
+  while (log_.size() > opts_.memory_slots) {
+    auto it = log_.begin();
+    InstanceId evicted_end = it->second.instance + it->second.count;
+    log_.erase(it);
+    if (evicted_end > first_retained_) first_retained_ = evicted_end;
+  }
+}
+
+std::vector<AcceptorStorage::Entry> AcceptorStorage::collect_undecided(
+    InstanceId from) const {
+  std::vector<Entry> out;
+  for (auto it = log_.lower_bound(from); it != log_.end(); ++it) {
+    if (!it->second.decided) out.push_back(it->second);
+  }
+  return out;
+}
+
+std::vector<AcceptorStorage::Entry> AcceptorStorage::collect_decided(
+    InstanceId from, InstanceId to, std::size_t max_entries) const {
+  std::vector<Entry> out;
+  auto it = log_.upper_bound(from);
+  if (it != log_.begin()) --it;  // ranges may start before `from`
+  for (; it != log_.end() && it->second.instance <= to; ++it) {
+    if (out.size() >= max_entries) break;
+    const Entry& e = it->second;
+    if (e.decided && e.instance + e.count - 1 >= from) out.push_back(e);
+  }
+  return out;
+}
+
+InstanceId AcceptorStorage::last_logged_end() const {
+  if (log_.empty()) return first_retained_;
+  const Entry& e = log_.rbegin()->second;
+  return e.instance + e.count;
+}
+
+bool AcceptorStorage::accepting() const {
+  if (opts_.mode != StorageOptions::Mode::kAsyncDisk) return true;
+  return disk_->accepting();
+}
+
+void AcceptorStorage::when_accepting(std::function<void()> cb) {
+  if (opts_.mode != StorageOptions::Mode::kAsyncDisk) {
+    cb();
+    return;
+  }
+  disk_->when_accepting(std::move(cb));
+}
+
+}  // namespace amcast::ringpaxos

@@ -1,0 +1,111 @@
+// Acceptor storage (paper §5.1, §7.1, §8.2/8.3 storage modes).
+//
+// An acceptor must log every Phase 1B/2B response before forwarding it, so
+// that it can serve retransmission requests from recovering replicas after
+// its own failures. Three modes are supported, matching the paper:
+//
+//  * kMemory    — pre-allocated ring of slots (the paper uses 15000 slots of
+//                 32 KB, allocated off-heap); old instances are overwritten,
+//                 so retention is bounded by the slot count;
+//  * kSyncDisk  — the vote is durable before the message is forwarded;
+//  * kAsyncDisk — the vote enters the disk's buffered-write queue and the
+//                 message is forwarded immediately; if the queue backs up,
+//                 the acceptor pauses intake (backpressure) so sustained
+//                 throughput is bounded by device bandwidth.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "common/ids.h"
+#include "ringpaxos/value.h"
+#include "sim/disk.h"
+
+namespace amcast::ringpaxos {
+
+/// Storage configuration for one acceptor in one ring.
+struct StorageOptions {
+  enum class Mode { kMemory, kSyncDisk, kAsyncDisk };
+  Mode mode = Mode::kMemory;
+  int disk_index = 0;                ///< which node disk backs this ring
+  std::size_t memory_slots = 15000;  ///< paper §7.1
+  std::size_t slot_bytes = 32 * 1024;
+};
+
+/// Per-(acceptor, ring) vote/decision log.
+class AcceptorStorage {
+ public:
+  /// `disk` may be null in kMemory mode; otherwise it must outlive this.
+  AcceptorStorage(StorageOptions opts, sim::Disk* disk);
+
+  struct Entry {
+    InstanceId instance = kInvalidInstance;
+    std::int32_t count = 1;  ///< consecutive instances covered (skip ranges)
+    Round round = 0;
+    ValuePtr value;
+    bool decided = false;
+  };
+
+  /// Logs a vote for [instance, instance+count). `ready` runs when the
+  /// protocol may forward the Phase 2B (per the mode's durability rule).
+  void store_vote(InstanceId instance, std::int32_t count, Round round,
+                  ValuePtr value, std::function<void()> ready);
+
+  /// Records that the instance range was decided.
+  void mark_decided(InstanceId instance, std::int32_t count);
+
+  /// Entry covering `instance`, or nullptr if absent/overwritten/trimmed.
+  const Entry* find(InstanceId instance) const;
+
+  /// Highest round this acceptor promised (Phase 1).
+  Round promised() const { return promised_; }
+  void promise(Round r, std::function<void()> ready);
+
+  /// Removes all entries whose *entire range* lies at or below `up_to`
+  /// (the trim protocol of paper §5.2).
+  void trim(InstanceId up_to);
+
+  /// First instance that is still retrievable; requests below this must be
+  /// answered from a checkpoint instead.
+  InstanceId first_retained() const { return first_retained_; }
+
+  /// Highest instance with a decided entry, or kInvalidInstance.
+  InstanceId highest_decided() const { return highest_decided_; }
+
+  /// All retained entries at or above `from` that are not known decided —
+  /// what a Phase 1B reports so a new coordinator can finish in-flight
+  /// instances.
+  std::vector<Entry> collect_undecided(InstanceId from) const;
+
+  /// Retained decided entries intersecting [from, to], at most `max_entries`
+  /// (retransmission replies are chunked so recovering replicas catch up in
+  /// bounded transfers; they re-request from their new cursor).
+  std::vector<Entry> collect_decided(InstanceId from, InstanceId to,
+                                     std::size_t max_entries = SIZE_MAX) const;
+
+  /// First instance after the last logged entry (0 when the log is empty) —
+  /// a lower bound for a new coordinator's next fresh instance.
+  InstanceId last_logged_end() const;
+
+  /// Backpressure: false while the async write queue is over its cap.
+  bool accepting() const;
+  /// Runs `cb` once accepting() is true (immediately if it already is).
+  void when_accepting(std::function<void()> cb);
+
+  std::size_t entry_count() const { return log_.size(); }
+
+ private:
+  void persist(std::size_t bytes, std::function<void()> ready);
+  void enforce_memory_bound();
+
+  StorageOptions opts_;
+  sim::Disk* disk_;
+  Round promised_ = 0;
+  std::map<InstanceId, Entry> log_;  ///< keyed by first instance of range
+  InstanceId first_retained_ = 0;
+  InstanceId highest_decided_ = kInvalidInstance;
+  std::size_t logged_bytes_ = 0;
+};
+
+}  // namespace amcast::ringpaxos

@@ -1,0 +1,39 @@
+#include "ringpaxos/value.h"
+
+#include "common/assert.h"
+
+namespace amcast::ringpaxos {
+
+ValuePtr make_value(GroupId group, MessageId id, ProcessId origin, Time now,
+                    std::size_t size) {
+  auto v = std::make_shared<Value>();
+  v->group = group;
+  v->msg_id = id;
+  v->origin = origin;
+  v->created_at = now;
+  v->payload = std::make_shared<const std::vector<std::uint8_t>>(size, 0);
+  return v;
+}
+
+ValuePtr make_value_bytes(GroupId group, MessageId id, ProcessId origin,
+                          Time now, std::vector<std::uint8_t> bytes) {
+  auto v = std::make_shared<Value>();
+  v->group = group;
+  v->msg_id = id;
+  v->origin = origin;
+  v->created_at = now;
+  v->payload =
+      std::make_shared<const std::vector<std::uint8_t>>(std::move(bytes));
+  return v;
+}
+
+ValuePtr make_skip(GroupId group, Time now, std::int32_t count) {
+  AMCAST_ASSERT(count >= 1);
+  auto v = std::make_shared<Value>();
+  v->group = group;
+  v->created_at = now;
+  v->skip_count = count;
+  return v;
+}
+
+}  // namespace amcast::ringpaxos

@@ -1,0 +1,53 @@
+// Values proposed to (and decided by) consensus instances.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/ids.h"
+
+namespace amcast::ringpaxos {
+
+/// Immutable application payload. Shared between all message copies that
+/// carry it, so forwarding a value around the ring never copies bytes.
+using Payload = std::shared_ptr<const std::vector<std::uint8_t>>;
+
+/// A value flowing through one consensus instance of one ring.
+///
+/// Two kinds exist:
+///  * application values — carry a payload multicast by some proposer;
+///  * skip values — proposed by the coordinator's rate-leveling logic
+///    (paper §4) to keep a slow ring's instance rate at λ; they carry no
+///    payload and cover `skip_count >= 1` consecutive instances.
+struct Value {
+  GroupId group = kInvalidGroup;     ///< multicast group == ring id
+  MessageId msg_id = 0;              ///< unique per multicast, 0 for skips
+  ProcessId origin = kInvalidProcess;  ///< proposing node (for tracing)
+  Time created_at = 0;               ///< proposal time (latency accounting)
+  Payload payload;                   ///< null for skip values
+  std::int32_t skip_count = 0;       ///< >0 marks a skip value
+
+  bool is_skip() const { return skip_count > 0; }
+
+  /// Bytes this value contributes to any message carrying it.
+  std::size_t wire_size() const {
+    return 32 + (payload ? payload->size() : 0);
+  }
+};
+
+using ValuePtr = std::shared_ptr<const Value>;
+
+/// Builds an application value around a payload of `size` zero bytes (most
+/// benchmarks care about sizes, not contents).
+ValuePtr make_value(GroupId group, MessageId id, ProcessId origin, Time now,
+                    std::size_t size);
+
+/// Builds an application value around concrete bytes (service commands).
+ValuePtr make_value_bytes(GroupId group, MessageId id, ProcessId origin,
+                          Time now, std::vector<std::uint8_t> bytes);
+
+/// Builds a skip value covering `count` instances.
+ValuePtr make_skip(GroupId group, Time now, std::int32_t count);
+
+}  // namespace amcast::ringpaxos

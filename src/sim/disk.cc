@@ -1,0 +1,86 @@
+#include "sim/disk.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+#include "sim/simulation.h"
+
+namespace amcast::sim {
+
+Disk::Disk(Simulation& sim, DiskParams params) : sim_(sim), params_(params) {}
+
+Duration Disk::service_time(std::size_t bytes) const {
+  double transfer_ns = double(bytes) * 8.0 / params_.bandwidth_bps * 1e9;
+  return params_.positioning + Duration(transfer_ns);
+}
+
+void Disk::complete(std::size_t bytes, std::function<void()> cb) {
+  AMCAST_ASSERT(backlog_bytes_ >= bytes);
+  backlog_bytes_ -= bytes;
+  bytes_written_ += bytes;
+  if (cb) cb();
+  if (accepting() && !waiters_.empty()) {
+    auto waiters = std::move(waiters_);
+    waiters_.clear();
+    for (auto& w : waiters) w();
+  }
+}
+
+void Disk::write(std::size_t bytes, std::function<void()> on_durable) {
+  Duration svc = service_time(bytes);
+  Time start = std::max(sim_.now(), next_free_);
+  next_free_ = start + svc;
+  busy_ns_ += double(svc);
+  backlog_bytes_ += bytes;
+  sim_.at(next_free_, [this, bytes, cb = std::move(on_durable)]() mutable {
+    complete(bytes, std::move(cb));
+  });
+}
+
+void Disk::write_async(std::size_t bytes) {
+  backlog_bytes_ += bytes;
+  pending_async_ += bytes;
+  maybe_flush_async();
+}
+
+void Disk::maybe_flush_async() {
+  if (pending_async_ == 0 || async_flush_queued_) return;
+  if (next_free_ > sim_.now()) {
+    // Device busy: coalesce until the in-flight operation completes.
+    async_flush_queued_ = true;
+    sim_.at(next_free_, [this] {
+      async_flush_queued_ = false;
+      maybe_flush_async();
+    });
+    return;
+  }
+  std::size_t chunk = std::min(pending_async_, params_.coalesce_bytes);
+  pending_async_ -= chunk;
+  Duration svc = service_time(chunk);
+  next_free_ = sim_.now() + svc;
+  busy_ns_ += double(svc);
+  sim_.at(next_free_, [this, chunk] {
+    complete(chunk, nullptr);
+    maybe_flush_async();
+  });
+}
+
+void Disk::read(std::size_t bytes, std::function<void()> done) {
+  Duration svc = service_time(bytes);
+  Time start = std::max(sim_.now(), next_free_);
+  next_free_ = start + svc;
+  busy_ns_ += double(svc);
+  sim_.at(next_free_, [cb = std::move(done)] {
+    if (cb) cb();
+  });
+}
+
+void Disk::when_accepting(std::function<void()> cb) {
+  if (accepting()) {
+    cb();
+    return;
+  }
+  waiters_.push_back(std::move(cb));
+}
+
+}  // namespace amcast::sim

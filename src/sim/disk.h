@@ -1,0 +1,82 @@
+// Disk model: a FIFO device with positioning latency and transfer bandwidth.
+//
+// Supports the paper's two commit modes (§8.2):
+//  * synchronous writes — the caller's continuation runs when the bytes are
+//    durable (used by acceptors in "Sync Disk" modes and by checkpointing);
+//  * asynchronous writes — bytes enter a bounded buffer that drains at device
+//    speed; the caller continues immediately, but once the backlog exceeds
+//    `async_queue_bytes` the disk reports "not accepting", which the
+//    storage layer turns into backpressure (this is what bounds async-mode
+//    throughput at device bandwidth, as in Figure 3).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "common/ids.h"
+#include "sim/params.h"
+
+namespace amcast::sim {
+
+class Simulation;
+
+class Disk {
+ public:
+  Disk(Simulation& sim, DiskParams params);
+
+  Disk(const Disk&) = delete;
+  Disk& operator=(const Disk&) = delete;
+
+  /// Durable write: `on_durable` runs when the device has persisted the
+  /// bytes (positioning + transfer, behind all previously queued writes).
+  void write(std::size_t bytes, std::function<void()> on_durable);
+
+  /// Buffered write: returns immediately. Bytes accumulate in the
+  /// write-behind buffer and drain through the device in coalesced
+  /// sequential chunks (one positioning charge per chunk), which is how
+  /// buffered WALs behave under load.
+  void write_async(std::size_t bytes);
+
+  /// Read: occupies the device for the same positioning+transfer time and
+  /// invokes `done` when the bytes are available (checkpoint reload).
+  void read(std::size_t bytes, std::function<void()> done);
+
+  /// False while the async backlog exceeds the configured cap. Callers
+  /// performing async writes should pause intake until accepting() again and
+  /// can register interest via `when_accepting`.
+  bool accepting() const { return backlog_bytes_ <= params_.async_queue_bytes; }
+
+  /// Invokes `cb` as soon as the disk is accepting again (immediately if it
+  /// already is). Callbacks run in registration order.
+  void when_accepting(std::function<void()> cb);
+
+  /// Bytes queued but not yet durable.
+  std::size_t backlog_bytes() const { return backlog_bytes_; }
+
+  /// Total bytes made durable since start.
+  std::size_t bytes_written() const { return bytes_written_; }
+
+  /// Device busy seconds accumulated since start (for utilization reports).
+  double busy_seconds() const { return busy_ns_ * 1e-9; }
+
+  const DiskParams& params() const { return params_; }
+
+ private:
+  Duration service_time(std::size_t bytes) const;
+  void complete(std::size_t bytes, std::function<void()> cb);
+
+  void maybe_flush_async();
+
+  Simulation& sim_;
+  DiskParams params_;
+  Time next_free_ = 0;
+  std::size_t backlog_bytes_ = 0;
+  std::size_t pending_async_ = 0;  ///< buffered, not yet issued to device
+  bool async_flush_queued_ = false;
+  std::size_t bytes_written_ = 0;
+  double busy_ns_ = 0;
+  std::vector<std::function<void()>> waiters_;
+};
+
+}  // namespace amcast::sim

@@ -1,0 +1,116 @@
+#include "sim/network.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+#include "sim/node.h"
+#include "sim/simulation.h"
+
+namespace amcast::sim {
+
+Topology Topology::lan() {
+  Topology t;
+  t.add_region("local", Presets::lan());
+  return t;
+}
+
+Topology Topology::ec2_four_regions() {
+  // Inter-region RTTs approximating the 2014 EC2 footprint the paper used
+  // (§8.4.2): eu-west-1 (Ireland), us-west-1 (N. California),
+  // us-east-1 (Virginia), us-west-2 (Oregon). Values are one-way latencies.
+  // Region order matters: rings enumerate members by region index, so this
+  // order yields the short "around the world" lap
+  // eu-west -> us-east -> us-west-1 -> us-west-2 -> eu-west (~159 ms).
+  Topology t;
+  LinkParams local{duration::microseconds(250), 1e9,
+                   duration::microseconds(50)};
+  RegionId eu_west = t.add_region("eu-west-1", local);
+  RegionId us_east = t.add_region("us-east-1", local);
+  RegionId us_west1 = t.add_region("us-west-1", local);
+  RegionId us_west2 = t.add_region("us-west-2", local);
+
+  auto wan = [](std::int64_t one_way_ms) {
+    return LinkParams{duration::milliseconds(one_way_ms), 0.6e9,
+                      duration::microseconds(300)};
+  };
+  t.set_link(eu_west, us_east, wan(40));
+  t.set_link(eu_west, us_west1, wan(80));
+  t.set_link(eu_west, us_west2, wan(70));
+  t.set_link(us_east, us_west1, wan(38));
+  t.set_link(us_east, us_west2, wan(33));
+  t.set_link(us_west1, us_west2, wan(11));
+  return t;
+}
+
+RegionId Topology::add_region(std::string name, LinkParams local) {
+  auto id = RegionId(names_.size());
+  names_.push_back(std::move(name));
+  links_[{id, id}] = local;
+  return id;
+}
+
+void Topology::set_link(RegionId a, RegionId b, LinkParams p) {
+  links_[{std::min(a, b), std::max(a, b)}] = p;
+}
+
+const LinkParams& Topology::link(RegionId a, RegionId b) const {
+  auto it = links_.find({std::min(a, b), std::max(a, b)});
+  AMCAST_ASSERT_MSG(it != links_.end(), "no link between regions");
+  return it->second;
+}
+
+const std::string& Topology::region_name(RegionId r) const {
+  AMCAST_ASSERT(r >= 0 && std::size_t(r) < names_.size());
+  return names_[std::size_t(r)];
+}
+
+Network::Network(Simulation& sim, Topology topo)
+    : sim_(sim), topo_(std::move(topo)) {}
+
+void Network::place(ProcessId node, RegionId region) {
+  AMCAST_ASSERT(region >= 0 && region < topo_.region_count());
+  regions_[node] = region;
+}
+
+RegionId Network::region_of(ProcessId node) const {
+  auto it = regions_.find(node);
+  return it == regions_.end() ? 0 : it->second;
+}
+
+void Network::send(ProcessId from, ProcessId to, MessagePtr m) {
+  AMCAST_ASSERT(m != nullptr);
+  ++messages_sent_;
+  std::size_t size = m->wire_size();
+  bytes_sent_ += size;
+
+  if (drop_prob_ > 0 && sim_.rng().next_bool(drop_prob_)) return;
+
+  if (from == to) {
+    // Loopback: negligible latency, no bandwidth charge.
+    Node& dst = sim_.node(to);
+    sim_.after(duration::microseconds(2),
+               [&dst, from, m = std::move(m)] { dst.deliver(from, m); });
+    return;
+  }
+
+  const LinkParams& link = topo_.link(region_of(from), region_of(to));
+  Channel& chan = channels_[{from, to}];
+
+  // Bandwidth serialization on the sender side of the channel.
+  double tx_ns = double(size) * 8.0 / link.bandwidth_bps * 1e9;
+  Time depart = std::max(sim_.now(), chan.next_free) + Duration(tx_ns);
+  chan.next_free = depart;
+
+  Duration jitter =
+      link.jitter > 0 ? Duration(sim_.rng().next_u64(std::uint64_t(link.jitter)))
+                      : 0;
+  Time arrival = depart + link.latency + jitter;
+  // TCP FIFO: never deliver before an earlier message on the same channel.
+  arrival = std::max(arrival, chan.last_arrival);
+  chan.last_arrival = arrival;
+
+  Node& dst = sim_.node(to);
+  sim_.at(arrival, [&dst, from, m = std::move(m)] { dst.deliver(from, m); });
+}
+
+}  // namespace amcast::sim

@@ -1,0 +1,89 @@
+// Network model: regions, links, TCP-like FIFO channels.
+//
+// Each node is placed in a region; a Topology gives one-way latency,
+// bandwidth and jitter for every region pair. A unidirectional channel
+// between two nodes serializes transmissions at link bandwidth (so large
+// messages and bursts queue, as on a real NIC) and preserves FIFO order
+// (as TCP does). The paper's library is TCP-only (§7.1), so no loss is
+// modelled by default; a drop-probability hook exists for fault tests.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "sim/message.h"
+#include "sim/params.h"
+
+namespace amcast::sim {
+
+class Simulation;
+
+/// Region ids are small integers; names are kept for reporting.
+using RegionId = int;
+
+/// Region-pair link table.
+class Topology {
+ public:
+  /// Single-datacenter topology (everything in region 0, LAN link).
+  static Topology lan();
+
+  /// The paper's EC2 deployment: eu-west-1, us-west-1, us-east-1, us-west-2
+  /// with 2014-era inter-region round-trip times.
+  static Topology ec2_four_regions();
+
+  /// Adds a region, returning its id.
+  RegionId add_region(std::string name, LinkParams local);
+
+  /// Sets the link parameters between two distinct regions (symmetric).
+  void set_link(RegionId a, RegionId b, LinkParams p);
+
+  const LinkParams& link(RegionId a, RegionId b) const;
+  const std::string& region_name(RegionId r) const;
+  int region_count() const { return int(names_.size()); }
+
+ private:
+  std::vector<std::string> names_;
+  std::map<std::pair<RegionId, RegionId>, LinkParams> links_;
+};
+
+class Network {
+ public:
+  Network(Simulation& sim, Topology topo);
+
+  /// Places a node in a region (default region 0).
+  void place(ProcessId node, RegionId region);
+  RegionId region_of(ProcessId node) const;
+
+  /// Sends a message; delivery is scheduled per the link model. Messages to
+  /// self are delivered after a minimal loopback delay.
+  void send(ProcessId from, ProcessId to, MessagePtr m);
+
+  /// Sets a uniform drop probability (for fault-injection tests). TCP-like
+  /// channels treat a "drop" as never delivering — protocol timeouts and
+  /// retransmissions take over.
+  void set_drop_probability(double p) { drop_prob_ = p; }
+
+  const Topology& topology() const { return topo_; }
+
+  std::uint64_t messages_sent() const { return messages_sent_; }
+  std::uint64_t bytes_sent() const { return bytes_sent_; }
+
+ private:
+  struct Channel {
+    Time next_free = 0;     // bandwidth serialization
+    Time last_arrival = 0;  // FIFO enforcement under jitter
+  };
+
+  Simulation& sim_;
+  Topology topo_;
+  std::map<ProcessId, RegionId> regions_;
+  std::map<std::pair<ProcessId, ProcessId>, Channel> channels_;
+  double drop_prob_ = 0;
+  std::uint64_t messages_sent_ = 0;
+  std::uint64_t bytes_sent_ = 0;
+};
+
+}  // namespace amcast::sim

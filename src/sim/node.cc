@@ -1,0 +1,120 @@
+#include "sim/node.h"
+
+#include <algorithm>
+
+#include "sim/network.h"
+
+namespace amcast::sim {
+
+Node::Node(CpuParams cpu) : cpu_(cpu) {
+  core_free_.assign(std::size_t(std::max(1, cpu.cores)), 0);
+}
+
+Node::~Node() = default;
+
+void Node::send(ProcessId to, MessagePtr m) {
+  AMCAST_ASSERT(sim_ != nullptr);
+  if (crashed_) return;
+  sim_->network().send(id_, to, std::move(m));
+}
+
+Duration Node::cpu_cost(const Message& m) const {
+  // cost_factor scales the whole handling cost: allocation/GC churn affects
+  // both the per-message and the per-byte work (paper §8.3.1).
+  double base = double(cpu_.per_message) +
+                cpu_.per_byte_ns * double(m.wire_size());
+  return Duration(base * cpu_cost_factor_);
+}
+
+void Node::deliver(ProcessId from, MessagePtr m) {
+  if (crashed_) return;
+  // CPU queueing: pick the core that frees up first; the handler runs when
+  // the core has finished processing this message.
+  auto it = std::min_element(core_free_.begin(), core_free_.end());
+  Time start = std::max(now(), *it);
+  Duration cost = cpu_cost(*m);
+  *it = start + cost;
+  busy_ns_window_ += double(cost);
+  busy_ns_total_ += double(cost);
+  std::uint64_t epoch = epoch_;
+  sim_->at(start + cost, [this, epoch, from, m = std::move(m)] {
+    if (crashed_ || epoch != epoch_) return;
+    on_message(from, m);
+  });
+}
+
+TimerId Node::set_timer(Duration d, std::function<void()> cb) {
+  TimerId tid = next_timer_++;
+  std::uint64_t epoch = epoch_;
+  sim_->after(d, [this, epoch, tid, cb = std::move(cb)] {
+    if (crashed_ || epoch != epoch_) return;
+    if (std::find(cancelled_.begin(), cancelled_.end(), tid) !=
+        cancelled_.end()) {
+      cancelled_.erase(
+          std::remove(cancelled_.begin(), cancelled_.end(), tid),
+          cancelled_.end());
+      return;
+    }
+    cb();
+  });
+  return tid;
+}
+
+void Node::cancel_timer(TimerId id) { cancelled_.push_back(id); }
+
+void Node::set_periodic(Duration interval, std::function<void()> cb) {
+  std::uint64_t epoch = epoch_;
+  // Self-rearming chain; dies when the epoch changes (crash).
+  auto chain = std::make_shared<std::function<void()>>();
+  *chain = [this, epoch, interval, cb = std::move(cb), chain]() mutable {
+    if (crashed_ || epoch != epoch_) return;
+    cb();
+    sim_->after(interval, *chain);
+  };
+  sim_->after(interval, *chain);
+}
+
+int Node::add_disk(DiskParams p) {
+  if (sim_ == nullptr) {
+    pending_disks_.push_back(p);
+    return int(pending_disks_.size()) - 1;
+  }
+  disks_.push_back(std::make_unique<Disk>(*sim_, p));
+  return int(disks_.size()) - 1;
+}
+
+Disk& Node::disk(int idx) {
+  // Materialize disks declared before the node joined a simulation.
+  if (!pending_disks_.empty()) {
+    AMCAST_ASSERT_MSG(sim_ != nullptr, "node not attached to a simulation");
+    for (const auto& p : pending_disks_) {
+      disks_.push_back(std::make_unique<Disk>(*sim_, p));
+    }
+    pending_disks_.clear();
+  }
+  AMCAST_ASSERT(idx >= 0 && std::size_t(idx) < disks_.size());
+  return *disks_[std::size_t(idx)];
+}
+
+void Node::crash() {
+  crashed_ = true;
+  ++epoch_;
+  // In-flight CPU work is abandoned; cores idle from now on.
+  for (auto& c : core_free_) c = now();
+  cancelled_.clear();
+}
+
+void Node::restart() {
+  AMCAST_ASSERT(crashed_);
+  crashed_ = false;
+  ++epoch_;
+  on_restart();
+}
+
+double Node::take_cpu_busy_seconds() {
+  double v = busy_ns_window_ * 1e-9;
+  busy_ns_window_ = 0;
+  return v;
+}
+
+}  // namespace amcast::sim

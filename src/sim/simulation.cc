@@ -1,0 +1,57 @@
+#include "sim/simulation.h"
+
+#include "sim/network.h"
+#include "sim/node.h"
+
+namespace amcast::sim {
+
+Simulation::Simulation(std::uint64_t seed)
+    : Simulation(seed, Topology::lan()) {}
+
+Simulation::Simulation(std::uint64_t seed, Topology topo)
+    : network_(std::make_unique<Network>(*this, std::move(topo))),
+      rng_(seed) {}
+
+Simulation::~Simulation() = default;
+
+void Simulation::at(Time t, std::function<void()> fn) {
+  AMCAST_ASSERT_MSG(t >= now_, "cannot schedule into the past");
+  queue_.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+void Simulation::pop_and_run() {
+  // Move the event out before popping: the callback may push new events.
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  now_ = ev.t;
+  ev.fn();
+}
+
+void Simulation::run_until(Time t) {
+  while (!queue_.empty() && queue_.top().t <= t) pop_and_run();
+  if (now_ < t) now_ = t;
+}
+
+void Simulation::run() {
+  while (!queue_.empty()) pop_and_run();
+}
+
+ProcessId Simulation::add_node(std::unique_ptr<Node> node) {
+  auto id = ProcessId(nodes_.size());
+  node->sim_ = this;
+  node->id_ = id;
+  nodes_.push_back(std::move(node));
+  Node* raw = nodes_.back().get();
+  // Start at the current time (time 0 if the sim has not run yet).
+  at(now_, [raw] {
+    if (!raw->crashed()) raw->on_start();
+  });
+  return id;
+}
+
+Node& Simulation::node(ProcessId id) {
+  AMCAST_ASSERT(id >= 0 && std::size_t(id) < nodes_.size());
+  return *nodes_[std::size_t(id)];
+}
+
+}  // namespace amcast::sim

@@ -1,0 +1,88 @@
+// Discrete-event simulation core: virtual clock, event queue, run loop.
+//
+// The whole protocol stack runs single-threaded against this loop, which
+// makes every experiment deterministic and reproducible from a seed — the
+// property that lets the benches regenerate the paper's figures exactly.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "common/assert.h"
+#include "common/ids.h"
+#include "common/metrics.h"
+#include "common/rng.h"
+#include "sim/network.h"
+
+namespace amcast::sim {
+
+class Node;
+
+/// The simulation: owns the clock, the event queue, the network, all nodes,
+/// and the metrics registry for the run.
+class Simulation {
+ public:
+  explicit Simulation(std::uint64_t seed = 1);
+  /// Simulation with a custom network topology (geo experiments).
+  Simulation(std::uint64_t seed, Topology topo);
+  ~Simulation();
+
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  /// Current virtual time.
+  Time now() const { return now_; }
+
+  /// Schedules `fn` at absolute time `t` (>= now).
+  void at(Time t, std::function<void()> fn);
+
+  /// Schedules `fn` after `d` from now.
+  void after(Duration d, std::function<void()> fn) { at(now_ + d, std::move(fn)); }
+
+  /// Runs events until the queue is empty or the clock passes `t`.
+  /// Events at exactly `t` are executed.
+  void run_until(Time t);
+
+  /// Runs until the event queue drains completely.
+  void run();
+
+  /// Registers a node and returns its ProcessId. Nodes are started (their
+  /// on_start invoked) when the simulation first runs, at time 0, or
+  /// immediately if the clock already advanced.
+  ProcessId add_node(std::unique_ptr<Node> node);
+
+  /// Node lookup; the id must exist.
+  Node& node(ProcessId id);
+  std::size_t node_count() const { return nodes_.size(); }
+
+  Network& network() { return *network_; }
+  Metrics& metrics() { return metrics_; }
+  Rng& rng() { return rng_; }
+
+ private:
+  struct Event {
+    Time t;
+    std::uint64_t seq;  // FIFO tie-break for same-time events
+    std::function<void()> fn;
+  };
+  struct EventOrder {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.t != b.t) return a.t > b.t;
+      return a.seq > b.seq;
+    }
+  };
+
+  void pop_and_run();
+
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::unique_ptr<Network> network_;
+  Metrics metrics_;
+  Rng rng_;
+};
+
+}  // namespace amcast::sim

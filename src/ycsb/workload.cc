@@ -1,0 +1,126 @@
+#include "ycsb/workload.h"
+
+#include <cstdio>
+
+namespace amcast::ycsb {
+
+const char* workload_name(Workload w) {
+  switch (w) {
+    case Workload::A: return "A";
+    case Workload::B: return "B";
+    case Workload::C: return "C";
+    case Workload::D: return "D";
+    case Workload::E: return "E";
+    case Workload::F: return "F";
+  }
+  return "?";
+}
+
+WorkloadSpec WorkloadSpec::standard(Workload w) {
+  WorkloadSpec s;
+  switch (w) {
+    case Workload::A:
+      s.read = 0.5;
+      s.update = 0.5;
+      break;
+    case Workload::B:
+      s.read = 0.95;
+      s.update = 0.05;
+      break;
+    case Workload::C:
+      s.read = 1.0;
+      break;
+    case Workload::D:
+      s.read = 0.95;
+      s.insert = 0.05;
+      s.dist = Dist::kLatest;
+      break;
+    case Workload::E:
+      s.scan = 0.95;
+      s.insert = 0.05;
+      break;
+    case Workload::F:
+      s.read = 0.5;
+      s.rmw = 0.5;
+      break;
+  }
+  return s;
+}
+
+Generator::Generator(WorkloadSpec spec, std::uint64_t records,
+                     std::size_t value_bytes, int max_threads)
+    : spec_(spec),
+      records_(records),
+      value_bytes_(value_bytes),
+      zipf_(records),
+      latest_(records),
+      pending_rmw_(std::size_t(max_threads)) {}
+
+std::string Generator::key_of(std::uint64_t record) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "user%012llu",
+                static_cast<unsigned long long>(record));
+  return buf;
+}
+
+std::uint64_t Generator::choose_record(Rng& rng) {
+  switch (spec_.dist) {
+    case WorkloadSpec::Dist::kZipfian:
+      return zipf_.next(rng);
+    case WorkloadSpec::Dist::kLatest:
+      return latest_.next(rng);
+    case WorkloadSpec::Dist::kUniform:
+      return rng.next_u64(records_);
+  }
+  return 0;
+}
+
+kvstore::Command Generator::next(int thread, Rng& rng) {
+  kvstore::Command c;
+
+  // Chained second half of a read-modify-write.
+  auto& pending = pending_rmw_[std::size_t(thread)];
+  if (!pending.empty()) {
+    c.op = kvstore::Op::kUpdate;
+    c.key = std::move(pending);
+    pending.clear();
+    c.value.assign(value_bytes_, 0);
+    return c;
+  }
+
+  double p = rng.next_double();
+  if ((p -= spec_.read) < 0) {
+    c.op = kvstore::Op::kRead;
+    c.key = key_of(choose_record(rng));
+    return c;
+  }
+  if ((p -= spec_.update) < 0) {
+    c.op = kvstore::Op::kUpdate;
+    c.key = key_of(choose_record(rng));
+    c.value.assign(value_bytes_, 0);
+    return c;
+  }
+  if ((p -= spec_.insert) < 0) {
+    c.op = kvstore::Op::kInsert;
+    c.key = key_of(records_);
+    ++records_;
+    latest_.record_insert();
+    c.value.assign(value_bytes_, 0);
+    return c;
+  }
+  if ((p -= spec_.scan) < 0) {
+    c.op = kvstore::Op::kScan;
+    std::uint64_t start = choose_record(rng);
+    std::uint64_t len = 1 + rng.next_u64(std::uint64_t(spec_.max_scan_len));
+    c.key = key_of(start);
+    c.end_key = key_of(start + len - 1);
+    return c;
+  }
+  // read-modify-write: read now, update the same key on the next call.
+  c.op = kvstore::Op::kRead;
+  c.key = key_of(choose_record(rng));
+  pending_rmw_[std::size_t(thread)] = c.key;
+  return c;
+}
+
+}  // namespace amcast::ycsb

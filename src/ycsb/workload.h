@@ -1,0 +1,62 @@
+// YCSB core workloads A-F (Cooper et al., SoCC'10), as used by the paper's
+// Figure 4 comparison (§8.3.2). Produces kvstore::Command streams with the
+// standard operation mixes and request distributions.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/zipf.h"
+#include "kvstore/command.h"
+
+namespace amcast::ycsb {
+
+enum class Workload { A, B, C, D, E, F };
+
+const char* workload_name(Workload w);
+
+/// Operation mix + request distribution of one workload.
+struct WorkloadSpec {
+  double read = 0;
+  double update = 0;
+  double insert = 0;
+  double scan = 0;
+  double rmw = 0;  ///< read-modify-write (workload F)
+  enum class Dist { kZipfian, kLatest, kUniform } dist = Dist::kZipfian;
+  int max_scan_len = 100;
+
+  /// The standard YCSB core definition of workload `w`:
+  ///   A: update heavy (50/50, zipfian)      B: read mostly (95/5, zipfian)
+  ///   C: read only (zipfian)                D: read latest (95/5 insert)
+  ///   E: short ranges (95 scan/5 insert)    F: read-modify-write (50/50)
+  static WorkloadSpec standard(Workload w);
+};
+
+/// Stateful command generator. Thread-aware: read-modify-write issues the
+/// read first and chains the update to the same key on the next call for
+/// that thread (YCSB semantics; the combined latency is the sum).
+class Generator {
+ public:
+  Generator(WorkloadSpec spec, std::uint64_t records, std::size_t value_bytes,
+            int max_threads);
+
+  kvstore::Command next(int thread, Rng& rng);
+
+  /// Zero-padded key of a record number (lexicographic == numeric order).
+  static std::string key_of(std::uint64_t record);
+
+  std::uint64_t record_count() const { return records_; }
+  std::size_t value_bytes() const { return value_bytes_; }
+
+ private:
+  std::uint64_t choose_record(Rng& rng);
+
+  WorkloadSpec spec_;
+  std::uint64_t records_;
+  std::size_t value_bytes_;
+  ScrambledZipfianGenerator zipf_;
+  LatestGenerator latest_;
+  std::vector<std::string> pending_rmw_;  ///< per-thread chained update key
+};
+
+}  // namespace amcast::ycsb

@@ -1,0 +1,156 @@
+// Tests for the Figure 4/5 baselines: eventual store, single-node store,
+// ensemble log.
+#include <gtest/gtest.h>
+
+#include "baselines/ensemble_log.h"
+#include "baselines/eventual.h"
+#include "baselines/single_node.h"
+#include "sim/simulation.h"
+
+namespace amcast::baselines {
+namespace {
+
+using sim::Simulation;
+
+kvstore::Command make(Op op, std::string key, std::size_t vbytes = 0) {
+  kvstore::Command c;
+  c.op = op;
+  c.key = std::move(key);
+  c.value.assign(vbytes, 0);
+  return c;
+}
+
+struct Script {
+  std::vector<kvstore::Command> cmds;
+  std::size_t i = 0;
+  kvstore::Command operator()(int, Rng&) {
+    if (i < cmds.size()) return cmds[i++];
+    return cmds.back();
+  }
+};
+
+TEST(EventualStore, WritesAckFastAndPropagateAsync) {
+  Simulation s;
+  auto part = Partitioner::hash(1);
+  std::vector<EvReplica*> reps;
+  std::vector<ProcessId> ids;
+  for (int i = 0; i < 3; ++i) {
+    auto r = std::make_unique<EvReplica>(0, part);
+    reps.push_back(r.get());
+    ids.push_back(s.add_node(std::move(r)));
+  }
+  for (int i = 0; i < 3; ++i) {
+    std::vector<ProcessId> peers;
+    for (int j = 0; j < 3; ++j) {
+      if (j != i) peers.push_back(ids[std::size_t(j)]);
+    }
+    reps[std::size_t(i)]->set_peers(peers);
+  }
+
+  EvClient::Options co;
+  co.threads = 1;
+  co.partitioner = part;
+  co.partition_heads = {ids[0]};
+  Script script;
+  for (int i = 0; i < 20; ++i) {
+    script.cmds.push_back(make(Op::kInsert, "k" + std::to_string(i), 64));
+  }
+  auto client = std::make_unique<EvClient>(co, script);
+  EvClient* cp = client.get();
+  s.add_node(std::move(client));
+  s.run_until(duration::seconds(1));
+
+  EXPECT_GT(cp->completed(), 20);
+  // All writes propagated to peers eventually (no ordering guarantees).
+  EXPECT_EQ(reps[0]->store().entry_count(), 20u);
+  EXPECT_EQ(reps[1]->store().entry_count(), 20u);
+  EXPECT_EQ(reps[2]->store().entry_count(), 20u);
+  // Latency is one LAN round trip, far below any consensus deployment.
+  EXPECT_LT(s.metrics().histogram("cassandra.latency").mean_ms(), 1.0);
+}
+
+TEST(SingleNodeStore, GroupCommitCompletesConcurrentWrites) {
+  Simulation s;
+  auto server = std::make_unique<SnServer>();
+  server->add_disk(sim::Presets::hdd());
+  SnServer* sp = server.get();
+  ProcessId sid = s.add_node(std::move(server));
+
+  SnClient::Options co;
+  co.threads = 8;
+  co.server = sid;
+  Script script;
+  for (int i = 0; i < 100; ++i) {
+    script.cmds.push_back(make(Op::kInsert, "k" + std::to_string(i), 64));
+  }
+  auto client = std::make_unique<SnClient>(co, script);
+  SnClient* cp = client.get();
+  s.add_node(std::move(client));
+  s.run_until(duration::seconds(3));
+
+  EXPECT_GT(cp->completed(), 100);
+  EXPECT_GT(sp->store().entry_count(), 0u);
+  // Writes pay the WAL fsync: several ms on an HDD.
+  EXPECT_GT(s.metrics().histogram("mysql.latency.insert").mean_ms(), 2.0);
+}
+
+TEST(SingleNodeStore, ReadsSkipTheWal) {
+  Simulation s;
+  auto server = std::make_unique<SnServer>();
+  server->add_disk(sim::Presets::hdd());
+  server->preload("hot", 64);
+  ProcessId sid = s.add_node(std::move(server));
+  SnClient::Options co;
+  co.threads = 1;
+  co.server = sid;
+  Script script;
+  script.cmds.push_back(make(Op::kRead, "hot"));
+  auto client = std::make_unique<SnClient>(co, script);
+  s.add_node(std::move(client));
+  s.run_until(duration::milliseconds(500));
+  EXPECT_LT(s.metrics().histogram("mysql.latency.read").mean_ms(), 1.0);
+}
+
+TEST(EnsembleLog, AppendsCompleteAtAckQuorum) {
+  Simulation s;
+  std::vector<ProcessId> bookies;
+  for (int i = 0; i < 3; ++i) {
+    auto b = std::make_unique<Bookie>();
+    b->add_disk(sim::Presets::hdd());
+    bookies.push_back(s.add_node(std::move(b)));
+  }
+  BkClient::Options co;
+  co.threads = 4;
+  co.ensemble = bookies;
+  co.entry_bytes = 1024;
+  auto client = std::make_unique<BkClient>(co);
+  BkClient* cp = client.get();
+  s.add_node(std::move(client));
+  s.run_until(duration::seconds(2));
+  EXPECT_GT(cp->completed(), 50);
+}
+
+TEST(EnsembleLog, AggressiveBatchingRaisesLatencyUnderLightLoad) {
+  // With one slow client, the journal flush waits for the batch timer —
+  // exactly the effect the paper blames for BookKeeper's latency (§8.3.3).
+  Simulation s;
+  std::vector<ProcessId> bookies;
+  Bookie::Options bo;
+  bo.flush_bytes = 1 << 20;
+  bo.max_flush_delay = duration::milliseconds(20);
+  for (int i = 0; i < 3; ++i) {
+    auto b = std::make_unique<Bookie>(bo);
+    b->add_disk(sim::Presets::hdd());
+    bookies.push_back(s.add_node(std::move(b)));
+  }
+  BkClient::Options co;
+  co.threads = 1;
+  co.ensemble = bookies;
+  auto client = std::make_unique<BkClient>(co);
+  s.add_node(std::move(client));
+  s.run_until(duration::seconds(2));
+  EXPECT_GT(s.metrics().histogram("bookkeeper.latency").mean_ms(), 15.0);
+}
+
+}  // namespace
+}  // namespace amcast::baselines

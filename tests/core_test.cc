@@ -1,0 +1,332 @@
+// Tests for the Multi-Ring Paxos layer: deterministic merge, rate leveling
+// interplay, checkpoint tuples (Predicates 1/3), trim protocol (Predicate 2),
+// and full crash/recovery (Predicates 4/5).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <numeric>
+#include <vector>
+
+#include "core/multicast.h"
+#include "core/replica.h"
+#include "sim/simulation.h"
+
+namespace amcast::core {
+namespace {
+
+using ringpaxos::ConfigRegistry;
+using ringpaxos::RingOptions;
+using ringpaxos::StorageOptions;
+using sim::Simulation;
+
+RingOptions fast_ring(double lambda = 2000) {
+  RingOptions o;
+  o.lambda = lambda;
+  o.delta = duration::milliseconds(5);
+  return o;
+}
+
+/// Two rings, three subscriber nodes; every node is acceptor+member of both
+/// rings (like Figure 2c but with full subscription).
+struct TwoRingWorld {
+  Simulation sim{7};
+  ConfigRegistry registry;
+  std::vector<MulticastNode*> nodes;
+  GroupId r1 = kInvalidGroup, r2 = kInvalidGroup;
+  std::vector<std::vector<MessageId>> seq;  // delivered msg ids per node
+
+  explicit TwoRingWorld(int n = 3, std::int32_t m = 1, double lambda = 2000) {
+    std::vector<ProcessId> ids;
+    for (int i = 0; i < n; ++i) {
+      auto node = std::make_unique<MulticastNode>(registry);
+      nodes.push_back(node.get());
+      ids.push_back(sim.add_node(std::move(node)));
+    }
+    r1 = registry.create_ring(ids, ids, ids[0]);
+    r2 = registry.create_ring(ids, ids, ids[1 % n]);
+    seq.resize(std::size_t(n));
+    for (int i = 0; i < n; ++i) {
+      auto* nd = nodes[std::size_t(i)];
+      MergeOptions mo;
+      mo.m = m;
+      nd->subscribe(r1, fast_ring(lambda), mo);
+      nd->subscribe(r2, fast_ring(lambda), mo);
+      nd->set_deliver([this, i](GroupId, const ringpaxos::ValuePtr& v) {
+        seq[std::size_t(i)].push_back(v->msg_id);
+      });
+    }
+  }
+};
+
+TEST(MultiRing, CrossGroupDeliveryOrderIsIdenticalAtAllSubscribers) {
+  TwoRingWorld w(3);
+  w.sim.run_until(duration::milliseconds(20));
+  // Interleave proposals to both rings from different nodes.
+  for (int i = 0; i < 100; ++i) {
+    Time when = w.sim.now() + duration::microseconds(137 * (i + 1));
+    GroupId g = (i % 3 == 0) ? w.r2 : w.r1;
+    auto* proposer = w.nodes[std::size_t(i % 3)];
+    w.sim.at(when, [proposer, g] { proposer->multicast(g, 200); });
+  }
+  w.sim.run_until(w.sim.now() + duration::seconds(3));
+
+  ASSERT_EQ(w.seq[0].size(), 100u);
+  EXPECT_EQ(w.seq[0], w.seq[1]);
+  EXPECT_EQ(w.seq[0], w.seq[2]);
+}
+
+TEST(MultiRing, IdleRingDoesNotBlockLoadedRingThanksToSkips) {
+  TwoRingWorld w(3);
+  w.sim.run_until(duration::milliseconds(20));
+  // Only r1 carries traffic; r2 stays idle and is topped up with skips.
+  for (int i = 0; i < 200; ++i) {
+    Time when = w.sim.now() + duration::microseconds(200 * (i + 1));
+    w.sim.at(when, [&w] { w.nodes[0]->multicast(w.r1, 100); });
+  }
+  w.sim.run_until(w.sim.now() + duration::seconds(2));
+  EXPECT_EQ(w.seq[1].size(), 200u);
+  auto c = w.nodes[1]->ring_counters(w.r2);
+  EXPECT_GT(c.skipped_instances, 0);
+}
+
+TEST(MultiRing, WithoutRateLevelingIdleRingStallsDelivery) {
+  TwoRingWorld w(3, 1, /*lambda=*/0);  // rate leveling off
+  w.sim.run_until(duration::milliseconds(20));
+  for (int i = 0; i < 50; ++i) w.nodes[0]->multicast(w.r1, 100);
+  w.sim.run_until(w.sim.now() + duration::seconds(2));
+  // r2 never produces instances, so the merge cannot advance past the
+  // first round-robin turn.
+  EXPECT_LE(w.seq[0].size(), 1u);
+}
+
+TEST(MultiRing, MergeHonorsMParameter) {
+  // M=4: the merge takes 4 instances per ring per turn; deliveries still
+  // complete and agree across nodes.
+  TwoRingWorld w(3, /*m=*/4);
+  w.sim.run_until(duration::milliseconds(20));
+  for (int i = 0; i < 60; ++i) {
+    GroupId g = (i % 2 == 0) ? w.r1 : w.r2;
+    Time when = w.sim.now() + duration::microseconds(211 * (i + 1));
+    w.sim.at(when, [&w, g, i] {
+      w.nodes[std::size_t(i % 3)]->multicast(g, 64);
+    });
+  }
+  w.sim.run_until(w.sim.now() + duration::seconds(3));
+  ASSERT_EQ(w.seq[0].size(), 60u);
+  EXPECT_EQ(w.seq[0], w.seq[1]);
+  EXPECT_EQ(w.seq[0], w.seq[2]);
+}
+
+TEST(MultiRing, MergeCursorSatisfiesPredicateOne) {
+  TwoRingWorld w(3);
+  w.sim.run_until(duration::milliseconds(20));
+  for (int i = 0; i < 40; ++i) {
+    GroupId g = (i % 2 == 0) ? w.r1 : w.r2;
+    w.nodes[0]->multicast(g, 64);
+  }
+  w.sim.run_until(w.sim.now() + duration::seconds(2));
+  CheckpointTuple t = w.nodes[2]->merge_cursor();
+  ASSERT_EQ(t.groups.size(), 2u);
+  // Predicate 1: x < y => k[x] >= k[y] (groups ascending).
+  EXPECT_GE(t.next[0] + w.nodes[2]->subscriptions().size(),
+            std::size_t(t.next[1]));
+}
+
+TEST(CheckpointTuple, TupleLeIsComponentwise) {
+  CheckpointTuple a{{0, 1}, {5, 3}};
+  CheckpointTuple b{{0, 1}, {6, 3}};
+  EXPECT_TRUE(tuple_le(a, b));
+  EXPECT_FALSE(tuple_le(b, a));
+  EXPECT_TRUE(tuple_le(a, a));
+}
+
+// ---------------------------------------------------------------------------
+// A miniature replicated counter service used to exercise checkpointing,
+// trimming, and recovery end to end.
+// ---------------------------------------------------------------------------
+
+class CounterReplica final : public ReplicaNode {
+ public:
+  CounterReplica(ConfigRegistry& reg, ReplicaOptions opts)
+      : ReplicaNode(reg, std::move(opts)) {}
+
+  std::int64_t value() const { return value_; }
+  const std::vector<MessageId>& applied() const { return applied_; }
+
+ protected:
+  void on_deliver(GroupId g, const ringpaxos::ValuePtr& v) override {
+    value_ += 1;
+    applied_.push_back(v->msg_id);
+    MulticastNode::on_deliver(g, v);
+  }
+
+  Snapshot make_snapshot() override {
+    Snapshot s;
+    auto state = std::make_shared<std::pair<std::int64_t,
+                                            std::vector<MessageId>>>(
+        value_, applied_);
+    s.state = state;
+    s.size_bytes = 64 + applied_.size() * 8;
+    return s;
+  }
+
+  void install_snapshot(const Snapshot& s) override {
+    if (s.state == nullptr) {  // empty checkpoint: fresh state
+      value_ = 0;
+      applied_.clear();
+      return;
+    }
+    const auto& st = *static_cast<
+        const std::pair<std::int64_t, std::vector<MessageId>>*>(
+        s.state.get());
+    value_ = st.first;
+    applied_ = st.second;
+  }
+
+  void clear_state() override {
+    value_ = 0;
+    applied_.clear();
+  }
+
+ private:
+  std::int64_t value_ = 0;
+  std::vector<MessageId> applied_;
+};
+
+/// Figure-8-style world: one ring with 3 dedicated acceptors plus 3 replica
+/// (learner-only) members; a separate client node proposes.
+struct RecoveryWorld {
+  Simulation sim{11};
+  ConfigRegistry registry;
+  std::vector<ProcessId> acceptors;
+  std::vector<CounterReplica*> replicas;
+  std::vector<ProcessId> replica_ids;
+  MulticastNode* client = nullptr;
+  GroupId ring = kInvalidGroup;
+
+  explicit RecoveryWorld(Duration checkpoint_every = duration::seconds(2)) {
+    for (int i = 0; i < 3; ++i) {
+      auto node = std::make_unique<MulticastNode>(registry);
+      node->add_disk(sim::Presets::ssd());
+      acceptors.push_back(sim.add_node(std::move(node)));
+    }
+    std::vector<ProcessId> members = acceptors;
+    for (int i = 0; i < 3; ++i) {
+      ReplicaOptions ro;
+      ro.checkpoint_interval = checkpoint_every;
+      auto node = std::make_unique<CounterReplica>(registry, ro);
+      node->add_disk(sim::Presets::ssd());
+      replicas.push_back(node.get());
+      ProcessId pid = sim.add_node(std::move(node));
+      replica_ids.push_back(pid);
+      members.push_back(pid);
+    }
+    for (auto* r : replicas) r->set_partition(replica_ids);
+    ring = registry.create_ring(members, acceptors, acceptors[0]);
+
+    RingOptions acc_opts = fast_ring(1000);
+    acc_opts.storage.mode = StorageOptions::Mode::kAsyncDisk;
+    for (ProcessId a : acceptors) {
+      auto& n = static_cast<MulticastNode&>(sim.node(a));
+      n.join_only(ring, acc_opts);
+    }
+    for (auto* r : replicas) r->subscribe(ring, fast_ring(1000));
+    for (auto* r : replicas) r->start_checkpointing();
+
+    // Trim coordination on the ring coordinator.
+    auto& coord = static_cast<MulticastNode&>(sim.node(acceptors[0]));
+    TrimOptions to;
+    to.interval = duration::seconds(3);
+    to.partitions = {replica_ids};
+    coord.enable_trim(ring, to);
+
+    auto c = std::make_unique<MulticastNode>(registry);
+    client = c.get();
+    sim.add_node(std::move(c));
+  }
+
+  void load(int count, Duration spacing) {
+    for (int i = 0; i < count; ++i) {
+      sim.at(sim.now() + spacing * (i + 1), [this] { client->multicast(ring, 256); });
+    }
+  }
+};
+
+TEST(Recovery, CheckpointsBecomeDurableAndTrimsHappen) {
+  RecoveryWorld w;
+  // Fix partitions in replica options: rebuild replicas' options via friend
+  // access is not possible; instead rely on ctor wiring (partition empty =>
+  // quorum of 1). For trim we only need durable checkpoints + trim rounds.
+  w.sim.run_until(duration::milliseconds(50));
+  w.load(500, duration::milliseconds(1));
+  w.sim.run_until(duration::seconds(10));
+
+  for (auto* r : w.replicas) {
+    EXPECT_EQ(r->value(), 500);
+    EXPECT_TRUE(r->last_durable_checkpoint().valid());
+  }
+  // Acceptors trimmed their logs per the quorum minimum.
+  auto& acc = static_cast<MulticastNode&>(w.sim.node(w.acceptors[1]));
+  (void)acc;
+  EXPECT_GT(w.sim.metrics().counter_value("recovery.trim_rounds"), 0);
+  EXPECT_GT(w.sim.metrics().counter_value("recovery.acceptor_trims"), 0);
+}
+
+TEST(Recovery, CrashedReplicaRecoversAndConverges) {
+  RecoveryWorld w;
+  w.sim.run_until(duration::milliseconds(50));
+
+  // Load phase 1.
+  w.load(300, duration::milliseconds(1));
+  w.sim.run_until(duration::seconds(5));
+
+  // Crash replica 2 (remove from the ring: the Zookeeper substitute).
+  ProcessId victim = w.replica_ids[2];
+  w.sim.node(victim).crash();
+  w.registry.remove_member(w.ring, victim);
+
+  // Load phase 2 while the replica is down.
+  w.load(300, duration::milliseconds(1));
+  w.sim.run_until(w.sim.now() + duration::seconds(5));
+
+  // Restart: rejoin the ring, then run recovery.
+  w.registry.add_member(w.ring, victim, /*acceptor=*/false);
+  w.sim.node(victim).restart();
+  w.sim.run_until(w.sim.now() + duration::seconds(10));
+
+  EXPECT_FALSE(w.replicas[2]->recovering());
+  EXPECT_EQ(w.replicas[0]->value(), 600);
+  EXPECT_EQ(w.replicas[2]->value(), 600);
+  // The recovered replica applied the exact same command sequence.
+  EXPECT_EQ(w.replicas[2]->applied(), w.replicas[0]->applied());
+}
+
+TEST(Recovery, RecoveringReplicaUsesRemoteCheckpointWhenLocalIsStale) {
+  RecoveryWorld w(duration::seconds(1));
+  w.sim.run_until(duration::milliseconds(50));
+  w.load(200, duration::milliseconds(1));
+  w.sim.run_until(duration::seconds(3));
+
+  ProcessId victim = w.replica_ids[0];
+  w.sim.node(victim).crash();
+  w.registry.remove_member(w.ring, victim);
+
+  // Lots of traffic + multiple checkpoints while down: peers move far ahead.
+  w.load(600, duration::milliseconds(1));
+  w.sim.run_until(w.sim.now() + duration::seconds(6));
+
+  w.registry.add_member(w.ring, victim, false);
+  w.sim.node(victim).restart();
+  w.sim.run_until(w.sim.now() + duration::seconds(10));
+
+  EXPECT_FALSE(w.replicas[0]->recovering());
+  EXPECT_EQ(w.replicas[0]->value(), 800);
+  bool fetched_remote = false;
+  for (const auto& [t, e] : w.replicas[0]->events()) {
+    if (e == "recovery.install_remote") fetched_remote = true;
+  }
+  EXPECT_TRUE(fetched_remote);
+}
+
+}  // namespace
+}  // namespace amcast::core

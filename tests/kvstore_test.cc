@@ -1,0 +1,286 @@
+// Tests for MRP-Store: the store tree, partitioner, command codec, and
+// end-to-end replicated behaviour over atomic multicast (sequential
+// consistency, scans in both ring configurations, duplicate filtering,
+// crash/recovery through the deployment helper).
+#include <gtest/gtest.h>
+
+#include "kvstore/deployment.h"
+
+namespace amcast::kvstore {
+namespace {
+
+// --------------------------- KvStore unit tests ---------------------------
+
+TEST(KvStore, BasicOperations) {
+  KvStore s;
+  EXPECT_EQ(s.read("a"), nullptr);
+  s.insert("a", {1, 2, 3});
+  ASSERT_NE(s.read("a"), nullptr);
+  EXPECT_EQ(s.read("a")->size(), 3u);
+  EXPECT_TRUE(s.update("a", {9}));
+  EXPECT_EQ(s.read("a")->size(), 1u);
+  EXPECT_FALSE(s.update("zz", {1}));  // update requires existence (Table 1)
+  EXPECT_TRUE(s.erase("a"));
+  EXPECT_FALSE(s.erase("a"));
+  EXPECT_EQ(s.entry_count(), 0u);
+}
+
+TEST(KvStore, ScanReturnsInclusiveRange) {
+  KvStore s;
+  for (char c = 'a'; c <= 'f'; ++c) s.insert(std::string(1, c), {0, 0});
+  auto [bytes, hits] = s.scan("b", "d");
+  EXPECT_EQ(hits, 3u);  // b, c, d
+  EXPECT_EQ(bytes, 3 * (1 + 2));
+}
+
+TEST(KvStore, DataBytesTracksContents) {
+  KvStore s;
+  s.insert("key", std::vector<std::uint8_t>(100, 0));
+  EXPECT_EQ(s.data_bytes(), 103u);
+  s.update("key", std::vector<std::uint8_t>(50, 0));
+  EXPECT_EQ(s.data_bytes(), 53u);
+  s.erase("key");
+  EXPECT_EQ(s.data_bytes(), 0u);
+}
+
+TEST(KvStore, SnapshotIsImmutableCopy) {
+  KvStore s;
+  s.insert("a", {1});
+  auto snap = s.snapshot();
+  s.insert("b", {2});
+  EXPECT_EQ(snap->size(), 1u);
+  KvStore other;
+  other.restore(*snap);
+  EXPECT_EQ(other.entry_count(), 1u);
+  EXPECT_NE(other.read("a"), nullptr);
+}
+
+TEST(KvStore, ApplyDispatchesAllOps) {
+  KvStore s;
+  Command ins{Op::kInsert, 0, 0, 1, "k", "", {1, 2}};
+  EXPECT_TRUE(s.apply(ins).ok);
+  Command rd{Op::kRead, 0, 0, 2, "k", "", {}};
+  auto r = s.apply(rd);
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(r.payload_bytes, 2u);
+  Command sc{Op::kScan, 0, 0, 3, "a", "z", {}};
+  EXPECT_EQ(s.apply(sc).scan_hits, 1);
+  Command del{Op::kDelete, 0, 0, 4, "k", "", {}};
+  EXPECT_TRUE(s.apply(del).ok);
+  EXPECT_FALSE(s.apply(rd).ok);
+}
+
+// --------------------------- Partitioner tests ----------------------------
+
+TEST(Partitioner, HashIsStableAndInRange) {
+  auto p = Partitioner::hash(5);
+  for (int i = 0; i < 100; ++i) {
+    std::string key = "key" + std::to_string(i);
+    int a = p.locate(key);
+    EXPECT_EQ(a, p.locate(key));
+    EXPECT_GE(a, 0);
+    EXPECT_LT(a, 5);
+  }
+  auto scan = p.locate_scan("a", "b");
+  EXPECT_EQ(scan.size(), 5u);  // hash: all partitions (paper §6.1)
+}
+
+TEST(Partitioner, RangeRoutesByBounds) {
+  auto p = Partitioner::range({"g", "p"});
+  EXPECT_EQ(p.partitions(), 3);
+  EXPECT_EQ(p.locate("alpha"), 0);
+  EXPECT_EQ(p.locate("g"), 0);  // bound is inclusive upper
+  EXPECT_EQ(p.locate("house"), 1);
+  EXPECT_EQ(p.locate("zebra"), 2);
+  auto scan = p.locate_scan("f", "q");
+  EXPECT_EQ(scan, (std::vector<int>{0, 1, 2}));
+  auto narrow = p.locate_scan("h", "i");
+  EXPECT_EQ(narrow, (std::vector<int>{1}));
+}
+
+// --------------------------- Codec tests ----------------------------------
+
+TEST(CommandCodec, RoundTrip) {
+  Command c;
+  c.op = Op::kScan;
+  c.client = 12;
+  c.thread = 3;
+  c.seq = 991;
+  c.key = "from";
+  c.end_key = "to";
+  c.value = {5, 6, 7};
+  CommandBatch b;
+  b.commands.push_back(c);
+  b.commands.push_back(c);
+  auto bytes = b.encode();
+  EXPECT_EQ(bytes.size(), b.encoded_size());
+  auto back = CommandBatch::decode(bytes);
+  ASSERT_EQ(back.commands.size(), 2u);
+  EXPECT_EQ(back.commands[0].op, Op::kScan);
+  EXPECT_EQ(back.commands[0].key, "from");
+  EXPECT_EQ(back.commands[0].end_key, "to");
+  EXPECT_EQ(back.commands[0].seq, 991u);
+  EXPECT_EQ(back.commands[1].value.size(), 3u);
+}
+
+// ----------------------- End-to-end deployment tests -----------------------
+
+KvDeploymentSpec small_spec(bool global_ring) {
+  KvDeploymentSpec spec;
+  spec.partitions = 2;
+  spec.replicas_per_partition = 3;
+  spec.partitioner = Partitioner::hash(2);
+  spec.global_ring = global_ring;
+  spec.storage = ringpaxos::StorageOptions::Mode::kMemory;
+  spec.lambda = 2000;
+  return spec;
+}
+
+/// Scripted generator: plays a fixed command list, then repeats reads.
+struct Script {
+  std::vector<Command> cmds;
+  std::size_t i = 0;
+  Command operator()(int, Rng&) {
+    if (i < cmds.size()) return cmds[i++];
+    Command idle;
+    idle.op = Op::kRead;
+    idle.key = cmds.empty() ? "x" : cmds.back().key;
+    return idle;
+  }
+};
+
+Command make(Op op, std::string key, std::size_t vbytes = 0,
+             std::string end_key = "") {
+  Command c;
+  c.op = op;
+  c.key = std::move(key);
+  c.end_key = std::move(end_key);
+  c.value.assign(vbytes, 0);
+  return c;
+}
+
+TEST(KvEndToEnd, WritesReplicateToAllReplicasInOrder) {
+  KvDeployment d(small_spec(true));
+  Script script;
+  for (int i = 0; i < 40; ++i) {
+    script.cmds.push_back(make(Op::kInsert, "key" + std::to_string(i), 64));
+  }
+  auto& client = d.add_client(1, script);
+  d.sim().run_until(duration::seconds(3));
+  EXPECT_GT(client.completed(), 40);
+
+  // Both partitions' replicas agree internally.
+  for (int p = 0; p < 2; ++p) {
+    const auto& s0 = d.replica(p, 0).store();
+    for (int r = 1; r < 3; ++r) {
+      EXPECT_EQ(d.replica(p, r).store().entry_count(), s0.entry_count());
+    }
+  }
+  std::size_t total = d.replica(0, 0).store().entry_count() +
+                      d.replica(1, 0).store().entry_count();
+  EXPECT_EQ(total, 40u);
+}
+
+TEST(KvEndToEnd, ClosedLoopClientReadsItsOwnWrites) {
+  KvDeployment d(small_spec(true));
+  // insert then read the same key; closed loop means the read is issued
+  // only after the insert completed => it must succeed (sequential
+  // consistency: order of non-overlapping ops of one client respected).
+  Script script;
+  script.cmds.push_back(make(Op::kInsert, "mykey", 32));
+  script.cmds.push_back(make(Op::kRead, "mykey"));
+  auto& client = d.add_client(1, script);
+  d.sim().run_until(duration::seconds(2));
+  EXPECT_GT(client.completed(), 2);
+  ASSERT_NE(d.replica(d.spec().partitioner.locate("mykey"), 0)
+                .store()
+                .read("mykey"),
+            nullptr);
+}
+
+TEST(KvEndToEnd, ScanViaGlobalRingCoversAllPartitions) {
+  KvDeployment d(small_spec(true));
+  d.preload(100, 64, [](std::uint64_t r) {
+    char buf[20];
+    std::snprintf(buf, sizeof(buf), "k%06llu", (unsigned long long)r);
+    return std::string(buf);
+  });
+  Script script;
+  script.cmds.push_back(make(Op::kScan, "k", 0, "kz"));
+  auto& client = d.add_client(1, script);
+  d.sim().run_until(duration::seconds(2));
+  EXPECT_GE(client.completed(), 1);
+  auto& h = d.sim().metrics().histogram("kv.latency.scan");
+  EXPECT_GE(h.count(), 1u);
+}
+
+TEST(KvEndToEnd, ScanWithIndependentRingsAlsoCompletes) {
+  KvDeployment d(small_spec(false));
+  d.preload(100, 64, [](std::uint64_t r) {
+    char buf[20];
+    std::snprintf(buf, sizeof(buf), "k%06llu", (unsigned long long)r);
+    return std::string(buf);
+  });
+  Script script;
+  script.cmds.push_back(make(Op::kScan, "k", 0, "kz"));
+  auto& client = d.add_client(1, script);
+  d.sim().run_until(duration::seconds(2));
+  EXPECT_GE(client.completed(), 1);
+}
+
+TEST(KvEndToEnd, DuplicateReproposalsAreFilteredByReplicas) {
+  auto spec = small_spec(true);
+  // Aggressively small re-proposal timeout: in-flight commands get
+  // re-proposed even though the original succeeds.
+  spec.proposal_timeout = duration::milliseconds(2);
+  KvDeployment d(spec);
+  Script script;
+  for (int i = 0; i < 30; ++i) {
+    script.cmds.push_back(make(Op::kInsert, "dup" + std::to_string(i), 32));
+  }
+  auto& client = d.add_client(1, script);
+  d.sim().run_until(duration::seconds(3));
+  EXPECT_GT(client.completed(), 30);
+  std::int64_t dups = 0;
+  for (int p = 0; p < 2; ++p) {
+    for (int r = 0; r < 3; ++r) dups += d.replica(p, r).duplicates_filtered();
+  }
+  EXPECT_GT(dups, 0);  // duplicates existed and were filtered, not applied
+  std::size_t total = d.replica(0, 0).store().entry_count() +
+                      d.replica(1, 0).store().entry_count();
+  EXPECT_EQ(total, 30u);  // exactly-once application
+}
+
+TEST(KvEndToEnd, ReplicaCrashRecoveryThroughDeployment) {
+  KvDeploymentSpec spec;
+  spec.partitions = 1;
+  spec.replicas_per_partition = 3;
+  spec.partitioner = Partitioner::hash(1);
+  spec.dedicated_acceptors = 3;
+  spec.storage = ringpaxos::StorageOptions::Mode::kAsyncDisk;
+  spec.disk = sim::Presets::ssd();
+  spec.lambda = 2000;
+  spec.checkpoint_interval = duration::seconds(1);
+  spec.trim_interval = duration::seconds(2);
+  KvDeployment d(spec);
+
+  Script script;
+  for (int i = 0; i < 2000; ++i) {
+    script.cmds.push_back(make(Op::kInsert, "k" + std::to_string(i), 128));
+  }
+  d.add_client(4, script);
+  d.sim().run_until(duration::seconds(2));
+
+  d.crash_replica(0, 2);
+  d.sim().run_until(duration::seconds(6));
+  d.restart_replica(0, 2);
+  d.sim().run_until(duration::seconds(14));
+
+  EXPECT_FALSE(d.replica(0, 2).recovering());
+  EXPECT_EQ(d.replica(0, 2).store().entry_count(),
+            d.replica(0, 0).store().entry_count());
+  EXPECT_GT(d.sim().metrics().counter_value("recovery.completed"), 0);
+}
+
+}  // namespace
+}  // namespace amcast::kvstore

@@ -1,0 +1,251 @@
+// Property-based (parameterized) tests: the atomic multicast invariants of
+// paper §2 checked across randomized schedules, seeds, ring sizes, merge
+// parameters, storage modes, and crash points.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "core/multicast.h"
+#include "core/replica.h"
+#include "sim/simulation.h"
+
+namespace amcast::core {
+namespace {
+
+using ringpaxos::ConfigRegistry;
+using ringpaxos::RingOptions;
+using ringpaxos::StorageOptions;
+
+struct WorldParams {
+  std::uint64_t seed;
+  int nodes;
+  int groups;
+  std::int32_t m;
+  StorageOptions::Mode mode;
+};
+
+std::string param_name(const testing::TestParamInfo<WorldParams>& info) {
+  const char* mode = info.param.mode == StorageOptions::Mode::kMemory
+                         ? "mem"
+                         : (info.param.mode == StorageOptions::Mode::kSyncDisk
+                                ? "sync"
+                                : "async");
+  return "seed" + std::to_string(info.param.seed) + "_n" +
+         std::to_string(info.param.nodes) + "_g" +
+         std::to_string(info.param.groups) + "_m" +
+         std::to_string(info.param.m) + "_" + mode;
+}
+
+/// A randomized multicast world: `nodes` nodes all subscribe to `groups`
+/// groups; values are multicast from random nodes to random groups at
+/// random times.
+class MulticastProperties : public testing::TestWithParam<WorldParams> {
+ protected:
+  void run_world(int messages) {
+    const WorldParams& p = GetParam();
+    sim_ = std::make_unique<sim::Simulation>(p.seed);
+    std::vector<ProcessId> ids;
+    for (int i = 0; i < p.nodes; ++i) {
+      auto n = std::make_unique<MulticastNode>(registry_);
+      if (p.mode != StorageOptions::Mode::kMemory) {
+        n->add_disk(sim::Presets::ssd());
+      }
+      nodes_.push_back(n.get());
+      ids.push_back(sim_->add_node(std::move(n)));
+    }
+    std::vector<GroupId> gs;
+    for (int g = 0; g < p.groups; ++g) {
+      gs.push_back(registry_.create_ring(ids, ids, ids[g % p.nodes]));
+    }
+    delivered_.resize(std::size_t(p.nodes));
+    RingOptions ro;
+    ro.storage.mode = p.mode;
+    ro.lambda = 2000;
+    MergeOptions mo;
+    mo.m = p.m;
+    for (int i = 0; i < p.nodes; ++i) {
+      for (GroupId g : gs) nodes_[std::size_t(i)]->subscribe(g, ro, mo);
+      nodes_[std::size_t(i)]->set_deliver(
+          [this, i](GroupId g, const ringpaxos::ValuePtr& v) {
+            delivered_[std::size_t(i)].emplace_back(g, v->msg_id);
+          });
+    }
+
+    Rng rng(p.seed ^ 0x5eedf00d);
+    sim_->run_until(duration::milliseconds(20));
+    for (int k = 0; k < messages; ++k) {
+      auto* from = nodes_[rng.next_u64(std::uint64_t(p.nodes))];
+      GroupId g = gs[rng.next_u64(gs.size())];
+      Time when = sim_->now() + Duration(rng.next_u64(2'000'000));  // <=2ms
+      sim_->at(when, [from, g] { from->multicast(g, 64); });
+    }
+    sim_->run_until(sim_->now() + duration::seconds(5));
+  }
+
+  ConfigRegistry registry_;
+  std::unique_ptr<sim::Simulation> sim_;
+  std::vector<MulticastNode*> nodes_;
+  std::vector<std::vector<std::pair<GroupId, MessageId>>> delivered_;
+};
+
+TEST_P(MulticastProperties, AgreementValidityIntegrityAndOrder) {
+  const int kMessages = 120;
+  run_world(kMessages);
+
+  // Validity + agreement: every multicast value is delivered by every
+  // subscriber (all nodes subscribe to all groups here).
+  ASSERT_EQ(delivered_[0].size(), std::size_t(kMessages));
+
+  // Integrity: no duplicates at any node.
+  for (const auto& seq : delivered_) {
+    std::set<MessageId> seen;
+    for (const auto& [g, mid] : seq) {
+      EXPECT_TRUE(seen.insert(mid).second) << "duplicate delivery";
+    }
+  }
+
+  // Order: identical delivery sequence at all subscribers (the strongest
+  // form of the acyclic-order property for uniform subscriptions).
+  for (std::size_t i = 1; i < delivered_.size(); ++i) {
+    EXPECT_EQ(delivered_[i], delivered_[0]) << "order differs at node " << i;
+  }
+}
+
+TEST_P(MulticastProperties, MergeCursorsMonotoneAndPredicateOne) {
+  run_world(60);
+  for (auto* n : nodes_) {
+    CheckpointTuple t = n->merge_cursor();
+    for (std::size_t i = 1; i < t.groups.size(); ++i) {
+      EXPECT_GT(t.groups[i], t.groups[i - 1]);  // ascending ids
+      // Predicate 1 modulo one in-flight round (each turn consumes m).
+      EXPECT_GE(t.next[i - 1] + GetParam().m, t.next[i]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MulticastProperties,
+    testing::Values(
+        WorldParams{1, 3, 1, 1, StorageOptions::Mode::kMemory},
+        WorldParams{2, 3, 2, 1, StorageOptions::Mode::kMemory},
+        WorldParams{3, 3, 2, 1, StorageOptions::Mode::kAsyncDisk},
+        WorldParams{4, 3, 2, 1, StorageOptions::Mode::kSyncDisk},
+        WorldParams{5, 5, 3, 1, StorageOptions::Mode::kMemory},
+        WorldParams{6, 5, 3, 4, StorageOptions::Mode::kMemory},
+        WorldParams{7, 4, 4, 2, StorageOptions::Mode::kAsyncDisk},
+        WorldParams{8, 6, 2, 8, StorageOptions::Mode::kMemory},
+        WorldParams{9, 7, 3, 1, StorageOptions::Mode::kMemory},
+        WorldParams{10, 4, 5, 1, StorageOptions::Mode::kMemory}),
+    param_name);
+
+// ---------------------------------------------------------------------------
+// Crash/recovery property: a replica crashed and recovered at a random
+// point applies exactly the same command sequence as one that never failed.
+// ---------------------------------------------------------------------------
+
+class SequenceReplica final : public ReplicaNode {
+ public:
+  SequenceReplica(ConfigRegistry& reg, ReplicaOptions opts)
+      : ReplicaNode(reg, std::move(opts)) {}
+  std::vector<MessageId> applied;
+
+ protected:
+  void on_deliver(GroupId g, const ringpaxos::ValuePtr& v) override {
+    applied.push_back(v->msg_id);
+    MulticastNode::on_deliver(g, v);
+  }
+  Snapshot make_snapshot() override {
+    Snapshot s;
+    s.state = std::make_shared<std::vector<MessageId>>(applied);
+    s.size_bytes = 64 + applied.size() * 8;
+    return s;
+  }
+  void install_snapshot(const Snapshot& s) override {
+    applied = s.state
+                  ? *static_cast<const std::vector<MessageId>*>(s.state.get())
+                  : std::vector<MessageId>{};
+  }
+  void clear_state() override { applied.clear(); }
+};
+
+class RecoveryProperties : public testing::TestWithParam<int> {};
+
+TEST_P(RecoveryProperties, RecoveredReplicaMatchesSurvivors) {
+  int crash_at_ms = GetParam();
+  sim::Simulation sim(std::uint64_t(crash_at_ms) * 31 + 7);
+  ConfigRegistry registry;
+
+  std::vector<ProcessId> acceptors;
+  for (int i = 0; i < 3; ++i) {
+    auto n = std::make_unique<MulticastNode>(registry);
+    n->add_disk(sim::Presets::ssd());
+    acceptors.push_back(sim.add_node(std::move(n)));
+  }
+  std::vector<SequenceReplica*> reps;
+  std::vector<ProcessId> rep_ids;
+  std::vector<ProcessId> members = acceptors;
+  for (int i = 0; i < 3; ++i) {
+    ReplicaOptions ro;
+    ro.checkpoint_interval = duration::milliseconds(700);
+    auto n = std::make_unique<SequenceReplica>(registry, ro);
+    n->add_disk(sim::Presets::ssd());
+    reps.push_back(n.get());
+    ProcessId pid = sim.add_node(std::move(n));
+    rep_ids.push_back(pid);
+    members.push_back(pid);
+  }
+  for (auto* r : reps) r->set_partition(rep_ids);
+  GroupId ring = registry.create_ring(members, acceptors, acceptors[0]);
+
+  RingOptions ro;
+  ro.storage.mode = StorageOptions::Mode::kAsyncDisk;
+  ro.lambda = 1000;
+  for (ProcessId a : acceptors) {
+    static_cast<MulticastNode&>(sim.node(a)).join_only(ring, ro);
+  }
+  for (auto* r : reps) {
+    r->subscribe(ring, ro);
+    r->start_checkpointing();
+  }
+  TrimOptions to;
+  to.interval = duration::milliseconds(900);
+  to.partitions = {rep_ids};
+  static_cast<MulticastNode&>(sim.node(acceptors[0])).enable_trim(ring, to);
+
+  auto client = std::make_unique<MulticastNode>(registry);
+  MulticastNode* cp = client.get();
+  sim.add_node(std::move(client));
+
+  // Continuous load throughout.
+  for (int i = 0; i < 1500; ++i) {
+    sim.at(duration::milliseconds(2) * (i + 1) + duration::milliseconds(10),
+           [cp, ring] { cp->multicast(ring, 128); });
+  }
+
+  // Crash at the parameterized point; restart 1.2 s later.
+  sim.run_until(duration::milliseconds(crash_at_ms));
+  sim.node(rep_ids[1]).crash();
+  registry.remove_member(ring, rep_ids[1]);
+  sim.run_until(sim.now() + duration::milliseconds(1200));
+  registry.add_member(ring, rep_ids[1], false);
+  sim.node(rep_ids[1]).restart();
+
+  sim.run_until(duration::seconds(8));
+
+  EXPECT_FALSE(reps[1]->recovering());
+  ASSERT_EQ(reps[0]->applied.size(), 1500u);
+  EXPECT_EQ(reps[1]->applied, reps[0]->applied);
+  EXPECT_EQ(reps[2]->applied, reps[0]->applied);
+}
+
+INSTANTIATE_TEST_SUITE_P(CrashPoints, RecoveryProperties,
+                         testing::Values(150, 400, 800, 1300, 2100),
+                         [](const testing::TestParamInfo<int>& i) {
+                           return "crash_at_" + std::to_string(i.param) + "ms";
+                         });
+
+}  // namespace
+}  // namespace amcast::core

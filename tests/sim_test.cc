@@ -1,0 +1,241 @@
+// Unit tests for the discrete-event substrate: event ordering, timers,
+// crash semantics, network latency/bandwidth/FIFO, disk model, CPU model.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/network.h"
+#include "sim/node.h"
+#include "sim/simulation.h"
+
+namespace amcast::sim {
+namespace {
+
+struct Probe final : Node {
+  std::vector<std::pair<Time, ProcessId>> arrivals;
+  std::vector<std::size_t> sizes;
+  void on_message(ProcessId from, const MessagePtr& m) override {
+    arrivals.emplace_back(now(), from);
+    sizes.push_back(m->wire_size());
+  }
+};
+
+struct Blob final : Message {
+  std::size_t n;
+  explicit Blob(std::size_t bytes) : n(bytes) {}
+  std::size_t wire_size() const override { return n; }
+  int type() const override { return 900; }
+  const char* name() const override { return "Blob"; }
+};
+
+TEST(Simulation, EventsRunInTimeThenFifoOrder) {
+  Simulation s;
+  std::vector<int> order;
+  s.at(duration::milliseconds(2), [&] { order.push_back(2); });
+  s.at(duration::milliseconds(1), [&] { order.push_back(1); });
+  s.at(duration::milliseconds(2), [&] { order.push_back(3); });  // same time
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulation, RunUntilAdvancesClockEvenWhenIdle) {
+  Simulation s;
+  s.run_until(duration::seconds(5));
+  EXPECT_EQ(s.now(), duration::seconds(5));
+}
+
+TEST(Node, TimersFireAndCancel) {
+  Simulation s;
+  struct T final : Node {
+    int fired = 0;
+    void on_message(ProcessId, const MessagePtr&) override {}
+    void on_start() override {
+      set_timer(duration::milliseconds(1), [this] { ++fired; });
+      TimerId dead = set_timer(duration::milliseconds(2), [this] { fired += 100; });
+      cancel_timer(dead);
+    }
+  };
+  auto node = std::make_unique<T>();
+  T* t = node.get();
+  s.add_node(std::move(node));
+  s.run_until(duration::seconds(1));
+  EXPECT_EQ(t->fired, 1);
+}
+
+TEST(Node, CrashDropsMessagesAndTimers) {
+  Simulation s;
+  struct T final : Node {
+    int got = 0;
+    void on_message(ProcessId, const MessagePtr&) override { ++got; }
+  };
+  auto node = std::make_unique<T>();
+  T* t = node.get();
+  ProcessId id = s.add_node(std::move(node));
+  auto probe = std::make_unique<Probe>();
+  ProcessId sender = s.add_node(std::move(probe));
+
+  s.after(duration::milliseconds(1), [&, id] { s.node(id).crash(); });
+  s.after(duration::milliseconds(2),
+          [&s, id, sender] { s.network().send(sender, id, std::make_shared<Blob>(10)); });
+  s.run_until(duration::milliseconds(10));
+  EXPECT_EQ(t->got, 0);
+
+  s.node(id).restart();
+  s.after(0, [&s, id, sender] { s.network().send(sender, id, std::make_shared<Blob>(10)); });
+  s.run_until(s.now() + duration::milliseconds(10));
+  EXPECT_EQ(t->got, 1);
+}
+
+TEST(Network, DeliveryLatencyMatchesLinkModel) {
+  Simulation s;
+  auto a = s.add_node(std::make_unique<Probe>());
+  auto probe = std::make_unique<Probe>();
+  Probe* pb = probe.get();
+  auto b = s.add_node(std::move(probe));
+  s.network().send(a, b, std::make_shared<Blob>(1000));
+  s.run();
+  ASSERT_EQ(pb->arrivals.size(), 1u);
+  // LAN: >= 50us propagation + ~0.8us transmit; plus bounded jitter & CPU.
+  EXPECT_GE(pb->arrivals[0].first, duration::microseconds(50));
+  EXPECT_LE(pb->arrivals[0].first, duration::microseconds(150));
+}
+
+TEST(Network, FifoPerChannelUnderJitter) {
+  Simulation s;
+  auto a = s.add_node(std::make_unique<Probe>());
+  auto probe = std::make_unique<Probe>();
+  Probe* pb = probe.get();
+  auto b = s.add_node(std::move(probe));
+  for (int i = 0; i < 50; ++i) {
+    s.network().send(a, b, std::make_shared<Blob>(100 + std::size_t(i)));
+  }
+  s.run();
+  ASSERT_EQ(pb->sizes.size(), 50u);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(pb->sizes[std::size_t(i)], 100u + std::size_t(i));
+}
+
+TEST(Network, BandwidthSerializesLargeMessages) {
+  Simulation s;
+  auto a = s.add_node(std::make_unique<Probe>());
+  auto probe = std::make_unique<Probe>();
+  Probe* pb = probe.get();
+  auto b = s.add_node(std::move(probe));
+  // 10 MB at 10 Gbps = 8 ms of transmit time, plus ~31 ms of receive-side
+  // CPU (3 ns/byte) before the handler runs.
+  s.network().send(a, b, std::make_shared<Blob>(10u << 20));
+  s.run();
+  ASSERT_EQ(pb->arrivals.size(), 1u);
+  EXPECT_GT(pb->arrivals[0].first, duration::milliseconds(8));
+  EXPECT_LT(pb->arrivals[0].first, duration::milliseconds(60));
+}
+
+TEST(Network, WanTopologyAddsRegionLatency) {
+  Simulation s(1, Topology::ec2_four_regions());
+  auto a = s.add_node(std::make_unique<Probe>());
+  auto probe = std::make_unique<Probe>();
+  Probe* pb = probe.get();
+  auto b = s.add_node(std::move(probe));
+  s.network().place(a, 0);  // eu-west-1
+  s.network().place(b, 1);  // us-east-1
+  s.network().send(a, b, std::make_shared<Blob>(100));
+  s.run();
+  ASSERT_EQ(pb->arrivals.size(), 1u);
+  EXPECT_GE(pb->arrivals[0].first, duration::milliseconds(40));
+  EXPECT_LE(pb->arrivals[0].first, duration::milliseconds(45));
+}
+
+TEST(Network, DropProbabilityLosesMessages) {
+  Simulation s;
+  auto a = s.add_node(std::make_unique<Probe>());
+  auto probe = std::make_unique<Probe>();
+  Probe* pb = probe.get();
+  auto b = s.add_node(std::move(probe));
+  s.network().set_drop_probability(1.0);
+  for (int i = 0; i < 10; ++i) s.network().send(a, b, std::make_shared<Blob>(8));
+  s.run();
+  EXPECT_TRUE(pb->arrivals.empty());
+}
+
+TEST(Disk, SyncWriteTakesPositioningPlusTransfer) {
+  Simulation s;
+  Disk d(s, Presets::hdd());
+  Time done = -1;
+  d.write(1 << 20, [&] { done = s.now(); });  // 1 MB
+  s.run();
+  // 2.5 ms positioning + ~9.5 ms transfer at 110 MB/s.
+  EXPECT_GT(done, duration::milliseconds(11));
+  EXPECT_LT(done, duration::milliseconds(14));
+}
+
+TEST(Disk, WritesAreFifoQueued) {
+  Simulation s;
+  Disk d(s, Presets::ssd());
+  std::vector<int> order;
+  d.write(1000, [&] { order.push_back(1); });
+  d.write(1000, [&] { order.push_back(2); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(d.bytes_written(), 2000u);
+}
+
+TEST(Disk, AsyncBackpressureSignalsWhenQueueFull) {
+  Simulation s;
+  DiskParams slow;
+  slow.positioning = duration::milliseconds(1);
+  slow.bandwidth_bps = 8e6;  // 1 MB/s
+  slow.async_queue_bytes = 10000;
+  Disk d(s, slow);
+  d.write_async(20000);
+  EXPECT_FALSE(d.accepting());
+  bool notified = false;
+  d.when_accepting([&] { notified = true; });
+  s.run();
+  EXPECT_TRUE(notified);
+  EXPECT_TRUE(d.accepting());
+}
+
+TEST(Disk, ReadOccupiesDevice) {
+  Simulation s;
+  Disk d(s, Presets::hdd());
+  Time read_done = -1, write_done = -1;
+  d.read(1 << 20, [&] { read_done = s.now(); });
+  d.write(1000, [&] { write_done = s.now(); });
+  s.run();
+  EXPECT_GT(read_done, duration::milliseconds(10));
+  EXPECT_GT(write_done, read_done);  // queued behind the read
+}
+
+TEST(Cpu, BusyTimeAccumulatesPerMessage) {
+  Simulation s;
+  auto probe = std::make_unique<Probe>();
+  Probe* pb = probe.get();
+  auto b = s.add_node(std::move(probe));
+  auto a = s.add_node(std::make_unique<Probe>());
+  for (int i = 0; i < 100; ++i) {
+    s.network().send(a, b, std::make_shared<Blob>(10000));
+  }
+  s.run();
+  // 100 messages x (30us + 10000B x 2ns) = 5 ms of CPU.
+  double busy = s.node(b).take_cpu_busy_seconds();
+  EXPECT_NEAR(busy, 5e-3, 0.5e-3);
+  EXPECT_NEAR(s.node(b).cpu_busy_seconds_total(), 5e-3, 0.5e-3);
+  // Window resets after take.
+  EXPECT_DOUBLE_EQ(s.node(b).take_cpu_busy_seconds(), 0.0);
+}
+
+TEST(Cpu, CostFactorScalesPerByteCost) {
+  Simulation s;
+  auto p1 = std::make_unique<Probe>();
+  Probe* n1 = p1.get();
+  auto b1 = s.add_node(std::move(p1));
+  s.node(b1).set_cpu_cost_factor(2.0);
+  auto a = s.add_node(std::make_unique<Probe>());
+  s.network().send(a, b1, std::make_shared<Blob>(100000));
+  s.run();
+  (void)n1;
+  double busy = s.node(b1).take_cpu_busy_seconds();
+  EXPECT_NEAR(busy, 2.0 * (30e-6 + 2e-9 * 100000), 5e-6);
+}
+
+}  // namespace
+}  // namespace amcast::sim

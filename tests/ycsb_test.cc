@@ -1,0 +1,106 @@
+// Tests for the YCSB workload generator: operation mixes, distributions,
+// insert growth, scan shapes, read-modify-write chaining.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "ycsb/workload.h"
+
+namespace amcast::ycsb {
+namespace {
+
+using kvstore::Op;
+
+std::map<Op, int> sample_mix(Workload w, int n = 20000) {
+  Generator gen(WorkloadSpec::standard(w), 10000, 100, 1);
+  Rng rng(4);
+  std::map<Op, int> counts;
+  for (int i = 0; i < n; ++i) counts[gen.next(0, rng).op]++;
+  return counts;
+}
+
+TEST(Ycsb, WorkloadAMixIsHalfReadHalfUpdate) {
+  auto mix = sample_mix(Workload::A);
+  EXPECT_NEAR(double(mix[Op::kRead]) / 20000, 0.5, 0.03);
+  EXPECT_NEAR(double(mix[Op::kUpdate]) / 20000, 0.5, 0.03);
+}
+
+TEST(Ycsb, WorkloadBMixIsReadMostly) {
+  auto mix = sample_mix(Workload::B);
+  EXPECT_NEAR(double(mix[Op::kRead]) / 20000, 0.95, 0.02);
+  EXPECT_NEAR(double(mix[Op::kUpdate]) / 20000, 0.05, 0.02);
+}
+
+TEST(Ycsb, WorkloadCIsReadOnly) {
+  auto mix = sample_mix(Workload::C);
+  EXPECT_EQ(mix[Op::kRead], 20000);
+}
+
+TEST(Ycsb, WorkloadDInsertsGrowTheKeySpace) {
+  Generator gen(WorkloadSpec::standard(Workload::D), 1000, 100, 1);
+  Rng rng(4);
+  int inserts = 0;
+  for (int i = 0; i < 5000; ++i) {
+    auto c = gen.next(0, rng);
+    if (c.op == Op::kInsert) {
+      ++inserts;
+      EXPECT_EQ(c.key, Generator::key_of(gen.record_count() - 1));
+    }
+  }
+  EXPECT_GT(inserts, 150);
+  EXPECT_EQ(gen.record_count(), 1000u + std::uint64_t(inserts));
+}
+
+TEST(Ycsb, WorkloadEScansHaveBoundedLength) {
+  Generator gen(WorkloadSpec::standard(Workload::E), 10000, 100, 1);
+  Rng rng(4);
+  int scans = 0;
+  for (int i = 0; i < 5000; ++i) {
+    auto c = gen.next(0, rng);
+    if (c.op != Op::kScan) continue;
+    ++scans;
+    EXPECT_LE(c.key, c.end_key);
+  }
+  EXPECT_NEAR(double(scans) / 5000, 0.95, 0.02);
+}
+
+TEST(Ycsb, WorkloadFChainsUpdateAfterRead) {
+  Generator gen(WorkloadSpec::standard(Workload::F), 10000, 100, 2);
+  Rng rng(4);
+  // Invariant: every update must target the key of the immediately
+  // preceding command of the same thread, which must have been a read
+  // (the chained second half of a read-modify-write).
+  for (int t = 0; t < 2; ++t) {
+    kvstore::Command prev;
+    int updates = 0;
+    for (int i = 0; i < 2000; ++i) {
+      auto c = gen.next(t, rng);
+      if (c.op == Op::kUpdate) {
+        ++updates;
+        EXPECT_EQ(prev.op, Op::kRead);
+        EXPECT_EQ(c.key, prev.key);
+      }
+      prev = c;
+    }
+    EXPECT_GT(updates, 400);  // ~50% rmw => ~1/3 of commands are updates
+  }
+}
+
+TEST(Ycsb, KeysAreFixedWidthAndOrdered) {
+  EXPECT_EQ(Generator::key_of(0), "user000000000000");
+  EXPECT_EQ(Generator::key_of(42), "user000000000042");
+  EXPECT_LT(Generator::key_of(9), Generator::key_of(10));  // lexicographic
+}
+
+TEST(Ycsb, ZipfianTrafficIsSkewedTowardFewKeys) {
+  Generator gen(WorkloadSpec::standard(Workload::C), 10000, 100, 1);
+  Rng rng(4);
+  std::map<std::string, int> counts;
+  for (int i = 0; i < 20000; ++i) counts[gen.next(0, rng).key]++;
+  int hot = 0;
+  for (auto& [k, c] : counts) hot = std::max(hot, c);
+  EXPECT_GT(hot, 100);  // uniform would give ~2 per key
+}
+
+}  // namespace
+}  // namespace amcast::ycsb
