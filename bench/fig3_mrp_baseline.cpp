@@ -71,9 +71,9 @@ struct Mode {
 };
 
 struct CellResult {
-  double mbps;
-  double mean_ms;
-  double cpu_pct;
+  double mbps = 0;
+  double mean_ms = 0;
+  double cpu_pct = 0;
   Histogram latency;
 };
 
@@ -110,7 +110,7 @@ CellResult run_cell(const Mode& mode, std::size_t size) {
   sim.node(ids[0]).take_cpu_busy_seconds();  // reset coordinator CPU window
   sim.run_until(warmup + window);
 
-  CellResult r{};
+  CellResult r;
   std::int64_t bytes = nodes[2]->delivered_bytes() - bytes0;
   r.mbps = double(bytes) * 8.0 / duration::to_seconds(window) / 1e6;
   const auto& h = sim.metrics().histogram("mrp.latency");

@@ -9,6 +9,7 @@
 // aggregate throughput for 1..4 regions (with %-of-linear) and the latency
 // CDF measured in us-west-2.
 #include "bench/bench_util.h"
+#include "common/strings.h"
 #include "kvstore/deployment.h"
 
 namespace amcast {
@@ -30,7 +31,7 @@ RunResult run(int regions) {
   if (regions > 1) {
     std::vector<std::string> bounds;
     for (int r = 0; r + 1 < regions; ++r) {
-      bounds.push_back("r" + std::to_string(r) + "~");  // '~' > digits/letters
+      bounds.push_back(str_cat("r", std::to_string(r), "~"));  // '~' > digits/letters
     }
     spec.partitioner = kvstore::Partitioner::range(bounds);
   } else {
@@ -49,7 +50,7 @@ RunResult run(int regions) {
   // batched into 32 KB packets.
   std::vector<kvstore::KvClient*> clients;
   for (int r = 0; r < regions; ++r) {
-    std::string prefix = "r" + std::to_string(r) + "-key";
+    std::string prefix = str_cat("r", std::to_string(r), "-key");
     auto gen = [prefix](int, Rng& rng) {
       kvstore::Command c;
       c.op = kvstore::Op::kUpdate;
@@ -68,8 +69,8 @@ RunResult run(int regions) {
   // Preload the keyspace so updates hit existing entries.
   d.preload(1000 * std::uint64_t(regions), 1024, [regions](std::uint64_t i) {
     int r = int(i % std::uint64_t(regions));
-    return "r" + std::to_string(r) + "-key" +
-           std::to_string(i / std::uint64_t(regions));
+    return str_cat("r", std::to_string(r), "-key",
+                   std::to_string(i / std::uint64_t(regions)));
   });
 
   const Duration warmup = duration::seconds(4);

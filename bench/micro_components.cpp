@@ -3,6 +3,7 @@
 #include <benchmark/benchmark.h>
 
 #include "common/histogram.h"
+#include "common/strings.h"
 #include "common/zipf.h"
 #include "kvstore/command.h"
 #include "kvstore/store.h"
@@ -81,13 +82,13 @@ BENCHMARK(BM_YcsbNext);
 void BM_StoreApply(benchmark::State& state) {
   kvstore::KvStore s;
   for (int i = 0; i < 100000; ++i) {
-    s.insert("k" + std::to_string(i), std::vector<std::uint8_t>(64, 0));
+    s.insert(str_cat("k", std::to_string(i)), std::vector<std::uint8_t>(64, 0));
   }
   kvstore::Command c;
   c.op = kvstore::Op::kRead;
   Rng rng(9);
   for (auto _ : state) {
-    c.key = "k" + std::to_string(rng.next_u64(100000));
+    c.key = str_cat("k", std::to_string(rng.next_u64(100000)));
     benchmark::DoNotOptimize(s.apply(c));
   }
 }

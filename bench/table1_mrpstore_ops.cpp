@@ -3,6 +3,7 @@
 // The paper's Table 1 defines the interface; this bench demonstrates every
 // operation working through atomic multicast and reports its cost.
 #include "bench/bench_util.h"
+#include "common/strings.h"
 #include "kvstore/deployment.h"
 
 int main() {
@@ -36,7 +37,9 @@ int main() {
     spec.lambda = 4000;
     kvstore::KvDeployment d(spec);
     d.preload(20000, 512,
-              [](std::uint64_t r) { return "k" + std::to_string(100000 + r); });
+              [](std::uint64_t r) {
+                return str_cat("k", std::to_string(100000 + r));
+              });
 
     std::uint64_t next_insert = 1;
     auto gen = [&, op = spec_op.op](int, Rng& rng) {
@@ -45,18 +48,18 @@ int main() {
       switch (op) {
         case kvstore::Op::kRead:
         case kvstore::Op::kUpdate:
-          c.key = "k" + std::to_string(100000 + rng.next_u64(20000));
+          c.key = str_cat("k", std::to_string(100000 + rng.next_u64(20000)));
           break;
         case kvstore::Op::kScan:
-          c.key = "k" + std::to_string(100000 + rng.next_u64(19000));
+          c.key = str_cat("k", std::to_string(100000 + rng.next_u64(19000)));
           c.end_key = c.key + "~";
           break;
         case kvstore::Op::kInsert:
-          c.key = "new" + std::to_string(next_insert++);
+          c.key = str_cat("new", std::to_string(next_insert++));
           break;
         case kvstore::Op::kDelete:
           // Deleting (possibly absent) keys still exercises the full path.
-          c.key = "k" + std::to_string(100000 + rng.next_u64(20000));
+          c.key = str_cat("k", std::to_string(100000 + rng.next_u64(20000)));
           break;
       }
       if (c.op == kvstore::Op::kUpdate || c.op == kvstore::Op::kInsert) {

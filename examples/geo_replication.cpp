@@ -5,6 +5,7 @@
 // (paper §8.4.2's deployment as a library user would write it).
 #include <cstdio>
 
+#include "common/strings.h"
 #include "kvstore/deployment.h"
 
 using namespace amcast;
@@ -25,13 +26,13 @@ int main() {
   kvstore::KvDeployment d(spec);
 
   d.preload(4000, 512, [](std::uint64_t i) {
-    return "r" + std::to_string(i % 4) + "-item" + std::to_string(i / 4);
+    return str_cat("r", std::to_string(i % 4), "-item", std::to_string(i / 4));
   });
 
   // A client in every region updating only its local shard.
   std::vector<kvstore::KvClient*> clients;
   for (int r = 0; r < 4; ++r) {
-    std::string prefix = "r" + std::to_string(r) + "-item";
+    std::string prefix = str_cat("r", std::to_string(r), "-item");
     clients.push_back(&d.add_client(
         16,
         [prefix](int, Rng& rng) {

@@ -5,7 +5,7 @@ namespace amcast::baselines {
 EvReplica::EvReplica(int partition, Partitioner partitioner)
     : partition_(partition), partitioner_(std::move(partitioner)) {}
 
-void EvReplica::on_message(ProcessId from, const MessagePtr& m) {
+void EvReplica::on_message(ProcessId, const MessagePtr& m) {
   switch (m->type()) {
     case kEvRequest: {
       const auto& req = msg_cast<EvRequestMsg>(m);

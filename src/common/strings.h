@@ -1,0 +1,23 @@
+// Small string helpers shared by the stores, benchmarks and tests.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace amcast {
+
+/// Concatenates any mix of string-like pieces (std::string, string_view,
+/// literals) into one buffer in a single pass, reserving the exact size up
+/// front. Preferred over chained operator+ for key construction: one
+/// allocation instead of one per '+', and it stays on the append path of
+/// std::string (the operator+ rvalue overloads route through insert(), which
+/// GCC 12 flags with a -Wrestrict false positive under -O2).
+template <typename... Parts>
+std::string str_cat(const Parts&... parts) {
+  std::string out;
+  out.reserve((std::string_view(parts).size() + ... + std::size_t(0)));
+  (out.append(std::string_view(parts)), ...);
+  return out;
+}
+
+}  // namespace amcast

@@ -5,6 +5,7 @@
 #include "baselines/ensemble_log.h"
 #include "baselines/eventual.h"
 #include "baselines/single_node.h"
+#include "common/strings.h"
 #include "sim/simulation.h"
 
 namespace amcast::baselines {
@@ -53,7 +54,7 @@ TEST(EventualStore, WritesAckFastAndPropagateAsync) {
   co.partition_heads = {ids[0]};
   Script script;
   for (int i = 0; i < 20; ++i) {
-    script.cmds.push_back(make(Op::kInsert, "k" + std::to_string(i), 64));
+    script.cmds.push_back(make(Op::kInsert, str_cat("k", std::to_string(i)), 64));
   }
   auto client = std::make_unique<EvClient>(co, script);
   EvClient* cp = client.get();
@@ -81,7 +82,7 @@ TEST(SingleNodeStore, GroupCommitCompletesConcurrentWrites) {
   co.server = sid;
   Script script;
   for (int i = 0; i < 100; ++i) {
-    script.cmds.push_back(make(Op::kInsert, "k" + std::to_string(i), 64));
+    script.cmds.push_back(make(Op::kInsert, str_cat("k", std::to_string(i)), 64));
   }
   auto client = std::make_unique<SnClient>(co, script);
   SnClient* cp = client.get();

@@ -4,6 +4,7 @@
 // crash/recovery through the deployment helper).
 #include <gtest/gtest.h>
 
+#include "common/strings.h"
 #include "kvstore/deployment.h"
 
 namespace amcast::kvstore {
@@ -266,7 +267,8 @@ TEST(KvEndToEnd, ReplicaCrashRecoveryThroughDeployment) {
 
   Script script;
   for (int i = 0; i < 2000; ++i) {
-    script.cmds.push_back(make(Op::kInsert, "k" + std::to_string(i), 128));
+    script.cmds.push_back(
+        make(Op::kInsert, str_cat("k", std::to_string(i)), 128));
   }
   d.add_client(4, script);
   d.sim().run_until(duration::seconds(2));

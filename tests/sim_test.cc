@@ -207,9 +207,7 @@ TEST(Disk, ReadOccupiesDevice) {
 
 TEST(Cpu, BusyTimeAccumulatesPerMessage) {
   Simulation s;
-  auto probe = std::make_unique<Probe>();
-  Probe* pb = probe.get();
-  auto b = s.add_node(std::move(probe));
+  auto b = s.add_node(std::make_unique<Probe>());
   auto a = s.add_node(std::make_unique<Probe>());
   for (int i = 0; i < 100; ++i) {
     s.network().send(a, b, std::make_shared<Blob>(10000));
