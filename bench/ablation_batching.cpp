@@ -1,7 +1,15 @@
-// Ablation A3: message packing in the ring (paper §4: "different types of
-// messages for several consensus instances are often grouped into bigger
-// packets"). The Figure 3 baseline disables it; this ablation compares
-// packing off/on for small values, where per-message CPU dominates.
+// Ablation A3: batching in the ring. Two distinct levers exist (paper §4):
+//
+//  * value batching — the coordinator decides up to `batch_values`
+//    application values in ONE consensus instance (the URingPaxos
+//    optimization that lifts CPU-bound small-value throughput);
+//  * message packing — outgoing ring messages to the same successor are
+//    grouped into bigger packets (wire-level only; one instance per value).
+//
+// This bench sweeps the cross product for small values, where the
+// per-instance/per-message CPU cost dominates, and reports msgs/s plus mean
+// delivery latency. Run with --smoke for a seconds-long CI sanity pass.
+#include <cstring>
 #include <map>
 #include <memory>
 
@@ -56,7 +64,8 @@ struct Result {
   double lat_ms;
 };
 
-Result run(bool packing, std::size_t size, int threads) {
+Result run(int batch_values, bool packing, std::size_t size, int threads,
+           Duration warmup, Duration window) {
   sim::Simulation sim(5);
   ConfigRegistry registry;
   std::vector<Driver*> nodes;
@@ -71,41 +80,85 @@ Result run(bool packing, std::size_t size, int threads) {
   ro.packing = packing;
   ro.pack_delay = duration::microseconds(200);
   ro.pack_bytes = 32 * 1024;
+  ro.batch_values = batch_values;
+  ro.batch_delay = duration::microseconds(200);
   for (auto* n : nodes) n->subscribe(g, ro);
   for (auto* n : nodes) n->start_load(g);
 
-  sim.run_until(duration::seconds(1));
+  sim.run_until(warmup);
   sim.metrics().histogram("pk.latency").clear();
   std::int64_t c0 = 0;
   for (auto* n : nodes) c0 += n->completed;
-  sim.run_until(duration::seconds(3));
+  sim.run_until(warmup + window);
   std::int64_t c1 = 0;
   for (auto* n : nodes) c1 += n->completed;
 
   Result r{};
-  r.ops = double(c1 - c0) / 2.0;
+  r.ops = double(c1 - c0) / duration::to_seconds(window);
   r.lat_ms = sim.metrics().histogram("pk.latency").mean_ms();
   return r;
+}
+
+int run_sweep(bool smoke) {
+  using namespace amcast::bench;
+  banner("Ablation A3 — value batching x message packing",
+         "paper §4 batching optimizations (URingPaxos decides many values "
+         "per instance; packing groups wire messages)",
+         "1 ring x 3 nodes, 64 closed-loop threads per node, small values");
+
+  const Duration warmup =
+      smoke ? duration::milliseconds(200) : duration::seconds(1);
+  const Duration window =
+      smoke ? duration::milliseconds(400) : duration::seconds(2);
+  const std::vector<std::size_t> sizes =
+      smoke ? std::vector<std::size_t>{128}
+            : std::vector<std::size_t>{128, 512};
+  const std::vector<int> batches =
+      smoke ? std::vector<int>{1, 16} : std::vector<int>{1, 16, 64};
+  const std::vector<bool> packings =
+      smoke ? std::vector<bool>{false} : std::vector<bool>{false, true};
+
+  TextTable t({"value size", "batch_values", "packing", "msgs/s",
+               "mean latency ms", "speedup"});
+  bool batched_beats_baseline = true;
+  for (std::size_t size : sizes) {
+    for (bool packing : packings) {
+      double baseline = 0;
+      for (int batch : batches) {
+        Result r = run(batch, packing, size, 64, warmup, window);
+        if (batch == 1) baseline = r.ops;
+        // The 2x gate applies to the packing-off comparison: with packing
+        // on, the wire level already amortizes the per-message cost and
+        // both configs sit near the same ceiling.
+        if (batch >= 16 && !packing && r.ops < 2.0 * baseline) {
+          batched_beats_baseline = false;
+        }
+        t.add_row({TextTable::integer((long long)size),
+                   TextTable::integer(batch), packing ? "on" : "off",
+                   TextTable::num(r.ops, 0), TextTable::num(r.lat_ms, 2),
+                   baseline > 0 ? TextTable::num(r.ops / baseline, 2) + "x"
+                                : "-"});
+      }
+    }
+  }
+  t.print("Throughput/latency across value batching x packing");
+  std::printf(
+      "\nExpected: value batching amortizes the per-instance consensus cost\n"
+      "(>= 2x msgs/s for small values at batch_values >= 16); packing\n"
+      "additionally amortizes per-message network/CPU cost. Both trade a\n"
+      "bounded delay (batch_delay / pack_delay) for throughput.\n");
+  if (!batched_beats_baseline) {
+    std::printf("WARNING: batch_values >= 16 did not reach 2x the unbatched "
+                "baseline.\n");
+    return smoke ? 1 : 0;  // smoke mode doubles as a CI regression gate
+  }
+  return 0;
 }
 
 }  // namespace
 }  // namespace amcast
 
-int main() {
-  using namespace amcast;
-  bench::banner("Ablation A3 — ring message packing on/off",
-                "paper §4 packing optimization (Figure 3 disables it)",
-                "1 ring x 3 nodes, 64 closed-loop threads per node");
-  TextTable t({"value size", "packing", "msgs/s", "mean latency ms"});
-  for (std::size_t size : {128, 512, 2048}) {
-    for (bool packing : {false, true}) {
-      auto r = run(packing, size, 64);
-      t.add_row({TextTable::integer((long long)size), packing ? "on" : "off",
-                 TextTable::num(r.ops, 0), TextTable::num(r.lat_ms, 2)});
-    }
-  }
-  t.print("Throughput/latency with and without packing");
-  std::printf("\nExpected: packing amortizes the per-message CPU cost, raising\n"
-              "small-value throughput at a small latency cost (pack delay).\n");
-  return 0;
+int main(int argc, char** argv) {
+  bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  return amcast::run_sweep(smoke);
 }

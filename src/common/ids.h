@@ -24,7 +24,27 @@ using Round = std::int32_t;
 
 /// Unique id a proposer stamps on every multicast value; used to match
 /// deliveries/responses back to the originating request.
+///
+/// Layout (64 bits):
+///   bits [40, 64)  — origin tag: ProcessId + 1 (the +1 keeps ids of
+///                    process 0 nonzero; 0 is reserved for "no id", e.g.
+///                    skip values)
+///   bits [0, 40)   — per-origin sequence number, starting at 1
+///
+/// A node therefore owns 2^40 ids; the sequence must never wrap or its ids
+/// would silently collide with another node's id space. Mint ids through
+/// make_message_id and guard the sequence against exhaustion (see
+/// MulticastNode::next_message_id).
 using MessageId = std::uint64_t;
+
+inline constexpr int kMessageIdSeqBits = 40;
+inline constexpr MessageId kMessageIdSeqMask =
+    (MessageId(1) << kMessageIdSeqBits) - 1;
+
+inline constexpr MessageId make_message_id(ProcessId origin, MessageId seq) {
+  return (MessageId(origin) + 1) << kMessageIdSeqBits |
+         (seq & kMessageIdSeqMask);
+}
 
 /// Simulated time in nanoseconds since the start of the run.
 using Time = std::int64_t;

@@ -33,15 +33,24 @@ void MulticastNode::join_only(GroupId g, RingOptions opts) {
   join_ring(g, /*learner=*/false, opts);
 }
 
+MessageId MulticastNode::next_message_id() {
+  // Exhausting the 40-bit sequence space would silently alias another
+  // node's id space (see make_message_id in common/ids.h); fail loudly
+  // instead — at any realistic rate this is decades of uptime.
+  AMCAST_ASSERT_MSG(next_mid_ <= kMessageIdSeqMask,
+                    "per-node MessageId sequence space exhausted");
+  return make_message_id(id(), next_mid_++);
+}
+
 MessageId MulticastNode::multicast(GroupId g, std::size_t payload_size) {
-  MessageId mid = (MessageId(id()) + 1) << 40 | next_mid_++;
+  MessageId mid = next_message_id();
   propose(g, ringpaxos::make_value(g, mid, id(), now(), payload_size));
   return mid;
 }
 
 MessageId MulticastNode::multicast_bytes(GroupId g,
                                          std::vector<std::uint8_t> bytes) {
-  MessageId mid = (MessageId(id()) + 1) << 40 | next_mid_++;
+  MessageId mid = next_message_id();
   propose(g, ringpaxos::make_value_bytes(g, mid, id(), now(), std::move(bytes)));
   return mid;
 }
@@ -56,7 +65,14 @@ void MulticastNode::on_ring_deliver(GroupId g, InstanceId first,
   AMCAST_ASSERT_MSG(it != merge_.end(), "delivery for unsubscribed group");
   GroupMergeState& gs = it->second;
   if (first + count <= gs.next_expected) return;  // stale (recovery overlap)
-  gs.queue.push_back(GroupMergeState::Item{first, count, value, 0});
+  GroupMergeState::Item item{first, count, value, 0};
+  if (first < gs.next_expected) {
+    // Recovery can leave the merge cursor mid-range (checkpoint tuples cut
+    // skip ranges partially); pre-consume the already-merged overlap so the
+    // item lines up with the cursor.
+    item.consumed = std::int32_t(gs.next_expected - first);
+  }
+  gs.queue.push_back(std::move(item));
   run_merge();
 }
 
@@ -84,8 +100,18 @@ void MulticastNode::run_merge() {
     rr_remaining_ -= take;
     if (item.consumed == item.count) gs.queue.pop_front();
     if (deliver_now) {
-      ++delivered_count_;
-      on_deliver(subs_[rr_index_], v);
+      GroupId g = subs_[rr_index_];
+      if (v->is_batch()) {
+        // One instance carries many application values (coordinator value
+        // batching): deliver each inner value, in batch order.
+        for (const ValuePtr& inner : v->batch) {
+          ++delivered_count_;
+          on_deliver(g, inner);
+        }
+      } else {
+        ++delivered_count_;
+        on_deliver(g, v);
+      }
     }
     if (rr_remaining_ == 0) {
       rr_index_ = (rr_index_ + 1) % subs_.size();
@@ -173,8 +199,17 @@ void MulticastNode::handle_trim_reply(const TrimReplyMsg& m) {
     if (have < part.size() / 2 + 1) return;  // quorum not yet complete
   }
 
+  // k = min over the replies of partition members only. `replies` may also
+  // hold strays (replicas from an old configuration, or processes not in
+  // any partition); letting those into the min could hold the trim point
+  // back forever or regress it below what the quorum guarantees.
   InstanceId k = std::numeric_limits<InstanceId>::max();
-  for (const auto& [p, safe] : ts.replies) k = std::min(k, safe);
+  for (const auto& part : ts.opts.partitions) {
+    for (ProcessId p : part) {
+      auto rit = ts.replies.find(p);
+      if (rit != ts.replies.end()) k = std::min(k, rit->second);
+    }
+  }
   ts.current_query = 0;  // round done
   if (k <= 0) return;    // nothing safely checkpointed yet
 

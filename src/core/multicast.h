@@ -109,7 +109,8 @@ class MulticastNode : public ringpaxos::RingNode {
   struct GroupMergeState {
     MergeOptions merge;
     // Decided-but-unmerged ring output, in instance order. An item is a
-    // range [first, first+count) carrying one value (count>1 only skips).
+    // range [first, first+count) carrying one value (count>1 only skips; a
+    // batch envelope covers one instance but delivers many inner values).
     struct Item {
       InstanceId first;
       std::int32_t count;
@@ -120,6 +121,7 @@ class MulticastNode : public ringpaxos::RingNode {
     InstanceId next_expected = 0;  ///< merge cursor for this group
   };
 
+  MessageId next_message_id();
   void run_merge();
   void handle_trim_query_timer(GroupId g);
   void handle_trim_reply(const TrimReplyMsg& m);

@@ -36,6 +36,9 @@ DLogDeployment::DLogDeployment(DLogDeploymentSpec spec)
     ro.storage.disk_index = disk_index;
     ro.delta = spec_.delta;
     ro.lambda = spec_.lambda;
+    ro.batch_values = spec_.batch_values;
+    ro.batch_bytes = spec_.batch_bytes;
+    ro.batch_delay = spec_.batch_delay;
     return ro;
   };
   core::MergeOptions mo;

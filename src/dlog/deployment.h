@@ -29,6 +29,12 @@ struct DLogDeploymentSpec {
   std::int32_t m = 1;
   Duration delta = duration::milliseconds(5);
   double lambda = 9000;
+
+  /// Coordinator value batching per ring (see RingOptions::batch_values).
+  int batch_values = 1;
+  std::size_t batch_bytes = 256 * 1024;
+  Duration batch_delay = 0;
+
   std::uint64_t seed = 1;
 };
 

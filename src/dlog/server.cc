@@ -110,6 +110,9 @@ CommandResult DLogServer::execute(const Command& c) {
 }
 
 void DLogServer::on_deliver(GroupId g, const ringpaxos::ValuePtr& v) {
+  // Exactly one client CommandBatch per delivered value: the merge layer
+  // unwraps coordinator batch envelopes before this hook.
+  AMCAST_ASSERT_MSG(!v->is_batch(), "batch envelope reached the service");
   AMCAST_ASSERT(v->payload != nullptr);
   CommandBatch batch = CommandBatch::decode(*v->payload);
 

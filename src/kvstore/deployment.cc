@@ -10,6 +10,9 @@ ringpaxos::RingOptions make_ring_options(const KvDeploymentSpec& spec) {
   ro.delta = spec.delta;
   ro.lambda = spec.lambda;
   ro.proposal_timeout = spec.proposal_timeout;
+  ro.batch_values = spec.batch_values;
+  ro.batch_bytes = spec.batch_bytes;
+  ro.batch_delay = spec.batch_delay;
   return ro;
 }
 }  // namespace

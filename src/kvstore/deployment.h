@@ -39,6 +39,13 @@ struct KvDeploymentSpec {
   Duration delta = duration::milliseconds(5);
   double lambda = 9000;
 
+  /// Coordinator value batching: decide up to this many client command
+  /// batches per consensus instance (1 = one value per instance). See
+  /// ringpaxos::RingOptions::batch_values.
+  int batch_values = 1;
+  std::size_t batch_bytes = 256 * 1024;
+  Duration batch_delay = 0;
+
   /// Recovery plumbing; 0 disables checkpoints/trims.
   Duration checkpoint_interval = 0;
   Duration trim_interval = 0;

@@ -45,6 +45,9 @@ bool KvReplica::is_duplicate_and_track(const Command& c) {
 }
 
 void KvReplica::on_deliver(GroupId g, const ringpaxos::ValuePtr& v) {
+  // Exactly one client CommandBatch per delivered value: the merge layer
+  // unwraps coordinator batch envelopes before this hook.
+  AMCAST_ASSERT_MSG(!v->is_batch(), "batch envelope reached the service");
   AMCAST_ASSERT(v->payload != nullptr);
   CommandBatch batch = CommandBatch::decode(*v->payload);
 

@@ -89,7 +89,10 @@ struct Phase1BMsg final : sim::Message {
 
 /// The combined Phase 2A/2B message circulating the ring. `votes` is the
 /// number of acceptors that voted so far (the coordinator's own vote
-/// included); `hops` counts forwarding steps from the coordinator.
+/// included); `hops` counts forwarding steps from the coordinator. `value`
+/// may be a batch envelope: one instance (count == 1) then decides many
+/// application values at once (RingOptions::batch_values); `count > 1`
+/// occurs only for skip ranges.
 struct Phase2Msg final : sim::Message {
   GroupId ring = kInvalidGroup;
   Round round = 0;

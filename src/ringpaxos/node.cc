@@ -170,10 +170,7 @@ void RingNode::propose(GroupId g, ValuePtr v) {
   }
   if (rings_.count(g) && state(g).coordinating) {
     // Local fast path: we are the coordinator.
-    auto& rs = state(g);
-    rs.proposal_queue.push_back(v);
-    ++rs.proposed_in_window;
-    schedule_pump(rs);
+    enqueue_proposal(state(g), v);
   } else {
     auto m = std::make_shared<ProposalMsg>();
     m->ring = g;
@@ -213,7 +210,14 @@ void RingNode::check_proposal_timeouts() {
 }
 
 void RingNode::observe_decided_value(const ValuePtr& v) {
-  if (v == nullptr || v->msg_id == 0 || my_proposals_.empty()) return;
+  if (v == nullptr) return;
+  if (v->is_batch()) {
+    // Proposer acks are per application value: every inner value of a
+    // decided batch counts as decided for its proposer.
+    for (const ValuePtr& inner : v->batch) observe_decided_value(inner);
+    return;
+  }
+  if (v->msg_id == 0 || my_proposals_.empty()) return;
   my_proposals_.erase(v->msg_id);
 }
 
@@ -226,7 +230,12 @@ void RingNode::handle_proposal(RingState& rs, const ProposalMsg& m) {
     }
     return;
   }
-  rs.proposal_queue.push_back(m.value);
+  enqueue_proposal(rs, m.value);
+}
+
+void RingNode::enqueue_proposal(RingState& rs, ValuePtr v) {
+  rs.queue_bytes += v->wire_size();
+  rs.proposal_queue.push_back(std::move(v));
   ++rs.proposed_in_window;
   schedule_pump(rs);
 }
@@ -255,12 +264,57 @@ void RingNode::pump(RingState& rs) {
       rs.storage->when_accepting([this, g] { pump(state(g)); });
       return;
     }
-    ValuePtr v = rs.proposal_queue.front();
-    rs.proposal_queue.pop_front();
+    if (rs.opts.batch_values > 1 && rs.opts.batch_delay > 0 &&
+        int(rs.proposal_queue.size()) < rs.opts.batch_values &&
+        rs.queue_bytes < rs.opts.batch_bytes) {
+      // Partial batch: hold the queue for up to batch_delay so more values
+      // can join, then flush whatever accumulated.
+      if (rs.batch_deadline == 0) {
+        rs.batch_deadline = now() + rs.opts.batch_delay;
+      }
+      if (now() < rs.batch_deadline) {
+        if (!rs.batch_timer_armed) {
+          rs.batch_timer_armed = true;
+          GroupId g = rs.cfg.group;
+          set_timer(rs.batch_deadline - now(), [this, g] {
+            auto& s = state(g);
+            s.batch_timer_armed = false;
+            pump(s);
+          });
+        }
+        return;
+      }
+    }
+    ValuePtr v = take_batch(rs);
     InstanceId inst = rs.next_instance;
     rs.next_instance += 1;
     start_instance(rs, inst, 1, std::move(v), rs.round);
   }
+}
+
+/// Pops up to batch_values / batch_bytes worth of queued proposals; a lone
+/// value travels unwrapped so batching off (or a trickle load) is identical
+/// to the pre-batching protocol.
+ValuePtr RingNode::take_batch(RingState& rs) {
+  rs.batch_deadline = 0;
+  ValuePtr first = rs.proposal_queue.front();
+  rs.proposal_queue.pop_front();
+  rs.queue_bytes -= first->wire_size();
+  if (rs.opts.batch_values <= 1 || rs.proposal_queue.empty()) return first;
+  std::vector<ValuePtr> inner;
+  std::size_t bytes = first->wire_size();
+  inner.push_back(std::move(first));
+  while (!rs.proposal_queue.empty() &&
+         int(inner.size()) < rs.opts.batch_values) {
+    const ValuePtr& next = rs.proposal_queue.front();
+    if (bytes + next->wire_size() > rs.opts.batch_bytes) break;
+    bytes += next->wire_size();
+    rs.queue_bytes -= next->wire_size();
+    inner.push_back(next);
+    rs.proposal_queue.pop_front();
+  }
+  if (inner.size() == 1) return inner[0];
+  return make_batch(rs.cfg.group, now(), std::move(inner));
 }
 
 void RingNode::rate_level_tick(RingState& rs) {
@@ -524,6 +578,9 @@ void RingNode::drain(RingState& rs) {
     rs.decided_instances += eff_count;
     if (v->is_skip()) {
       rs.skipped_instances += eff_count;
+    } else if (v->is_batch()) {
+      // One instance decided many application values: count the inner ones.
+      rs.delivered_values += std::int64_t(v->batch.size());
     } else {
       rs.delivered_values += 1;
     }

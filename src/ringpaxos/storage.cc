@@ -42,8 +42,11 @@ void AcceptorStorage::store_vote(InstanceId instance, std::int32_t count,
     e.round = round;
     e.value = std::move(value);
   }
+  // Re-votes replace the entry's contribution instead of accumulating, so
+  // logged_bytes_ tracks live entries (and shrinks on trim/eviction).
   std::size_t bytes = 40 + (e.value ? e.value->wire_size() : 0);
-  logged_bytes_ += bytes;
+  logged_bytes_ += bytes - e.bytes;
+  e.bytes = bytes;
   enforce_memory_bound();
   persist(bytes, std::move(ready));
 }
@@ -78,6 +81,7 @@ void AcceptorStorage::trim(InstanceId up_to) {
   while (it != log_.end()) {
     const Entry& e = it->second;
     if (e.instance + e.count - 1 <= up_to) {
+      logged_bytes_ -= e.bytes;
       it = log_.erase(it);
     } else {
       break;  // map is ordered; later ranges end later
@@ -93,6 +97,7 @@ void AcceptorStorage::enforce_memory_bound() {
   while (log_.size() > opts_.memory_slots) {
     auto it = log_.begin();
     InstanceId evicted_end = it->second.instance + it->second.count;
+    logged_bytes_ -= it->second.bytes;
     log_.erase(it);
     if (evicted_end > first_retained_) first_retained_ = evicted_end;
   }

@@ -45,6 +45,7 @@ class AcceptorStorage {
     Round round = 0;
     ValuePtr value;
     bool decided = false;
+    std::size_t bytes = 0;  ///< what this entry contributes to logged_bytes()
   };
 
   /// Logs a vote for [instance, instance+count). `ready` runs when the
@@ -94,6 +95,11 @@ class AcceptorStorage {
   void when_accepting(std::function<void()> cb);
 
   std::size_t entry_count() const { return log_.size(); }
+
+  /// Bytes currently held by retained log entries. Trims and slot eviction
+  /// subtract what they erase, so this tracks live memory, not a high-water
+  /// mark.
+  std::size_t logged_bytes() const { return logged_bytes_; }
 
  private:
   void persist(std::size_t bytes, std::function<void()> ready);

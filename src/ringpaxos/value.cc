@@ -27,6 +27,19 @@ ValuePtr make_value_bytes(GroupId group, MessageId id, ProcessId origin,
   return v;
 }
 
+ValuePtr make_batch(GroupId group, Time now, std::vector<ValuePtr> inner) {
+  AMCAST_ASSERT_MSG(inner.size() >= 2, "a batch wraps at least two values");
+  auto v = std::make_shared<Value>();
+  v->group = group;
+  v->created_at = now;
+  for (const auto& b : inner) {
+    AMCAST_ASSERT_MSG(b != nullptr && !b->is_skip() && !b->is_batch(),
+                      "batches hold plain application values only");
+  }
+  v->batch = std::move(inner);
+  return v;
+}
+
 ValuePtr make_skip(GroupId group, Time now, std::int32_t count) {
   AMCAST_ASSERT(count >= 1);
   auto v = std::make_shared<Value>();

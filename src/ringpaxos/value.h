@@ -15,24 +15,34 @@ using Payload = std::shared_ptr<const std::vector<std::uint8_t>>;
 
 /// A value flowing through one consensus instance of one ring.
 ///
-/// Two kinds exist:
+/// Three kinds exist:
 ///  * application values — carry a payload multicast by some proposer;
 ///  * skip values — proposed by the coordinator's rate-leveling logic
 ///    (paper §4) to keep a slow ring's instance rate at λ; they carry no
-///    payload and cover `skip_count >= 1` consecutive instances.
+///    payload and cover `skip_count >= 1` consecutive instances;
+///  * batch values — an envelope around several application values decided
+///    by ONE consensus instance (paper §4: small-value throughput is
+///    CPU-bound per instance, so the coordinator amortizes the per-instance
+///    cost by deciding many values at once). Learners unbatch before
+///    delivery: counters, delivery callbacks, and proposer acks all see the
+///    inner values, never the envelope.
 struct Value {
   GroupId group = kInvalidGroup;     ///< multicast group == ring id
   MessageId msg_id = 0;              ///< unique per multicast, 0 for skips
   ProcessId origin = kInvalidProcess;  ///< proposing node (for tracing)
   Time created_at = 0;               ///< proposal time (latency accounting)
-  Payload payload;                   ///< null for skip values
+  Payload payload;                   ///< null for skip and batch values
   std::int32_t skip_count = 0;       ///< >0 marks a skip value
+  std::vector<std::shared_ptr<const Value>> batch;  ///< non-empty: envelope
 
   bool is_skip() const { return skip_count > 0; }
+  bool is_batch() const { return !batch.empty(); }
 
   /// Bytes this value contributes to any message carrying it.
   std::size_t wire_size() const {
-    return 32 + (payload ? payload->size() : 0);
+    std::size_t n = 32 + (payload ? payload->size() : 0);
+    for (const auto& inner : batch) n += inner->wire_size();
+    return n;
   }
 };
 
@@ -49,5 +59,10 @@ ValuePtr make_value_bytes(GroupId group, MessageId id, ProcessId origin,
 
 /// Builds a skip value covering `count` instances.
 ValuePtr make_skip(GroupId group, Time now, std::int32_t count);
+
+/// Wraps `inner` application values (>= 2, no skips, no nested batches)
+/// into a batch envelope deciding them all in one consensus instance. The
+/// inner values keep their own ids and timestamps; the envelope has none.
+ValuePtr make_batch(GroupId group, Time now, std::vector<ValuePtr> inner);
 
 }  // namespace amcast::ringpaxos

@@ -6,6 +6,7 @@
 
 #include "common/codec.h"
 #include "common/histogram.h"
+#include "common/ids.h"
 #include "common/metrics.h"
 #include "common/rng.h"
 #include "common/table.h"
@@ -50,6 +51,25 @@ TEST(Codec, EmptyPayloads) {
   EXPECT_EQ(d.get_string(), "");
   EXPECT_TRUE(d.get_bytes().empty());
   EXPECT_EQ(d.remaining(), 0u);
+}
+
+TEST(MessageIdLayout, OriginAndSequenceOccupyDisjointBits) {
+  // Origin tag in the high 24 bits, sequence in the low 40.
+  EXPECT_EQ(make_message_id(0, 1), (MessageId(1) << kMessageIdSeqBits) | 1);
+  EXPECT_EQ(make_message_id(5, 9) >> kMessageIdSeqBits, 6u);
+  EXPECT_EQ(make_message_id(5, 9) & kMessageIdSeqMask, 9u);
+  // Ids from different origins never collide, whatever the sequences.
+  EXPECT_NE(make_message_id(0, kMessageIdSeqMask), make_message_id(1, 0));
+  // Process 0's ids are nonzero (0 is reserved for "no id").
+  EXPECT_NE(make_message_id(0, 1), 0u);
+}
+
+TEST(MessageIdLayout, SequenceIsMaskedToFortyBits) {
+  // An overflowing sequence is masked rather than bleeding into the origin
+  // tag (callers must guard before this point; see next_message_id).
+  MessageId overflowed = make_message_id(3, kMessageIdSeqMask + 1);
+  EXPECT_EQ(overflowed >> kMessageIdSeqBits, 4u);
+  EXPECT_EQ(overflowed & kMessageIdSeqMask, 0u);
 }
 
 TEST(Rng, DeterministicFromSeed) {

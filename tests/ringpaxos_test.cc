@@ -5,6 +5,7 @@
 
 #include <map>
 #include <memory>
+#include <numeric>
 #include <vector>
 
 #include "ringpaxos/node.h"
@@ -260,6 +261,138 @@ TEST(RingPaxos, CoordinatorChangeFinishesInFlightAndContinues) {
   for (std::size_t k = 0; k < 20; ++k) {
     EXPECT_EQ(t.delivered[0][k].v->msg_id, t.delivered[2][k].v->msg_id);
   }
+}
+
+TEST(AcceptorStorageBytes, TrimSubtractsErasedEntries) {
+  AcceptorStorage st(StorageOptions{}, nullptr);
+  for (InstanceId i = 0; i < 10; ++i) {
+    st.store_vote(i, 1, 0, make_value(0, MessageId(i + 1), 0, 0, 100), [] {});
+    st.mark_decided(i, 1);
+  }
+  std::size_t full = st.logged_bytes();
+  EXPECT_GT(full, 0u);
+  st.trim(4);  // erase instances 0..4
+  EXPECT_EQ(st.entry_count(), 5u);
+  EXPECT_EQ(st.logged_bytes(), full / 2);
+  st.trim(9);
+  EXPECT_EQ(st.entry_count(), 0u);
+  EXPECT_EQ(st.logged_bytes(), 0u);
+}
+
+TEST(AcceptorStorageBytes, ReVotesReplaceInsteadOfAccumulating) {
+  AcceptorStorage st(StorageOptions{}, nullptr);
+  st.store_vote(0, 1, 0, make_value(0, 1, 0, 0, 64), [] {});
+  std::size_t once = st.logged_bytes();
+  // Same instance re-voted at a higher round (coordinator change): the
+  // accounting must replace the entry's contribution, not add to it.
+  st.store_vote(0, 1, 1, make_value(0, 1, 0, 0, 64), [] {});
+  EXPECT_EQ(st.logged_bytes(), once);
+  // A bigger value at a higher round grows the account by the difference.
+  st.store_vote(0, 1, 2, make_value(0, 1, 0, 0, 256), [] {});
+  EXPECT_EQ(st.logged_bytes(), once + 192);
+}
+
+TEST(AcceptorStorageBytes, MemorySlotEvictionSubtractsErasedEntries) {
+  StorageOptions opts;
+  opts.memory_slots = 4;
+  AcceptorStorage st(opts, nullptr);
+  for (InstanceId i = 0; i < 20; ++i) {
+    st.store_vote(i, 1, 0, make_value(0, MessageId(i + 1), 0, 0, 100), [] {});
+  }
+  EXPECT_EQ(st.entry_count(), 4u);
+  // Live bytes reflect the 4 retained slots, not the 20 stores.
+  AcceptorStorage ref(StorageOptions{}, nullptr);
+  for (InstanceId i = 0; i < 4; ++i) {
+    ref.store_vote(i, 1, 0, make_value(0, MessageId(i + 1), 0, 0, 100), [] {});
+  }
+  EXPECT_EQ(st.logged_bytes(), ref.logged_bytes());
+}
+
+/// Flattens ring-level deliveries into application msg ids (unwrapping
+/// batch envelopes, dropping skips) in delivery order.
+std::vector<MessageId> flatten(const std::vector<Delivery>& ds) {
+  std::vector<MessageId> out;
+  for (const auto& d : ds) {
+    if (d.v->is_skip()) continue;
+    if (d.v->is_batch()) {
+      for (const auto& inner : d.v->batch) out.push_back(inner->msg_id);
+    } else {
+      out.push_back(d.v->msg_id);
+    }
+  }
+  return out;
+}
+
+TEST(RingPaxosBatching, DeliversAllValuesInProposalOrder) {
+  TestRing t;
+  RingOptions opts;
+  opts.batch_values = 16;
+  opts.batch_delay = duration::microseconds(200);
+  t.build(3, opts);
+  t.sim.run_until(duration::milliseconds(10));
+  for (MessageId i = 1; i <= 60; ++i) {
+    t.nodes[0]->propose(t.group, make_value(t.group, i, 0, 0, 64));
+  }
+  t.sim.run_until(duration::seconds(2));
+
+  std::vector<MessageId> want(60);
+  std::iota(want.begin(), want.end(), 1);
+  for (int n = 0; n < 3; ++n) {
+    EXPECT_EQ(flatten(t.delivered[std::size_t(n)]), want) << "learner " << n;
+  }
+  // Batching actually happened: far fewer instances than values...
+  EXPECT_LT(t.delivered[0].size(), 10u);
+  // ...yet the per-value counter sees the inner values.
+  EXPECT_EQ(t.nodes[2]->ring_counters(t.group).delivered_values, 60);
+}
+
+TEST(RingPaxosBatching, BatchedInstanceRetransmissionServesInnerValues) {
+  TestRing t;
+  RingOptions opts;
+  opts.batch_values = 16;
+  opts.batch_delay = duration::microseconds(200);
+  t.build(3, opts);
+  t.sim.run_until(duration::milliseconds(10));
+  for (MessageId i = 1; i <= 30; ++i) {
+    t.nodes[0]->propose(t.group, make_value(t.group, i, 0, 0, 64));
+  }
+  t.sim.run_until(duration::seconds(1));
+
+  struct Probe final : sim::Node {
+    std::vector<RetransmitReplyMsg::Entry> got;
+    void on_message(ProcessId, const MessagePtr& m) override {
+      if (m->type() != kRetransmitReply) return;
+      got = msg_cast<RetransmitReplyMsg>(m).entries;
+    }
+  };
+  auto probe = std::make_unique<Probe>();
+  Probe* p = probe.get();
+  ProcessId pid = t.sim.add_node(std::move(probe));
+  auto req = std::make_shared<RetransmitRequestMsg>();
+  req->ring = t.group;
+  req->from_instance = 0;
+  req->to_instance = kInvalidInstance;
+  t.sim.after(duration::milliseconds(1), [&t, pid, req] {
+    t.sim.network().send(pid, t.nodes[1]->id(), req);
+  });
+  t.sim.run_until(t.sim.now() + duration::seconds(1));
+
+  // The acceptor's log holds batch envelopes; a recovering learner must get
+  // every inner value back, in order, from fewer retransmitted entries.
+  ASSERT_FALSE(p->got.empty());
+  EXPECT_LT(p->got.size(), 30u);
+  std::vector<MessageId> replayed;
+  for (const auto& e : p->got) {
+    ASSERT_NE(e.value, nullptr);
+    if (e.value->is_batch()) {
+      for (const auto& inner : e.value->batch) replayed.push_back(inner->msg_id);
+    } else if (!e.value->is_skip()) {
+      replayed.push_back(e.value->msg_id);
+    }
+  }
+  std::vector<MessageId> want(30);
+  std::iota(want.begin(), want.end(), 1);
+  EXPECT_EQ(replayed, want);
 }
 
 TEST(RingPaxos, AsyncDiskBackpressureBoundsBacklog) {
