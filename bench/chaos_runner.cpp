@@ -1,0 +1,139 @@
+// Chaos runner: long seed sweeps and single-seed replay over the chaos
+// world configurations (src/chaos/worlds.h).
+//
+//   chaos_runner                         # default sweep: 100 seeds x all
+//   chaos_runner --seeds 5000            # long sweep
+//   chaos_runner --config kvstore        # one configuration only
+//   chaos_runner --seed 1337             # replay one seed (prints timeline)
+//   chaos_runner --start 1000 --seeds 500
+//   chaos_runner --smoke                 # CI smoke: bounded seeds, fails
+//                                        # fast, prints reproducing seed
+//
+// A failing run prints the configuration, the seed, every violated
+// invariant, and the injected fault timeline; re-running with
+// `--config <name> --seed <seed>` reproduces it bit-for-bit.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "chaos/worlds.h"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: chaos_runner [--seeds N] [--start S] [--config NAME] "
+               "[--seed SEED] [--smoke] [--verbose]\n");
+  return 2;
+}
+
+void print_failure(const amcast::chaos::WorldResult& r) {
+  std::printf("\nFAIL config=%s seed=%llu (replay: chaos_runner --config %s "
+              "--seed %llu)\n",
+              r.config.c_str(), (unsigned long long)r.seed, r.config.c_str(),
+              (unsigned long long)r.seed);
+  for (const auto& v : r.violations) std::printf("  violation: %s\n", v.c_str());
+  std::printf("  fault timeline:\n%s", r.fault_timeline.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t seeds = 100;
+  std::uint64_t start = 1;
+  std::uint64_t replay_seed = 0;
+  bool replay = false;
+  bool verbose = false;
+  std::string config;
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (!std::strcmp(argv[i], "--seeds")) {
+      seeds = std::strtoull(next("--seeds"), nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--start")) {
+      start = std::strtoull(next("--start"), nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--config")) {
+      config = next("--config");
+    } else if (!std::strcmp(argv[i], "--seed")) {
+      replay_seed = std::strtoull(next("--seed"), nullptr, 10);
+      replay = true;
+    } else if (!std::strcmp(argv[i], "--smoke")) {
+      seeds = 13;  // x4 configs ~= 50 worlds, well under a CI minute
+    } else if (!std::strcmp(argv[i], "--verbose")) {
+      verbose = true;
+    } else {
+      return usage();
+    }
+  }
+
+  const auto& all = amcast::chaos::worlds();
+  std::vector<amcast::chaos::WorldConfig> selected;
+  for (const auto& w : all) {
+    if (config.empty() || config == w.name) selected.push_back(w);
+  }
+  if (selected.empty()) {
+    std::fprintf(stderr, "unknown config '%s' (have:", config.c_str());
+    for (const auto& w : all) std::fprintf(stderr, " %s", w.name);
+    std::fprintf(stderr, ")\n");
+    return 2;
+  }
+
+  if (replay) {
+    int failures = 0;
+    for (const auto& w : selected) {
+      auto r = w.run(replay_seed);
+      std::printf("config=%-12s seed=%llu faults=%lld deliveries=%lld "
+                  "hash=%016llx %s\n",
+                  r.config.c_str(), (unsigned long long)r.seed,
+                  (long long)r.faults, (long long)r.deliveries,
+                  (unsigned long long)r.transcript_hash,
+                  r.ok() ? "OK" : "FAIL");
+      std::printf("fault timeline:\n%s", r.fault_timeline.c_str());
+      if (!r.ok()) {
+        print_failure(r);
+        ++failures;
+      }
+    }
+    return failures == 0 ? 0 : 1;
+  }
+
+  int failures = 0;
+  for (const auto& w : selected) {
+    std::int64_t deliveries = 0;
+    std::int64_t faults = 0;
+    int config_failures = 0;
+    for (std::uint64_t s = start; s < start + seeds; ++s) {
+      auto r = w.run(s);
+      deliveries += r.deliveries;
+      faults += r.faults;
+      if (verbose) {
+        std::printf("config=%-12s seed=%llu faults=%lld deliveries=%lld %s\n",
+                    r.config.c_str(), (unsigned long long)s,
+                    (long long)r.faults, (long long)r.deliveries,
+                    r.ok() ? "OK" : "FAIL");
+      }
+      if (!r.ok()) {
+        print_failure(r);
+        ++failures;
+        ++config_failures;
+      }
+    }
+    std::printf("%-12s %llu seeds: %d failures, %lld faults injected, "
+                "%lld deliveries checked\n",
+                w.name, (unsigned long long)seeds, config_failures,
+                (long long)faults, (long long)deliveries);
+  }
+  if (failures > 0) {
+    std::printf("\n%d failing seed(s); replay with --config <name> --seed "
+                "<seed>\n",
+                failures);
+    return 1;
+  }
+  return 0;
+}

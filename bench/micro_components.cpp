@@ -103,7 +103,7 @@ void BM_AcceptorLogStoreAndTrim(benchmark::State& state) {
     AcceptorStorage st(opts, nullptr);
     for (InstanceId i = 0; i < 4096; ++i) {
       st.store_vote(i, 1, 1, make_skip(0, 0, 1), [] {});
-      st.mark_decided(i, 1);
+      st.mark_decided(i, 1, 0);
     }
     st.trim(2047);
     benchmark::DoNotOptimize(st.entry_count());

@@ -1,0 +1,486 @@
+#include "chaos/worlds.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+
+#include "common/assert.h"
+#include "common/strings.h"
+#include "core/invariants.h"
+#include "core/multicast.h"
+#include "dlog/deployment.h"
+#include "kvstore/deployment.h"
+#include "sim/chaos.h"
+#include "sim/simulation.h"
+
+namespace amcast::chaos {
+
+namespace {
+
+using core::InvariantChecker;
+using core::InvariantOptions;
+using core::MulticastNode;
+using ringpaxos::ConfigRegistry;
+using ringpaxos::RingOptions;
+using ringpaxos::StorageOptions;
+using sim::ChaosHooks;
+using sim::ChaosInjector;
+using sim::FaultSchedule;
+using sim::FaultScheduleOptions;
+using sim::Simulation;
+
+/// Every world heals by kHorizon, then idles for kGrace so re-proposals,
+/// gap repairs, and recoveries converge before the quiescence checks.
+constexpr Time kHorizon = duration::milliseconds(1200);
+constexpr Duration kGrace = duration::seconds(5);
+
+/// Fast-converging ring parameters shared by the chaos worlds: short
+/// instance/proposal/gap-repair timeouts so fault windows heal within the
+/// grace period, and blind gap probing because a fully-cut learner sees no
+/// later traffic to evidence its gap.
+RingOptions chaos_ring(StorageOptions::Mode mode) {
+  RingOptions ro;
+  ro.storage.mode = mode;
+  ro.lambda = 2000;
+  ro.delta = duration::milliseconds(5);
+  ro.instance_timeout = duration::milliseconds(300);
+  ro.proposal_timeout = duration::milliseconds(250);
+  ro.gap_repair_timeout = duration::milliseconds(400);
+  ro.gap_repair_probe = true;
+  return ro;
+}
+
+void finish(WorldResult& res, InvariantChecker& checker,
+            const ChaosInjector& inj) {
+  checker.check_final();
+  res.violations.insert(res.violations.end(), checker.violations().begin(),
+                        checker.violations().end());
+  if (checker.violations_suppressed() > 0) {
+    res.violations.push_back(
+        str_cat("(+", std::to_string(checker.violations_suppressed()),
+                " further violations suppressed)"));
+  }
+  res.transcript_hash = checker.transcript_hash();
+  res.deliveries = checker.total_deliveries();
+  res.multicasts = checker.total_multicast();
+  res.faults = inj.faults_applied();
+  res.fault_timeline = inj.schedule().describe();
+}
+
+std::vector<std::pair<ProcessId, ProcessId>> all_pairs(
+    const std::vector<ProcessId>& ids) {
+  std::vector<std::pair<ProcessId, ProcessId>> pairs;
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    for (std::size_t j = i + 1; j < ids.size(); ++j) {
+      pairs.emplace_back(ids[i], ids[j]);
+    }
+  }
+  return pairs;
+}
+
+// ---------------------------------------------------------------------------
+// single-ring: 5 co-located acceptors, 3 of them subscribing learners, async
+// disk. Full fault menu including crashes of learners and the coordinator.
+// ---------------------------------------------------------------------------
+
+WorldResult run_plain_world(std::uint64_t seed, const char* name, int groups,
+                            StorageOptions::Mode mode, int messages) {
+  WorldResult res;
+  res.seed = seed;
+  res.config = name;
+
+  Simulation sim(seed);
+  ConfigRegistry registry;
+  const int kNodes = 5;
+  const int kLearners = 3;
+  bool disks = mode != StorageOptions::Mode::kMemory;
+
+  std::vector<MulticastNode*> nodes;
+  std::vector<ProcessId> ids;
+  for (int i = 0; i < kNodes; ++i) {
+    auto n = std::make_unique<MulticastNode>(registry);
+    if (disks) n->add_disk(sim::Presets::ssd());
+    nodes.push_back(n.get());
+    ids.push_back(sim.add_node(std::move(n)));
+  }
+  std::vector<GroupId> gs;
+  for (int g = 0; g < groups; ++g) {
+    gs.push_back(registry.create_ring(ids, ids, ids[std::size_t(g) % kNodes]));
+  }
+
+  InvariantOptions io;
+  io.allow_duplicates = true;  // re-proposals may decide a value twice
+  InvariantChecker checker(io);
+
+  RingOptions ro = chaos_ring(mode);
+  for (int i = 0; i < kNodes; ++i) {
+    for (std::size_t gi = 0; gi < gs.size(); ++gi) {
+      if (i < kLearners) {
+        core::MergeOptions mo;
+        mo.m = gi == 1 ? 2 : 1;  // mixed merge M across groups
+        nodes[std::size_t(i)]->subscribe(gs[gi], ro, mo);
+      } else {
+        nodes[std::size_t(i)]->join_only(gs[gi], ro);
+      }
+    }
+  }
+  for (int i = 0; i < kLearners; ++i) {
+    ProcessId pid = ids[std::size_t(i)];
+    checker.register_learner(pid, gs);
+    nodes[std::size_t(i)]->set_deliver(
+        [&checker, pid](GroupId g, const ringpaxos::ValuePtr& v) {
+          checker.record_delivery(pid, g, v->msg_id);
+        });
+  }
+
+  FaultScheduleOptions fo;
+  fo.horizon = kHorizon;
+  fo.crashable = ids;
+  fo.crash_rate_hz = 2.0;
+  fo.max_concurrent_crashes = 1;
+  fo.cuttable_pairs = all_pairs(ids);
+  fo.cut_pair_rate_hz = 2.5;
+  fo.drop_rate_hz = 1.2;
+  fo.jitter_rate_hz = 1.0;
+  if (disks) {
+    fo.slowable_disks = ids;
+    fo.disk_slow_rate_hz = 1.0;
+  }
+
+  ChaosHooks hooks;
+  hooks.crash = [&sim, &registry, &gs](ProcessId p) {
+    sim.node(p).crash();
+    for (GroupId g : gs) registry.remove_member(g, p);
+  };
+  hooks.restart = [&sim, &registry, &gs](ProcessId p) {
+    // The acceptor log survived the crash (disk or retained slots), so the
+    // node rejoins with full duties; it lands at the end of the ring order.
+    for (GroupId g : gs) registry.add_member(g, p, /*acceptor=*/true);
+    sim.node(p).restart();
+  };
+  ChaosInjector inj(sim, FaultSchedule::generate(seed, fo), hooks);
+
+  // Open-loop workload: multicasts from random learners to random groups
+  // across the fault horizon. Proposals from currently-crashed nodes are
+  // skipped (a crashed client cannot call multicast).
+  Rng wl(seed ^ 0x3c8a77f00dULL);
+  sim.run_until(duration::milliseconds(10));
+  for (int k = 0; k < messages; ++k) {
+    Time when = duration::milliseconds(15) +
+                Time(wl.next_u64(std::uint64_t(kHorizon - duration::milliseconds(20))));
+    auto* n = nodes[wl.next_u64(kLearners)];
+    GroupId g = gs[wl.next_u64(gs.size())];
+    sim.at(when, [&checker, n, g] {
+      if (n->crashed()) return;
+      MessageId mid = n->multicast(g, 64);
+      checker.record_multicast(g, mid);
+    });
+  }
+
+  sim.run_until(kHorizon + kGrace);
+  finish(res, checker, inj);
+  return res;
+}
+
+}  // namespace
+
+WorldResult run_single_ring(std::uint64_t seed) {
+  return run_plain_world(seed, "single-ring", 1,
+                         StorageOptions::Mode::kAsyncDisk, 120);
+}
+
+WorldResult run_multi_ring(std::uint64_t seed) {
+  return run_plain_world(seed, "multi-ring", 3, StorageOptions::Mode::kMemory,
+                         150);
+}
+
+// ---------------------------------------------------------------------------
+// kvstore: MRP-Store with checkpoints, trims, and full §5.2 recovery under
+// replica crashes. Replica transcripts feed the checker until a replica
+// enters recovery (its snapshot does not carry the transcript); from then
+// on service-level convergence (identical stores) carries the check.
+// ---------------------------------------------------------------------------
+
+WorldResult run_kvstore(std::uint64_t seed) {
+  WorldResult res;
+  res.seed = seed;
+  res.config = "kvstore";
+
+  kvstore::KvDeploymentSpec spec;
+  spec.partitions = 2;
+  spec.replicas_per_partition = 3;
+  spec.global_ring = true;
+  spec.partitioner = kvstore::Partitioner::hash(2);
+  spec.storage = StorageOptions::Mode::kAsyncDisk;
+  spec.disk = sim::Presets::ssd();
+  spec.m = 1;
+  spec.delta = duration::milliseconds(5);
+  spec.lambda = 2000;
+  spec.instance_timeout = duration::milliseconds(300);
+  spec.batch_values = 4;
+  spec.batch_delay = duration::microseconds(200);
+  spec.checkpoint_interval = duration::milliseconds(400);
+  spec.trim_interval = duration::milliseconds(900);
+  spec.proposal_timeout = duration::milliseconds(250);
+  spec.gap_repair_timeout = duration::milliseconds(400);
+  spec.gap_repair_probe = true;
+  spec.seed = seed;
+  kvstore::KvDeployment dep(spec);
+  Simulation& sim = dep.sim();
+
+  InvariantOptions io;
+  io.allow_duplicates = true;
+  io.require_all_delivered = false;  // clients mint ids internally
+  io.check_validity = false;
+  InvariantChecker checker(io);
+
+  const int kReplicas = spec.partitions * spec.replicas_per_partition;
+  std::vector<kvstore::KvReplica*> reps;
+  std::vector<char> tainted(std::size_t(kReplicas), 0);
+  std::map<ProcessId, std::pair<int, int>> where;
+  std::vector<ProcessId> replica_ids;
+  for (int p = 0; p < spec.partitions; ++p) {
+    for (int i = 0; i < spec.replicas_per_partition; ++i) {
+      auto* r = &dep.replica(p, i);
+      int idx = int(reps.size());
+      reps.push_back(r);
+      ProcessId pid = r->id();
+      replica_ids.push_back(pid);
+      where[pid] = {p, i};
+      checker.register_learner(pid, r->subscriptions());
+      r->set_deliver([&checker, &tainted, idx, r,
+                      pid](GroupId g, const ringpaxos::ValuePtr& v) {
+        if (tainted[std::size_t(idx)]) return;
+        if (r->recoveries_started() != 0) {
+          // Any recovery re-positions the cursor via a checkpoint; the
+          // callback transcript cannot follow. Service-level convergence
+          // checks take over for this replica.
+          tainted[std::size_t(idx)] = 1;
+          checker.exclude(pid);
+          return;
+        }
+        checker.record_delivery(pid, g, v->msg_id);
+      });
+    }
+  }
+
+  // Closed-loop clients; re-proposals bridge fault windows.
+  auto gen = [](int /*thread*/, Rng& rng) {
+    kvstore::Command c;
+    std::uint64_t k = rng.next_u64(200);
+    c.key = str_cat("user", std::to_string(1000 + k));
+    double p = rng.next_double();
+    if (p < 0.70) {
+      c.op = kvstore::Op::kInsert;
+      c.value.assign(64, std::uint8_t(k));
+    } else if (p < 0.95) {
+      c.op = kvstore::Op::kRead;
+    } else {
+      c.op = kvstore::Op::kScan;  // rides the global ring
+      c.key = "user1000";
+      c.end_key = "user1049";
+    }
+    return c;
+  };
+  std::vector<kvstore::KvClient*> clients;
+  clients.push_back(&dep.add_client(2, gen));
+  clients.push_back(&dep.add_client(2, gen));
+
+  // Crashable: replicas that are not global-ring acceptors (index 0 hosts
+  // the partition's global-ring acceptor seat; repeated crash cycles would
+  // drain that ring's acceptor set since restart re-adds as learner only).
+  FaultScheduleOptions fo;
+  fo.horizon = kHorizon;
+  for (int p = 0; p < spec.partitions; ++p) {
+    for (int i = 1; i < spec.replicas_per_partition; ++i) {
+      fo.crashable.push_back(dep.replica(p, i).id());
+    }
+  }
+  fo.crash_rate_hz = 1.5;
+  fo.max_concurrent_crashes = 1;
+  fo.min_down = duration::milliseconds(150);
+  fo.max_down = duration::milliseconds(700);
+  fo.cuttable_pairs = all_pairs(replica_ids);
+  fo.cut_pair_rate_hz = 2.0;
+  fo.drop_rate_hz = 1.0;
+  fo.drop_p_max = 0.15;
+  fo.slowable_disks = replica_ids;
+  fo.disk_slow_rate_hz = 1.0;
+  fo.jitter_rate_hz = 0.8;
+
+  const int rpp = spec.replicas_per_partition;
+  ChaosHooks hooks;
+  hooks.crash = [&dep, &where, &checker, &tainted, rpp](ProcessId p) {
+    auto [part, idx] = where.at(p);
+    // The transcript cannot survive the crash (the snapshot carries the
+    // service state, not the delivery log): freeze and exclude it now.
+    std::size_t flat = std::size_t(part * rpp + idx);
+    if (!tainted[flat]) {
+      tainted[flat] = 1;
+      checker.exclude(p);
+    }
+    dep.crash_replica(part, idx);
+  };
+  hooks.restart = [&dep, &where](ProcessId p) {
+    auto [part, idx] = where.at(p);
+    dep.restart_replica(part, idx);
+  };
+  ChaosInjector inj(sim, FaultSchedule::generate(seed, fo), hooks);
+
+  sim.run_until(kHorizon);
+  for (auto* c : clients) c->stop();
+  sim.run_until(kHorizon + kGrace);
+
+  // A replica may have entered recovery after its last delivery (nothing
+  // tainted it through the callback); its transcript is truncated, not
+  // wrong — exclude it from the cross-learner checks.
+  for (auto* r : reps) {
+    if (r->recoveries_started() != 0) checker.exclude(r->id());
+  }
+
+  // Service-level agreement: within each partition every replica (crashed
+  // and recovered ones included) holds the identical store.
+  for (int p = 0; p < spec.partitions; ++p) {
+    auto ref = dep.replica(p, 0).store().snapshot();
+    for (int i = 0; i < spec.replicas_per_partition; ++i) {
+      kvstore::KvReplica& r = dep.replica(p, i);
+      if (r.recovering()) {
+        res.violations.push_back(str_cat(
+            "liveness: replica ", std::to_string(p), "/", std::to_string(i),
+            " still recovering at quiescence"));
+        continue;
+      }
+      if (i > 0 && *r.store().snapshot() != *ref) {
+        res.violations.push_back(str_cat(
+            "agreement: partition ", std::to_string(p), " stores diverge (",
+            std::to_string(ref->size()), " vs ",
+            std::to_string(r.store().snapshot()->size()), " entries)"));
+      }
+    }
+  }
+
+  finish(res, checker, inj);
+  return res;
+}
+
+// ---------------------------------------------------------------------------
+// dlog: 2 logs + shared multi-append ring on 3 servers; cuts, drops, disk
+// slowdowns and jitter (server crash/recovery is exercised by the kvstore
+// world; dLog adds the multi-group service angle).
+// ---------------------------------------------------------------------------
+
+WorldResult run_dlog(std::uint64_t seed) {
+  WorldResult res;
+  res.seed = seed;
+  res.config = "dlog";
+
+  dlog::DLogDeploymentSpec spec;
+  spec.logs = 2;
+  spec.shared_ring = true;
+  spec.server_nodes = 3;
+  spec.storage = StorageOptions::Mode::kAsyncDisk;
+  spec.disk = sim::Presets::ssd();
+  spec.m = 1;
+  spec.delta = duration::milliseconds(5);
+  spec.lambda = 2000;
+  spec.instance_timeout = duration::milliseconds(300);
+  spec.batch_values = 2;
+  spec.batch_delay = duration::microseconds(200);
+  spec.proposal_timeout = duration::milliseconds(250);
+  spec.gap_repair_timeout = duration::milliseconds(400);
+  spec.gap_repair_probe = true;
+  spec.seed = seed;
+  dlog::DLogDeployment dep(spec);
+  Simulation& sim = dep.sim();
+
+  InvariantOptions io;
+  io.allow_duplicates = true;
+  io.require_all_delivered = false;
+  io.check_validity = false;
+  InvariantChecker checker(io);
+
+  std::vector<ProcessId> server_ids;
+  for (int s = 0; s < dep.server_count(); ++s) {
+    dlog::DLogServer& srv = dep.server(s);
+    ProcessId pid = srv.id();
+    server_ids.push_back(pid);
+    checker.register_learner(pid, srv.subscriptions());
+    srv.set_deliver([&checker, pid](GroupId g, const ringpaxos::ValuePtr& v) {
+      checker.record_delivery(pid, g, v->msg_id);
+    });
+  }
+
+  auto gen = [](int /*thread*/, Rng& rng) {
+    dlog::Command c;
+    double p = rng.next_double();
+    if (p < 0.80) {
+      c.op = dlog::Op::kAppend;
+      c.logs = {dlog::LogId(rng.next_u64(2))};
+      c.value.assign(64 + rng.next_u64(128), 0);
+    } else {
+      c.op = dlog::Op::kMultiAppend;  // rides the shared ring
+      c.logs = {0, 1};
+      c.value.assign(64, 0);
+    }
+    return c;
+  };
+  dlog::DLogClient& client = dep.add_client(2, gen);
+
+  FaultScheduleOptions fo;
+  fo.horizon = kHorizon;
+  fo.cuttable_pairs = all_pairs(server_ids);
+  fo.cut_pair_rate_hz = 2.5;
+  fo.drop_rate_hz = 1.2;
+  fo.slowable_disks = server_ids;
+  fo.disk_slow_rate_hz = 1.2;
+  fo.jitter_rate_hz = 1.0;
+  ChaosInjector inj(sim, FaultSchedule::generate(seed, fo), ChaosHooks{});
+
+  sim.run_until(kHorizon);
+  client.stop();
+  sim.run_until(kHorizon + kGrace);
+
+  // Service-level agreement: identical log lengths and append counts at
+  // every server.
+  for (dlog::LogId l = 0; l < spec.logs; ++l) {
+    std::int64_t ref = dep.server(0).log_length(l);
+    for (int s = 1; s < dep.server_count(); ++s) {
+      if (dep.server(s).log_length(l) != ref) {
+        res.violations.push_back(str_cat(
+            "agreement: log ", std::to_string(l), " lengths diverge (",
+            std::to_string(ref), " vs ",
+            std::to_string(dep.server(s).log_length(l)), ")"));
+      }
+    }
+  }
+  for (int s = 1; s < dep.server_count(); ++s) {
+    if (dep.server(s).appends_executed() !=
+        dep.server(0).appends_executed()) {
+      res.violations.push_back(
+          str_cat("agreement: append counts diverge across servers"));
+    }
+  }
+
+  finish(res, checker, inj);
+  return res;
+}
+
+const std::vector<WorldConfig>& worlds() {
+  static const std::vector<WorldConfig> kWorlds = {
+      {"single-ring", run_single_ring},
+      {"multi-ring", run_multi_ring},
+      {"kvstore", run_kvstore},
+      {"dlog", run_dlog},
+  };
+  return kWorlds;
+}
+
+WorldResult run_world(const std::string& name, std::uint64_t seed) {
+  for (const auto& w : worlds()) {
+    if (name == w.name) return w.run(seed);
+  }
+  AMCAST_ASSERT_MSG(false, "unknown chaos world");
+  return {};
+}
+
+}  // namespace amcast::chaos

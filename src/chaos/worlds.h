@@ -1,0 +1,58 @@
+// Chaos world configurations: complete simulated deployments with a
+// seed-driven fault schedule and the full invariant-checker battery, shared
+// by tests/chaos_test.cc (seed sweeps in ctest) and bench/chaos_runner
+// (long sweeps and single-seed replay).
+//
+// Each world derives everything — topology timing, workload timing, and
+// the fault timeline — from one 64-bit seed, so a failure report's seed
+// reproduces the run bit-for-bit. Every world ends with a healed network,
+// a stopped workload, and a grace period, then runs the quiescence checks.
+//
+// Configurations:
+//  * single-ring  — one ring of 5 co-located acceptors (3 subscribe), async
+//    disk, raw multicast workload; crashes, link cuts, drops, disk
+//    slowdowns, jitter spikes.
+//  * multi-ring   — 3 groups x 5 nodes, full subscription, mixed merge M,
+//    in-memory acceptors; crashes, link cuts, drops, jitter.
+//  * kvstore      — MRP-Store: 2 partitions x 3 replicas + global ring,
+//    checkpoints, trims, recovery; replica crashes, cuts, drops, disk
+//    slowdowns.
+//  * dlog         — dLog: 2 logs + shared multi-append ring on 3 servers;
+//    link cuts, drops, disk slowdowns, jitter.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace amcast::chaos {
+
+struct WorldResult {
+  std::uint64_t seed = 0;
+  std::string config;
+  std::vector<std::string> violations;  ///< empty = all invariants held
+  std::uint64_t transcript_hash = 0;    ///< order-sensitive, for determinism
+  std::int64_t deliveries = 0;
+  std::int64_t multicasts = 0;
+  std::int64_t faults = 0;
+  std::string fault_timeline;  ///< printable schedule (seed replay aid)
+  bool ok() const { return violations.empty(); }
+};
+
+WorldResult run_single_ring(std::uint64_t seed);
+WorldResult run_multi_ring(std::uint64_t seed);
+WorldResult run_kvstore(std::uint64_t seed);
+WorldResult run_dlog(std::uint64_t seed);
+
+struct WorldConfig {
+  const char* name;
+  WorldResult (*run)(std::uint64_t seed);
+};
+
+/// All registered world configurations, in a stable order.
+const std::vector<WorldConfig>& worlds();
+
+/// Runs one configuration by name; asserts the name exists.
+WorldResult run_world(const std::string& name, std::uint64_t seed);
+
+}  // namespace amcast::chaos

@@ -1,0 +1,236 @@
+#include "core/invariants.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+#include "common/rng.h"
+#include "common/strings.h"
+
+namespace amcast::core {
+
+InvariantChecker::InvariantChecker(InvariantOptions opts) : opts_(opts) {}
+
+void InvariantChecker::register_learner(ProcessId p, std::vector<GroupId> subs) {
+  std::sort(subs.begin(), subs.end());
+  auto [it, inserted] = learners_.emplace(p, Learner{});
+  AMCAST_ASSERT_MSG(inserted, "learner registered twice");
+  it->second.subs = std::move(subs);
+}
+
+void InvariantChecker::record_multicast(GroupId g, MessageId mid) {
+  multicast_[g].insert(mid);
+  ++multicast_count_;
+}
+
+void InvariantChecker::violation(std::string msg) {
+  if (violations_.size() < opts_.max_violations) {
+    violations_.push_back(std::move(msg));
+  } else {
+    ++suppressed_;
+  }
+}
+
+void InvariantChecker::record_delivery(ProcessId p, GroupId g, MessageId mid) {
+  auto it = learners_.find(p);
+  AMCAST_ASSERT_MSG(it != learners_.end(), "delivery at unregistered learner");
+  Learner& l = it->second;
+
+  // 1. validity: only multicast values may be delivered, to their group.
+  if (opts_.check_validity) {
+    auto mg = multicast_.find(g);
+    if (mg == multicast_.end() || !mg->second.count(mid)) {
+      violation(str_cat("validity: learner ", std::to_string(p),
+                        " delivered msg ", std::to_string(mid),
+                        " never multicast to group ", std::to_string(g)));
+    }
+  }
+  // 1b. integrity: exactly-once per learner (unless re-proposals run).
+  if (!l.seen.insert({g, mid}).second && !opts_.allow_duplicates) {
+    violation(str_cat("integrity: learner ", std::to_string(p),
+                      " delivered msg ", std::to_string(mid), " of group ",
+                      std::to_string(g), " twice"));
+  }
+
+  l.seq.emplace_back(g, mid);
+  if (l.excluded) return;
+
+  // 2. merge determinism, checked at this step: the delivery at index k
+  // must match what every other learner with the same subscriptions
+  // delivered at index k.
+  auto& ref = class_ref_[l.subs];
+  std::size_t k = l.seq.size() - 1;
+  if (k < ref.size()) {
+    if (ref[k] != l.seq.back()) {
+      violation(str_cat("determinism: learner ", std::to_string(p),
+                        " delivery #", std::to_string(k), " is (g=",
+                        std::to_string(g), ", msg=", std::to_string(mid),
+                        ") but another learner of the same subscription "
+                        "class delivered (g=",
+                        std::to_string(ref[k].first), ", msg=",
+                        std::to_string(ref[k].second), ")"));
+    }
+  } else {
+    AMCAST_ASSERT(k == ref.size());
+    ref.push_back(l.seq.back());
+  }
+}
+
+void InvariantChecker::set_transcript(
+    ProcessId p, std::vector<std::pair<GroupId, MessageId>> seq) {
+  auto it = learners_.find(p);
+  AMCAST_ASSERT_MSG(it != learners_.end(), "unregistered learner");
+  it->second.seq = std::move(seq);
+  it->second.replaced = true;
+  it->second.seen.clear();
+  for (const auto& e : it->second.seq) it->second.seen.insert(e);
+}
+
+void InvariantChecker::exclude(ProcessId p) {
+  auto it = learners_.find(p);
+  AMCAST_ASSERT_MSG(it != learners_.end(), "unregistered learner");
+  it->second.excluded = true;
+}
+
+void InvariantChecker::check_pairwise_order(ProcessId a, const Learner& la,
+                                            ProcessId b, const Learner& lb) {
+  // 3. pairwise total order: messages delivered by both learners appear in
+  // the same relative order at both (paper §2 acyclic order, specialized
+  // to pairs — the merge's ascending-group round-robin rules out longer
+  // cycles when pairs agree).
+  std::map<std::pair<GroupId, MessageId>, std::size_t> pos;
+  for (std::size_t i = 0; i < la.seq.size(); ++i) {
+    pos.emplace(la.seq[i], i);  // first occurrence wins (dups re-decided)
+  }
+  std::size_t last = 0;
+  bool have_last = false;
+  std::set<std::pair<GroupId, MessageId>> walked;
+  for (const auto& e : lb.seq) {
+    auto pit = pos.find(e);
+    if (pit == pos.end()) continue;
+    if (!walked.insert(e).second) continue;  // compare first occurrences
+    if (have_last && pit->second < last) {
+      violation(str_cat("pairwise order: learners ", std::to_string(a),
+                        " and ", std::to_string(b),
+                        " deliver msg ", std::to_string(e.second),
+                        " of group ", std::to_string(e.first),
+                        " in opposite relative order"));
+      return;
+    }
+    last = pit->second;
+    have_last = true;
+  }
+}
+
+void InvariantChecker::check_final() {
+  // Re-validate wholesale-set transcripts against their class reference
+  // (crash-recovered replicas bypass the incremental path).
+  for (auto& [p, l] : learners_) {
+    if (!l.replaced || l.excluded) continue;
+    auto& ref = class_ref_[l.subs];
+    std::size_t n = std::min(ref.size(), l.seq.size());
+    for (std::size_t k = 0; k < n; ++k) {
+      if (ref[k] != l.seq[k]) {
+        violation(str_cat("determinism: recovered learner ",
+                          std::to_string(p), " transcript diverges at #",
+                          std::to_string(k)));
+        break;
+      }
+    }
+    for (std::size_t k = ref.size(); k < l.seq.size(); ++k) {
+      ref.push_back(l.seq[k]);
+    }
+  }
+
+  // 4. uniform agreement + gap-freedom per group: at quiescence all
+  // subscribed learners hold the identical per-group stream, and it covers
+  // every multicast message.
+  std::map<GroupId, std::pair<ProcessId, std::vector<MessageId>>> group_ref;
+  for (const auto& [p, l] : learners_) {
+    if (l.excluded) continue;
+    for (GroupId g : l.subs) {
+      std::vector<MessageId> proj;
+      for (const auto& [eg, mid] : l.seq) {
+        if (eg == g) proj.push_back(mid);
+      }
+      auto it = group_ref.find(g);
+      if (it == group_ref.end()) {
+        group_ref.emplace(g, std::make_pair(p, std::move(proj)));
+        continue;
+      }
+      if (it->second.second != proj) {
+        violation(str_cat("agreement: group ", std::to_string(g),
+                          " stream differs between learners ",
+                          std::to_string(it->second.first), " (",
+                          std::to_string(it->second.second.size()),
+                          " deliveries) and ", std::to_string(p), " (",
+                          std::to_string(proj.size()), " deliveries)"));
+      }
+    }
+  }
+  if (opts_.require_all_delivered) {
+    for (const auto& [g, mids] : multicast_) {
+      auto it = group_ref.find(g);
+      if (it == group_ref.end()) {
+        if (!mids.empty()) {
+          violation(str_cat("gap: group ", std::to_string(g), " has ",
+                            std::to_string(mids.size()),
+                            " multicast messages but no learner stream"));
+        }
+        continue;
+      }
+      std::set<MessageId> got(it->second.second.begin(),
+                              it->second.second.end());
+      for (MessageId mid : mids) {
+        if (!got.count(mid)) {
+          violation(str_cat("gap: msg ", std::to_string(mid),
+                            " multicast to group ", std::to_string(g),
+                            " was never delivered"));
+          break;  // one per group is enough signal
+        }
+      }
+      if (!opts_.allow_duplicates && got.size() != it->second.second.size()) {
+        violation(str_cat("integrity: group ", std::to_string(g),
+                          " stream contains duplicates"));
+      }
+    }
+  }
+
+  // 3. pairwise order across subscription classes (same-class pairs are
+  // already covered by the determinism check).
+  for (auto ai = learners_.begin(); ai != learners_.end(); ++ai) {
+    if (ai->second.excluded) continue;
+    for (auto bi = std::next(ai); bi != learners_.end(); ++bi) {
+      if (bi->second.excluded) continue;
+      if (ai->second.subs == bi->second.subs) continue;
+      check_pairwise_order(ai->first, ai->second, bi->first, bi->second);
+    }
+  }
+}
+
+std::uint64_t InvariantChecker::transcript_hash() const {
+  std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+  auto mix = [&h](std::uint64_t v) {
+    std::uint64_t s = h ^ v;
+    h = splitmix64(s);
+  };
+  for (const auto& [p, l] : learners_) {
+    mix(std::uint64_t(p) + 0x51ULL);
+    for (const auto& [g, mid] : l.seq) {
+      mix(std::uint64_t(g) + 1);
+      mix(mid);
+    }
+  }
+  return h;
+}
+
+std::int64_t InvariantChecker::total_deliveries() const {
+  std::int64_t n = 0;
+  for (const auto& [p, l] : learners_) n += std::int64_t(l.seq.size());
+  return n;
+}
+
+std::int64_t InvariantChecker::total_multicast() const {
+  return multicast_count_;
+}
+
+}  // namespace amcast::core

@@ -1,0 +1,115 @@
+// Atomic-multicast invariant checkers for the chaos harness (paper §2).
+//
+// An InvariantChecker observes every multicast() call and every learner
+// delivery in a simulated world and continuously checks:
+//
+//  1. validity/integrity — only multicast values are delivered; without
+//     re-proposals, no value is delivered twice by one learner;
+//  2. merge determinism — learners with identical subscriptions produce
+//     bit-identical delivery sequences (checked on every delivery, so a
+//     divergence aborts at the step it happens, not at the end);
+//  3. pairwise total order — any two learners deliver the messages they
+//     have in common in the same relative order, even when their
+//     subscription sets differ (the acyclic-order property);
+//  4. uniform agreement + gap-freedom — at quiescence, every learner
+//     subscribed to a group has delivered that group's full stream: the
+//     same sequence at every learner, containing every multicast message.
+//
+// Violations are collected as human-readable strings; harnesses assert
+// `ok()` and print the reproducing seed. The order-sensitive transcript
+// hash backs the determinism regression (same seed ⇒ same transcript).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+
+namespace amcast::core {
+
+struct InvariantOptions {
+  /// Re-proposals may legitimately decide a value twice (paper Figure 8,
+  /// event 5: the service layer filters duplicates). When set, duplicate
+  /// deliveries are allowed but must still appear identically at every
+  /// learner.
+  bool allow_duplicates = false;
+
+  /// Demand at quiescence that every multicast message was delivered
+  /// (liveness; requires the workload to re-propose across fault windows).
+  bool require_all_delivered = true;
+
+  /// Check deliveries against record_multicast ground truth. Turn off for
+  /// worlds whose clients mint message ids internally (kvstore, dlog) —
+  /// there the service-level convergence checks carry validity.
+  bool check_validity = true;
+
+  /// Cap on collected violation strings (every further one just counts).
+  std::size_t max_violations = 8;
+};
+
+class InvariantChecker {
+ public:
+  explicit InvariantChecker(InvariantOptions opts = {});
+
+  /// Declares a learner and its subscribed groups. Call before traffic.
+  void register_learner(ProcessId p, std::vector<GroupId> subs);
+
+  /// Records a multicast(g, mid) call (the validity ground truth).
+  void record_multicast(GroupId g, MessageId mid);
+
+  /// Records one delivery at learner `p`; runs the incremental checks.
+  void record_delivery(ProcessId p, GroupId g, MessageId mid);
+
+  /// Replaces a learner's transcript wholesale — for replicas whose applied
+  /// sequence lives in their snapshot (crash+recovery restores it there,
+  /// not through the delivery callback). Re-validated in check_final.
+  void set_transcript(ProcessId p,
+                      std::vector<std::pair<GroupId, MessageId>> seq);
+
+  /// Excludes a learner from cross-learner checks (a crashed learner whose
+  /// transcript cannot be reconstructed). Its own deliveries stay counted.
+  void exclude(ProcessId p);
+
+  /// Runs the quiescence checks (agreement, gap-freedom, pairwise order).
+  void check_final();
+
+  bool ok() const { return violations_.empty(); }
+  const std::vector<std::string>& violations() const { return violations_; }
+  std::size_t violations_suppressed() const { return suppressed_; }
+
+  /// Order-sensitive hash over all learners' transcripts; equal across two
+  /// runs iff every learner delivered the same sequence in both.
+  std::uint64_t transcript_hash() const;
+
+  std::int64_t total_deliveries() const;
+  std::int64_t total_multicast() const;
+
+ private:
+  struct Learner {
+    std::vector<GroupId> subs;  ///< ascending
+    std::vector<std::pair<GroupId, MessageId>> seq;
+    std::set<std::pair<GroupId, MessageId>> seen;
+    bool excluded = false;
+    bool replaced = false;  ///< transcript set wholesale; re-check at final
+  };
+
+  void violation(std::string msg);
+  void check_pairwise_order(ProcessId a, const Learner& la, ProcessId b,
+                            const Learner& lb);
+
+  InvariantOptions opts_;
+  std::map<ProcessId, Learner> learners_;
+  std::map<GroupId, std::set<MessageId>> multicast_;
+  std::int64_t multicast_count_ = 0;
+  /// Reference transcript per subscription class (the longest sequence any
+  /// learner of that class produced); determinism is checked against it.
+  std::map<std::vector<GroupId>, std::vector<std::pair<GroupId, MessageId>>>
+      class_ref_;
+  std::vector<std::string> violations_;
+  std::size_t suppressed_ = 0;
+};
+
+}  // namespace amcast::core

@@ -64,15 +64,24 @@ void ReplicaNode::handle_trim_query(ProcessId from, const TrimQueryMsg& m) {
   send(from, reply);
 }
 
+void ReplicaNode::on_gap_unrecoverable(GroupId) {
+  if (recovering_) return;
+  log_event("recovery.trim_outran_cursor");
+  begin_recovery();
+}
+
 void ReplicaNode::on_restart() {
   // Volatile state (service state, learner buffers, merge queues) is gone;
-  // the disk checkpoint (durable_) survives.
+  // the disk checkpoint (durable_) survives. The ring layer resets its own
+  // volatile machinery first.
+  ringpaxos::RingNode::on_restart();
   log_event("restart");
   clear_state();
   clear_merge_queues();
   for (GroupId g : subscriptions()) reset_learner(g);
   checkpointing_ = false;
   checkpoint_timer_armed_ = false;
+  recovery_driver_armed_ = false;  // the crash killed the timer chain
   begin_recovery();
 }
 
@@ -83,6 +92,8 @@ void ReplicaNode::begin_recovery() {
   catch_up_pending_.clear();
   decision_timer_armed_ = false;
   recovery_query_ = next_recovery_query_++;
+  recovery_started_at_ = now();
+  ++recoveries_started_;
   log_event("recovery.start");
   sim().metrics().counter("recovery.recoveries")++;
 
@@ -95,10 +106,24 @@ void ReplicaNode::begin_recovery() {
   // partition is just us, decide immediately.
   if (opts_.partition.size() <= 1) decide_recovery_source();
 
-  // Periodic driver: requests retransmissions until caught up.
-  std::uint64_t query = recovery_query_;
-  set_periodic(duration::milliseconds(200), [this, query] {
-    if (!recovering_ || recovery_query_ != query) return;
+  // Periodic driver: requests retransmissions until caught up. One chain
+  // per node epoch — retried query rounds reuse it (a set_periodic chain
+  // only dies on crash, so arming one per begin_recovery would leak a
+  // zombie timer chain for every retry).
+  if (recovery_driver_armed_) return;
+  recovery_driver_armed_ = true;
+  set_periodic(duration::milliseconds(200), [this] {
+    if (!recovering_) return;
+    if (!snapshot_installed_) {
+      // The checkpoint query, a peer's info reply, or the fetched state
+      // may have been lost to drops/partitions; without a retry the
+      // recovery would hang on it forever. Restart the query round.
+      if (now() - recovery_started_at_ >= duration::milliseconds(600)) {
+        sim().metrics().counter("recovery.query_retries")++;
+        begin_recovery();
+      }
+      return;
+    }
     // Loss timeout: abandon a request only after a generous in-transit
     // allowance (bulk replies may sit behind a backlog for a while).
     for (auto& [g, nonce] : catch_up_inflight_) {
@@ -229,7 +254,7 @@ void ReplicaNode::request_catch_up(GroupId g, InstanceId from) {
   // unbounded request stream would grow the reply channel's queue faster
   // than it drains and fresh chunks would never reach the head.
   if (catch_up_inflight_[g] != 0) return;
-  std::uint64_t nonce = next_nonce_++;
+  std::uint64_t nonce = take_nonce();
   catch_up_inflight_[g] = nonce;
   catch_up_sent_[g] = now();
   const auto& acceptors = registry().ring(g).acceptors;
@@ -326,7 +351,12 @@ void ReplicaNode::on_message(ProcessId from, const MessagePtr& m) {
       handle_checkpoint_data(msg_cast<CheckpointDataMsg>(m));
       return;
     case ringpaxos::kRetransmitReply:
-      handle_retransmit_reply(msg_cast<ringpaxos::RetransmitReplyMsg>(m));
+      if (recovering_) {
+        handle_retransmit_reply(msg_cast<ringpaxos::RetransmitReplyMsg>(m));
+      } else {
+        // Outside recovery the reply answers the base learner gap repair.
+        MulticastNode::on_message(from, m);
+      }
       return;
     default:
       MulticastNode::on_message(from, m);

@@ -76,6 +76,13 @@ class ReplicaNode : public MulticastNode {
   /// True while the §5.2 recovery protocol is running.
   bool recovering() const { return recovering_; }
 
+  /// Number of times recovery has started on this replica (crash restarts
+  /// and trim-outran-cursor escalations). Any recovery repositions the
+  /// delivery cursor via a checkpoint, so external per-delivery transcripts
+  /// are no longer gap-free once this is nonzero — the chaos harness uses
+  /// it to switch such replicas to service-level convergence checks.
+  std::int64_t recoveries_started() const { return recoveries_started_; }
+
   /// Human-readable recovery/checkpoint event log: (time, event). Used by
   /// the Figure 8 bench to annotate the timeline.
   const std::vector<std::pair<Time, std::string>>& events() const {
@@ -88,6 +95,16 @@ class ReplicaNode : public MulticastNode {
   void on_restart() override;
 
  protected:
+  /// The §5.2 recovery protocol runs its own acceptor catch-up; the base
+  /// learner gap repair stays out of the way until recovery finishes.
+  bool gap_repair_suppressed() const override { return recovering_; }
+
+  /// A live replica partitioned long enough for the trim protocol to pass
+  /// its cursor cannot be repaired from the acceptor logs; run the full
+  /// checkpoint recovery instead (Predicate 5 guarantees a quorum
+  /// checkpoint at or past the trim point exists).
+  void on_gap_unrecoverable(GroupId g) override;
+
   /// Service hook: serialize current state (cheap immutable handle).
   virtual Snapshot make_snapshot() = 0;
 
@@ -124,6 +141,9 @@ class ReplicaNode : public MulticastNode {
   // --- recovery state ---
   bool recovering_ = false;
   std::uint64_t recovery_query_ = 0;
+  Time recovery_started_at_ = 0;  ///< for retrying a lost query round
+  bool recovery_driver_armed_ = false;  ///< one driver chain per epoch
+  std::int64_t recoveries_started_ = 0;
   std::map<ProcessId, Snapshot> peer_info_;  ///< CheckpointInfo replies
   bool decision_timer_armed_ = false;
   std::map<GroupId, bool> catch_up_pending_;
@@ -131,7 +151,6 @@ class ReplicaNode : public MulticastNode {
   /// by the periodic driver (which also acts as the loss timeout).
   std::map<GroupId, std::uint64_t> catch_up_inflight_;  ///< nonce, 0 = none
   std::map<GroupId, Time> catch_up_sent_;  ///< request time (loss timeout)
-  std::uint64_t next_nonce_ = 1;
   std::size_t catch_up_rr_ = 0;  ///< rotating acceptor choice
   bool snapshot_installed_ = false;
 

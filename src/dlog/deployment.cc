@@ -36,9 +36,12 @@ DLogDeployment::DLogDeployment(DLogDeploymentSpec spec)
     ro.storage.disk_index = disk_index;
     ro.delta = spec_.delta;
     ro.lambda = spec_.lambda;
+    ro.instance_timeout = spec_.instance_timeout;
     ro.batch_values = spec_.batch_values;
     ro.batch_bytes = spec_.batch_bytes;
     ro.batch_delay = spec_.batch_delay;
+    ro.gap_repair_timeout = spec_.gap_repair_timeout;
+    ro.gap_repair_probe = spec_.gap_repair_probe;
     return ro;
   };
   core::MergeOptions mo;
@@ -79,6 +82,7 @@ DLogClient& DLogDeployment::add_client(int threads, DLogClient::Generator gen,
   co.log_groups = log_groups_;
   co.shared_group = shared_group_;
   co.batch_bytes = batch_bytes;
+  co.proposal_timeout = spec_.proposal_timeout;
   co.metric_prefix = metric_prefix;
   co.seed = std::uint64_t(next_client_seed_++);
   auto client = std::make_unique<DLogClient>(registry_, co, std::move(gen));

@@ -30,10 +30,20 @@ struct DLogDeploymentSpec {
   Duration delta = duration::milliseconds(5);
   double lambda = 9000;
 
+  /// Coordinator re-execution timeout for undecided instances (also paces
+  /// the Phase 1 loss retry); fault-heavy runs shorten it.
+  Duration instance_timeout = duration::seconds(2);
+
   /// Coordinator value batching per ring (see RingOptions::batch_values).
   int batch_values = 1;
   std::size_t batch_bytes = 256 * 1024;
   Duration batch_delay = 0;
+
+  Duration proposal_timeout = 0;  ///< client re-proposals (chaos/fault runs)
+
+  /// Learner gap repair (see RingOptions).
+  Duration gap_repair_timeout = duration::seconds(1);
+  bool gap_repair_probe = false;
 
   std::uint64_t seed = 1;
 };

@@ -9,10 +9,13 @@ ringpaxos::RingOptions make_ring_options(const KvDeploymentSpec& spec) {
   ro.storage.disk_index = 0;
   ro.delta = spec.delta;
   ro.lambda = spec.lambda;
+  ro.instance_timeout = spec.instance_timeout;
   ro.proposal_timeout = spec.proposal_timeout;
   ro.batch_values = spec.batch_values;
   ro.batch_bytes = spec.batch_bytes;
   ro.batch_delay = spec.batch_delay;
+  ro.gap_repair_timeout = spec.gap_repair_timeout;
+  ro.gap_repair_probe = spec.gap_repair_probe;
   return ro;
 }
 }  // namespace

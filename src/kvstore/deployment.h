@@ -39,6 +39,10 @@ struct KvDeploymentSpec {
   Duration delta = duration::milliseconds(5);
   double lambda = 9000;
 
+  /// Coordinator re-execution timeout for undecided instances (also paces
+  /// the Phase 1 loss retry); fault-heavy runs shorten it.
+  Duration instance_timeout = duration::seconds(2);
+
   /// Coordinator value batching: decide up to this many client command
   /// batches per consensus instance (1 = one value per instance). See
   /// ringpaxos::RingOptions::batch_values.
@@ -51,6 +55,11 @@ struct KvDeploymentSpec {
   Duration trim_interval = 0;
 
   Duration proposal_timeout = 0;  ///< client re-proposals (Figure 8)
+
+  /// Learner gap repair (see RingOptions): chaos runs shorten the timeout
+  /// and enable blind probing so partitioned replicas reconverge quickly.
+  Duration gap_repair_timeout = duration::seconds(1);
+  bool gap_repair_probe = false;
 
   /// Geo placement: topology and the region of each partition (empty =
   /// everything in region 0 / LAN).

@@ -76,10 +76,24 @@ struct Phase1BMsg final : sim::Message {
   GroupId ring = kInvalidGroup;
   Round round = 0;
   ProcessId acceptor = kInvalidProcess;
+  /// First instance after this acceptor's last logged entry. A decided
+  /// instance may be marked decided (and thus not reported in `accepted`)
+  /// at every acceptor of the new coordinator's Phase 1 quorum even though
+  /// the coordinator itself never saw it (it was partitioned during the
+  /// decision); the log end keeps the new coordinator from re-proposing a
+  /// fresh value into such an instance.
+  InstanceId log_end = 0;
+  /// Instance ranges this acceptor knows decided (no values — compact).
+  /// With `accepted`, this lets the new coordinator identify abandoned
+  /// instances: below its next_instance, not decided anywhere, and with no
+  /// accepted value in the quorum. Such holes are provably unchosen (a
+  /// decision quorum would intersect the Phase 1 quorum) and must be
+  /// filled with skips, or every learner stalls at them forever.
+  std::vector<std::pair<InstanceId, std::int32_t>> decided;
   std::vector<Accepted> accepted;
 
   std::size_t wire_size() const override {
-    std::size_t n = kHeaderBytes + 16;
+    std::size_t n = kHeaderBytes + 24 + 12 * decided.size();
     for (const auto& a : accepted) n += 16 + a.value->wire_size();
     return n;
   }

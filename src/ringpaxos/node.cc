@@ -1,6 +1,7 @@
 #include "ringpaxos/node.h"
 
 #include <algorithm>
+#include <limits>
 
 namespace amcast::ringpaxos {
 
@@ -44,12 +45,50 @@ void RingNode::join_ring(GroupId g, bool learner, RingOptions opts) {
     if (rings_.count(g)) on_reconfigure(cfg);
   });
 
+  if (learner) arm_gap_repair(it->second);
   if (cfg.coordinator == id()) become_coordinator(it->second);
 }
 
 void RingNode::on_start() {
   // Coordinator bootstrap (Phase 1 pre-execution) happens lazily from
   // become_coordinator; nothing else to do at start.
+}
+
+void RingNode::on_restart() {
+  for (auto& [g, rs] : rings_) {
+    // Coordinator machinery is volatile: a restarted ex-coordinator only
+    // resumes if the registry (re-)appoints it, and then re-arms timers.
+    rs.coordinating = false;
+    rs.timers_armed = false;
+    rs.round = 0;
+    rs.phase1_running = false;
+    rs.phase1_promised.clear();
+    rs.phase1_accepted.clear();
+    rs.phase1_decided_spans.clear();
+    rs.phase1_ready_until = 0;
+    rs.proposal_queue.clear();
+    rs.queue_bytes = 0;
+    rs.batch_deadline = 0;
+    rs.batch_timer_armed = false;
+    rs.outstanding.clear();
+    rs.pump_scheduled = false;
+    rs.pack_buf.clear();
+    rs.pack_buf_bytes = 0;
+    rs.pack_flush_scheduled = false;
+    rs.deferred.clear();
+    rs.drain_registered = false;
+    rs.gap_timer_armed = false;
+    rs.gap_nonce = 0;
+    rs.gap_stall_ticks = 0;
+    if (rs.learner) arm_gap_repair(rs);
+    if (rs.cfg.coordinator == id()) become_coordinator(rs);
+  }
+  // Re-arm the re-proposal driver (its timer chain died with the crash) so
+  // proposals outstanding across the outage are still retried.
+  if (proposal_timer_armed_ && proposal_timer_interval_ > 0) {
+    set_periodic(proposal_timer_interval_,
+                 [this] { check_proposal_timeouts(); });
+  }
 }
 
 void RingNode::become_coordinator(RingState& rs) {
@@ -79,8 +118,10 @@ void RingNode::become_coordinator(RingState& rs) {
 void RingNode::start_phase1(RingState& rs) {
   if (rs.phase1_running) return;
   rs.phase1_running = true;
-  rs.phase1_acks = 0;
+  rs.phase1_started_at = now();
+  rs.phase1_promised.clear();
   rs.phase1_accepted.clear();
+  rs.phase1_decided_spans.clear();
 
   InstanceId from = rs.phase1_ready_until;
   InstanceId to = from + rs.opts.phase1_batch;
@@ -100,7 +141,7 @@ void RingNode::start_phase1(RingState& rs) {
   rs.storage->promise(round, [this, g, round, from, to] {
     auto& s = state(g);
     if (!s.coordinating || s.round != round) return;
-    ++s.phase1_acks;
+    s.phase1_promised.insert(id());
     auto m = std::make_shared<Phase1AMsg>();
     m->ring = g;
     m->round = round;
@@ -110,7 +151,7 @@ void RingNode::start_phase1(RingState& rs) {
       if (a != id()) send(a, m);
     }
     // Single-acceptor rings complete Phase 1 immediately.
-    if (s.phase1_acks >= s.cfg.majority()) {
+    if (int(s.phase1_promised.size()) >= s.cfg.majority()) {
       s.phase1_ready_until = to;
       s.phase1_running = false;
       pump(s);
@@ -133,6 +174,8 @@ void RingNode::handle_phase1a(ProcessId from, RingState& rs,
     reply->ring = g;
     reply->round = round;
     reply->acceptor = id();
+    reply->log_end = s->storage->last_logged_end();
+    reply->decided = s->storage->decided_spans();
     for (const auto& e : s->storage->collect_undecided(0)) {
       reply->accepted.push_back({e.instance, e.count, e.round, e.value});
     }
@@ -142,23 +185,129 @@ void RingNode::handle_phase1a(ProcessId from, RingState& rs,
 
 void RingNode::handle_phase1b(RingState& rs, const Phase1BMsg& m) {
   if (!rs.coordinating || m.round != rs.round || !rs.phase1_running) return;
+  // Never reuse an instance some quorum member has logged — it may be
+  // decided with a value this coordinator never saw (see Phase1BMsg).
+  rs.next_instance = std::max(rs.next_instance, m.log_end);
   for (const auto& a : m.accepted) {
     auto& slot = rs.phase1_accepted[a.instance];
     if (slot.value == nullptr || a.round >= slot.round) slot = a;
   }
-  ++rs.phase1_acks;
-  if (rs.phase1_acks < rs.cfg.majority()) return;
+  rs.phase1_decided_spans.insert(rs.phase1_decided_spans.end(),
+                                 m.decided.begin(), m.decided.end());
+  rs.phase1_promised.insert(m.acceptor);
+  if (int(rs.phase1_promised.size()) < rs.cfg.majority()) return;
 
   rs.phase1_running = false;
-  // Finish in-flight instances from previous rounds with the highest-round
-  // value reported (standard Paxos), then resume fresh proposals.
-  for (auto& [inst, a] : rs.phase1_accepted) {
-    rs.next_instance = std::max(rs.next_instance, a.instance + a.count);
-    start_instance(rs, a.instance, a.count, a.value, rs.round);
-  }
-  rs.next_instance = std::max(rs.next_instance, rs.storage->last_logged_end());
-  rs.phase1_accepted.clear();
+  finish_phase1(rs);
   pump(rs);
+}
+
+namespace {
+
+using SpanMap = std::map<InstanceId, InstanceId>;
+
+/// Adds [f, e) to a set of non-overlapping spans, merging as needed.
+void add_span(SpanMap& spans, InstanceId f, InstanceId e) {
+  if (e <= f) return;
+  auto it = spans.upper_bound(f);
+  if (it != spans.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second >= f) {
+      f = prev->first;
+      e = std::max(e, prev->second);
+      it = spans.erase(prev);
+    }
+  }
+  while (it != spans.end() && it->first <= e) {
+    e = std::max(e, it->second);
+    it = spans.erase(it);
+  }
+  spans[f] = e;
+}
+
+/// The sub-ranges of [f, e) not covered by `spans`.
+std::vector<std::pair<InstanceId, InstanceId>> subtract_spans(
+    const SpanMap& spans, InstanceId f, InstanceId e) {
+  std::vector<std::pair<InstanceId, InstanceId>> out;
+  auto it = spans.upper_bound(f);
+  if (it != spans.begin() && std::prev(it)->second > f) --it;
+  InstanceId cursor = f;
+  for (; it != spans.end() && it->first < e; ++it) {
+    if (it->first > cursor) out.emplace_back(cursor, std::min(it->first, e));
+    cursor = std::max(cursor, it->second);
+    if (cursor >= e) break;
+  }
+  if (cursor < e) out.emplace_back(cursor, e);
+  return out;
+}
+
+}  // namespace
+
+/// Resolves the Phase 1 quorum reports into a consistent re-drive plan.
+///
+/// The reports are interval-shaped and need not align across rounds: a
+/// hole-filled skip span from round r+1 can overlap a single stale vote a
+/// restarted acceptor still holds from round r, under a different map key.
+/// Processing naively per key would re-decide already-decided instances
+/// (breaking agreement). Instead:
+///  * anything inside a reported-decided span is left alone — its value is
+///    fixed, learners fetch it via decision/retransmission;
+///  * accepted (undecided) votes are re-driven highest-round-first, each
+///    claiming its uncovered sub-ranges only, so a lower-round vote can
+///    never displace a higher-round one it overlaps;
+///  * instances below next_instance covered by no report were abandoned by
+///    a dead coordinator and can never have been chosen (a decision quorum
+///    would intersect this Phase 1 quorum): they are filled with skips,
+///    otherwise every learner stalls at the hole forever.
+void RingNode::finish_phase1(RingState& rs) {
+  SpanMap covered;
+  add_span(covered, 0, rs.storage->first_retained());  // trimmed = decided
+  for (const auto& [f, c] : rs.phase1_decided_spans) add_span(covered, f, f + c);
+  for (const auto& [f, c] : rs.storage->decided_spans()) add_span(covered, f, f + c);
+
+  // Highest round first: order by (round desc, instance asc).
+  std::vector<const Phase1BMsg::Accepted*> accepted;
+  accepted.reserve(rs.phase1_accepted.size());
+  for (const auto& [i, a] : rs.phase1_accepted) {
+    rs.next_instance = std::max(rs.next_instance, a.instance + a.count);
+    accepted.push_back(&a);
+  }
+  std::sort(accepted.begin(), accepted.end(),
+            [](const Phase1BMsg::Accepted* x, const Phase1BMsg::Accepted* y) {
+              if (x->round != y->round) return x->round > y->round;
+              return x->instance < y->instance;
+            });
+  for (const auto* a : accepted) {
+    InstanceId end = a->instance + a->count;
+    auto pieces = subtract_spans(covered, a->instance, end);
+    add_span(covered, a->instance, end);
+    for (const auto& [pf, pe] : pieces) {
+      std::int32_t pc = std::int32_t(pe - pf);
+      if (pf == a->instance && pc == a->count) {
+        start_instance(rs, pf, pc, a->value, rs.round);
+      } else {
+        // Partial piece of a range: only skip ranges span instances, so
+        // the uncovered remainder is re-driven as a skip of its own.
+        AMCAST_ASSERT(a->value->is_skip());
+        start_instance(rs, pf, pc, make_skip(rs.cfg.group, now(), pc),
+                       rs.round);
+      }
+    }
+  }
+
+  rs.next_instance = std::max(rs.next_instance, rs.storage->last_logged_end());
+
+  // Fill abandoned holes below next_instance with skips.
+  InstanceId low = rs.next_deliver;
+  for (const auto& [pf, pe] :
+       subtract_spans(covered, low, rs.next_instance)) {
+    std::int32_t pc = std::int32_t(pe - pf);
+    sim().metrics().counter("ringpaxos.hole_fills") += pc;
+    start_instance(rs, pf, pc, make_skip(rs.cfg.group, now(), pc), rs.round);
+  }
+
+  rs.phase1_accepted.clear();
+  rs.phase1_decided_spans.clear();
 }
 
 void RingNode::propose(GroupId g, ValuePtr v) {
@@ -186,7 +335,9 @@ void RingNode::propose(GroupId g, ValuePtr v) {
     my_proposals_[v->msg_id] = OutstandingProposal{g, v, now()};
     if (!proposal_timer_armed_) {
       proposal_timer_armed_ = true;
-      set_periodic(std::max<Duration>(timeout / 2, duration::milliseconds(10)),
+      proposal_timer_interval_ =
+          std::max<Duration>(timeout / 2, duration::milliseconds(10));
+      set_periodic(proposal_timer_interval_,
                    [this] { check_proposal_timeouts(); });
     }
   }
@@ -353,7 +504,7 @@ void RingNode::start_instance(RingState& rs, InstanceId instance,
   GroupId g = rs.cfg.group;
   // The coordinator sees its own value immediately (it will never receive
   // the circulating Phase 2 for it).
-  note_value(rs, instance, count, value);
+  note_value(rs, instance, count, value, round);
 
   rs.storage->store_vote(
       instance, count, round, value, [this, g, instance, count, value, round] {
@@ -373,7 +524,16 @@ void RingNode::start_instance(RingState& rs, InstanceId instance,
 }
 
 void RingNode::retry_outstanding(RingState& rs) {
-  if (rs.phase1_running) return;
+  if (rs.phase1_running) {
+    // Phase 1A/1B messages can be lost like any other traffic; without a
+    // retry a coordinator stuck in Phase 1 stalls its ring forever.
+    if (now() - rs.phase1_started_at >= rs.opts.instance_timeout) {
+      rs.phase1_running = false;
+      sim().metrics().counter("ringpaxos.phase1_retries")++;
+      start_phase1(rs);
+    }
+    return;
+  }
   for (auto& [inst, o] : rs.outstanding) {
     if (now() - o.sent_at < rs.opts.instance_timeout) continue;
     o.sent_at = now();
@@ -424,8 +584,8 @@ void RingNode::flush_pack(RingState& rs) {
 
 void RingNode::emit_decision(RingState& rs, InstanceId instance,
                              std::int32_t count, Round round) {
-  rs.storage->mark_decided(instance, count);
-  note_decided(rs, instance, count);
+  rs.storage->mark_decided(instance, count, round);
+  note_decided(rs, instance, count, round);
   if (rs.cfg.size() > 1) {
     auto d = std::make_shared<DecisionMsg>();
     d->ring = rs.cfg.group;
@@ -440,7 +600,7 @@ void RingNode::emit_decision(RingState& rs, InstanceId instance,
 void RingNode::handle_phase2(RingState& rs, const Phase2Msg& m) {
   // Every member records the value for delivery purposes; acceptors also
   // vote and may complete a majority.
-  note_value(rs, m.instance, m.count, m.value);
+  note_value(rs, m.instance, m.count, m.value, m.round);
 
   bool is_acceptor = rs.storage != nullptr;
   bool stale = is_acceptor && m.round < rs.storage->promised();
@@ -477,11 +637,11 @@ void RingNode::handle_phase2(RingState& rs, const Phase2Msg& m) {
 }
 
 void RingNode::handle_decision(RingState& rs, const DecisionMsg& m) {
-  if (rs.storage) rs.storage->mark_decided(m.instance, m.count);
+  if (rs.storage) rs.storage->mark_decided(m.instance, m.count, m.round);
   if (rs.coordinating) {
     rs.outstanding.erase(m.instance);
   }
-  note_decided(rs, m.instance, m.count);
+  note_decided(rs, m.instance, m.count, m.round);
   if (m.hops < rs.cfg.size() - 1) {
     auto fwd = std::make_shared<DecisionMsg>(m);
     fwd->hops = m.hops + 1;
@@ -511,20 +671,123 @@ void RingNode::handle_retransmit_request(ProcessId from, RingState& rs,
   send(from, reply);
 }
 
+void RingNode::arm_gap_repair(RingState& rs) {
+  if (rs.gap_timer_armed || rs.opts.gap_repair_timeout <= 0) return;
+  rs.gap_timer_armed = true;
+  rs.gap_last_cursor = rs.next_deliver;
+  rs.gap_stall_ticks = 0;
+  GroupId g = rs.cfg.group;
+  set_periodic(std::max<Duration>(rs.opts.gap_repair_timeout / 2,
+                                  duration::milliseconds(10)),
+               [this, g] {
+                 if (auto* s = find_state(g)) gap_repair_tick(*s);
+               });
+}
+
+void RingNode::gap_repair_tick(RingState& rs) {
+  if (!rs.learner || gap_repair_suppressed()) {
+    rs.gap_stall_ticks = 0;
+    rs.gap_last_cursor = rs.next_deliver;
+    return;
+  }
+  if (rs.next_deliver != rs.gap_last_cursor) {
+    rs.gap_last_cursor = rs.next_deliver;
+    rs.gap_stall_ticks = 0;
+    rs.gap_nonce = 0;  // progress invalidates the outstanding request
+    return;
+  }
+  // Evidence of a gap: the cursor is stuck while later instances queued up
+  // (their decision or value was lost). Without evidence, probe only when
+  // configured — an idle ring looks exactly like a fully-cut one.
+  if (rs.pending.empty() && !rs.opts.gap_repair_probe) return;
+  if (++rs.gap_stall_ticks < 2) return;
+  if (rs.gap_nonce != 0 &&
+      now() - rs.gap_sent_at < rs.opts.gap_repair_timeout * 2) {
+    return;  // one outstanding request at a time (replies can be bulky)
+  }
+  request_gap_repair(rs);
+}
+
+void RingNode::request_gap_repair(RingState& rs) {
+  const auto& acceptors = rs.cfg.acceptors;
+  if (acceptors.empty()) return;
+  ProcessId target = kInvalidProcess;
+  for (std::size_t k = 0; k < acceptors.size(); ++k) {
+    ProcessId a = acceptors[(rs.gap_rr++) % acceptors.size()];
+    if (a != id()) {
+      target = a;
+      break;
+    }
+  }
+  if (target == kInvalidProcess) return;  // sole acceptor is us: log is local
+  rs.gap_nonce = take_nonce();
+  rs.gap_sent_at = now();
+  sim().metrics().counter("ringpaxos.gap_repair_requests")++;
+  auto req = std::make_shared<RetransmitRequestMsg>();
+  req->ring = rs.cfg.group;
+  req->from_instance = rs.next_deliver;
+  req->to_instance = rs.next_deliver + rs.opts.gap_repair_chunk - 1;
+  req->nonce = rs.gap_nonce;
+  send(target, req);
+}
+
+void RingNode::handle_learner_retransmit_reply(RingState& rs,
+                                               const RetransmitReplyMsg& m) {
+  if (m.nonce != rs.gap_nonce || m.nonce == 0) return;  // stale round
+  rs.gap_nonce = 0;
+  if (m.trimmed_below > rs.next_deliver) {
+    // The log no longer reaches back to our cursor; only the checkpoint
+    // recovery protocol (ReplicaNode) can bridge this. Plain learners in
+    // trim-enabled deployments are a misconfiguration.
+    sim().metrics().counter("ringpaxos.gap_repair_trimmed")++;
+    on_gap_unrecoverable(rs.cfg.group);
+    return;
+  }
+  if (!m.entries.empty()) {
+    sim().metrics().counter("ringpaxos.gap_repairs")++;
+  }
+  InstanceId before = rs.next_deliver;
+  for (const auto& e : m.entries) {
+    inject_decided(rs.cfg.group, e.instance, e.count, e.value);
+  }
+  // A deep gap (long partition) spans many chunks: chain the next request
+  // immediately instead of waiting out another stall detection — but only
+  // while each reply advances the cursor, or a reply that cannot help
+  // (e.g. the hole is undecided at this acceptor) would loop forever.
+  if (rs.next_deliver > before && m.highest_decided != kInvalidInstance &&
+      rs.next_deliver <= m.highest_decided) {
+    request_gap_repair(rs);
+  }
+}
+
 void RingNode::note_value(RingState& rs, InstanceId first, std::int32_t count,
-                          const ValuePtr& v) {
+                          const ValuePtr& v, Round round) {
   if (first + count <= rs.next_deliver) return;
   auto& p = rs.pending[first];
   p.count = count;
-  if (p.value == nullptr) p.value = v;
+  if (round >= p.round) {
+    // Same or newer evidence: adopt the value (a higher-round coordinator
+    // may legitimately replace an undecided instance's value). Older
+    // Phase 2s must never displace or fill a newer round's slot.
+    p.value = v;
+    p.round = round;
+  }
   drain(rs);
 }
 
 void RingNode::note_decided(RingState& rs, InstanceId first,
-                            std::int32_t count) {
+                            std::int32_t count, Round round) {
   if (first + count <= rs.next_deliver) return;
   auto& p = rs.pending[first];
   p.count = count;
+  if (round > p.round) {
+    // The decision is from a newer round than any value seen: whatever
+    // value is held is potentially stale (this learner missed the deciding
+    // Phase 2). Drop it and let retransmission/gap repair supply the
+    // chosen value.
+    p.value = nullptr;
+    p.round = round;
+  }
   p.decided = true;
   drain(rs);
 }
@@ -536,7 +799,10 @@ void RingNode::inject_decided(GroupId g, InstanceId first, std::int32_t count,
   if (first + count <= rs.next_deliver) return;
   auto& p = rs.pending[first];
   p.count = count;
-  if (p.value == nullptr) p.value = std::move(value);
+  // Retransmitted entries come from round-checked decided log entries: the
+  // value IS the chosen one. Freeze it against any late stale traffic.
+  p.value = std::move(value);
+  p.round = std::numeric_limits<Round>::max();
   p.decided = true;
   drain(rs);
 }
@@ -727,6 +993,13 @@ void RingNode::on_message(ProcessId from, const MessagePtr& m) {
       const auto& rr = msg_cast<RetransmitRequestMsg>(m);
       if (auto* rs = find_state(rr.ring)) {
         handle_retransmit_request(from, *rs, rr);
+      }
+      return;
+    }
+    case kRetransmitReply: {
+      const auto& rep = msg_cast<RetransmitReplyMsg>(m);
+      if (auto* rs = find_state(rep.ring)) {
+        handle_learner_retransmit_reply(*rs, rep);
       }
       return;
     }

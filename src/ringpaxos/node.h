@@ -11,6 +11,7 @@
 #include <string>
 #include <map>
 #include <memory>
+#include <set>
 #include <utility>
 
 #include "common/ids.h"
@@ -34,6 +35,24 @@ struct RingOptions {
   /// Coordinator re-executes Phase 2 for instances undecided this long
   /// (covers messages lost to crashed ring members).
   Duration instance_timeout = duration::seconds(2);
+
+  /// Learner gap repair: a learner whose delivery cursor has not advanced
+  /// for this long while later instances are already queued asks an
+  /// acceptor to retransmit the missing range. This covers decisions lost
+  /// to drops/partitions — the coordinator's instance_timeout only re-runs
+  /// instances *it* still considers undecided. 0 disables.
+  Duration gap_repair_timeout = duration::seconds(1);
+
+  /// Decided entries requested per gap-repair round (bounds reply size;
+  /// deep gaps chain further requests as each chunk lands).
+  std::int32_t gap_repair_chunk = 2048;
+
+  /// Also probe for missed instances when the pending buffer is empty (the
+  /// learner was cut off so completely that no later traffic arrived to
+  /// evidence a gap). Off by default: an idle ring is indistinguishable
+  /// from a fully-cut one, so probing rings forever costs idle traffic.
+  /// Chaos worlds turn this on.
+  bool gap_repair_probe = false;
 
   /// Rate leveling (paper §4): every `delta`, the coordinator tops the ring
   /// up to `lambda` instances/second with skip instances. lambda == 0
@@ -124,6 +143,13 @@ class RingNode : public sim::Node {
   void on_message(ProcessId from, const MessagePtr& m) override;
   void on_start() override;
 
+  /// Crash recovery of the ring layer: volatile coordinator/acceptor-side
+  /// machinery (timers, packing buffers, outstanding instances, deferred
+  /// traffic) is reset so the node functions again after restart(); the
+  /// learner cursor and the acceptor log survive. Subclasses overriding
+  /// on_restart must call this first.
+  void on_restart() override;
+
  protected:
   /// In-order per-ring delivery hook: called exactly once per instance
   /// range, in instance order within each ring. Skip values are reported
@@ -148,10 +174,31 @@ class RingNode : public sim::Node {
   /// Access to the acceptor log of a ring (null if not an acceptor).
   AcceptorStorage* storage(GroupId g);
 
+  /// Mints a nonce for retransmit request/reply matching. Shared by the
+  /// learner gap repair and the replica recovery protocol so their replies
+  /// can never be mistaken for one another.
+  std::uint64_t take_nonce() { return next_nonce_++; }
+
+  /// Subclasses can pause the learner gap repair (replica recovery runs its
+  /// own catch-up over the same retransmission protocol).
+  virtual bool gap_repair_suppressed() const { return false; }
+
+  /// The acceptor logs no longer reach back to this learner's cursor (the
+  /// trim protocol passed it while it was partitioned). Only a checkpoint
+  /// can bridge the gap; ReplicaNode escalates to the §5.2 recovery
+  /// protocol, plain learners can merely report it.
+  virtual void on_gap_unrecoverable(GroupId g) { (void)g; }
+
  private:
   struct PendingInstance {
     std::int32_t count = 0;
     ValuePtr value;
+    /// Highest round evidence (value or decision) was seen for. A value is
+    /// only trusted if it is from the deciding round or newer: after a
+    /// coordinator change the same instance can carry a different value at
+    /// a higher round (e.g. an abandoned instance re-filled as a skip),
+    /// and delivering the stale lower-round value would break agreement.
+    Round round = -1;
     bool decided = false;
   };
 
@@ -184,8 +231,14 @@ class RingNode : public sim::Node {
     InstanceId next_instance = 0;
     InstanceId phase1_ready_until = 0;
     bool phase1_running = false;
-    int phase1_acks = 0;
+    Time phase1_started_at = 0;  ///< for loss-retry of Phase 1A/1B
+    /// Distinct promised acceptors (a set: retried Phase 1As make one
+    /// acceptor reply twice; counting it twice would fake a quorum and can
+    /// lose accepted values a real quorum member would have reported).
+    std::set<ProcessId> phase1_promised;
     std::map<InstanceId, Phase1BMsg::Accepted> phase1_accepted;
+    /// Decided spans reported by Phase 1Bs (abandoned-hole detection).
+    std::vector<std::pair<InstanceId, std::int32_t>> phase1_decided_spans;
     std::deque<ValuePtr> proposal_queue;
     std::size_t queue_bytes = 0;  ///< summed wire_size of proposal_queue
     Time batch_deadline = 0;      ///< 0 = no partial batch waiting
@@ -203,6 +256,14 @@ class RingNode : public sim::Node {
     // --- acceptor backpressure (async-disk mode) ---
     std::deque<sim::MessagePtr> deferred;
     bool drain_registered = false;
+
+    // --- learner gap repair ---
+    bool gap_timer_armed = false;
+    InstanceId gap_last_cursor = 0;  ///< cursor at the previous tick
+    int gap_stall_ticks = 0;         ///< consecutive ticks without progress
+    std::uint64_t gap_nonce = 0;     ///< outstanding request, 0 = none
+    Time gap_sent_at = 0;
+    std::size_t gap_rr = 0;  ///< rotating acceptor choice
 
     // --- bookkeeping ---
     bool timers_armed = false;
@@ -225,10 +286,18 @@ class RingNode : public sim::Node {
   void handle_decision(RingState& rs, const DecisionMsg& m);
   void handle_retransmit_request(ProcessId from, RingState& rs,
                                  const RetransmitRequestMsg& m);
+  void handle_learner_retransmit_reply(RingState& rs,
+                                       const RetransmitReplyMsg& m);
+
+  // Learner gap repair.
+  void arm_gap_repair(RingState& rs);
+  void gap_repair_tick(RingState& rs);
+  void request_gap_repair(RingState& rs);
 
   // Coordinator machinery.
   void become_coordinator(RingState& rs);
   void start_phase1(RingState& rs);
+  void finish_phase1(RingState& rs);
   void enqueue_proposal(RingState& rs, ValuePtr v);
   void pump(RingState& rs);
   ValuePtr take_batch(RingState& rs);
@@ -247,8 +316,9 @@ class RingNode : public sim::Node {
 
   // Learner machinery.
   void note_value(RingState& rs, InstanceId first, std::int32_t count,
-                  const ValuePtr& v);
-  void note_decided(RingState& rs, InstanceId first, std::int32_t count);
+                  const ValuePtr& v, Round round);
+  void note_decided(RingState& rs, InstanceId first, std::int32_t count,
+                    Round round);
   void drain(RingState& rs);
 
   // Proposer machinery.
@@ -261,7 +331,9 @@ class RingNode : public sim::Node {
   std::map<GroupId, RingState> rings_;
   std::map<MessageId, OutstandingProposal> my_proposals_;
   MessageId next_msg_id_ = 1;
+  std::uint64_t next_nonce_ = 1;
   bool proposal_timer_armed_ = false;
+  Duration proposal_timer_interval_ = 0;  ///< for re-arming after restart
   Duration default_proposal_timeout_ = 0;
 };
 

@@ -28,32 +28,110 @@ void AcceptorStorage::persist(std::size_t bytes, std::function<void()> ready) {
   }
 }
 
+void AcceptorStorage::insert_entry(Entry e) {
+  e.bytes = 40 + (e.value ? e.value->wire_size() : 0);
+  logged_bytes_ += e.bytes;
+  log_[e.instance] = std::move(e);
+}
+
+/// Removes the intersection of [first, end) from every logged entry with
+/// round <= `round`, clipping heads/tails into independent entries. Ranges
+/// from different rounds need not align (a hole-filled skip span can cut
+/// through an older rate-leveling skip range, or a re-vote can turn one
+/// instance of a skip range into a value), and overlapping entries corrupt
+/// every range scan downstream — a learner injecting an entry whose count
+/// no longer matches its value would skip or re-deliver whole spans.
+void AcceptorStorage::carve(InstanceId first, InstanceId end, Round round) {
+  auto it = log_.upper_bound(first);
+  if (it != log_.begin()) --it;
+  while (it != log_.end() && it->second.instance < end) {
+    Entry& e = it->second;
+    InstanceId e_end = e.instance + e.count;
+    if (e_end <= first || e.round > round) {
+      ++it;
+      continue;
+    }
+    Entry head = e;
+    Entry tail = e;
+    logged_bytes_ -= e.bytes;
+    it = log_.erase(it);
+    if (head.instance < first) {
+      head.count = std::int32_t(first - head.instance);
+      insert_entry(head);
+    }
+    if (e_end > end) {
+      tail.count = std::int32_t(e_end - end);
+      tail.instance = end;
+      insert_entry(std::move(tail));
+      // `it` may now point at the tail we just inserted; it starts at
+      // `end`, so the loop condition ends the scan correctly.
+      it = log_.lower_bound(end);
+    }
+  }
+}
+
 void AcceptorStorage::store_vote(InstanceId instance, std::int32_t count,
                                  Round round, ValuePtr value,
                                  std::function<void()> ready) {
   AMCAST_ASSERT(instance >= 0 && count >= 1);
-  auto& e = log_[instance];
-  if (e.instance == kInvalidInstance) {
-    e.instance = instance;
-    e.count = count;
+  std::size_t bytes = 40 + (value ? value->wire_size() : 0);
+  // The new vote is authoritative over anything same-or-lower-round it
+  // overlaps (standard Paxos 2B overwrite, generalized to ranges).
+  InstanceId end = instance + count;
+  carve(instance, end, round);
+  // Whatever still overlaps [instance, end) is from a HIGHER round (an
+  // acceptor can hold round r+1 votes without having promised r+1 itself,
+  // so a lower-round retry is not necessarily rejected upstream). The new
+  // vote only claims the uncovered gaps — inserting over a higher-round
+  // entry would re-create the overlapping ranges carve exists to prevent.
+  InstanceId cursor = instance;
+  auto emit = [&](InstanceId f, InstanceId e) {
+    if (e <= f) return;
+    if (f == instance && e == end) {
+      Entry ne;
+      ne.instance = instance;
+      ne.count = count;
+      ne.round = round;
+      ne.value = value;
+      insert_entry(std::move(ne));
+      return;
+    }
+    // A partial gap: only ranged (skip) votes can be split; a one-instance
+    // value is either fully covered or fully free.
+    AMCAST_ASSERT(count > 1);
+    Entry ne;
+    ne.instance = f;
+    ne.count = std::int32_t(e - f);
+    ne.round = round;
+    ne.value = value;
+    insert_entry(std::move(ne));
+  };
+  auto it = log_.upper_bound(instance);
+  if (it != log_.begin() && std::prev(it)->second.instance +
+                                    std::prev(it)->second.count >
+                                instance) {
+    --it;
   }
-  // Re-votes for the same or higher round overwrite (standard Paxos 2B).
-  if (round >= e.round) {
-    e.round = round;
-    e.value = std::move(value);
+  for (; it != log_.end() && it->second.instance < end; ++it) {
+    emit(cursor, std::min(it->second.instance, end));
+    cursor = std::max(cursor, it->second.instance + it->second.count);
+    if (cursor >= end) break;
   }
-  // Re-votes replace the entry's contribution instead of accumulating, so
-  // logged_bytes_ tracks live entries (and shrinks on trim/eviction).
-  std::size_t bytes = 40 + (e.value ? e.value->wire_size() : 0);
-  logged_bytes_ += bytes - e.bytes;
-  e.bytes = bytes;
+  emit(cursor, end);
   enforce_memory_bound();
   persist(bytes, std::move(ready));
 }
 
-void AcceptorStorage::mark_decided(InstanceId instance, std::int32_t count) {
+void AcceptorStorage::mark_decided(InstanceId instance, std::int32_t count,
+                                   Round round) {
   auto it = log_.find(instance);
   if (it == log_.end()) return;  // overwritten (memory mode) or trimmed
+  // Only mark the logged value decided if it is from the deciding round or
+  // a newer one (which, by the Paxos invariant, must carry the same value).
+  // An acceptor that missed the deciding Phase 2 but sees the Decision may
+  // hold a stale lower-round value — marking that decided would let it
+  // retransmit a value that was never chosen.
+  if (it->second.round < round) return;
   it->second.decided = true;
   InstanceId last = instance + count - 1;
   if (last > highest_decided_) highest_decided_ = last;
@@ -108,6 +186,23 @@ std::vector<AcceptorStorage::Entry> AcceptorStorage::collect_undecided(
   std::vector<Entry> out;
   for (auto it = log_.lower_bound(from); it != log_.end(); ++it) {
     if (!it->second.decided) out.push_back(it->second);
+  }
+  return out;
+}
+
+std::vector<std::pair<InstanceId, std::int32_t>> AcceptorStorage::decided_spans()
+    const {
+  // Adjacent decided entries coalesce into one span: a retained log is
+  // mostly contiguous decided ranges, and Phase 1B ships these on the wire.
+  std::vector<std::pair<InstanceId, std::int32_t>> out;
+  for (const auto& [first, e] : log_) {
+    if (!e.decided) continue;
+    if (!out.empty() &&
+        out.back().first + out.back().second == first) {
+      out.back().second += e.count;
+    } else {
+      out.emplace_back(first, e.count);
+    }
   }
   return out;
 }

@@ -53,8 +53,11 @@ class AcceptorStorage {
   void store_vote(InstanceId instance, std::int32_t count, Round round,
                   ValuePtr value, std::function<void()> ready);
 
-  /// Records that the instance range was decided.
-  void mark_decided(InstanceId instance, std::int32_t count);
+  /// Records that the instance range was decided in `round`. Ignored when
+  /// the logged vote is from an older round: its value may differ from the
+  /// chosen one (the acceptor missed the deciding Phase 2), and a stale
+  /// value must never be served as decided to recovering learners.
+  void mark_decided(InstanceId instance, std::int32_t count, Round round);
 
   /// Entry covering `instance`, or nullptr if absent/overwritten/trimmed.
   const Entry* find(InstanceId instance) const;
@@ -78,6 +81,10 @@ class AcceptorStorage {
   /// what a Phase 1B reports so a new coordinator can finish in-flight
   /// instances.
   std::vector<Entry> collect_undecided(InstanceId from) const;
+
+  /// Compact (instance, count) spans of retained decided entries — the
+  /// Phase 1B decided report (see Phase1BMsg::decided).
+  std::vector<std::pair<InstanceId, std::int32_t>> decided_spans() const;
 
   /// Retained decided entries intersecting [from, to], at most `max_entries`
   /// (retransmission replies are chunked so recovering replicas catch up in
@@ -104,6 +111,8 @@ class AcceptorStorage {
  private:
   void persist(std::size_t bytes, std::function<void()> ready);
   void enforce_memory_bound();
+  void insert_entry(Entry e);
+  void carve(InstanceId first, InstanceId end, Round round);
 
   StorageOptions opts_;
   sim::Disk* disk_;

@@ -1,0 +1,306 @@
+#include "sim/chaos.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "common/assert.h"
+#include "sim/node.h"
+#include "sim/simulation.h"
+
+namespace amcast::sim {
+
+const char* fault_kind_name(FaultKind k) {
+  switch (k) {
+    case FaultKind::kCrash: return "crash";
+    case FaultKind::kRestart: return "restart";
+    case FaultKind::kCutPair: return "cut-pair";
+    case FaultKind::kHealPair: return "heal-pair";
+    case FaultKind::kCutRegions: return "cut-regions";
+    case FaultKind::kHealRegions: return "heal-regions";
+    case FaultKind::kDropStart: return "drop-start";
+    case FaultKind::kDropEnd: return "drop-end";
+    case FaultKind::kDiskSlow: return "disk-slow";
+    case FaultKind::kDiskNormal: return "disk-normal";
+    case FaultKind::kJitterSpike: return "jitter-spike";
+    case FaultKind::kJitterNormal: return "jitter-normal";
+  }
+  return "?";
+}
+
+namespace {
+
+Duration sample_duration(Rng& rng, Duration lo, Duration hi) {
+  AMCAST_ASSERT(lo > 0 && hi >= lo);
+  return rng.next_int(lo, hi);
+}
+
+double sample_double(Rng& rng, double lo, double hi) {
+  return lo + (hi - lo) * rng.next_double();
+}
+
+/// Walks an exponential arrival process over [0, horizon), invoking
+/// `emit(t, rng)` at each arrival. A start-end fault class emits both its
+/// events from one arrival, clamping the end to the horizon.
+void arrivals(Rng& rng, double rate_hz, Time horizon,
+              const std::function<void(Time, Rng&)>& emit) {
+  if (rate_hz <= 0) return;
+  double t_sec = 0;
+  double horizon_sec = duration::to_seconds(horizon);
+  while (true) {
+    t_sec += rng.next_exponential(1.0 / rate_hz);
+    if (t_sec >= horizon_sec) return;
+    emit(Time(t_sec * 1e9), rng);
+  }
+}
+
+}  // namespace
+
+FaultSchedule FaultSchedule::generate(std::uint64_t seed,
+                                      const FaultScheduleOptions& opts) {
+  FaultSchedule s;
+  s.seed_ = seed;
+  AMCAST_ASSERT(opts.horizon > 0);
+  // One independent stream per fault class, all derived from the seed in a
+  // fixed order: re-rating one class cannot shift another's timeline.
+  Rng master(seed ^ 0xc4a05ULL);
+  Rng crash_rng = master.split();
+  Rng pair_rng = master.split();
+  Rng region_rng = master.split();
+  Rng drop_rng = master.split();
+  Rng disk_rng = master.split();
+  Rng jitter_rng = master.split();
+
+  // The heal/restart of a window is clamped slightly before the horizon so
+  // the post-chaos grace period always starts fully healed.
+  const Time heal_by = opts.horizon - 1;
+  auto clamp_end = [&](Time t) { return std::min(t, heal_by); };
+
+  // --- crashes -----------------------------------------------------------
+  if (!opts.crashable.empty()) {
+    std::map<ProcessId, Time> down_until;
+    arrivals(crash_rng, opts.crash_rate_hz, opts.horizon,
+             [&](Time t, Rng& rng) {
+               int down = 0;
+               for (auto& [p, until] : down_until) {
+                 if (until > t) ++down;
+               }
+               if (down >= opts.max_concurrent_crashes) return;
+               ProcessId victim =
+                   opts.crashable[rng.next_u64(opts.crashable.size())];
+               if (down_until.count(victim) && down_until[victim] > t) return;
+               Time up = clamp_end(
+                   t + sample_duration(rng, opts.min_down, opts.max_down));
+               if (up <= t) return;
+               down_until[victim] = up;
+               s.events_.push_back(
+                   {t, FaultKind::kCrash, victim, kInvalidProcess, -1, -1, 0});
+               s.events_.push_back({up, FaultKind::kRestart, victim,
+                                    kInvalidProcess, -1, -1, 0});
+             });
+  }
+
+  // --- pairwise link cuts ------------------------------------------------
+  if (!opts.cuttable_pairs.empty()) {
+    std::map<std::pair<ProcessId, ProcessId>, Time> cut_until;
+    arrivals(pair_rng, opts.cut_pair_rate_hz, opts.horizon,
+             [&](Time t, Rng& rng) {
+               auto link =
+                   opts.cuttable_pairs[rng.next_u64(opts.cuttable_pairs.size())];
+               if (cut_until.count(link) && cut_until[link] > t) return;
+               Time heal = clamp_end(
+                   t + sample_duration(rng, opts.min_cut, opts.max_cut));
+               if (heal <= t) return;
+               cut_until[link] = heal;
+               s.events_.push_back({t, FaultKind::kCutPair, link.first,
+                                    link.second, -1, -1, 0});
+               s.events_.push_back({heal, FaultKind::kHealPair, link.first,
+                                    link.second, -1, -1, 0});
+             });
+  }
+
+  // --- region partitions -------------------------------------------------
+  if (!opts.cuttable_region_links.empty()) {
+    std::map<std::pair<RegionId, RegionId>, Time> cut_until;
+    arrivals(region_rng, opts.cut_region_rate_hz, opts.horizon,
+             [&](Time t, Rng& rng) {
+               auto link = opts.cuttable_region_links[rng.next_u64(
+                   opts.cuttable_region_links.size())];
+               if (cut_until.count(link) && cut_until[link] > t) return;
+               Time heal = clamp_end(t + sample_duration(rng, opts.min_region_cut,
+                                                         opts.max_region_cut));
+               if (heal <= t) return;
+               cut_until[link] = heal;
+               s.events_.push_back({t, FaultKind::kCutRegions, kInvalidProcess,
+                                    kInvalidProcess, link.first, link.second,
+                                    0});
+               s.events_.push_back({heal, FaultKind::kHealRegions,
+                                    kInvalidProcess, kInvalidProcess,
+                                    link.first, link.second, 0});
+             });
+  }
+
+  // --- drop windows (one active at a time) -------------------------------
+  {
+    Time active_until = 0;
+    arrivals(drop_rng, opts.drop_rate_hz, opts.horizon, [&](Time t, Rng& rng) {
+      if (t < active_until) return;
+      double p = sample_double(rng, opts.drop_p_min, opts.drop_p_max);
+      Time end = clamp_end(t + sample_duration(rng, opts.min_drop, opts.max_drop));
+      if (end <= t) return;
+      active_until = end;
+      s.events_.push_back({t, FaultKind::kDropStart, kInvalidProcess,
+                           kInvalidProcess, -1, -1, p});
+      s.events_.push_back({end, FaultKind::kDropEnd, kInvalidProcess,
+                           kInvalidProcess, -1, -1, 0});
+    });
+  }
+
+  // --- disk slowdowns ----------------------------------------------------
+  if (!opts.slowable_disks.empty()) {
+    std::map<ProcessId, Time> slow_until;
+    arrivals(disk_rng, opts.disk_slow_rate_hz, opts.horizon,
+             [&](Time t, Rng& rng) {
+               ProcessId owner =
+                   opts.slowable_disks[rng.next_u64(opts.slowable_disks.size())];
+               if (slow_until.count(owner) && slow_until[owner] > t) return;
+               double f =
+                   sample_double(rng, opts.slow_factor_min, opts.slow_factor_max);
+               Time end = clamp_end(
+                   t + sample_duration(rng, opts.min_slow, opts.max_slow));
+               if (end <= t) return;
+               slow_until[owner] = end;
+               s.events_.push_back({t, FaultKind::kDiskSlow, owner,
+                                    kInvalidProcess, -1, -1, f});
+               s.events_.push_back({end, FaultKind::kDiskNormal, owner,
+                                    kInvalidProcess, -1, -1, 0});
+             });
+  }
+
+  // --- jitter spikes (one active at a time) ------------------------------
+  {
+    Time active_until = 0;
+    arrivals(jitter_rng, opts.jitter_rate_hz, opts.horizon,
+             [&](Time t, Rng& rng) {
+               if (t < active_until) return;
+               double f = sample_double(rng, opts.jitter_scale_min,
+                                        opts.jitter_scale_max);
+               Time end = clamp_end(
+                   t + sample_duration(rng, opts.min_jitter, opts.max_jitter));
+               if (end <= t) return;
+               active_until = end;
+               s.events_.push_back({t, FaultKind::kJitterSpike, kInvalidProcess,
+                                    kInvalidProcess, -1, -1, f});
+               s.events_.push_back({end, FaultKind::kJitterNormal,
+                                    kInvalidProcess, kInvalidProcess, -1, -1,
+                                    0});
+             });
+  }
+
+  // Restarts sort after everything else at equal timestamps, so a node
+  // whose downtime is clamped to the horizon restarts into an already
+  // healed network (its recovery traffic is not eaten by a same-instant
+  // partition that heals one event later).
+  auto order_key = [](const FaultEvent& e) {
+    return std::make_pair(e.at, e.kind == FaultKind::kRestart ? 1 : 0);
+  };
+  std::stable_sort(s.events_.begin(), s.events_.end(),
+                   [&](const FaultEvent& a, const FaultEvent& b) {
+                     return order_key(a) < order_key(b);
+                   });
+  return s;
+}
+
+std::string FaultSchedule::describe() const {
+  std::string out;
+  char buf[160];
+  for (const auto& e : events_) {
+    std::snprintf(buf, sizeof(buf), "%10.3fms %-13s", duration::to_millis(e.at),
+                  fault_kind_name(e.kind));
+    out += buf;
+    if (e.node != kInvalidProcess) {
+      std::snprintf(buf, sizeof(buf), " node=%d", e.node);
+      out += buf;
+    }
+    if (e.peer != kInvalidProcess) {
+      std::snprintf(buf, sizeof(buf), " peer=%d", e.peer);
+      out += buf;
+    }
+    if (e.region_a >= 0) {
+      std::snprintf(buf, sizeof(buf), " regions=%d,%d", e.region_a, e.region_b);
+      out += buf;
+    }
+    if (e.param != 0) {
+      std::snprintf(buf, sizeof(buf), " param=%.3f", e.param);
+      out += buf;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+ChaosInjector::ChaosInjector(Simulation& sim, FaultSchedule schedule,
+                             ChaosHooks hooks)
+    : sim_(sim), schedule_(std::move(schedule)), hooks_(std::move(hooks)) {
+  for (const auto& e : schedule_.events()) {
+    sim_.at(std::max(e.at, sim_.now()), [this, &e] { apply(e); });
+  }
+}
+
+void ChaosInjector::apply(const FaultEvent& e) {
+  ++applied_;
+  Network& net = sim_.network();
+  switch (e.kind) {
+    case FaultKind::kCrash:
+      if (hooks_.crash) {
+        hooks_.crash(e.node);
+      } else {
+        sim_.node(e.node).crash();
+      }
+      break;
+    case FaultKind::kRestart:
+      if (hooks_.restart) {
+        hooks_.restart(e.node);
+      } else {
+        sim_.node(e.node).restart();
+      }
+      break;
+    case FaultKind::kCutPair:
+      net.cut_pair(e.node, e.peer);
+      break;
+    case FaultKind::kHealPair:
+      net.heal_pair(e.node, e.peer);
+      break;
+    case FaultKind::kCutRegions:
+      net.cut_regions(e.region_a, e.region_b);
+      break;
+    case FaultKind::kHealRegions:
+      net.heal_regions(e.region_a, e.region_b);
+      break;
+    case FaultKind::kDropStart:
+      net.set_drop_probability(e.param);
+      break;
+    case FaultKind::kDropEnd:
+      net.set_drop_probability(0);
+      break;
+    case FaultKind::kDiskSlow:
+      if (sim_.node(e.node).disk_count() > 0) {
+        sim_.node(e.node).disk(0).set_slowdown(e.param);
+      }
+      break;
+    case FaultKind::kDiskNormal:
+      if (sim_.node(e.node).disk_count() > 0) {
+        sim_.node(e.node).disk(0).set_slowdown(1.0);
+      }
+      break;
+    case FaultKind::kJitterSpike:
+      net.set_jitter_scale(e.param);
+      break;
+    case FaultKind::kJitterNormal:
+      net.set_jitter_scale(1.0);
+      break;
+  }
+  sim_.metrics().counter("chaos.faults_applied")++;
+}
+
+}  // namespace amcast::sim

@@ -1,0 +1,153 @@
+// Deterministic chaos harness: seed-driven fault schedules (VOPR-style).
+//
+// From a single 64-bit seed, FaultSchedule::generate derives a timeline of
+// crashes/restarts, link and region partitions with heals, drop-probability
+// windows, disk slowdowns, and network jitter spikes. Generation uses one
+// independent RNG stream per fault class (all split from the seed), so
+// enabling or re-rating one class never shifts another class's timeline —
+// the property that keeps regression seeds stable as options evolve.
+//
+// The schedule is data (inspectable, printable for replay); ChaosInjector
+// turns it into simulation events. Crash/restart go through caller hooks
+// because real deployments must also reconfigure ring membership (the
+// Zookeeper substitute) around a dead node; everything else applies
+// directly to the Network/Disk fault surfaces.
+//
+// Every fault heals by `horizon`: schedules end with a fully-connected,
+// all-alive world so invariant checkers can demand quiescent convergence.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/rng.h"
+#include "sim/network.h"
+
+namespace amcast::sim {
+
+class Simulation;
+
+enum class FaultKind {
+  kCrash,        // node: victim
+  kRestart,      // node: victim
+  kCutPair,      // node/peer: the two endpoints
+  kHealPair,     // node/peer
+  kCutRegions,   // region_a/region_b
+  kHealRegions,  // region_a/region_b
+  kDropStart,    // param: drop probability
+  kDropEnd,
+  kDiskSlow,    // node: owner, param: slowdown factor
+  kDiskNormal,  // node: owner
+  kJitterSpike,  // param: jitter scale
+  kJitterNormal,
+};
+
+const char* fault_kind_name(FaultKind k);
+
+struct FaultEvent {
+  Time at = 0;
+  FaultKind kind{};
+  ProcessId node = kInvalidProcess;  ///< victim / disk owner / pair endpoint
+  ProcessId peer = kInvalidProcess;  ///< second endpoint of a pair cut
+  RegionId region_a = -1;
+  RegionId region_b = -1;
+  double param = 0;  ///< drop probability / slowdown / jitter scale
+};
+
+/// Tunables for schedule generation. Rates are expected events per second
+/// of simulated time; 0 disables a fault class. Durations are sampled
+/// uniformly from [min, max].
+struct FaultScheduleOptions {
+  Time horizon = duration::seconds(2);  ///< all faults heal by this time
+
+  // Crash/restart. Only nodes in `crashable` are hit; at most
+  // `max_concurrent_crashes` are down at once (keep quorums alive).
+  std::vector<ProcessId> crashable;
+  double crash_rate_hz = 0;
+  int max_concurrent_crashes = 1;
+  Duration min_down = duration::milliseconds(100);
+  Duration max_down = duration::milliseconds(600);
+
+  // Pairwise link cuts between nodes.
+  std::vector<std::pair<ProcessId, ProcessId>> cuttable_pairs;
+  double cut_pair_rate_hz = 0;
+  Duration min_cut = duration::milliseconds(50);
+  Duration max_cut = duration::milliseconds(400);
+
+  // Region-level partitions.
+  std::vector<std::pair<RegionId, RegionId>> cuttable_region_links;
+  double cut_region_rate_hz = 0;
+  Duration min_region_cut = duration::milliseconds(50);
+  Duration max_region_cut = duration::milliseconds(400);
+
+  // Uniform drop-probability windows (one active at a time).
+  double drop_rate_hz = 0;
+  double drop_p_min = 0.01;
+  double drop_p_max = 0.2;
+  Duration min_drop = duration::milliseconds(50);
+  Duration max_drop = duration::milliseconds(300);
+
+  // Disk slowdown windows on nodes that own a disk.
+  std::vector<ProcessId> slowable_disks;
+  double disk_slow_rate_hz = 0;
+  double slow_factor_min = 2;
+  double slow_factor_max = 20;
+  Duration min_slow = duration::milliseconds(100);
+  Duration max_slow = duration::milliseconds(800);
+
+  // Jitter spikes (network-wide latency variance, one active at a time).
+  double jitter_rate_hz = 0;
+  double jitter_scale_min = 5;
+  double jitter_scale_max = 50;
+  Duration min_jitter = duration::milliseconds(50);
+  Duration max_jitter = duration::milliseconds(400);
+};
+
+class FaultSchedule {
+ public:
+  /// Derives the full fault timeline from `seed`. Deterministic: the same
+  /// (seed, options) always yields the same schedule.
+  static FaultSchedule generate(std::uint64_t seed,
+                                const FaultScheduleOptions& opts);
+
+  const std::vector<FaultEvent>& events() const { return events_; }
+  std::uint64_t seed() const { return seed_; }
+
+  /// Human-readable timeline ("12.3ms crash node 4", one line per event)
+  /// for seed-replay diagnostics.
+  std::string describe() const;
+
+ private:
+  std::uint64_t seed_ = 0;
+  std::vector<FaultEvent> events_;
+};
+
+/// Applies crash/restart events. The defaults just flip the sim::Node; real
+/// worlds install hooks that also reconfigure ring membership.
+struct ChaosHooks {
+  std::function<void(ProcessId)> crash;
+  std::function<void(ProcessId)> restart;
+};
+
+/// Schedules a FaultSchedule's events into a simulation. Keep alive until
+/// the run passes the schedule horizon.
+class ChaosInjector {
+ public:
+  ChaosInjector(Simulation& sim, FaultSchedule schedule, ChaosHooks hooks = {});
+
+  const FaultSchedule& schedule() const { return schedule_; }
+  std::int64_t faults_applied() const { return applied_; }
+
+ private:
+  void apply(const FaultEvent& e);
+
+  Simulation& sim_;
+  FaultSchedule schedule_;
+  ChaosHooks hooks_;
+  std::int64_t applied_ = 0;
+};
+
+}  // namespace amcast::sim

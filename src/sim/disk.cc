@@ -11,7 +11,12 @@ Disk::Disk(Simulation& sim, DiskParams params) : sim_(sim), params_(params) {}
 
 Duration Disk::service_time(std::size_t bytes) const {
   double transfer_ns = double(bytes) * 8.0 / params_.bandwidth_bps * 1e9;
-  return params_.positioning + Duration(transfer_ns);
+  return Duration((double(params_.positioning) + transfer_ns) * slowdown_);
+}
+
+void Disk::set_slowdown(double f) {
+  AMCAST_ASSERT(f >= 1.0);
+  slowdown_ = f;
 }
 
 void Disk::complete(std::size_t bytes, std::function<void()> cb) {

@@ -60,6 +60,13 @@ class Disk {
   /// Device busy seconds accumulated since start (for utilization reports).
   double busy_seconds() const { return busy_ns_ * 1e-9; }
 
+  /// Degrades (f > 1) or restores (f = 1) the device: every operation's
+  /// positioning and transfer time is scaled by `f`. Models a failing or
+  /// contended disk for the chaos harness; in-flight operations keep the
+  /// service time they were issued with.
+  void set_slowdown(double f);
+  double slowdown() const { return slowdown_; }
+
   const DiskParams& params() const { return params_; }
 
  private:
@@ -70,6 +77,7 @@ class Disk {
 
   Simulation& sim_;
   DiskParams params_;
+  double slowdown_ = 1.0;
   Time next_free_ = 0;
   std::size_t backlog_bytes_ = 0;
   std::size_t pending_async_ = 0;  ///< buffered, not yet issued to device

@@ -77,13 +77,55 @@ RegionId Network::region_of(ProcessId node) const {
   return it == regions_.end() ? 0 : it->second;
 }
 
+void Network::cut_pair(ProcessId a, ProcessId b) {
+  cut_pairs_.insert({std::min(a, b), std::max(a, b)});
+}
+
+void Network::heal_pair(ProcessId a, ProcessId b) {
+  cut_pairs_.erase({std::min(a, b), std::max(a, b)});
+}
+
+void Network::cut_regions(RegionId a, RegionId b) {
+  cut_region_links_.insert({std::min(a, b), std::max(a, b)});
+}
+
+void Network::heal_regions(RegionId a, RegionId b) {
+  cut_region_links_.erase({std::min(a, b), std::max(a, b)});
+}
+
+void Network::isolate(ProcessId node) { isolated_.insert(node); }
+
+void Network::heal_node(ProcessId node) { isolated_.erase(node); }
+
+void Network::heal_all() {
+  cut_pairs_.clear();
+  cut_region_links_.clear();
+  isolated_.clear();
+}
+
+bool Network::partitioned(ProcessId from, ProcessId to) const {
+  if (from == to) return false;  // loopback never partitions
+  if (cut_pairs_.empty() && cut_region_links_.empty() && isolated_.empty()) {
+    return false;
+  }
+  if (isolated_.count(from) || isolated_.count(to)) return true;
+  if (cut_pairs_.count({std::min(from, to), std::max(from, to)})) return true;
+  RegionId ra = region_of(from);
+  RegionId rb = region_of(to);
+  return cut_region_links_.count({std::min(ra, rb), std::max(ra, rb)}) > 0;
+}
+
 void Network::send(ProcessId from, ProcessId to, MessagePtr m) {
   AMCAST_ASSERT(m != nullptr);
   ++messages_sent_;
   std::size_t size = m->wire_size();
   bytes_sent_ += size;
 
-  if (drop_prob_ > 0 && sim_.rng().next_bool(drop_prob_)) return;
+  if (partitioned(from, to)) {
+    // A cut link carries nothing: no bandwidth, no delivery.
+    ++messages_dropped_;
+    return;
+  }
 
   if (from == to) {
     // Loopback: negligible latency, no bandwidth charge.
@@ -101,13 +143,24 @@ void Network::send(ProcessId from, ProcessId to, MessagePtr m) {
   Time depart = std::max(sim_.now(), chan.next_free) + Duration(tx_ns);
   chan.next_free = depart;
 
+  double jitter_bound = double(link.jitter) * jitter_scale_;
   Duration jitter =
-      link.jitter > 0 ? Duration(sim_.rng().next_u64(std::uint64_t(link.jitter)))
-                      : 0;
+      jitter_bound >= 1.0
+          ? Duration(sim_.rng().next_u64(std::uint64_t(jitter_bound)))
+          : 0;
   Time arrival = depart + link.latency + jitter;
   // TCP FIFO: never deliver before an earlier message on the same channel.
   arrival = std::max(arrival, chan.last_arrival);
   chan.last_arrival = arrival;
+
+  // Probabilistic drops model loss in flight: the bytes consumed sender
+  // bandwidth and a jitter draw like any other message — they just never
+  // arrive. Deciding from the dedicated fault RNG *after* the jitter draw
+  // keeps surviving messages' timing identical with drops on or off.
+  if (drop_prob_ > 0 && fault_rng_.next_bool(drop_prob_)) {
+    ++messages_dropped_;
+    return;
+  }
 
   Node& dst = sim_.node(to);
   sim_.at(arrival, [&dst, from, m = std::move(m)] { dst.deliver(from, m); });

@@ -5,15 +5,27 @@
 // between two nodes serializes transmissions at link bandwidth (so large
 // messages and bursts queue, as on a real NIC) and preserves FIFO order
 // (as TCP does). The paper's library is TCP-only (§7.1), so no loss is
-// modelled by default; a drop-probability hook exists for fault tests.
+// modelled by default; fault hooks exist for the chaos harness:
+//
+//  * a uniform drop probability (a "drop" means the bytes never arrive;
+//    protocol timeouts and retransmissions take over, as with a TCP reset);
+//  * link-level and region-level partitions (cut/heal) plus whole-node
+//    isolation — messages crossing a cut link are dropped;
+//  * a jitter scale factor modelling congestion-induced latency variance.
+//
+// All fault randomness draws from a dedicated RNG derived from the
+// simulation seed (not from the jitter RNG), so fault schedules are
+// bit-reproducible and toggling drops does not perturb link jitter.
 #pragma once
 
 #include <cstdint>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "common/ids.h"
+#include "common/rng.h"
 #include "sim/message.h"
 #include "sim/params.h"
 
@@ -58,7 +70,7 @@ class Network {
   RegionId region_of(ProcessId node) const;
 
   /// Sends a message; delivery is scheduled per the link model. Messages to
-  /// self are delivered after a minimal loopback delay.
+  /// self are delivered after a minimal loopback delay (never partitioned).
   void send(ProcessId from, ProcessId to, MessagePtr m);
 
   /// Sets a uniform drop probability (for fault-injection tests). TCP-like
@@ -66,10 +78,44 @@ class Network {
   /// retransmissions take over.
   void set_drop_probability(double p) { drop_prob_ = p; }
 
+  // --- partitions (chaos harness) -----------------------------------------
+  // Cuts are symmetric and compose: a message is dropped if its node pair,
+  // its region pair, or either endpoint's isolation is active.
+
+  /// Cuts/heals the bidirectional path between two specific nodes.
+  void cut_pair(ProcessId a, ProcessId b);
+  void heal_pair(ProcessId a, ProcessId b);
+
+  /// Cuts/heals all traffic between two regions (a == b cuts traffic among
+  /// distinct nodes within one region — a full switch outage).
+  void cut_regions(RegionId a, RegionId b);
+  void heal_regions(RegionId a, RegionId b);
+
+  /// Isolates a node from everything but itself (NIC death / gray failure).
+  void isolate(ProcessId node);
+  void heal_node(ProcessId node);
+
+  /// Removes every active cut and isolation.
+  void heal_all();
+
+  /// True when a message from `from` to `to` would currently be cut.
+  bool partitioned(ProcessId from, ProcessId to) const;
+
+  /// Scales link jitter (latency variance) by `f` >= 0; 1 restores normal.
+  void set_jitter_scale(double f) { jitter_scale_ = f; }
+  double jitter_scale() const { return jitter_scale_; }
+
+  /// Reseeds the fault RNG (drop decisions). Called by Simulation with a
+  /// seed derived from the simulation seed; the fault stream is independent
+  /// from the jitter stream so enabling faults keeps runs bit-reproducible.
+  void seed_faults(std::uint64_t seed) { fault_rng_.reseed(seed); }
+
   const Topology& topology() const { return topo_; }
 
   std::uint64_t messages_sent() const { return messages_sent_; }
   std::uint64_t bytes_sent() const { return bytes_sent_; }
+  /// Messages lost to the drop probability or to active partitions.
+  std::uint64_t messages_dropped() const { return messages_dropped_; }
 
  private:
   struct Channel {
@@ -82,8 +128,14 @@ class Network {
   std::map<ProcessId, RegionId> regions_;
   std::map<std::pair<ProcessId, ProcessId>, Channel> channels_;
   double drop_prob_ = 0;
+  double jitter_scale_ = 1.0;
+  std::set<std::pair<ProcessId, ProcessId>> cut_pairs_;
+  std::set<std::pair<RegionId, RegionId>> cut_region_links_;
+  std::set<ProcessId> isolated_;
+  Rng fault_rng_{0x9d8b4c6f2a53e1c7ULL};
   std::uint64_t messages_sent_ = 0;
   std::uint64_t bytes_sent_ = 0;
+  std::uint64_t messages_dropped_ = 0;
 };
 
 }  // namespace amcast::sim

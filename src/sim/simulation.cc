@@ -10,7 +10,13 @@ Simulation::Simulation(std::uint64_t seed)
 
 Simulation::Simulation(std::uint64_t seed, Topology topo)
     : network_(std::make_unique<Network>(*this, std::move(topo))),
-      rng_(seed) {}
+      rng_(seed),
+      seed_(seed) {
+  // The network's fault RNG derives from the same seed but is an
+  // independent stream: chaos drop decisions never perturb link jitter.
+  std::uint64_t sm = seed ^ 0xfa517b0c5eedULL;
+  network_->seed_faults(splitmix64(sm));
+}
 
 Simulation::~Simulation() = default;
 

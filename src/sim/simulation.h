@@ -61,6 +61,9 @@ class Simulation {
   Metrics& metrics() { return metrics_; }
   Rng& rng() { return rng_; }
 
+  /// The seed this simulation was constructed with (chaos replay reporting).
+  std::uint64_t seed() const { return seed_; }
+
  private:
   struct Event {
     Time t;
@@ -83,6 +86,7 @@ class Simulation {
   std::unique_ptr<Network> network_;
   Metrics metrics_;
   Rng rng_;
+  std::uint64_t seed_ = 0;
 };
 
 }  // namespace amcast::sim

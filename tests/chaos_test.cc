@@ -1,0 +1,348 @@
+// Deterministic chaos harness tests: seed sweeps over the chaos world
+// configurations (src/chaos/worlds.h) with all four invariant checkers
+// (validity/integrity, merge determinism, pairwise order, agreement/
+// gap-freedom), a pinned regression corpus of previously-failing seeds,
+// determinism regressions (same seed => identical transcript), and unit
+// tests for the FaultSchedule generator and the InvariantChecker itself.
+//
+// A failing sweep case prints the reproducing seed and the replay command:
+//   ./build/bench/chaos_runner --config <name> --seed <seed>
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "chaos/worlds.h"
+#include "core/invariants.h"
+#include "sim/chaos.h"
+
+namespace amcast {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Seed sweeps + regression corpus.
+// ---------------------------------------------------------------------------
+
+struct ChaosCase {
+  const char* config;
+  std::uint64_t seed;
+};
+
+std::string case_name(const testing::TestParamInfo<ChaosCase>& info) {
+  std::string c = info.param.config;
+  for (auto& ch : c) {
+    if (ch == '-') ch = '_';
+  }
+  return c + "_seed" + std::to_string(info.param.seed);
+}
+
+class ChaosSweep : public testing::TestWithParam<ChaosCase> {};
+
+TEST_P(ChaosSweep, InvariantsHoldUnderFaults) {
+  chaos::WorldResult r =
+      chaos::run_world(GetParam().config, GetParam().seed);
+  std::string detail;
+  for (const auto& v : r.violations) detail += "  violation: " + v + "\n";
+  EXPECT_TRUE(r.ok()) << "config=" << r.config << " seed=" << r.seed
+                      << "\nreplay: ./build/bench/chaos_runner --config "
+                      << r.config << " --seed " << r.seed << "\n"
+                      << detail << "fault timeline:\n"
+                      << r.fault_timeline;
+  // The run must have actually exercised something.
+  EXPECT_GT(r.deliveries, 0);
+  EXPECT_GT(r.faults, 0) << "seed produced an empty fault schedule";
+}
+
+std::vector<ChaosCase> sweep(const char* config, std::uint64_t from,
+                             std::uint64_t to) {
+  std::vector<ChaosCase> out;
+  for (std::uint64_t s = from; s <= to; ++s) out.push_back({config, s});
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(SingleRing, ChaosSweep,
+                         testing::ValuesIn(sweep("single-ring", 1, 80)),
+                         case_name);
+INSTANTIATE_TEST_SUITE_P(MultiRing, ChaosSweep,
+                         testing::ValuesIn(sweep("multi-ring", 1, 80)),
+                         case_name);
+INSTANTIATE_TEST_SUITE_P(Kvstore, ChaosSweep,
+                         testing::ValuesIn(sweep("kvstore", 1, 50)),
+                         case_name);
+INSTANTIATE_TEST_SUITE_P(Dlog, ChaosSweep,
+                         testing::ValuesIn(sweep("dlog", 1, 40)),
+                         case_name);
+
+// Pinned corpus: every seed here reproduced a real bug when it was found.
+// Keep them forever — they are the cheapest re-check of the exact fault
+// interleavings that broke the protocol before.
+//
+//  * single-ring 25/35/74/81/93, multi-ring 5/29/66/99 — stale-round values:
+//    acceptors marked lower-round log entries decided on seeing a Decision
+//    (storage round guard), learners kept first-seen values across
+//    coordinator changes (round-aware note_value/note_decided), Phase 1
+//    re-drove stale votes into decided spans (interval-resolved
+//    finish_phase1), and overlapping log ranges corrupted retransmission
+//    (AcceptorStorage::carve).
+//  * single-ring 2/7/27/29/36/48, multi-ring 2/4/10/11/13/16/27/32 —
+//    liveness: abandoned-instance holes after coordinator crashes
+//    (fill_abandoned_holes), Phase 1 stuck on lost 1A/1B (phase1 retry),
+//    duplicate-counted Phase 1B promises, learner stalls on lost decisions
+//    (gap repair).
+//  * kvstore 2/17/23 — recovery hung forever when the checkpoint query or
+//    the fetched state was lost (query-round retry).
+//  * kvstore 72/96 — trim outran a partitioned live replica's cursor
+//    (escalation to checkpoint recovery via on_gap_unrecoverable).
+INSTANTIATE_TEST_SUITE_P(
+    RegressionCorpus, ChaosSweep,
+    testing::Values(ChaosCase{"single-ring", 2}, ChaosCase{"single-ring", 7},
+                    ChaosCase{"single-ring", 25}, ChaosCase{"single-ring", 27},
+                    ChaosCase{"single-ring", 29}, ChaosCase{"single-ring", 35},
+                    ChaosCase{"single-ring", 36}, ChaosCase{"single-ring", 48},
+                    ChaosCase{"single-ring", 74}, ChaosCase{"single-ring", 81},
+                    ChaosCase{"single-ring", 93}, ChaosCase{"multi-ring", 2},
+                    ChaosCase{"multi-ring", 4}, ChaosCase{"multi-ring", 5},
+                    ChaosCase{"multi-ring", 10}, ChaosCase{"multi-ring", 11},
+                    ChaosCase{"multi-ring", 13}, ChaosCase{"multi-ring", 16},
+                    ChaosCase{"multi-ring", 27}, ChaosCase{"multi-ring", 29},
+                    ChaosCase{"multi-ring", 32}, ChaosCase{"multi-ring", 66},
+                    ChaosCase{"multi-ring", 99}, ChaosCase{"kvstore", 2},
+                    ChaosCase{"kvstore", 17}, ChaosCase{"kvstore", 23},
+                    ChaosCase{"kvstore", 72}, ChaosCase{"kvstore", 96}),
+    case_name);
+
+// ---------------------------------------------------------------------------
+// Determinism regression (satellite of the RNG plumbing): the same seed
+// must reproduce the identical world — same fault timeline, same number of
+// deliveries, and the same order-sensitive transcript hash.
+// ---------------------------------------------------------------------------
+
+class ChaosDeterminism : public testing::TestWithParam<const char*> {};
+
+TEST_P(ChaosDeterminism, SameSeedSameTranscript) {
+  chaos::WorldResult a = chaos::run_world(GetParam(), 11);
+  chaos::WorldResult b = chaos::run_world(GetParam(), 11);
+  EXPECT_EQ(a.fault_timeline, b.fault_timeline);
+  EXPECT_EQ(a.deliveries, b.deliveries);
+  EXPECT_EQ(a.transcript_hash, b.transcript_hash);
+  EXPECT_EQ(a.violations, b.violations);
+
+  // And a different seed must actually produce a different world.
+  chaos::WorldResult c = chaos::run_world(GetParam(), 12);
+  EXPECT_NE(a.transcript_hash, c.transcript_hash);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllConfigs, ChaosDeterminism,
+                         testing::Values("single-ring", "multi-ring",
+                                         "kvstore", "dlog"),
+                         [](const testing::TestParamInfo<const char*>& i) {
+                           std::string c = i.param;
+                           for (auto& ch : c) {
+                             if (ch == '-') ch = '_';
+                           }
+                           return c;
+                         });
+
+// ---------------------------------------------------------------------------
+// FaultSchedule generator units.
+// ---------------------------------------------------------------------------
+
+sim::FaultScheduleOptions all_fault_options() {
+  sim::FaultScheduleOptions fo;
+  fo.horizon = duration::seconds(1);
+  fo.crashable = {0, 1, 2, 3};
+  fo.crash_rate_hz = 4;
+  fo.cuttable_pairs = {{0, 1}, {1, 2}, {2, 3}};
+  fo.cut_pair_rate_hz = 4;
+  fo.cuttable_region_links = {{0, 1}};
+  fo.cut_region_rate_hz = 2;
+  fo.drop_rate_hz = 2;
+  fo.slowable_disks = {0, 1};
+  fo.disk_slow_rate_hz = 2;
+  fo.jitter_rate_hz = 2;
+  return fo;
+}
+
+TEST(FaultSchedule, DeterministicFromSeed) {
+  auto fo = all_fault_options();
+  auto a = sim::FaultSchedule::generate(42, fo);
+  auto b = sim::FaultSchedule::generate(42, fo);
+  EXPECT_EQ(a.describe(), b.describe());
+  EXPECT_FALSE(a.events().empty());
+  auto c = sim::FaultSchedule::generate(43, fo);
+  EXPECT_NE(a.describe(), c.describe());
+}
+
+TEST(FaultSchedule, EverythingHealsByHorizon) {
+  auto fo = all_fault_options();
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    auto s = sim::FaultSchedule::generate(seed, fo);
+    int crashed = 0, cut = 0, dropping = 0, slow = 0, jitter = 0;
+    for (const auto& e : s.events()) {
+      EXPECT_LE(e.at, fo.horizon);
+      switch (e.kind) {
+        case sim::FaultKind::kCrash: ++crashed; break;
+        case sim::FaultKind::kRestart: --crashed; break;
+        case sim::FaultKind::kCutPair:
+        case sim::FaultKind::kCutRegions: ++cut; break;
+        case sim::FaultKind::kHealPair:
+        case sim::FaultKind::kHealRegions: --cut; break;
+        case sim::FaultKind::kDropStart: ++dropping; break;
+        case sim::FaultKind::kDropEnd: --dropping; break;
+        case sim::FaultKind::kDiskSlow: ++slow; break;
+        case sim::FaultKind::kDiskNormal: --slow; break;
+        case sim::FaultKind::kJitterSpike: ++jitter; break;
+        case sim::FaultKind::kJitterNormal: --jitter; break;
+      }
+    }
+    EXPECT_EQ(crashed, 0) << "seed " << seed << ": unhealed crash";
+    EXPECT_EQ(cut, 0) << "seed " << seed << ": unhealed partition";
+    EXPECT_EQ(dropping, 0) << "seed " << seed << ": unhealed drop window";
+    EXPECT_EQ(slow, 0) << "seed " << seed << ": unhealed disk slowdown";
+    EXPECT_EQ(jitter, 0) << "seed " << seed << ": unhealed jitter spike";
+  }
+}
+
+TEST(FaultSchedule, FaultClassesUseIndependentStreams) {
+  // Disabling one class must not shift another class's timeline — this is
+  // what keeps regression seeds stable as options evolve.
+  auto fo = all_fault_options();
+  auto with_disk = sim::FaultSchedule::generate(7, fo);
+  fo.disk_slow_rate_hz = 0;
+  auto without_disk = sim::FaultSchedule::generate(7, fo);
+  auto crashes_of = [](const sim::FaultSchedule& s) {
+    std::vector<std::pair<Time, ProcessId>> out;
+    for (const auto& e : s.events()) {
+      if (e.kind == sim::FaultKind::kCrash) out.emplace_back(e.at, e.node);
+    }
+    return out;
+  };
+  EXPECT_EQ(crashes_of(with_disk), crashes_of(without_disk));
+}
+
+TEST(FaultSchedule, RespectsMaxConcurrentCrashes) {
+  auto fo = all_fault_options();
+  fo.crash_rate_hz = 50;  // far more arrivals than allowed concurrency
+  fo.max_concurrent_crashes = 1;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    auto s = sim::FaultSchedule::generate(seed, fo);
+    int down = 0;
+    for (const auto& e : s.events()) {
+      if (e.kind == sim::FaultKind::kCrash) {
+        EXPECT_LT(down, 1) << "two nodes down at once, seed " << seed;
+        ++down;
+      } else if (e.kind == sim::FaultKind::kRestart) {
+        --down;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// InvariantChecker units: each checker must actually be able to fail.
+// ---------------------------------------------------------------------------
+
+TEST(InvariantChecker, CleanRunPasses) {
+  core::InvariantChecker c;
+  c.register_learner(1, {0});
+  c.register_learner(2, {0});
+  c.record_multicast(0, 100);
+  c.record_multicast(0, 101);
+  for (ProcessId p : {1, 2}) {
+    c.record_delivery(p, 0, 100);
+    c.record_delivery(p, 0, 101);
+  }
+  c.check_final();
+  EXPECT_TRUE(c.ok()) << c.violations()[0];
+  EXPECT_EQ(c.total_deliveries(), 4);
+}
+
+TEST(InvariantChecker, DetectsValidityViolation) {
+  core::InvariantChecker c;
+  c.register_learner(1, {0});
+  c.record_delivery(1, 0, 999);  // never multicast
+  EXPECT_FALSE(c.ok());
+  EXPECT_NE(c.violations()[0].find("validity"), std::string::npos);
+}
+
+TEST(InvariantChecker, DetectsDuplicateDelivery) {
+  core::InvariantChecker c;
+  c.register_learner(1, {0});
+  c.record_multicast(0, 100);
+  c.record_delivery(1, 0, 100);
+  c.record_delivery(1, 0, 100);
+  EXPECT_FALSE(c.ok());
+  EXPECT_NE(c.violations()[0].find("integrity"), std::string::npos);
+}
+
+TEST(InvariantChecker, DetectsMergeDeterminismViolationAtTheStep) {
+  core::InvariantChecker c;
+  c.register_learner(1, {0, 1});
+  c.register_learner(2, {0, 1});
+  c.record_multicast(0, 100);
+  c.record_multicast(1, 200);
+  c.record_delivery(1, 0, 100);
+  c.record_delivery(1, 1, 200);
+  c.record_delivery(2, 0, 100);
+  EXPECT_TRUE(c.ok());
+  c.record_delivery(2, 1, 200);
+  EXPECT_TRUE(c.ok());
+
+  core::InvariantChecker d;
+  d.register_learner(1, {0, 1});
+  d.register_learner(2, {0, 1});
+  d.record_multicast(0, 100);
+  d.record_multicast(1, 200);
+  d.record_delivery(1, 0, 100);
+  d.record_delivery(2, 1, 200);  // diverges at index 0, caught immediately
+  EXPECT_FALSE(d.ok());
+  EXPECT_NE(d.violations()[0].find("determinism"), std::string::npos);
+}
+
+TEST(InvariantChecker, DetectsPairwiseOrderViolationAcrossClasses) {
+  core::InvariantChecker c;
+  c.register_learner(1, {0, 1});  // different subscription classes:
+  c.register_learner(2, {1, 2});  // only group 1 is common
+  c.record_multicast(1, 100);
+  c.record_multicast(1, 101);
+  c.record_delivery(1, 1, 100);
+  c.record_delivery(1, 1, 101);
+  c.record_delivery(2, 1, 101);  // opposite relative order
+  c.record_delivery(2, 1, 100);
+  c.check_final();
+  EXPECT_FALSE(c.ok());
+  bool found = false;
+  for (const auto& v : c.violations()) {
+    if (v.find("pairwise order") != std::string::npos) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(InvariantChecker, DetectsGapAtQuiescence) {
+  core::InvariantChecker c;
+  c.register_learner(1, {0});
+  c.record_multicast(0, 100);
+  c.record_multicast(0, 101);
+  c.record_delivery(1, 0, 100);  // 101 never delivered
+  c.check_final();
+  EXPECT_FALSE(c.ok());
+  bool found = false;
+  for (const auto& v : c.violations()) {
+    if (v.find("gap") != std::string::npos) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(InvariantChecker, ExcludedLearnerSkipsCrossChecksButHashesDiffer) {
+  core::InvariantChecker c;
+  c.register_learner(1, {0});
+  c.register_learner(2, {0});
+  c.record_multicast(0, 100);
+  c.record_delivery(1, 0, 100);
+  c.exclude(2);  // crashed learner without a transcript-carrying snapshot
+  c.check_final();
+  EXPECT_TRUE(c.ok()) << c.violations()[0];
+}
+
+}  // namespace
+}  // namespace amcast

@@ -3,6 +3,7 @@
 // parameters, storage modes, and crash points.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
 #include <memory>
 #include <set>
@@ -245,6 +246,269 @@ INSTANTIATE_TEST_SUITE_P(CrashPoints, RecoveryProperties,
                          testing::Values(150, 400, 800, 1300, 2100),
                          [](const testing::TestParamInfo<int>& i) {
                            return "crash_at_" + std::to_string(i.param) + "ms";
+                         });
+
+// ---------------------------------------------------------------------------
+// Recovery under value batching: learner checkpoint + restart mid-stream
+// with batch envelopes in flight. The checkpoint tuple is cut at a merge
+// boundary between envelopes; catch-up replays envelopes from the acceptor
+// logs across that cursor, and the recovered replica must unbatch them
+// into exactly the survivors' applied sequence.
+// ---------------------------------------------------------------------------
+
+class BatchedRecoveryProperties : public testing::TestWithParam<int> {};
+
+TEST_P(BatchedRecoveryProperties, RecoveredReplicaMatchesSurvivors) {
+  int crash_at_ms = GetParam();
+  sim::Simulation sim(std::uint64_t(crash_at_ms) * 131 + 3);
+  ConfigRegistry registry;
+
+  std::vector<ProcessId> acceptors;
+  for (int i = 0; i < 3; ++i) {
+    auto n = std::make_unique<MulticastNode>(registry);
+    n->add_disk(sim::Presets::ssd());
+    acceptors.push_back(sim.add_node(std::move(n)));
+  }
+  std::vector<SequenceReplica*> reps;
+  std::vector<ProcessId> rep_ids;
+  std::vector<ProcessId> members = acceptors;
+  for (int i = 0; i < 3; ++i) {
+    ReplicaOptions ro;
+    // Frequent checkpoints so the crash lands between two of them and the
+    // catch-up replay crosses the checkpoint cursor mid-stream.
+    ro.checkpoint_interval = duration::milliseconds(300);
+    auto n = std::make_unique<SequenceReplica>(registry, ro);
+    n->add_disk(sim::Presets::ssd());
+    reps.push_back(n.get());
+    ProcessId pid = sim.add_node(std::move(n));
+    rep_ids.push_back(pid);
+    members.push_back(pid);
+  }
+  for (auto* r : reps) r->set_partition(rep_ids);
+  GroupId ring = registry.create_ring(members, acceptors, acceptors[0]);
+
+  RingOptions ro;
+  ro.storage.mode = StorageOptions::Mode::kAsyncDisk;
+  ro.lambda = 1000;
+  ro.batch_values = 8;
+  ro.batch_delay = duration::microseconds(300);
+  for (ProcessId a : acceptors) {
+    static_cast<MulticastNode&>(sim.node(a)).join_only(ring, ro);
+  }
+  MergeOptions mo;
+  mo.m = 2;
+  for (auto* r : reps) {
+    r->subscribe(ring, ro, mo);
+    r->start_checkpointing();
+  }
+
+  auto client = std::make_unique<MulticastNode>(registry);
+  MulticastNode* cp = client.get();
+  sim.add_node(std::move(client));
+  // Bursty load so the coordinator actually forms multi-value envelopes.
+  for (int i = 0; i < 400; ++i) {
+    Time when = duration::milliseconds(10) + duration::milliseconds(5) * (i / 4);
+    sim.at(when, [cp, ring] { cp->multicast(ring, 96); });
+  }
+
+  sim.run_until(duration::milliseconds(crash_at_ms));
+  sim.node(rep_ids[1]).crash();
+  registry.remove_member(ring, rep_ids[1]);
+  sim.run_until(sim.now() + duration::milliseconds(400));
+  registry.add_member(ring, rep_ids[1], false);
+  sim.node(rep_ids[1]).restart();
+
+  sim.run_until(duration::seconds(6));
+
+  EXPECT_FALSE(reps[1]->recovering());
+  ASSERT_EQ(reps[0]->applied.size(), 400u);
+  EXPECT_EQ(reps[1]->applied, reps[0]->applied);
+  EXPECT_EQ(reps[2]->applied, reps[0]->applied);
+}
+
+INSTANTIATE_TEST_SUITE_P(CrashPoints, BatchedRecoveryProperties,
+                         testing::Values(120, 260, 410, 590),
+                         [](const testing::TestParamInfo<int>& i) {
+                           return "crash_at_" + std::to_string(i.param) + "ms";
+                         });
+
+// ---------------------------------------------------------------------------
+// Batching on/off delivers the identical per-learner per-group order: value
+// batching packs the same per-ring streams into fewer instances, so each
+// group's projected delivery sequence must be unchanged under randomized
+// proposal schedules. (The cross-group interleaving may differ — an
+// envelope moves many values through one merge turn — which is why the
+// property is per group, the order the service layers rely on.)
+// ---------------------------------------------------------------------------
+
+class BatchingOrderProperties : public testing::TestWithParam<std::uint64_t> {
+ protected:
+  /// Runs a 3-node, 2-group world with the given batching config and the
+  /// seed-derived proposal schedule; returns per-learner per-group
+  /// delivery sequences.
+  using GroupSeqs = std::map<std::pair<int, GroupId>, std::vector<MessageId>>;
+  GroupSeqs run_world(int batch_values) {
+    std::uint64_t seed = GetParam();
+    sim::Simulation sim(seed);
+    ConfigRegistry registry;
+    std::vector<MulticastNode*> nodes;
+    std::vector<ProcessId> ids;
+    for (int i = 0; i < 3; ++i) {
+      auto n = std::make_unique<MulticastNode>(registry);
+      nodes.push_back(n.get());
+      ids.push_back(sim.add_node(std::move(n)));
+    }
+    std::vector<GroupId> gs;
+    gs.push_back(registry.create_ring(ids, ids, ids[0]));
+    gs.push_back(registry.create_ring(ids, ids, ids[1]));
+    RingOptions ro;
+    ro.lambda = 2000;
+    ro.batch_values = batch_values;
+    ro.batch_delay = duration::microseconds(300);
+    GroupSeqs seqs;
+    for (int i = 0; i < 3; ++i) {
+      for (GroupId g : gs) nodes[std::size_t(i)]->subscribe(g, ro);
+      nodes[std::size_t(i)]->set_deliver(
+          [&seqs, i](GroupId g, const ringpaxos::ValuePtr& v) {
+            seqs[{i, g}].push_back(v->msg_id);
+          });
+    }
+    // One proposer: batching changes packet sizes and thus how concurrent
+    // proposers' messages race to the coordinator, which legitimately
+    // reorders proposals. With a single proposer the per-ring proposal
+    // order is fixed (FIFO channels), so the decide order must match.
+    Rng rng(seed ^ 0xba7c4);
+    sim.run_until(duration::milliseconds(10));
+    MulticastNode* proposer = nodes[0];
+    std::vector<std::pair<Time, GroupId>> plan;
+    for (int k = 0; k < 150; ++k) {
+      plan.emplace_back(sim.now() + Duration(rng.next_u64(1'500'000)),
+                        gs[rng.next_u64(2)]);
+    }
+    std::sort(plan.begin(), plan.end());
+    for (const auto& [when, g] : plan) {
+      sim.at(when, [proposer, g] { proposer->multicast(g, 80); });
+    }
+    sim.run_until(sim.now() + duration::seconds(4));
+    return seqs;
+  }
+};
+
+TEST_P(BatchingOrderProperties, BatchingPreservesPerGroupOrder) {
+  GroupSeqs unbatched = run_world(1);
+  GroupSeqs batched = run_world(16);
+  ASSERT_EQ(unbatched.size(), batched.size());
+  std::size_t learner0_total = 0;
+  for (const auto& [key, seq] : unbatched) {
+    if (key.first == 0) learner0_total += seq.size();
+    EXPECT_EQ(batched.at(key), seq)
+        << "learner " << key.first << " group " << key.second
+        << " order differs with batching on";
+  }
+  EXPECT_EQ(learner0_total, 150u);  // every multicast delivered
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BatchingOrderProperties,
+                         testing::Values(21, 22, 23, 24, 25, 26),
+                         [](const testing::TestParamInfo<std::uint64_t>& i) {
+                           return "seed" + std::to_string(i.param);
+                         });
+
+// ---------------------------------------------------------------------------
+// Trim safety: under aggressive checkpoint/trim cadence and randomized
+// load, an acceptor never discards an instance that no durable checkpoint
+// covers — and a replica that lags behind the trim point recovers through
+// a checkpoint rather than losing deliveries.
+// ---------------------------------------------------------------------------
+
+class TrimProperties : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TrimProperties, TrimNeverOutrunsDurableCheckpoints) {
+  std::uint64_t seed = GetParam();
+  sim::Simulation sim(seed);
+  ConfigRegistry registry;
+
+  std::vector<ProcessId> acceptors;
+  for (int i = 0; i < 3; ++i) {
+    auto n = std::make_unique<MulticastNode>(registry);
+    n->add_disk(sim::Presets::ssd());
+    acceptors.push_back(sim.add_node(std::move(n)));
+  }
+  std::vector<SequenceReplica*> reps;
+  std::vector<ProcessId> rep_ids;
+  std::vector<ProcessId> members = acceptors;
+  for (int i = 0; i < 3; ++i) {
+    ReplicaOptions ro;
+    ro.checkpoint_interval = duration::milliseconds(200);
+    auto n = std::make_unique<SequenceReplica>(registry, ro);
+    n->add_disk(sim::Presets::ssd());
+    reps.push_back(n.get());
+    ProcessId pid = sim.add_node(std::move(n));
+    rep_ids.push_back(pid);
+    members.push_back(pid);
+  }
+  for (auto* r : reps) r->set_partition(rep_ids);
+  GroupId ring = registry.create_ring(members, acceptors, acceptors[0]);
+
+  RingOptions ro;
+  ro.storage.mode = StorageOptions::Mode::kAsyncDisk;
+  ro.lambda = 1000;
+  for (ProcessId a : acceptors) {
+    static_cast<MulticastNode&>(sim.node(a)).join_only(ring, ro);
+  }
+  for (auto* r : reps) {
+    r->subscribe(ring, ro);
+    r->start_checkpointing();
+  }
+  TrimOptions to;
+  to.interval = duration::milliseconds(300);  // aggressive
+  to.partitions = {rep_ids};
+  static_cast<MulticastNode&>(sim.node(acceptors[0])).enable_trim(ring, to);
+
+  auto client = std::make_unique<MulticastNode>(registry);
+  MulticastNode* cp = client.get();
+  sim.add_node(std::move(client));
+  Rng rng(seed ^ 0x7a1);
+  for (int i = 0; i < 600; ++i) {
+    Time when = duration::milliseconds(10) + Duration(rng.next_u64(3'000'000'000ULL));
+    sim.at(when, [cp, ring] { cp->multicast(ring, 128); });
+  }
+
+  // Sampled invariant: everything an acceptor discarded is covered by some
+  // replica's durable checkpoint (trim_next = min over a checkpoint
+  // quorum's safe_next, so the max durable cursor bounds it from above).
+  for (int step = 1; step <= 40; ++step) {
+    sim.run_until(duration::milliseconds(100) * step);
+    InstanceId max_durable = 0;
+    for (auto* r : reps) {
+      const Snapshot& s = r->last_durable_checkpoint();
+      if (!s.valid()) continue;
+      for (std::size_t i = 0; i < s.tuple.groups.size(); ++i) {
+        if (s.tuple.groups[i] == ring) {
+          max_durable = std::max(max_durable, s.tuple.next[i]);
+        }
+      }
+    }
+    for (ProcessId a : acceptors) {
+      const auto* st = static_cast<MulticastNode&>(sim.node(a)).storage_view(ring);
+      ASSERT_NE(st, nullptr);
+      EXPECT_LE(st->first_retained(), max_durable)
+          << "acceptor " << a << " trimmed an instance no durable "
+          << "checkpoint covers (step " << step << ")";
+    }
+  }
+
+  // And no replica lost a delivery to trimming: all applied every value.
+  sim.run_until(duration::seconds(8));
+  ASSERT_EQ(reps[0]->applied.size(), 600u);
+  EXPECT_EQ(reps[1]->applied, reps[0]->applied);
+  EXPECT_EQ(reps[2]->applied, reps[0]->applied);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TrimProperties,
+                         testing::Values(31, 32, 33, 34),
+                         [](const testing::TestParamInfo<std::uint64_t>& i) {
+                           return "seed" + std::to_string(i.param);
                          });
 
 }  // namespace

@@ -267,7 +267,7 @@ TEST(AcceptorStorageBytes, TrimSubtractsErasedEntries) {
   AcceptorStorage st(StorageOptions{}, nullptr);
   for (InstanceId i = 0; i < 10; ++i) {
     st.store_vote(i, 1, 0, make_value(0, MessageId(i + 1), 0, 0, 100), [] {});
-    st.mark_decided(i, 1);
+    st.mark_decided(i, 1, 0);
   }
   std::size_t full = st.logged_bytes();
   EXPECT_GT(full, 0u);

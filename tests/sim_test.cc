@@ -235,5 +235,117 @@ TEST(Cpu, CostFactorScalesPerByteCost) {
   EXPECT_NEAR(busy, 2.0 * (30e-6 + 2e-9 * 100000), 5e-6);
 }
 
+// --- chaos fault surfaces ---------------------------------------------------
+
+TEST(Network, PairCutDropsAndHealRestores) {
+  Simulation s;
+  auto a = s.add_node(std::make_unique<Probe>());
+  auto probe = std::make_unique<Probe>();
+  Probe* pb = probe.get();
+  auto b = s.add_node(std::move(probe));
+  s.network().cut_pair(a, b);
+  EXPECT_TRUE(s.network().partitioned(a, b));
+  EXPECT_TRUE(s.network().partitioned(b, a));  // cuts are symmetric
+  s.network().send(a, b, std::make_shared<Blob>(8));
+  s.run();
+  EXPECT_TRUE(pb->arrivals.empty());
+  EXPECT_EQ(s.network().messages_dropped(), 1u);
+
+  s.network().heal_pair(b, a);
+  s.network().send(a, b, std::make_shared<Blob>(8));
+  s.run();
+  EXPECT_EQ(pb->arrivals.size(), 1u);
+}
+
+TEST(Network, RegionCutAndIsolationCompose) {
+  Simulation s(1, Topology::ec2_four_regions());
+  auto a = s.add_node(std::make_unique<Probe>());
+  auto b = s.add_node(std::make_unique<Probe>());
+  auto c = s.add_node(std::make_unique<Probe>());
+  s.network().place(a, 0);
+  s.network().place(b, 1);
+  s.network().place(c, 1);
+  s.network().cut_regions(0, 1);
+  EXPECT_TRUE(s.network().partitioned(a, b));
+  EXPECT_FALSE(s.network().partitioned(b, c));  // intra-region unaffected
+  s.network().isolate(c);
+  EXPECT_TRUE(s.network().partitioned(b, c));
+  EXPECT_FALSE(s.network().partitioned(c, c));  // loopback never partitions
+  s.network().heal_all();
+  EXPECT_FALSE(s.network().partitioned(a, b));
+  EXPECT_FALSE(s.network().partitioned(b, c));
+}
+
+TEST(Network, JitterScaleStretchesLatencyVariance) {
+  // With jitter scaled far up, two identical sends (fresh channels) spread
+  // across a visibly wider arrival range than the base jitter allows.
+  Simulation s;
+  auto a = s.add_node(std::make_unique<Probe>());
+  auto probe = std::make_unique<Probe>();
+  Probe* pb = probe.get();
+  auto b = s.add_node(std::move(probe));
+  s.network().set_jitter_scale(1000.0);  // lan jitter 5us -> up to 5ms
+  for (int i = 0; i < 32; ++i) {
+    s.network().send(a, b, std::make_shared<Blob>(8));
+  }
+  s.run();
+  ASSERT_EQ(pb->arrivals.size(), 32u);
+  Time last = pb->arrivals.back().first;
+  EXPECT_GT(last, duration::microseconds(100));  // far past base latency+jitter
+  s.network().set_jitter_scale(1.0);
+}
+
+TEST(Network, DropDecisionsDoNotPerturbJitterStream) {
+  // Same seed, drops on vs off: the messages that DO arrive must arrive at
+  // identical times, because drop decisions draw from the dedicated fault
+  // RNG, not the jitter RNG.
+  auto run = [](double drop) {
+    Simulation s(77);
+    auto a = s.add_node(std::make_unique<Probe>());
+    auto probe = std::make_unique<Probe>();
+    Probe* pb = probe.get();
+    auto b = s.add_node(std::move(probe));
+    s.network().set_drop_probability(drop);
+    for (int i = 0; i < 64; ++i) {
+      s.at(duration::milliseconds(i + 1),
+           [&s, a, b] { s.network().send(a, b, std::make_shared<Blob>(8)); });
+    }
+    s.run();
+    return pb->arrivals;
+  };
+  auto clean = run(0);
+  auto faulty = run(0.3);
+  ASSERT_EQ(clean.size(), 64u);
+  EXPECT_LT(faulty.size(), clean.size());
+  EXPECT_FALSE(faulty.empty());
+  // Every surviving arrival time appears identically in the clean run.
+  std::size_t ci = 0;
+  for (const auto& arr : faulty) {
+    while (ci < clean.size() && clean[ci].first != arr.first) ++ci;
+    ASSERT_LT(ci, clean.size()) << "surviving message shifted in time";
+    ++ci;
+  }
+}
+
+TEST(Disk, SlowdownScalesServiceTimeAndRestores) {
+  Simulation s;
+  Disk d(s, Presets::ssd());
+  Time normal = -1;
+  d.write(1 << 20, [&] { normal = s.now(); });
+  s.run();
+  Time t0 = s.now();
+  d.set_slowdown(10.0);
+  Time slow = -1;
+  d.write(1 << 20, [&] { slow = s.now(); });
+  s.run();
+  EXPECT_NEAR(double(slow - t0), 10.0 * double(normal), double(normal));
+  d.set_slowdown(1.0);
+  Time t1 = s.now();
+  Time again = -1;
+  d.write(1 << 20, [&] { again = s.now(); });
+  s.run();
+  EXPECT_NEAR(double(again - t1), double(normal), double(normal) * 0.01);
+}
+
 }  // namespace
 }  // namespace amcast::sim
