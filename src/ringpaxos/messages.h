@@ -83,17 +83,29 @@ struct Phase1BMsg final : sim::Message {
   /// decision); the log end keeps the new coordinator from re-proposing a
   /// fresh value into such an instance.
   InstanceId log_end = 0;
+  /// This acceptor's first retained instance. The trim protocol only trims
+  /// decided prefixes, so a trimmed prefix is decided even though it
+  /// appears in neither `decided` nor `accepted`; without this field a new
+  /// coordinator lagging behind the trim point would see the trimmed span
+  /// as an abandoned hole and re-decide it with skips. Memory-mode slot
+  /// eviction also advances first_retained, possibly past undecided
+  /// entries; counting those as covered too is deliberately conservative —
+  /// an evicted instance cannot be proven unchosen, so re-driving it risks
+  /// the same agreement violation, while a learner stuck below an evicted
+  /// undecided hole escalates to checkpoint recovery via gap repair.
+  InstanceId trimmed_below = 0;
   /// Instance ranges this acceptor knows decided (no values — compact).
-  /// With `accepted`, this lets the new coordinator identify abandoned
-  /// instances: below its next_instance, not decided anywhere, and with no
-  /// accepted value in the quorum. Such holes are provably unchosen (a
-  /// decision quorum would intersect the Phase 1 quorum) and must be
-  /// filled with skips, or every learner stalls at them forever.
+  /// With `accepted` and `trimmed_below`, this lets the new coordinator
+  /// identify abandoned instances: below its next_instance, not decided or
+  /// trimmed anywhere, and with no accepted value in the quorum. Such holes
+  /// are provably unchosen (a decision quorum would intersect the Phase 1
+  /// quorum) and must be filled with skips, or every learner stalls at them
+  /// forever.
   std::vector<std::pair<InstanceId, std::int32_t>> decided;
   std::vector<Accepted> accepted;
 
   std::size_t wire_size() const override {
-    std::size_t n = kHeaderBytes + 24 + 12 * decided.size();
+    std::size_t n = kHeaderBytes + 32 + 12 * decided.size();
     for (const auto& a : accepted) n += 16 + a.value->wire_size();
     return n;
   }

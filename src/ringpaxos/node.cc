@@ -65,7 +65,9 @@ void RingNode::on_restart() {
     rs.phase1_promised.clear();
     rs.phase1_accepted.clear();
     rs.phase1_decided_spans.clear();
+    rs.phase1_trimmed_below = 0;
     rs.phase1_ready_until = 0;
+    rs.phase1_target = 0;
     rs.proposal_queue.clear();
     rs.queue_bytes = 0;
     rs.batch_deadline = 0;
@@ -122,9 +124,11 @@ void RingNode::start_phase1(RingState& rs) {
   rs.phase1_promised.clear();
   rs.phase1_accepted.clear();
   rs.phase1_decided_spans.clear();
+  rs.phase1_trimmed_below = 0;
 
   InstanceId from = rs.phase1_ready_until;
   InstanceId to = from + rs.opts.phase1_batch;
+  rs.phase1_target = to;
 
   // Merge this coordinator's own undecided log entries so they are finished
   // in the new round (relevant after coordinator change).
@@ -137,10 +141,16 @@ void RingNode::start_phase1(RingState& rs) {
 
   GroupId g = rs.cfg.group;
   Round round = rs.round;
-  // Self-promise first (the coordinator is an acceptor).
-  rs.storage->promise(round, [this, g, round, from, to] {
+  std::uint64_t attempt = ++rs.phase1_attempt;
+  // Self-promise first (the coordinator is an acceptor). The attempt guard
+  // matters because a loss-retry restarts Phase 1 at the SAME round: a
+  // stale attempt's delayed promise-persist callback passing round checks
+  // could re-complete an already-finished Phase 1 (phase1_promised may
+  // still hold a majority) and skip-fill in-flight same-round instances.
+  rs.storage->promise(round, [this, g, round, attempt, from, to] {
     auto& s = state(g);
     if (!s.coordinating || s.round != round) return;
+    if (!s.phase1_running || s.phase1_attempt != attempt) return;
     s.phase1_promised.insert(id());
     auto m = std::make_shared<Phase1AMsg>();
     m->ring = g;
@@ -150,15 +160,26 @@ void RingNode::start_phase1(RingState& rs) {
     for (ProcessId a : s.cfg.acceptors) {
       if (a != id()) send(a, m);
     }
-    // Single-acceptor rings complete Phase 1 immediately.
+    // Single-acceptor rings complete Phase 1 immediately; multi-acceptor
+    // rings complete when the Phase 1B quorum arrives.
     if (int(s.phase1_promised.size()) >= s.cfg.majority()) {
-      s.phase1_ready_until = to;
-      s.phase1_running = false;
-      pump(s);
-    } else {
-      s.phase1_ready_until = to;  // provisional; completed by Phase 1Bs
+      complete_phase1(s);
     }
   });
+}
+
+/// The quorum-completion sequence shared by the single-acceptor immediate
+/// path and the Phase 1B quorum path. Advancing ready_until only HERE (not
+/// provisionally at start) keeps a loss-retry re-preparing the same window
+/// instead of silently widening the claimed-ready range past what any
+/// quorum covered. finish_phase1 runs on both paths: even a sole acceptor
+/// restarting after a crash mid-vote holds undecided entries that must be
+/// re-driven (and abandoned holes skip-filled).
+void RingNode::complete_phase1(RingState& rs) {
+  rs.phase1_ready_until = rs.phase1_target;
+  rs.phase1_running = false;
+  finish_phase1(rs);
+  pump(rs);
 }
 
 void RingNode::handle_phase1a(ProcessId from, RingState& rs,
@@ -175,6 +196,7 @@ void RingNode::handle_phase1a(ProcessId from, RingState& rs,
     reply->round = round;
     reply->acceptor = id();
     reply->log_end = s->storage->last_logged_end();
+    reply->trimmed_below = s->storage->first_retained();
     reply->decided = s->storage->decided_spans();
     for (const auto& e : s->storage->collect_undecided(0)) {
       reply->accepted.push_back({e.instance, e.count, e.round, e.value});
@@ -194,12 +216,12 @@ void RingNode::handle_phase1b(RingState& rs, const Phase1BMsg& m) {
   }
   rs.phase1_decided_spans.insert(rs.phase1_decided_spans.end(),
                                  m.decided.begin(), m.decided.end());
+  rs.phase1_trimmed_below =
+      std::max(rs.phase1_trimmed_below, m.trimmed_below);
   rs.phase1_promised.insert(m.acceptor);
   if (int(rs.phase1_promised.size()) < rs.cfg.majority()) return;
 
-  rs.phase1_running = false;
-  finish_phase1(rs);
-  pump(rs);
+  complete_phase1(rs);
 }
 
 namespace {
@@ -255,13 +277,20 @@ std::vector<std::pair<InstanceId, InstanceId>> subtract_spans(
 ///  * accepted (undecided) votes are re-driven highest-round-first, each
 ///    claiming its uncovered sub-ranges only, so a lower-round vote can
 ///    never displace a higher-round one it overlaps;
+///  * every quorum member's trimmed prefix counts as decided too — the trim
+///    protocol only discards decided prefixes, and a trimmed acceptor
+///    reports nothing about them in decided_spans/accepted, so without
+///    trimmed_below a lagging new coordinator would mistake a decided-and-
+///    trimmed span for an abandoned hole;
 ///  * instances below next_instance covered by no report were abandoned by
 ///    a dead coordinator and can never have been chosen (a decision quorum
-///    would intersect this Phase 1 quorum): they are filled with skips,
-///    otherwise every learner stalls at the hole forever.
+///    would intersect this Phase 1 quorum, and a member that trimmed past
+///    an instance reports that via trimmed_below): they are filled with
+///    skips, otherwise every learner stalls at the hole forever.
 void RingNode::finish_phase1(RingState& rs) {
   SpanMap covered;
   add_span(covered, 0, rs.storage->first_retained());  // trimmed = decided
+  add_span(covered, 0, rs.phase1_trimmed_below);       // quorum trims too
   for (const auto& [f, c] : rs.phase1_decided_spans) add_span(covered, f, f + c);
   for (const auto& [f, c] : rs.storage->decided_spans()) add_span(covered, f, f + c);
 
@@ -308,6 +337,7 @@ void RingNode::finish_phase1(RingState& rs) {
 
   rs.phase1_accepted.clear();
   rs.phase1_decided_spans.clear();
+  rs.phase1_trimmed_below = 0;
 }
 
 void RingNode::propose(GroupId g, ValuePtr v) {

@@ -229,8 +229,17 @@ class RingNode : public sim::Node {
     bool coordinating = false;
     Round round = 0;
     InstanceId next_instance = 0;
+    /// Highest instance (exclusive) prepared by a COMPLETED Phase 1 quorum.
+    /// Advanced only when the quorum finishes: a provisional advance would
+    /// let loss-retries silently widen the claimed-ready window with no
+    /// quorum ever covering the earlier part.
     InstanceId phase1_ready_until = 0;
+    InstanceId phase1_target = 0;  ///< window the running Phase 1 prepares
     bool phase1_running = false;
+    /// Attempt counter guarding the async self-promise continuation: a
+    /// loss-retry restarts Phase 1 at the SAME round, so round checks alone
+    /// cannot tell a stale attempt's disk callback from the live one.
+    std::uint64_t phase1_attempt = 0;
     Time phase1_started_at = 0;  ///< for loss-retry of Phase 1A/1B
     /// Distinct promised acceptors (a set: retried Phase 1As make one
     /// acceptor reply twice; counting it twice would fake a quorum and can
@@ -239,6 +248,9 @@ class RingNode : public sim::Node {
     std::map<InstanceId, Phase1BMsg::Accepted> phase1_accepted;
     /// Decided spans reported by Phase 1Bs (abandoned-hole detection).
     std::vector<std::pair<InstanceId, std::int32_t>> phase1_decided_spans;
+    /// Max first_retained over Phase 1B replies: the union of the quorum's
+    /// trimmed (hence decided) prefixes.
+    InstanceId phase1_trimmed_below = 0;
     std::deque<ValuePtr> proposal_queue;
     std::size_t queue_bytes = 0;  ///< summed wire_size of proposal_queue
     Time batch_deadline = 0;      ///< 0 = no partial batch waiting
@@ -297,6 +309,7 @@ class RingNode : public sim::Node {
   // Coordinator machinery.
   void become_coordinator(RingState& rs);
   void start_phase1(RingState& rs);
+  void complete_phase1(RingState& rs);
   void finish_phase1(RingState& rs);
   void enqueue_proposal(RingState& rs, ValuePtr v);
   void pump(RingState& rs);

@@ -34,20 +34,32 @@ void AcceptorStorage::insert_entry(Entry e) {
   log_[e.instance] = std::move(e);
 }
 
-/// Removes the intersection of [first, end) from every logged entry with
-/// round <= `round`, clipping heads/tails into independent entries. Ranges
-/// from different rounds need not align (a hole-filled skip span can cut
-/// through an older rate-leveling skip range, or a re-vote can turn one
-/// instance of a skip range into a value), and overlapping entries corrupt
-/// every range scan downstream — a learner injecting an entry whose count
-/// no longer matches its value would skip or re-deliver whole spans.
-void AcceptorStorage::carve(InstanceId first, InstanceId end, Round round) {
+std::map<InstanceId, AcceptorStorage::Entry>::iterator
+AcceptorStorage::first_overlapping(InstanceId first) {
   auto it = log_.upper_bound(first);
   if (it != log_.begin()) --it;
+  return it;
+}
+
+/// Removes the intersection of [first, end) from every logged entry with
+/// round < `round`, clipping heads/tails into independent entries (clips
+/// inherit the original's decided flag). Ranges from different rounds need
+/// not align (a hole-filled skip span can cut through an older
+/// rate-leveling skip range, or a re-vote can turn one instance of a skip
+/// range into a value), and overlapping entries corrupt every range scan
+/// downstream — a learner injecting an entry whose count no longer matches
+/// its value would skip or re-deliver whole spans. Same-round entries are
+/// NOT carved: per round there is one coordinator proposing one value per
+/// instance, so they already hold the incoming vote's value — and erasing
+/// them would drop a decided flag set by a decision that will never be
+/// resent, silencing this acceptor for that range (Phase 1B decided
+/// reports, learner gap repair, replica catch-up).
+void AcceptorStorage::carve(InstanceId first, InstanceId end, Round round) {
+  auto it = first_overlapping(first);
   while (it != log_.end() && it->second.instance < end) {
     Entry& e = it->second;
     InstanceId e_end = e.instance + e.count;
-    if (e_end <= first || e.round > round) {
+    if (e_end <= first || e.round >= round) {
       ++it;
       continue;
     }
@@ -75,15 +87,17 @@ void AcceptorStorage::store_vote(InstanceId instance, std::int32_t count,
                                  std::function<void()> ready) {
   AMCAST_ASSERT(instance >= 0 && count >= 1);
   std::size_t bytes = 40 + (value ? value->wire_size() : 0);
-  // The new vote is authoritative over anything same-or-lower-round it
-  // overlaps (standard Paxos 2B overwrite, generalized to ranges).
+  // The new vote is authoritative over anything lower-round it overlaps
+  // (standard Paxos 2B overwrite, generalized to ranges).
   InstanceId end = instance + count;
   carve(instance, end, round);
-  // Whatever still overlaps [instance, end) is from a HIGHER round (an
+  // Whatever still overlaps [instance, end) is from the SAME round (same
+  // value, possibly already decided — see carve) or a HIGHER one (an
   // acceptor can hold round r+1 votes without having promised r+1 itself,
   // so a lower-round retry is not necessarily rejected upstream). The new
-  // vote only claims the uncovered gaps — inserting over a higher-round
-  // entry would re-create the overlapping ranges carve exists to prevent.
+  // vote only claims the uncovered gaps — inserting over such an entry
+  // would re-create the overlapping ranges carve exists to prevent, or
+  // reset a decided flag a duplicate Phase 2 must never clear.
   InstanceId cursor = instance;
   auto emit = [&](InstanceId f, InstanceId e) {
     if (e <= f) return;
@@ -106,12 +120,10 @@ void AcceptorStorage::store_vote(InstanceId instance, std::int32_t count,
     ne.value = value;
     insert_entry(std::move(ne));
   };
-  auto it = log_.upper_bound(instance);
-  if (it != log_.begin() && std::prev(it)->second.instance +
-                                    std::prev(it)->second.count >
-                                instance) {
-    --it;
-  }
+  // (an entry before `instance` that does not reach it makes emit a no-op
+  // and leaves the cursor in place, so first_overlapping's over-approximate
+  // start is fine here)
+  auto it = first_overlapping(instance);
   for (; it != log_.end() && it->second.instance < end; ++it) {
     emit(cursor, std::min(it->second.instance, end));
     cursor = std::max(cursor, it->second.instance + it->second.count);
@@ -124,17 +136,31 @@ void AcceptorStorage::store_vote(InstanceId instance, std::int32_t count,
 
 void AcceptorStorage::mark_decided(InstanceId instance, std::int32_t count,
                                    Round round) {
-  auto it = log_.find(instance);
-  if (it == log_.end()) return;  // overwritten (memory mode) or trimmed
-  // Only mark the logged value decided if it is from the deciding round or
-  // a newer one (which, by the Paxos invariant, must carry the same value).
-  // An acceptor that missed the deciding Phase 2 but sees the Decision may
-  // hold a stale lower-round value — marking that decided would let it
-  // retransmit a value that was never chosen.
-  if (it->second.round < round) return;
-  it->second.decided = true;
-  InstanceId last = instance + count - 1;
-  if (last > highest_decided_) highest_decided_ = last;
+  // The logged vote may have been carved into several pieces keyed at
+  // different instances (a higher-round vote clipped a ranged entry), so
+  // every retained piece inside [instance, end) is marked — an exact-key
+  // lookup would leave split remainders undecided forever, hiding them
+  // from decided_spans/collect_decided while highest_decided_ moves past
+  // them. Nothing may be found at all (overwritten in memory mode, or
+  // trimmed).
+  InstanceId end = instance + count;
+  for (auto it = first_overlapping(instance);
+       it != log_.end() && it->second.instance < end; ++it) {
+    Entry& e = it->second;
+    if (e.instance + e.count <= instance) continue;
+    // Only mark a piece decided if it is from the deciding round or a
+    // newer one (which, by the Paxos invariant, must carry the same
+    // value). An acceptor that missed the deciding Phase 2 but sees the
+    // Decision may hold a stale lower-round value — marking that decided
+    // would let it retransmit a value that was never chosen.
+    if (e.round < round) continue;
+    // A piece extending outside the decided range covers instances this
+    // decision says nothing about; leave it for its own decision.
+    if (e.instance < instance || e.instance + e.count > end) continue;
+    e.decided = true;
+    InstanceId last = e.instance + e.count - 1;
+    if (last > highest_decided_) highest_decided_ = last;
+  }
 }
 
 const AcceptorStorage::Entry* AcceptorStorage::find(InstanceId instance) const {

@@ -113,6 +113,10 @@ class AcceptorStorage {
   void enforce_memory_bound();
   void insert_entry(Entry e);
   void carve(InstanceId first, InstanceId end, Round round);
+  /// Iterator at the first log entry that could overlap [first, ∞): ranges
+  /// are keyed by their first instance, so that is the entry at or before
+  /// `first` (callers still check the entry's end against their range).
+  std::map<InstanceId, Entry>::iterator first_overlapping(InstanceId first);
 
   StorageOptions opts_;
   sim::Disk* disk_;

@@ -27,7 +27,11 @@ void Disk::complete(std::size_t bytes, std::function<void()> cb) {
   if (accepting() && !waiters_.empty()) {
     auto waiters = std::move(waiters_);
     waiters_.clear();
-    for (auto& w : waiters) w();
+    for (auto& [issued, w] : waiters) {
+      // Waiters are process-side continuations like any other: one
+      // registered by a since-crashed incarnation must not run.
+      if (epoch() == issued) w();
+    }
   }
 }
 
@@ -37,9 +41,14 @@ void Disk::write(std::size_t bytes, std::function<void()> on_durable) {
   next_free_ = start + svc;
   busy_ns_ += double(svc);
   backlog_bytes_ += bytes;
-  sim_.at(next_free_, [this, bytes, cb = std::move(on_durable)]() mutable {
-    complete(bytes, std::move(cb));
-  });
+  std::uint64_t issued = epoch();
+  sim_.at(next_free_,
+          [this, bytes, issued, cb = std::move(on_durable)]() mutable {
+            // The bytes are durable regardless; the continuation belongs to
+            // the issuing process incarnation and dies with it.
+            if (epoch() != issued) cb = nullptr;
+            complete(bytes, std::move(cb));
+          });
 }
 
 void Disk::write_async(std::size_t bytes) {
@@ -75,8 +84,9 @@ void Disk::read(std::size_t bytes, std::function<void()> done) {
   Time start = std::max(sim_.now(), next_free_);
   next_free_ = start + svc;
   busy_ns_ += double(svc);
-  sim_.at(next_free_, [cb = std::move(done)] {
-    if (cb) cb();
+  std::uint64_t issued = epoch();
+  sim_.at(next_free_, [this, issued, cb = std::move(done)] {
+    if (cb && epoch() == issued) cb();
   });
 }
 
@@ -85,7 +95,7 @@ void Disk::when_accepting(std::function<void()> cb) {
     cb();
     return;
   }
-  waiters_.push_back(std::move(cb));
+  waiters_.emplace_back(epoch(), std::move(cb));
 }
 
 }  // namespace amcast::sim

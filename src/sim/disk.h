@@ -11,7 +11,9 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
+#include <utility>
 #include <vector>
 
 #include "common/ids.h"
@@ -67,16 +69,28 @@ class Disk {
   void set_slowdown(double f);
   double slowdown() const { return slowdown_; }
 
+  /// Crash semantics for continuations: the owning node installs its epoch
+  /// counter here, and a write/read continuation only runs if the epoch is
+  /// unchanged since the operation was issued. The BYTES still become
+  /// durable either way (disks survive crashes) — what a crash loses is
+  /// the process-side completion interrupt, so a crashed node cannot keep
+  /// executing its commit continuations (forwarding votes, delivering).
+  void set_epoch_source(std::function<std::uint64_t()> fn) {
+    epoch_fn_ = std::move(fn);
+  }
+
   const DiskParams& params() const { return params_; }
 
  private:
   Duration service_time(std::size_t bytes) const;
   void complete(std::size_t bytes, std::function<void()> cb);
+  std::uint64_t epoch() const { return epoch_fn_ ? epoch_fn_() : 0; }
 
   void maybe_flush_async();
 
   Simulation& sim_;
   DiskParams params_;
+  std::function<std::uint64_t()> epoch_fn_;  ///< owner's crash epoch
   double slowdown_ = 1.0;
   Time next_free_ = 0;
   std::size_t backlog_bytes_ = 0;
@@ -84,7 +98,9 @@ class Disk {
   bool async_flush_queued_ = false;
   std::size_t bytes_written_ = 0;
   double busy_ns_ = 0;
-  std::vector<std::function<void()>> waiters_;
+  /// Accepting-again callbacks, each tagged with the owner epoch at
+  /// registration so a crash drops them like any other continuation.
+  std::vector<std::pair<std::uint64_t, std::function<void()>>> waiters_;
 };
 
 }  // namespace amcast::sim

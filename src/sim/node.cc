@@ -79,8 +79,17 @@ int Node::add_disk(DiskParams p) {
     pending_disks_.push_back(p);
     return int(pending_disks_.size()) - 1;
   }
-  disks_.push_back(std::make_unique<Disk>(*sim_, p));
+  disks_.push_back(materialize_disk(p));
   return int(disks_.size()) - 1;
+}
+
+std::unique_ptr<Disk> Node::materialize_disk(const DiskParams& p) {
+  auto d = std::make_unique<Disk>(*sim_, p);
+  // The device and its contents survive crashes, but write/read
+  // continuations belong to the process: a crash must drop them, or a
+  // crashed node keeps executing commit continuations.
+  d->set_epoch_source([this] { return epoch_; });
+  return d;
 }
 
 Disk& Node::disk(int idx) {
@@ -88,7 +97,7 @@ Disk& Node::disk(int idx) {
   if (!pending_disks_.empty()) {
     AMCAST_ASSERT_MSG(sim_ != nullptr, "node not attached to a simulation");
     for (const auto& p : pending_disks_) {
-      disks_.push_back(std::make_unique<Disk>(*sim_, p));
+      disks_.push_back(materialize_disk(p));
     }
     pending_disks_.clear();
   }

@@ -65,8 +65,10 @@ class Node {
   Disk& disk(int idx = 0);
   int disk_count() const { return int(disks_.size()); }
 
-  /// Crash/restart. Crash drops in-flight timers and all queued CPU work;
-  /// messages arriving while crashed are dropped. Disks survive.
+  /// Crash/restart. Crash drops in-flight timers, all queued CPU work, and
+  /// pending disk write/read continuations (the bytes of an issued write
+  /// still become durable — only the completion interrupt is lost);
+  /// messages arriving while crashed are dropped. Disk contents survive.
   void crash();
   void restart();
   bool crashed() const { return crashed_; }
@@ -91,6 +93,7 @@ class Node {
   void deliver(ProcessId from, MessagePtr m);
 
   Duration cpu_cost(const Message& m) const;
+  std::unique_ptr<Disk> materialize_disk(const DiskParams& p);
 
   Simulation* sim_ = nullptr;
   ProcessId id_ = kInvalidProcess;

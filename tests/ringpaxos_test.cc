@@ -308,6 +308,158 @@ TEST(AcceptorStorageBytes, MemorySlotEvictionSubtractsErasedEntries) {
   EXPECT_EQ(st.logged_bytes(), ref.logged_bytes());
 }
 
+TEST(AcceptorStorageDecided, SameRoundReVoteKeepsDecidedFlag) {
+  AcceptorStorage st(StorageOptions{}, nullptr);
+  auto v = make_value(0, 1, 0, 0, 64);
+  st.store_vote(5, 1, 3, v, [] {});
+  st.mark_decided(5, 1, 3);
+  // A retried Phase 2 at the deciding round (the decision message is never
+  // resent): the entry must stay decided or this acceptor stops serving
+  // the range to gap repair / replica catch-up and under-reports it in
+  // Phase 1B.
+  st.store_vote(5, 1, 3, v, [] {});
+  auto dec = st.collect_decided(5, 5);
+  ASSERT_EQ(dec.size(), 1u);
+  EXPECT_TRUE(dec[0].decided);
+  auto spans = st.decided_spans();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].first, 5);
+  EXPECT_EQ(spans[0].second, 1);
+}
+
+TEST(AcceptorStorageDecided, DecisionMarksAllCarvedPieces) {
+  AcceptorStorage st(StorageOptions{}, nullptr);
+  // A round-1 skip over [0, 10) is clipped by a round-2 re-drive of
+  // instance 4 (the same chosen value, per the Paxos invariant), splitting
+  // it into head [0, 4) and tail [5, 10) keyed at 0 and 5.
+  st.store_vote(0, 10, 1, make_skip(0, 0, 10), [] {});
+  st.store_vote(4, 1, 2, make_skip(0, 0, 1), [] {});
+  // The late round-1 decision for the original range must mark every
+  // retained piece, not just the one still keyed at the decision's first
+  // instance — split remainders left undecided would be hidden from
+  // decided_spans and collect_decided forever.
+  st.mark_decided(0, 10, 1);
+  auto spans = st.decided_spans();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].first, 0);
+  EXPECT_EQ(spans[0].second, 10);
+  // The tail piece (keyed at 5) is served to learner gap repair.
+  EXPECT_EQ(st.collect_decided(5, 9).size(), 1u);
+}
+
+TEST(RingPaxos, SoleAcceptorRedrivesUndecidedVoteAfterRestart) {
+  Simulation sim{11};
+  ConfigRegistry registry;
+  auto owned = std::make_unique<CallbackRingNode>(registry);
+  owned->add_disk(sim::Presets::hdd());
+  CallbackRingNode* n = owned.get();
+  ProcessId pid = sim.add_node(std::move(owned));
+  GroupId g = registry.create_ring({pid}, {pid}, pid);
+  std::vector<Delivery> got;
+  n->set_deliver([&got](GroupId gg, InstanceId f, std::int32_t c,
+                        const ValuePtr& v) {
+    got.push_back({gg, f, c, v});
+  });
+  RingOptions opts;
+  opts.storage.mode = StorageOptions::Mode::kSyncDisk;
+  n->join_ring(g, /*learner=*/true, opts);
+  sim.run_until(duration::milliseconds(50));  // Phase 1 promise persisted
+
+  // Crash between the vote's log insert and its disk-ready callback: the
+  // undecided entry is durable but the decision never happened. The
+  // single-acceptor Phase 1 completion path after restart must re-drive it
+  // just like the quorum path would.
+  n->propose(g, make_value(g, 1, pid, 0, 64));
+  sim.run_until(sim.now() + duration::microseconds(100));  // mid disk write
+  n->crash();
+  sim.run_until(sim.now() + duration::milliseconds(20));
+  EXPECT_TRUE(got.empty());
+  n->restart();
+  sim.run_until(sim.now() + duration::seconds(1));
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].v->msg_id, 1u);
+  EXPECT_EQ(got[0].first, 0);
+}
+
+/// RingNode subclass exposing the acceptor log so tests can drive the trim
+/// protocol directly (normally the checkpointing layer calls it).
+class TrimmingRingNode final : public RingNode {
+ public:
+  using RingNode::RingNode;
+  using RingNode::storage;
+  std::vector<Delivery> delivered;
+
+ protected:
+  void on_ring_deliver(GroupId g, InstanceId first, std::int32_t count,
+                       const ValuePtr& v) override {
+    delivered.push_back({g, first, count, v});
+  }
+};
+
+TEST(RingPaxos, LaggingCoordinatorDoesNotSkipFillTrimmedDecidedPrefix) {
+  Simulation sim{7};
+  ConfigRegistry registry;
+  std::vector<TrimmingRingNode*> nodes;
+  std::vector<ProcessId> ids;
+  for (int i = 0; i < 3; ++i) {
+    auto n = std::make_unique<TrimmingRingNode>(registry);
+    nodes.push_back(n.get());
+    ids.push_back(sim.add_node(std::move(n)));
+  }
+  GroupId g = registry.create_ring(ids, ids, ids[0]);
+  RingOptions opts;
+  // Keep coordinator Phase 2 retries out of the test horizon so the
+  // surviving acceptors' logs stay trimmed once we trim them.
+  opts.instance_timeout = duration::seconds(60);
+  for (auto* n : nodes) n->join_ring(g, /*learner=*/true, opts);
+  sim.run_until(duration::milliseconds(10));
+
+  // Node 2 misses a prefix that gets fully decided without it...
+  sim.network().isolate(ids[2]);
+  for (MessageId i = 1; i <= 20; ++i) {
+    nodes[0]->propose(g, make_value(g, i, 0, 0, 64));
+  }
+  // (decisions die at the isolated node, so node 0 catches up via gap
+  // repair — give it a few repair rounds)
+  sim.run_until(sim.now() + duration::seconds(5));
+  ASSERT_EQ(nodes[0]->delivered.size(), 20u);
+  ASSERT_EQ(nodes[1]->delivered.size(), 20u);
+
+  // ...and which the up-to-date acceptors then trim away entirely.
+  nodes[0]->storage(g)->trim(19);
+  nodes[1]->storage(g)->trim(19);
+  sim.network().heal_all();
+
+  // The lagging node — log and delivery cursor both behind the trim point —
+  // is appointed coordinator. Its Phase 1 quorum reports nothing decided or
+  // accepted for [0, 20); only trimmed_below says the span was decided. It
+  // must NOT treat the span as abandoned and re-decide it with skips.
+  const RingConfig& cfg = registry.ring(g);
+  registry.reconfigure(g, cfg.members, cfg.acceptors, ids[2]);
+  sim.run_until(sim.now() + duration::seconds(1));
+
+  for (MessageId i = 21; i <= 25; ++i) {
+    nodes[1]->propose(g, make_value(g, i, 1, 0, 64));
+  }
+  sim.run_until(sim.now() + duration::seconds(3));
+
+  // The new coordinator placed fresh values above the trimmed prefix and
+  // the up-to-date learners delivered them in agreement.
+  ASSERT_EQ(nodes[0]->delivered.size(), 25u);
+  ASSERT_EQ(nodes[1]->delivered.size(), 25u);
+  for (std::size_t k = 20; k < 25; ++k) {
+    EXPECT_EQ(nodes[0]->delivered[k].v->msg_id, MessageId(k + 1));
+    EXPECT_EQ(nodes[1]->delivered[k].v->msg_id, MessageId(k + 1));
+  }
+  // The lagging learner must not have delivered ANYTHING below the trim
+  // point: its peers delivered real values there, and the only thing it
+  // could fabricate is a skip-fill (the agreement violation this guards
+  // against). Stalling until checkpoint recovery is the correct outcome.
+  for (const auto& d : nodes[2]->delivered) {
+    EXPECT_GE(d.first, 20) << "re-decided a trimmed decided instance";
+  }
+}
+
 /// Flattens ring-level deliveries into application msg ids (unwrapping
 /// batch envelopes, dropping skips) in delivery order.
 std::vector<MessageId> flatten(const std::vector<Delivery>& ds) {
