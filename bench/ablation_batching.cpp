@@ -10,54 +10,17 @@
 // per-instance/per-message CPU cost dominates, and reports msgs/s plus mean
 // delivery latency. Run with --smoke for a seconds-long CI sanity pass.
 #include <cstring>
-#include <map>
 #include <memory>
 
 #include "bench/bench_util.h"
-#include "core/multicast.h"
+#include "bench/driver.h"
 
 namespace amcast {
 namespace {
 
-using core::MulticastNode;
+using bench::LoadDriver;
 using ringpaxos::ConfigRegistry;
 using ringpaxos::RingOptions;
-
-class Driver final : public MulticastNode {
- public:
-  Driver(ConfigRegistry& reg, int threads, std::size_t size)
-      : MulticastNode(reg), threads_(threads), size_(size) {}
-  void start_load(GroupId g) {
-    group_ = g;
-    for (int t = 0; t < threads_; ++t) issue();
-  }
-  std::int64_t completed = 0;
-
- protected:
-  void on_deliver(GroupId g, const ringpaxos::ValuePtr& v) override {
-    if (v->origin == id()) {
-      auto it = outstanding_.find(v->msg_id);
-      if (it != outstanding_.end()) {
-        sim().metrics().histogram("pk.latency").record_duration(now() -
-                                                                it->second);
-        outstanding_.erase(it);
-        ++completed;
-        issue();
-      }
-    }
-    MulticastNode::on_deliver(g, v);
-  }
-
- private:
-  void issue() {
-    MessageId mid = multicast(group_, size_);
-    outstanding_[mid] = now();
-  }
-  int threads_;
-  std::size_t size_;
-  GroupId group_ = kInvalidGroup;
-  std::map<MessageId, Time> outstanding_;
-};
 
 struct Result {
   double ops;
@@ -68,10 +31,10 @@ Result run(int batch_values, bool packing, std::size_t size, int threads,
            Duration warmup, Duration window) {
   sim::Simulation sim(5);
   ConfigRegistry registry;
-  std::vector<Driver*> nodes;
+  std::vector<LoadDriver*> nodes;
   std::vector<ProcessId> ids;
   for (int i = 0; i < 3; ++i) {
-    auto n = std::make_unique<Driver>(registry, threads, size);
+    auto n = std::make_unique<LoadDriver>(registry, threads, size);
     nodes.push_back(n.get());
     ids.push_back(sim.add_node(std::move(n)));
   }
@@ -86,16 +49,16 @@ Result run(int batch_values, bool packing, std::size_t size, int threads,
   for (auto* n : nodes) n->start_load(g);
 
   sim.run_until(warmup);
-  sim.metrics().histogram("pk.latency").clear();
+  sim.metrics().histogram(bench::kLatencyHist).clear();
   std::int64_t c0 = 0;
-  for (auto* n : nodes) c0 += n->completed;
+  for (auto* n : nodes) c0 += n->completed();
   sim.run_until(warmup + window);
   std::int64_t c1 = 0;
-  for (auto* n : nodes) c1 += n->completed;
+  for (auto* n : nodes) c1 += n->completed();
 
   Result r{};
   r.ops = double(c1 - c0) / duration::to_seconds(window);
-  r.lat_ms = sim.metrics().histogram("pk.latency").mean_ms();
+  r.lat_ms = sim.metrics().histogram(bench::kLatencyHist).mean_ms();
   return r;
 }
 

@@ -3,62 +3,26 @@
 // The paper fixes M=1 (§8.2). This ablation sweeps M with two rings under
 // skewed load and reports delivery latency: larger M amortizes round-robin
 // switches but delays the other ring's values by up to M instances.
-#include <map>
 #include <memory>
 
 #include "bench/bench_util.h"
-#include "core/multicast.h"
+#include "bench/driver.h"
 
 namespace amcast {
 namespace {
 
-using core::MulticastNode;
+using bench::LoadDriver;
 using ringpaxos::ConfigRegistry;
 using ringpaxos::RingOptions;
-
-class Driver final : public MulticastNode {
- public:
-  Driver(ConfigRegistry& reg, int threads, std::size_t size)
-      : MulticastNode(reg), threads_(threads), size_(size) {}
-
-  void start_load(GroupId g) {
-    group_ = g;
-    for (int t = 0; t < threads_; ++t) issue();
-  }
-
- protected:
-  void on_deliver(GroupId g, const ringpaxos::ValuePtr& v) override {
-    if (v->origin == id()) {
-      auto it = outstanding_.find(v->msg_id);
-      if (it != outstanding_.end()) {
-        sim().metrics().histogram("m.latency").record_duration(now() -
-                                                               it->second);
-        outstanding_.erase(it);
-        issue();
-      }
-    }
-    MulticastNode::on_deliver(g, v);
-  }
-
- private:
-  void issue() {
-    MessageId mid = multicast(group_, size_);
-    outstanding_[mid] = now();
-  }
-  int threads_;
-  std::size_t size_;
-  GroupId group_ = kInvalidGroup;
-  std::map<MessageId, Time> outstanding_;
-};
 
 double run(int m, double load_skew) {
   sim::Simulation sim(5);
   ConfigRegistry registry;
-  std::vector<Driver*> nodes;
+  std::vector<LoadDriver*> nodes;
   std::vector<ProcessId> ids;
   for (int i = 0; i < 3; ++i) {
-    auto n = std::make_unique<Driver>(registry, i == 0 ? 8 : int(8 * load_skew),
-                                      1024);
+    auto n = std::make_unique<LoadDriver>(
+        registry, i == 0 ? 8 : int(8 * load_skew), 1024);
     nodes.push_back(n.get());
     ids.push_back(sim.add_node(std::move(n)));
   }
@@ -78,9 +42,9 @@ double run(int m, double load_skew) {
   nodes[1]->start_load(r2);
 
   sim.run_until(duration::seconds(1));
-  sim.metrics().histogram("m.latency").clear();
+  sim.metrics().histogram(bench::kLatencyHist).clear();
   sim.run_until(duration::seconds(3));
-  return sim.metrics().histogram("m.latency").mean_ms();
+  return sim.metrics().histogram(bench::kLatencyHist).mean_ms();
 }
 
 }  // namespace

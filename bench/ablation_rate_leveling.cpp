@@ -4,51 +4,17 @@
 // and the deterministic merge stalls; with λ>0 the coordinator tops the
 // idle ring up with skips and delivery proceeds with bounded delay. Sweeps
 // λ and reports delivered values + delivery latency.
-#include <map>
 #include <memory>
 
 #include "bench/bench_util.h"
-#include "core/multicast.h"
+#include "bench/driver.h"
 
 namespace amcast {
 namespace {
 
-using core::MulticastNode;
+using bench::LoadDriver;
 using ringpaxos::ConfigRegistry;
 using ringpaxos::RingOptions;
-
-class Driver final : public MulticastNode {
- public:
-  explicit Driver(ConfigRegistry& reg) : MulticastNode(reg) {}
-  void start_load(GroupId g, int threads) {
-    group_ = g;
-    for (int t = 0; t < threads; ++t) issue();
-  }
-  std::int64_t delivered = 0;
-
- protected:
-  void on_deliver(GroupId g, const ringpaxos::ValuePtr& v) override {
-    ++delivered;
-    if (v->origin == id()) {
-      auto it = outstanding_.find(v->msg_id);
-      if (it != outstanding_.end()) {
-        sim().metrics().histogram("rl.latency").record_duration(now() -
-                                                                it->second);
-        outstanding_.erase(it);
-        issue();
-      }
-    }
-    MulticastNode::on_deliver(g, v);
-  }
-
- private:
-  void issue() {
-    MessageId mid = multicast(group_, 1024);
-    outstanding_[mid] = now();
-  }
-  GroupId group_ = kInvalidGroup;
-  std::map<MessageId, Time> outstanding_;
-};
 
 struct Result {
   std::int64_t delivered;
@@ -59,10 +25,11 @@ struct Result {
 Result run(double lambda) {
   sim::Simulation sim(5);
   ConfigRegistry registry;
-  std::vector<Driver*> nodes;
+  std::vector<LoadDriver*> nodes;
   std::vector<ProcessId> ids;
   for (int i = 0; i < 3; ++i) {
-    auto n = std::make_unique<Driver>(registry);
+    auto n = std::make_unique<LoadDriver>(registry, /*threads=*/8,
+                                          /*value_bytes=*/1024);
     nodes.push_back(n.get());
     ids.push_back(sim.add_node(std::move(n)));
   }
@@ -75,16 +42,16 @@ Result run(double lambda) {
     n->subscribe(r1, ro);
     n->subscribe(r2, ro);
   }
-  nodes[0]->start_load(r1, 8);  // ring 2 stays idle
+  nodes[0]->start_load(r1);  // ring 2 stays idle
 
   sim.run_until(duration::seconds(1));
-  sim.metrics().histogram("rl.latency").clear();
-  std::int64_t d0 = nodes[2]->delivered;
+  sim.metrics().histogram(bench::kLatencyHist).clear();
+  std::int64_t d0 = nodes[2]->deliveries();
   sim.run_until(duration::seconds(3));
 
   Result r{};
-  r.delivered = nodes[2]->delivered - d0;
-  r.lat_ms = sim.metrics().histogram("rl.latency").mean_ms();
+  r.delivered = nodes[2]->deliveries() - d0;
+  r.lat_ms = sim.metrics().histogram(bench::kLatencyHist).mean_ms();
   r.skips = nodes[2]->ring_counters(r2).skipped_instances;
   return r;
 }

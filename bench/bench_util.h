@@ -1,16 +1,124 @@
-// Shared helpers for the figure/table reproduction benches.
+// Shared helpers for the figure/table reproduction benches and the perf
+// suite, including the BENCH_*.json artifact schema.
+//
+// ## BENCH_*.json schema (version "amcast-bench-v1")
+//
+// Every machine-readable benchmark artifact is one JSON object:
+//
+//   {
+//     "schema":    "amcast-bench-v1",
+//     "suite":     "perf_suite",            // emitting program
+//     "git":       "f2afd7f",               // `git describe --always --dirty`
+//     "seed":      42,                      // base sim seed of the run
+//     "smoke":     false,                   // reduced CI matrix?
+//     "scenarios": [
+//       {
+//         "name":    "single_ring_saturation",
+//         "seed":    42,                    // sim seed this row ran under
+//                                           // (the suite seed, verbatim;
+//                                           // must be <= 2^53 — JSON
+//                                           // numbers are doubles)
+//         "params":  { "nodes": 3, "value_bytes": 128, ... },
+//         "metrics": {
+//           "rate_per_s": 123456.0,         // THE gated throughput metric
+//           "p50_ms": 0.81, "p99_ms": 2.4,  // sim-time latency percentiles
+//           ...,                            // scenario-specific extras
+//           "wall_s": 1.7                   // host wall clock (informational)
+//         }
+//       }, ...
+//     ]
+//   }
+//
+// Two metric domains coexist deliberately:
+//  * sim-domain metrics (rate_per_s, p50_ms, p99_ms, ...) are measured on
+//    VIRTUAL time against the simulator's CPU/network/disk cost models.
+//    They are bit-deterministic for a given seed and code version, so the
+//    CI perf gate compares rate_per_s against bench/baseline.json with a
+//    tolerance that only real protocol/model regressions can exceed.
+//  * wall_s is HOST wall clock per scenario row. It is where C++-level
+//    hot-path optimizations show up (the simulator charges modeled CPU, so
+//    they cannot move sim-domain numbers), and it is machine-dependent —
+//    reported for before/after comparisons, never gated.
 #pragma once
 
+#include <chrono>
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "common/histogram.h"
+#include "common/json.h"
 #include "common/metrics.h"
 #include "common/table.h"
 #include "sim/simulation.h"
 
 namespace amcast::bench {
+
+/// Schema version tag; bump when the document layout changes shape.
+inline constexpr const char* kBenchSchema = "amcast-bench-v1";
+
+/// `git describe --always --dirty` of the working tree, or "unknown" when
+/// git/repo information is unavailable (e.g. a tarball build).
+inline std::string git_describe() {
+  std::string out = "unknown";
+  if (FILE* p = popen("git describe --always --dirty 2>/dev/null", "r")) {
+    char buf[128];
+    if (std::fgets(buf, sizeof(buf), p) != nullptr) {
+      std::string s(buf);
+      while (!s.empty() && (s.back() == '\n' || s.back() == '\r')) s.pop_back();
+      if (!s.empty()) out = s;
+    }
+    pclose(p);
+  }
+  return out;
+}
+
+/// One row of a BENCH_*.json "scenarios" array.
+struct ScenarioResult {
+  std::string name;
+  std::uint64_t seed = 0;
+  json::Value params = json::Value::object();
+  json::Value metrics = json::Value::object();
+
+  json::Value to_json() const {
+    auto v = json::Value::object();
+    v.set("name", name);
+    v.set("seed", seed);
+    v.set("params", params);
+    v.set("metrics", metrics);
+    return v;
+  }
+};
+
+/// Assembles the top-level BENCH_*.json document.
+inline json::Value bench_document(const std::string& suite, std::uint64_t seed,
+                                  bool smoke,
+                                  const std::vector<ScenarioResult>& rows) {
+  auto doc = json::Value::object();
+  doc.set("schema", kBenchSchema);
+  doc.set("suite", suite);
+  doc.set("git", git_describe());
+  doc.set("seed", seed);
+  doc.set("smoke", smoke);
+  auto arr = json::Value::array();
+  for (const auto& r : rows) arr.push_back(r.to_json());
+  doc.set("scenarios", std::move(arr));
+  return doc;
+}
+
+/// Host wall-clock stopwatch for the informational wall_s metric.
+class WallClock {
+ public:
+  WallClock() : start_(std::chrono::steady_clock::now()) {}
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
 
 /// Prints the standard banner so every run is self-describing.
 inline void banner(const std::string& what, const std::string& paper_ref,

@@ -8,6 +8,9 @@
 //   chaos_runner --start 1000 --seeds 500
 //   chaos_runner --smoke                 # CI smoke: bounded seeds, fails
 //                                        # fast, prints reproducing seed
+//   chaos_runner --failure-log FILE      # also append every failure (replay
+//                                        # command, violations, timeline) to
+//                                        # FILE — uploaded as a CI artifact
 //
 // A failing run prints the configuration, the seed, every violated
 // invariant, and the injected fault timeline; re-running with
@@ -24,9 +27,14 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: chaos_runner [--seeds N] [--start S] [--config NAME] "
-               "[--seed SEED] [--smoke] [--verbose]\n");
+               "[--seed SEED] [--smoke] [--verbose] [--failure-log FILE]\n");
   return 2;
 }
+
+/// Failure sink for CI: every block starts with a one-line REPLAY command
+/// (grep '^REPLAY:' builds the step summary), followed by the violated
+/// invariants and the full fault timeline.
+FILE* failure_log = nullptr;
 
 void print_failure(const amcast::chaos::WorldResult& r) {
   std::printf("\nFAIL config=%s seed=%llu (replay: chaos_runner --config %s "
@@ -35,6 +43,17 @@ void print_failure(const amcast::chaos::WorldResult& r) {
               (unsigned long long)r.seed);
   for (const auto& v : r.violations) std::printf("  violation: %s\n", v.c_str());
   std::printf("  fault timeline:\n%s", r.fault_timeline.c_str());
+  if (failure_log != nullptr) {
+    std::fprintf(failure_log,
+                 "REPLAY: ./build/bench/chaos_runner --config %s --seed %llu\n",
+                 r.config.c_str(), (unsigned long long)r.seed);
+    for (const auto& v : r.violations) {
+      std::fprintf(failure_log, "violation: %s\n", v.c_str());
+    }
+    std::fprintf(failure_log, "fault timeline:\n%s\n",
+                 r.fault_timeline.c_str());
+    std::fflush(failure_log);
+  }
 }
 
 }  // namespace
@@ -67,6 +86,13 @@ int main(int argc, char** argv) {
       seeds = 13;  // x4 configs ~= 50 worlds, well under a CI minute
     } else if (!std::strcmp(argv[i], "--verbose")) {
       verbose = true;
+    } else if (!std::strcmp(argv[i], "--failure-log")) {
+      const char* path = next("--failure-log");
+      failure_log = std::fopen(path, "w");
+      if (failure_log == nullptr) {
+        std::fprintf(stderr, "cannot open failure log %s\n", path);
+        return 2;
+      }
     } else {
       return usage();
     }

@@ -1,0 +1,83 @@
+// Shared closed-loop load driver for the benchmark programs and the perf
+// suite. Replaces the per-bench Driver/DummyNode copies: one node that keeps
+// `threads` multicasts outstanding across one or more groups, records
+// per-value delivery latency into a shared histogram, and counts
+// completions and bytes.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "core/multicast.h"
+
+namespace amcast::bench {
+
+/// Histogram all drivers record end-to-end delivery latency into. Each
+/// bench run owns a fresh Simulation, so one shared name is unambiguous.
+inline constexpr const char* kLatencyHist = "bench.latency";
+
+/// A ring member running closed-loop proposer threads (the paper's "dummy
+/// service", §8.3.1): every delivery of one of its own values completes the
+/// round-trip, records latency, and immediately issues the next multicast
+/// to the same group.
+class LoadDriver : public core::MulticastNode {
+ public:
+  LoadDriver(core::ConfigRegistry& reg, int threads, std::size_t value_bytes,
+             sim::CpuParams cpu = sim::Presets::server_cpu())
+      : core::MulticastNode(reg, cpu),
+        threads_(threads),
+        value_bytes_(value_bytes) {}
+
+  /// Starts the closed loop against group `g` (subscribe first).
+  void start_load(GroupId g) { start_load(std::vector<GroupId>{g}); }
+
+  /// Starts the closed loop spread over `groups` (thread t drives
+  /// groups[t % groups.size()]).
+  void start_load(std::vector<GroupId> groups) {
+    groups_ = std::move(groups);
+    for (int t = 0; t < threads_; ++t) {
+      issue(groups_[std::size_t(t) % groups_.size()]);
+    }
+  }
+
+  /// Round-trips completed by this node's own values.
+  std::int64_t completed() const { return completed_; }
+  /// Every application value delivered to this node (own or not).
+  std::int64_t deliveries() const { return deliveries_; }
+  /// Payload bytes delivered to this node.
+  std::int64_t delivered_bytes() const { return delivered_bytes_; }
+
+ protected:
+  void on_deliver(GroupId g, const ringpaxos::ValuePtr& v) override {
+    ++deliveries_;
+    delivered_bytes_ += std::int64_t(v->payload ? v->payload->size() : 0);
+    if (v->origin == id()) {
+      auto it = outstanding_.find(v->msg_id);
+      if (it != outstanding_.end()) {
+        sim().metrics().histogram(kLatencyHist).record_duration(now() -
+                                                                it->second);
+        GroupId next = v->group;
+        outstanding_.erase(it);
+        ++completed_;
+        issue(next);
+      }
+    }
+    core::MulticastNode::on_deliver(g, v);
+  }
+
+ private:
+  void issue(GroupId g) {
+    MessageId mid = multicast(g, value_bytes_);
+    outstanding_[mid] = now();
+  }
+
+  int threads_;
+  std::size_t value_bytes_;
+  std::vector<GroupId> groups_;
+  std::map<MessageId, Time> outstanding_;
+  std::int64_t completed_ = 0;
+  std::int64_t deliveries_ = 0;
+  std::int64_t delivered_bytes_ = 0;
+};
+
+}  // namespace amcast::bench

@@ -7,61 +7,18 @@
 //
 // Reported, as in the paper: throughput (Mbps), mean latency (ms),
 // coordinator CPU%, and the latency CDF for 32 KB values.
-#include <map>
 #include <memory>
 
 #include "bench/bench_util.h"
-#include "core/multicast.h"
+#include "bench/driver.h"
 
 namespace amcast {
 namespace {
 
-using core::MulticastNode;
+using bench::LoadDriver;
 using ringpaxos::ConfigRegistry;
 using ringpaxos::RingOptions;
 using ringpaxos::StorageOptions;
-
-/// Ring member with closed-loop proposer threads ("dummy service": commands
-/// execute nothing, §8.3.1).
-class DummyNode final : public MulticastNode {
- public:
-  DummyNode(ConfigRegistry& reg, int threads, std::size_t size)
-      : MulticastNode(reg), threads_(threads), size_(size) {}
-
-  void start_load(GroupId g) {
-    group_ = g;
-    for (int t = 0; t < threads_; ++t) issue();
-  }
-
-  std::int64_t delivered_bytes() const { return delivered_bytes_; }
-
- protected:
-  void on_deliver(GroupId g, const ringpaxos::ValuePtr& v) override {
-    delivered_bytes_ += std::int64_t(v->payload ? v->payload->size() : 0);
-    if (v->origin == id()) {
-      auto it = outstanding_.find(v->msg_id);
-      if (it != outstanding_.end()) {
-        sim().metrics().histogram("mrp.latency").record_duration(now() -
-                                                                 it->second);
-        outstanding_.erase(it);
-        issue();
-      }
-    }
-    MulticastNode::on_deliver(g, v);
-  }
-
- private:
-  void issue() {
-    MessageId mid = multicast(group_, size_);
-    outstanding_[mid] = now();
-  }
-
-  int threads_;
-  std::size_t size_;
-  GroupId group_ = kInvalidGroup;
-  std::map<MessageId, Time> outstanding_;
-  std::int64_t delivered_bytes_ = 0;
-};
 
 struct Mode {
   const char* name;
@@ -81,10 +38,12 @@ CellResult run_cell(const Mode& mode, std::size_t size) {
   sim::Simulation sim(42);
   ConfigRegistry registry;
 
-  std::vector<DummyNode*> nodes;
+  // Closed-loop proposer threads against a "dummy service" (commands
+  // execute nothing, §8.3.1).
+  std::vector<LoadDriver*> nodes;
   std::vector<ProcessId> ids;
   for (int i = 0; i < 3; ++i) {
-    auto n = std::make_unique<DummyNode>(registry, /*threads=*/10, size);
+    auto n = std::make_unique<LoadDriver>(registry, /*threads=*/10, size);
     if (mode.mode != StorageOptions::Mode::kMemory) {
       n->add_disk(mode.ssd ? sim::Presets::ssd() : sim::Presets::hdd());
     }
@@ -105,7 +64,7 @@ CellResult run_cell(const Mode& mode, std::size_t size) {
   const Duration warmup = duration::milliseconds(500);
   const Duration window = duration::milliseconds(1500);
   sim.run_until(warmup);
-  sim.metrics().histogram("mrp.latency").clear();
+  sim.metrics().histogram(bench::kLatencyHist).clear();
   std::int64_t bytes0 = nodes[2]->delivered_bytes();
   sim.node(ids[0]).take_cpu_busy_seconds();  // reset coordinator CPU window
   sim.run_until(warmup + window);
@@ -113,7 +72,7 @@ CellResult run_cell(const Mode& mode, std::size_t size) {
   CellResult r;
   std::int64_t bytes = nodes[2]->delivered_bytes() - bytes0;
   r.mbps = double(bytes) * 8.0 / duration::to_seconds(window) / 1e6;
-  const auto& h = sim.metrics().histogram("mrp.latency");
+  const auto& h = sim.metrics().histogram(bench::kLatencyHist);
   r.mean_ms = h.mean_ms();
   r.cpu_pct =
       sim.node(ids[0]).take_cpu_busy_seconds() / duration::to_seconds(window) *

@@ -1,0 +1,288 @@
+// Unified performance suite: runs the scenario matrix (bench/scenarios.h)
+// under one measurement protocol and emits a machine-readable
+// BENCH_perf.json (schema in bench/bench_util.h).
+//
+//   perf_suite                         # full matrix -> BENCH_perf.json
+//   perf_suite --smoke                 # reduced CI matrix (< 2 min)
+//   perf_suite --out FILE              # artifact path
+//   perf_suite --scenario NAME         # one scenario only
+//   perf_suite --seed N                # base sim seed (default 42)
+//   perf_suite --compare BASELINE      # CI perf gate: per-scenario delta
+//                                      # table vs the committed baseline,
+//                                      # fails when rate_per_s moves > 25%
+//   perf_suite --tolerance PCT        # override the gate tolerance
+//   perf_suite --list                  # print the scenario catalogue
+//
+// The gate compares only sim-domain throughput (rate_per_s), which is
+// deterministic for a seed; wall_s is host-dependent and never gated. The
+// committed bench/baseline.json is a --smoke run; refresh it with
+//   ./build/bench/perf_suite --smoke --out bench/baseline.json
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "bench/scenarios.h"
+
+namespace {
+
+using amcast::json::Value;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: perf_suite [--smoke] [--out FILE] [--scenario NAME] "
+               "[--seed N] [--compare BASELINE] [--tolerance PCT] [--list]\n");
+  return 2;
+}
+
+/// Stable identity of a result row: name plus every param, in insertion
+/// order (scenarios emit params deterministically).
+std::string row_key(const Value& row) {
+  const Value* name = row.find("name");
+  std::string key = name ? name->as_string() : "(unnamed)";
+  if (const Value* params = row.find("params")) {
+    for (const auto& [k, v] : params->members()) {
+      key += " " + k + "=";
+      key += v.is_string() ? v.as_string() : std::to_string(v.as_number());
+    }
+  }
+  return key;
+}
+
+/// Short human label: name + params without the key= noise for known ints.
+std::string row_label(const Value& row) {
+  const Value* name = row.find("name");
+  std::string label = name ? name->as_string() : "(unnamed)";
+  if (const Value* params = row.find("params")) {
+    std::string args;
+    for (const auto& [k, v] : params->members()) {
+      if (!args.empty()) args += ", ";
+      args += k + "=";
+      if (v.is_string()) {
+        args += v.as_string();
+      } else {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%g", v.as_number());
+        args += buf;
+      }
+    }
+    if (!args.empty()) label += " (" + args + ")";
+  }
+  return label;
+}
+
+/// The gated throughput metric of a row, or nullptr when the document does
+/// not follow the schema (hand-edited/older baselines must produce a
+/// diagnostic, not a crash).
+const Value* row_rate(const Value& row) {
+  const Value* metrics = row.find("metrics");
+  return metrics ? metrics->find("rate_per_s") : nullptr;
+}
+
+/// The CI perf gate: matches rows by (name, params) and fails when
+/// rate_per_s deviates more than `tolerance` from the baseline, or when the
+/// row sets differ (schema drift requires an intentional baseline refresh).
+/// With `partial_run` (a --scenario filter was active) unmatched baseline
+/// rows are expected and not failures — a developer iterating on one
+/// scenario still gets a meaningful local gate.
+int compare_against_baseline(const Value& current, const std::string& path,
+                             double tolerance, bool partial_run) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "perf gate: cannot read baseline %s\n", path.c_str());
+    return 1;
+  }
+  std::stringstream ss;
+  ss << in.rdbuf();
+  std::string err;
+  Value baseline = Value::parse(ss.str(), &err);
+  if (baseline.is_null()) {
+    std::fprintf(stderr, "perf gate: baseline %s: %s\n", path.c_str(),
+                 err.c_str());
+    return 1;
+  }
+
+  const Value* bsmoke = baseline.find("smoke");
+  const Value* csmoke = current.find("smoke");
+  if (bsmoke && csmoke && bsmoke->as_bool() != csmoke->as_bool()) {
+    std::fprintf(stderr,
+                 "perf gate: baseline is a %s run but this is a %s run; "
+                 "compare like with like\n",
+                 bsmoke->as_bool() ? "--smoke" : "full",
+                 csmoke->as_bool() ? "--smoke" : "full");
+    return 1;
+  }
+
+  const Value* base_scenarios = baseline.find("scenarios");
+  if (base_scenarios == nullptr || !base_scenarios->is_array()) {
+    std::fprintf(stderr,
+                 "perf gate: baseline %s has no \"scenarios\" array — refresh "
+                 "bench/baseline.json\n",
+                 path.c_str());
+    return 1;
+  }
+  std::vector<std::pair<std::string, const Value*>> base_rows;
+  for (const auto& row : base_scenarios->items()) {
+    base_rows.emplace_back(row_key(row), &row);
+  }
+
+  amcast::TextTable t({"scenario", "baseline", "current", "delta", "verdict"});
+  int failures = 0;
+  std::size_t matched = 0;
+  for (const auto& row : current.find("scenarios")->items()) {
+    std::string key = row_key(row);
+    const Value* base = nullptr;
+    for (const auto& [bk, bv] : base_rows) {
+      if (bk == key) {
+        base = bv;
+        break;
+      }
+    }
+    const Value* cur_rate_v = row_rate(row);
+    if (cur_rate_v == nullptr) {
+      t.add_row({row_label(row), "-", "(no rate_per_s)", "-",
+                 "FAIL: row lacks metrics.rate_per_s"});
+      ++failures;
+      continue;
+    }
+    double cur_rate = cur_rate_v->as_number();
+    if (base == nullptr) {
+      t.add_row({row_label(row), "(missing)", amcast::TextTable::num(cur_rate, 0),
+                 "-", "FAIL: not in baseline — refresh bench/baseline.json"});
+      ++failures;
+      continue;
+    }
+    ++matched;
+    const Value* base_rate_v = row_rate(*base);
+    if (base_rate_v == nullptr) {
+      t.add_row({row_label(row), "(no rate_per_s)",
+                 amcast::TextTable::num(cur_rate, 0), "-",
+                 "FAIL: baseline row lacks metrics.rate_per_s — refresh "
+                 "bench/baseline.json"});
+      ++failures;
+      continue;
+    }
+    double base_rate = base_rate_v->as_number();
+    double delta =
+        base_rate != 0 ? (cur_rate - base_rate) / base_rate : (cur_rate != 0);
+    bool ok = delta >= -tolerance && delta <= tolerance;
+    char dbuf[32];
+    std::snprintf(dbuf, sizeof(dbuf), "%+.1f%%", delta * 100);
+    t.add_row({row_label(row), amcast::TextTable::num(base_rate, 0),
+               amcast::TextTable::num(cur_rate, 0), dbuf,
+               ok ? "ok" : "FAIL"});
+    if (!ok) ++failures;
+  }
+  if (matched < base_rows.size() && !partial_run) {
+    std::fprintf(stderr,
+                 "perf gate: %zu baseline row(s) were not produced by this "
+                 "run — refresh bench/baseline.json\n",
+                 base_rows.size() - matched);
+    ++failures;
+  }
+  char title[128];
+  std::snprintf(title, sizeof(title),
+                "Perf gate vs %s (rate_per_s, tolerance +/-%.0f%%)",
+                path.c_str(), tolerance * 100);
+  t.print(title);
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace amcast;
+  bench::SuiteOptions opts;
+  std::string out = "BENCH_perf.json";
+  std::string only;
+  std::string baseline_path;
+  double tolerance = 0.25;
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (!std::strcmp(argv[i], "--smoke")) {
+      opts.smoke = true;
+    } else if (!std::strcmp(argv[i], "--out")) {
+      out = next("--out");
+    } else if (!std::strcmp(argv[i], "--scenario")) {
+      only = next("--scenario");
+    } else if (!std::strcmp(argv[i], "--seed")) {
+      opts.seed = std::strtoull(next("--seed"), nullptr, 10);
+      // JSON numbers are doubles: a seed above 2^53 would be recorded
+      // inexactly in BENCH_perf.json, breaking the artifact's replay
+      // contract. Reject rather than silently round.
+      if (opts.seed > (1ull << 53)) {
+        std::fprintf(stderr,
+                     "--seed must be <= 2^53 so BENCH_*.json records it "
+                     "exactly (JSON numbers are doubles)\n");
+        return 2;
+      }
+    } else if (!std::strcmp(argv[i], "--compare")) {
+      baseline_path = next("--compare");
+    } else if (!std::strcmp(argv[i], "--tolerance")) {
+      tolerance = std::strtod(next("--tolerance"), nullptr) / 100.0;
+    } else if (!std::strcmp(argv[i], "--list")) {
+      for (const auto& s : bench::scenarios()) {
+        std::printf("%-24s %s\n", s.name, s.what);
+      }
+      return 0;
+    } else {
+      return usage();
+    }
+  }
+
+  bench::banner("perf_suite — unified scenario matrix",
+                "throughput/latency tracking for the whole stack "
+                "(BENCH_perf.json artifact)",
+                opts.smoke ? "reduced --smoke matrix" : "full matrix");
+
+  std::vector<bench::ScenarioResult> rows;
+  bool found = only.empty();
+  for (const auto& s : bench::scenarios()) {
+    if (!only.empty() && only != s.name) continue;
+    found = true;
+    std::printf("running %s ...\n", s.name);
+    std::fflush(stdout);
+    auto r = s.run(opts);
+    rows.insert(rows.end(), r.begin(), r.end());
+  }
+  if (!found) {
+    std::fprintf(stderr, "unknown scenario '%s' (see --list)\n", only.c_str());
+    return 2;
+  }
+
+  TextTable t({"scenario", "rate/s", "p50 ms", "p99 ms", "wall s"});
+  for (const auto& r : rows) {
+    auto metric = [&](const char* name) -> std::string {
+      const json::Value* v = r.metrics.find(name);
+      return v ? TextTable::num(v->as_number(), name[0] == 'p' ? 2 : 1) : "-";
+    };
+    t.add_row({row_label(r.to_json()), metric("rate_per_s"), metric("p50_ms"),
+               metric("p99_ms"), metric("wall_s")});
+  }
+  t.print("Scenario matrix results (sim-time rates/latencies; wall_s = host)");
+
+  json::Value doc =
+      bench::bench_document("perf_suite", opts.seed, opts.smoke, rows);
+  {
+    std::ofstream f(out);
+    if (!f) {
+      std::fprintf(stderr, "cannot write %s\n", out.c_str());
+      return 1;
+    }
+    f << doc.dump();
+  }
+  std::printf("\nwrote %s (%zu scenario rows)\n", out.c_str(), rows.size());
+
+  if (!baseline_path.empty()) {
+    return compare_against_baseline(doc, baseline_path, tolerance,
+                                    /*partial_run=*/!only.empty());
+  }
+  return 0;
+}

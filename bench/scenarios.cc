@@ -1,0 +1,380 @@
+#include "bench/scenarios.h"
+
+#include <memory>
+
+#include "bench/driver.h"
+#include "dlog/deployment.h"
+#include "kvstore/deployment.h"
+#include "ycsb/workload.h"
+
+namespace amcast::bench {
+namespace {
+
+using core::MulticastNode;
+using ringpaxos::ConfigRegistry;
+using ringpaxos::RingOptions;
+using ringpaxos::StorageOptions;
+
+/// Per-scenario windows: the scenario default, shrunk in smoke mode, both
+/// overridable (tiny ctest cells).
+struct Windows {
+  Duration warmup;
+  Duration window;
+};
+
+Windows windows(const SuiteOptions& o, Duration full_warmup,
+                Duration full_window) {
+  Windows w;
+  w.warmup = o.smoke ? full_warmup / 4 : full_warmup;
+  w.window = o.smoke ? full_window / 4 : full_window;
+  if (o.warmup_override > 0) w.warmup = o.warmup_override;
+  if (o.window_override > 0) w.window = o.window_override;
+  return w;
+}
+
+/// Records the shared latency metrics from a histogram.
+void latency_metrics(ScenarioResult& r, const Histogram& h) {
+  r.metrics.set("mean_ms", h.mean_ms());
+  r.metrics.set("p50_ms", h.p50_ms());
+  r.metrics.set("p99_ms", h.p99_ms());
+}
+
+// ---------------------------------------------------------------------------
+// Ring-layer scenarios (LoadDriver worlds)
+// ---------------------------------------------------------------------------
+
+/// A 3-node world where every node is proposer+acceptor+learner on `rings`
+/// rings; closed-loop drivers saturate them. The shared core of the
+/// single-ring, multi-ring, and batching scenarios.
+struct RingWorld {
+  sim::Simulation sim;
+  ConfigRegistry registry;
+  std::vector<LoadDriver*> nodes;
+  std::vector<GroupId> groups;
+
+  RingWorld(std::uint64_t seed, int rings, int threads_per_node,
+            std::size_t value_bytes, const RingOptions& ro)
+      : sim(seed) {
+    std::vector<ProcessId> ids;
+    for (int i = 0; i < 3; ++i) {
+      auto n = std::make_unique<LoadDriver>(registry, threads_per_node,
+                                            value_bytes);
+      nodes.push_back(n.get());
+      ids.push_back(sim.add_node(std::move(n)));
+    }
+    for (int r = 0; r < rings; ++r) {
+      groups.push_back(
+          registry.create_ring(ids, ids, ids[std::size_t(r) % ids.size()]));
+    }
+    for (auto* n : nodes) {
+      for (GroupId g : groups) n->subscribe(g, ro);
+    }
+    for (auto* n : nodes) n->start_load(groups);
+  }
+
+  /// Warmup, measure, and return a result row with throughput + latency.
+  ScenarioResult measure(const char* name, std::uint64_t seed, Windows w) {
+    WallClock wall;
+    sim.run_until(sim.now() + w.warmup);
+    sim.metrics().histogram(kLatencyHist).clear();
+    std::int64_t c0 = 0;
+    for (auto* n : nodes) c0 += n->completed();
+    sim.run_until(sim.now() + w.window);
+    std::int64_t c1 = 0;
+    for (auto* n : nodes) c1 += n->completed();
+
+    ScenarioResult r;
+    r.name = name;
+    r.seed = seed;
+    r.metrics.set("rate_per_s", rate(c1 - c0, w.window));
+    latency_metrics(r, sim.metrics().histogram(kLatencyHist));
+    r.metrics.set("wall_s", wall.seconds());
+    return r;
+  }
+};
+
+std::vector<ScenarioResult> run_single_ring(const SuiteOptions& o) {
+  Windows w = windows(o, duration::seconds(1), duration::seconds(2));
+  std::vector<std::size_t> sizes = o.smoke
+                                       ? std::vector<std::size_t>{128}
+                                       : std::vector<std::size_t>{128, 1024,
+                                                                  8192};
+  std::vector<ScenarioResult> rows;
+  for (std::size_t size : sizes) {
+    RingOptions ro;  // in-memory, no packing/batching: the raw protocol
+    RingWorld world(o.seed, /*rings=*/1, /*threads_per_node=*/64, size, ro);
+    auto r = world.measure("single_ring_saturation", o.seed, w);
+    r.params.set("nodes", 3);
+    r.params.set("threads_per_node", 64);
+    r.params.set("value_bytes", size);
+    rows.push_back(std::move(r));
+  }
+  return rows;
+}
+
+std::vector<ScenarioResult> run_multi_ring(const SuiteOptions& o) {
+  Windows w = windows(o, duration::seconds(1), duration::seconds(2));
+  std::vector<int> ring_counts =
+      o.smoke ? std::vector<int>{1, 4} : std::vector<int>{1, 2, 4, 8};
+  std::vector<ScenarioResult> rows;
+  for (int rings : ring_counts) {
+    RingOptions ro;
+    ro.lambda = 9000;  // rate leveling keeps the merge moving (paper §4)
+    ro.delta = duration::milliseconds(5);
+    RingWorld world(o.seed, rings, /*threads_per_node=*/48, 512, ro);
+    auto r = world.measure("multi_ring_scaling", o.seed, w);
+    r.params.set("nodes", 3);
+    r.params.set("rings", rings);
+    r.params.set("threads_per_node", 48);
+    r.params.set("value_bytes", 512);
+    rows.push_back(std::move(r));
+  }
+  return rows;
+}
+
+std::vector<ScenarioResult> run_value_batching(const SuiteOptions& o) {
+  Windows w = windows(o, duration::seconds(1), duration::seconds(2));
+  std::vector<int> batches =
+      o.smoke ? std::vector<int>{1, 16} : std::vector<int>{1, 16, 64};
+  std::vector<ScenarioResult> rows;
+  for (int batch : batches) {
+    RingOptions ro;
+    ro.batch_values = batch;
+    ro.batch_delay = duration::microseconds(200);
+    RingWorld world(o.seed, /*rings=*/1, /*threads_per_node=*/64, 128, ro);
+    auto r = world.measure("value_batching", o.seed, w);
+    r.params.set("nodes", 3);
+    r.params.set("threads_per_node", 64);
+    r.params.set("value_bytes", 128);
+    r.params.set("batch_values", batch);
+    rows.push_back(std::move(r));
+  }
+  return rows;
+}
+
+// ---------------------------------------------------------------------------
+// Service scenarios (deployment builders)
+// ---------------------------------------------------------------------------
+
+kvstore::KvClient::Generator ycsb_gen(std::shared_ptr<ycsb::Generator> gen) {
+  return [gen](int thread, Rng& rng) { return gen->next(thread, rng); };
+}
+
+ScenarioResult run_ycsb(const SuiteOptions& o, const char* name,
+                        ycsb::WorkloadSpec::Dist dist) {
+  Windows w = windows(o, duration::milliseconds(500), duration::seconds(2));
+  const std::uint64_t records = o.smoke ? 4000 : 20000;
+  const int threads = 60;
+
+  WallClock wall;
+  kvstore::KvDeploymentSpec spec;
+  spec.partitions = 3;
+  spec.replicas_per_partition = 3;
+  spec.partitioner = kvstore::Partitioner::hash(3);
+  spec.storage = StorageOptions::Mode::kAsyncDisk;
+  spec.disk = sim::Presets::hdd();
+  spec.lambda = 9000;
+  spec.seed = o.seed;
+  kvstore::KvDeployment d(spec);
+  d.preload(records, 1024, ycsb::Generator::key_of);
+
+  auto ws = ycsb::WorkloadSpec::standard(ycsb::Workload::A);
+  ws.dist = dist;
+  auto gen = std::make_shared<ycsb::Generator>(ws, records, 1024, threads);
+  auto& client = d.add_client(threads, ycsb_gen(gen));
+
+  d.sim().run_until(w.warmup);
+  for (const char* h : {"kv.latency", "kv.latency.read", "kv.latency.update"}) {
+    if (d.sim().metrics().has_histogram(h)) {
+      d.sim().metrics().histogram(h).clear();
+    }
+  }
+  std::int64_t c0 = client.completed();
+  d.sim().run_until(w.warmup + w.window);
+
+  ScenarioResult r;
+  r.name = name;
+  r.seed = o.seed;
+  r.params.set("workload", "A");
+  r.params.set("dist",
+               dist == ycsb::WorkloadSpec::Dist::kUniform ? "uniform" : "zipf");
+  r.params.set("partitions", 3);
+  r.params.set("records", records);
+  r.params.set("threads", threads);
+  r.metrics.set("rate_per_s", rate(client.completed() - c0, w.window));
+  latency_metrics(r, d.sim().metrics().histogram("kv.latency"));
+  r.metrics.set("wall_s", wall.seconds());
+  return r;
+}
+
+std::vector<ScenarioResult> run_ycsb_uniform(const SuiteOptions& o) {
+  return {run_ycsb(o, "ycsb_uniform", ycsb::WorkloadSpec::Dist::kUniform)};
+}
+
+std::vector<ScenarioResult> run_ycsb_zipf(const SuiteOptions& o) {
+  return {run_ycsb(o, "ycsb_zipf", ycsb::WorkloadSpec::Dist::kZipfian)};
+}
+
+std::vector<ScenarioResult> run_dlog(const SuiteOptions& o) {
+  Windows w = windows(o, duration::seconds(1), duration::seconds(2));
+  const int threads = 64;
+
+  WallClock wall;
+  dlog::DLogDeploymentSpec spec;
+  spec.logs = 2;
+  spec.server_nodes = 1;
+  spec.acceptor_nodes = 2;
+  spec.storage = StorageOptions::Mode::kAsyncDisk;
+  spec.disk = sim::Presets::hdd();
+  spec.lambda = 9000;
+  spec.seed = o.seed;
+  dlog::DLogDeployment d(spec);
+
+  // 90/10 append/read mix over both logs; reads target the warm prefix the
+  // appends of the warmup phase created.
+  auto& client = d.add_client(
+      threads,
+      [](int t, Rng& rng) {
+        dlog::Command c;
+        c.logs = {dlog::LogId(t % 2)};
+        if (rng.next_u64(10) == 0) {
+          c.op = dlog::Op::kRead;
+          c.position = std::int64_t(rng.next_u64(200));
+        } else {
+          c.op = dlog::Op::kAppend;
+          c.value.assign(1024, 0);
+        }
+        return c;
+      },
+      /*batch_bytes=*/32 * 1024);
+
+  d.sim().run_until(w.warmup);
+  for (const char* h :
+       {"dlog.latency", "dlog.latency.append", "dlog.latency.read"}) {
+    if (d.sim().metrics().has_histogram(h)) {
+      d.sim().metrics().histogram(h).clear();
+    }
+  }
+  std::int64_t c0 = client.completed();
+  d.sim().run_until(w.warmup + w.window);
+
+  ScenarioResult r;
+  r.name = "dlog_append_read";
+  r.seed = o.seed;
+  r.params.set("logs", 2);
+  r.params.set("threads", threads);
+  r.params.set("value_bytes", 1024);
+  r.params.set("append_pct", 90);
+  r.metrics.set("rate_per_s", rate(client.completed() - c0, w.window));
+  latency_metrics(r, d.sim().metrics().histogram("dlog.latency"));
+  r.metrics.set("wall_s", wall.seconds());
+  return {r};
+}
+
+std::vector<ScenarioResult> run_checkpoint_recovery(const SuiteOptions& o) {
+  // Windows here pace the whole timeline, not just the measurement: the
+  // steady-state rate is measured over `window` before the crash.
+  Windows w = windows(o, duration::seconds(1), duration::seconds(2));
+  const std::uint64_t records = o.smoke ? 4000 : 10000;
+
+  WallClock wall;
+  kvstore::KvDeploymentSpec spec;
+  spec.partitions = 1;
+  spec.replicas_per_partition = 3;
+  spec.dedicated_acceptors = 3;
+  spec.partitioner = kvstore::Partitioner::hash(1);
+  spec.storage = StorageOptions::Mode::kAsyncDisk;
+  spec.disk = sim::Presets::hdd();
+  spec.lambda = 9000;
+  spec.checkpoint_interval = w.warmup + w.window / 2;
+  spec.trim_interval = w.warmup + w.window;
+  spec.seed = o.seed;
+  kvstore::KvDeployment d(spec);
+  d.preload(records, 1024,
+            [](std::uint64_t rec) { return "key" + std::to_string(rec); });
+  auto& client = d.add_client(8, [records](int, Rng& rng) {
+    kvstore::Command c;
+    c.op = kvstore::Op::kUpdate;
+    c.key = "key" + std::to_string(rng.next_u64(records));
+    c.value.assign(1024, 0);
+    return c;
+  });
+
+  auto& sim = d.sim();
+  sim.run_until(w.warmup);
+  std::int64_t c0 = client.completed();
+  sim.run_until(w.warmup + w.window);
+  double steady_rate = rate(client.completed() - c0, w.window);
+
+  Time crash_at = sim.now();
+  d.crash_replica(0, 2);
+  sim.run_until(crash_at + w.window);  // survivors checkpoint meanwhile
+  Time restart_at = sim.now();
+  d.restart_replica(0, 2);
+
+  // Run in slices until recovery completes (bounded), then read the exact
+  // completion time from the replica's event log.
+  Time deadline = restart_at + 20 * w.window;
+  while (d.replica(0, 2).recovering() && sim.now() < deadline) {
+    sim.run_until(sim.now() + w.window / 8);
+  }
+  double recovery_s = -1;
+  for (const auto& [t, e] : d.replica(0, 2).events()) {
+    if (e == "recovery.done" && t >= restart_at) {
+      recovery_s = duration::to_seconds(t - restart_at);
+      break;
+    }
+  }
+
+  ScenarioResult r;
+  r.name = "checkpoint_recovery";
+  r.seed = o.seed;
+  r.params.set("replicas", 3);
+  r.params.set("dedicated_acceptors", 3);
+  r.params.set("records", records);
+  r.params.set("threads", 8);
+  r.metrics.set("rate_per_s", steady_rate);
+  r.metrics.set("recovery_s", recovery_s);
+  r.metrics.set(
+      "checkpoints",
+      double(sim.metrics().counter_value("recovery.checkpoints")));
+  r.metrics.set("trims",
+                double(sim.metrics().counter_value("recovery.acceptor_trims")));
+  r.metrics.set("wall_s", wall.seconds());
+  return {r};
+}
+
+}  // namespace
+
+const std::vector<Scenario>& scenarios() {
+  static const std::vector<Scenario> kAll = {
+      {"single_ring_saturation",
+       "1 ring x 3 co-located nodes at closed-loop saturation, per value size",
+       run_single_ring},
+      {"multi_ring_scaling",
+       "aggregate msgs/s as rings grow 1..8 on the same 3 machines",
+       run_multi_ring},
+      {"value_batching", "coordinator value-batching sweep, 128 B values",
+       run_value_batching},
+      {"ycsb_uniform", "YCSB A on MRP-Store (3 partitions), uniform keys",
+       run_ycsb_uniform},
+      {"ycsb_zipf", "YCSB A on MRP-Store (3 partitions), zipfian keys",
+       run_ycsb_zipf},
+      {"dlog_append_read", "dLog 90/10 append/read mix, 2 logs + shared ring",
+       run_dlog},
+      {"checkpoint_recovery",
+       "MRP-Store replica crash/restart; steady rate + recovery time",
+       run_checkpoint_recovery},
+  };
+  return kAll;
+}
+
+std::vector<ScenarioResult> run_scenario(const std::string& name,
+                                         const SuiteOptions& opts) {
+  for (const auto& s : scenarios()) {
+    if (name == s.name) return s.run(opts);
+  }
+  return {};
+}
+
+}  // namespace amcast::bench

@@ -1,0 +1,57 @@
+// The perf-suite scenario matrix: every scenario builds a deployment,
+// applies the shared measurement protocol (fixed warmup then a fixed
+// measurement window, both on sim time; throughput plus latency percentiles
+// from common/histogram), and returns BENCH_*.json rows (bench_util.h
+// schema). Shared by bench/perf_suite (the driver binary, CI perf gate) and
+// tests/perf_suite_test (schema completeness + same-seed reproducibility).
+//
+// Scenario catalogue:
+//   single_ring_saturation  one ring of 3 co-located nodes at closed-loop
+//                           saturation, per value size
+//   multi_ring_scaling      aggregate throughput as rings grow 1..8 on the
+//                           same 3 machines (paper Figs. 6-7 shape)
+//   value_batching          coordinator value batching sweep (paper §4)
+//   ycsb_uniform            YCSB A on MRP-Store, uniform key distribution
+//   ycsb_zipf               YCSB A on MRP-Store, zipfian key distribution
+//   dlog_append_read        dLog 90/10 append/read mix, 2 logs + shared ring
+//   checkpoint_recovery     MRP-Store replica crash/restart; recovery time
+//
+// Every row's metrics include `rate_per_s` (the CI-gated throughput),
+// sim-time latency percentiles where a latency histogram exists, and
+// `wall_s` (host wall clock, informational; see bench_util.h).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+namespace amcast::bench {
+
+struct SuiteOptions {
+  /// Shrinks the matrix and the windows for the CI gate (< 2 min total).
+  bool smoke = false;
+  /// Sim seed: every scenario builds its simulation(s) from this seed
+  /// verbatim (rows within a scenario differ by parameters, not seeds) and
+  /// stamps it on each emitted row.
+  std::uint64_t seed = 42;
+  /// Override the per-scenario warmup/measurement windows (0 = scenario
+  /// default). Used by the ctest reproducibility test to run tiny cells.
+  Duration warmup_override = 0;
+  Duration window_override = 0;
+};
+
+struct Scenario {
+  const char* name;
+  const char* what;  ///< one-line description for --list
+  std::vector<ScenarioResult> (*run)(const SuiteOptions&);
+};
+
+/// All registered scenarios, in stable execution order.
+const std::vector<Scenario>& scenarios();
+
+/// Runs one scenario by name; empty result if the name is unknown.
+std::vector<ScenarioResult> run_scenario(const std::string& name,
+                                         const SuiteOptions& opts);
+
+}  // namespace amcast::bench

@@ -53,6 +53,17 @@ class Encoder {
   }
   void put_string(std::string_view s) { put_bytes(s.data(), s.size()); }
 
+  /// LEB128 variable-width unsigned integer: 7 value bits per byte, high
+  /// bit marks continuation. Small counts/ids cost one byte instead of the
+  /// fixed-width four or eight.
+  void put_varint(std::uint64_t v) {
+    while (v >= 0x80) {
+      buf_.push_back(std::uint8_t(v) | 0x80);
+      v >>= 7;
+    }
+    buf_.push_back(std::uint8_t(v));
+  }
+
   /// Releases the encoded buffer.
   std::vector<std::uint8_t> take() { return std::move(buf_); }
   const std::vector<std::uint8_t>& buffer() const { return buf_; }
@@ -103,9 +114,34 @@ class Decoder {
     return out;
   }
 
+  /// Decodes straight into the returned string — no intermediate byte
+  /// vector (get_string used to cost two copies per key on the kvstore
+  /// command-decode path).
   std::string get_string() {
-    auto b = get_bytes();
-    return std::string(b.begin(), b.end());
+    std::uint32_t n = get_u32();
+    AMCAST_ASSERT_MSG(pos_ + n <= end_, "decoder underrun (string)");
+    std::string out(reinterpret_cast<const char*>(data_ + pos_), n);
+    pos_ += n;
+    return out;
+  }
+
+  std::uint64_t get_varint() {
+    std::uint64_t v = 0;
+    int shift = 0;
+    while (true) {
+      AMCAST_ASSERT_MSG(pos_ < end_, "decoder underrun (varint)");
+      AMCAST_ASSERT_MSG(shift < 64, "varint wider than 64 bits");
+      std::uint8_t b = data_[pos_++];
+      // The final (10th) group sits at shift 63 where only one payload bit
+      // fits; shifting would silently drop the rest, so reject payload bits
+      // that overflow 64 explicitly.
+      AMCAST_ASSERT_MSG(
+          std::uint64_t(b & 0x7F) <= (~std::uint64_t(0) >> shift),
+          "varint wider than 64 bits");
+      v |= std::uint64_t(b & 0x7F) << shift;
+      if ((b & 0x80) == 0) return v;
+      shift += 7;
+    }
   }
 
   /// Bytes not yet consumed.

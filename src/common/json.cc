@@ -1,0 +1,348 @@
+#include "common/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace amcast::json {
+
+Value& Value::set(const std::string& key, Value v) {
+  type_ = Type::kObject;
+  for (auto& [k, existing] : obj_) {
+    if (k == key) {
+      existing = std::move(v);
+      return existing;
+    }
+  }
+  obj_.emplace_back(key, std::move(v));
+  return obj_.back().second;
+}
+
+const Value* Value::find(const std::string& key) const {
+  if (!is_object()) return nullptr;
+  for (const auto& [k, v] : obj_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+namespace {
+
+void escape_to(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void number_to(std::string& out, double n) {
+  // Integral values print as integers: metric counts and parameters stay
+  // readable and diff-stable in committed baselines.
+  if (std::isfinite(n) && n == std::floor(n) && std::fabs(n) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(n));
+    out += buf;
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", n);
+  out += buf;
+}
+
+void pad(std::string& out, int indent) { out.append(std::size_t(indent), ' '); }
+
+}  // namespace
+
+void Value::dump_to(std::string& out, int indent) const {
+  switch (type_) {
+    case Type::kNull: out += "null"; return;
+    case Type::kBool: out += bool_ ? "true" : "false"; return;
+    case Type::kNumber: number_to(out, num_); return;
+    case Type::kString: escape_to(out, str_); return;
+    case Type::kArray: {
+      if (arr_.empty()) {
+        out += "[]";
+        return;
+      }
+      out += "[\n";
+      for (std::size_t i = 0; i < arr_.size(); ++i) {
+        pad(out, indent + 2);
+        arr_[i].dump_to(out, indent + 2);
+        out += i + 1 < arr_.size() ? ",\n" : "\n";
+      }
+      pad(out, indent);
+      out += ']';
+      return;
+    }
+    case Type::kObject: {
+      if (obj_.empty()) {
+        out += "{}";
+        return;
+      }
+      out += "{\n";
+      for (std::size_t i = 0; i < obj_.size(); ++i) {
+        pad(out, indent + 2);
+        escape_to(out, obj_[i].first);
+        out += ": ";
+        obj_[i].second.dump_to(out, indent + 2);
+        out += i + 1 < obj_.size() ? ",\n" : "\n";
+      }
+      pad(out, indent);
+      out += '}';
+      return;
+    }
+  }
+}
+
+std::string Value::dump() const {
+  std::string out;
+  dump_to(out, 0);
+  out += '\n';
+  return out;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Value parse_document(std::string* error) {
+    Value v;
+    if (!parse_value(v)) {
+      report(error);
+      return Value();
+    }
+    skip_ws();
+    if (pos_ != text_.size()) {
+      fail("trailing characters after document");
+      report(error);
+      return Value();
+    }
+    return v;
+  }
+
+ private:
+  bool parse_value(Value& out) {
+    skip_ws();
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    char c = text_[pos_];
+    switch (c) {
+      case '{': return parse_object(out);
+      case '[': return parse_array(out);
+      case '"': {
+        std::string s;
+        if (!parse_string(s)) return false;
+        out = Value(std::move(s));
+        return true;
+      }
+      case 't':
+        if (!literal("true")) return false;
+        out = Value(true);
+        return true;
+      case 'f':
+        if (!literal("false")) return false;
+        out = Value(false);
+        return true;
+      case 'n':
+        if (!literal("null")) return false;
+        out = Value();
+        return true;
+      default: return parse_number(out);
+    }
+  }
+
+  bool parse_object(Value& out) {
+    ++pos_;  // '{'
+    out = Value::object();
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (!parse_string(key)) return false;
+      skip_ws();
+      if (peek() != ':') return fail("expected ':' after object key");
+      ++pos_;
+      Value v;
+      if (!parse_value(v)) return false;
+      out.set(key, std::move(v));
+      skip_ws();
+      char c = peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == '}') {
+        ++pos_;
+        return true;
+      }
+      return fail("expected ',' or '}' in object");
+    }
+  }
+
+  bool parse_array(Value& out) {
+    ++pos_;  // '['
+    out = Value::array();
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      Value v;
+      if (!parse_value(v)) return false;
+      out.push_back(std::move(v));
+      skip_ws();
+      char c = peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == ']') {
+        ++pos_;
+        return true;
+      }
+      return fail("expected ',' or ']' in array");
+    }
+  }
+
+  bool parse_string(std::string& out) {
+    if (peek() != '"') return fail("expected string");
+    ++pos_;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return fail("unterminated escape");
+        char e = text_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return fail("bad \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= unsigned(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= unsigned(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= unsigned(h - 'A' + 10);
+              else return fail("bad \\u escape digit");
+            }
+            // Our documents are ASCII; encode BMP code points as UTF-8.
+            if (code < 0x80) {
+              out += char(code);
+            } else if (code < 0x800) {
+              out += char(0xC0 | (code >> 6));
+              out += char(0x80 | (code & 0x3F));
+            } else {
+              out += char(0xE0 | (code >> 12));
+              out += char(0x80 | ((code >> 6) & 0x3F));
+              out += char(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default: return fail("unknown escape character");
+        }
+        continue;
+      }
+      out += c;
+    }
+    return fail("unterminated string");
+  }
+
+  bool parse_number(Value& out) {
+    std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return fail("expected a value");
+    std::string num(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    double d = std::strtod(num.c_str(), &end);
+    if (end == nullptr || *end != '\0') return fail("malformed number");
+    out = Value(d);
+    return true;
+  }
+
+  bool literal(const char* word) {
+    std::string_view w(word);
+    if (text_.substr(pos_, w.size()) != w) return fail("unknown literal");
+    pos_ += w.size();
+    return true;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+  bool fail(const char* what) {
+    if (error_ == nullptr) error_ = what;
+    error_pos_ = pos_;
+    return false;
+  }
+
+  void report(std::string* error) const {
+    if (error == nullptr) return;
+    int line = 1, col = 1;
+    for (std::size_t i = 0; i < error_pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+    }
+    *error = std::to_string(line) + ":" + std::to_string(col) + ": " +
+             (error_ ? error_ : "parse error");
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  const char* error_ = nullptr;
+  std::size_t error_pos_ = 0;
+};
+
+}  // namespace
+
+Value Value::parse(std::string_view text, std::string* error) {
+  return Parser(text).parse_document(error);
+}
+
+}  // namespace amcast::json

@@ -1,0 +1,81 @@
+// Minimal JSON document model, serializer, and parser.
+//
+// Backs the machine-readable benchmark artifacts (BENCH_*.json): the perf
+// suite emits documents through Value::dump and the CI gate re-reads the
+// committed baseline through Value::parse. Scope is deliberately small —
+// objects keep insertion order (stable diffs for committed baselines),
+// numbers are doubles (integral values print without a decimal point), and
+// the parser accepts exactly the documents the serializer produces plus
+// ordinary hand-edits (whitespace, any member order, nested containers).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace amcast::json {
+
+class Value {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Value() = default;
+  Value(bool b) : type_(Type::kBool), bool_(b) {}                    // NOLINT
+  Value(double n) : type_(Type::kNumber), num_(n) {}                 // NOLINT
+  Value(int n) : Value(double(n)) {}                                 // NOLINT
+  Value(std::int64_t n) : Value(double(n)) {}                        // NOLINT
+  Value(std::uint64_t n) : Value(double(n)) {}                       // NOLINT
+  Value(std::string s) : type_(Type::kString), str_(std::move(s)) {} // NOLINT
+  Value(const char* s) : Value(std::string(s)) {}                    // NOLINT
+
+  static Value array() { Value v; v.type_ = Type::kArray; return v; }
+  static Value object() { Value v; v.type_ = Type::kObject; return v; }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool as_bool() const { return bool_; }
+  double as_number() const { return num_; }
+  const std::string& as_string() const { return str_; }
+
+  // --- array access ---
+  void push_back(Value v) { arr_.push_back(std::move(v)); }
+  std::size_t size() const { return is_object() ? obj_.size() : arr_.size(); }
+  const Value& at(std::size_t i) const { return arr_[i]; }
+  const std::vector<Value>& items() const { return arr_; }
+
+  // --- object access (insertion-ordered) ---
+  Value& set(const std::string& key, Value v);
+  /// Member lookup; nullptr when absent or not an object.
+  const Value* find(const std::string& key) const;
+  const std::vector<std::pair<std::string, Value>>& members() const {
+    return obj_;
+  }
+
+  /// Serializes with 2-space indentation and a trailing newline at the top
+  /// level, suitable for committing to the repository.
+  std::string dump() const;
+
+  /// Parses `text`; on failure returns a null Value and sets `error` (when
+  /// given) to a "line:col: message" description.
+  static Value parse(std::string_view text, std::string* error = nullptr);
+
+ private:
+  void dump_to(std::string& out, int indent) const;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double num_ = 0;
+  std::string str_;
+  std::vector<Value> arr_;
+  std::vector<std::pair<std::string, Value>> obj_;
+};
+
+}  // namespace amcast::json

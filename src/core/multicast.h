@@ -121,6 +121,10 @@ class MulticastNode : public ringpaxos::RingNode {
     InstanceId next_expected = 0;  ///< merge cursor for this group
   };
 
+  /// Index of `g` in subs_/merge_; subscriptions are few, so a linear scan
+  /// beats a map on the per-decision delivery path.
+  std::size_t group_index(GroupId g) const;
+
   MessageId next_message_id();
   void run_merge();
   void handle_trim_query_timer(GroupId g);
@@ -128,8 +132,9 @@ class MulticastNode : public ringpaxos::RingNode {
   void handle_trim_command(const TrimCommandMsg& m);
 
   DeliverFn deliver_;
-  std::vector<GroupId> subs_;  ///< ascending
-  std::map<GroupId, GroupMergeState> merge_;
+  std::vector<GroupId> subs_;           ///< ascending
+  std::vector<GroupMergeState> merge_;  ///< parallel to subs_ (hot path:
+                                        ///< indexed, never map-searched)
   std::size_t rr_index_ = 0;       ///< current group in the round-robin
   std::int32_t rr_remaining_ = 0;  ///< instances still owed by this group
   std::int64_t delivered_count_ = 0;

@@ -53,7 +53,7 @@ void KvReplica::on_deliver(GroupId g, const ringpaxos::ValuePtr& v) {
 
   // Group responses per client so one UDP-style message answers the batch.
   std::map<ProcessId, KvResponseMsg> responses;
-  for (const auto& c : batch.commands) {
+  for (Command& c : batch.commands) {
     if (!command_is_local(c)) continue;  // other partition's share
     CommandResult r;
     if (is_duplicate_and_track(c)) {
@@ -63,7 +63,9 @@ void KvReplica::on_deliver(GroupId g, const ringpaxos::ValuePtr& v) {
       r.thread = c.thread;
       r.ok = true;
     } else {
-      r = store_.apply(c);
+      // The decoded batch is consumed here, so the store may take the
+      // command's value bytes by move instead of copying them.
+      r = store_.apply(std::move(c));
       ++applied_;
     }
     responses[c.client].results.push_back(r);

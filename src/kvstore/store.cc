@@ -46,7 +46,8 @@ bool KvStore::erase(const std::string& key) {
   return true;
 }
 
-CommandResult KvStore::apply(const Command& c) {
+CommandResult KvStore::apply_impl(const Command& c,
+                                  std::vector<std::uint8_t>&& value) {
   CommandResult r;
   r.seq = c.seq;
   r.thread = c.thread;
@@ -65,10 +66,10 @@ CommandResult KvStore::apply(const Command& c) {
       break;
     }
     case Op::kUpdate:
-      r.ok = update(c.key, c.value);
+      r.ok = update(c.key, std::move(value));
       break;
     case Op::kInsert:
-      insert(c.key, c.value);
+      insert(c.key, std::move(value));
       r.ok = true;
       break;
     case Op::kDelete:

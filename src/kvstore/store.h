@@ -35,8 +35,14 @@ class KvStore {
   /// delete(k): remove entry; returns false if absent.
   bool erase(const std::string& key);
 
-  /// Applies a replicated command; returns its result.
-  CommandResult apply(const Command& c);
+  /// Applies a replicated command; returns its result. The rvalue overload
+  /// moves the command's value bytes into the tree instead of copying them
+  /// (the delivery path decodes a fresh Command per replicated write, so
+  /// handing it over by value saves one full payload copy per update).
+  CommandResult apply(const Command& c) {
+    return apply_impl(c, std::vector<std::uint8_t>(c.value));
+  }
+  CommandResult apply(Command&& c) { return apply_impl(c, std::move(c.value)); }
 
   std::size_t entry_count() const { return tree_.size(); }
   std::size_t data_bytes() const { return data_bytes_; }
@@ -52,6 +58,10 @@ class KvStore {
   void clear();
 
  private:
+  /// `value` is the command's write payload, already copied or moved by the
+  /// public overloads (reads and scans carry an empty one).
+  CommandResult apply_impl(const Command& c, std::vector<std::uint8_t>&& value);
+
   Tree tree_;
   std::size_t data_bytes_ = 0;
 };

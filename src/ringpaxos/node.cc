@@ -729,7 +729,7 @@ void RingNode::gap_repair_tick(RingState& rs) {
   // Evidence of a gap: the cursor is stuck while later instances queued up
   // (their decision or value was lost). Without evidence, probe only when
   // configured — an idle ring looks exactly like a fully-cut one.
-  if (rs.pending.empty() && !rs.opts.gap_repair_probe) return;
+  if (rs.pending_empty() && !rs.opts.gap_repair_probe) return;
   if (++rs.gap_stall_ticks < 2) return;
   if (rs.gap_nonce != 0 &&
       now() - rs.gap_sent_at < rs.opts.gap_repair_timeout * 2) {
@@ -790,15 +790,102 @@ void RingNode::handle_learner_retransmit_reply(RingState& rs,
   }
 }
 
+/// True when the entry belongs in the ring-indexed window: single-instance,
+/// within the window span of the cursor, and not already owned by the map
+/// (the map wins so that range/far updates keyed at the same instance keep
+/// operating on one entry, exactly as the map-only code did).
+bool RingNode::window_route(RingState& rs, InstanceId first,
+                            std::int32_t count) {
+  if (count != 1) return false;
+  // Callers already dropped fully-stale entries, so count==1 implies
+  // first >= next_deliver here.
+  if (std::uint64_t(first - rs.next_deliver) >= kPendingSlots) return false;
+  if (!rs.pending.empty() && rs.pending.count(first)) return false;
+  if (rs.window.empty()) rs.window.resize(kPendingSlots);
+  return true;
+}
+
+/// The window slot for `first`, occupied (fresh slots start with the
+/// PendingInstance defaults: round -1, undecided, no value).
+RingNode::PendingSlot& RingNode::occupy_slot(RingState& rs, InstanceId first) {
+  PendingSlot& s = rs.slot(first);
+  if (!s.occupied) {
+    s.occupied = true;
+    s.first = first;
+    ++rs.window_count;
+  }
+  AMCAST_ASSERT(s.first == first);
+  return s;
+}
+
+/// Moves one occupied slot's state into the map as a count-1 entry.
+void RingNode::spill_slot(RingState& rs, PendingSlot& s) {
+  auto& p = rs.pending[s.first];
+  p.count = 1;
+  p.value = std::move(s.value);
+  p.round = s.round;
+  p.decided = s.decided;
+  s = PendingSlot{};
+  --rs.window_count;
+}
+
+/// Moves the window slot holding `first` (if any) into the map, so a map
+/// update keyed at the same instance merges with it instead of creating a
+/// divergent twin.
+void RingNode::migrate_slot_to_map(RingState& rs, InstanceId first) {
+  if (rs.window_count == 0) return;
+  if (std::uint64_t(first - rs.next_deliver) >= kPendingSlots) return;
+  PendingSlot& s = rs.slot(first);
+  if (!s.occupied || s.first != first) return;
+  spill_slot(rs, s);
+}
+
+/// Clears window slots for instances in [from, to) — the cursor passed them
+/// (equivalent to the map path's stale-entry erasure).
+void RingNode::clear_window_range(RingState& rs, InstanceId from,
+                                  InstanceId to) {
+  if (rs.window_count == 0) return;
+  InstanceId end = std::min<InstanceId>(to, from + InstanceId(kPendingSlots));
+  for (InstanceId i = from; i < end && rs.window_count > 0; ++i) {
+    PendingSlot& s = rs.slot(i);
+    if (s.occupied && s.first < to) {
+      s = PendingSlot{};
+      --rs.window_count;
+    }
+  }
+}
+
+/// Spills every occupied slot back to the map. Needed when the cursor moves
+/// BACKWARD (recovery installing an older checkpoint): the window indexes
+/// slots modulo its width, which is only collision-free while all entries
+/// sit within one width of the cursor.
+void RingNode::spill_window_to_map(RingState& rs) {
+  if (rs.window_count == 0) return;
+  for (auto& s : rs.window) {
+    if (s.occupied) spill_slot(rs, s);
+  }
+  AMCAST_ASSERT(rs.window_count == 0);
+}
+
 void RingNode::note_value(RingState& rs, InstanceId first, std::int32_t count,
                           const ValuePtr& v, Round round) {
   if (first + count <= rs.next_deliver) return;
+  if (window_route(rs, first, count)) {
+    PendingSlot& s = occupy_slot(rs, first);
+    if (round >= s.round) {
+      // Same or newer evidence: adopt the value (a higher-round coordinator
+      // may legitimately replace an undecided instance's value). Older
+      // Phase 2s must never displace or fill a newer round's slot.
+      s.value = v;
+      s.round = round;
+    }
+    drain(rs);
+    return;
+  }
+  migrate_slot_to_map(rs, first);
   auto& p = rs.pending[first];
   p.count = count;
   if (round >= p.round) {
-    // Same or newer evidence: adopt the value (a higher-round coordinator
-    // may legitimately replace an undecided instance's value). Older
-    // Phase 2s must never displace or fill a newer round's slot.
     p.value = v;
     p.round = round;
   }
@@ -808,13 +895,24 @@ void RingNode::note_value(RingState& rs, InstanceId first, std::int32_t count,
 void RingNode::note_decided(RingState& rs, InstanceId first,
                             std::int32_t count, Round round) {
   if (first + count <= rs.next_deliver) return;
+  if (window_route(rs, first, count)) {
+    PendingSlot& s = occupy_slot(rs, first);
+    if (round > s.round) {
+      // The decision is from a newer round than any value seen: whatever
+      // value is held is potentially stale (this learner missed the
+      // deciding Phase 2). Drop it and let retransmission/gap repair supply
+      // the chosen value.
+      s.value = nullptr;
+      s.round = round;
+    }
+    s.decided = true;
+    drain(rs);
+    return;
+  }
+  migrate_slot_to_map(rs, first);
   auto& p = rs.pending[first];
   p.count = count;
   if (round > p.round) {
-    // The decision is from a newer round than any value seen: whatever
-    // value is held is potentially stale (this learner missed the deciding
-    // Phase 2). Drop it and let retransmission/gap repair supply the
-    // chosen value.
     p.value = nullptr;
     p.round = round;
   }
@@ -827,10 +925,19 @@ void RingNode::inject_decided(GroupId g, InstanceId first, std::int32_t count,
   AMCAST_ASSERT_MSG(count >= 1, "injected entry must cover >= 1 instance");
   auto& rs = state(g);
   if (first + count <= rs.next_deliver) return;
-  auto& p = rs.pending[first];
-  p.count = count;
   // Retransmitted entries come from round-checked decided log entries: the
   // value IS the chosen one. Freeze it against any late stale traffic.
+  if (window_route(rs, first, count)) {
+    PendingSlot& s = occupy_slot(rs, first);
+    s.value = std::move(value);
+    s.round = std::numeric_limits<Round>::max();
+    s.decided = true;
+    drain(rs);
+    return;
+  }
+  migrate_slot_to_map(rs, first);
+  auto& p = rs.pending[first];
+  p.count = count;
   p.value = std::move(value);
   p.round = std::numeric_limits<Round>::max();
   p.decided = true;
@@ -840,11 +947,21 @@ void RingNode::inject_decided(GroupId g, InstanceId first, std::int32_t count,
 void RingNode::reset_learner(GroupId g) {
   auto& rs = state(g);
   rs.pending.clear();
+  rs.window.clear();
+  rs.window_count = 0;
   rs.next_deliver = 0;
 }
 
 void RingNode::set_delivery_cursor(GroupId g, InstanceId next) {
   auto& rs = state(g);
+  if (next < rs.next_deliver) {
+    // Rewind (recovery): entries at/above the new cursor must survive, but
+    // the window's modular indexing only covers one width ahead of the
+    // cursor — spill everything to the map and let it sort them out.
+    spill_window_to_map(rs);
+  } else {
+    clear_window_range(rs, rs.next_deliver, next);
+  }
   rs.next_deliver = next;
   while (!rs.pending.empty() && rs.pending.begin()->first < next) {
     rs.pending.erase(rs.pending.begin());
@@ -852,7 +969,33 @@ void RingNode::set_delivery_cursor(GroupId g, InstanceId next) {
 }
 
 void RingNode::drain(RingState& rs) {
-  while (!rs.pending.empty()) {
+  while (true) {
+    // O(1) fast path: a single-instance entry exactly at the cursor. The
+    // cursor key is the greatest key <= cursor, so when present it is
+    // precisely the entry the map search below would have chosen.
+    if (rs.window_count > 0) {
+      PendingSlot& s = rs.slot(rs.next_deliver);
+      if (s.occupied && s.first == rs.next_deliver) {
+        if (!s.decided || s.value == nullptr) return;
+        ValuePtr v = std::move(s.value);
+        s = PendingSlot{};
+        --rs.window_count;
+        InstanceId first = rs.next_deliver;
+        rs.next_deliver = first + 1;
+        rs.decided_instances += 1;
+        if (v->is_skip()) {
+          rs.skipped_instances += 1;
+        } else if (v->is_batch()) {
+          rs.delivered_values += std::int64_t(v->batch.size());
+        } else {
+          rs.delivered_values += 1;
+        }
+        observe_decided_value(v);
+        if (rs.learner) on_ring_deliver(rs.cfg.group, first, 1, v);
+        continue;
+      }
+    }
+    if (rs.pending.empty()) return;
     // Find the entry covering the cursor. Ranges may start below it when a
     // checkpoint tuple was cut mid-range (skip ranges are consumed
     // partially by the merge), so look left of upper_bound and clip.
@@ -871,6 +1014,9 @@ void RingNode::drain(RingState& rs) {
     std::int32_t eff_count = std::int32_t(first + p.count - eff_first);
     rs.pending.erase(it);
     rs.next_deliver = eff_first + eff_count;
+    // Window slots the range just passed are stale now, exactly like the
+    // map's fully-stale entries above.
+    clear_window_range(rs, eff_first, rs.next_deliver);
     rs.decided_instances += eff_count;
     if (v->is_skip()) {
       rs.skipped_instances += eff_count;
@@ -895,8 +1041,14 @@ std::string RingNode::debug_learner_state(GroupId g) const {
   if (!rs) return "no-ring";
   char buf[256];
   std::string cover = "none";
+  if (const PendingSlot* s = rs->slot_at(rs->next_deliver)) {
+    std::snprintf(buf, sizeof(buf), "[%lld +1 dec=%d val=%d (window)]",
+                  (long long)s->first, int(s->decided),
+                  int(s->value != nullptr));
+    cover = buf;
+  }
   auto it = rs->pending.upper_bound(rs->next_deliver);
-  if (it != rs->pending.begin()) {
+  if (cover == "none" && it != rs->pending.begin()) {
     auto prev = std::prev(it);
     const PendingInstance& p = prev->second;
     std::snprintf(buf, sizeof(buf), "[%lld +%d dec=%d val=%d]",
@@ -913,7 +1065,7 @@ std::string RingNode::debug_learner_state(GroupId g) const {
   }
   std::snprintf(buf, sizeof(buf),
                 "cursor=%lld pending=%zu below_or_at=%s above=%s",
-                (long long)rs->next_deliver, rs->pending.size(),
+                (long long)rs->next_deliver, rs->pending.size() + rs->window_count,
                 cover.c_str(), nxt.c_str());
   return buf;
 }

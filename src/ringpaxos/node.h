@@ -202,6 +202,24 @@ class RingNode : public sim::Node {
     bool decided = false;
   };
 
+  /// One slot of the ring-indexed pending window (the learner fast path).
+  /// Semantically a PendingInstance with count == 1, stored at index
+  /// `first % kPendingSlots` so the delivery path is O(1) instead of a map
+  /// lookup per note/decide/drain step.
+  struct PendingSlot {
+    bool occupied = false;
+    bool decided = false;
+    Round round = -1;
+    InstanceId first = 0;
+    ValuePtr value;
+  };
+  /// Window width (power of two). Single-instance entries within
+  /// [next_deliver, next_deliver + kPendingSlots) live in the window;
+  /// everything else — skip ranges, far-future instances, recovery edge
+  /// cases — falls back to the ordered `pending` map, whose code path is
+  /// the reference semantics the window must be indistinguishable from.
+  static constexpr std::size_t kPendingSlots = 4096;
+
   struct Outstanding {
     ValuePtr value;
     std::int32_t count = 1;
@@ -223,7 +241,24 @@ class RingNode : public sim::Node {
 
     // --- learner ---
     InstanceId next_deliver = 0;
+    /// Range entries (skips), beyond-window instances, and entries carried
+    /// across recovery cursor rewinds. The window below holds the rest; an
+    /// instance id never lives in both (see migrate_slot_to_map).
     std::map<InstanceId, PendingInstance> pending;
+    /// Ring-indexed fast store for single-instance entries near the cursor
+    /// (lazily allocated to kPendingSlots on first use).
+    std::vector<PendingSlot> window;
+    std::size_t window_count = 0;  ///< occupied slots
+
+    PendingSlot& slot(InstanceId i) {
+      return window[std::size_t(i) & (kPendingSlots - 1)];
+    }
+    const PendingSlot* slot_at(InstanceId i) const {
+      if (window.empty()) return nullptr;
+      const PendingSlot& s = window[std::size_t(i) & (kPendingSlots - 1)];
+      return s.occupied && s.first == i ? &s : nullptr;
+    }
+    bool pending_empty() const { return pending.empty() && window_count == 0; }
 
     // --- coordinator ---
     bool coordinating = false;
@@ -333,6 +368,14 @@ class RingNode : public sim::Node {
   void note_decided(RingState& rs, InstanceId first, std::int32_t count,
                     Round round);
   void drain(RingState& rs);
+
+  // Pending-window plumbing (see PendingSlot).
+  bool window_route(RingState& rs, InstanceId first, std::int32_t count);
+  PendingSlot& occupy_slot(RingState& rs, InstanceId first);
+  void spill_slot(RingState& rs, PendingSlot& s);
+  void migrate_slot_to_map(RingState& rs, InstanceId first);
+  void clear_window_range(RingState& rs, InstanceId from, InstanceId to);
+  void spill_window_to_map(RingState& rs);
 
   // Proposer machinery.
   void check_proposal_timeouts();

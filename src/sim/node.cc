@@ -64,14 +64,21 @@ void Node::cancel_timer(TimerId id) { cancelled_.push_back(id); }
 
 void Node::set_periodic(Duration interval, std::function<void()> cb) {
   std::uint64_t epoch = epoch_;
-  // Self-rearming chain; dies when the epoch changes (crash).
+  // Self-rearming chain; dies when the epoch changes (crash). The chain
+  // function holds itself only WEAKLY and each queued event holds one
+  // strong reference: a strong self-capture would be a reference cycle
+  // that leaks one chain per set_periodic call (so one per crash/restart
+  // re-arm, per ring) — LeakSanitizer flags exactly that.
   auto chain = std::make_shared<std::function<void()>>();
-  *chain = [this, epoch, interval, cb = std::move(cb), chain]() mutable {
+  *chain = [this, epoch, interval, cb = std::move(cb),
+            weak = std::weak_ptr<std::function<void()>>(chain)] {
     if (crashed_ || epoch != epoch_) return;
     cb();
-    sim_->after(interval, *chain);
+    if (auto strong = weak.lock()) {
+      sim_->after(interval, [strong] { (*strong)(); });
+    }
   };
-  sim_->after(interval, *chain);
+  sim_->after(interval, [chain] { (*chain)(); });
 }
 
 int Node::add_disk(DiskParams p) {

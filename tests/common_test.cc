@@ -7,6 +7,7 @@
 #include "common/codec.h"
 #include "common/histogram.h"
 #include "common/ids.h"
+#include "common/json.h"
 #include "common/metrics.h"
 #include "common/rng.h"
 #include "common/table.h"
@@ -51,6 +52,156 @@ TEST(Codec, EmptyPayloads) {
   EXPECT_EQ(d.get_string(), "");
   EXPECT_TRUE(d.get_bytes().empty());
   EXPECT_EQ(d.remaining(), 0u);
+}
+
+TEST(Codec, StringRoundTripsEmbeddedNulsAndLongPayloads) {
+  // get_string decodes straight into the returned string; verify byte
+  // fidelity including NULs and a payload larger than any SSO buffer.
+  std::string with_nul("a\0b\0c", 5);
+  std::string big(100'000, 'x');
+  big[12345] = '\0';
+  Encoder e;
+  e.put_string(with_nul);
+  e.put_string(big);
+  Decoder d(e.buffer());
+  EXPECT_EQ(d.get_string(), with_nul);
+  EXPECT_EQ(d.get_string(), big);
+  EXPECT_TRUE(d.done());
+}
+
+TEST(Codec, VarintRoundTripsBoundaryValues) {
+  const std::uint64_t values[] = {
+      0,   1,   127,  128,  129,  16383, 16384,
+      300, 999, 1ull << 21, (1ull << 21) - 1, 1ull << 42, 1ull << 63,
+      ~0ull};
+  Encoder e;
+  for (std::uint64_t v : values) e.put_varint(v);
+  Decoder d(e.buffer());
+  for (std::uint64_t v : values) EXPECT_EQ(d.get_varint(), v);
+  EXPECT_TRUE(d.done());
+}
+
+TEST(Codec, VarintWidthsMatchLeb128) {
+  auto width = [](std::uint64_t v) {
+    Encoder e;
+    e.put_varint(v);
+    return e.size();
+  };
+  EXPECT_EQ(width(0), 1u);
+  EXPECT_EQ(width(127), 1u);
+  EXPECT_EQ(width(128), 2u);
+  EXPECT_EQ(width(16383), 2u);
+  EXPECT_EQ(width(16384), 3u);
+  EXPECT_EQ(width(~0ull), 10u);
+}
+
+using CodecDeathTest = ::testing::Test;
+
+TEST(CodecDeathTest, TruncatedFixedIntIsRejected) {
+  Encoder e;
+  e.put_u32(7);
+  Decoder d(e.buffer().data(), e.size() - 1);
+  EXPECT_DEATH(d.get_u32(), "decoder underrun");
+}
+
+TEST(CodecDeathTest, TruncatedStringBodyIsRejected) {
+  Encoder e;
+  e.put_string("hello world");
+  // Keep the length prefix but cut the body short.
+  Decoder d(e.buffer().data(), 4 + 5);
+  EXPECT_DEATH(d.get_string(), "decoder underrun");
+}
+
+TEST(CodecDeathTest, TruncatedBytesBodyIsRejected) {
+  Encoder e;
+  e.put_bytes(std::vector<std::uint8_t>{1, 2, 3, 4});
+  Decoder d(e.buffer().data(), 4 + 2);
+  EXPECT_DEATH(d.get_bytes(), "decoder underrun");
+}
+
+TEST(CodecDeathTest, TruncatedVarintIsRejected) {
+  Encoder e;
+  e.put_varint(1ull << 42);  // multi-byte encoding
+  Decoder d(e.buffer().data(), e.size() - 1);
+  EXPECT_DEATH(d.get_varint(), "decoder underrun");
+}
+
+TEST(CodecDeathTest, OverlongVarintIsRejected) {
+  // 11 continuation bytes claim more than 64 bits of payload.
+  std::vector<std::uint8_t> overlong(11, 0x80);
+  Decoder d(overlong);
+  EXPECT_DEATH(d.get_varint(), "varint");
+}
+
+TEST(CodecDeathTest, OverflowingTenthVarintByteIsRejected) {
+  // A 10-byte varint's final group sits at shift 63: only one payload bit
+  // fits, so a final byte with more bits set must be rejected rather than
+  // silently truncated to bit 0.
+  std::vector<std::uint8_t> overflow(9, 0x80);
+  overflow.push_back(0x7F);
+  Decoder d(overflow);
+  EXPECT_DEATH(d.get_varint(), "varint");
+}
+
+TEST(Json, RoundTripsDocuments) {
+  auto doc = json::Value::object();
+  doc.set("schema", "amcast-bench-v1");
+  doc.set("count", 3);
+  doc.set("ratio", 0.25);
+  doc.set("ok", true);
+  doc.set("nothing", json::Value());
+  auto arr = json::Value::array();
+  auto row = json::Value::object();
+  row.set("name", "x \"quoted\" \n tab\t");
+  row.set("rate", 123456.75);
+  arr.push_back(std::move(row));
+  doc.set("rows", std::move(arr));
+
+  std::string text = doc.dump();
+  std::string err;
+  json::Value back = json::Value::parse(text, &err);
+  ASSERT_FALSE(back.is_null()) << err;
+  EXPECT_EQ(back.find("schema")->as_string(), "amcast-bench-v1");
+  EXPECT_EQ(back.find("count")->as_number(), 3);
+  EXPECT_EQ(back.find("ratio")->as_number(), 0.25);
+  EXPECT_TRUE(back.find("ok")->as_bool());
+  EXPECT_TRUE(back.find("nothing")->is_null());
+  const json::Value& rows = *back.find("rows");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows.at(0).find("name")->as_string(), "x \"quoted\" \n tab\t");
+  EXPECT_EQ(rows.at(0).find("rate")->as_number(), 123456.75);
+  // Serialization is stable: dump(parse(dump(x))) == dump(x).
+  EXPECT_EQ(back.dump(), text);
+}
+
+TEST(Json, ObjectKeepsInsertionOrderAndOverwrites) {
+  auto v = json::Value::object();
+  v.set("z", 1);
+  v.set("a", 2);
+  v.set("z", 3);
+  ASSERT_EQ(v.members().size(), 2u);
+  EXPECT_EQ(v.members()[0].first, "z");
+  EXPECT_EQ(v.members()[0].second.as_number(), 3);
+  EXPECT_EQ(v.members()[1].first, "a");
+}
+
+TEST(Json, ParseErrorsReportPosition) {
+  std::string err;
+  EXPECT_TRUE(json::Value::parse("{\"a\": }", &err).is_null());
+  EXPECT_NE(err.find("1:"), std::string::npos);
+  EXPECT_TRUE(json::Value::parse("[1, 2", &err).is_null());
+  EXPECT_TRUE(json::Value::parse("{\"a\": 1} trailing", &err).is_null());
+  EXPECT_TRUE(json::Value::parse("\"unterminated", &err).is_null());
+}
+
+TEST(Json, ParsesHandEditedDocuments) {
+  std::string err;
+  json::Value v = json::Value::parse(
+      "  {\n\t\"a\":[1,-2.5,1e3],\"b\":{\"c\":\"d\\u0041\"}}  ", &err);
+  ASSERT_FALSE(v.is_null()) << err;
+  EXPECT_EQ(v.find("a")->at(1).as_number(), -2.5);
+  EXPECT_EQ(v.find("a")->at(2).as_number(), 1000);
+  EXPECT_EQ(v.find("b")->find("c")->as_string(), "dA");
 }
 
 TEST(MessageIdLayout, OriginAndSequenceOccupyDisjointBits) {

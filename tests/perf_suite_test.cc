@@ -1,0 +1,113 @@
+// Perf-suite contract tests: the emitted BENCH_perf.json document is
+// schema-complete (bench/bench_util.h schema) and a scenario re-run with
+// the same seed reproduces every sim-domain metric bit-for-bit — the
+// property the CI perf gate's baseline comparison relies on.
+#include <gtest/gtest.h>
+
+#include "bench/scenarios.h"
+
+namespace amcast {
+namespace {
+
+/// Tiny deterministic cell: the single-ring scenario at smoke scale with
+/// sub-second windows keeps this suite fast under ctest.
+bench::SuiteOptions tiny_options() {
+  bench::SuiteOptions o;
+  o.smoke = true;
+  o.seed = 7;
+  o.warmup_override = duration::milliseconds(50);
+  o.window_override = duration::milliseconds(150);
+  return o;
+}
+
+TEST(PerfSuite, ScenarioCatalogueCoversTheMatrix) {
+  // The ISSUE-4 matrix: >= 6 scenarios, one driver.
+  EXPECT_GE(bench::scenarios().size(), 6u);
+  for (const char* name :
+       {"single_ring_saturation", "multi_ring_scaling", "value_batching",
+        "ycsb_uniform", "ycsb_zipf", "dlog_append_read",
+        "checkpoint_recovery"}) {
+    bool found = false;
+    for (const auto& s : bench::scenarios()) found |= (name == std::string(s.name));
+    EXPECT_TRUE(found) << "scenario missing from catalogue: " << name;
+  }
+}
+
+TEST(PerfSuite, EmitsSchemaCompleteDocument) {
+  auto rows = bench::run_scenario("single_ring_saturation", tiny_options());
+  ASSERT_FALSE(rows.empty());
+
+  json::Value doc = bench::bench_document("perf_suite", 7, true, rows);
+  // Top level: every schema field present and typed.
+  ASSERT_NE(doc.find("schema"), nullptr);
+  EXPECT_EQ(doc.find("schema")->as_string(), bench::kBenchSchema);
+  ASSERT_NE(doc.find("suite"), nullptr);
+  EXPECT_EQ(doc.find("suite")->as_string(), "perf_suite");
+  ASSERT_NE(doc.find("git"), nullptr);
+  EXPECT_FALSE(doc.find("git")->as_string().empty());
+  ASSERT_NE(doc.find("seed"), nullptr);
+  EXPECT_EQ(doc.find("seed")->as_number(), 7);
+  ASSERT_NE(doc.find("smoke"), nullptr);
+  const json::Value* scenarios = doc.find("scenarios");
+  ASSERT_NE(scenarios, nullptr);
+  ASSERT_EQ(scenarios->size(), rows.size());
+
+  for (const auto& row : scenarios->items()) {
+    ASSERT_NE(row.find("name"), nullptr);
+    ASSERT_NE(row.find("seed"), nullptr);
+    ASSERT_NE(row.find("params"), nullptr);
+    const json::Value* metrics = row.find("metrics");
+    ASSERT_NE(metrics, nullptr);
+    // Contract: every row carries the gated throughput metric, the sim-time
+    // latency percentiles, and the informational host wall clock.
+    for (const char* m : {"rate_per_s", "p50_ms", "p99_ms", "wall_s"}) {
+      ASSERT_NE(metrics->find(m), nullptr) << "metric missing: " << m;
+    }
+    EXPECT_GT(metrics->find("rate_per_s")->as_number(), 0);
+  }
+
+  // The document survives a serialize/parse round trip unchanged.
+  std::string err;
+  json::Value back = json::Value::parse(doc.dump(), &err);
+  ASSERT_FALSE(back.is_null()) << err;
+  EXPECT_EQ(back.dump(), doc.dump());
+}
+
+TEST(PerfSuite, SameSeedReproducesSimMetrics) {
+  auto a = bench::run_scenario("single_ring_saturation", tiny_options());
+  auto b = bench::run_scenario("single_ring_saturation", tiny_options());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].name, b[i].name);
+    EXPECT_EQ(a[i].params.dump(), b[i].params.dump());
+    // Every sim-domain metric is bit-identical; wall_s is host time and the
+    // only metric allowed to differ between runs.
+    for (const auto& [key, val] : a[i].metrics.members()) {
+      if (key == "wall_s") continue;
+      const json::Value* other = b[i].metrics.find(key);
+      ASSERT_NE(other, nullptr) << key;
+      EXPECT_EQ(val.as_number(), other->as_number())
+          << "sim-domain metric diverged across same-seed runs: " << key;
+    }
+  }
+}
+
+TEST(PerfSuite, DifferentSeedProducesDifferentRun) {
+  auto opts = tiny_options();
+  auto a = bench::run_scenario("single_ring_saturation", opts);
+  opts.seed = 8;
+  auto b = bench::run_scenario("single_ring_saturation", opts);
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(b[0].seed, 8u);
+  // Latency percentiles are seed-sensitive (jittered network); at least one
+  // sim metric should move. (Throughput may legitimately tie.)
+  bool any_diff = false;
+  for (const auto& [key, val] : a[0].metrics.members()) {
+    if (key == "wall_s") continue;
+    any_diff |= val.as_number() != b[0].metrics.find(key)->as_number();
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+}  // namespace
+}  // namespace amcast
