@@ -54,8 +54,7 @@ class LoadDriver : public core::MulticastNode {
     if (v->origin == id()) {
       auto it = outstanding_.find(v->msg_id);
       if (it != outstanding_.end()) {
-        sim().metrics().histogram(kLatencyHist).record_duration(now() -
-                                                                it->second);
+        metrics().histogram(kLatencyHist).record_duration(now() - it->second);
         GroupId next = v->group;
         outstanding_.erase(it);
         ++completed_;

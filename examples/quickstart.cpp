@@ -4,6 +4,12 @@
 // to both groups, multicasts a handful of messages, and shows that every
 // subscriber delivers them in the same global order — the atomic multicast
 // guarantee (agreement + validity + acyclic order, paper §2).
+//
+// This file runs the scenario in the simulation backend. The SAME
+// scenario as a real cluster — three OS processes over TCP, two rings
+// with different coordinators — is examples/cluster.json, served by the
+// amcast_noded daemon and driven by the amcast_kv client (see README
+// "Running a real cluster"; scripts/runtime_smoke.sh exercises it).
 #include <cstdio>
 #include <memory>
 #include <vector>

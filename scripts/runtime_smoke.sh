@@ -1,0 +1,132 @@
+#!/usr/bin/env bash
+# Real-network runtime smoke: boots examples/cluster.json (the quickstart
+# scenario as 3 daemon processes on localhost TCP), drives it with the
+# amcast_kv client, SIGKILLs one replica mid-traffic, restarts it over its
+# file-backed acceptor journal (§5.2 recovery), and asserts totally-ordered
+# delivery: every replica must report the SAME apply-order hash and store
+# hash in its shutdown FINAL line, and the restarted replica must have gone
+# through recovery.
+#
+#   scripts/runtime_smoke.sh [build-dir]
+#
+# Exits 0 on success; on failure prints the tail of every node log (CI also
+# uploads the full logs as artifacts).
+set -euo pipefail
+
+BUILD=${1:-build}
+CONFIG=examples/cluster.json
+NODED=$BUILD/src/runtime/amcast_noded
+KV_BIN=$BUILD/src/runtime/amcast_kv
+WORK=$(mktemp -d "${TMPDIR:-/tmp}/amcast-smoke.XXXXXX")
+NODES=(r0 r1 r2)
+
+say() { echo "[smoke] $*"; }
+
+fail() {
+  say "FAIL: $*"
+  for n in "${NODES[@]}"; do
+    echo "--- tail of $n.log ---"
+    tail -n 40 "$WORK/$n.log" 2>/dev/null || true
+  done
+  exit 1
+}
+
+cleanup() {
+  for n in "${NODES[@]}"; do
+    [ -f "$WORK/$n.pid" ] && kill "$(cat "$WORK/$n.pid")" 2>/dev/null || true
+  done
+  sleep 0.3
+  for n in "${NODES[@]}"; do
+    [ -f "$WORK/$n.pid" ] && kill -9 "$(cat "$WORK/$n.pid")" 2>/dev/null || true
+  done
+}
+trap cleanup EXIT
+
+# If CI wants the logs, tell it where they are.
+say "work dir: $WORK"
+[ -n "${GITHUB_ENV:-}" ] && echo "SMOKE_WORK_DIR=$WORK" >> "$GITHUB_ENV"
+
+start_node() {
+  local n=$1
+  $NODED --config $CONFIG --process "$n" --data-dir "$WORK/$n" \
+    --status-interval-ms 500 >> "$WORK/$n.log" 2>&1 &
+  echo $! > "$WORK/$n.pid"
+}
+
+wait_for() {  # wait_for FILE REGEX TIMEOUT_S DESCRIPTION
+  local file=$1 regex=$2 timeout=$3 what=$4
+  for _ in $(seq 1 $((timeout * 10))); do
+    grep -qE "$regex" "$file" 2>/dev/null && return 0
+    sleep 0.1
+  done
+  fail "timed out waiting for $what"
+}
+
+kv() { "$KV_BIN" --config $CONFIG "$@"; }
+
+# --- boot ---------------------------------------------------------------
+for n in "${NODES[@]}"; do start_node "$n"; done
+for n in "${NODES[@]}"; do wait_for "$WORK/$n.log" "^READY" 10 "$n READY"; done
+say "cluster up"
+
+# --- healthy traffic ----------------------------------------------------
+kv --quiet fill 20 64 || fail "fill failed"
+kv put user1 alice | grep -q "^OK insert user1" || fail "put user1"
+kv get user1 | grep -qF 'OK get user1 = "alice"' || fail "get user1 value"
+kv scan key000000 user1 | grep -q "hits=21" || fail "scan over 21 keys"
+say "healthy traffic OK (fill + put/get/scan via both rings)"
+
+# --- kill one replica, keep serving -------------------------------------
+# r2 sits last in both rings' circulation order, so vote majorities (and
+# therefore the service) survive its death without reconfiguration.
+kill -9 "$(cat "$WORK/r2.pid")"
+say "r2 SIGKILLed"
+kv --timeout-ms 15000 put during-outage v1 | grep -q "^OK insert" \
+  || fail "put during outage"
+kv --timeout-ms 15000 get user1 | grep -qF '= "alice"' \
+  || fail "get during outage"
+say "served writes and reads with r2 dead"
+
+# --- restart r2: recovery off the file-backed acceptor journal ----------
+start_node r2
+wait_for "$WORK/r2.log" "^RESTART node=2" 10 "r2 restart marker"
+wait_for "$WORK/r2.log" "^RECOVERED node=2" 30 "r2 finishing recovery"
+say "r2 recovered"
+
+kv put after-restart v2 | grep -q "^OK insert" || fail "put after restart"
+kv get during-outage | grep -qF '= "v1"' || fail "read of outage-era write"
+
+# --- quiesce: all replicas report the same applied count, stable long
+# enough to rule out stale STATUS lines (status interval is 500 ms) -------
+applied_of() { grep -oE "applied=[0-9]+" "$WORK/$1.log" | tail -1; }
+stable=0
+for _ in $(seq 1 120); do
+  a0=$(applied_of r0); a1=$(applied_of r1); a2=$(applied_of r2)
+  if [ -n "$a0" ] && [ "$a0" = "$a1" ] && [ "$a1" = "$a2" ] \
+     && [ "$a0" = "${prev:-}" ]; then
+    stable=$((stable + 1))
+    [ $stable -ge 4 ] && break
+  else
+    stable=0
+  fi
+  prev=$a0
+  sleep 0.25
+done
+[ $stable -ge 4 ] || fail "replicas did not converge: r0=$a0 r1=$a1 r2=$a2"
+say "replicas converged at $a0"
+
+# --- clean shutdown + total-order assertion ------------------------------
+for n in "${NODES[@]}"; do kill "$(cat "$WORK/$n.pid")"; done
+for n in "${NODES[@]}"; do
+  wait_for "$WORK/$n.log" "^FINAL" 10 "$n FINAL line"
+done
+
+grep -h "^FINAL" "$WORK"/r*.log | sed 's/^/[smoke] /'
+hashes=$(grep -h "^FINAL" "$WORK"/r*.log \
+  | grep -oE "order_hash=[0-9a-f]+ store_hash=[0-9a-f]+" | sort -u)
+[ "$(echo "$hashes" | wc -l)" = "1" ] \
+  || fail "replicas disagree on apply order or content: $hashes"
+grep "^FINAL node=2" "$WORK/r2.log" | grep -qE "recoveries=[1-9]" \
+  || fail "r2 never ran recovery"
+
+say "PASS: totally-ordered delivery across 3 real processes, kill+restart recovered from the on-disk journal"

@@ -73,7 +73,7 @@ void BkClient::on_message(ProcessId, const MessagePtr& m) {
   if (a.seq != ts.seq) return;
   if (++ts.acks != opts_.ack_quorum) return;
   Duration lat = now() - ts.issued_at;
-  auto& mm = sim().metrics();
+  auto& mm = metrics();
   mm.histogram(opts_.metric_prefix + ".latency").record_duration(lat);
   mm.series(opts_.metric_prefix + ".tput").hit(now());
   ++completed_;

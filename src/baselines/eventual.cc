@@ -88,7 +88,7 @@ void EvClient::on_message(ProcessId, const MessagePtr& m) {
     if (!ts.responded.insert(resp.partition).second) continue;
     if (--ts.awaiting > 0) continue;
     Duration lat = now() - ts.issued_at;
-    auto& mm = sim().metrics();
+    auto& mm = metrics();
     mm.histogram(opts_.metric_prefix + ".latency").record_duration(lat);
     mm.histogram(opts_.metric_prefix + ".latency." + op_name(ts.op))
         .record_duration(lat);

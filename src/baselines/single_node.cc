@@ -82,7 +82,7 @@ void SnClient::on_message(ProcessId, const MessagePtr& m) {
     if (r.seq != ts.seq) continue;
     ts.seq = 0;
     Duration lat = now() - ts.issued_at;
-    auto& mm = sim().metrics();
+    auto& mm = metrics();
     mm.histogram(opts_.metric_prefix + ".latency").record_duration(lat);
     mm.histogram(opts_.metric_prefix + ".latency." + op_name(ts.op))
         .record_duration(lat);

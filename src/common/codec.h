@@ -20,13 +20,16 @@ class Encoder {
   Encoder() = default;
   explicit Encoder(std::size_t reserve) { buf_.reserve(reserve); }
 
-  /// Appends a fixed-width integer.
+  /// Appends a fixed-width integer. resize+memcpy rather than insert():
+  /// same codegen on the happy path, and it avoids the stl_algobase
+  /// memmove that GCC 12's -Wstringop-overflow flags (falsely) when this
+  /// is inlined into a freshly-constructed Encoder.
   template <typename T>
   void put_int(T v) {
     static_assert(std::is_integral_v<T>);
-    unsigned char raw[sizeof(T)];
-    std::memcpy(raw, &v, sizeof(T));
-    buf_.insert(buf_.end(), raw, raw + sizeof(T));
+    std::size_t off = buf_.size();
+    buf_.resize(off + sizeof(T));
+    std::memcpy(buf_.data() + off, &v, sizeof(T));
   }
 
   void put_u8(std::uint8_t v) { put_int(v); }
@@ -152,6 +155,102 @@ class Decoder {
   const std::uint8_t* data_;
   std::size_t end_;
   std::size_t pos_ = 0;
+};
+
+/// Bounds-checked reader for UNTRUSTED input (network frames, on-disk
+/// journals): where Decoder treats an underrun as a contract violation and
+/// asserts, CheckedDecoder latches a failure flag and returns zero values,
+/// so a truncated or corrupt buffer can never crash or read out of bounds.
+/// Callers check ok() (typically once, after decoding a whole structure —
+/// reads after a failure are harmless no-ops).
+class CheckedDecoder {
+ public:
+  CheckedDecoder(const std::uint8_t* data, std::size_t n)
+      : data_(data), end_(n) {}
+  explicit CheckedDecoder(const std::vector<std::uint8_t>& v)
+      : CheckedDecoder(v.data(), v.size()) {}
+
+  template <typename T>
+  T get_int() {
+    static_assert(std::is_integral_v<T>);
+    if (failed_ || pos_ + sizeof(T) > end_) {
+      failed_ = true;
+      return T{};
+    }
+    T v;
+    std::memcpy(&v, data_ + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  std::uint8_t get_u8() { return get_int<std::uint8_t>(); }
+  std::uint16_t get_u16() { return get_int<std::uint16_t>(); }
+  std::uint32_t get_u32() { return get_int<std::uint32_t>(); }
+  std::uint64_t get_u64() { return get_int<std::uint64_t>(); }
+  std::int32_t get_i32() { return get_int<std::int32_t>(); }
+  std::int64_t get_i64() { return get_int<std::int64_t>(); }
+  bool get_bool() { return get_u8() != 0; }
+  double get_double() {
+    std::uint64_t raw = get_u64();
+    double v;
+    std::memcpy(&v, &raw, sizeof(v));
+    return v;
+  }
+
+  std::vector<std::uint8_t> get_bytes() {
+    std::uint32_t n = get_u32();
+    if (failed_ || n > end_ - pos_) {
+      failed_ = true;
+      return {};
+    }
+    std::vector<std::uint8_t> out(data_ + pos_, data_ + pos_ + n);
+    pos_ += n;
+    return out;
+  }
+
+  std::string get_string() {
+    std::uint32_t n = get_u32();
+    if (failed_ || n > end_ - pos_) {
+      failed_ = true;
+      return {};
+    }
+    std::string out(reinterpret_cast<const char*>(data_ + pos_), n);
+    pos_ += n;
+    return out;
+  }
+
+  std::uint64_t get_varint() {
+    std::uint64_t v = 0;
+    int shift = 0;
+    while (true) {
+      if (failed_ || pos_ >= end_ || shift >= 64) {
+        failed_ = true;
+        return 0;
+      }
+      std::uint8_t b = data_[pos_++];
+      if (std::uint64_t(b & 0x7F) > (~std::uint64_t(0) >> shift)) {
+        failed_ = true;  // payload bits overflow 64 (see Decoder::get_varint)
+        return 0;
+      }
+      v |= std::uint64_t(b & 0x7F) << shift;
+      if ((b & 0x80) == 0) return v;
+      shift += 7;
+    }
+  }
+
+  /// Marks the input invalid (semantic validation by the caller, e.g. an
+  /// out-of-range enum value or an over-long count).
+  void fail() { failed_ = true; }
+
+  bool ok() const { return !failed_; }
+  std::size_t remaining() const { return failed_ ? 0 : end_ - pos_; }
+  bool done() const { return !failed_ && pos_ == end_; }
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t end_;
+  std::size_t pos_ = 0;
+  bool failed_ = false;
 };
 
 }  // namespace amcast

@@ -139,9 +139,17 @@ class Parser {
   }
 
  private:
+  /// Containers may nest at most this deep. parse_value recurses once per
+  /// nesting level, so without a cap a hostile document of a few kilobytes
+  /// ("[[[[...") would overflow the parser's stack; with it, deep input is
+  /// an ordinary parse error. 64 is far beyond any document this library
+  /// reads or writes (baselines nest 4-5 levels; cluster configs 3).
+  static constexpr int kMaxDepth = 64;
+
   bool parse_value(Value& out) {
     skip_ws();
     if (pos_ >= text_.size()) return fail("unexpected end of input");
+    if (depth_ >= kMaxDepth) return fail("nesting too deep");
     char c = text_[pos_];
     switch (c) {
       case '{': return parse_object(out);
@@ -170,10 +178,12 @@ class Parser {
 
   bool parse_object(Value& out) {
     ++pos_;  // '{'
+    ++depth_;
     out = Value::object();
     skip_ws();
     if (peek() == '}') {
       ++pos_;
+      --depth_;
       return true;
     }
     while (true) {
@@ -185,6 +195,8 @@ class Parser {
       ++pos_;
       Value v;
       if (!parse_value(v)) return false;
+      // Duplicate keys: last occurrence wins (Value::set overwrites), the
+      // common lenient-parser behaviour; pinned by common_test.
       out.set(key, std::move(v));
       skip_ws();
       char c = peek();
@@ -194,6 +206,7 @@ class Parser {
       }
       if (c == '}') {
         ++pos_;
+        --depth_;
         return true;
       }
       return fail("expected ',' or '}' in object");
@@ -202,10 +215,12 @@ class Parser {
 
   bool parse_array(Value& out) {
     ++pos_;  // '['
+    ++depth_;
     out = Value::array();
     skip_ws();
     if (peek() == ']') {
       ++pos_;
+      --depth_;
       return true;
     }
     while (true) {
@@ -220,6 +235,7 @@ class Parser {
       }
       if (c == ']') {
         ++pos_;
+        --depth_;
         return true;
       }
       return fail("expected ',' or ']' in array");
@@ -335,6 +351,7 @@ class Parser {
 
   std::string_view text_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
   const char* error_ = nullptr;
   std::size_t error_pos_ = 0;
 };

@@ -65,6 +65,11 @@ class Value {
 
   /// Parses `text`; on failure returns a null Value and sets `error` (when
   /// given) to a "line:col: message" description.
+  ///
+  /// Hardened for untrusted input (cluster configs, committed baselines):
+  /// containers may nest at most 64 deep (deeper input is a parse error,
+  /// not a stack overflow), trailing non-whitespace after the document is
+  /// an error, and duplicate object keys keep the LAST occurrence.
   static Value parse(std::string_view text, std::string* error = nullptr);
 
  private:

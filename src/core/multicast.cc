@@ -236,7 +236,7 @@ void MulticastNode::handle_trim_reply(const TrimReplyMsg& m) {
   ts.current_query = 0;  // round done
   if (k <= 0) return;    // nothing safely checkpointed yet
 
-  sim().metrics().counter("recovery.trim_rounds")++;
+  metrics().counter("recovery.trim_rounds")++;
   auto cmd = std::make_shared<TrimCommandMsg>();
   cmd->group = m.group;
   cmd->trim_next = k;
@@ -249,8 +249,8 @@ void MulticastNode::handle_trim_command(const TrimCommandMsg& m) {
   // The checkpoint covers instances below trim_next; everything strictly
   // below may be deleted.
   st->trim(m.trim_next - 1);
-  sim().metrics().counter("recovery.acceptor_trims")++;
-  sim().metrics().series("recovery.trim_events").hit(now());
+  metrics().counter("recovery.acceptor_trims")++;
+  metrics().series("recovery.trim_events").hit(now());
 }
 
 void MulticastNode::on_message(ProcessId from, const MessagePtr& m) {

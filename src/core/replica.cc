@@ -40,7 +40,7 @@ void ReplicaNode::do_checkpoint() {
     disk(opts_.checkpoint_disk).write(snap.size_bytes, [this, snap] {
       durable_ = snap;
       checkpointing_ = false;
-      sim().metrics().counter("recovery.checkpoints")++;
+      metrics().counter("recovery.checkpoints")++;
       log_event("checkpoint.durable");
     });
   });
@@ -95,7 +95,7 @@ void ReplicaNode::begin_recovery() {
   recovery_started_at_ = now();
   ++recoveries_started_;
   log_event("recovery.start");
-  sim().metrics().counter("recovery.recoveries")++;
+  metrics().counter("recovery.recoveries")++;
 
   auto q = std::make_shared<CheckpointQueryMsg>();
   q->query_id = recovery_query_;
@@ -119,7 +119,7 @@ void ReplicaNode::begin_recovery() {
       // may have been lost to drops/partitions; without a retry the
       // recovery would hang on it forever. Restart the query round.
       if (now() - recovery_started_at_ >= duration::milliseconds(600)) {
-        sim().metrics().counter("recovery.query_retries")++;
+        metrics().counter("recovery.query_retries")++;
         begin_recovery();
       }
       return;
@@ -217,7 +217,7 @@ void ReplicaNode::handle_checkpoint_fetch(ProcessId from,
   data->size_bytes = durable_.size_bytes;
   data->state = durable_.state;
   send(from, data);  // big transfer: wire_size includes size_bytes
-  sim().metrics().counter("recovery.state_transfers")++;
+  metrics().counter("recovery.state_transfers")++;
 }
 
 void ReplicaNode::handle_checkpoint_data(const CheckpointDataMsg& m) {
@@ -293,7 +293,7 @@ void ReplicaNode::handle_retransmit_reply(
   if (m.trimmed_below > cursor) {
     // Predicate 5 violated — only possible with misconfigured quorums. Fall
     // back to a fresh recovery round (newer checkpoints must exist).
-    sim().metrics().counter("recovery.too_old")++;
+    metrics().counter("recovery.too_old")++;
     log_event("recovery.checkpoint_too_old");
     begin_recovery();
     return;
@@ -326,7 +326,7 @@ void ReplicaNode::maybe_finish_recovery() {
   if (!all_done) return;
   recovering_ = false;
   log_event("recovery.done");
-  sim().metrics().counter("recovery.completed")++;
+  metrics().counter("recovery.completed")++;
   start_checkpointing();
   // Re-establish a durable checkpoint reflecting the recovered state soon.
   checkpoint_now();

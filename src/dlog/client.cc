@@ -98,7 +98,7 @@ void DLogClient::on_message(ProcessId from, const MessagePtr& m) {
     ts.seq = 0;
     ts.last_positions = r.positions;
     Duration lat = now() - ts.issued_at;
-    auto& mm = sim().metrics();
+    auto& mm = metrics();
     mm.histogram(opts_.metric_prefix + ".latency").record_duration(lat);
     mm.histogram(opts_.metric_prefix + ".latency." + op_name(ts.op))
         .record_duration(lat);

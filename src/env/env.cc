@@ -1,10 +1,10 @@
-#include "sim/node.h"
+#include "env/env.h"
 
 #include <algorithm>
 
-#include "sim/network.h"
+#include "common/assert.h"
 
-namespace amcast::sim {
+namespace amcast::env {
 
 Node::Node(CpuParams cpu) : cpu_(cpu) {
   core_free_.assign(std::size_t(std::max(1, cpu.cores)), 0);
@@ -12,10 +12,16 @@ Node::Node(CpuParams cpu) : cpu_(cpu) {
 
 Node::~Node() = default;
 
+void Node::attach(Host* host, ProcessId id) {
+  AMCAST_ASSERT_MSG(host_ == nullptr, "node already attached to a backend");
+  host_ = host;
+  id_ = id;
+}
+
 void Node::send(ProcessId to, MessagePtr m) {
-  AMCAST_ASSERT(sim_ != nullptr);
+  AMCAST_ASSERT(host_ != nullptr);
   if (crashed_) return;
-  sim_->network().send(id_, to, std::move(m));
+  host_->send(id_, to, std::move(m));
 }
 
 Duration Node::cpu_cost(const Message& m) const {
@@ -37,16 +43,17 @@ void Node::deliver(ProcessId from, MessagePtr m) {
   busy_ns_window_ += double(cost);
   busy_ns_total_ += double(cost);
   std::uint64_t epoch = epoch_;
-  sim_->at(start + cost, [this, epoch, from, m = std::move(m)] {
-    if (crashed_ || epoch != epoch_) return;
-    on_message(from, m);
-  });
+  host_->schedule_after((start + cost) - now(),
+                        [this, epoch, from, m = std::move(m)] {
+                          if (crashed_ || epoch != epoch_) return;
+                          on_message(from, m);
+                        });
 }
 
 TimerId Node::set_timer(Duration d, std::function<void()> cb) {
   TimerId tid = next_timer_++;
   std::uint64_t epoch = epoch_;
-  sim_->after(d, [this, epoch, tid, cb = std::move(cb)] {
+  host_->schedule_after(d, [this, epoch, tid, cb = std::move(cb)] {
     if (crashed_ || epoch != epoch_) return;
     if (std::find(cancelled_.begin(), cancelled_.end(), tid) !=
         cancelled_.end()) {
@@ -62,36 +69,58 @@ TimerId Node::set_timer(Duration d, std::function<void()> cb) {
 
 void Node::cancel_timer(TimerId id) { cancelled_.push_back(id); }
 
-void Node::set_periodic(Duration interval, std::function<void()> cb) {
+TimerId Node::set_periodic(Duration interval, std::function<void()> cb) {
+  TimerId tid = next_timer_++;
   std::uint64_t epoch = epoch_;
-  // Self-rearming chain; dies when the epoch changes (crash). The chain
-  // function holds itself only WEAKLY and each queued event holds one
-  // strong reference: a strong self-capture would be a reference cycle
-  // that leaks one chain per set_periodic call (so one per crash/restart
-  // re-arm, per ring) — LeakSanitizer flags exactly that.
+  // Self-rearming chain; dies when the epoch changes (crash) or when the
+  // returned id shows up in cancelled_ (checked on each fire, like one-shot
+  // timers — consuming the cancellation also stops the re-arm, so one
+  // cancel_timer kills the whole chain). The chain function holds itself
+  // only WEAKLY and each queued event holds one strong reference: a strong
+  // self-capture would be a reference cycle that leaks one chain per
+  // set_periodic call (so one per crash/restart re-arm, per ring) —
+  // LeakSanitizer flags exactly that.
   auto chain = std::make_shared<std::function<void()>>();
-  *chain = [this, epoch, interval, cb = std::move(cb),
+  *chain = [this, epoch, tid, interval, cb = std::move(cb),
             weak = std::weak_ptr<std::function<void()>>(chain)] {
     if (crashed_ || epoch != epoch_) return;
+    if (std::find(cancelled_.begin(), cancelled_.end(), tid) !=
+        cancelled_.end()) {
+      cancelled_.erase(
+          std::remove(cancelled_.begin(), cancelled_.end(), tid),
+          cancelled_.end());
+      return;
+    }
     cb();
     if (auto strong = weak.lock()) {
-      sim_->after(interval, [strong] { (*strong)(); });
+      host_->schedule_after(interval, [strong] { (*strong)(); });
     }
   };
-  sim_->after(interval, [chain] { (*chain)(); });
+  host_->schedule_after(interval, [chain] { (*chain)(); });
+  return tid;
+}
+
+void Node::defer(std::function<void()> fn) {
+  std::uint64_t epoch = epoch_;
+  host_->schedule_after(0, [this, epoch, fn = std::move(fn)] {
+    if (crashed_ || epoch != epoch_) return;
+    fn();
+  });
 }
 
 int Node::add_disk(DiskParams p) {
-  if (sim_ == nullptr) {
+  if (host_ == nullptr) {
     pending_disks_.push_back(p);
     return int(pending_disks_.size()) - 1;
   }
-  disks_.push_back(materialize_disk(p));
-  return int(disks_.size()) - 1;
+  materialize_pending_disks();
+  int index = int(disks_.size());
+  disks_.push_back(materialize_disk(index, p));
+  return index;
 }
 
-std::unique_ptr<Disk> Node::materialize_disk(const DiskParams& p) {
-  auto d = std::make_unique<Disk>(*sim_, p);
+std::unique_ptr<Disk> Node::materialize_disk(int index, const DiskParams& p) {
+  auto d = host_->make_disk(id_, index, p);
   // The device and its contents survive crashes, but write/read
   // continuations belong to the process: a crash must drop them, or a
   // crashed node keeps executing commit continuations.
@@ -99,15 +128,18 @@ std::unique_ptr<Disk> Node::materialize_disk(const DiskParams& p) {
   return d;
 }
 
-Disk& Node::disk(int idx) {
-  // Materialize disks declared before the node joined a simulation.
-  if (!pending_disks_.empty()) {
-    AMCAST_ASSERT_MSG(sim_ != nullptr, "node not attached to a simulation");
-    for (const auto& p : pending_disks_) {
-      disks_.push_back(materialize_disk(p));
-    }
-    pending_disks_.clear();
+void Node::materialize_pending_disks() {
+  if (pending_disks_.empty()) return;
+  AMCAST_ASSERT_MSG(host_ != nullptr, "node not attached to a backend");
+  for (const auto& p : pending_disks_) {
+    disks_.push_back(materialize_disk(int(disks_.size()), p));
   }
+  pending_disks_.clear();
+}
+
+Disk& Node::disk(int idx) {
+  // Materialize disks declared before the node joined a backend.
+  materialize_pending_disks();
   AMCAST_ASSERT(idx >= 0 && std::size_t(idx) < disks_.size());
   return *disks_[std::size_t(idx)];
 }
@@ -133,4 +165,4 @@ double Node::take_cpu_busy_seconds() {
   return v;
 }
 
-}  // namespace amcast::sim
+}  // namespace amcast::env

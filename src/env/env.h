@@ -1,0 +1,291 @@
+// The node-facing environment interface: everything a protocol node may ask
+// of its execution backend.
+//
+// Two backends implement it:
+//  * sim::Simulation — the discrete-event world (virtual clock, modeled
+//    network/disks/CPU); every experiment is deterministic from a seed;
+//  * runtime::Executor — a real-clock event loop hosting the same nodes as
+//    an actual process, with TCP transport and file-backed disks.
+//
+// Protocol code (ringpaxos/core/kvstore/dlog) derives from env::Node and
+// only ever touches this interface, so the same node objects run unchanged
+// in both worlds. The interface guarantees nodes rely on:
+//  * single-threaded execution — on_message, timer callbacks, and disk
+//    continuations never run concurrently;
+//  * monotonic now(), in nanoseconds, starting near 0 at process/run start;
+//  * send() is fire-and-forget and may silently drop (crashed peer, cut or
+//    congested link, process restart) — loss is recovered by protocol
+//    timeouts and retransmission, exactly as over TCP resets;
+//  * FIFO per sender/receiver pair for messages that are delivered;
+//  * timers fire no earlier than requested, and not at all after the node
+//    crashes (crash bumps an epoch that strands every pending continuation);
+//  * disk write continuations run only when the bytes are durable per the
+//    chosen mode, and never on a crashed incarnation — the bytes themselves
+//    survive the crash.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/metrics.h"
+#include "common/rng.h"
+#include "env/message.h"
+#include "env/params.h"
+
+namespace amcast::env {
+
+class Node;
+
+/// Identifies a pending timer so it can be cancelled.
+using TimerId = std::uint64_t;
+
+/// A durable storage device attached to one node.
+///
+/// The base API is sizing-only (the simulator models service time and
+/// durability ordering without retaining content). Backends with real
+/// persistence additionally accept *records*: opaque byte strings appended
+/// to a journal and returned, in order, on the next process start — that is
+/// how the runtime's acceptors survive kill-and-restart. Callers that need
+/// durability across process restarts check wants_records() and pass the
+/// encoded record alongside the modeled byte count; the simulator ignores
+/// the record (its "durability" is the surviving in-memory object), so sim
+/// timing and results are unchanged.
+class Disk {
+ public:
+  virtual ~Disk() = default;
+
+  /// Durable write: `on_durable` runs when the device has persisted the
+  /// bytes (behind all previously queued writes).
+  virtual void write(std::size_t bytes, std::function<void()> on_durable) = 0;
+
+  /// Buffered write: returns immediately; bytes drain at device speed.
+  virtual void write_async(std::size_t bytes) = 0;
+
+  /// Read: invokes `done` when the bytes are available (checkpoint reload).
+  virtual void read(std::size_t bytes, std::function<void()> done) = 0;
+
+  /// False while the buffered-write backlog exceeds the configured cap;
+  /// callers turn this into backpressure.
+  virtual bool accepting() const = 0;
+
+  /// Invokes `cb` as soon as the disk is accepting again (immediately if it
+  /// already is). Callbacks run in registration order.
+  virtual void when_accepting(std::function<void()> cb) = 0;
+
+  /// Bytes queued but not yet durable.
+  virtual std::size_t backlog_bytes() const = 0;
+
+  /// Total bytes made durable since start.
+  virtual std::size_t bytes_written() const = 0;
+
+  /// Device busy seconds accumulated since start (utilization reports).
+  virtual double busy_seconds() const { return 0; }
+
+  /// Degrades (f > 1) or restores (f = 1) the device (chaos harness). Real
+  /// devices cannot be degraded on command; the default ignores it.
+  virtual void set_slowdown(double f) { (void)f; }
+  virtual double slowdown() const { return 1.0; }
+
+  /// Crash semantics for continuations: the owning node installs its epoch
+  /// counter here, and a write/read continuation only runs if the epoch is
+  /// unchanged since the operation was issued (a crashed node must not keep
+  /// executing its commit continuations; the bytes still become durable).
+  virtual void set_epoch_source(std::function<std::uint64_t()> fn) {
+    (void)fn;
+  }
+
+  virtual const DiskParams& params() const = 0;
+
+  // --- record journal (real persistence) ---------------------------------
+
+  /// True when this device retains record contents across process restarts.
+  /// Callers only pay the cost of encoding records when this is set.
+  virtual bool wants_records() const { return false; }
+
+  /// write() that additionally appends `rec` to the journal before the
+  /// durability callback runs. `bytes` stays the modeled size so the
+  /// simulator's charge is identical whether or not a record is attached.
+  virtual void write_record(std::size_t bytes, std::vector<std::uint8_t> rec,
+                            std::function<void()> on_durable) {
+    (void)rec;
+    write(bytes, std::move(on_durable));
+  }
+
+  /// write_async() with an attached journal record.
+  virtual void write_record_async(std::size_t bytes,
+                                  std::vector<std::uint8_t> rec) {
+    (void)rec;
+    write_async(bytes);
+  }
+
+  /// Appends a record with NO modeled cost (used for bookkeeping the
+  /// simulator charges nothing for today, e.g. decided flags and trims; a
+  /// real journal appends them buffered, ordered with neighboring writes).
+  virtual void journal_record(std::vector<std::uint8_t> rec) { (void)rec; }
+
+  /// All records appended by previous incarnations of this device, in
+  /// order. Empty for modeling-only backends. The reference stays valid
+  /// until forget_stored_records() (or the device) goes away.
+  virtual const std::vector<std::vector<std::uint8_t>>& stored_records() {
+    static const std::vector<std::vector<std::uint8_t>> kEmpty;
+    return kEmpty;
+  }
+
+  /// Releases the in-memory copy of the replayed journal. Call once every
+  /// consumer (each ring sharing the device) has replayed; a long-lived
+  /// journal would otherwise stay resident for the process lifetime.
+  virtual void forget_stored_records() {}
+
+  /// False once the device has failed (journal open/append error). A dead
+  /// device strands durability continuations instead of acking writes it
+  /// did not persist; hosts should refuse to serve on an unhealthy disk.
+  virtual bool healthy() const { return true; }
+};
+
+/// The services a backend provides to its hosted nodes. One Host serves all
+/// nodes of a run (sim) or of a process (runtime).
+class Host {
+ public:
+  virtual ~Host() = default;
+
+  /// Current time, nanoseconds. Virtual clock (sim) or monotonic real clock
+  /// measured from process start (runtime).
+  virtual Time now() const = 0;
+
+  /// Runs `fn` after `d` (>= 0) on the single execution thread.
+  virtual void schedule_after(Duration d, std::function<void()> fn) = 0;
+
+  /// Ships a message from a hosted node toward `to` (which may live in
+  /// another process, in the runtime). Fire-and-forget; may drop.
+  virtual void send(ProcessId from, ProcessId to, MessagePtr m) = 0;
+
+  /// Creates the `index`-th disk declared by node `owner`.
+  virtual std::unique_ptr<Disk> make_disk(ProcessId owner, int index,
+                                          const DiskParams& p) = 0;
+
+  /// Metrics registry of the run/process.
+  virtual Metrics& metrics() = 0;
+
+  /// Deterministically seeded RNG of the run/process.
+  virtual Rng& rng() = 0;
+};
+
+/// Node: the actor base class. Every protocol role, replica, and client in
+/// the library is (hosted on) a Node.
+///
+/// A node models one server process: it receives messages, owns zero or
+/// more disks, and can schedule cancellable timers. Crash/restart semantics:
+/// a crashed node silently drops messages and timers; its disks' contents
+/// survive (that is what the recovery protocol of paper §5 relies on). In
+/// the runtime backend a "crash" is a real process exit, and the
+/// crash()/restart() pair is invoked on the fresh process to re-enter
+/// through the same recovery path.
+class Node {
+ public:
+  explicit Node(CpuParams cpu = CpuParams{});
+  virtual ~Node();
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  /// Called once when the backend starts the node (simulation start, or the
+  /// runtime loop's first iteration). Set up timers and initial messages.
+  virtual void on_start() {}
+
+  /// Called for every message addressed to this node (in the simulator,
+  /// after the CPU model has charged its processing cost).
+  virtual void on_message(ProcessId from, const MessagePtr& m) = 0;
+
+  /// Called after crash() flips the node back to alive via restart().
+  virtual void on_restart() {}
+
+  ProcessId id() const { return id_; }
+  Host& host() { return *host_; }
+  const Host& host() const { return *host_; }
+  bool attached() const { return host_ != nullptr; }
+  Time now() const { return host_->now(); }
+
+  /// Sends a message through the backend's network.
+  void send(ProcessId to, MessagePtr m);
+
+  /// One-shot timer. The callback is dropped if the node crashes or the
+  /// timer is cancelled before it fires.
+  TimerId set_timer(Duration d, std::function<void()> cb);
+  void cancel_timer(TimerId id);
+
+  /// Periodic timer; keeps re-arming until the node crashes or the returned
+  /// id is cancelled via cancel_timer (cancellation also stops re-arming).
+  TimerId set_periodic(Duration interval, std::function<void()> cb);
+
+  /// Runs `fn` at the next turn of the event loop (same timestamp). The
+  /// epoch guard applies: a crash strands it like any timer.
+  void defer(std::function<void()> fn);
+
+  /// Backend metrics registry (shared by all nodes of the run/process).
+  Metrics& metrics() { return host_->metrics(); }
+
+  /// Backend RNG (deterministically seeded).
+  Rng& rng() { return host_->rng(); }
+
+  /// Attaches a disk with the given parameters; returns its index. May be
+  /// called before the node joins a backend (devices are materialized when
+  /// first accessed after attachment).
+  int add_disk(DiskParams p);
+  Disk& disk(int idx = 0);
+  int disk_count() const { return int(disks_.size()); }
+
+  /// Crash/restart. Crash drops in-flight timers, all queued CPU work, and
+  /// pending disk write/read continuations (the bytes of an issued write
+  /// still become durable — only the completion interrupt is lost);
+  /// messages arriving while crashed are dropped. Disk contents survive.
+  void crash();
+  void restart();
+  bool crashed() const { return crashed_; }
+
+  /// Scales the per-byte CPU cost of this node (models the GC overhead the
+  /// paper attributes to the Java async-disk path). Simulation-only effect.
+  void set_cpu_cost_factor(double f) { cpu_cost_factor_ = f; }
+
+  /// CPU busy-time accumulated since the last call to this function,
+  /// expressed in core-seconds. Used by benches to report CPU%. Only the
+  /// simulation backend accumulates it.
+  double take_cpu_busy_seconds();
+
+  /// Total CPU busy core-seconds since start.
+  double cpu_busy_seconds_total() const { return busy_ns_total_ * 1e-9; }
+
+  // --- host-facing API ----------------------------------------------------
+
+  /// Binds the node to its backend and process id. Called exactly once, by
+  /// Simulation::add_node or runtime::Executor::add_node.
+  void attach(Host* host, ProcessId id);
+
+  /// Entry point used by the simulated network: runs the message through
+  /// the CPU queueing model, then dispatches to on_message. The runtime
+  /// dispatches to on_message directly (real CPUs charge themselves).
+  void deliver(ProcessId from, MessagePtr m);
+
+ private:
+  Duration cpu_cost(const Message& m) const;
+  std::unique_ptr<Disk> materialize_disk(int index, const DiskParams& p);
+  void materialize_pending_disks();
+
+  Host* host_ = nullptr;
+  ProcessId id_ = kInvalidProcess;
+  CpuParams cpu_;
+  double cpu_cost_factor_ = 1.0;
+  std::vector<Time> core_free_;  ///< per-core next-available time
+  std::vector<DiskParams> pending_disks_;  ///< declared before attachment
+  std::vector<std::unique_ptr<Disk>> disks_;
+  bool crashed_ = false;
+  std::uint64_t epoch_ = 0;  ///< incremented on crash; stale timers no-op
+  std::uint64_t next_timer_ = 1;
+  std::vector<TimerId> cancelled_;  // small; linear scan is fine
+  double busy_ns_window_ = 0;
+  double busy_ns_total_ = 0;
+};
+
+}  // namespace amcast::env

@@ -1,0 +1,43 @@
+// Base class for everything that travels between nodes — over the simulated
+// network (src/sim) or the real TCP transport (src/net). Lives in env so
+// both backends, and the protocol layers, share one message model.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+namespace amcast::env {
+
+/// A message exchanged between nodes. Concrete messages are defined by the
+/// protocol and service layers; the substrate only needs their wire size
+/// (for bandwidth/CPU accounting) and a type tag (for dispatch). The real
+/// transport additionally serializes them through net::encode_message, which
+/// dispatches on the same type tag.
+///
+/// Messages are immutable once sent: a node that wants to forward a modified
+/// message (e.g., Ring Paxos adding its Phase 2B vote) copies the struct.
+/// Payload byte arrays are shared via shared_ptr so such copies are cheap.
+struct Message {
+  virtual ~Message() = default;
+
+  /// Serialized size in bytes, charged against link bandwidth and CPU.
+  virtual std::size_t wire_size() const = 0;
+
+  /// Type tag for dispatch. Each module owns a range:
+  /// 1xx ring paxos, 2xx multi-ring/recovery, 3xx kvstore, 4xx dlog,
+  /// 5xx baselines, 9xx tests.
+  virtual int type() const = 0;
+
+  /// Human-readable name for tracing.
+  virtual const char* name() const = 0;
+};
+
+using MessagePtr = std::shared_ptr<const Message>;
+
+/// Downcast helper; the caller asserts the type tag first.
+template <typename T>
+const T& msg_cast(const MessagePtr& m) {
+  return static_cast<const T&>(*m);
+}
+
+}  // namespace amcast::env

@@ -105,7 +105,7 @@ void KvClient::complete(ThreadState& ts, int thread) {
   for (MessageId mid : ts.msg_ids) clear_proposal(mid);
   ts.msg_ids.clear();
   Duration lat = now() - ts.issued_at;
-  auto& m = sim().metrics();
+  auto& m = metrics();
   m.histogram(opts_.metric_prefix + ".latency").record_duration(lat);
   m.histogram(opts_.metric_prefix + ".latency." + op_name(ts.op))
       .record_duration(lat);

@@ -63,6 +63,13 @@ struct CommandResult {
   bool ok = false;
   std::size_t payload_bytes = 0;  ///< size of returned data (reads/scans)
   std::int64_t scan_hits = 0;     ///< entries matched by a scan
+  /// Actual read result bytes. Empty in the simulation (benches measure
+  /// sizes, and payload_bytes already charges the network/CPU models);
+  /// filled by replicas with KvReplica::set_return_read_data(true) — the
+  /// runtime daemon enables it so a real `get` returns real data. When
+  /// present, data.size() == payload_bytes, so wire accounting is
+  /// unchanged either way.
+  std::vector<std::uint8_t> data;
 };
 
 }  // namespace amcast::kvstore

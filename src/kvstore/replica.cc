@@ -2,15 +2,6 @@
 
 namespace amcast::kvstore {
 
-namespace {
-/// Snapshot state bundled for checkpoints: the tree plus the dedup table
-/// (both are replicated state and must move together).
-struct KvSnapshotState {
-  std::shared_ptr<const KvStore::Tree> tree;
-  std::map<std::pair<ProcessId, std::int32_t>, std::uint64_t> last_seq;
-};
-}  // namespace
-
 KvReplica::KvReplica(core::ConfigRegistry& registry, KvReplicaOptions opts,
                      sim::CpuParams cpu)
     : core::ReplicaNode(registry, opts.recovery, cpu), opts_(std::move(opts)) {}
@@ -56,19 +47,28 @@ void KvReplica::on_deliver(GroupId g, const ringpaxos::ValuePtr& v) {
   for (Command& c : batch.commands) {
     if (!command_is_local(c)) continue;  // other partition's share
     CommandResult r;
-    if (is_duplicate_and_track(c)) {
-      // Duplicate of an applied command (client re-proposal): do not
+    if (c.is_write() && is_duplicate_and_track(c)) {
+      // Duplicate of an applied WRITE (client re-proposal): do not
       // re-execute, but do answer — the client may be blocked on it.
+      // Reads and scans are side-effect-free and skip dedup entirely, so
+      // a re-proposed read is simply re-executed and answers with real
+      // data instead of a payload-less ack.
       r.seq = c.seq;
       r.thread = c.thread;
       r.ok = true;
     } else {
       // The decoded batch is consumed here, so the store may take the
-      // command's value bytes by move instead of copying them.
+      // command's value bytes by move instead of copying them (apply moves
+      // only c.value; the key survives for the read-data lookup below).
+      Op op = c.op;
       r = store_.apply(std::move(c));
       ++applied_;
+      if (return_read_data_ && op == Op::kRead && r.ok) {
+        if (const auto* val = store_.read(c.key)) r.data = *val;
+      }
+      if (apply_observer_) apply_observer_(c);
     }
-    responses[c.client].results.push_back(r);
+    responses[c.client].results.push_back(std::move(r));
   }
   for (auto& [client, resp] : responses) {
     auto m = std::make_shared<KvResponseMsg>(std::move(resp));

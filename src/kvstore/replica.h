@@ -10,6 +10,7 @@
 // may be waiting on the duplicate.
 #pragma once
 
+#include <functional>
 #include <map>
 
 #include "core/replica.h"
@@ -23,6 +24,14 @@ struct KvReplicaOptions {
   int partition = 0;
   Partitioner partitioner = Partitioner::hash(1);
   core::ReplicaOptions recovery;
+};
+
+/// Snapshot state bundled for checkpoints: the tree plus the dedup table
+/// (both are replicated state and must move together). Public so the wire
+/// codec can serialize checkpoint transfers between real processes.
+struct KvSnapshotState {
+  std::shared_ptr<const KvStore::Tree> tree;
+  std::map<std::pair<ProcessId, std::int32_t>, std::uint64_t> last_seq;
 };
 
 class KvReplica : public core::ReplicaNode {
@@ -48,6 +57,19 @@ class KvReplica : public core::ReplicaNode {
   std::int64_t commands_applied() const { return applied_; }
   std::int64_t duplicates_filtered() const { return duplicates_; }
 
+  /// When set, read results carry the actual value bytes in
+  /// CommandResult::data (real clients want data, not sizes). Off by
+  /// default: the simulation measures sizes and skips the copy.
+  void set_return_read_data(bool b) { return_read_data_ = b; }
+
+  /// Observer invoked for every command this replica APPLIES (duplicates
+  /// excluded), in delivery order. The runtime daemon chains them into an
+  /// order hash so cross-process total order is externally checkable. The
+  /// observed command's identity fields (op/client/thread/seq/key) are
+  /// intact; its write payload has already been moved into the store.
+  using ApplyObserver = std::function<void(const Command&)>;
+  void set_apply_observer(ApplyObserver fn) { apply_observer_ = std::move(fn); }
+
  protected:
   void on_deliver(GroupId g, const ringpaxos::ValuePtr& v) override;
 
@@ -63,10 +85,13 @@ class KvReplica : public core::ReplicaNode {
   KvReplicaOptions opts_;
   GroupId partition_group_ = kInvalidGroup;
   GroupId global_group_ = kInvalidGroup;
+  bool return_read_data_ = false;
+  ApplyObserver apply_observer_;
   KvStore store_;
-  /// Last applied sequence per (client, thread) for dedup. Part of the
-  /// replicated state: included in snapshots so recovery preserves exactly-
-  /// once semantics.
+  /// Last applied WRITE sequence per (client, thread) for dedup (reads and
+  /// scans are pure and never deduplicated — a re-proposed read re-executes
+  /// so its response carries real results). Part of the replicated state:
+  /// included in snapshots so recovery preserves exactly-once semantics.
   std::map<std::pair<ProcessId, std::int32_t>, std::uint64_t> last_seq_;
   std::int64_t applied_ = 0;
   std::int64_t duplicates_ = 0;

@@ -1,0 +1,365 @@
+#include "net/cluster_config.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+
+#include "common/json.h"
+#include "common/strings.h"
+
+namespace amcast::net {
+
+namespace {
+
+/// Accumulates the first validation error.
+struct ErrorSink {
+  std::string* out;
+  bool failed = false;
+  void fail(std::string msg) {
+    if (!failed && out != nullptr) *out = std::move(msg);
+    failed = true;
+  }
+};
+
+double number_or(const json::Value& obj, const char* key, double fallback) {
+  const json::Value* v = obj.find(key);
+  return v != nullptr && v->is_number() ? v->as_number() : fallback;
+}
+
+bool bool_or(const json::Value& obj, const char* key, bool fallback) {
+  const json::Value* v = obj.find(key);
+  if (v == nullptr) return fallback;
+  return v->type() == json::Value::Type::kBool ? v->as_bool() : fallback;
+}
+
+std::string string_or(const json::Value& obj, const char* key,
+                      const std::string& fallback) {
+  const json::Value* v = obj.find(key);
+  return v != nullptr && v->is_string() ? v->as_string() : fallback;
+}
+
+Duration millis(double ms) { return Duration(ms * 1e6); }
+
+bool parse_id_list(const json::Value* arr, std::vector<ProcessId>* out) {
+  if (arr == nullptr || !arr->is_array()) return false;
+  for (const auto& v : arr->items()) {
+    if (!v.is_number()) return false;
+    out->push_back(ProcessId(v.as_number()));
+  }
+  return true;
+}
+
+}  // namespace
+
+const ProcessSpec* ClusterConfig::process(ProcessId id) const {
+  for (const auto& p : processes) {
+    if (p.id == id) return &p;
+  }
+  return nullptr;
+}
+
+const ProcessSpec* ClusterConfig::process_by_name(
+    const std::string& name) const {
+  for (const auto& p : processes) {
+    if (p.name == name) return &p;
+  }
+  return nullptr;
+}
+
+const ProcessSpec* ClusterConfig::resolve(const std::string& name_or_id) const {
+  if (const ProcessSpec* p = process_by_name(name_or_id)) return p;
+  char* end = nullptr;
+  long id = std::strtol(name_or_id.c_str(), &end, 10);
+  if (end != nullptr && *end == '\0' && !name_or_id.empty()) {
+    return process(ProcessId(id));
+  }
+  return nullptr;
+}
+
+std::map<ProcessId, PeerAddress> ClusterConfig::peer_map() const {
+  std::map<ProcessId, PeerAddress> out;
+  for (const auto& p : processes) out[p.id] = PeerAddress{p.host, p.port};
+  return out;
+}
+
+std::vector<GroupId> ClusterConfig::build_registry(
+    ringpaxos::ConfigRegistry& reg) const {
+  std::vector<GroupId> groups;
+  groups.reserve(rings.size());
+  for (const auto& r : rings) {
+    groups.push_back(reg.create_ring(r.members, r.acceptors, r.coordinator));
+  }
+  return groups;
+}
+
+int ClusterConfig::partition_count() const {
+  int n = 0;
+  for (const auto& r : rings) {
+    if (r.kind == "partition") n = std::max(n, r.partition + 1);
+  }
+  return n;
+}
+
+std::vector<GroupId> ClusterConfig::partition_groups() const {
+  std::vector<GroupId> out(std::size_t(partition_count()), kInvalidGroup);
+  for (std::size_t i = 0; i < rings.size(); ++i) {
+    if (rings[i].kind == "partition") {
+      out[std::size_t(rings[i].partition)] = GroupId(i);
+    }
+  }
+  return out;
+}
+
+GroupId ClusterConfig::global_group() const {
+  for (std::size_t i = 0; i < rings.size(); ++i) {
+    if (rings[i].kind == "global") return GroupId(i);
+  }
+  return kInvalidGroup;
+}
+
+std::vector<ProcessId> ClusterConfig::partition_replicas(int partition) const {
+  std::vector<ProcessId> out;
+  for (const auto& p : processes) {
+    if (p.role == "replica" && p.partition == partition) out.push_back(p.id);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+ringpaxos::RingOptions ClusterConfig::ring_options() const {
+  ringpaxos::RingOptions ro;
+  ro.storage.mode = options.storage;
+  ro.storage.disk_index = 0;
+  ro.delta = options.delta;
+  ro.lambda = options.lambda;
+  ro.instance_timeout = options.instance_timeout;
+  ro.proposal_timeout = options.proposal_timeout;
+  ro.gap_repair_timeout = options.gap_repair_timeout;
+  ro.gap_repair_probe = options.gap_repair_probe;
+  ro.batch_values = options.batch_values;
+  ro.batch_bytes = options.batch_bytes;
+  ro.batch_delay = options.batch_delay;
+  return ro;
+}
+
+bool ClusterConfig::parse(std::string_view text, ClusterConfig* out,
+                          std::string* error) {
+  ErrorSink err{error};
+  std::string parse_err;
+  json::Value doc = json::Value::parse(text, &parse_err);
+  if (doc.is_null()) {
+    err.fail(str_cat("config parse error: ", parse_err));
+    return false;
+  }
+  if (!doc.is_object()) {
+    err.fail("config root must be an object");
+    return false;
+  }
+
+  ClusterConfig cfg;
+  cfg.name = string_or(doc, "cluster", "cluster");
+  cfg.service = string_or(doc, "service", "kv");
+  if (cfg.service != "kv") {
+    err.fail(str_cat("unsupported service \"", cfg.service,
+                     "\" (only \"kv\" has a daemon today)"));
+    return false;
+  }
+
+  // --- processes ---
+  const json::Value* procs = doc.find("processes");
+  if (procs == nullptr || !procs->is_array() || procs->size() == 0) {
+    err.fail("config needs a non-empty \"processes\" array");
+    return false;
+  }
+  std::set<ProcessId> ids;
+  std::set<std::pair<std::string, int>> addrs;
+  for (const auto& pv : procs->items()) {
+    if (!pv.is_object()) {
+      err.fail("each process must be an object");
+      return false;
+    }
+    ProcessSpec p;
+    p.id = ProcessId(number_or(pv, "id", -1));
+    p.name = string_or(pv, "name", str_cat("p", std::to_string(p.id)));
+    p.host = string_or(pv, "host", "127.0.0.1");
+    p.port = std::uint16_t(number_or(pv, "port", 0));
+    p.role = string_or(pv, "role", "replica");
+    p.partition = int(number_or(pv, "partition", 0));
+    if (p.id < 0) {
+      err.fail(str_cat("process \"", p.name, "\" needs a nonnegative id"));
+      return false;
+    }
+    if (!ids.insert(p.id).second) {
+      err.fail(str_cat("duplicate process id ", std::to_string(p.id)));
+      return false;
+    }
+    if (p.role != "replica" && p.role != "client") {
+      err.fail(str_cat("process \"", p.name, "\": unknown role \"", p.role,
+                       "\""));
+      return false;
+    }
+    if (p.port == 0) {
+      err.fail(str_cat("process \"", p.name, "\" needs a listen port"));
+      return false;
+    }
+    if (!addrs.insert({p.host, int(p.port)}).second) {
+      err.fail(str_cat("process \"", p.name, "\" reuses ", p.host, ":",
+                       std::to_string(p.port)));
+      return false;
+    }
+    cfg.processes.push_back(std::move(p));
+  }
+
+  // --- rings ---
+  const json::Value* rings = doc.find("rings");
+  if (rings == nullptr || !rings->is_array() || rings->size() == 0) {
+    err.fail("config needs a non-empty \"rings\" array");
+    return false;
+  }
+  std::set<int> partitions_seen;
+  bool have_global = false;
+  for (const auto& rv : rings->items()) {
+    if (!rv.is_object()) {
+      err.fail("each ring must be an object");
+      return false;
+    }
+    RingSpec r;
+    r.kind = string_or(rv, "kind", "partition");
+    r.partition = int(number_or(rv, "partition", 0));
+    r.coordinator = ProcessId(number_or(rv, "coordinator", -1));
+    if (!parse_id_list(rv.find("members"), &r.members) || r.members.empty()) {
+      err.fail("ring needs a non-empty numeric \"members\" array");
+      return false;
+    }
+    if (!parse_id_list(rv.find("acceptors"), &r.acceptors) ||
+        r.acceptors.empty()) {
+      err.fail("ring needs a non-empty numeric \"acceptors\" array");
+      return false;
+    }
+    auto in = [](const std::vector<ProcessId>& v, ProcessId x) {
+      return std::find(v.begin(), v.end(), x) != v.end();
+    };
+    for (ProcessId m : r.members) {
+      if (cfg.process(m) == nullptr) {
+        err.fail(str_cat("ring member ", std::to_string(m),
+                         " is not a configured process"));
+        return false;
+      }
+    }
+    for (ProcessId a : r.acceptors) {
+      if (!in(r.members, a)) {
+        err.fail(str_cat("ring acceptor ", std::to_string(a),
+                         " is not a ring member"));
+        return false;
+      }
+    }
+    if (!in(r.acceptors, r.coordinator)) {
+      err.fail("ring coordinator must be one of its acceptors");
+      return false;
+    }
+    if (r.kind == "partition") {
+      if (!partitions_seen.insert(r.partition).second) {
+        err.fail(str_cat("two rings claim partition ",
+                         std::to_string(r.partition)));
+        return false;
+      }
+    } else if (r.kind == "global") {
+      if (have_global) {
+        err.fail("at most one global ring");
+        return false;
+      }
+      have_global = true;
+    } else {
+      err.fail(str_cat("unknown ring kind \"", r.kind, "\""));
+      return false;
+    }
+    cfg.rings.push_back(std::move(r));
+  }
+  // Partition indices must be dense 0..P-1 (the partitioner hashes into
+  // that range).
+  int P = int(partitions_seen.size());
+  if (P == 0) {
+    err.fail("at least one partition ring is required");
+    return false;
+  }
+  for (int p = 0; p < P; ++p) {
+    if (!partitions_seen.count(p)) {
+      err.fail(str_cat("partition indices must be dense: missing ",
+                       std::to_string(p)));
+      return false;
+    }
+  }
+  for (const auto& p : cfg.processes) {
+    if (p.role == "replica" && (p.partition < 0 || p.partition >= P)) {
+      err.fail(str_cat("process \"", p.name, "\" names partition ",
+                       std::to_string(p.partition), " of ",
+                       std::to_string(P)));
+      return false;
+    }
+  }
+
+  // --- options ---
+  if (const json::Value* ov = doc.find("options"); ov && ov->is_object()) {
+    ClusterOptions& o = cfg.options;
+    std::string storage = string_or(*ov, "storage", "sync_disk");
+    if (storage == "memory") {
+      o.storage = ringpaxos::StorageOptions::Mode::kMemory;
+    } else if (storage == "sync_disk") {
+      o.storage = ringpaxos::StorageOptions::Mode::kSyncDisk;
+    } else if (storage == "async_disk") {
+      o.storage = ringpaxos::StorageOptions::Mode::kAsyncDisk;
+    } else {
+      err.fail(str_cat("unknown storage mode \"", storage, "\""));
+      return false;
+    }
+    o.m = std::int32_t(number_or(*ov, "m", o.m));
+    o.delta = millis(number_or(*ov, "delta_ms",
+                               duration::to_millis(o.delta)));
+    o.lambda = number_or(*ov, "lambda", o.lambda);
+    o.instance_timeout = millis(number_or(
+        *ov, "instance_timeout_ms", duration::to_millis(o.instance_timeout)));
+    o.proposal_timeout = millis(number_or(
+        *ov, "proposal_timeout_ms", duration::to_millis(o.proposal_timeout)));
+    o.gap_repair_timeout =
+        millis(number_or(*ov, "gap_repair_timeout_ms",
+                         duration::to_millis(o.gap_repair_timeout)));
+    o.gap_repair_probe = bool_or(*ov, "gap_repair_probe", o.gap_repair_probe);
+    o.batch_values = int(number_or(*ov, "batch_values", o.batch_values));
+    o.batch_bytes = std::size_t(number_or(*ov, "batch_bytes",
+                                          double(o.batch_bytes)));
+    o.batch_delay = millis(number_or(*ov, "batch_delay_ms",
+                                     duration::to_millis(o.batch_delay)));
+    o.checkpoint_interval =
+        millis(number_or(*ov, "checkpoint_interval_ms",
+                         duration::to_millis(o.checkpoint_interval)));
+    o.trim_interval = millis(number_or(*ov, "trim_interval_ms",
+                                       duration::to_millis(o.trim_interval)));
+    o.client_op_timeout =
+        millis(number_or(*ov, "client_op_timeout_ms",
+                         duration::to_millis(o.client_op_timeout)));
+    if (o.m < 1 || o.batch_values < 1 || o.lambda < 0) {
+      err.fail("options out of range (m >= 1, batch_values >= 1, lambda >= 0)");
+      return false;
+    }
+  }
+
+  *out = std::move(cfg);
+  return true;
+}
+
+bool ClusterConfig::load(const std::string& path, ClusterConfig* out,
+                         std::string* error) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    if (error != nullptr) *error = str_cat("cannot open ", path);
+    return false;
+  }
+  std::string text;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
+  std::fclose(f);
+  return parse(text, out, error);
+}
+
+}  // namespace amcast::net

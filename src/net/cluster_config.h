@@ -1,0 +1,108 @@
+// Cluster configuration for the real-network runtime: which processes
+// exist (id, address, role), how the rings are laid out over them, and the
+// protocol options every process must agree on.
+//
+// Loaded from a JSON file (see examples/cluster.json) through the hardened
+// common/json parser; load() validates the semantic rules (unique ids,
+// coordinator is an acceptor, exactly one ring per partition index, ...)
+// and returns errors instead of asserting — the file is operator input.
+//
+// The same file drives every process of the cluster: the daemon and the
+// client CLI both call build_registry(), which replays the ring list into a
+// ConfigRegistry in file order, so group ids agree across processes without
+// any coordination service (the static-config stand-in for the paper's
+// Zookeeper).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/ids.h"
+#include "ringpaxos/node.h"
+#include "ringpaxos/ring.h"
+
+namespace amcast::net {
+
+struct PeerAddress {
+  std::string host;
+  std::uint16_t port = 0;
+};
+
+struct ProcessSpec {
+  ProcessId id = kInvalidProcess;
+  std::string name;          ///< for --process by-name lookup and logs
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;    ///< transport listen port
+  std::string role = "replica";  ///< "replica" | "client"
+  int partition = 0;         ///< replica's service partition
+};
+
+struct RingSpec {
+  std::vector<ProcessId> members;    ///< ring order
+  std::vector<ProcessId> acceptors;  ///< subset of members
+  ProcessId coordinator = kInvalidProcess;
+  std::string kind = "partition";    ///< "partition" | "global"
+  int partition = 0;                 ///< which partition (kind == partition)
+};
+
+/// Protocol knobs shared by every process (mirrors KvDeploymentSpec).
+struct ClusterOptions {
+  ringpaxos::StorageOptions::Mode storage =
+      ringpaxos::StorageOptions::Mode::kSyncDisk;
+  std::int32_t m = 1;
+  Duration delta = duration::milliseconds(20);
+  double lambda = 500;
+  Duration instance_timeout = duration::milliseconds(500);
+  Duration proposal_timeout = duration::milliseconds(500);
+  Duration gap_repair_timeout = duration::milliseconds(300);
+  bool gap_repair_probe = true;
+  int batch_values = 8;
+  std::size_t batch_bytes = 256 * 1024;
+  Duration batch_delay = 0;
+  Duration checkpoint_interval = 0;  ///< 0 disables checkpoints (and trims)
+  Duration trim_interval = 0;
+  Duration client_op_timeout = duration::seconds(10);
+};
+
+struct ClusterConfig {
+  std::string name;
+  std::string service = "kv";  ///< only MRP-Store is daemonized today
+  std::vector<ProcessSpec> processes;
+  std::vector<RingSpec> rings;
+  ClusterOptions options;
+
+  const ProcessSpec* process(ProcessId id) const;
+  const ProcessSpec* process_by_name(const std::string& name) const;
+  /// Resolves a --process argument: a name, or a numeric id.
+  const ProcessSpec* resolve(const std::string& name_or_id) const;
+
+  /// ProcessId -> transport address, for net::Transport.
+  std::map<ProcessId, PeerAddress> peer_map() const;
+
+  /// Replays the ring list into `reg` (file order == group id order) and
+  /// returns the created group ids, aligned with rings[].
+  std::vector<GroupId> build_registry(ringpaxos::ConfigRegistry& reg) const;
+
+  /// Partition ring group ids by partition index (after build_registry's
+  /// numbering), and the global ring's (kInvalidGroup when absent).
+  int partition_count() const;
+  std::vector<GroupId> partition_groups() const;
+  GroupId global_group() const;
+
+  /// Replica ids of one partition (ascending), for recovery quorums.
+  std::vector<ProcessId> partition_replicas(int partition) const;
+
+  /// The per-ring options the cluster's knobs translate to.
+  ringpaxos::RingOptions ring_options() const;
+
+  /// Parses and validates. Returns false + `error` on any problem.
+  static bool parse(std::string_view text, ClusterConfig* out,
+                    std::string* error);
+  static bool load(const std::string& path, ClusterConfig* out,
+                   std::string* error);
+};
+
+}  // namespace amcast::net

@@ -1,0 +1,390 @@
+#include "net/transport.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "common/strings.h"
+#include "net/wire.h"
+
+namespace amcast::net {
+
+namespace {
+
+bool set_nonblocking(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+void set_nodelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+bool fill_addr(const std::string& host, std::uint16_t port,
+               sockaddr_in* addr) {
+  std::memset(addr, 0, sizeof(*addr));
+  addr->sin_family = AF_INET;
+  addr->sin_port = htons(port);
+  return ::inet_pton(AF_INET, host.c_str(), &addr->sin_addr) == 1;
+}
+
+void put_u32_le(std::uint8_t* p, std::uint32_t v) {
+  p[0] = std::uint8_t(v);
+  p[1] = std::uint8_t(v >> 8);
+  p[2] = std::uint8_t(v >> 16);
+  p[3] = std::uint8_t(v >> 24);
+}
+
+std::uint32_t get_u32_le(const std::uint8_t* p) {
+  return std::uint32_t(p[0]) | std::uint32_t(p[1]) << 8 |
+         std::uint32_t(p[2]) << 16 | std::uint32_t(p[3]) << 24;
+}
+
+void put_i32_le(std::uint8_t* p, std::int32_t v) {
+  put_u32_le(p, std::uint32_t(v));
+}
+
+std::int32_t get_i32_le(const std::uint8_t* p) {
+  return std::int32_t(get_u32_le(p));
+}
+
+constexpr std::size_t kFrameHeader = 4;  // u32 payload length
+constexpr std::size_t kPayloadHeader = 8;  // i32 from + i32 to
+
+}  // namespace
+
+Transport::Transport(
+    Options opts,
+    std::function<void(ProcessId, ProcessId, env::MessagePtr)> on_message,
+    std::function<Time()> clock)
+    : opts_(std::move(opts)),
+      on_message_(std::move(on_message)),
+      clock_(std::move(clock)) {
+  for (const auto& [id, addr] : opts_.peers) {
+    if (id == opts_.self) continue;
+    Peer p;
+    p.addr = addr;
+    peers_.emplace(id, std::move(p));
+  }
+}
+
+Transport::~Transport() {
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  for (auto& [id, p] : peers_) {
+    if (p.fd >= 0) ::close(p.fd);
+  }
+  for (auto& in : inbound_) {
+    if (in.fd >= 0) ::close(in.fd);
+  }
+}
+
+bool Transport::listen(std::string* error) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    if (error) *error = "socket() failed";
+    return false;
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr;
+  if (!fill_addr(opts_.listen_host, opts_.listen_port, &addr)) {
+    if (error) *error = str_cat("bad listen host ", opts_.listen_host);
+    return false;
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    if (error) {
+      *error = str_cat("bind ", opts_.listen_host, ":",
+                       std::to_string(opts_.listen_port), " failed: ",
+                       std::strerror(errno));
+    }
+    return false;
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    if (error) *error = "listen() failed";
+    return false;
+  }
+  if (!set_nonblocking(listen_fd_)) {
+    if (error) *error = "cannot set listen socket nonblocking";
+    return false;
+  }
+  // Report the bound port (for port-0 "pick one" in tests).
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) ==
+      0) {
+    listen_port_ = ntohs(addr.sin_port);
+  }
+  return true;
+}
+
+void Transport::start_connect(Peer& p) {
+  p.fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (p.fd < 0) {
+    close_peer(p);
+    return;
+  }
+  set_nonblocking(p.fd);
+  set_nodelay(p.fd);
+  sockaddr_in addr;
+  if (!fill_addr(p.addr.host, p.addr.port, &addr)) {
+    close_peer(p);
+    return;
+  }
+  ++stats_.connects;
+  int rc = ::connect(p.fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  if (rc == 0) {
+    p.connecting = false;
+    p.backoff = 0;
+    return;
+  }
+  if (errno == EINPROGRESS) {
+    p.connecting = true;
+    return;
+  }
+  close_peer(p);
+}
+
+void Transport::close_peer(Peer& p) {
+  if (p.fd >= 0) ::close(p.fd);
+  p.fd = -1;
+  p.connecting = false;
+  // Exponential backoff before the next attempt; queued frames survive.
+  p.backoff = p.backoff == 0
+                  ? opts_.reconnect_min
+                  : std::min<Duration>(p.backoff * 2, opts_.reconnect_max);
+  p.next_attempt = clock_() + p.backoff;
+}
+
+void Transport::flush_peer(Peer& p) {
+  while (!p.outq.empty()) {
+    // Write from the deque in contiguous runs.
+    std::uint8_t chunk[16 * 1024];
+    std::size_t n = std::min(p.outq.size(), sizeof(chunk));
+    std::copy_n(p.outq.begin(), n, chunk);
+    ssize_t w = ::send(p.fd, chunk, n, MSG_NOSIGNAL);
+    if (w > 0) {
+      p.outq.erase(p.outq.begin(), p.outq.begin() + w);
+      stats_.bytes_sent += std::uint64_t(w);
+      continue;
+    }
+    if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+    close_peer(p);
+    return;
+  }
+}
+
+void Transport::send(ProcessId from, ProcessId to, const env::Message& m) {
+  auto it = peers_.find(to);
+  if (it == peers_.end()) {
+    ++stats_.frames_dropped;
+    return;
+  }
+  Peer& p = it->second;
+  // Pre-screen the queue cap on the modeled size BEFORE paying for
+  // serialization: sustained traffic toward a dead peer should cost a
+  // lookup and a compare, not a full encode per dropped frame. wire_size()
+  // approximates the encoded size; the cap is a soft bound either way.
+  if (p.outq.size() + m.wire_size() > opts_.peer_queue_bytes) {
+    ++stats_.frames_dropped;
+    return;
+  }
+  std::vector<std::uint8_t> body = encode_message(m);
+  std::size_t frame = kFrameHeader + kPayloadHeader + body.size();
+  if (p.outq.size() + frame > opts_.peer_queue_bytes) {
+    ++stats_.frames_dropped;  // backpressure by loss, like a full NIC queue
+    return;
+  }
+  std::uint8_t hdr[kFrameHeader + kPayloadHeader];
+  put_u32_le(hdr, std::uint32_t(kPayloadHeader + body.size()));
+  put_i32_le(hdr + 4, from);
+  put_i32_le(hdr + 8, to);
+  p.outq.insert(p.outq.end(), hdr, hdr + sizeof(hdr));
+  p.outq.insert(p.outq.end(), body.begin(), body.end());
+  ++stats_.frames_sent;
+  if (p.fd < 0 && !p.connecting && clock_() >= p.next_attempt) {
+    start_connect(p);
+  }
+  if (p.fd >= 0 && !p.connecting) flush_peer(p);
+}
+
+void Transport::parse_frames(Inbound& in) {
+  std::size_t off = 0;
+  while (in.buf.size() - off >= kFrameHeader) {
+    std::uint32_t len = get_u32_le(in.buf.data() + off);
+    if (len < kPayloadHeader || len > opts_.max_frame_bytes) {
+      // Corrupt stream: drop the connection (the peer will reconnect).
+      ++stats_.decode_errors;
+      ::close(in.fd);
+      in.fd = -1;
+      in.buf.clear();
+      return;
+    }
+    if (in.buf.size() - off < kFrameHeader + len) break;  // partial frame
+    const std::uint8_t* payload = in.buf.data() + off + kFrameHeader;
+    ProcessId from = get_i32_le(payload);
+    ProcessId to = get_i32_le(payload + 4);
+    std::string error;
+    env::MessagePtr m = decode_message(payload + kPayloadHeader,
+                                      len - kPayloadHeader, &error);
+    if (m == nullptr) {
+      ++stats_.decode_errors;  // drop the frame, keep the stream
+    } else {
+      ++stats_.frames_received;
+      on_message_(from, to, std::move(m));
+    }
+    off += kFrameHeader + len;
+  }
+  if (off > 0) in.buf.erase(in.buf.begin(), in.buf.begin() + long(off));
+}
+
+void Transport::service_inbound(Inbound& in) {
+  while (true) {
+    std::uint8_t chunk[64 * 1024];
+    ssize_t r = ::recv(in.fd, chunk, sizeof(chunk), 0);
+    if (r > 0) {
+      in.buf.insert(in.buf.end(), chunk, chunk + r);
+      if (in.buf.size() > opts_.max_frame_bytes + kFrameHeader + 1024) {
+        // A frame larger than the cap never completes; parse_frames will
+        // already have rejected its header, but guard regardless.
+        ++stats_.decode_errors;
+        ::close(in.fd);
+        in.fd = -1;
+        in.buf.clear();
+        return;
+      }
+      parse_frames(in);
+      if (in.fd < 0) return;
+      continue;
+    }
+    if (r < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+    // EOF or error: the sender went away; it reconnects when it has data.
+    ::close(in.fd);
+    in.fd = -1;
+    in.buf.clear();
+    return;
+  }
+}
+
+void Transport::poll(Duration max_wait) {
+  Time now = clock_();
+
+  // Kick due reconnects for peers with queued traffic, and bound the wait
+  // by the earliest pending attempt.
+  Duration wait = std::max<Duration>(max_wait, 0);
+  for (auto& [id, p] : peers_) {
+    if (p.fd < 0 && !p.outq.empty()) {
+      if (now >= p.next_attempt) {
+        start_connect(p);
+        if (p.fd >= 0 && !p.connecting) flush_peer(p);
+      } else {
+        wait = std::min(wait, p.next_attempt - now);
+      }
+    }
+  }
+
+  std::vector<pollfd> fds;
+  // Index bookkeeping: which pollfd belongs to whom.
+  std::vector<Peer*> peer_of;
+  std::vector<Inbound*> in_of;
+  if (listen_fd_ >= 0) {
+    fds.push_back({listen_fd_, POLLIN, 0});
+    peer_of.push_back(nullptr);
+    in_of.push_back(nullptr);
+  }
+  for (auto& [id, p] : peers_) {
+    if (p.fd < 0) continue;
+    short events = POLLIN;  // detect close/reset
+    if (p.connecting || !p.outq.empty()) events |= POLLOUT;
+    fds.push_back({p.fd, events, 0});
+    peer_of.push_back(&p);
+    in_of.push_back(nullptr);
+  }
+  for (auto& in : inbound_) {
+    if (in.fd < 0) continue;
+    fds.push_back({in.fd, POLLIN, 0});
+    peer_of.push_back(nullptr);
+    in_of.push_back(&in);
+  }
+
+  // Round UP so a sub-millisecond wait does not truncate to a busy-spin;
+  // wait == 0 (work already due) still polls without blocking.
+  Duration capped = std::min<Duration>(wait, duration::seconds(1));
+  int timeout_ms = int((capped + duration::milliseconds(1) - 1) /
+                       duration::milliseconds(1));
+  int rc = ::poll(fds.data(), nfds_t(fds.size()), timeout_ms);
+  if (rc <= 0) {
+    inbound_.erase(std::remove_if(inbound_.begin(), inbound_.end(),
+                                  [](const Inbound& i) { return i.fd < 0; }),
+                   inbound_.end());
+    return;
+  }
+
+  // Freshly accepted connections are staged and appended AFTER the loop:
+  // in_of holds raw pointers into inbound_, so growing it mid-pass would
+  // dangle them. A new connection cannot have readable frames we miss —
+  // the next poll() picks it up.
+  std::vector<Inbound> accepted;
+  for (std::size_t i = 0; i < fds.size(); ++i) {
+    if (fds[i].revents == 0) continue;
+    if (listen_fd_ >= 0 && fds[i].fd == listen_fd_) {
+      while (true) {
+        int cfd = ::accept(listen_fd_, nullptr, nullptr);
+        if (cfd < 0) break;
+        set_nonblocking(cfd);
+        set_nodelay(cfd);
+        accepted.push_back(Inbound{cfd, {}});
+      }
+      continue;
+    }
+    if (Peer* p = peer_of[i]) {
+      if (p->fd != fds[i].fd) continue;  // closed earlier in this pass
+      if (fds[i].revents & (POLLERR | POLLHUP)) {
+        close_peer(*p);
+        continue;
+      }
+      if (p->connecting && (fds[i].revents & POLLOUT)) {
+        int err = 0;
+        socklen_t len = sizeof(err);
+        ::getsockopt(p->fd, SOL_SOCKET, SO_ERROR, &err, &len);
+        if (err != 0) {
+          close_peer(*p);
+          continue;
+        }
+        p->connecting = false;
+        p->backoff = 0;
+      }
+      if (!p->connecting && (fds[i].revents & POLLOUT)) flush_peer(*p);
+      if (p->fd >= 0 && (fds[i].revents & POLLIN)) {
+        // The receiving side never writes on our outbound connection; any
+        // readable event is EOF/reset.
+        std::uint8_t scratch[256];
+        ssize_t r = ::recv(p->fd, scratch, sizeof(scratch), 0);
+        if (r == 0 || (r < 0 && errno != EAGAIN && errno != EWOULDBLOCK)) {
+          close_peer(*p);
+        }
+      }
+      continue;
+    }
+    if (Inbound* in = in_of[i]) {
+      if (in->fd != fds[i].fd) continue;
+      if (fds[i].revents & (POLLIN | POLLERR | POLLHUP)) {
+        service_inbound(*in);
+      }
+    }
+  }
+  inbound_.erase(std::remove_if(inbound_.begin(), inbound_.end(),
+                                [](const Inbound& i) { return i.fd < 0; }),
+                 inbound_.end());
+  for (auto& in : accepted) inbound_.push_back(std::move(in));
+}
+
+}  // namespace amcast::net

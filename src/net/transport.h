@@ -1,0 +1,118 @@
+// Non-blocking TCP transport for the runtime backend.
+//
+// Model: every process listens on its configured address; for each peer it
+// SENDS to, it opens one outbound connection on demand (connections are
+// unidirectional, like the simulator's per-direction channels — replies
+// travel over the replier's own outbound connection). Frames are
+// length-prefixed:
+//
+//   [u32 payload length][i32 from][i32 to][wire-encoded message]
+//
+// with the message body produced by net::encode_message. `to` is explicit
+// because one process may host several nodes (tests, future colocations).
+//
+// Failure semantics match what the protocol already tolerates from the
+// simulated network: a frame that cannot be delivered (peer down, queue
+// over its cap, decode error at the receiver) is DROPPED, and protocol
+// timeouts/retransmissions recover — exactly like a TCP reset in the
+// paper's deployment. Outbound connections reconnect with exponential
+// backoff; queued frames survive a reconnect up to the per-peer byte cap.
+//
+// Single-threaded: poll() multiplexes all sockets and invokes the message
+// handler inline; the owning runtime::Executor calls it from its loop.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "env/message.h"
+#include "net/cluster_config.h"
+
+namespace amcast::net {
+
+class Transport {
+ public:
+  struct Options {
+    ProcessId self = kInvalidProcess;
+    std::string listen_host = "127.0.0.1";
+    std::uint16_t listen_port = 0;
+    std::map<ProcessId, PeerAddress> peers;
+    /// Frames above this size are invalid (guards a corrupt length prefix
+    /// from allocating gigabytes).
+    std::size_t max_frame_bytes = 64u << 20;
+    /// Per-peer outbound queue cap; frames beyond it are dropped.
+    std::size_t peer_queue_bytes = 64u << 20;
+    Duration reconnect_min = duration::milliseconds(50);
+    Duration reconnect_max = duration::seconds(2);
+  };
+
+  /// `on_message` receives every decoded inbound frame. `clock` supplies
+  /// the executor's notion of now (for reconnect backoff).
+  Transport(Options opts,
+            std::function<void(ProcessId from, ProcessId to, env::MessagePtr)>
+                on_message,
+            std::function<Time()> clock);
+  ~Transport();
+
+  Transport(const Transport&) = delete;
+  Transport& operator=(const Transport&) = delete;
+
+  /// Binds and listens on the configured address. False + error on failure.
+  bool listen(std::string* error);
+
+  /// Queues a message toward `to` (must be a configured peer; messages to
+  /// unknown peers are dropped and counted). Connects on demand.
+  void send(ProcessId from, ProcessId to, const env::Message& m);
+
+  /// Waits up to `max_wait` for socket activity, then services accepts,
+  /// reads (dispatching via on_message), writes, and due reconnects.
+  void poll(Duration max_wait);
+
+  struct Stats {
+    std::uint64_t frames_sent = 0;
+    std::uint64_t bytes_sent = 0;
+    std::uint64_t frames_received = 0;
+    std::uint64_t frames_dropped = 0;   ///< queue cap / unknown peer
+    std::uint64_t decode_errors = 0;
+    std::uint64_t connects = 0;         ///< outbound connects attempted
+  };
+  const Stats& stats() const { return stats_; }
+
+  std::uint16_t listen_port() const { return listen_port_; }
+
+ private:
+  struct Peer {
+    PeerAddress addr;
+    int fd = -1;
+    bool connecting = false;
+    std::deque<std::uint8_t> outq;  ///< framed bytes awaiting the socket
+    Time next_attempt = 0;
+    Duration backoff = 0;
+  };
+  struct Inbound {
+    int fd = -1;
+    std::vector<std::uint8_t> buf;  ///< partial frame accumulation
+  };
+
+  void start_connect(Peer& p);
+  void close_peer(Peer& p);
+  void flush_peer(Peer& p);
+  void service_inbound(Inbound& in);
+  void parse_frames(Inbound& in);
+
+  Options opts_;
+  std::function<void(ProcessId, ProcessId, env::MessagePtr)> on_message_;
+  std::function<Time()> clock_;
+  int listen_fd_ = -1;
+  std::uint16_t listen_port_ = 0;
+  std::map<ProcessId, Peer> peers_;
+  std::vector<Inbound> inbound_;
+  Stats stats_;
+};
+
+}  // namespace amcast::net

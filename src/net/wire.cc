@@ -1,0 +1,632 @@
+#include "net/wire.h"
+
+#include "common/assert.h"
+#include "core/messages.h"
+#include "dlog/messages.h"
+#include "kvstore/messages.h"
+#include "kvstore/replica.h"
+#include "ringpaxos/messages.h"
+
+namespace amcast::net {
+
+namespace {
+
+using ringpaxos::decode_value;
+using ringpaxos::encode_value;
+using ringpaxos::ValuePtr;
+
+SnapshotStateCodec g_state_codec;
+
+/// Reads an element count that was varint-encoded and sanity-bounds it by
+/// the bytes left in the buffer (each element costs at least `min_bytes`),
+/// so a forged count cannot balloon a reserve() or loop.
+std::size_t get_count(CheckedDecoder& d, std::size_t min_bytes) {
+  std::uint64_t n = d.get_varint();
+  if (!d.ok()) return 0;
+  if (min_bytes == 0) min_bytes = 1;
+  if (n > d.remaining() / min_bytes) {
+    d.fail();
+    return 0;
+  }
+  return std::size_t(n);
+}
+
+// --- per-type field codecs (encode_* mirrors decode_* field for field) ---
+
+void encode_tuple(Encoder& e, const core::CheckpointTuple& t) {
+  AMCAST_ASSERT(t.groups.size() == t.next.size());
+  e.put_varint(t.groups.size());
+  for (std::size_t i = 0; i < t.groups.size(); ++i) {
+    e.put_i32(t.groups[i]);
+    e.put_i64(t.next[i]);
+  }
+}
+
+core::CheckpointTuple decode_tuple(CheckedDecoder& d) {
+  core::CheckpointTuple t;
+  std::size_t n = get_count(d, 12);
+  t.groups.reserve(n);
+  t.next.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    t.groups.push_back(d.get_i32());
+    t.next.push_back(d.get_i64());
+  }
+  return t;
+}
+
+void encode_body(Encoder& e, const env::Message& m);
+
+env::MessagePtr decode_body(CheckedDecoder& d, int depth, std::string* error);
+
+void set_error(std::string* error, const char* what) {
+  if (error != nullptr && error->empty()) *error = what;
+}
+
+// --- ringpaxos ----------------------------------------------------------
+
+void encode_proposal(Encoder& e, const ringpaxos::ProposalMsg& m) {
+  e.put_i32(m.ring);
+  encode_value(e, m.value);
+}
+
+env::MessagePtr decode_proposal(CheckedDecoder& d) {
+  auto m = std::make_shared<ringpaxos::ProposalMsg>();
+  m->ring = d.get_i32();
+  m->value = decode_value(d);
+  if (m->value == nullptr) d.fail();  // proposals always carry a value
+  return m;
+}
+
+void encode_phase1a(Encoder& e, const ringpaxos::Phase1AMsg& m) {
+  e.put_i32(m.ring);
+  e.put_i32(m.round);
+  e.put_i64(m.from_instance);
+  e.put_i64(m.to_instance);
+}
+
+env::MessagePtr decode_phase1a(CheckedDecoder& d) {
+  auto m = std::make_shared<ringpaxos::Phase1AMsg>();
+  m->ring = d.get_i32();
+  m->round = d.get_i32();
+  m->from_instance = d.get_i64();
+  m->to_instance = d.get_i64();
+  return m;
+}
+
+void encode_phase1b(Encoder& e, const ringpaxos::Phase1BMsg& m) {
+  e.put_i32(m.ring);
+  e.put_i32(m.round);
+  e.put_i32(m.acceptor);
+  e.put_i64(m.log_end);
+  e.put_i64(m.trimmed_below);
+  e.put_varint(m.decided.size());
+  for (const auto& [first, count] : m.decided) {
+    e.put_i64(first);
+    e.put_i32(count);
+  }
+  e.put_varint(m.accepted.size());
+  for (const auto& a : m.accepted) {
+    e.put_i64(a.instance);
+    e.put_i32(a.count);
+    e.put_i32(a.round);
+    encode_value(e, a.value);
+  }
+}
+
+env::MessagePtr decode_phase1b(CheckedDecoder& d) {
+  auto m = std::make_shared<ringpaxos::Phase1BMsg>();
+  m->ring = d.get_i32();
+  m->round = d.get_i32();
+  m->acceptor = d.get_i32();
+  m->log_end = d.get_i64();
+  m->trimmed_below = d.get_i64();
+  std::size_t nd = get_count(d, 12);
+  m->decided.reserve(nd);
+  for (std::size_t i = 0; i < nd; ++i) {
+    InstanceId first = d.get_i64();
+    std::int32_t count = d.get_i32();
+    m->decided.emplace_back(first, count);
+  }
+  std::size_t na = get_count(d, 18);
+  m->accepted.reserve(na);
+  for (std::size_t i = 0; i < na; ++i) {
+    ringpaxos::Phase1BMsg::Accepted a;
+    a.instance = d.get_i64();
+    a.count = d.get_i32();
+    a.round = d.get_i32();
+    a.value = decode_value(d);
+    if (a.value == nullptr) d.fail();  // accepted entries carry values
+    m->accepted.push_back(std::move(a));
+  }
+  return m;
+}
+
+void encode_phase2(Encoder& e, const ringpaxos::Phase2Msg& m) {
+  e.put_i32(m.ring);
+  e.put_i32(m.round);
+  e.put_i64(m.instance);
+  e.put_i32(m.count);
+  e.put_i32(m.votes);
+  e.put_i32(m.hops);
+  encode_value(e, m.value);
+}
+
+env::MessagePtr decode_phase2(CheckedDecoder& d) {
+  auto m = std::make_shared<ringpaxos::Phase2Msg>();
+  m->ring = d.get_i32();
+  m->round = d.get_i32();
+  m->instance = d.get_i64();
+  m->count = d.get_i32();
+  m->votes = d.get_i32();
+  m->hops = d.get_i32();
+  m->value = decode_value(d);
+  if (m->value == nullptr) d.fail();
+  return m;
+}
+
+void encode_decision(Encoder& e, const ringpaxos::DecisionMsg& m) {
+  e.put_i32(m.ring);
+  e.put_i32(m.round);
+  e.put_i64(m.instance);
+  e.put_i32(m.count);
+  e.put_i32(m.hops);
+}
+
+env::MessagePtr decode_decision(CheckedDecoder& d) {
+  auto m = std::make_shared<ringpaxos::DecisionMsg>();
+  m->ring = d.get_i32();
+  m->round = d.get_i32();
+  m->instance = d.get_i64();
+  m->count = d.get_i32();
+  m->hops = d.get_i32();
+  return m;
+}
+
+void encode_retransmit_request(Encoder& e,
+                               const ringpaxos::RetransmitRequestMsg& m) {
+  e.put_i32(m.ring);
+  e.put_i64(m.from_instance);
+  e.put_i64(m.to_instance);
+  e.put_u64(m.nonce);
+}
+
+env::MessagePtr decode_retransmit_request(CheckedDecoder& d) {
+  auto m = std::make_shared<ringpaxos::RetransmitRequestMsg>();
+  m->ring = d.get_i32();
+  m->from_instance = d.get_i64();
+  m->to_instance = d.get_i64();
+  m->nonce = d.get_u64();
+  return m;
+}
+
+void encode_retransmit_reply(Encoder& e,
+                             const ringpaxos::RetransmitReplyMsg& m) {
+  e.put_i32(m.ring);
+  e.put_u64(m.nonce);
+  e.put_i64(m.trimmed_below);
+  e.put_i64(m.highest_decided);
+  e.put_varint(m.entries.size());
+  for (const auto& en : m.entries) {
+    e.put_i64(en.instance);
+    e.put_i32(en.count);
+    encode_value(e, en.value);
+  }
+}
+
+env::MessagePtr decode_retransmit_reply(CheckedDecoder& d) {
+  auto m = std::make_shared<ringpaxos::RetransmitReplyMsg>();
+  m->ring = d.get_i32();
+  m->nonce = d.get_u64();
+  m->trimmed_below = d.get_i64();
+  m->highest_decided = d.get_i64();
+  std::size_t n = get_count(d, 14);
+  m->entries.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ringpaxos::RetransmitReplyMsg::Entry en;
+    en.instance = d.get_i64();
+    en.count = d.get_i32();
+    en.value = decode_value(d);
+    if (en.value == nullptr) d.fail();
+    m->entries.push_back(std::move(en));
+  }
+  return m;
+}
+
+void encode_packed(Encoder& e, const ringpaxos::PackedMsg& m) {
+  e.put_varint(m.inner.size());
+  for (const auto& inner : m.inner) {
+    AMCAST_ASSERT_MSG(inner->type() != ringpaxos::kPacked,
+                      "packed messages must not nest");
+    encode_body(e, *inner);
+  }
+}
+
+env::MessagePtr decode_packed(CheckedDecoder& d, int depth,
+                              std::string* error) {
+  if (depth > 0) {
+    set_error(error, "nested packed message");
+    d.fail();
+    return nullptr;
+  }
+  auto m = std::make_shared<ringpaxos::PackedMsg>();
+  std::size_t n = get_count(d, 2);
+  m->inner.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    env::MessagePtr inner = decode_body(d, depth + 1, error);
+    if (inner == nullptr) {
+      d.fail();
+      return nullptr;
+    }
+    m->inner.push_back(std::move(inner));
+  }
+  return m;
+}
+
+// --- core (trim + checkpoint recovery) ----------------------------------
+
+void encode_trim_query(Encoder& e, const core::TrimQueryMsg& m) {
+  e.put_i32(m.group);
+  e.put_u64(m.query_id);
+}
+
+env::MessagePtr decode_trim_query(CheckedDecoder& d) {
+  auto m = std::make_shared<core::TrimQueryMsg>();
+  m->group = d.get_i32();
+  m->query_id = d.get_u64();
+  return m;
+}
+
+void encode_trim_reply(Encoder& e, const core::TrimReplyMsg& m) {
+  e.put_i32(m.group);
+  e.put_u64(m.query_id);
+  e.put_i32(m.replica);
+  e.put_i64(m.safe_next);
+}
+
+env::MessagePtr decode_trim_reply(CheckedDecoder& d) {
+  auto m = std::make_shared<core::TrimReplyMsg>();
+  m->group = d.get_i32();
+  m->query_id = d.get_u64();
+  m->replica = d.get_i32();
+  m->safe_next = d.get_i64();
+  return m;
+}
+
+void encode_trim_command(Encoder& e, const core::TrimCommandMsg& m) {
+  e.put_i32(m.group);
+  e.put_i64(m.trim_next);
+}
+
+env::MessagePtr decode_trim_command(CheckedDecoder& d) {
+  auto m = std::make_shared<core::TrimCommandMsg>();
+  m->group = d.get_i32();
+  m->trim_next = d.get_i64();
+  return m;
+}
+
+void encode_checkpoint_query(Encoder& e, const core::CheckpointQueryMsg& m) {
+  e.put_u64(m.query_id);
+}
+
+env::MessagePtr decode_checkpoint_query(CheckedDecoder& d) {
+  auto m = std::make_shared<core::CheckpointQueryMsg>();
+  m->query_id = d.get_u64();
+  return m;
+}
+
+void encode_checkpoint_info(Encoder& e, const core::CheckpointInfoMsg& m) {
+  e.put_u64(m.query_id);
+  e.put_i32(m.replica);
+  e.put_u64(m.size_bytes);
+  encode_tuple(e, m.tuple);
+}
+
+env::MessagePtr decode_checkpoint_info(CheckedDecoder& d) {
+  auto m = std::make_shared<core::CheckpointInfoMsg>();
+  m->query_id = d.get_u64();
+  m->replica = d.get_i32();
+  m->size_bytes = std::size_t(d.get_u64());
+  m->tuple = decode_tuple(d);
+  return m;
+}
+
+void encode_checkpoint_fetch(Encoder& e, const core::CheckpointFetchMsg& m) {
+  e.put_u64(m.query_id);
+}
+
+env::MessagePtr decode_checkpoint_fetch(CheckedDecoder& d) {
+  auto m = std::make_shared<core::CheckpointFetchMsg>();
+  m->query_id = d.get_u64();
+  return m;
+}
+
+void encode_checkpoint_data(Encoder& e, const core::CheckpointDataMsg& m) {
+  e.put_u64(m.query_id);
+  e.put_u64(m.size_bytes);
+  encode_tuple(e, m.tuple);
+  if (m.state == nullptr) {
+    e.put_u8(0);
+    return;
+  }
+  AMCAST_ASSERT_MSG(g_state_codec.encode != nullptr,
+                    "CheckpointData carries service state but no snapshot "
+                    "state codec is installed (net::set_snapshot_state_codec)");
+  e.put_u8(1);
+  e.put_bytes(g_state_codec.encode(m.state));
+}
+
+env::MessagePtr decode_checkpoint_data(CheckedDecoder& d,
+                                       std::string* error) {
+  auto m = std::make_shared<core::CheckpointDataMsg>();
+  m->query_id = d.get_u64();
+  m->size_bytes = std::size_t(d.get_u64());
+  m->tuple = decode_tuple(d);
+  if (d.get_u8() != 0) {
+    std::vector<std::uint8_t> bytes = d.get_bytes();
+    if (!d.ok()) return nullptr;
+    if (g_state_codec.decode == nullptr) {
+      // Installing a checkpoint whose state we cannot reconstruct would
+      // silently wipe the replica; refuse the message instead (recovery
+      // retries and falls back to acceptor-log catch-up).
+      set_error(error, "snapshot state without installed codec");
+      d.fail();
+      return nullptr;
+    }
+    m->state = g_state_codec.decode(bytes);
+    if (m->state == nullptr) {
+      set_error(error, "snapshot state decode failed");
+      d.fail();
+      return nullptr;
+    }
+  }
+  return m;
+}
+
+// --- services -----------------------------------------------------------
+
+void encode_kv_response(Encoder& e, const kvstore::KvResponseMsg& m) {
+  e.put_i32(m.partition);
+  e.put_varint(m.results.size());
+  for (const auto& r : m.results) {
+    e.put_u64(r.seq);
+    e.put_i32(r.thread);
+    e.put_bool(r.ok);
+    e.put_u64(r.payload_bytes);
+    e.put_i64(r.scan_hits);
+    e.put_bytes(r.data);
+  }
+}
+
+env::MessagePtr decode_kv_response(CheckedDecoder& d) {
+  auto m = std::make_shared<kvstore::KvResponseMsg>();
+  m->partition = d.get_i32();
+  std::size_t n = get_count(d, 29);
+  m->results.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    kvstore::CommandResult r;
+    r.seq = d.get_u64();
+    r.thread = d.get_i32();
+    r.ok = d.get_bool();
+    r.payload_bytes = std::size_t(d.get_u64());
+    r.scan_hits = d.get_i64();
+    r.data = d.get_bytes();
+    m->results.push_back(std::move(r));
+  }
+  return m;
+}
+
+void encode_dlog_response(Encoder& e, const dlog::DLogResponseMsg& m) {
+  e.put_i32(m.server);
+  e.put_varint(m.results.size());
+  for (const auto& r : m.results) {
+    e.put_u64(r.seq);
+    e.put_i32(r.thread);
+    e.put_bool(r.ok);
+    e.put_u64(r.payload_bytes);
+    e.put_varint(r.positions.size());
+    for (std::int64_t p : r.positions) e.put_i64(p);
+  }
+}
+
+env::MessagePtr decode_dlog_response(CheckedDecoder& d) {
+  auto m = std::make_shared<dlog::DLogResponseMsg>();
+  m->server = d.get_i32();
+  std::size_t n = get_count(d, 22);
+  m->results.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    dlog::CommandResult r;
+    r.seq = d.get_u64();
+    r.thread = d.get_i32();
+    r.ok = d.get_bool();
+    r.payload_bytes = std::size_t(d.get_u64());
+    std::size_t np = get_count(d, 8);
+    r.positions.reserve(np);
+    for (std::size_t k = 0; k < np; ++k) r.positions.push_back(d.get_i64());
+    m->results.push_back(std::move(r));
+  }
+  return m;
+}
+
+// --- dispatch -----------------------------------------------------------
+
+void encode_body(Encoder& e, const env::Message& m) {
+  e.put_varint(std::uint64_t(m.type()));
+  switch (m.type()) {
+    case ringpaxos::kProposal:
+      encode_proposal(e, static_cast<const ringpaxos::ProposalMsg&>(m));
+      return;
+    case ringpaxos::kPhase1A:
+      encode_phase1a(e, static_cast<const ringpaxos::Phase1AMsg&>(m));
+      return;
+    case ringpaxos::kPhase1B:
+      encode_phase1b(e, static_cast<const ringpaxos::Phase1BMsg&>(m));
+      return;
+    case ringpaxos::kPhase2:
+      encode_phase2(e, static_cast<const ringpaxos::Phase2Msg&>(m));
+      return;
+    case ringpaxos::kDecision:
+      encode_decision(e, static_cast<const ringpaxos::DecisionMsg&>(m));
+      return;
+    case ringpaxos::kRetransmitRequest:
+      encode_retransmit_request(
+          e, static_cast<const ringpaxos::RetransmitRequestMsg&>(m));
+      return;
+    case ringpaxos::kRetransmitReply:
+      encode_retransmit_reply(
+          e, static_cast<const ringpaxos::RetransmitReplyMsg&>(m));
+      return;
+    case ringpaxos::kPacked:
+      encode_packed(e, static_cast<const ringpaxos::PackedMsg&>(m));
+      return;
+    case core::kTrimQuery:
+      encode_trim_query(e, static_cast<const core::TrimQueryMsg&>(m));
+      return;
+    case core::kTrimReply:
+      encode_trim_reply(e, static_cast<const core::TrimReplyMsg&>(m));
+      return;
+    case core::kTrimCommand:
+      encode_trim_command(e, static_cast<const core::TrimCommandMsg&>(m));
+      return;
+    case core::kCheckpointQuery:
+      encode_checkpoint_query(e,
+                              static_cast<const core::CheckpointQueryMsg&>(m));
+      return;
+    case core::kCheckpointInfo:
+      encode_checkpoint_info(e,
+                             static_cast<const core::CheckpointInfoMsg&>(m));
+      return;
+    case core::kCheckpointFetch:
+      encode_checkpoint_fetch(e,
+                              static_cast<const core::CheckpointFetchMsg&>(m));
+      return;
+    case core::kCheckpointData:
+      encode_checkpoint_data(e,
+                             static_cast<const core::CheckpointDataMsg&>(m));
+      return;
+    case kvstore::kKvResponse:
+      encode_kv_response(e, static_cast<const kvstore::KvResponseMsg&>(m));
+      return;
+    case dlog::kDLogResponse:
+      encode_dlog_response(e, static_cast<const dlog::DLogResponseMsg&>(m));
+      return;
+    default:
+      AMCAST_ASSERT_MSG(false, "message type is not wire-encodable");
+  }
+}
+
+env::MessagePtr decode_body(CheckedDecoder& d, int depth,
+                            std::string* error) {
+  std::uint64_t type = d.get_varint();
+  if (!d.ok()) {
+    set_error(error, "truncated type tag");
+    return nullptr;
+  }
+  env::MessagePtr m;
+  switch (int(type)) {
+    case ringpaxos::kProposal: m = decode_proposal(d); break;
+    case ringpaxos::kPhase1A: m = decode_phase1a(d); break;
+    case ringpaxos::kPhase1B: m = decode_phase1b(d); break;
+    case ringpaxos::kPhase2: m = decode_phase2(d); break;
+    case ringpaxos::kDecision: m = decode_decision(d); break;
+    case ringpaxos::kRetransmitRequest: m = decode_retransmit_request(d); break;
+    case ringpaxos::kRetransmitReply: m = decode_retransmit_reply(d); break;
+    case ringpaxos::kPacked: m = decode_packed(d, depth, error); break;
+    case core::kTrimQuery: m = decode_trim_query(d); break;
+    case core::kTrimReply: m = decode_trim_reply(d); break;
+    case core::kTrimCommand: m = decode_trim_command(d); break;
+    case core::kCheckpointQuery: m = decode_checkpoint_query(d); break;
+    case core::kCheckpointInfo: m = decode_checkpoint_info(d); break;
+    case core::kCheckpointFetch: m = decode_checkpoint_fetch(d); break;
+    case core::kCheckpointData: m = decode_checkpoint_data(d, error); break;
+    case kvstore::kKvResponse: m = decode_kv_response(d); break;
+    case dlog::kDLogResponse: m = decode_dlog_response(d); break;
+    default:
+      set_error(error, "unknown message type");
+      d.fail();
+      return nullptr;
+  }
+  if (!d.ok() || m == nullptr) {
+    set_error(error, "truncated or malformed message body");
+    return nullptr;
+  }
+  return m;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_message(const env::Message& m) {
+  Encoder e(m.wire_size() + 16);
+  encode_body(e, m);
+  return e.take();
+}
+
+env::MessagePtr decode_message(const std::uint8_t* data, std::size_t n,
+                               std::string* error) {
+  CheckedDecoder d(data, n);
+  env::MessagePtr m = decode_body(d, 0, error);
+  if (m == nullptr) return nullptr;
+  if (!d.done()) {
+    set_error(error, "trailing bytes after message");
+    return nullptr;
+  }
+  return m;
+}
+
+env::MessagePtr decode_message(const std::vector<std::uint8_t>& buf,
+                               std::string* error) {
+  return decode_message(buf.data(), buf.size(), error);
+}
+
+void set_snapshot_state_codec(SnapshotStateCodec codec) {
+  g_state_codec = std::move(codec);
+}
+
+bool has_snapshot_state_codec() { return g_state_codec.encode != nullptr; }
+
+SnapshotStateCodec kv_snapshot_state_codec() {
+  SnapshotStateCodec c;
+  c.encode = [](const std::shared_ptr<const void>& state) {
+    const auto& st = *static_cast<const kvstore::KvSnapshotState*>(state.get());
+    Encoder e;
+    AMCAST_ASSERT(st.tree != nullptr);
+    e.put_varint(st.tree->size());
+    for (const auto& [key, value] : *st.tree) {
+      e.put_string(key);
+      e.put_bytes(value);
+    }
+    e.put_varint(st.last_seq.size());
+    for (const auto& [ct, seq] : st.last_seq) {
+      e.put_i32(ct.first);
+      e.put_i32(ct.second);
+      e.put_u64(seq);
+    }
+    return e.take();
+  };
+  c.decode = [](const std::vector<std::uint8_t>& bytes)
+      -> std::shared_ptr<const void> {
+    CheckedDecoder d(bytes);
+    auto st = std::make_shared<kvstore::KvSnapshotState>();
+    auto tree = std::make_shared<kvstore::KvStore::Tree>();
+    std::size_t n = get_count(d, 8);
+    for (std::size_t i = 0; i < n; ++i) {
+      std::string key = d.get_string();
+      std::vector<std::uint8_t> value = d.get_bytes();
+      if (!d.ok()) return nullptr;
+      (*tree)[std::move(key)] = std::move(value);
+    }
+    std::size_t ns = get_count(d, 16);
+    for (std::size_t i = 0; i < ns; ++i) {
+      ProcessId client = d.get_i32();
+      std::int32_t thread = d.get_i32();
+      std::uint64_t seq = d.get_u64();
+      if (!d.ok()) return nullptr;
+      st->last_seq[{client, thread}] = seq;
+    }
+    if (!d.done()) return nullptr;
+    st->tree = std::move(tree);
+    return st;
+  };
+  return c;
+}
+
+}  // namespace amcast::net

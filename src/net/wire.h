@@ -1,0 +1,58 @@
+// Wire codec: binary encode/decode for every message type that crosses
+// process boundaries in the real-network runtime — the full ringpaxos,
+// multi-ring/recovery (core), kvstore, and dlog message sets.
+//
+// The simulation passes MessagePtr objects in memory and never pays for
+// serialization; the runtime's net::Transport calls encode_message on send
+// and decode_message on receive. The format is the library's little-endian
+// codec (common/codec.h): [varint type tag][per-type fields], with values
+// encoded via ringpaxos::encode_value. Decoding treats input as UNTRUSTED:
+// truncated, oversized, or malformed buffers return nullptr with a
+// diagnostic — never an assert or out-of-bounds read.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/codec.h"
+#include "env/message.h"
+
+namespace amcast::net {
+
+/// Serializes `m` for the transport. The message's type tag must belong to
+/// a protocol/service module (1xx-4xx); backend-internal messages (5xx
+/// baselines, 9xx tests) are not wire-encodable and assert.
+std::vector<std::uint8_t> encode_message(const env::Message& m);
+
+/// Parses one message from `[data, data+n)`. The whole buffer must be
+/// consumed. Returns nullptr on any error and, when `error` is given,
+/// writes a short diagnostic.
+env::MessagePtr decode_message(const std::uint8_t* data, std::size_t n,
+                               std::string* error = nullptr);
+env::MessagePtr decode_message(const std::vector<std::uint8_t>& buf,
+                               std::string* error = nullptr);
+
+/// Codec for the service-defined opaque snapshot state carried by
+/// core::CheckpointDataMsg (checkpoint transfer during §5.2 recovery). The
+/// state type is owned by the service (e.g. MRP-Store's tree + dedup
+/// table), so the hosting binary installs the matching codec at startup;
+/// see kvstore::kv_snapshot_state_codec(). Without one, a null state still
+/// encodes/decodes fine (the "never checkpointed" recovery path); a
+/// non-null state fails encode loudly and fails decode safely.
+struct SnapshotStateCodec {
+  std::function<std::vector<std::uint8_t>(const std::shared_ptr<const void>&)>
+      encode;
+  std::function<std::shared_ptr<const void>(const std::vector<std::uint8_t>&)>
+      decode;
+};
+void set_snapshot_state_codec(SnapshotStateCodec codec);
+bool has_snapshot_state_codec();
+
+/// The codec for MRP-Store replica snapshots (kvstore::KvSnapshotState:
+/// tree + dedup table). The kv daemon/CLI install it at startup.
+SnapshotStateCodec kv_snapshot_state_codec();
+
+}  // namespace amcast::net

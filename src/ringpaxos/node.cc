@@ -29,13 +29,14 @@ void RingNode::join_ring(GroupId g, bool learner, RingOptions opts) {
   RingState rs;
   rs.cfg = cfg;
   rs.opts = opts;
+  rs.opts.storage.group = g;  // tag journal records with the ring
   rs.learner = learner;
   if (cfg.is_acceptor(id())) {
-    sim::Disk* d = nullptr;
+    env::Disk* d = nullptr;
     if (opts.storage.mode != StorageOptions::Mode::kMemory) {
       d = &disk(opts.storage.disk_index);
     }
-    rs.storage = std::make_unique<AcceptorStorage>(opts.storage, d);
+    rs.storage = std::make_unique<AcceptorStorage>(rs.opts.storage, d);
   }
   auto [it, ok] = rings_.emplace(g, std::move(rs));
   AMCAST_ASSERT(ok);
@@ -331,7 +332,7 @@ void RingNode::finish_phase1(RingState& rs) {
   for (const auto& [pf, pe] :
        subtract_spans(covered, low, rs.next_instance)) {
     std::int32_t pc = std::int32_t(pe - pf);
-    sim().metrics().counter("ringpaxos.hole_fills") += pc;
+    metrics().counter("ringpaxos.hole_fills") += pc;
     start_instance(rs, pf, pc, make_skip(rs.cfg.group, now(), pc), rs.round);
   }
 
@@ -381,7 +382,7 @@ void RingNode::check_proposal_timeouts() {
     if (timeout <= 0) continue;
     if (now() - p.proposed_at < timeout) continue;
     p.proposed_at = now();
-    sim().metrics().counter("ringpaxos.reproposals")++;
+    metrics().counter("ringpaxos.reproposals")++;
     const RingConfig& cfg = registry_.ring(p.ring);
     auto m = std::make_shared<ProposalMsg>();
     m->ring = p.ring;
@@ -425,7 +426,7 @@ void RingNode::schedule_pump(RingState& rs) {
   if (rs.pump_scheduled) return;
   rs.pump_scheduled = true;
   GroupId g = rs.cfg.group;
-  sim().after(0, [this, g] {
+  defer([this, g] {
     auto& s = state(g);
     s.pump_scheduled = false;
     pump(s);
@@ -559,7 +560,7 @@ void RingNode::retry_outstanding(RingState& rs) {
     // retry a coordinator stuck in Phase 1 stalls its ring forever.
     if (now() - rs.phase1_started_at >= rs.opts.instance_timeout) {
       rs.phase1_running = false;
-      sim().metrics().counter("ringpaxos.phase1_retries")++;
+      metrics().counter("ringpaxos.phase1_retries")++;
       start_phase1(rs);
     }
     return;
@@ -567,7 +568,7 @@ void RingNode::retry_outstanding(RingState& rs) {
   for (auto& [inst, o] : rs.outstanding) {
     if (now() - o.sent_at < rs.opts.instance_timeout) continue;
     o.sent_at = now();
-    sim().metrics().counter("ringpaxos.instance_retries")++;
+    metrics().counter("ringpaxos.instance_retries")++;
     auto m = std::make_shared<Phase2Msg>();
     m->ring = rs.cfg.group;
     m->round = rs.round;
@@ -752,7 +753,7 @@ void RingNode::request_gap_repair(RingState& rs) {
   if (target == kInvalidProcess) return;  // sole acceptor is us: log is local
   rs.gap_nonce = take_nonce();
   rs.gap_sent_at = now();
-  sim().metrics().counter("ringpaxos.gap_repair_requests")++;
+  metrics().counter("ringpaxos.gap_repair_requests")++;
   auto req = std::make_shared<RetransmitRequestMsg>();
   req->ring = rs.cfg.group;
   req->from_instance = rs.next_deliver;
@@ -769,12 +770,12 @@ void RingNode::handle_learner_retransmit_reply(RingState& rs,
     // The log no longer reaches back to our cursor; only the checkpoint
     // recovery protocol (ReplicaNode) can bridge this. Plain learners in
     // trim-enabled deployments are a misconfiguration.
-    sim().metrics().counter("ringpaxos.gap_repair_trimmed")++;
+    metrics().counter("ringpaxos.gap_repair_trimmed")++;
     on_gap_unrecoverable(rs.cfg.group);
     return;
   }
   if (!m.entries.empty()) {
-    sim().metrics().counter("ringpaxos.gap_repairs")++;
+    metrics().counter("ringpaxos.gap_repairs")++;
   }
   InstanceId before = rs.next_deliver;
   for (const auto& e : m.entries) {

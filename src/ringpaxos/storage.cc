@@ -4,14 +4,68 @@
 
 namespace amcast::ringpaxos {
 
-AcceptorStorage::AcceptorStorage(StorageOptions opts, sim::Disk* disk)
+namespace {
+
+/// Journal record tags (first byte after the group id).
+enum RecordTag : std::uint8_t {
+  kRecPromise = 1,
+  kRecVote = 2,
+  kRecDecide = 3,
+  kRecTrim = 4,
+};
+
+}  // namespace
+
+AcceptorStorage::AcceptorStorage(StorageOptions opts, env::Disk* disk)
     : opts_(opts), disk_(disk) {
   if (opts_.mode != StorageOptions::Mode::kMemory) {
     AMCAST_ASSERT_MSG(disk_ != nullptr, "disk-backed storage needs a disk");
   }
+  if (disk_ != nullptr && disk_->wants_records()) replay_journal();
 }
 
-void AcceptorStorage::persist(std::size_t bytes, std::function<void()> ready) {
+void AcceptorStorage::replay_journal() {
+  replaying_ = true;
+  for (const auto& rec : disk_->stored_records()) {
+    CheckedDecoder d(rec);
+    GroupId g = d.get_i32();
+    std::uint8_t tag = d.get_u8();
+    if (!d.ok() || g != opts_.group) continue;  // another ring's record
+    switch (tag) {
+      case kRecPromise: {
+        Round r = d.get_i32();
+        if (d.ok() && r >= promised_) promised_ = r;
+        break;
+      }
+      case kRecVote: {
+        InstanceId instance = d.get_i64();
+        std::int32_t count = d.get_i32();
+        Round round = d.get_i32();
+        ValuePtr v = decode_value(d);
+        if (d.ok() && count >= 1) apply_vote(instance, count, round, v);
+        break;
+      }
+      case kRecDecide: {
+        InstanceId instance = d.get_i64();
+        std::int32_t count = d.get_i32();
+        Round round = d.get_i32();
+        if (d.ok() && count >= 1) mark_decided(instance, count, round);
+        break;
+      }
+      case kRecTrim: {
+        InstanceId up_to = d.get_i64();
+        if (d.ok()) trim(up_to);
+        break;
+      }
+      default:
+        break;  // unknown tag: skip (forward compatibility)
+    }
+  }
+  replaying_ = false;
+}
+
+void AcceptorStorage::persist(std::size_t bytes, std::vector<std::uint8_t> rec,
+                              std::function<void()> ready) {
   switch (opts_.mode) {
     case StorageOptions::Mode::kMemory:
       // Off-heap slot write: no I/O, forward immediately.
@@ -19,10 +73,10 @@ void AcceptorStorage::persist(std::size_t bytes, std::function<void()> ready) {
       return;
     case StorageOptions::Mode::kSyncDisk:
       // Durable before forwarding (paper §5.1).
-      disk_->write(bytes, std::move(ready));
+      disk_->write_record(bytes, std::move(rec), std::move(ready));
       return;
     case StorageOptions::Mode::kAsyncDisk:
-      disk_->write_async(bytes);
+      disk_->write_record_async(bytes, std::move(rec));
       ready();
       return;
   }
@@ -87,6 +141,23 @@ void AcceptorStorage::store_vote(InstanceId instance, std::int32_t count,
                                  std::function<void()> ready) {
   AMCAST_ASSERT(instance >= 0 && count >= 1);
   std::size_t bytes = 40 + (value ? value->wire_size() : 0);
+  std::vector<std::uint8_t> rec;
+  if (journaling()) {
+    Encoder e(bytes + 32);
+    e.put_i32(opts_.group);
+    e.put_u8(kRecVote);
+    e.put_i64(instance);
+    e.put_i32(count);
+    e.put_i32(round);
+    encode_value(e, value);
+    rec = e.take();
+  }
+  apply_vote(instance, count, round, std::move(value));
+  persist(bytes, std::move(rec), std::move(ready));
+}
+
+void AcceptorStorage::apply_vote(InstanceId instance, std::int32_t count,
+                                 Round round, ValuePtr value) {
   // The new vote is authoritative over anything lower-round it overlaps
   // (standard Paxos 2B overwrite, generalized to ranges).
   InstanceId end = instance + count;
@@ -131,11 +202,23 @@ void AcceptorStorage::store_vote(InstanceId instance, std::int32_t count,
   }
   emit(cursor, end);
   enforce_memory_bound();
-  persist(bytes, std::move(ready));
 }
 
 void AcceptorStorage::mark_decided(InstanceId instance, std::int32_t count,
                                    Round round) {
+  if (journaling()) {
+    // Decided flags cost the simulator nothing (they piggyback on entries
+    // already persisted), but a journal replay needs them or a restarted
+    // acceptor could not serve retransmissions; append as costless
+    // bookkeeping, ordered behind the vote records they refer to.
+    Encoder e(24);
+    e.put_i32(opts_.group);
+    e.put_u8(kRecDecide);
+    e.put_i64(instance);
+    e.put_i32(count);
+    e.put_i32(round);
+    disk_->journal_record(e.take());
+  }
   // The logged vote may have been carved into several pieces keyed at
   // different instances (a higher-round vote clipped a ranged entry), so
   // every retained piece inside [instance, end) is marked — an exact-key
@@ -176,10 +259,25 @@ const AcceptorStorage::Entry* AcceptorStorage::find(InstanceId instance) const {
 void AcceptorStorage::promise(Round r, std::function<void()> ready) {
   AMCAST_ASSERT(r >= promised_);
   promised_ = r;
-  persist(32, std::move(ready));
+  std::vector<std::uint8_t> rec;
+  if (journaling()) {
+    Encoder e(16);
+    e.put_i32(opts_.group);
+    e.put_u8(kRecPromise);
+    e.put_i32(r);
+    rec = e.take();
+  }
+  persist(32, std::move(rec), std::move(ready));
 }
 
 void AcceptorStorage::trim(InstanceId up_to) {
+  if (journaling()) {
+    Encoder e(16);
+    e.put_i32(opts_.group);
+    e.put_u8(kRecTrim);
+    e.put_i64(up_to);
+    disk_->journal_record(e.take());
+  }
   // Remove every range fully contained in (-inf, up_to].
   auto it = log_.begin();
   while (it != log_.end()) {

@@ -19,8 +19,8 @@
 #include <vector>
 
 #include "common/ids.h"
+#include "env/env.h"
 #include "ringpaxos/value.h"
-#include "sim/disk.h"
 
 namespace amcast::ringpaxos {
 
@@ -31,13 +31,27 @@ struct StorageOptions {
   int disk_index = 0;                ///< which node disk backs this ring
   std::size_t memory_slots = 15000;  ///< paper §7.1
   std::size_t slot_bytes = 32 * 1024;
+  /// Ring this log belongs to; tags journal records so several rings can
+  /// share one physical device (RingNode::join_ring fills it in).
+  GroupId group = kInvalidGroup;
 };
 
 /// Per-(acceptor, ring) vote/decision log.
+///
+/// Durability has two layers. The MODELED layer (always on) charges the
+/// disk's service time per the mode's rule and is what the simulator's
+/// figures measure. The RECORD layer engages only when the disk retains
+/// record contents (env::Disk::wants_records — the runtime's file-backed
+/// device): every promise/vote is appended as an encoded journal record
+/// under the same durability rule, decisions and trims are journaled as
+/// costless bookkeeping, and the constructor replays the journal so an
+/// acceptor restarted as a fresh OS process recovers its log, its promise,
+/// and its decided flags.
 class AcceptorStorage {
  public:
   /// `disk` may be null in kMemory mode; otherwise it must outlive this.
-  AcceptorStorage(StorageOptions opts, sim::Disk* disk);
+  /// If the disk holds journal records for this ring, they are replayed.
+  AcceptorStorage(StorageOptions opts, env::Disk* disk);
 
   struct Entry {
     InstanceId instance = kInvalidInstance;
@@ -109,17 +123,29 @@ class AcceptorStorage {
   std::size_t logged_bytes() const { return logged_bytes_; }
 
  private:
-  void persist(std::size_t bytes, std::function<void()> ready);
+  void persist(std::size_t bytes, std::vector<std::uint8_t> rec,
+               std::function<void()> ready);
   void enforce_memory_bound();
   void insert_entry(Entry e);
   void carve(InstanceId first, InstanceId end, Round round);
+  /// The in-memory mutation of store_vote (carve + gap-claiming inserts),
+  /// shared by the live path and journal replay.
+  void apply_vote(InstanceId instance, std::int32_t count, Round round,
+                  ValuePtr value);
   /// Iterator at the first log entry that could overlap [first, ∞): ranges
   /// are keyed by their first instance, so that is the entry at or before
   /// `first` (callers still check the entry's end against their range).
   std::map<InstanceId, Entry>::iterator first_overlapping(InstanceId first);
 
+  /// True when mutations should be appended to the device's record journal.
+  bool journaling() const {
+    return disk_ != nullptr && disk_->wants_records() && !replaying_;
+  }
+  void replay_journal();
+
   StorageOptions opts_;
-  sim::Disk* disk_;
+  env::Disk* disk_;
+  bool replaying_ = false;
   Round promised_ = 0;
   std::map<InstanceId, Entry> log_;  ///< keyed by first instance of range
   InstanceId first_retained_ = 0;

@@ -49,4 +49,69 @@ ValuePtr make_skip(GroupId group, Time now, std::int32_t count) {
   return v;
 }
 
+namespace {
+
+void encode_value_at(Encoder& e, const ValuePtr& v, int depth) {
+  if (v == nullptr) {
+    e.put_u8(0);
+    return;
+  }
+  AMCAST_ASSERT_MSG(depth == 0 || v->batch.empty(), "batches must not nest");
+  e.put_u8(1);
+  e.put_i32(v->group);
+  e.put_u64(v->msg_id);
+  e.put_i32(v->origin);
+  e.put_i64(v->created_at);
+  e.put_i32(v->skip_count);
+  if (v->payload != nullptr) {
+    e.put_u8(1);
+    e.put_bytes(*v->payload);
+  } else {
+    e.put_u8(0);
+  }
+  e.put_varint(v->batch.size());
+  for (const ValuePtr& inner : v->batch) encode_value_at(e, inner, depth + 1);
+}
+
+ValuePtr decode_value_at(CheckedDecoder& d, int depth) {
+  if (d.get_u8() == 0) return nullptr;
+  auto v = std::make_shared<Value>();
+  v->group = d.get_i32();
+  v->msg_id = d.get_u64();
+  v->origin = d.get_i32();
+  v->created_at = d.get_i64();
+  v->skip_count = d.get_i32();
+  if (d.get_u8() != 0) {
+    v->payload =
+        std::make_shared<const std::vector<std::uint8_t>>(d.get_bytes());
+  }
+  std::uint64_t n = d.get_varint();
+  if (!d.ok()) return nullptr;
+  if (n > 0) {
+    // A batch element cannot itself be a batch, and each inner value costs
+    // at least 2 bytes on the wire — both checks keep a forged count from
+    // ballooning allocation or recursion.
+    if (depth > 0 || n > d.remaining()) {
+      d.fail();
+      return nullptr;
+    }
+    v->batch.reserve(std::size_t(n));
+    for (std::uint64_t i = 0; i < n; ++i) {
+      ValuePtr inner = decode_value_at(d, depth + 1);
+      if (!d.ok() || inner == nullptr) {
+        d.fail();
+        return nullptr;
+      }
+      v->batch.push_back(std::move(inner));
+    }
+  }
+  return d.ok() ? v : nullptr;
+}
+
+}  // namespace
+
+void encode_value(Encoder& e, const ValuePtr& v) { encode_value_at(e, v, 0); }
+
+ValuePtr decode_value(CheckedDecoder& d) { return decode_value_at(d, 0); }
+
 }  // namespace amcast::ringpaxos

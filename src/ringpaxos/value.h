@@ -5,6 +5,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/codec.h"
 #include "common/ids.h"
 
 namespace amcast::ringpaxos {
@@ -64,5 +65,14 @@ ValuePtr make_skip(GroupId group, Time now, std::int32_t count);
 /// into a batch envelope deciding them all in one consensus instance. The
 /// inner values keep their own ids and timestamps; the envelope has none.
 ValuePtr make_batch(GroupId group, Time now, std::vector<ValuePtr> inner);
+
+/// Binary codec for values: used by the real-network wire format and by the
+/// runtime's durable acceptor journal. `v` may be null (encoded as absent).
+void encode_value(Encoder& e, const ValuePtr& v);
+
+/// Decodes a value (or null for "absent"). Untrusted input: any truncation,
+/// overlong count, or malformed nesting fails the decoder instead of
+/// crashing. Batch envelopes may not nest (mirrors make_batch's contract).
+ValuePtr decode_value(CheckedDecoder& d);
 
 }  // namespace amcast::ringpaxos

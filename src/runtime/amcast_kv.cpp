@@ -1,0 +1,430 @@
+// amcast_kv — MRP-Store client CLI for the real-network runtime.
+//
+// Connects to the cluster described by a config file as the configured
+// client process, issues commands through atomic multicast (single-key ops
+// to the key's partition ring, scans to the global ring when one exists),
+// and prints one result line per op. Lost proposals are re-proposed until
+// the service acknowledges, exactly like the simulated clients.
+//
+//   amcast_kv --config examples/cluster.json put user1 alice
+//   amcast_kv --config examples/cluster.json get user1
+//   amcast_kv --config examples/cluster.json scan a z
+//   amcast_kv --config examples/cluster.json bench 200 128
+//   amcast_kv --config examples/cluster.json script < ops.txt
+//
+// Exit codes: 0 all ops answered, 2 an op timed out, 1 setup error.
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <random>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+#include "core/multicast.h"
+#include "kvstore/command.h"
+#include "kvstore/messages.h"
+#include "kvstore/partitioner.h"
+#include "net/cluster_config.h"
+#include "net/transport.h"
+#include "net/wire.h"
+#include "runtime/executor.h"
+
+namespace {
+
+using namespace amcast;
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: amcast_kv --config FILE [--process NAME|ID] [--timeout-ms N]\n"
+      "                 [--quiet] COMMAND\n"
+      "commands:\n"
+      "  put KEY VALUE        insert/overwrite\n"
+      "  get KEY              read (prints the value)\n"
+      "  del KEY              delete\n"
+      "  scan FROM TO         ordered scan [FROM, TO]\n"
+      "  fill N [BYTES]       insert key000..N with BYTES-sized values\n"
+      "  bench N [BYTES]      N sequential puts, report rate + latency\n"
+      "  script               read one op per line from stdin\n");
+  return 64;
+}
+
+bool printable(const std::vector<std::uint8_t>& v) {
+  for (std::uint8_t b : v) {
+    if (!std::isprint(b)) return false;
+  }
+  return true;
+}
+
+/// The CLI's node: a plain MulticastNode that issues the queued ops one at
+/// a time (strict order, one outstanding command) and completes each on
+/// the first KvResponse per involved partition — the same matching rule as
+/// the simulated KvClient.
+class CliClient final : public core::MulticastNode {
+ public:
+  CliClient(core::ConfigRegistry& reg, runtime::Executor& ex,
+            const net::ClusterConfig& cfg, bool quiet)
+      : core::MulticastNode(reg),
+        ex_(ex),
+        partitioner_(kvstore::Partitioner::hash(cfg.partition_count())),
+        pgroups_(cfg.partition_groups()),
+        global_(cfg.global_group()),
+        timeout_(cfg.options.client_op_timeout),
+        quiet_(quiet) {
+    set_default_proposal_timeout(cfg.options.proposal_timeout);
+    // Replicas deduplicate re-proposed WRITES by (client, thread, seq)
+    // with a monotonic per-thread sequence. Each CLI invocation is a fresh
+    // incarnation of the same configured client process, so restarting the
+    // sequence at 1 under a fixed thread id would make a later
+    // invocation's writes look like duplicates of an earlier one's.
+    // Defense in depth: a random thread id per invocation (collision odds
+    // 2^-31 per pair; costs one dedup-table entry per invocation) AND a
+    // wall-clock-seeded sequence (covers a collision unless the clock also
+    // stepped backwards). A long-lived client library would instead keep
+    // one thread id and its own monotonic counter, like sim::KvClient.
+    std::random_device rd;
+    thread_id_ = std::int32_t(rd() & 0x7fffffff);
+    seq_ = std::uint64_t(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count());
+  }
+
+  void add_op(kvstore::Command c) { queue_.push_back(std::move(c)); }
+  void set_quiet(bool q) { quiet_ = q; }
+
+  void start() {
+    started_at_ = now();
+    issue_next();
+  }
+
+  bool timed_out() const { return timed_out_; }
+  std::int64_t completed() const { return completed_; }
+  const Histogram& latency() const { return latency_; }
+  Duration elapsed() const { return now() - started_at_; }
+
+  void on_message(ProcessId from, const env::MessagePtr& m) override {
+    if (m->type() != kvstore::kKvResponse) {
+      core::MulticastNode::on_message(from, m);
+      return;
+    }
+    const auto& resp = env::msg_cast<kvstore::KvResponseMsg>(m);
+    for (const auto& r : resp.results) {
+      if (r.seq != seq_ || done_) continue;  // stale/duplicate response
+      if (!responded_.insert(resp.partition).second) continue;
+      // Scans answer once per involved partition: aggregate the partial
+      // results instead of keeping whichever partition replied last.
+      if (responded_.size() == 1) {
+        last_result_ = r;
+      } else {
+        last_result_.ok = last_result_.ok && r.ok;
+        last_result_.scan_hits += r.scan_hits;
+        last_result_.payload_bytes += r.payload_bytes;
+      }
+      if (int(responded_.size()) < awaiting_) continue;
+      finish_current();
+    }
+  }
+
+ private:
+  void finish_current() {
+    done_ = true;
+    Duration lat = now() - issued_at_;
+    latency_.record_duration(lat);
+    for (MessageId mid : mids_) clear_proposal(mid);
+    ++completed_;
+    print_result(lat);
+    issue_next();
+  }
+
+  void print_result(Duration lat) {
+    if (quiet_) return;
+    const kvstore::Command& c = cur_;
+    const kvstore::CommandResult& r = last_result_;
+    switch (c.op) {
+      case kvstore::Op::kRead:
+        if (!r.ok) {
+          std::printf("MISS get %s (%.2f ms)\n", c.key.c_str(),
+                      duration::to_millis(lat));
+        } else if (printable(r.data) && !r.data.empty()) {
+          std::printf("OK get %s = \"%.*s\" (%zu bytes, %.2f ms)\n",
+                      c.key.c_str(), int(r.data.size()),
+                      reinterpret_cast<const char*>(r.data.data()),
+                      r.data.size(), duration::to_millis(lat));
+        } else {
+          std::printf("OK get %s (%zu bytes, %.2f ms)\n", c.key.c_str(),
+                      r.payload_bytes, duration::to_millis(lat));
+        }
+        break;
+      case kvstore::Op::kScan:
+        std::printf("OK scan %s..%s hits=%lld bytes=%zu (%.2f ms)\n",
+                    c.key.c_str(), c.end_key.c_str(),
+                    (long long)r.scan_hits, r.payload_bytes,
+                    duration::to_millis(lat));
+        break;
+      default:
+        std::printf("%s %s %s (%.2f ms)\n", r.ok ? "OK" : "FAIL",
+                    kvstore::op_name(c.op), c.key.c_str(),
+                    duration::to_millis(lat));
+        break;
+    }
+    std::fflush(stdout);
+  }
+
+  void issue_next() {
+    if (queue_.empty()) {
+      ex_.stop();
+      return;
+    }
+    cur_ = std::move(queue_.front());
+    queue_.erase(queue_.begin());
+    cur_.client = id();
+    cur_.thread = thread_id_;
+    cur_.seq = ++seq_;
+    responded_.clear();
+    mids_.clear();
+    done_ = false;
+    issued_at_ = now();
+
+    kvstore::CommandBatch batch;
+    batch.commands.push_back(cur_);
+    if (cur_.op == kvstore::Op::kScan) {
+      auto parts = partitioner_.locate_scan(cur_.key, cur_.end_key);
+      awaiting_ = int(parts.size());
+      if (global_ != kInvalidGroup) {
+        mids_.push_back(multicast_bytes(global_, batch.encode()));
+      } else {
+        for (int p : parts) {
+          mids_.push_back(
+              multicast_bytes(pgroups_[std::size_t(p)], batch.encode()));
+        }
+      }
+    } else {
+      awaiting_ = 1;
+      int p = partitioner_.locate(cur_.key);
+      mids_.push_back(
+          multicast_bytes(pgroups_[std::size_t(p)], batch.encode()));
+    }
+
+    std::uint64_t seq = seq_;
+    set_timer(timeout_, [this, seq] {
+      if (seq == seq_ && !done_) {
+        std::printf("TIMEOUT %s %s after %.0f ms\n",
+                    kvstore::op_name(cur_.op), cur_.key.c_str(),
+                    duration::to_millis(timeout_));
+        std::fflush(stdout);
+        timed_out_ = true;
+        ex_.stop();
+      }
+    });
+  }
+
+  runtime::Executor& ex_;
+  kvstore::Partitioner partitioner_;
+  std::vector<GroupId> pgroups_;
+  GroupId global_;
+  Duration timeout_;
+  bool quiet_ = false;
+
+  std::vector<kvstore::Command> queue_;
+  kvstore::Command cur_;
+  kvstore::CommandResult last_result_;
+  std::int32_t thread_id_ = 0;
+  std::uint64_t seq_ = 0;
+  std::vector<MessageId> mids_;
+  std::set<int> responded_;
+  int awaiting_ = 0;
+  bool done_ = true;
+  Time issued_at_ = 0;
+  Time started_at_ = 0;
+  bool timed_out_ = false;
+  std::int64_t completed_ = 0;
+  Histogram latency_;
+};
+
+bool parse_op(const std::vector<std::string>& words, CliClient* client,
+              std::string* error) {
+  using kvstore::Command;
+  using kvstore::Op;
+  if (words.empty()) {
+    *error = "empty command";
+    return false;
+  }
+  const std::string& verb = words[0];
+  auto need = [&](std::size_t n) {
+    if (words.size() != n) {
+      *error = "wrong arity for " + verb;
+      return false;
+    }
+    return true;
+  };
+  Command c;
+  if (verb == "put") {
+    if (!need(3)) return false;
+    c.op = Op::kInsert;
+    c.key = words[1];
+    c.value.assign(words[2].begin(), words[2].end());
+  } else if (verb == "update") {
+    if (!need(3)) return false;
+    c.op = Op::kUpdate;
+    c.key = words[1];
+    c.value.assign(words[2].begin(), words[2].end());
+  } else if (verb == "get") {
+    if (!need(2)) return false;
+    c.op = Op::kRead;
+    c.key = words[1];
+  } else if (verb == "del") {
+    if (!need(2)) return false;
+    c.op = Op::kDelete;
+    c.key = words[1];
+  } else if (verb == "scan") {
+    if (!need(3)) return false;
+    c.op = Op::kScan;
+    c.key = words[1];
+    c.end_key = words[2];
+  } else {
+    *error = "unknown op \"" + verb + "\"";
+    return false;
+  }
+  client->add_op(std::move(c));
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string config_path, process_arg;
+  long timeout_ms = -1;
+  bool quiet = false;
+  std::vector<std::string> cmd;
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (a == "--config") {
+      const char* v = next();
+      if (!v) return usage();
+      config_path = v;
+    } else if (a == "--process") {
+      const char* v = next();
+      if (!v) return usage();
+      process_arg = v;
+    } else if (a == "--timeout-ms") {
+      const char* v = next();
+      if (!v) return usage();
+      timeout_ms = std::strtol(v, nullptr, 10);
+    } else if (a == "--quiet") {
+      quiet = true;
+    } else {
+      cmd.push_back(std::move(a));
+    }
+  }
+  if (config_path.empty() || cmd.empty()) return usage();
+
+  net::ClusterConfig cfg;
+  std::string error;
+  if (!net::ClusterConfig::load(config_path, &cfg, &error)) {
+    std::fprintf(stderr, "amcast_kv: %s\n", error.c_str());
+    return 1;
+  }
+  if (timeout_ms > 0) {
+    cfg.options.client_op_timeout = duration::milliseconds(timeout_ms);
+  }
+  const net::ProcessSpec* self = nullptr;
+  if (!process_arg.empty()) {
+    self = cfg.resolve(process_arg);
+  } else {
+    for (const auto& p : cfg.processes) {
+      if (p.role == "client") {
+        self = &p;
+        break;
+      }
+    }
+  }
+  if (self == nullptr) {
+    std::fprintf(stderr, "amcast_kv: no client process in config (use "
+                         "--process)\n");
+    return 1;
+  }
+
+  net::set_snapshot_state_codec(net::kv_snapshot_state_codec());
+
+  runtime::Executor ex({/*data_dir=*/"", std::uint64_t(self->id) + 1});
+  net::Transport transport(
+      net::Transport::Options{self->id, self->host, self->port,
+                              cfg.peer_map()},
+      [&ex](ProcessId from, ProcessId to, env::MessagePtr m) {
+        ex.dispatch(from, to, std::move(m));
+      },
+      [&ex] { return ex.now(); });
+  if (!transport.listen(&error)) {
+    std::fprintf(stderr, "amcast_kv: %s\n", error.c_str());
+    return 1;
+  }
+  ex.set_transport(&transport);
+
+  core::ConfigRegistry registry;
+  cfg.build_registry(registry);
+  auto client = std::make_unique<CliClient>(registry, ex, cfg, quiet);
+
+  // --- translate the command line into ops -------------------------------
+  bool bench = false;
+  if (cmd[0] == "script") {
+    std::string line;
+    while (std::getline(std::cin, line)) {
+      std::istringstream is(line);
+      std::vector<std::string> words;
+      std::string w;
+      while (is >> w) words.push_back(w);
+      if (words.empty() || words[0][0] == '#') continue;
+      if (!parse_op(words, client.get(), &error)) {
+        std::fprintf(stderr, "amcast_kv: %s\n", error.c_str());
+        return 1;
+      }
+    }
+  } else if (cmd[0] == "fill" || cmd[0] == "bench") {
+    if (cmd.size() < 2) return usage();
+    long n = std::strtol(cmd[1].c_str(), nullptr, 10);
+    long bytes = cmd.size() > 2 ? std::strtol(cmd[2].c_str(), nullptr, 10)
+                                : 64;
+    if (n <= 0 || bytes < 0) return usage();
+    bench = cmd[0] == "bench";
+    for (long k = 0; k < n; ++k) {
+      kvstore::Command c;
+      c.op = kvstore::Op::kInsert;
+      char key[32];
+      std::snprintf(key, sizeof(key), "%s%06ld", bench ? "bench" : "key", k);
+      c.key = key;
+      c.value.assign(std::size_t(bytes), std::uint8_t('a' + k % 26));
+      client->add_op(std::move(c));
+    }
+    if (bench) client->set_quiet(true);
+  } else {
+    if (!parse_op(cmd, client.get(), &error)) {
+      std::fprintf(stderr, "amcast_kv: %s\n", error.c_str());
+      return 1;
+    }
+  }
+
+  ex.add_node(self->id, client.get());
+  ex.schedule_after(0, [&client] { client->start(); });
+  ex.run();
+
+  if (bench && !client->timed_out()) {
+    double secs = duration::to_seconds(client->elapsed());
+    const Histogram& h = client->latency();
+    std::printf("BENCH ops=%lld elapsed=%.2fs rate=%.0f/s p50=%.2fms "
+                "p99=%.2fms\n",
+                (long long)client->completed(), secs,
+                double(client->completed()) / (secs > 0 ? secs : 1),
+                h.p50_ms(), h.p99_ms());
+  }
+  return client->timed_out() ? 2 : 0;
+}

@@ -1,0 +1,265 @@
+// amcast_noded — the MRP-Store server daemon of the real-network runtime.
+//
+// One daemon process hosts one KvReplica (the same object the simulation
+// hosts) under a cluster config: it joins its partition ring (and the
+// global ring, when configured) as proposer/acceptor/learner, persists its
+// acceptor log through a file-backed journal, serves clients, and — when
+// started over an existing journal — re-enters through the §5.2 recovery
+// protocol exactly like a restarted simulated replica.
+//
+//   amcast_noded --config examples/cluster.json --process r0
+//                --data-dir /var/tmp/amcast/r0 [--status-interval-ms 2000]
+//
+// SIGINT/SIGTERM shut the loop down cleanly; the daemon then prints one
+// FINAL line (applied count, order hash, store hash) that the smoke script
+// compares across replicas to check totally-ordered delivery.
+#include <algorithm>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "kvstore/replica.h"
+#include "net/cluster_config.h"
+#include "net/transport.h"
+#include "net/wire.h"
+#include "runtime/executor.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+void handle_signal(int) { g_stop = 1; }
+
+std::uint64_t fnv1a64(std::uint64_t h, const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::uint64_t hash_store(const amcast::kvstore::KvStore& store) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  auto tree = store.snapshot();
+  for (const auto& [key, value] : *tree) {
+    h = fnv1a64(h, key.data(), key.size());
+    h = fnv1a64(h, value.data(), value.size());
+  }
+  return h;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: amcast_noded --config FILE --process NAME|ID "
+               "[--data-dir DIR] [--status-interval-ms N]\n");
+  return 64;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace amcast;
+
+  std::string config_path, process_arg, data_dir;
+  long status_interval_ms = 2000;
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (a == "--config") {
+      const char* v = next();
+      if (!v) return usage();
+      config_path = v;
+    } else if (a == "--process") {
+      const char* v = next();
+      if (!v) return usage();
+      process_arg = v;
+    } else if (a == "--data-dir") {
+      const char* v = next();
+      if (!v) return usage();
+      data_dir = v;
+    } else if (a == "--status-interval-ms") {
+      const char* v = next();
+      if (!v) return usage();
+      status_interval_ms = std::strtol(v, nullptr, 10);
+    } else {
+      return usage();
+    }
+  }
+  if (config_path.empty() || process_arg.empty()) return usage();
+
+  net::ClusterConfig cfg;
+  std::string error;
+  if (!net::ClusterConfig::load(config_path, &cfg, &error)) {
+    std::fprintf(stderr, "amcast_noded: %s\n", error.c_str());
+    return 1;
+  }
+  const net::ProcessSpec* self = cfg.resolve(process_arg);
+  if (self == nullptr) {
+    std::fprintf(stderr, "amcast_noded: unknown process \"%s\"\n",
+                 process_arg.c_str());
+    return 1;
+  }
+  if (self->role != "replica") {
+    std::fprintf(stderr, "amcast_noded: process \"%s\" has role %s, not "
+                         "replica\n", self->name.c_str(), self->role.c_str());
+    return 1;
+  }
+  if (data_dir.empty()) data_dir = "amcast-data/" + self->name;
+  std::error_code ec;
+  std::filesystem::create_directories(data_dir, ec);
+
+  // A non-empty acceptor journal marks a restarted incarnation: the fresh
+  // process must re-enter through crash()/restart() recovery below.
+  std::string wal_path =
+      data_dir + "/node" + std::to_string(self->id) + "-disk0.wal";
+  bool restarted =
+      std::filesystem::exists(wal_path, ec) &&
+      std::filesystem::file_size(wal_path, ec) > 0;
+
+  // Checkpoint transfers carry the kv snapshot state over the wire.
+  net::set_snapshot_state_codec(net::kv_snapshot_state_codec());
+
+  runtime::Executor ex({data_dir, std::uint64_t(self->id) + 1});
+  net::Transport transport(
+      net::Transport::Options{self->id, self->host, self->port,
+                              cfg.peer_map()},
+      [&ex](ProcessId from, ProcessId to, env::MessagePtr m) {
+        ex.dispatch(from, to, std::move(m));
+      },
+      [&ex] { return ex.now(); });
+  if (!transport.listen(&error)) {
+    std::fprintf(stderr, "amcast_noded: %s\n", error.c_str());
+    return 1;
+  }
+  ex.set_transport(&transport);
+
+  // --- build the replica (identical wiring to KvDeployment) --------------
+  core::ConfigRegistry registry;
+  std::vector<GroupId> groups = cfg.build_registry(registry);
+  std::vector<GroupId> pgroups = cfg.partition_groups();
+  GroupId global = cfg.global_group();
+  int P = cfg.partition_count();
+
+  kvstore::KvReplicaOptions ko;
+  ko.partition = self->partition;
+  ko.partitioner = kvstore::Partitioner::hash(P);
+  ko.recovery.checkpoint_interval = cfg.options.checkpoint_interval;
+  auto replica = std::make_unique<kvstore::KvReplica>(registry, ko);
+  replica->add_disk(env::DiskParams{});
+  replica->set_partition(cfg.partition_replicas(self->partition));
+  replica->set_return_read_data(true);
+
+  // Order hash: chained over every applied command, so two replicas agree
+  // iff they applied the same commands in the same order.
+  std::uint64_t order_hash = 0xcbf29ce484222325ULL;
+  replica->set_apply_observer([&order_hash](const kvstore::Command& c) {
+    std::uint64_t ids[3] = {std::uint64_t(c.client) << 32 |
+                                std::uint64_t(std::uint32_t(c.thread)),
+                            c.seq, std::uint64_t(c.op)};
+    order_hash = fnv1a64(order_hash, ids, sizeof(ids));
+    order_hash = fnv1a64(order_hash, c.key.data(), c.key.size());
+  });
+
+  ex.add_node(self->id, replica.get());
+
+  ringpaxos::RingOptions ro = cfg.ring_options();
+  core::MergeOptions mo;
+  mo.m = cfg.options.m;
+  GroupId my_pg = pgroups[std::size_t(self->partition)];
+  replica->attach(my_pg, global, ro, mo);
+  for (std::size_t i = 0; i < groups.size(); ++i) {
+    GroupId g = groups[i];
+    if (g == my_pg || g == global) continue;
+    const auto& members = cfg.rings[i].members;
+    if (std::find(members.begin(), members.end(), self->id) != members.end()) {
+      replica->join_only(g, ro);  // acceptor/forwarder duty only
+    }
+  }
+  // Every ring has replayed the journal by now; release the in-memory copy
+  // (the file itself is the durable record). Refuse to serve on a dead
+  // journal — the disk strands durability acks, so the daemon would hang
+  // confusingly instead of failing loudly here.
+  if (replica->disk_count() > 0) {
+    if (!replica->disk(0).healthy()) {
+      std::fprintf(stderr, "amcast_noded: acceptor journal at %s is "
+                           "unusable\n", wal_path.c_str());
+      return 1;
+    }
+    replica->disk(0).forget_stored_records();
+  }
+  if (cfg.options.checkpoint_interval > 0) replica->start_checkpointing();
+  if (cfg.options.trim_interval > 0) {
+    for (std::size_t i = 0; i < groups.size(); ++i) {
+      if (cfg.rings[i].coordinator != self->id) continue;
+      core::TrimOptions to;
+      to.interval = cfg.options.trim_interval;
+      if (cfg.rings[i].kind == "global") {
+        for (int p = 0; p < P; ++p) {
+          to.partitions.push_back(cfg.partition_replicas(p));
+        }
+      } else {
+        to.partitions.push_back(cfg.partition_replicas(cfg.rings[i].partition));
+      }
+      replica->enable_trim(groups[i], to);
+    }
+  }
+
+  if (restarted) {
+    // Fresh OS process over an existing journal: the acceptor log was
+    // restored in join_ring; now run the replica through the same
+    // crash/restart path a simulated node takes, which enters the §5.2
+    // recovery protocol (checkpoint query -> install -> acceptor catch-up).
+    std::printf("RESTART node=%d journal=%s\n", self->id, wal_path.c_str());
+    replica->crash();
+    replica->restart();
+  }
+
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+  std::printf("READY node=%d name=%s listen=%s:%u partition=%d rings=%zu\n",
+              self->id, self->name.c_str(), self->host.c_str(),
+              unsigned(self->port), self->partition, groups.size());
+  std::fflush(stdout);
+
+  Time next_status = ex.now() + duration::milliseconds(status_interval_ms);
+  bool was_recovering = replica->recovering();
+  while (!g_stop && !ex.stopped()) {
+    ex.run_once(duration::milliseconds(50));
+    if (was_recovering && !replica->recovering()) {
+      // §5.2 recovery just completed (the smoke script keys off this).
+      std::printf("RECOVERED node=%d t=%.1fs applied=%lld\n", self->id,
+                  duration::to_seconds(ex.now()),
+                  (long long)replica->commands_applied());
+      std::fflush(stdout);
+    }
+    was_recovering = replica->recovering();
+    if (status_interval_ms > 0 && ex.now() >= next_status) {
+      next_status = ex.now() + duration::milliseconds(status_interval_ms);
+      std::printf("STATUS node=%d t=%.1fs applied=%lld delivered=%lld "
+                  "recovering=%d cursor0=%lld\n",
+                  self->id, duration::to_seconds(ex.now()),
+                  (long long)replica->commands_applied(),
+                  (long long)replica->delivered_count(),
+                  int(replica->recovering()),
+                  (long long)replica->next_to_deliver(my_pg));
+      std::fflush(stdout);
+    }
+  }
+
+  std::printf("FINAL node=%d applied=%lld duplicates=%lld order_hash=%016llx "
+              "store_hash=%016llx entries=%zu recoveries=%lld\n",
+              self->id, (long long)replica->commands_applied(),
+              (long long)replica->duplicates_filtered(),
+              (unsigned long long)order_hash,
+              (unsigned long long)hash_store(replica->store()),
+              replica->store().entry_count(),
+              (long long)replica->recoveries_started());
+  std::fflush(stdout);
+  return 0;
+}

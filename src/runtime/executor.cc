@@ -1,0 +1,172 @@
+#include "runtime/executor.h"
+
+#include <poll.h>
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/assert.h"
+#include "common/strings.h"
+#include "runtime/file_disk.h"
+
+namespace amcast::runtime {
+
+namespace {
+
+std::int64_t steady_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Modeling-only disk for data-dir-less executors (pure clients, tests):
+/// completions run on the next loop turn; nothing persists.
+class NullDisk final : public env::Disk {
+ public:
+  NullDisk(env::Host& host, env::DiskParams p) : host_(host), params_(p) {}
+
+  void write(std::size_t bytes, std::function<void()> on_durable) override {
+    bytes_written_ += bytes;
+    complete(std::move(on_durable));
+  }
+  void write_async(std::size_t bytes) override { bytes_written_ += bytes; }
+  void read(std::size_t, std::function<void()> done) override {
+    complete(std::move(done));
+  }
+  bool accepting() const override { return true; }
+  void when_accepting(std::function<void()> cb) override {
+    complete(std::move(cb));
+  }
+  std::size_t backlog_bytes() const override { return 0; }
+  std::size_t bytes_written() const override { return bytes_written_; }
+  void set_epoch_source(std::function<std::uint64_t()> fn) override {
+    epoch_fn_ = std::move(fn);
+  }
+  const env::DiskParams& params() const override { return params_; }
+
+ private:
+  void complete(std::function<void()> cb) {
+    if (!cb) return;
+    std::uint64_t issued = epoch_fn_ ? epoch_fn_() : 0;
+    host_.schedule_after(0, [this, issued, cb = std::move(cb)] {
+      if ((epoch_fn_ ? epoch_fn_() : 0) == issued) cb();
+    });
+  }
+
+  env::Host& host_;
+  env::DiskParams params_;
+  std::function<std::uint64_t()> epoch_fn_;
+  std::size_t bytes_written_ = 0;
+};
+
+}  // namespace
+
+Executor::Executor(ExecutorOptions opts)
+    : opts_(std::move(opts)), rng_(opts_.seed) {
+  epoch_ns_ = steady_ns();
+}
+
+Executor::~Executor() = default;
+
+Time Executor::now() const { return steady_ns() - epoch_ns_; }
+
+void Executor::schedule_after(Duration d, std::function<void()> fn) {
+  timers_.push(Timer{now() + std::max<Duration>(d, 0), next_seq_++,
+                     std::move(fn)});
+}
+
+void Executor::send(ProcessId from, ProcessId to, env::MessagePtr m) {
+  if (nodes_.count(to)) {
+    // Local short-circuit through the loop: bounded stack, FIFO with the
+    // sender's other work — the runtime analogue of loopback delivery.
+    schedule_after(0, [this, from, to, m = std::move(m)] {
+      dispatch(from, to, std::move(m));
+    });
+    return;
+  }
+  if (transport_ != nullptr) {
+    transport_->send(from, to, *m);
+    return;
+  }
+  ++dropped_unroutable_;
+}
+
+void Executor::dispatch(ProcessId from, ProcessId to, env::MessagePtr m) {
+  auto it = nodes_.find(to);
+  if (it == nodes_.end()) {
+    ++dropped_unroutable_;
+    return;
+  }
+  env::Node* n = it->second;
+  if (n->crashed()) return;  // crashed incarnations drop traffic
+  // No CPU queueing model on the real backend: the actual CPU charges
+  // itself. Handlers run inline on the loop thread.
+  n->on_message(from, m);
+}
+
+std::unique_ptr<env::Disk> Executor::make_disk(ProcessId owner, int index,
+                                               const env::DiskParams& p) {
+  if (opts_.data_dir.empty()) {
+    return std::make_unique<NullDisk>(*this, p);
+  }
+  std::string path = str_cat(opts_.data_dir, "/node",
+                             std::to_string(owner), "-disk",
+                             std::to_string(index), ".wal");
+  return std::make_unique<FileDisk>(*this, std::move(path), p);
+}
+
+void Executor::add_node(ProcessId id, env::Node* node) {
+  AMCAST_ASSERT_MSG(nodes_.count(id) == 0, "process id already hosted");
+  node->attach(this, id);
+  nodes_[id] = node;
+  pending_start_.push_back(node);
+}
+
+env::Node* Executor::find_node(ProcessId id) {
+  auto it = nodes_.find(id);
+  return it == nodes_.end() ? nullptr : it->second;
+}
+
+void Executor::start_pending_nodes() {
+  while (!pending_start_.empty()) {
+    env::Node* n = pending_start_.front();
+    pending_start_.erase(pending_start_.begin());
+    if (!n->crashed()) n->on_start();
+  }
+}
+
+void Executor::fire_due_timers() {
+  // Only fire what is due as of entry; a zero-delay chain (defer loops)
+  // still yields to IO every iteration.
+  Time cutoff = now();
+  while (!timers_.empty() && timers_.top().t <= cutoff) {
+    Timer t = std::move(const_cast<Timer&>(timers_.top()));
+    timers_.pop();
+    t.fn();
+  }
+}
+
+void Executor::run_once(Duration max_wait) {
+  start_pending_nodes();
+  Duration wait = std::max<Duration>(max_wait, 0);
+  if (!timers_.empty()) {
+    wait = std::min(wait, std::max<Duration>(timers_.top().t - now(), 0));
+  }
+  if (transport_ != nullptr) {
+    transport_->poll(wait);
+  } else if (wait > 0) {
+    // Round UP: timers may fire late but never early, and truncating a
+    // sub-millisecond remainder to 0 would busy-spin until the timer.
+    ::poll(nullptr, 0,
+           int((wait + duration::milliseconds(1) - 1) /
+               duration::milliseconds(1)));
+  }
+  fire_due_timers();
+  start_pending_nodes();
+}
+
+void Executor::run() {
+  while (!stopped_) run_once(duration::milliseconds(50));
+}
+
+}  // namespace amcast::runtime

@@ -1,0 +1,117 @@
+// runtime::Executor — the real-clock implementation of env::Host.
+//
+// A single-threaded event loop that hosts env::Node objects as an actual
+// OS process: a monotonic clock (nanoseconds since executor creation, so
+// Time stays small and comparable to simulated runs), a timer min-heap, a
+// TCP transport for messages to nodes in other processes (in-process nodes
+// short-circuit through the loop), and file-backed disks whose record
+// journals survive kill-and-restart.
+//
+// The protocol stack runs on it unchanged: the same KvReplica object a
+// simulation hosts is handed to add_node() here and becomes a real server.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/metrics.h"
+#include "common/rng.h"
+#include "env/env.h"
+#include "net/transport.h"
+
+namespace amcast::runtime {
+
+struct ExecutorOptions {
+  /// Directory for file-backed disks ("<dir>/node<id>-disk<idx>.wal").
+  /// Empty: disks are volatile no-ops (tests, pure clients).
+  std::string data_dir;
+  std::uint64_t seed = 1;
+};
+
+class Executor final : public env::Host {
+ public:
+  explicit Executor(ExecutorOptions opts = {});
+  ~Executor() override;
+
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  // --- env::Host ---------------------------------------------------------
+  Time now() const override;
+  void schedule_after(Duration d, std::function<void()> fn) override;
+  void send(ProcessId from, ProcessId to, env::MessagePtr m) override;
+  std::unique_ptr<env::Disk> make_disk(ProcessId owner, int index,
+                                       const env::DiskParams& p) override;
+  Metrics& metrics() override { return metrics_; }
+  Rng& rng() override { return rng_; }
+
+  // --- hosting -----------------------------------------------------------
+
+  /// Hosts `node` (non-owning; the caller keeps it alive past the loop)
+  /// under the cluster-assigned process id. on_start runs on the next loop
+  /// iteration, mirroring the simulator.
+  void add_node(ProcessId id, env::Node* node);
+  env::Node* find_node(ProcessId id);
+
+  /// Attaches the transport (non-owning). Without one, messages to
+  /// non-hosted ids are dropped (single-process tests).
+  void set_transport(net::Transport* t) { transport_ = t; }
+
+  // --- loop --------------------------------------------------------------
+
+  /// Runs until stop(). Safe to call after scheduling initial work.
+  void run();
+
+  /// Requests the loop to exit after the current iteration. Also the only
+  /// async-signal-adjacent entry point: signal handlers may set a flag and
+  /// the daemon calls stop() from its poll loop.
+  void stop() { stopped_ = true; }
+  bool stopped() const { return stopped_; }
+
+  /// One loop iteration: waits up to `max_wait` for transport IO or the
+  /// next timer, then runs everything due. Exposed for tests and for
+  /// embedding (the CLI drives it until its ops complete).
+  void run_once(Duration max_wait);
+
+  /// Inbound dispatch (transport handler and local sends converge here).
+  void dispatch(ProcessId from, ProcessId to, env::MessagePtr m);
+
+  /// Messages dropped because the addressee is not hosted here.
+  std::uint64_t dropped_unroutable() const { return dropped_unroutable_; }
+
+ private:
+  struct Timer {
+    Time t;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct TimerOrder {
+    bool operator()(const Timer& a, const Timer& b) const {
+      if (a.t != b.t) return a.t > b.t;
+      return a.seq > b.seq;
+    }
+  };
+
+  void start_pending_nodes();
+  void fire_due_timers();
+
+  ExecutorOptions opts_;
+  std::int64_t epoch_ns_ = 0;  ///< steady-clock reading at construction
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<Timer, std::vector<Timer>, TimerOrder> timers_;
+  std::map<ProcessId, env::Node*> nodes_;
+  std::vector<env::Node*> pending_start_;
+  net::Transport* transport_ = nullptr;
+  Metrics metrics_;
+  Rng rng_;
+  bool stopped_ = false;
+  std::uint64_t dropped_unroutable_ = 0;
+};
+
+}  // namespace amcast::runtime

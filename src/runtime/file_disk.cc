@@ -1,0 +1,167 @@
+#include "runtime/file_disk.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+
+namespace amcast::runtime {
+
+namespace {
+
+std::uint32_t fnv1a(const std::uint8_t* data, std::size_t n) {
+  std::uint32_t h = 0x811c9dc5u;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= data[i];
+    h *= 0x01000193u;
+  }
+  return h;
+}
+
+void put_u32_le(std::uint8_t* p, std::uint32_t v) {
+  p[0] = std::uint8_t(v);
+  p[1] = std::uint8_t(v >> 8);
+  p[2] = std::uint8_t(v >> 16);
+  p[3] = std::uint8_t(v >> 24);
+}
+
+std::uint32_t get_u32_le(const std::uint8_t* p) {
+  return std::uint32_t(p[0]) | std::uint32_t(p[1]) << 8 |
+         std::uint32_t(p[2]) << 16 | std::uint32_t(p[3]) << 24;
+}
+
+constexpr std::size_t kRecordHeader = 8;  // u32 length + u32 checksum
+constexpr std::uint32_t kMaxRecordBytes = 256u << 20;
+
+}  // namespace
+
+FileDisk::FileDisk(env::Host& host, std::string path, env::DiskParams params)
+    : host_(host), path_(std::move(path)), params_(params) {
+  std::error_code ec;
+  std::filesystem::path p(path_);
+  if (p.has_parent_path()) {
+    std::filesystem::create_directories(p.parent_path(), ec);
+  }
+  fd_ = ::open(path_.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd_ >= 0) load_existing();
+}
+
+FileDisk::~FileDisk() {
+  if (fd_ >= 0) {
+    if (dirty_) ::fdatasync(fd_);
+    ::close(fd_);
+  }
+}
+
+void FileDisk::load_existing() {
+  std::vector<std::uint8_t> all;
+  std::uint8_t buf[64 * 1024];
+  ssize_t r;
+  while ((r = ::read(fd_, buf, sizeof(buf))) > 0) {
+    all.insert(all.end(), buf, buf + r);
+  }
+  std::size_t off = 0;
+  while (all.size() - off >= kRecordHeader) {
+    std::uint32_t len = get_u32_le(all.data() + off);
+    std::uint32_t sum = get_u32_le(all.data() + off + 4);
+    if (len > kMaxRecordBytes || all.size() - off - kRecordHeader < len) {
+      break;  // torn tail
+    }
+    const std::uint8_t* body = all.data() + off + kRecordHeader;
+    if (fnv1a(body, len) != sum) break;  // torn/corrupt tail
+    records_.emplace_back(body, body + len);
+    off += kRecordHeader + len;
+  }
+  // Truncate the torn tail (if any) so appends start at a frame boundary.
+  if (off != all.size()) {
+    if (::ftruncate(fd_, off_t(off)) != 0) {
+      // Keep going read-only-ish: appends after a failed truncate would
+      // corrupt the stream, so mark the device unhealthy.
+      ::close(fd_);
+      fd_ = -1;
+      return;
+    }
+  }
+  ::lseek(fd_, 0, SEEK_END);
+}
+
+void FileDisk::append(const std::vector<std::uint8_t>& rec) {
+  if (fd_ < 0) return;  // dead device: callers strand their continuations
+  std::uint8_t hdr[kRecordHeader];
+  put_u32_le(hdr, std::uint32_t(rec.size()));
+  put_u32_le(hdr + 4, fnv1a(rec.data(), rec.size()));
+  // Two plain writes: the journal is append-only and single-threaded, so
+  // nothing can interleave between header and body.
+  ssize_t w1 = ::write(fd_, hdr, sizeof(hdr));
+  ssize_t w2 = ::write(fd_, rec.data(), rec.size());
+  if (w1 != ssize_t(sizeof(hdr)) || w2 != ssize_t(rec.size())) {
+    // Disk full / IO error: the journal is no longer trustworthy. Flip to
+    // dead (write paths then strand all durability continuations).
+    std::fprintf(stderr, "FileDisk: journal append to %s failed: %s\n",
+                 path_.c_str(), std::strerror(errno));
+    ::close(fd_);
+    fd_ = -1;
+    return;
+  }
+  dirty_ = true;
+}
+
+void FileDisk::sync() {
+  if (fd_ >= 0 && dirty_) {
+    ::fdatasync(fd_);
+    dirty_ = false;
+  }
+}
+
+void FileDisk::complete(std::function<void()> cb) {
+  if (!cb) return;
+  std::uint64_t issued = epoch();
+  host_.schedule_after(0, [this, issued, cb = std::move(cb)] {
+    if (epoch() == issued) cb();
+  });
+}
+
+void FileDisk::write(std::size_t bytes, std::function<void()> on_durable) {
+  bytes_written_ += bytes;
+  if (fd_ < 0) return;  // dead device: never confirm durability (see below)
+  sync();  // durability barrier for everything appended so far
+  complete(std::move(on_durable));
+}
+
+void FileDisk::write_async(std::size_t bytes) { bytes_written_ += bytes; }
+
+void FileDisk::read(std::size_t, std::function<void()> done) {
+  complete(std::move(done));
+}
+
+void FileDisk::when_accepting(std::function<void()> cb) {
+  complete(std::move(cb));
+}
+
+void FileDisk::write_record(std::size_t bytes, std::vector<std::uint8_t> rec,
+                            std::function<void()> on_durable) {
+  bytes_written_ += bytes;
+  append(rec);
+  if (fd_ < 0) return;  // append failed (or device was already dead):
+                        // STRAND the continuation rather than ack a write
+                        // that never reached the journal — a false
+                        // durability ack here would let an acceptor
+                        // restart with a truncated log and break the
+                        // quorum-intersection safety argument. The stall
+                        // is the same behavior as a hung device; the
+                        // daemon refuses to start on an unhealthy journal.
+  sync();
+  complete(std::move(on_durable));
+}
+
+void FileDisk::write_record_async(std::size_t bytes,
+                                  std::vector<std::uint8_t> rec) {
+  bytes_written_ += bytes;
+  append(rec);  // buffered: the OS page cache is the write-behind queue
+}
+
+void FileDisk::journal_record(std::vector<std::uint8_t> rec) { append(rec); }
+
+}  // namespace amcast::runtime

@@ -1,0 +1,85 @@
+// File-backed env::Disk for the runtime: a record journal with real
+// durability (append + fdatasync), giving acceptors a log that survives
+// kill-and-restart of the process.
+//
+// On-file format, per record: [u32 length][u32 FNV-1a checksum][bytes].
+// Records are loaded at open; a torn tail (partial frame or checksum
+// mismatch — the write the process died in) ends replay and is truncated
+// away so future appends start from a clean boundary.
+//
+// Modeling-only writes (env::Disk::write/write_async with no record) carry
+// no payload; write() still acts as a durability barrier (fdatasync) so the
+// ordering contract "continuation runs when the bytes are durable" holds
+// for whatever records were appended before it. Completion callbacks are
+// deferred through the host's event loop and are epoch-guarded like the
+// simulator's.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "env/env.h"
+
+namespace amcast::runtime {
+
+class FileDisk final : public env::Disk {
+ public:
+  /// Opens (creating if needed) the journal at `path`. `host` schedules the
+  /// deferred completion callbacks.
+  FileDisk(env::Host& host, std::string path, env::DiskParams params);
+  ~FileDisk() override;
+
+  FileDisk(const FileDisk&) = delete;
+  FileDisk& operator=(const FileDisk&) = delete;
+
+  void write(std::size_t bytes, std::function<void()> on_durable) override;
+  void write_async(std::size_t bytes) override;
+  void read(std::size_t bytes, std::function<void()> done) override;
+  bool accepting() const override { return true; }
+  void when_accepting(std::function<void()> cb) override;
+  std::size_t backlog_bytes() const override { return 0; }
+  std::size_t bytes_written() const override { return bytes_written_; }
+  void set_epoch_source(std::function<std::uint64_t()> fn) override {
+    epoch_fn_ = std::move(fn);
+  }
+  const env::DiskParams& params() const override { return params_; }
+
+  bool wants_records() const override { return true; }
+  void write_record(std::size_t bytes, std::vector<std::uint8_t> rec,
+                    std::function<void()> on_durable) override;
+  void write_record_async(std::size_t bytes,
+                          std::vector<std::uint8_t> rec) override;
+  void journal_record(std::vector<std::uint8_t> rec) override;
+  const std::vector<std::vector<std::uint8_t>>& stored_records() override {
+    return records_;
+  }
+  void forget_stored_records() override {
+    records_.clear();
+    records_.shrink_to_fit();
+  }
+
+  const std::string& path() const { return path_; }
+  bool healthy() const override { return fd_ >= 0; }
+
+ private:
+  void load_existing();
+  void append(const std::vector<std::uint8_t>& rec);
+  void sync();
+  /// Defers `cb` through the host loop, dropping it if the owner crashed.
+  void complete(std::function<void()> cb);
+  std::uint64_t epoch() const { return epoch_fn_ ? epoch_fn_() : 0; }
+
+  env::Host& host_;
+  std::string path_;
+  env::DiskParams params_;
+  std::function<std::uint64_t()> epoch_fn_;
+  int fd_ = -1;
+  bool dirty_ = false;  ///< appended since the last fdatasync
+  std::size_t bytes_written_ = 0;
+  std::vector<std::vector<std::uint8_t>> records_;  ///< loaded at open
+};
+
+}  // namespace amcast::runtime

@@ -1,4 +1,7 @@
 // Disk model: a FIFO device with positioning latency and transfer bandwidth.
+// Implements the env::Disk interface (sizing-only: the simulator models
+// service time and durability ordering; entry contents live in the owning
+// objects, which survive simulated crashes).
 //
 // Supports the paper's two commit modes (§8.2):
 //  * synchronous writes — the caller's continuation runs when the bytes are
@@ -17,13 +20,14 @@
 #include <vector>
 
 #include "common/ids.h"
+#include "env/env.h"
 #include "sim/params.h"
 
 namespace amcast::sim {
 
 class Simulation;
 
-class Disk {
+class Disk final : public env::Disk {
  public:
   Disk(Simulation& sim, DiskParams params);
 
@@ -32,42 +36,44 @@ class Disk {
 
   /// Durable write: `on_durable` runs when the device has persisted the
   /// bytes (positioning + transfer, behind all previously queued writes).
-  void write(std::size_t bytes, std::function<void()> on_durable);
+  void write(std::size_t bytes, std::function<void()> on_durable) override;
 
   /// Buffered write: returns immediately. Bytes accumulate in the
   /// write-behind buffer and drain through the device in coalesced
   /// sequential chunks (one positioning charge per chunk), which is how
   /// buffered WALs behave under load.
-  void write_async(std::size_t bytes);
+  void write_async(std::size_t bytes) override;
 
   /// Read: occupies the device for the same positioning+transfer time and
   /// invokes `done` when the bytes are available (checkpoint reload).
-  void read(std::size_t bytes, std::function<void()> done);
+  void read(std::size_t bytes, std::function<void()> done) override;
 
   /// False while the async backlog exceeds the configured cap. Callers
   /// performing async writes should pause intake until accepting() again and
   /// can register interest via `when_accepting`.
-  bool accepting() const { return backlog_bytes_ <= params_.async_queue_bytes; }
+  bool accepting() const override {
+    return backlog_bytes_ <= params_.async_queue_bytes;
+  }
 
   /// Invokes `cb` as soon as the disk is accepting again (immediately if it
   /// already is). Callbacks run in registration order.
-  void when_accepting(std::function<void()> cb);
+  void when_accepting(std::function<void()> cb) override;
 
   /// Bytes queued but not yet durable.
-  std::size_t backlog_bytes() const { return backlog_bytes_; }
+  std::size_t backlog_bytes() const override { return backlog_bytes_; }
 
   /// Total bytes made durable since start.
-  std::size_t bytes_written() const { return bytes_written_; }
+  std::size_t bytes_written() const override { return bytes_written_; }
 
   /// Device busy seconds accumulated since start (for utilization reports).
-  double busy_seconds() const { return busy_ns_ * 1e-9; }
+  double busy_seconds() const override { return busy_ns_ * 1e-9; }
 
   /// Degrades (f > 1) or restores (f = 1) the device: every operation's
   /// positioning and transfer time is scaled by `f`. Models a failing or
   /// contended disk for the chaos harness; in-flight operations keep the
   /// service time they were issued with.
-  void set_slowdown(double f);
-  double slowdown() const { return slowdown_; }
+  void set_slowdown(double f) override;
+  double slowdown() const override { return slowdown_; }
 
   /// Crash semantics for continuations: the owning node installs its epoch
   /// counter here, and a write/read continuation only runs if the epoch is
@@ -75,11 +81,11 @@ class Disk {
   /// durable either way (disks survive crashes) — what a crash loses is
   /// the process-side completion interrupt, so a crashed node cannot keep
   /// executing its commit continuations (forwarding votes, delivering).
-  void set_epoch_source(std::function<std::uint64_t()> fn) {
+  void set_epoch_source(std::function<std::uint64_t()> fn) override {
     epoch_fn_ = std::move(fn);
   }
 
-  const DiskParams& params() const { return params_; }
+  const DiskParams& params() const override { return params_; }
 
  private:
   Duration service_time(std::size_t bytes) const;

@@ -1,18 +1,11 @@
-// Node: the actor base class. Every protocol role, replica, and client in
-// the library is (hosted on) a Node.
-//
-// A node models one server process: it receives messages through a CPU
-// queueing model (multi-core, per-message + per-byte costs), owns zero or
-// more disks, and can schedule cancellable timers. Crash/restart semantics:
-// a crashed node silently drops messages and timers; its disks' contents
-// survive (that is what the recovery protocol of paper §5 relies on).
+// The node base class lives in env/env.h now (it is shared by the
+// discrete-event simulation and the real-network runtime backend); this
+// header re-exports it so sim-side code keeps its spelling. The simulation
+// backend (sim::Simulation) implements the env::Host interface the node
+// talks to.
 #pragma once
 
-#include <functional>
-#include <memory>
-#include <vector>
-
-#include "common/ids.h"
+#include "env/env.h"
 #include "sim/disk.h"
 #include "sim/message.h"
 #include "sim/params.h"
@@ -20,94 +13,7 @@
 
 namespace amcast::sim {
 
-/// Identifies a pending timer so it can be cancelled.
-using TimerId = std::uint64_t;
-
-class Node {
- public:
-  explicit Node(CpuParams cpu = Presets::server_cpu());
-  virtual ~Node();
-
-  Node(const Node&) = delete;
-  Node& operator=(const Node&) = delete;
-
-  /// Called once when the simulation starts (or when the node is added to a
-  /// running simulation). Set up timers and initial messages here.
-  virtual void on_start() {}
-
-  /// Called for every message addressed to this node, after the CPU model
-  /// has charged its processing cost.
-  virtual void on_message(ProcessId from, const MessagePtr& m) = 0;
-
-  /// Called after crash() flips the node back to alive via restart().
-  virtual void on_restart() {}
-
-  ProcessId id() const { return id_; }
-  Simulation& sim() { return *sim_; }
-  Time now() const { return sim_->now(); }
-
-  /// Sends a message through the simulated network.
-  void send(ProcessId to, MessagePtr m);
-
-  /// One-shot timer. The callback is dropped if the node crashes or the
-  /// timer is cancelled before it fires.
-  TimerId set_timer(Duration d, std::function<void()> cb);
-  void cancel_timer(TimerId id);
-
-  /// Periodic timer; keeps re-arming until the node crashes. Returns the id
-  /// of the underlying rotating timer chain (cancel via crash only).
-  void set_periodic(Duration interval, std::function<void()> cb);
-
-  /// Attaches a disk with the given parameters; returns its index. May be
-  /// called before the node joins a simulation (devices are materialized
-  /// when the node is added).
-  int add_disk(DiskParams p);
-  Disk& disk(int idx = 0);
-  int disk_count() const { return int(disks_.size()); }
-
-  /// Crash/restart. Crash drops in-flight timers, all queued CPU work, and
-  /// pending disk write/read continuations (the bytes of an issued write
-  /// still become durable — only the completion interrupt is lost);
-  /// messages arriving while crashed are dropped. Disk contents survive.
-  void crash();
-  void restart();
-  bool crashed() const { return crashed_; }
-
-  /// Scales the per-byte CPU cost of this node (models the GC overhead the
-  /// paper attributes to the Java async-disk path).
-  void set_cpu_cost_factor(double f) { cpu_cost_factor_ = f; }
-
-  /// CPU busy-time accumulated since the last call to this function,
-  /// expressed in core-seconds. Used by benches to report CPU%.
-  double take_cpu_busy_seconds();
-
-  /// Total CPU busy core-seconds since start.
-  double cpu_busy_seconds_total() const { return busy_ns_total_ * 1e-9; }
-
- private:
-  friend class Simulation;
-  friend class Network;
-
-  /// Entry point used by the network: runs the message through the CPU
-  /// model, then dispatches to on_message.
-  void deliver(ProcessId from, MessagePtr m);
-
-  Duration cpu_cost(const Message& m) const;
-  std::unique_ptr<Disk> materialize_disk(const DiskParams& p);
-
-  Simulation* sim_ = nullptr;
-  ProcessId id_ = kInvalidProcess;
-  CpuParams cpu_;
-  double cpu_cost_factor_ = 1.0;
-  std::vector<Time> core_free_;  ///< per-core next-available time
-  std::vector<DiskParams> pending_disks_;  ///< declared before attachment
-  std::vector<std::unique_ptr<Disk>> disks_;
-  bool crashed_ = false;
-  std::uint64_t epoch_ = 0;  ///< incremented on crash; stale timers no-op
-  std::uint64_t next_timer_ = 1;
-  std::vector<TimerId> cancelled_;  // small; linear scan is fine
-  double busy_ns_window_ = 0;
-  double busy_ns_total_ = 0;
-};
+using env::TimerId;
+using Node = env::Node;
 
 }  // namespace amcast::sim

@@ -1,7 +1,7 @@
 #include "sim/simulation.h"
 
+#include "sim/disk.h"
 #include "sim/network.h"
-#include "sim/node.h"
 
 namespace amcast::sim {
 
@@ -42,12 +42,16 @@ void Simulation::run() {
   while (!queue_.empty()) pop_and_run();
 }
 
-ProcessId Simulation::add_node(std::unique_ptr<Node> node) {
+std::unique_ptr<env::Disk> Simulation::make_disk(ProcessId, int,
+                                                 const env::DiskParams& p) {
+  return std::make_unique<Disk>(*this, p);
+}
+
+ProcessId Simulation::add_node(std::unique_ptr<env::Node> node) {
   auto id = ProcessId(nodes_.size());
-  node->sim_ = this;
-  node->id_ = id;
+  node->attach(this, id);
   nodes_.push_back(std::move(node));
-  Node* raw = nodes_.back().get();
+  env::Node* raw = nodes_.back().get();
   // Start at the current time (time 0 if the sim has not run yet).
   at(now_, [raw] {
     if (!raw->crashed()) raw->on_start();
@@ -55,7 +59,7 @@ ProcessId Simulation::add_node(std::unique_ptr<Node> node) {
   return id;
 }
 
-Node& Simulation::node(ProcessId id) {
+env::Node& Simulation::node(ProcessId id) {
   AMCAST_ASSERT(id >= 0 && std::size_t(id) < nodes_.size());
   return *nodes_[std::size_t(id)];
 }

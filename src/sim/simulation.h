@@ -3,6 +3,11 @@
 // The whole protocol stack runs single-threaded against this loop, which
 // makes every experiment deterministic and reproducible from a seed — the
 // property that lets the benches regenerate the paper's figures exactly.
+//
+// Simulation is the discrete-event implementation of the env::Host
+// interface: the hosted env::Node objects talk to their backend exclusively
+// through it, which is what lets the same protocol nodes also run under
+// runtime::Executor on a real network.
 #pragma once
 
 #include <functional>
@@ -14,32 +19,45 @@
 #include "common/ids.h"
 #include "common/metrics.h"
 #include "common/rng.h"
+#include "env/env.h"
 #include "sim/network.h"
 
 namespace amcast::sim {
 
-class Node;
-
 /// The simulation: owns the clock, the event queue, the network, all nodes,
 /// and the metrics registry for the run.
-class Simulation {
+class Simulation final : public env::Host {
  public:
   explicit Simulation(std::uint64_t seed = 1);
   /// Simulation with a custom network topology (geo experiments).
   Simulation(std::uint64_t seed, Topology topo);
-  ~Simulation();
+  ~Simulation() override;
 
   Simulation(const Simulation&) = delete;
   Simulation& operator=(const Simulation&) = delete;
 
   /// Current virtual time.
-  Time now() const { return now_; }
+  Time now() const override { return now_; }
 
   /// Schedules `fn` at absolute time `t` (>= now).
   void at(Time t, std::function<void()> fn);
 
   /// Schedules `fn` after `d` from now.
   void after(Duration d, std::function<void()> fn) { at(now_ + d, std::move(fn)); }
+
+  /// env::Host scheduling entry point (same as after()).
+  void schedule_after(Duration d, std::function<void()> fn) override {
+    after(d, std::move(fn));
+  }
+
+  /// env::Host send entry point: ships through the simulated network.
+  void send(ProcessId from, ProcessId to, env::MessagePtr m) override {
+    network_->send(from, to, std::move(m));
+  }
+
+  /// env::Host disk factory: a modeled FIFO device.
+  std::unique_ptr<env::Disk> make_disk(ProcessId owner, int index,
+                                       const env::DiskParams& p) override;
 
   /// Runs events until the queue is empty or the clock passes `t`.
   /// Events at exactly `t` are executed.
@@ -51,15 +69,15 @@ class Simulation {
   /// Registers a node and returns its ProcessId. Nodes are started (their
   /// on_start invoked) when the simulation first runs, at time 0, or
   /// immediately if the clock already advanced.
-  ProcessId add_node(std::unique_ptr<Node> node);
+  ProcessId add_node(std::unique_ptr<env::Node> node);
 
   /// Node lookup; the id must exist.
-  Node& node(ProcessId id);
+  env::Node& node(ProcessId id);
   std::size_t node_count() const { return nodes_.size(); }
 
   Network& network() { return *network_; }
-  Metrics& metrics() { return metrics_; }
-  Rng& rng() { return rng_; }
+  Metrics& metrics() override { return metrics_; }
+  Rng& rng() override { return rng_; }
 
   /// The seed this simulation was constructed with (chaos replay reporting).
   std::uint64_t seed() const { return seed_; }
@@ -82,7 +100,7 @@ class Simulation {
   Time now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
-  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<std::unique_ptr<env::Node>> nodes_;
   std::unique_ptr<Network> network_;
   Metrics metrics_;
   Rng rng_;

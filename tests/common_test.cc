@@ -194,6 +194,51 @@ TEST(Json, ParseErrorsReportPosition) {
   EXPECT_TRUE(json::Value::parse("\"unterminated", &err).is_null());
 }
 
+TEST(Json, ParseRejectsDeepNestingInsteadOfOverflowing) {
+  // Untrusted input (cluster configs) must not be able to blow the parser's
+  // stack: past the documented 64-level cap the parser reports an error.
+  std::string deep_ok(40, '[');
+  deep_ok += "1";
+  deep_ok += std::string(40, ']');
+  std::string err;
+  EXPECT_TRUE(json::Value::parse(deep_ok, &err).is_array()) << err;
+
+  std::string deep_bad(100000, '[');
+  EXPECT_TRUE(json::Value::parse(deep_bad, &err).is_null());
+  EXPECT_NE(err.find("nesting too deep"), std::string::npos);
+
+  // Mixed nesting counts the same way.
+  std::string mixed;
+  for (int i = 0; i < 50000; ++i) mixed += "{\"k\":[";
+  EXPECT_TRUE(json::Value::parse(mixed, &err).is_null());
+  EXPECT_NE(err.find("nesting too deep"), std::string::npos);
+}
+
+TEST(Json, ParseDuplicateKeysLastOccurrenceWins) {
+  std::string err;
+  json::Value v =
+      json::Value::parse("{\"a\": 1, \"b\": 2, \"a\": 3}", &err);
+  ASSERT_TRUE(v.is_object()) << err;
+  // One member per distinct key, insertion position of the FIRST
+  // occurrence, value of the LAST — matching Value::set's overwrite.
+  ASSERT_EQ(v.members().size(), 2u);
+  EXPECT_EQ(v.members()[0].first, "a");
+  EXPECT_EQ(v.members()[0].second.as_number(), 3);
+  EXPECT_EQ(v.find("a")->as_number(), 3);
+}
+
+TEST(Json, ParseRejectsTrailingGarbage) {
+  // Anything but whitespace after the document is an error — a truncated
+  // or concatenated config must not silently parse as its first half.
+  std::string err;
+  EXPECT_TRUE(json::Value::parse("{\"a\": 1}{\"b\": 2}", &err).is_null());
+  EXPECT_NE(err.find("trailing"), std::string::npos);
+  EXPECT_TRUE(json::Value::parse("42 43", &err).is_null());
+  EXPECT_TRUE(json::Value::parse("null,", &err).is_null());
+  // Trailing whitespace (and a final newline) stays fine.
+  EXPECT_TRUE(json::Value::parse("{\"a\": 1}\n  \t", &err).is_object());
+}
+
 TEST(Json, ParsesHandEditedDocuments) {
   std::string err;
   json::Value v = json::Value::parse(

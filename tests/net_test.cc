@@ -1,0 +1,392 @@
+// Tests for the wire codec (every cross-process message type round-trips;
+// truncated/malformed input fails safely) and the cluster config loader.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/messages.h"
+#include "dlog/messages.h"
+#include "kvstore/messages.h"
+#include "kvstore/replica.h"
+#include "net/cluster_config.h"
+#include "net/wire.h"
+#include "ringpaxos/messages.h"
+
+namespace amcast::net {
+namespace {
+
+using ringpaxos::make_batch;
+using ringpaxos::make_skip;
+using ringpaxos::make_value;
+using ringpaxos::make_value_bytes;
+using ringpaxos::ValuePtr;
+
+ValuePtr sample_value() {
+  return make_value_bytes(2, make_message_id(7, 42), 7,
+                          duration::milliseconds(3), {1, 2, 3, 4, 5});
+}
+
+/// Builds one populated instance of every wire-encodable message type.
+std::vector<env::MessagePtr> all_message_samples() {
+  std::vector<env::MessagePtr> out;
+
+  {
+    auto m = std::make_shared<ringpaxos::ProposalMsg>();
+    m->ring = 2;
+    m->value = sample_value();
+    out.push_back(m);
+  }
+  {
+    auto m = std::make_shared<ringpaxos::Phase1AMsg>();
+    m->ring = 1;
+    m->round = 3;
+    m->from_instance = 100;
+    m->to_instance = 1 << 20;
+    out.push_back(m);
+  }
+  {
+    auto m = std::make_shared<ringpaxos::Phase1BMsg>();
+    m->ring = 1;
+    m->round = 3;
+    m->acceptor = 2;
+    m->log_end = 512;
+    m->trimmed_below = 64;
+    m->decided = {{64, 100}, {200, 8}};
+    m->accepted.push_back({500, 1, 2, sample_value()});
+    m->accepted.push_back({501, 4, 1, make_skip(1, 0, 4)});
+    out.push_back(m);
+  }
+  {
+    auto m = std::make_shared<ringpaxos::Phase2Msg>();
+    m->ring = 0;
+    m->round = 1;
+    m->instance = 9;
+    m->count = 1;
+    m->votes = 2;
+    m->hops = 1;
+    // Batch envelope: the hard case (nested values).
+    m->value = make_batch(0, 5, {sample_value(), sample_value()});
+    out.push_back(m);
+  }
+  {
+    auto m = std::make_shared<ringpaxos::DecisionMsg>();
+    m->ring = 0;
+    m->round = 1;
+    m->instance = 9;
+    m->count = 3;
+    m->hops = 2;
+    out.push_back(m);
+  }
+  {
+    auto m = std::make_shared<ringpaxos::RetransmitRequestMsg>();
+    m->ring = 4;
+    m->from_instance = 17;
+    m->to_instance = kInvalidInstance;
+    m->nonce = 0xdeadbeefULL;
+    out.push_back(m);
+  }
+  {
+    auto m = std::make_shared<ringpaxos::RetransmitReplyMsg>();
+    m->ring = 4;
+    m->nonce = 0xdeadbeefULL;
+    m->trimmed_below = 5;
+    m->highest_decided = 90;
+    m->entries.push_back({17, 1, sample_value()});
+    m->entries.push_back({18, 10, make_skip(4, 0, 10)});
+    out.push_back(m);
+  }
+  {
+    auto inner1 = std::make_shared<ringpaxos::DecisionMsg>();
+    inner1->ring = 0;
+    inner1->instance = 1;
+    auto inner2 = std::make_shared<ringpaxos::Phase2Msg>();
+    inner2->ring = 0;
+    inner2->instance = 2;
+    inner2->value = sample_value();
+    auto m = std::make_shared<ringpaxos::PackedMsg>();
+    m->inner = {inner1, inner2};
+    out.push_back(m);
+  }
+  {
+    auto m = std::make_shared<core::TrimQueryMsg>();
+    m->group = 3;
+    m->query_id = 11;
+    out.push_back(m);
+  }
+  {
+    auto m = std::make_shared<core::TrimReplyMsg>();
+    m->group = 3;
+    m->query_id = 11;
+    m->replica = 6;
+    m->safe_next = 4000;
+    out.push_back(m);
+  }
+  {
+    auto m = std::make_shared<core::TrimCommandMsg>();
+    m->group = 3;
+    m->trim_next = 4000;
+    out.push_back(m);
+  }
+  {
+    auto m = std::make_shared<core::CheckpointQueryMsg>();
+    m->query_id = 21;
+    out.push_back(m);
+  }
+  {
+    auto m = std::make_shared<core::CheckpointInfoMsg>();
+    m->query_id = 21;
+    m->replica = 1;
+    m->tuple.groups = {0, 2};
+    m->tuple.next = {100, 50};
+    m->size_bytes = 4096;
+    out.push_back(m);
+  }
+  {
+    auto m = std::make_shared<core::CheckpointFetchMsg>();
+    m->query_id = 21;
+    out.push_back(m);
+  }
+  {
+    auto m = std::make_shared<core::CheckpointDataMsg>();
+    m->query_id = 21;
+    m->tuple.groups = {0};
+    m->tuple.next = {77};
+    m->size_bytes = 128;
+    m->state = nullptr;  // the no-checkpoint recovery path
+    out.push_back(m);
+  }
+  {
+    auto m = std::make_shared<kvstore::KvResponseMsg>();
+    m->partition = 1;
+    kvstore::CommandResult r;
+    r.seq = 9;
+    r.thread = 2;
+    r.ok = true;
+    r.payload_bytes = 3;
+    r.scan_hits = 0;
+    r.data = {'a', 'b', 'c'};
+    m->results.push_back(r);
+    kvstore::CommandResult r2;
+    r2.seq = 10;
+    r2.ok = false;
+    m->results.push_back(r2);
+    out.push_back(m);
+  }
+  {
+    auto m = std::make_shared<dlog::DLogResponseMsg>();
+    m->server = 4;
+    dlog::CommandResult r;
+    r.seq = 12;
+    r.thread = 1;
+    r.ok = true;
+    r.positions = {5, 9};
+    r.payload_bytes = 64;
+    m->results.push_back(r);
+    out.push_back(m);
+  }
+  return out;
+}
+
+void expect_value_eq(const ValuePtr& a, const ValuePtr& b) {
+  ASSERT_EQ(a == nullptr, b == nullptr);
+  if (a == nullptr) return;
+  EXPECT_EQ(a->group, b->group);
+  EXPECT_EQ(a->msg_id, b->msg_id);
+  EXPECT_EQ(a->origin, b->origin);
+  EXPECT_EQ(a->created_at, b->created_at);
+  EXPECT_EQ(a->skip_count, b->skip_count);
+  ASSERT_EQ(a->payload == nullptr, b->payload == nullptr);
+  if (a->payload) {
+    EXPECT_EQ(*a->payload, *b->payload);
+  }
+  ASSERT_EQ(a->batch.size(), b->batch.size());
+  for (std::size_t i = 0; i < a->batch.size(); ++i) {
+    expect_value_eq(a->batch[i], b->batch[i]);
+  }
+}
+
+TEST(Wire, EveryMessageTypeRoundTrips) {
+  for (const auto& m : all_message_samples()) {
+    std::vector<std::uint8_t> bytes = encode_message(*m);
+    std::string error;
+    env::MessagePtr back = decode_message(bytes, &error);
+    ASSERT_NE(back, nullptr) << m->name() << ": " << error;
+    EXPECT_EQ(back->type(), m->type()) << m->name();
+    EXPECT_STREQ(back->name(), m->name());
+    // Re-encoding the decoded message must be byte-identical: field-level
+    // equality for every type, in one check.
+    EXPECT_EQ(encode_message(*back), bytes) << m->name();
+  }
+}
+
+TEST(Wire, RoundTripPreservesFieldsSpotChecks) {
+  {
+    auto m = std::make_shared<ringpaxos::Phase2Msg>();
+    m->ring = 7;
+    m->round = 2;
+    m->instance = 1234567890123LL;
+    m->count = 4;
+    m->votes = 3;
+    m->hops = 2;
+    m->value = make_batch(7, 5, {sample_value(), sample_value()});
+    auto back = decode_message(encode_message(*m));
+    ASSERT_NE(back, nullptr);
+    const auto& p2 = env::msg_cast<ringpaxos::Phase2Msg>(back);
+    EXPECT_EQ(p2.instance, 1234567890123LL);
+    EXPECT_EQ(p2.votes, 3);
+    expect_value_eq(p2.value, m->value);
+  }
+  {
+    auto m = std::make_shared<kvstore::KvResponseMsg>();
+    m->partition = 2;
+    kvstore::CommandResult r;
+    r.seq = 77;
+    r.ok = true;
+    r.data = {'x', 'y'};
+    r.payload_bytes = 2;
+    m->results.push_back(r);
+    auto back = decode_message(encode_message(*m));
+    ASSERT_NE(back, nullptr);
+    const auto& kr = env::msg_cast<kvstore::KvResponseMsg>(back);
+    ASSERT_EQ(kr.results.size(), 1u);
+    EXPECT_EQ(kr.results[0].data, (std::vector<std::uint8_t>{'x', 'y'}));
+  }
+}
+
+TEST(Wire, EveryTruncationFailsCleanly) {
+  // Any strict prefix of a valid encoding must decode to an error (the
+  // field stream is fixed per type, so a cut always lands mid-field or
+  // before required trailing fields) — never an assert, crash, or OOB.
+  for (const auto& m : all_message_samples()) {
+    std::vector<std::uint8_t> bytes = encode_message(*m);
+    for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+      std::string error;
+      env::MessagePtr back = decode_message(bytes.data(), cut, &error);
+      EXPECT_EQ(back, nullptr)
+          << m->name() << " decoded from a " << cut << "/" << bytes.size()
+          << "-byte prefix";
+      EXPECT_FALSE(error.empty());
+    }
+  }
+}
+
+TEST(Wire, TrailingGarbageAndUnknownTypeFail) {
+  auto m = std::make_shared<core::TrimQueryMsg>();
+  m->group = 1;
+  m->query_id = 2;
+  std::vector<std::uint8_t> bytes = encode_message(*m);
+  bytes.push_back(0);  // one stray byte
+  std::string error;
+  EXPECT_EQ(decode_message(bytes, &error), nullptr);
+  EXPECT_NE(error.find("trailing"), std::string::npos);
+
+  std::vector<std::uint8_t> unknown = {0xFF, 0x07};  // varint type 1023
+  EXPECT_EQ(decode_message(unknown, &error), nullptr);
+}
+
+TEST(Wire, ForgedCountsAndCorruptBytesFailCleanly) {
+  // Corrupt every single byte of a complex message (one at a time): decode
+  // must either succeed (some bytes are don't-cares for validity, e.g.
+  // payload contents) or fail cleanly — never crash.
+  auto m = std::make_shared<ringpaxos::Phase1BMsg>();
+  m->ring = 1;
+  m->round = 3;
+  m->acceptor = 2;
+  m->decided = {{1, 2}};
+  m->accepted.push_back({5, 1, 1, sample_value()});
+  std::vector<std::uint8_t> bytes = encode_message(*m);
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    std::vector<std::uint8_t> mutated = bytes;
+    mutated[i] ^= 0xFF;
+    std::string error;
+    (void)decode_message(mutated, &error);  // must not crash
+  }
+}
+
+TEST(Wire, KvSnapshotStateCodecRoundTrips) {
+  set_snapshot_state_codec(kv_snapshot_state_codec());
+  auto st = std::make_shared<kvstore::KvSnapshotState>();
+  auto tree = std::make_shared<kvstore::KvStore::Tree>();
+  (*tree)["alpha"] = {1, 2, 3};
+  (*tree)["beta"] = {};
+  st->tree = tree;
+  st->last_seq[{3, 0}] = 17;
+  auto m = std::make_shared<core::CheckpointDataMsg>();
+  m->query_id = 5;
+  m->tuple.groups = {0};
+  m->tuple.next = {9};
+  m->size_bytes = 64;
+  m->state = st;
+
+  std::string error;
+  auto back = decode_message(encode_message(*m), &error);
+  ASSERT_NE(back, nullptr) << error;
+  const auto& cd = env::msg_cast<core::CheckpointDataMsg>(back);
+  ASSERT_NE(cd.state, nullptr);
+  const auto& got =
+      *static_cast<const kvstore::KvSnapshotState*>(cd.state.get());
+  EXPECT_EQ(*got.tree, *tree);
+  EXPECT_EQ(got.last_seq.at({3, 0}), 17u);
+
+  // Without a codec, a state-carrying CheckpointData must refuse to decode
+  // (installing an irreconstructible checkpoint would wipe the replica).
+  std::vector<std::uint8_t> bytes = encode_message(*m);
+  set_snapshot_state_codec({});
+  EXPECT_EQ(decode_message(bytes, &error), nullptr);
+  set_snapshot_state_codec(kv_snapshot_state_codec());
+}
+
+TEST(ClusterConfig, LoadsTheCommittedExample) {
+  ClusterConfig cfg;
+  std::string error;
+  ASSERT_TRUE(ClusterConfig::load(
+      std::string(AMCAST_SOURCE_DIR) + "/examples/cluster.json", &cfg,
+      &error))
+      << error;
+  EXPECT_EQ(cfg.processes.size(), 4u);
+  EXPECT_EQ(cfg.rings.size(), 2u);
+  EXPECT_EQ(cfg.partition_count(), 1);
+  EXPECT_EQ(cfg.global_group(), 1);
+  EXPECT_EQ(cfg.partition_groups(), (std::vector<GroupId>{0}));
+  EXPECT_EQ(cfg.partition_replicas(0), (std::vector<ProcessId>{0, 1, 2}));
+  ASSERT_NE(cfg.process_by_name("client"), nullptr);
+  EXPECT_EQ(cfg.process_by_name("client")->role, "client");
+  ASSERT_NE(cfg.resolve("2"), nullptr);
+  EXPECT_EQ(cfg.resolve("2")->name, "r2");
+
+  ringpaxos::ConfigRegistry reg;
+  auto groups = cfg.build_registry(reg);
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(reg.ring(groups[0]).coordinator, 0);
+  EXPECT_EQ(reg.ring(groups[1]).coordinator, 1);
+}
+
+TEST(ClusterConfig, RejectsInvalidConfigs) {
+  auto expect_bad = [](const char* text, const char* why) {
+    ClusterConfig cfg;
+    std::string error;
+    EXPECT_FALSE(ClusterConfig::parse(text, &cfg, &error)) << why;
+    EXPECT_FALSE(error.empty()) << why;
+  };
+  expect_bad("not json", "parse error");
+  expect_bad("{}", "missing processes");
+  expect_bad(R"({"processes": [{"id": 0, "port": 1}],
+                 "rings": [{"members": [0], "acceptors": [0],
+                            "coordinator": 5}]})",
+             "coordinator not an acceptor");
+  expect_bad(R"({"processes": [{"id": 0, "port": 1}, {"id": 0, "port": 2}],
+                 "rings": []})",
+             "duplicate ids");
+  expect_bad(R"({"processes": [{"id": 0, "port": 1}],
+                 "rings": [{"members": [9], "acceptors": [9],
+                            "coordinator": 9}]})",
+             "unknown member");
+  expect_bad(R"({"service": "dlog", "processes": [{"id": 0, "port": 1}],
+                 "rings": []})",
+             "unsupported service");
+}
+
+}  // namespace
+}  // namespace amcast::net

@@ -584,7 +584,7 @@ TEST(RingPaxos, AsyncDiskBackpressureBoundsBacklog) {
   EXPECT_EQ(t.delivered[2].size(), 500u);
   // ...and the disk queue never exceeded its cap by more than one write.
   // (Checked implicitly: accepting() gates intake; assert final drain.)
-  EXPECT_TRUE(t.nodes[0]->sim().now() > 0);
+  EXPECT_TRUE(t.nodes[0]->now() > 0);
 }
 
 }  // namespace

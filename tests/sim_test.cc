@@ -62,6 +62,44 @@ TEST(Node, TimersFireAndCancel) {
   EXPECT_EQ(t->fired, 1);
 }
 
+TEST(Node, PeriodicTimerCancelsAndRearms) {
+  // set_periodic returns a TimerId cancellable like set_timer's: the chain
+  // stops firing AND stops re-arming (the runtime backend needs clean
+  // shutdown without crashing the node). A fresh set_periodic after the
+  // cancel starts an independent chain.
+  Simulation s;
+  struct T final : Node {
+    int a = 0, b = 0;
+    TimerId tid = 0;
+    void on_message(ProcessId, const MessagePtr&) override {}
+    void on_start() override {
+      tid = set_periodic(duration::milliseconds(10), [this] { ++a; });
+    }
+  };
+  auto node = std::make_unique<T>();
+  T* t = node.get();
+  s.add_node(std::move(node));
+
+  s.run_until(duration::milliseconds(35));
+  EXPECT_EQ(t->a, 3);  // fired at 10/20/30 ms
+
+  t->cancel_timer(t->tid);
+  s.run_until(duration::milliseconds(100));
+  EXPECT_EQ(t->a, 3);  // chain dead: no further fires
+
+  // Re-arm: the new chain ticks on its own schedule, unaffected by the
+  // consumed cancellation of the old id.
+  t->tid = t->set_periodic(duration::milliseconds(10), [t] { ++t->b; });
+  s.run_until(duration::milliseconds(145));
+  EXPECT_EQ(t->a, 3);
+  EXPECT_EQ(t->b, 4);  // 110/120/130/140 ms
+
+  // Cancel the re-armed chain too, then crash/restart: nothing lingers.
+  t->cancel_timer(t->tid);
+  s.run_until(duration::milliseconds(200));
+  EXPECT_EQ(t->b, 4);
+}
+
 TEST(Node, CrashDropsMessagesAndTimers) {
   Simulation s;
   struct T final : Node {
