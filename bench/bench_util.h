@@ -39,6 +39,32 @@
 //    hot-path optimizations show up (the simulator charges modeled CPU, so
 //    they cannot move sim-domain numbers), and it is machine-dependent —
 //    reported for before/after comparisons, never gated.
+//
+// ## Runtime-domain rows (BENCH_runtime.json, emitted by bench/loadgen)
+//
+// The same "amcast-bench-v1" document shape also carries REAL measurements
+// of a deployed amcast_noded cluster driven by the open-loop load
+// generator. A runtime row's identity params additionally include the
+// offered load point, and its metrics are host wall-clock measurements:
+//
+//   "params":  { "rings": 2, "offered_rate": 4000, "sessions": 1000,
+//                "get_ratio": 0.5, "value_bytes": 128,
+//                "key_dist": "uniform", ... }
+//   "metrics": {
+//     "offered_rate": 4000.0,     // arrivals/s the Poisson schedule aimed at
+//     "goodput": 3961.2,          // THE gated metric: completions/s observed
+//                                 // during the measurement window
+//     "p50_ms": 1.9, "p99_ms": 7.4, "p999_ms": 21.0,
+//                                 // latency from INTENDED send time, so a
+//                                 // stalled client still charges the stall
+//                                 // to the tail (coordinated omission)
+//     "timeouts": 0, "completed": 11883, "window_s": 3.0
+//   }
+//
+// Runtime rows are wall-clock on a shared machine, not deterministic: the
+// runtime gate (scripts/runtime_bench.sh --gate) is correspondingly wide
+// (default +/-50% on goodput vs bench/baseline_runtime.json) and exists to
+// catch collapses, not single-digit regressions.
 #pragma once
 
 #include <chrono>
@@ -156,6 +182,15 @@ inline void print_cdf(const Histogram& h, const std::string& title) {
 /// ops/s measured over a window.
 inline double rate(std::int64_t ops, Duration window) {
   return double(ops) / duration::to_seconds(window);
+}
+
+/// Writes the standard latency keys (p50/p99/p999, mean) of a nanosecond
+/// histogram into a metrics object. Shared by sim- and runtime-domain rows.
+inline void set_latency_metrics(json::Value& metrics, const Histogram& h) {
+  metrics.set("mean_ms", h.mean_ms());
+  metrics.set("p50_ms", h.p50_ms());
+  metrics.set("p99_ms", h.p99_ms());
+  metrics.set("p999_ms", h.p999_ms());
 }
 
 }  // namespace amcast::bench

@@ -1,0 +1,370 @@
+// loadgen — open-loop load generator for a live amcast_noded cluster, plus
+// the runtime-domain perf gate.
+//
+// Run mode drives the cluster described by --config as the configured
+// client process: it preloads the key universe, then sweeps the offered
+// rates left to right, measuring each point with warmup + window + drain
+// and appending one scenario row per point to a BENCH_runtime.json
+// artifact (schema in bench/bench_util.h). Thousands of logical sessions
+// share this one process's transport connections; arrivals are Poisson and
+// latency is measured from intended send time (see bench/loadgen_core.h).
+//
+//   loadgen --config cluster.json --rates 500,1000,2000 --window-s 3
+//           --out BENCH_runtime.json --append
+//
+// Gate mode needs no cluster: it checks an artifact against the committed
+// baseline and the paper's shapes (fig3 saturation, fig7 ring scaling):
+//
+//   loadgen --gate BENCH_runtime.json --compare bench/baseline_runtime.json
+//           --tolerance 50 --require-scaling
+//
+// Exit codes: 0 ok, 1 setup/gate failure, 2 the sweep measured nothing.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/loadgen_core.h"
+#include "kvstore/partitioner.h"
+#include "net/cluster_config.h"
+#include "net/transport.h"
+#include "net/wire.h"
+#include "runtime/executor.h"
+
+namespace {
+
+using namespace amcast;
+using bench::LoadGenClient;
+using bench::LoadGenOptions;
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: loadgen --config FILE --rates R1,R2,... [options]\n"
+      "   or: loadgen --gate FILE [--compare BASELINE] [--tolerance PCT]\n"
+      "               [--require-saturation] [--require-scaling]\n"
+      "run options:\n"
+      "  --process NAME|ID     client process to run as (default: first\n"
+      "                        role=client in the config)\n"
+      "  --sessions N          concurrent logical sessions (default 1000)\n"
+      "  --get-ratio F         fraction of reads, 0..1 (default 0.5)\n"
+      "  --value-bytes N       write payload size (default 128)\n"
+      "  --keys N              key universe size (default 5000)\n"
+      "  --dist uniform|zipfian  key distribution (default uniform)\n"
+      "  --warmup-s S          per-point warmup (default 1)\n"
+      "  --window-s S          per-point measurement window (default 3)\n"
+      "  --timeout-ms N        per-op timeout (default 5000)\n"
+      "  --seed N              workload/schedule seed (default 1)\n"
+      "  --name NAME           scenario row name (default runtime_sweep)\n"
+      "  --no-preload          skip populating the key universe\n"
+      "  --out FILE            artifact path (default BENCH_runtime.json)\n"
+      "  --append              merge rows into an existing artifact\n"
+      "  --smoke               mark the artifact as a reduced run\n");
+  return 64;
+}
+
+bool read_file(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+Duration secs(double s) { return Duration(std::int64_t(s * 1e9)); }
+
+std::vector<double> parse_rates(const std::string& arg) {
+  std::vector<double> rates;
+  std::istringstream is(arg);
+  std::string tok;
+  while (std::getline(is, tok, ',')) {
+    double r = std::strtod(tok.c_str(), nullptr);
+    if (r > 0) rates.push_back(r);
+  }
+  return rates;
+}
+
+int run_gate(const std::string& current_path, const std::string& compare_path,
+             const bench::RuntimeGateOptions& opts) {
+  std::string text, error;
+  if (!read_file(current_path, &text)) {
+    std::fprintf(stderr, "loadgen: cannot read %s\n", current_path.c_str());
+    return 1;
+  }
+  json::Value current = json::Value::parse(text, &error);
+  if (!error.empty()) {
+    std::fprintf(stderr, "loadgen: %s: %s\n", current_path.c_str(),
+                 error.c_str());
+    return 1;
+  }
+  json::Value baseline;
+  bool have_baseline = false;
+  if (!compare_path.empty()) {
+    if (!read_file(compare_path, &text)) {
+      std::fprintf(stderr, "loadgen: cannot read %s\n", compare_path.c_str());
+      return 1;
+    }
+    baseline = json::Value::parse(text, &error);
+    if (!error.empty()) {
+      std::fprintf(stderr, "loadgen: %s: %s\n", compare_path.c_str(),
+                   error.c_str());
+      return 1;
+    }
+    have_baseline = true;
+  }
+  return bench::gate_runtime_report(current,
+                                    have_baseline ? &baseline : nullptr, opts);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string config_path, process_arg, rates_arg;
+  std::string out_path = "BENCH_runtime.json";
+  std::string name = "runtime_sweep";
+  std::string gate_path, compare_path;
+  LoadGenOptions opts;
+  bench::RuntimeGateOptions gate_opts;
+  double warmup_s = 1, window_s = 3;
+  bool append = false, smoke = false, preload = true;
+  bool gate_mode = false;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    auto next_d = [&](double* out) {
+      const char* v = next();
+      if (v != nullptr) *out = std::strtod(v, nullptr);
+      return v != nullptr;
+    };
+    if (a == "--config") {
+      const char* v = next();
+      if (!v) return usage();
+      config_path = v;
+    } else if (a == "--process") {
+      const char* v = next();
+      if (!v) return usage();
+      process_arg = v;
+    } else if (a == "--rates") {
+      const char* v = next();
+      if (!v) return usage();
+      rates_arg = v;
+    } else if (a == "--sessions") {
+      double v = 0;
+      if (!next_d(&v)) return usage();
+      opts.sessions = int(v);
+    } else if (a == "--get-ratio") {
+      if (!next_d(&opts.get_ratio)) return usage();
+    } else if (a == "--value-bytes") {
+      double v = 0;
+      if (!next_d(&v)) return usage();
+      opts.value_bytes = std::size_t(v);
+    } else if (a == "--keys") {
+      double v = 0;
+      if (!next_d(&v)) return usage();
+      opts.key_count = std::uint64_t(v);
+    } else if (a == "--dist") {
+      const char* v = next();
+      if (!v) return usage();
+      opts.key_dist = v;
+    } else if (a == "--warmup-s") {
+      if (!next_d(&warmup_s)) return usage();
+    } else if (a == "--window-s") {
+      if (!next_d(&window_s)) return usage();
+    } else if (a == "--timeout-ms") {
+      double v = 0;
+      if (!next_d(&v)) return usage();
+      opts.op_timeout = duration::milliseconds(std::int64_t(v));
+    } else if (a == "--seed") {
+      double v = 0;
+      if (!next_d(&v)) return usage();
+      opts.seed = std::uint64_t(v);
+    } else if (a == "--name") {
+      const char* v = next();
+      if (!v) return usage();
+      name = v;
+    } else if (a == "--out") {
+      const char* v = next();
+      if (!v) return usage();
+      out_path = v;
+    } else if (a == "--append") {
+      append = true;
+    } else if (a == "--smoke") {
+      smoke = true;
+    } else if (a == "--no-preload") {
+      preload = false;
+    } else if (a == "--gate") {
+      const char* v = next();
+      if (!v) return usage();
+      gate_path = v;
+      gate_mode = true;
+    } else if (a == "--compare") {
+      const char* v = next();
+      if (!v) return usage();
+      compare_path = v;
+    } else if (a == "--tolerance") {
+      double pct = 0;
+      if (!next_d(&pct)) return usage();
+      gate_opts.tolerance = pct / 100.0;
+    } else if (a == "--require-saturation") {
+      gate_opts.require_saturation = true;
+    } else if (a == "--require-scaling") {
+      gate_opts.require_scaling = true;
+    } else {
+      std::fprintf(stderr, "loadgen: unknown flag %s\n", a.c_str());
+      return usage();
+    }
+  }
+
+  if (gate_mode) return run_gate(gate_path, compare_path, gate_opts);
+  if (config_path.empty() || rates_arg.empty()) return usage();
+  std::vector<double> rates = parse_rates(rates_arg);
+  if (rates.empty()) {
+    std::fprintf(stderr, "loadgen: no valid rates in --rates\n");
+    return 1;
+  }
+  if (opts.key_dist != "uniform" && opts.key_dist != "zipfian") {
+    std::fprintf(stderr, "loadgen: --dist must be uniform or zipfian\n");
+    return 1;
+  }
+
+  // --- cluster membership: same setup as amcast_kv ------------------------
+  net::ClusterConfig cfg;
+  std::string error;
+  if (!net::ClusterConfig::load(config_path, &cfg, &error)) {
+    std::fprintf(stderr, "loadgen: %s\n", error.c_str());
+    return 1;
+  }
+  const net::ProcessSpec* self = nullptr;
+  if (!process_arg.empty()) {
+    self = cfg.resolve(process_arg);
+  } else {
+    for (const auto& p : cfg.processes) {
+      if (p.role == "client") {
+        self = &p;
+        break;
+      }
+    }
+  }
+  if (self == nullptr) {
+    std::fprintf(stderr,
+                 "loadgen: no client process in config (use --process)\n");
+    return 1;
+  }
+  int rings = cfg.partition_count();
+
+  net::set_snapshot_state_codec(net::kv_snapshot_state_codec());
+
+  runtime::Executor ex({/*data_dir=*/"", std::uint64_t(self->id) + 1});
+  net::Transport transport(
+      net::Transport::Options{self->id, self->host, self->port,
+                              cfg.peer_map()},
+      [&ex](ProcessId from, ProcessId to, env::MessagePtr m) {
+        ex.dispatch(from, to, std::move(m));
+      },
+      [&ex] { return ex.now(); });
+  if (!transport.listen(&error)) {
+    std::fprintf(stderr, "loadgen: %s\n", error.c_str());
+    return 1;
+  }
+  ex.set_transport(&transport);
+
+  core::ConfigRegistry registry;
+  cfg.build_registry(registry);
+  auto client = std::make_unique<LoadGenClient>(
+      registry, kvstore::Partitioner::hash(cfg.partition_count()),
+      cfg.partition_groups(), opts);
+  client->set_default_proposal_timeout(cfg.options.proposal_timeout);
+  ex.add_node(self->id, client.get());
+
+  auto pump_for = [&](Duration d) {
+    Time end = ex.now() + d;
+    while (ex.now() < end) ex.run_once(duration::milliseconds(2));
+  };
+  auto pump_until = [&](const std::function<bool()>& pred, Duration limit) {
+    Time deadline = ex.now() + limit;
+    while (!pred() && ex.now() < deadline) {
+      ex.run_once(duration::milliseconds(2));
+    }
+    return pred();
+  };
+
+  // --- preload ------------------------------------------------------------
+  if (preload) {
+    std::printf("loadgen: preloading %llu keys (%d rings)\n",
+                (unsigned long long)opts.key_count, rings);
+    std::fflush(stdout);
+    ex.run_once(0);  // start the node before issuing
+    client->start_preload(/*pipeline=*/64);
+    Duration limit = duration::seconds(30 + std::int64_t(opts.key_count) / 200);
+    if (!pump_until([&] { return client->preload_done(); }, limit)) {
+      std::fprintf(stderr, "loadgen: preload did not finish (is the cluster "
+                           "up?)\n");
+      return 1;
+    }
+  }
+
+  // --- offered-rate sweep -------------------------------------------------
+  std::vector<bench::ScenarioResult> rows;
+  std::int64_t total_measured = 0;
+  for (double rate : rates) {
+    bench::WallClock wall;
+    client->set_rate(rate);
+    pump_for(secs(warmup_s));
+    client->begin_window(secs(window_s));
+    pump_for(secs(window_s));
+    client->end_window();
+    pump_until([&] { return client->drained(); },
+               opts.op_timeout + duration::seconds(1));
+    bench::RatePoint point = client->take_point();
+    rows.push_back(
+        make_runtime_row(name, rings, opts, point, opts.seed, wall.seconds()));
+    total_measured += point.measured;
+    std::printf("loadgen: rings=%d offered=%.0f/s goodput=%.0f/s p50=%.2fms "
+                "p99=%.2fms p999=%.2fms timeouts=%lld\n",
+                rings, point.offered_rate, point.goodput,
+                point.latency.p50_ms(), point.latency.p99_ms(),
+                point.latency.p999_ms(), (long long)point.timeouts);
+    std::fflush(stdout);
+  }
+  client->stop_load();
+
+  // --- artifact -----------------------------------------------------------
+  json::Value doc = bench::bench_document("loadgen", opts.seed, smoke, rows);
+  if (append) {
+    std::string text;
+    if (read_file(out_path, &text)) {
+      json::Value old = json::Value::parse(text, &error);
+      if (error.empty() && old.find("scenarios") != nullptr) {
+        auto merged = json::Value::array();
+        for (const auto& row : old.find("scenarios")->items()) {
+          merged.push_back(row);
+        }
+        for (const auto& row : doc.find("scenarios")->items()) {
+          merged.push_back(row);
+        }
+        doc.set("scenarios", std::move(merged));
+        // A merged artifact is only a smoke artifact if every part was.
+        const json::Value* old_smoke = old.find("smoke");
+        doc.set("smoke",
+                smoke && old_smoke != nullptr && old_smoke->as_bool());
+      }
+    }
+  }
+  std::ofstream out(out_path, std::ios::binary | std::ios::trunc);
+  out << doc.dump() << "\n";
+  if (!out) {
+    std::fprintf(stderr, "loadgen: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("loadgen: wrote %s (%zu rows)\n", out_path.c_str(),
+              doc.find("scenarios")->size());
+  return total_measured > 0 ? 0 : 2;
+}

@@ -1,0 +1,485 @@
+#include "bench/loadgen_core.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <utility>
+
+#include "common/table.h"
+#include "kvstore/messages.h"
+
+namespace amcast::bench {
+
+namespace {
+
+/// Reaper granularity: expired entries are detected within a quarter of the
+/// op timeout (bounded below so a tiny test timeout doesn't busy-tick).
+Duration reaper_interval(Duration op_timeout) {
+  return std::max<Duration>(op_timeout / 4, duration::milliseconds(20));
+}
+
+}  // namespace
+
+LoadGenClient::LoadGenClient(core::ConfigRegistry& registry,
+                             kvstore::Partitioner partitioner,
+                             std::vector<GroupId> partition_groups,
+                             LoadGenOptions opts)
+    : core::MulticastNode(registry),
+      opts_(std::move(opts)),
+      partitioner_(std::move(partitioner)),
+      pgroups_(std::move(partition_groups)),
+      rng_(opts_.seed ^ 0x6c6f616467656e31ULL),
+      schedule_(opts_.seed ^ 0x6c6f616467656e32ULL) {
+  AMCAST_ASSERT(opts_.sessions > 0);
+  AMCAST_ASSERT(opts_.key_count > 0);
+  AMCAST_ASSERT(!pgroups_.empty());
+  if (opts_.key_dist == "zipfian") {
+    zipf_ = std::make_unique<ScrambledZipfianGenerator>(opts_.key_count);
+  }
+  // Replicas dedup re-proposed writes by (client, thread, seq). Session
+  // thread ids are 0..sessions-1 in every loadgen invocation, so the
+  // per-session sequence starts at the wall-clock microsecond count: each
+  // invocation's sequences are strictly above the previous one's (per
+  // session, sequences advance far slower than 1e6/s), so a fresh run's
+  // writes can never look like duplicates of an earlier run's. Same
+  // reasoning as amcast_kv's CliClient.
+  auto base = std::uint64_t(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+  session_seq_.assign(std::size_t(opts_.sessions), base);
+}
+
+LoadGenClient::~LoadGenClient() = default;
+
+void LoadGenClient::on_start() {
+  core::MulticastNode::on_start();
+  reaper_ = set_periodic(reaper_interval(opts_.op_timeout),
+                         [this] { reap_expired(); });
+}
+
+std::string LoadGenClient::key_name(std::uint64_t k) const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "user%010llu", (unsigned long long)k);
+  return buf;
+}
+
+std::uint64_t LoadGenClient::next_key() {
+  return zipf_ ? zipf_->next(rng_) : rng_.next_u64(opts_.key_count);
+}
+
+kvstore::Command LoadGenClient::next_command(std::uint64_t* key_index) {
+  kvstore::Command c;
+  *key_index = next_key();
+  c.key = key_name(*key_index);
+  if (rng_.next_bool(opts_.get_ratio)) {
+    c.op = kvstore::Op::kRead;
+  } else {
+    c.op = kvstore::Op::kInsert;  // MRP-Store insert is an upsert
+    c.value.assign(opts_.value_bytes, std::uint8_t('a' + *key_index % 26));
+  }
+  return c;
+}
+
+void LoadGenClient::issue(Time intended, kvstore::Command c,
+                          std::uint64_t key_index, bool preload) {
+  std::int32_t session =
+      std::int32_t(next_session_++ % std::int64_t(opts_.sessions));
+  c.client = id();
+  c.thread = session;
+  c.seq = ++session_seq_[std::size_t(session)];
+
+  kvstore::CommandBatch batch;
+  batch.commands.push_back(c);
+  int p = partitioner_.locate(c.key);
+  MessageId mid = multicast_bytes(pgroups_[std::size_t(p)], batch.encode());
+
+  Pending pend;
+  pend.intended = intended;
+  pend.mid = mid;
+  pend.key_index = key_index;
+  pend.preload = preload;
+  pend.measured = !preload && window_active_ && intended >= window_start_ &&
+                  intended < window_end_;
+  if (pend.measured) {
+    ++measured_issued_;
+    ++measured_outstanding_;
+  }
+  outstanding_[{session, c.seq}] = pend;
+  ++issued_;
+}
+
+void LoadGenClient::set_rate(double offered_per_s) {
+  ++load_epoch_;  // stale arrival timers become no-ops
+  if (offered_per_s <= 0) {
+    load_active_ = false;
+    return;
+  }
+  load_active_ = true;
+  schedule_.reset(offered_per_s, now());
+  next_arrival_ = schedule_.next();
+  fire_arrivals();
+}
+
+void LoadGenClient::fire_arrivals() {
+  if (!load_active_) return;
+  // Issue every arrival the schedule owes up to now — a late wakeup issues
+  // the backlog in one burst, each request keeping its INTENDED timestamp
+  // (coordinated omission: the wait it already suffered counts as latency).
+  // The burst is capped per wakeup: the schedule runs on the real clock, so
+  // when the offered rate exceeds what this client can ISSUE, an uncapped
+  // loop would never catch up to now() and the event loop would stop
+  // polling IO entirely. The zero-delay re-arm keeps the remaining debt on
+  // the books with intended times intact.
+  constexpr int kMaxBurst = 512;
+  int burst = 0;
+  while (next_arrival_ <= now() && burst < kMaxBurst) {
+    std::uint64_t key_index = 0;
+    kvstore::Command c = next_command(&key_index);
+    issue(next_arrival_, std::move(c), key_index, /*preload=*/false);
+    next_arrival_ = schedule_.next();
+    ++burst;
+  }
+  arm_arrival_timer();
+}
+
+void LoadGenClient::arm_arrival_timer() {
+  std::uint64_t epoch = load_epoch_;
+  Duration wait = std::max<Duration>(0, next_arrival_ - now());
+  set_timer(wait, [this, epoch] {
+    if (epoch == load_epoch_) fire_arrivals();
+  });
+}
+
+void LoadGenClient::begin_window(Duration window) {
+  window_active_ = true;
+  window_start_ = now();
+  window_end_ = window_start_ + window;
+  latency_.clear();
+  window_completed_ = 0;
+  measured_issued_ = 0;
+  measured_timeouts_ = 0;
+  // Leftover measured entries from a previous window (not drained) must not
+  // pollute this one's histogram or its drain accounting.
+  for (auto& [k, p] : outstanding_) {
+    if (p.measured) {
+      p.measured = false;
+      --measured_outstanding_;
+    }
+  }
+  AMCAST_ASSERT(measured_outstanding_ == 0);
+}
+
+void LoadGenClient::complete(std::map<OpKey, Pending>::iterator it) {
+  Pending p = it->second;
+  outstanding_.erase(it);
+  clear_proposal(p.mid);
+  ++completed_total_;
+  Time t = now();
+  if (window_end_ > 0 && t >= window_start_ && t < window_end_) {
+    ++window_completed_;
+  }
+  if (p.measured) {
+    latency_.record(t - p.intended);
+    --measured_outstanding_;
+  }
+  if (p.preload) {
+    --preload_remaining_;
+    issue_next_preload();
+  }
+}
+
+void LoadGenClient::on_message(ProcessId from, const env::MessagePtr& m) {
+  if (m->type() != kvstore::kKvResponse) {
+    core::MulticastNode::on_message(from, m);
+    return;
+  }
+  const auto& resp = env::msg_cast<kvstore::KvResponseMsg>(m);
+  for (const auto& r : resp.results) {
+    // Every replica of the partition answers; the first response completes
+    // the op and later copies find nothing here. Single-key ops only, so
+    // one partition's answer is always the whole answer.
+    auto it = outstanding_.find({r.thread, r.seq});
+    if (it != outstanding_.end()) complete(it);
+  }
+}
+
+void LoadGenClient::reap_expired() {
+  Time deadline = now() - opts_.op_timeout;
+  std::vector<Pending> expired_preloads;
+  for (auto it = outstanding_.begin(); it != outstanding_.end();) {
+    if (it->second.intended > deadline) {
+      ++it;
+      continue;
+    }
+    Pending p = it->second;
+    it = outstanding_.erase(it);
+    clear_proposal(p.mid);
+    ++timeouts_total_;
+    if (p.measured) {
+      ++measured_timeouts_;
+      --measured_outstanding_;
+    }
+    if (p.preload) expired_preloads.push_back(p);
+  }
+  // Preload inserts must all land (the sweep reads these keys): retry the
+  // same key until it sticks.
+  for (const Pending& p : expired_preloads) {
+    kvstore::Command c;
+    c.op = kvstore::Op::kInsert;
+    c.key = key_name(p.key_index);
+    c.value.assign(opts_.value_bytes, std::uint8_t('a' + p.key_index % 26));
+    issue(now(), std::move(c), p.key_index, /*preload=*/true);
+  }
+}
+
+void LoadGenClient::start_preload(int pipeline) {
+  AMCAST_ASSERT(pipeline > 0);
+  preload_remaining_ = std::int64_t(opts_.key_count);
+  preload_next_key_ = 0;
+  preload_pipeline_ = pipeline;
+  std::int64_t first =
+      std::min<std::int64_t>(pipeline, std::int64_t(opts_.key_count));
+  for (std::int64_t i = 0; i < first; ++i) issue_next_preload();
+}
+
+void LoadGenClient::issue_next_preload() {
+  if (preload_next_key_ >= opts_.key_count) return;
+  std::uint64_t k = preload_next_key_++;
+  kvstore::Command c;
+  c.op = kvstore::Op::kInsert;
+  c.key = key_name(k);
+  c.value.assign(opts_.value_bytes, std::uint8_t('a' + k % 26));
+  issue(now(), std::move(c), k, /*preload=*/true);
+}
+
+RatePoint LoadGenClient::take_point() const {
+  RatePoint p;
+  p.offered_rate = schedule_.rate();
+  p.window_s = duration::to_seconds(window_end_ - window_start_);
+  p.completed = window_completed_;
+  p.goodput = p.window_s > 0 ? double(window_completed_) / p.window_s : 0;
+  p.measured = measured_issued_;
+  p.timeouts = measured_timeouts_;
+  p.latency = latency_;
+  return p;
+}
+
+ScenarioResult make_runtime_row(const std::string& name, int rings,
+                                const LoadGenOptions& opts,
+                                const RatePoint& point, std::uint64_t seed,
+                                double wall_s) {
+  ScenarioResult row;
+  row.name = name;
+  row.seed = seed;
+  row.params.set("rings", rings);
+  row.params.set("offered_rate", point.offered_rate);
+  row.params.set("sessions", opts.sessions);
+  row.params.set("get_ratio", opts.get_ratio);
+  row.params.set("value_bytes", std::uint64_t(opts.value_bytes));
+  row.params.set("key_dist", opts.key_dist);
+  row.metrics.set("offered_rate", point.offered_rate);
+  row.metrics.set("goodput", point.goodput);
+  set_latency_metrics(row.metrics, point.latency);
+  row.metrics.set("timeouts", point.timeouts);
+  row.metrics.set("completed", point.completed);
+  row.metrics.set("measured", point.measured);
+  row.metrics.set("window_s", point.window_s);
+  row.metrics.set("wall_s", wall_s);
+  return row;
+}
+
+namespace {
+
+/// (rings, offered_rate, goodput) triple of one runtime scenario row.
+struct GatePoint {
+  const json::Value* row = nullptr;
+  std::string key;
+  int rings = 0;
+  double offered = 0;
+  double goodput = 0;
+};
+
+std::string gate_row_key(const json::Value& row) {
+  const json::Value* name = row.find("name");
+  std::string key = name ? name->as_string() : "(unnamed)";
+  if (const json::Value* params = row.find("params")) {
+    for (const auto& [k, v] : params->members()) {
+      key += " " + k + "=";
+      key += v.is_string() ? v.as_string() : std::to_string(v.as_number());
+    }
+  }
+  return key;
+}
+
+std::vector<GatePoint> gate_points(const json::Value& doc) {
+  std::vector<GatePoint> out;
+  const json::Value* rows = doc.find("scenarios");
+  if (rows == nullptr || !rows->is_array()) return out;
+  for (const auto& row : rows->items()) {
+    GatePoint p;
+    p.row = &row;
+    p.key = gate_row_key(row);
+    const json::Value* params = row.find("params");
+    const json::Value* metrics = row.find("metrics");
+    if (params != nullptr) {
+      if (const auto* r = params->find("rings")) p.rings = int(r->as_number());
+      if (const auto* r = params->find("offered_rate")) {
+        p.offered = r->as_number();
+      }
+    }
+    if (metrics != nullptr) {
+      if (const auto* g = metrics->find("goodput")) p.goodput = g->as_number();
+    }
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+double max_goodput(const std::vector<GatePoint>& pts, int rings) {
+  double best = -1;
+  for (const auto& p : pts) {
+    if (p.rings == rings) best = std::max(best, p.goodput);
+  }
+  return best;
+}
+
+}  // namespace
+
+int gate_runtime_report(const json::Value& current, const json::Value* baseline,
+                        const RuntimeGateOptions& opts) {
+  std::vector<GatePoint> pts = gate_points(current);
+  if (pts.empty()) {
+    std::printf("runtime gate: FAIL (no scenario rows)\n");
+    return 1;
+  }
+  int failures = 0;
+
+  // --- baseline comparison (per-point goodput, wide two-sided gate) -------
+  if (baseline != nullptr) {
+    std::vector<GatePoint> base = gate_points(*baseline);
+    TextTable t({"point", "baseline", "current", "delta", "verdict"});
+    std::size_t matched = 0;
+    for (const auto& p : pts) {
+      const GatePoint* b = nullptr;
+      for (const auto& bp : base) {
+        if (bp.key == p.key) {
+          b = &bp;
+          break;
+        }
+      }
+      std::string label = "rings=" + std::to_string(p.rings) +
+                          " offered=" + TextTable::num(p.offered, 0);
+      if (b == nullptr) {
+        t.add_row({label, "-", TextTable::num(p.goodput, 0), "-",
+                   "NEW (not gated)"});
+        continue;
+      }
+      ++matched;
+      double delta =
+          b->goodput > 0 ? (p.goodput - b->goodput) / b->goodput : 0;
+      bool ok = b->goodput <= 0 ||
+                (p.goodput >= b->goodput * (1 - opts.tolerance) &&
+                 p.goodput <= b->goodput * (1 + opts.tolerance));
+      if (!ok) ++failures;
+      t.add_row({label, TextTable::num(b->goodput, 0),
+                 TextTable::num(p.goodput, 0),
+                 TextTable::num(delta * 100, 1) + "%", ok ? "ok" : "FAIL"});
+    }
+    t.print("runtime goodput vs baseline (tolerance +/-" +
+            TextTable::num(opts.tolerance * 100, 0) + "%)");
+    if (matched == 0) {
+      std::printf("runtime gate: FAIL (no current point matched the "
+                  "baseline)\n");
+      ++failures;
+    }
+  }
+
+  // --- fig3 shape: goodput tracks offered load, then saturates without ----
+  // collapsing. Checked per ring count over points in ascending offered
+  // rate. Thresholds are deliberately loose — shared-machine wall clock.
+  std::vector<int> ring_counts;
+  for (const auto& p : pts) {
+    if (std::find(ring_counts.begin(), ring_counts.end(), p.rings) ==
+        ring_counts.end()) {
+      ring_counts.push_back(p.rings);
+    }
+  }
+  std::sort(ring_counts.begin(), ring_counts.end());
+  bool saturated_somewhere = false;
+  for (int rings : ring_counts) {
+    std::vector<GatePoint> group;
+    for (const auto& p : pts) {
+      if (p.rings == rings) group.push_back(p);
+    }
+    std::sort(group.begin(), group.end(),
+              [](const GatePoint& a, const GatePoint& b) {
+                return a.offered < b.offered;
+              });
+    // Below the knee the cluster must keep up with the offered rate.
+    const GatePoint& lo = group.front();
+    if (lo.goodput < 0.7 * lo.offered) {
+      std::printf("fig3 shape: FAIL rings=%d lowest point (offered=%.0f) "
+                  "goodput=%.0f < 70%% of offered\n",
+                  rings, lo.offered, lo.goodput);
+      ++failures;
+    }
+    // Past the knee goodput may flatten but must not collapse.
+    double running_max = 0;
+    for (const auto& p : group) {
+      running_max = std::max(running_max, p.goodput);
+      if (p.goodput < 0.5 * running_max) {
+        std::printf("fig3 shape: FAIL rings=%d offered=%.0f goodput=%.0f "
+                    "collapsed below 50%% of earlier max %.0f\n",
+                    rings, p.offered, p.goodput, running_max);
+        ++failures;
+      }
+    }
+    const GatePoint& hi = group.back();
+    if (hi.goodput < 0.9 * hi.offered) saturated_somewhere = true;
+    std::printf("fig3 shape: rings=%d points=%zu peak_goodput=%.0f/s "
+                "top_point=%.0f/%.0f %s\n",
+                rings, group.size(), running_max, hi.goodput, hi.offered,
+                hi.goodput < 0.9 * hi.offered ? "(saturated)"
+                                              : "(keeping up)");
+  }
+  if (opts.require_saturation && !saturated_somewhere) {
+    std::printf("fig3 shape: FAIL sweep never saturated — raise the top "
+                "offered rate\n");
+    ++failures;
+  }
+
+  // --- fig7 shape: rings scale horizontally ------------------------------
+  if (opts.require_scaling) {
+    double g1 = max_goodput(pts, 1);
+    double g2 = max_goodput(pts, 2);
+    if (g1 < 0 || g2 < 0) {
+      std::printf("fig7 shape: FAIL need both 1-ring and 2-ring sweeps\n");
+      ++failures;
+    } else if (g2 < 1.15 * g1) {
+      std::printf("fig7 shape: FAIL 2-ring peak %.0f/s is not >=1.15x the "
+                  "1-ring peak %.0f/s\n",
+                  g2, g1);
+      ++failures;
+    } else {
+      std::printf("fig7 shape: ok 2-ring peak %.0f/s = %.2fx 1-ring peak "
+                  "%.0f/s\n",
+                  g2, g2 / g1, g1);
+    }
+    for (std::size_t i = 2; i < ring_counts.size(); ++i) {
+      double prev = max_goodput(pts, ring_counts[i - 1]);
+      double cur = max_goodput(pts, ring_counts[i]);
+      std::printf("fig7 shape: info %d->%d rings peak %.0f -> %.0f/s "
+                  "(%.2fx)\n",
+                  ring_counts[i - 1], ring_counts[i], prev, cur,
+                  prev > 0 ? cur / prev : 0);
+    }
+  }
+
+  std::printf("runtime gate: %s (%d failure%s)\n",
+              failures == 0 ? "PASS" : "FAIL", failures,
+              failures == 1 ? "" : "s");
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace amcast::bench

@@ -1,0 +1,227 @@
+// Open-loop load generation against the real-network runtime (the library
+// behind bench/loadgen and tests/loadgen_test).
+//
+// The paper's evaluation (§8) measures deployed processes on a real
+// network; this module reproduces that measurement discipline for our
+// amcast_noded clusters:
+//
+//  * OPEN loop: arrivals follow a Poisson schedule at a configured offered
+//    rate, independent of completions. A saturated server does not slow the
+//    arrival process down — the backlog it causes is the phenomenon under
+//    measurement, not something to hide.
+//  * Coordinated omission handled: every request's latency is measured from
+//    its INTENDED send time (its slot in the arrival schedule), not from
+//    when the client loop got around to issuing it. A stall anywhere —
+//    client loop, socket, server — lands in the tail percentiles.
+//  * Thousands of concurrent client sessions multiplexed over one process:
+//    each session is a (client, thread) identity with its own monotonic
+//    sequence, so replica-side write dedup and response routing treat them
+//    as independent clients while they share a few net::Transport
+//    connections (one per coordinator, like the paper's proposer fan-in).
+//
+// The result of a measured rate point feeds a BENCH_runtime.json scenario
+// row (schema documented in bench/bench_util.h); gate_runtime_report
+// implements the CI gate and the fig3/fig7 shape checks over such a
+// document.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/histogram.h"
+#include "common/rng.h"
+#include "common/zipf.h"
+#include "core/multicast.h"
+#include "kvstore/command.h"
+#include "kvstore/partitioner.h"
+
+namespace amcast::bench {
+
+/// Poisson arrival schedule: exponential inter-arrival gaps at a configured
+/// rate. The schedule is a pure function of (rate, seed) — the client reads
+/// intended times off it and owes every one of them, however late it runs.
+class OpenLoopSchedule {
+ public:
+  explicit OpenLoopSchedule(std::uint64_t seed) : rng_(seed) {}
+
+  /// (Re)starts the schedule at `origin` with a new offered rate.
+  void reset(double rate_per_s, Time origin) {
+    rate_ = rate_per_s;
+    cursor_ = origin;
+  }
+
+  /// Intended time of the next arrival (strictly advances the schedule).
+  Time next() {
+    double gap_ns = rng_.next_exponential(1e9 / rate_);
+    cursor_ += Duration(gap_ns) + 1;  // +1 ns: keep arrivals distinct
+    return cursor_;
+  }
+
+  double rate() const { return rate_; }
+  Time cursor() const { return cursor_; }
+
+ private:
+  double rate_ = 1;
+  Time cursor_ = 0;
+  Rng rng_;
+};
+
+/// Workload mix: operation ratio, value size, and key distribution.
+struct LoadGenOptions {
+  int sessions = 1000;             ///< concurrent logical client sessions
+  double get_ratio = 0.5;          ///< fraction of reads (rest are inserts)
+  std::size_t value_bytes = 128;   ///< payload of each write
+  std::uint64_t key_count = 5000;  ///< key universe size
+  std::string key_dist = "uniform";  ///< "uniform" | "zipfian"
+  Duration op_timeout = duration::seconds(5);  ///< outstanding-entry reaper
+  std::uint64_t seed = 1;
+};
+
+/// One measured offered-load point.
+struct RatePoint {
+  double offered_rate = 0;
+  double goodput = 0;         ///< completions/s observed during the window
+  std::int64_t completed = 0;  ///< completions inside the window
+  std::int64_t measured = 0;   ///< latency samples (window-intended arrivals)
+  std::int64_t timeouts = 0;   ///< measured arrivals that never completed
+  double window_s = 0;
+  Histogram latency;           ///< ns, from intended send time
+};
+
+/// The load-generating client node: lives on a runtime::Executor (or any
+/// env::Host) and multicasts MRP-Store commands to the partition rings,
+/// open-loop. Orchestration (warmup/window/drain pacing) is driven from
+/// outside via the phase methods — the node itself only reacts to timers
+/// and responses, so tests can run it on any backend.
+class LoadGenClient final : public core::MulticastNode {
+ public:
+  LoadGenClient(core::ConfigRegistry& registry,
+                kvstore::Partitioner partitioner,
+                std::vector<GroupId> partition_groups, LoadGenOptions opts);
+  ~LoadGenClient() override;
+
+  // --- preload: pipelined inserts populating the key universe ------------
+  void start_preload(int pipeline);
+  bool preload_done() const { return preload_remaining_ == 0; }
+
+  // --- open-loop load -----------------------------------------------------
+  /// (Re)starts the arrival schedule at `offered_per_s`. Call set_rate(0)
+  /// or stop_load() to stop issuing.
+  void set_rate(double offered_per_s);
+  void stop_load() { set_rate(0); }
+
+  // --- measurement window -------------------------------------------------
+  /// Starts a measurement window of length `window` at now(): the latency
+  /// histogram restarts, and arrivals intended inside the window become
+  /// "measured" (their completions/timeouts make up the point).
+  void begin_window(Duration window);
+  /// Ends measured-arrival marking (goodput counting is bounded by the
+  /// window times themselves, so calling this late is harmless).
+  void end_window() { window_active_ = false; }
+  /// True when every measured arrival has completed or timed out — the
+  /// point's tail is fully accounted for.
+  bool drained() const { return measured_outstanding_ == 0; }
+  /// The finished point (call after end_window + drain).
+  RatePoint take_point() const;
+
+  // --- introspection ------------------------------------------------------
+  std::int64_t issued() const { return issued_; }
+  std::int64_t completed_total() const { return completed_total_; }
+  std::int64_t timeouts_total() const { return timeouts_total_; }
+  std::int64_t outstanding() const {
+    return std::int64_t(outstanding_.size());
+  }
+
+  void on_start() override;
+  void on_message(ProcessId from, const env::MessagePtr& m) override;
+
+ private:
+  struct Pending {
+    Time intended = 0;
+    MessageId mid = 0;
+    std::uint64_t key_index = 0;
+    bool measured = false;
+    bool preload = false;
+  };
+  using OpKey = std::pair<std::int32_t, std::uint64_t>;  // (thread, seq)
+
+  void arm_arrival_timer();
+  void fire_arrivals();
+  void issue(Time intended, kvstore::Command c, std::uint64_t key_index,
+             bool preload);
+  void issue_next_preload();
+  void complete(std::map<OpKey, Pending>::iterator it);
+  void reap_expired();
+  kvstore::Command next_command(std::uint64_t* key_index);
+  std::uint64_t next_key();
+  std::string key_name(std::uint64_t k) const;
+
+  LoadGenOptions opts_;
+  kvstore::Partitioner partitioner_;
+  std::vector<GroupId> pgroups_;
+  Rng rng_;                ///< workload choices (keys, op mix)
+  OpenLoopSchedule schedule_;
+  std::unique_ptr<ScrambledZipfianGenerator> zipf_;
+
+  std::vector<std::uint64_t> session_seq_;  ///< per-session next sequence
+  std::int64_t next_session_ = 0;           ///< round-robin session cursor
+  std::map<OpKey, Pending> outstanding_;
+
+  bool load_active_ = false;
+  Time next_arrival_ = 0;         ///< intended time of the next arrival
+  std::uint64_t load_epoch_ = 0;  ///< invalidates stale arrival timers
+  env::TimerId reaper_ = 0;
+
+  // Measurement window.
+  bool window_active_ = false;
+  Time window_start_ = 0;
+  Time window_end_ = 0;
+  Histogram latency_;
+  std::int64_t window_completed_ = 0;
+  std::int64_t measured_issued_ = 0;
+  std::int64_t measured_outstanding_ = 0;
+  std::int64_t measured_timeouts_ = 0;
+
+  // Preload.
+  std::int64_t preload_remaining_ = 0;
+  std::uint64_t preload_next_key_ = 0;
+  int preload_pipeline_ = 0;
+
+  // Totals.
+  std::int64_t issued_ = 0;
+  std::int64_t completed_total_ = 0;
+  std::int64_t timeouts_total_ = 0;
+};
+
+/// Builds the BENCH_runtime.json scenario row of one rate point (schema in
+/// bench/bench_util.h: params carry the point's identity for gate matching,
+/// metrics carry the measurements).
+ScenarioResult make_runtime_row(const std::string& name, int rings,
+                                const LoadGenOptions& opts,
+                                const RatePoint& point, std::uint64_t seed,
+                                double wall_s);
+
+/// Runtime gate + shape checks over a BENCH_runtime.json document.
+struct RuntimeGateOptions {
+  /// Fractional two-sided tolerance on goodput vs the baseline (0.5 = ±50%;
+  /// wall-clock measurements on shared machines need wide gates).
+  double tolerance = 0.5;
+  /// fig3: require the sweep to actually reach saturation (the top offered
+  /// rate must exceed what the cluster delivers). Full sweeps only — smoke
+  /// sweeps on slow CI machines may intentionally stay below the knee.
+  bool require_saturation = false;
+  /// fig7: require higher aggregate goodput at 2 rings than at 1.
+  bool require_scaling = false;
+};
+
+/// Verifies `current` (and optionally compares against `baseline`); prints
+/// a per-point delta table and shape verdicts. Returns 0 when everything
+/// passes, 1 otherwise.
+int gate_runtime_report(const json::Value& current, const json::Value* baseline,
+                        const RuntimeGateOptions& opts);
+
+}  // namespace amcast::bench

@@ -1,0 +1,212 @@
+#!/usr/bin/env bash
+# Runtime-domain perf sweep: boots real amcast_noded clusters on localhost
+# (1/2/4 partition rings, three replicas each), drives each with the
+# open-loop load generator across an offered-rate sweep, and accumulates
+# every measured point into one BENCH_runtime.json. The artifact reproduces
+# the paper's fig3 shape (goodput tracks offered load, then saturates) per
+# ring count and the fig7 shape (aggregate goodput grows with rings) in the
+# REAL-network domain; `loadgen --gate` then checks both shapes plus a wide
+# (+/-50%) goodput comparison against bench/baseline_runtime.json.
+#
+#   scripts/runtime_bench.sh [--smoke] [--build DIR] [--out FILE]
+#                            [--baseline FILE] [--no-gate]
+#   scripts/runtime_bench.sh --gate FILE [--baseline FILE]
+#
+# --smoke: short windows and 1+2 rings only (the CI runtime-perf job); the
+# full run adds 4 rings and requires the sweep to reach saturation.
+# Rates/windows are overridable via RATES_1/RATES_2/RATES_4, WARMUP_S,
+# WINDOW_S, SESSIONS, KEYS for experimentation.
+set -euo pipefail
+
+BUILD=build
+OUT=BENCH_runtime.json
+BASELINE=bench/baseline_runtime.json
+SMOKE=0
+GATE_ONLY=""
+DO_GATE=1
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --smoke) SMOKE=1 ;;
+    --build) BUILD=$2; shift ;;
+    --out) OUT=$2; shift ;;
+    --baseline) BASELINE=$2; shift ;;
+    --no-gate) DO_GATE=0 ;;
+    --gate) GATE_ONLY=$2; shift ;;
+    *) echo "runtime_bench: unknown arg $1" >&2; exit 64 ;;
+  esac
+  shift
+done
+
+NODED=$BUILD/src/runtime/amcast_noded
+LOADGEN=$BUILD/bench/loadgen
+PORTPROBE=$BUILD/src/runtime/amcast_portprobe
+
+say() { echo "[bench] $*"; }
+
+gate() {
+  local artifact=$1
+  local flags=(--gate "$artifact" --tolerance 50 --require-scaling)
+  if [ $SMOKE = 1 ]; then
+    # The committed baseline is a smoke-shaped artifact (same rates/params),
+    # so only the smoke sweep compares against it; the full sweep's rows
+    # would match nothing and the gate refuses to "compare" zero points.
+    [ -f "$BASELINE" ] && flags+=(--compare "$BASELINE")
+  else
+    flags+=(--require-saturation)
+  fi
+  "$LOADGEN" "${flags[@]}"
+}
+
+if [ -n "$GATE_ONLY" ]; then
+  gate "$GATE_ONLY"
+  exit $?
+fi
+
+if [ $SMOKE = 1 ]; then
+  RING_COUNTS=(1 2)
+  : "${WARMUP_S:=1}" "${WINDOW_S:=2}" "${SESSIONS:=500}" "${KEYS:=2000}"
+else
+  RING_COUNTS=(1 2 4)
+  : "${WARMUP_S:=1}" "${WINDOW_S:=3}" "${SESSIONS:=1000}" "${KEYS:=5000}"
+fi
+# Per-ring ceiling: the sweep runs with rate leveling ENFORCED (lambda_cap)
+# at LAMBDA instances/s per ring and batch_values ops per instance, so each
+# ring delivers at most LAMBDA*BATCH_VALUES ops/s no matter the host. That
+# is the regime the paper measures: a ring's production rate is pinned at
+# its leveled rate and capacity grows by adding rings (fig7), which keeps
+# the scaling shape reproducible on small CI runners where raw CPU would
+# otherwise be the (shared, non-scaling) bottleneck. Saturation against a
+# protocol ceiling still exercises the full real-network pipeline — the
+# knee, queue growth, and tail-latency blowup of fig3 all appear.
+: "${STORAGE:=memory}" "${LAMBDA:=400}" "${BATCH_VALUES:=8}"
+# Offered-rate sweeps (per ring count): the top rate must exceed the ring
+# ceiling (LAMBDA*BATCH_VALUES per ring = 3200/s at the defaults) so the
+# saturation knee is visible; more rings get a higher ceiling (fig7).
+: "${RATES_1:=500,1500,2500,4500}"
+: "${RATES_2:=500,1500,4000,9000}"
+: "${RATES_4:=500,1500,4000,9000,18000}"
+
+WORK=$(mktemp -d "${TMPDIR:-/tmp}/amcast-bench.XXXXXX")
+say "work dir: $WORK"
+[ -n "${GITHUB_ENV:-}" ] && echo "BENCH_WORK_DIR=$WORK" >> "$GITHUB_ENV"
+
+PIDS=()
+cleanup() {
+  for pid in "${PIDS[@]:-}"; do kill "$pid" 2>/dev/null || true; done
+  for _ in $(seq 1 20); do
+    local alive=0
+    for pid in "${PIDS[@]:-}"; do kill -0 "$pid" 2>/dev/null && alive=1; done
+    [ $alive = 0 ] && break
+    sleep 0.1
+  done
+  for pid in "${PIDS[@]:-}"; do kill -9 "$pid" 2>/dev/null || true; done
+  PIDS=()
+}
+trap cleanup EXIT
+
+fail() {
+  say "FAIL: $*"
+  for log in "$WORK"/*.log; do
+    echo "--- tail of $(basename "$log") ---"
+    tail -n 30 "$log" 2>/dev/null || true
+  done
+  exit 1
+}
+
+wait_for() {  # wait_for FILE REGEX TIMEOUT_S DESCRIPTION
+  local file=$1 regex=$2 timeout=$3 what=$4
+  for _ in $(seq 1 $((timeout * 10))); do
+    grep -qE "$regex" "$file" 2>/dev/null && return 0
+    sleep 0.1
+  done
+  fail "timed out waiting for $what"
+}
+
+# Emits a cluster config for R partition rings x 3 replicas (storage mode
+# from $STORAGE) plus one client process, on freshly probed ports. No global
+# ring: the
+# workload is single-key put/get, so partitions stay independent and the
+# sweep measures pure horizontal scaling (fig7's deployment shape).
+gen_config() {  # gen_config R OUTFILE
+  local r=$1 out=$2 n=$((3 * $1))
+  mapfile -t ports < <("$PORTPROBE" $((n + 1)))
+  [ "${#ports[@]}" = $((n + 1)) ] || fail "port probe"
+  {
+    echo '{'
+    echo "  \"cluster\": \"bench-${r}ring\","
+    echo '  "service": "kv",'
+    echo '  "processes": ['
+    local i
+    for i in $(seq 0 $((n - 1))); do
+      echo "    {\"id\": $i, \"name\": \"r$i\", \"host\": \"127.0.0.1\"," \
+           "\"port\": ${ports[$i]}, \"role\": \"replica\"," \
+           "\"partition\": $((i / 3))},"
+    done
+    echo "    {\"id\": $n, \"name\": \"client\", \"host\": \"127.0.0.1\"," \
+         "\"port\": ${ports[$n]}, \"role\": \"client\"}"
+    echo '  ],'
+    echo '  "rings": ['
+    local p
+    for p in $(seq 0 $((r - 1))); do
+      local a=$((3 * p)) b=$((3 * p + 1)) c=$((3 * p + 2))
+      local comma=','
+      [ "$p" = $((r - 1)) ] && comma=''
+      echo "    {\"kind\": \"partition\", \"partition\": $p," \
+           "\"members\": [$a, $b, $c], \"acceptors\": [$a, $b, $c]," \
+           "\"coordinator\": $a}$comma"
+    done
+    echo '  ],'
+    echo '  "options": {'
+    echo "    \"storage\": \"$STORAGE\","
+    echo '    "m": 1,'
+    echo '    "delta_ms": 5,'
+    echo "    \"lambda\": $LAMBDA,"
+    echo '    "lambda_cap": true,'
+    echo '    "instance_timeout_ms": 2000,'
+    echo '    "proposal_timeout_ms": 4000,'
+    echo '    "gap_repair_timeout_ms": 1000,'
+    echo '    "gap_repair_probe": true,'
+    echo "    \"batch_values\": $BATCH_VALUES,"
+    echo '    "batch_bytes": 262144,'
+    echo '    "batch_delay_ms": 0,'
+    echo '    "client_op_timeout_ms": 15000'
+    echo '  }'
+    echo '}'
+  } > "$out"
+}
+
+rm -f "$OUT"
+for R in "${RING_COUNTS[@]}"; do
+  CONFIG=$WORK/cluster-${R}ring.json
+  gen_config "$R" "$CONFIG"
+  N=$((3 * R))
+  say "booting ${R}-ring cluster ($N replicas)"
+  for i in $(seq 0 $((N - 1))); do
+    $NODED --config "$CONFIG" --process "r$i" --data-dir "$WORK/${R}ring-r$i" \
+      --status-interval-ms 500 >> "$WORK/${R}ring-r$i.log" 2>&1 &
+    PIDS+=($!)
+  done
+  for i in $(seq 0 $((N - 1))); do
+    wait_for "$WORK/${R}ring-r$i.log" "^READY" 15 "${R}ring r$i READY"
+  done
+  # READY = listening; STATUS = event loop ticking. Bounded poll, no sleeps.
+  for i in $(seq 0 $((N - 1))); do
+    wait_for "$WORK/${R}ring-r$i.log" "^STATUS" 15 "${R}ring r$i STATUS"
+  done
+
+  rates_var=RATES_$R
+  "$LOADGEN" --config "$CONFIG" --rates "${!rates_var}" \
+    --sessions "$SESSIONS" --keys "$KEYS" --get-ratio 0.5 --value-bytes 128 \
+    --warmup-s "$WARMUP_S" --window-s "$WINDOW_S" \
+    --out "$OUT" --append $([ $SMOKE = 1 ] && echo --smoke) \
+    2>&1 | tee -a "$WORK/loadgen-${R}ring.log" \
+    || fail "loadgen sweep on the ${R}-ring cluster"
+
+  cleanup
+done
+
+say "sweep artifact: $OUT"
+if [ $DO_GATE = 1 ]; then
+  gate "$OUT" || exit 1
+fi
+say "PASS"

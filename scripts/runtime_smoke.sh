@@ -14,11 +14,21 @@
 set -euo pipefail
 
 BUILD=${1:-build}
-CONFIG=examples/cluster.json
 NODED=$BUILD/src/runtime/amcast_noded
 KV_BIN=$BUILD/src/runtime/amcast_kv
+PORTPROBE=$BUILD/src/runtime/amcast_portprobe
 WORK=$(mktemp -d "${TMPDIR:-/tmp}/amcast-smoke.XXXXXX")
 NODES=(r0 r1 r2)
+
+# examples/cluster.json hardcodes ports 7471-7474 (fine for the quickstart,
+# a collision machine for CI runners and busy dev boxes): rewrite the config
+# onto kernel-assigned free ports.
+CONFIG=$WORK/cluster.json
+mapfile -t PORTS < <("$PORTPROBE" 4)
+[ "${#PORTS[@]}" = 4 ] || { echo "[smoke] port probe failed"; exit 1; }
+sed -e "s/7471/${PORTS[0]}/" -e "s/7472/${PORTS[1]}/" \
+    -e "s/7473/${PORTS[2]}/" -e "s/7474/${PORTS[3]}/" \
+    examples/cluster.json > "$CONFIG"
 
 say() { echo "[smoke] $*"; }
 
@@ -35,7 +45,17 @@ cleanup() {
   for n in "${NODES[@]}"; do
     [ -f "$WORK/$n.pid" ] && kill "$(cat "$WORK/$n.pid")" 2>/dev/null || true
   done
-  sleep 0.3
+  # Bounded poll for exit instead of a blind sleep: escalate to SIGKILL only
+  # for daemons still alive after 2s.
+  for _ in $(seq 1 20); do
+    local alive=0
+    for n in "${NODES[@]}"; do
+      [ -f "$WORK/$n.pid" ] && kill -0 "$(cat "$WORK/$n.pid")" 2>/dev/null \
+        && alive=1
+    done
+    [ $alive = 0 ] && break
+    sleep 0.1
+  done
   for n in "${NODES[@]}"; do
     [ -f "$WORK/$n.pid" ] && kill -9 "$(cat "$WORK/$n.pid")" 2>/dev/null || true
   done
@@ -67,6 +87,11 @@ kv() { "$KV_BIN" --config $CONFIG "$@"; }
 # --- boot ---------------------------------------------------------------
 for n in "${NODES[@]}"; do start_node "$n"; done
 for n in "${NODES[@]}"; do wait_for "$WORK/$n.log" "^READY" 10 "$n READY"; done
+# READY means "listening"; a STATUS line means the event loop is actually
+# ticking. Poll for it (bounded) rather than sleeping an arbitrary beat.
+for n in "${NODES[@]}"; do
+  wait_for "$WORK/$n.log" "^STATUS" 10 "$n first STATUS"
+done
 say "cluster up"
 
 # --- healthy traffic ----------------------------------------------------

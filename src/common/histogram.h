@@ -45,6 +45,7 @@ class Histogram {
   double p50_ms() const { return double(percentile(0.50)) * 1e-6; }
   double p90_ms() const { return double(percentile(0.90)) * 1e-6; }
   double p99_ms() const { return double(percentile(0.99)) * 1e-6; }
+  double p999_ms() const { return double(percentile(0.999)) * 1e-6; }
 
  private:
   std::size_t bucket_index(std::int64_t v) const;

@@ -132,6 +132,7 @@ ringpaxos::RingOptions ClusterConfig::ring_options() const {
   ro.storage.disk_index = 0;
   ro.delta = options.delta;
   ro.lambda = options.lambda;
+  ro.lambda_cap = options.lambda_cap;
   ro.instance_timeout = options.instance_timeout;
   ro.proposal_timeout = options.proposal_timeout;
   ro.gap_repair_timeout = options.gap_repair_timeout;
@@ -316,6 +317,7 @@ bool ClusterConfig::parse(std::string_view text, ClusterConfig* out,
     o.delta = millis(number_or(*ov, "delta_ms",
                                duration::to_millis(o.delta)));
     o.lambda = number_or(*ov, "lambda", o.lambda);
+    o.lambda_cap = bool_or(*ov, "lambda_cap", o.lambda_cap);
     o.instance_timeout = millis(number_or(
         *ov, "instance_timeout_ms", duration::to_millis(o.instance_timeout)));
     o.proposal_timeout = millis(number_or(

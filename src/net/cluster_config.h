@@ -55,6 +55,7 @@ struct ClusterOptions {
   std::int32_t m = 1;
   Duration delta = duration::milliseconds(20);
   double lambda = 500;
+  bool lambda_cap = false;  ///< enforce lambda as a per-ring rate ceiling
   Duration instance_timeout = duration::milliseconds(500);
   Duration proposal_timeout = duration::milliseconds(500);
   Duration gap_repair_timeout = duration::milliseconds(300);

@@ -164,7 +164,33 @@ void Transport::close_peer(Peer& p) {
   p.next_attempt = clock_() + p.backoff;
 }
 
+void Transport::set_peer(ProcessId id, const PeerAddress& addr) {
+  Peer& p = peers_[id];
+  if (p.fd >= 0) ::close(p.fd);
+  p.fd = -1;
+  p.connecting = false;
+  p.backoff = 0;
+  p.next_attempt = 0;
+  p.addr = addr;
+}
+
+void Transport::set_send_paused(bool paused) {
+  send_paused_ = paused;
+  if (!paused) {
+    for (auto& [id, p] : peers_) {
+      if (p.fd >= 0 && !p.connecting) flush_peer(p);
+    }
+  }
+}
+
+std::size_t Transport::outq_bytes() const {
+  std::size_t n = 0;
+  for (const auto& [id, p] : peers_) n += p.outq.size();
+  return n;
+}
+
 void Transport::flush_peer(Peer& p) {
+  if (send_paused_) return;
   while (!p.outq.empty()) {
     // Write from the deque in contiguous runs.
     std::uint8_t chunk[16 * 1024];
@@ -303,7 +329,7 @@ void Transport::poll(Duration max_wait) {
   for (auto& [id, p] : peers_) {
     if (p.fd < 0) continue;
     short events = POLLIN;  // detect close/reset
-    if (p.connecting || !p.outq.empty()) events |= POLLOUT;
+    if (p.connecting || (!p.outq.empty() && !send_paused_)) events |= POLLOUT;
     fds.push_back({p.fd, events, 0});
     peer_of.push_back(&p);
     in_of.push_back(nullptr);

@@ -69,9 +69,25 @@ class Transport {
   /// unknown peers are dropped and counted). Connects on demand.
   void send(ProcessId from, ProcessId to, const env::Message& m);
 
+  /// Adds or re-points a peer after construction (connections open on
+  /// demand). Lets two port-0 transports be wired to each other once both
+  /// listen ports are known; an existing connection to `id` is dropped.
+  void set_peer(ProcessId id, const PeerAddress& addr);
+
   /// Waits up to `max_wait` for socket activity, then services accepts,
   /// reads (dispatching via on_message), writes, and due reconnects.
   void poll(Duration max_wait);
+
+  /// Pauses outbound writes: send() keeps queueing frames (up to the
+  /// per-peer byte cap) but nothing is flushed to the sockets until
+  /// unpaused. Models a stalled uplink; the load generator's tests use it
+  /// to prove latency is measured from intended send time (coordinated
+  /// omission), since a paused client still owes every scheduled request.
+  void set_send_paused(bool paused);
+  bool send_paused() const { return send_paused_; }
+
+  /// Bytes currently queued toward all peers (depth of the stalled uplink).
+  std::size_t outq_bytes() const;
 
   struct Stats {
     std::uint64_t frames_sent = 0;
@@ -113,6 +129,7 @@ class Transport {
   std::map<ProcessId, Peer> peers_;
   std::vector<Inbound> inbound_;
   Stats stats_;
+  bool send_paused_ = false;
 };
 
 }  // namespace amcast::net

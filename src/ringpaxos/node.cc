@@ -1,6 +1,7 @@
 #include "ringpaxos/node.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 
 namespace amcast::ringpaxos {
@@ -435,8 +436,16 @@ void RingNode::schedule_pump(RingState& rs) {
 
 void RingNode::pump(RingState& rs) {
   if (!rs.coordinating || rs.phase1_running) return;
+  // lambda_cap: at most lambda*delta value instances per leveling window;
+  // the rest stay queued until rate_level_tick resets the count.
+  std::int64_t cap = -1;
+  if (rs.opts.lambda_cap && rs.opts.lambda > 0) {
+    cap = std::max<std::int64_t>(
+        1, std::llround(rs.opts.lambda * duration::to_seconds(rs.opts.delta)));
+  }
   while (!rs.proposal_queue.empty() &&
          int(rs.outstanding.size()) < rs.opts.window) {
+    if (cap >= 0 && rs.started_in_window >= cap) return;
     if (rs.next_instance + 1 > rs.phase1_ready_until) {
       start_phase1(rs);
       return;
@@ -470,6 +479,7 @@ void RingNode::pump(RingState& rs) {
     ValuePtr v = take_batch(rs);
     InstanceId inst = rs.next_instance;
     rs.next_instance += 1;
+    ++rs.started_in_window;
     start_instance(rs, inst, 1, std::move(v), rs.round);
   }
 }
@@ -507,6 +517,9 @@ void RingNode::rate_level_tick(RingState& rs) {
   std::int64_t produced =
       rs.proposed_in_window + std::int64_t(rs.proposal_queue.size());
   rs.proposed_in_window = 0;
+  // New leveling window: deferred (capped) proposals may start again.
+  rs.started_in_window = 0;
+  if (rs.opts.lambda_cap && !rs.proposal_queue.empty()) schedule_pump(rs);
   // Fractional deficits carry over so small λ·∆ still levels eventually.
   rs.skip_carry += rs.opts.lambda * window_sec - double(produced);
   if (rs.skip_carry < 1.0) {

@@ -60,6 +60,16 @@ struct RingOptions {
   Duration delta = duration::milliseconds(5);
   double lambda = 0;
 
+  /// Enforce lambda as a ceiling too: with lambda_cap the coordinator also
+  /// DEFERS new value instances once it has started lambda*delta in the
+  /// current leveling window (they stay queued until the next tick). This
+  /// is the flip side of §4 rate leveling — the merge consumes exactly m
+  /// messages per ring per round, so a ring producing above lambda would
+  /// run ahead of the slowest ring's leveled rate and grow the merge buffer
+  /// without bound. Off by default: a single-ring (or evenly loaded)
+  /// deployment prefers to ride bursts out through the queue.
+  bool lambda_cap = false;
+
   /// Proposer-side re-proposal timeout; 0 disables re-proposals. Duplicate
   /// deliveries caused by spurious re-proposals must be filtered by the
   /// service layer (paper Figure 8, event 5).
@@ -292,6 +302,7 @@ class RingNode : public sim::Node {
     bool batch_timer_armed = false;
     std::map<InstanceId, Outstanding> outstanding;
     std::int64_t proposed_in_window = 0;  // rate leveling accounting
+    std::int64_t started_in_window = 0;   // value instances begun (lambda_cap)
     double skip_carry = 0;                // fractional skip debt
     bool pump_scheduled = false;
 

@@ -1,0 +1,58 @@
+// amcast_portprobe — prints N free localhost TCP ports, one per line.
+//
+// The runtime scripts (runtime_smoke.sh, runtime_bench.sh) rewrite their
+// cluster configs to ports obtained here instead of hardcoding them, so
+// parallel CI jobs and developer machines with busy ports don't collide.
+// All N sockets are held open (SO_REUSEADDR) until every port is chosen,
+// so the N ports are distinct; the unavoidable race between printing and
+// the daemons binding is tolerated — the scripts fail loudly on a bind
+// error and can simply be re-run.
+//
+//   amcast_portprobe 5
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+int main(int argc, char** argv) {
+  long n = argc > 1 ? std::strtol(argv[1], nullptr, 10) : 1;
+  if (n <= 0 || n > 1024) {
+    std::fprintf(stderr, "usage: amcast_portprobe N   (1 <= N <= 1024)\n");
+    return 64;
+  }
+  std::vector<int> fds;
+  std::vector<int> ports;
+  for (long i = 0; i < n; ++i) {
+    int fd = socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+      std::perror("amcast_portprobe: socket");
+      return 1;
+    }
+    int one = 1;
+    setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;  // kernel-assigned
+    if (bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
+        listen(fd, 1) < 0) {
+      std::perror("amcast_portprobe: bind/listen");
+      return 1;
+    }
+    socklen_t len = sizeof(addr);
+    if (getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+      std::perror("amcast_portprobe: getsockname");
+      return 1;
+    }
+    fds.push_back(fd);
+    ports.push_back(int(ntohs(addr.sin_port)));
+  }
+  for (int fd : fds) close(fd);
+  for (int p : ports) std::printf("%d\n", p);
+  return 0;
+}

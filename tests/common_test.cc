@@ -374,6 +374,72 @@ TEST(Histogram, LargeValuesBucketedWithBoundedError) {
   EXPECT_NEAR(double(h.percentile(0.5)), double(v), double(v) / 32);
 }
 
+TEST(Histogram, EmptyHistogramReportsZeroes) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  // Every quantile of an empty histogram is 0, extremes included.
+  EXPECT_EQ(h.percentile(0.0), 0);
+  EXPECT_EQ(h.percentile(0.5), 0);
+  EXPECT_EQ(h.percentile(0.999), 0);
+  EXPECT_EQ(h.percentile(1.0), 0);
+  EXPECT_DOUBLE_EQ(h.p999_ms(), 0.0);
+  EXPECT_TRUE(h.cdf().empty());
+}
+
+TEST(Histogram, SingleSampleIsEveryPercentile) {
+  Histogram h;
+  h.record(777);
+  double tol = 777.0 / 32;  // one bucket of quantization
+  for (double q : {0.0, 0.5, 0.99, 0.999, 1.0}) {
+    EXPECT_NEAR(double(h.percentile(q)), 777, tol) << "q=" << q;
+  }
+  EXPECT_EQ(h.min(), 777);
+  EXPECT_EQ(h.max(), 777);
+}
+
+TEST(Histogram, MergeOfDisjointRangesKeepsBothTails) {
+  // a: tight cluster of small values; b: tight cluster 6 decades above.
+  Histogram a, b;
+  for (int i = 0; i < 1000; ++i) a.record(100 + i % 10);
+  for (int i = 0; i < 10; ++i) b.record(100000000 + i);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 1010u);
+  EXPECT_EQ(a.min(), 100);
+  EXPECT_GE(a.max(), 100000000);
+  // Median stays in the low cluster, the far tail in the high one: merging
+  // disjoint ranges must not smear mass into the empty decades between.
+  EXPECT_NEAR(double(a.percentile(0.5)), 105, 16);
+  EXPECT_NEAR(double(a.percentile(0.999)), 1e8, 1e8 / 32);
+  // No CDF point falls strictly between the two clusters.
+  for (const auto& [value, frac] : a.cdf()) {
+    EXPECT_TRUE(value <= 200 || value >= 9e7) << value;
+  }
+}
+
+TEST(Histogram, P999OnLogBucketBoundaries) {
+  // 1000 samples of a power of two (an exact bucket boundary) plus one
+  // sample in the next octave: p999 must select the boundary bucket, and
+  // quantization error at the boundary stays within one sub-bucket.
+  for (std::int64_t boundary : {std::int64_t(1) << 10, std::int64_t(1) << 20,
+                                std::int64_t(1) << 30}) {
+    Histogram h;
+    for (int i = 0; i < 1000; ++i) h.record(boundary);
+    h.record(boundary * 2);
+    double tol = double(boundary) / 32;
+    EXPECT_NEAR(double(h.percentile(0.999)), double(boundary), tol)
+        << "boundary=" << boundary;
+    // The single outlier owns everything above 1000/1001.
+    EXPECT_NEAR(double(h.percentile(0.9995)), double(boundary) * 2,
+                2 * tol)
+        << "boundary=" << boundary;
+    // And in nanosecond terms the _ms accessor agrees.
+    EXPECT_NEAR(h.p999_ms(), double(boundary) * 1e-6, tol * 1e-6);
+  }
+}
+
 TEST(TimeSeries, BucketsByTime) {
   TimeSeries ts(duration::seconds(1));
   ts.add(duration::milliseconds(100), 2.0);

@@ -1,0 +1,292 @@
+// Tests for the open-loop load generator (bench/loadgen_core):
+//  * the Poisson schedule hits the configured offered rate,
+//  * latency is measured from INTENDED send time — a stalled client-side
+//    transport lands in the tail percentiles (coordinated omission),
+//  * BENCH_runtime.json rows round-trip through common/json with every
+//    schema key intact,
+//  * the runtime gate's fig3/fig7 shape checks accept the paper's shapes
+//    and reject collapses.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/loadgen_core.h"
+#include "kvstore/replica.h"
+#include "net/transport.h"
+#include "runtime/executor.h"
+
+namespace amcast::bench {
+namespace {
+
+using runtime::Executor;
+
+TEST(OpenLoopSchedule, HitsConfiguredRateWithinTolerance) {
+  OpenLoopSchedule sched(/*seed=*/7);
+  const double rate = 10000;  // per second
+  sched.reset(rate, /*origin=*/0);
+  const int n = 50000;
+  Time last = 0;
+  for (int i = 0; i < n; ++i) last = sched.next();
+  // n exponential gaps of mean 1/rate: the sum concentrates hard around
+  // n/rate (stddev ~ sqrt(n)/rate, so 5% is > 10 sigma).
+  double expect_s = double(n) / rate;
+  double got_s = duration::to_seconds(last);
+  EXPECT_NEAR(got_s, expect_s, 0.05 * expect_s);
+}
+
+TEST(OpenLoopSchedule, ResetRestartsFromOrigin) {
+  OpenLoopSchedule sched(/*seed=*/7);
+  sched.reset(100, duration::seconds(5));
+  Time first = sched.next();
+  EXPECT_GT(first, duration::seconds(5));
+  EXPECT_LT(first, duration::seconds(6));  // mean gap is 10ms
+  sched.reset(1000, duration::seconds(9));
+  EXPECT_GT(sched.next(), duration::seconds(9));
+}
+
+/// Drives two executors (client + cluster) until `pred` or `timeout`.
+template <typename Pred>
+bool pump_until(Executor& a, Executor& b, Pred pred, Duration timeout) {
+  auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::nanoseconds(timeout);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) return true;
+    a.run_once(duration::milliseconds(1));
+    b.run_once(duration::milliseconds(1));
+  }
+  return pred();
+}
+
+void pump_for(Executor& a, Executor& b, Duration d) {
+  pump_until(a, b, [] { return false; }, d);
+}
+
+TEST(LoadGenClient, StalledTransportLandsInTailPercentiles) {
+  // Cluster process: three replicas of one partition behind ONE transport
+  // (frames carry an explicit `to`, so ids 0..2 share the listen port);
+  // client process: a LoadGenClient behind its own transport. Pausing the
+  // client's outbound socket mid-load stalls requests in the out-queue —
+  // with intended-time measurement the stall must surface in the tail.
+  Executor exCluster({/*data_dir=*/"", 1});
+  Executor exClient({/*data_dir=*/"", 2});
+
+  core::ConfigRegistry registry;
+  std::vector<ProcessId> ids = {0, 1, 2};
+  GroupId g = registry.create_ring(ids, ids, 0);
+
+  net::Transport::Options ob;
+  ob.self = 0;
+  ob.listen_port = 0;
+  net::Transport tCluster(
+      ob, [&exCluster](ProcessId f, ProcessId t, env::MessagePtr m) {
+        exCluster.dispatch(f, t, std::move(m));
+      },
+      [&exCluster] { return exCluster.now(); });
+  std::string error;
+  ASSERT_TRUE(tCluster.listen(&error)) << error;
+
+  net::Transport::Options oa;
+  oa.self = 7;
+  oa.listen_port = 0;
+  for (ProcessId id : ids) {
+    oa.peers[id] = net::PeerAddress{"127.0.0.1", tCluster.listen_port()};
+  }
+  net::Transport tClient(
+      oa, [&exClient](ProcessId f, ProcessId t, env::MessagePtr m) {
+        exClient.dispatch(f, t, std::move(m));
+      },
+      [&exClient] { return exClient.now(); });
+  ASSERT_TRUE(tClient.listen(&error)) << error;
+  // Both transports used port 0, so neither peer table could be complete at
+  // construction: point them at each other now that the ports are known.
+  tCluster.set_peer(7, net::PeerAddress{"127.0.0.1", tClient.listen_port()});
+  exCluster.set_transport(&tCluster);
+  exClient.set_transport(&tClient);
+
+  ringpaxos::RingOptions ro;
+  ro.storage.mode = ringpaxos::StorageOptions::Mode::kMemory;
+  ro.delta = duration::milliseconds(2);
+  ro.lambda = 500;
+  ro.instance_timeout = duration::milliseconds(200);
+  ro.gap_repair_timeout = duration::milliseconds(100);
+  ro.gap_repair_probe = true;
+
+  std::vector<std::unique_ptr<kvstore::KvReplica>> replicas;
+  for (ProcessId id : ids) {
+    kvstore::KvReplicaOptions ko;
+    ko.partition = 0;
+    ko.partitioner = kvstore::Partitioner::hash(1);
+    auto r = std::make_unique<kvstore::KvReplica>(registry, ko);
+    exCluster.add_node(id, r.get());
+    r->set_partition(ids);
+    r->attach(g, kInvalidGroup, ro);
+    replicas.push_back(std::move(r));
+  }
+
+  LoadGenOptions opts;
+  opts.sessions = 50;
+  opts.get_ratio = 0.5;
+  opts.value_bytes = 32;
+  opts.key_count = 100;
+  opts.op_timeout = duration::seconds(10);  // stalled ops must NOT be reaped
+  opts.seed = 3;
+  auto client = std::make_unique<LoadGenClient>(
+      registry, kvstore::Partitioner::hash(1), std::vector<GroupId>{g}, opts);
+  exClient.add_node(7, client.get());
+
+  client->start_preload(/*pipeline=*/16);
+  ASSERT_TRUE(pump_until(
+      exClient, exCluster, [&] { return client->preload_done(); },
+      duration::seconds(20)));
+
+  const Duration stall = duration::milliseconds(350);
+  client->set_rate(300);
+  client->begin_window(duration::milliseconds(1500));
+  pump_for(exClient, exCluster, duration::milliseconds(400));
+
+  // Stall the client's uplink: arrivals keep firing (open loop) and queue
+  // in the transport; nothing reaches the cluster until unpause.
+  tClient.set_send_paused(true);
+  pump_for(exClient, exCluster, stall);
+  EXPECT_GT(tClient.outq_bytes(), 0u);
+  tClient.set_send_paused(false);
+
+  pump_for(exClient, exCluster, duration::milliseconds(750));
+  client->end_window();
+  ASSERT_TRUE(pump_until(
+      exClient, exCluster, [&] { return client->drained(); },
+      duration::seconds(15)));
+  client->stop_load();
+
+  RatePoint p = client->take_point();
+  ASSERT_GT(p.measured, 100);
+  EXPECT_EQ(p.timeouts, 0);
+  EXPECT_GT(p.goodput, 0);
+  // ~23% of the window's arrivals were intended during the stall; had
+  // latency been measured from the actual (post-stall) send time they
+  // would all look fast. From intended time, the stall dominates the tail.
+  EXPECT_GE(p.latency.max(), duration::milliseconds(250));
+  EXPECT_GE(p.latency.percentile(0.99), duration::milliseconds(200));
+}
+
+TEST(RuntimeRow, RoundTripsThroughJsonWithAllSchemaKeys) {
+  LoadGenOptions opts;
+  opts.sessions = 1000;
+  opts.get_ratio = 0.25;
+  opts.value_bytes = 64;
+  opts.key_dist = "zipfian";
+
+  RatePoint p;
+  p.offered_rate = 4000;
+  p.window_s = 3;
+  p.completed = 11883;
+  p.goodput = p.completed / p.window_s;
+  p.measured = 11900;
+  p.timeouts = 2;
+  for (int i = 1; i <= 1000; ++i) {
+    p.latency.record(i * 10000);  // 10us .. 10ms ramp
+  }
+
+  auto doc = bench_document(
+      "loadgen", 42, /*smoke=*/false,
+      {make_runtime_row("runtime_sweep", 2, opts, p, 42, 5.5)});
+  std::string error;
+  json::Value back = json::Value::parse(doc.dump(), &error);
+  ASSERT_TRUE(error.empty()) << error;
+
+  EXPECT_EQ(back.find("schema")->as_string(), kBenchSchema);
+  EXPECT_EQ(back.find("suite")->as_string(), "loadgen");
+  EXPECT_EQ(back.find("seed")->as_number(), 42);
+  ASSERT_EQ(back.find("scenarios")->size(), 1u);
+  const json::Value& row = back.find("scenarios")->at(0);
+  EXPECT_EQ(row.find("name")->as_string(), "runtime_sweep");
+
+  const json::Value* params = row.find("params");
+  ASSERT_NE(params, nullptr);
+  EXPECT_EQ(params->find("rings")->as_number(), 2);
+  EXPECT_EQ(params->find("offered_rate")->as_number(), 4000);
+  EXPECT_EQ(params->find("sessions")->as_number(), 1000);
+  EXPECT_EQ(params->find("get_ratio")->as_number(), 0.25);
+  EXPECT_EQ(params->find("value_bytes")->as_number(), 64);
+  EXPECT_EQ(params->find("key_dist")->as_string(), "zipfian");
+
+  const json::Value* metrics = row.find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  EXPECT_DOUBLE_EQ(metrics->find("offered_rate")->as_number(), 4000);
+  EXPECT_DOUBLE_EQ(metrics->find("goodput")->as_number(), 11883 / 3.0);
+  EXPECT_DOUBLE_EQ(metrics->find("p50_ms")->as_number(), p.latency.p50_ms());
+  EXPECT_DOUBLE_EQ(metrics->find("p99_ms")->as_number(), p.latency.p99_ms());
+  EXPECT_DOUBLE_EQ(metrics->find("p999_ms")->as_number(),
+                   p.latency.p999_ms());
+  EXPECT_EQ(metrics->find("timeouts")->as_number(), 2);
+  EXPECT_EQ(metrics->find("completed")->as_number(), 11883);
+  EXPECT_EQ(metrics->find("window_s")->as_number(), 3);
+  EXPECT_EQ(metrics->find("wall_s")->as_number(), 5.5);
+}
+
+/// Builds a synthetic runtime artifact from (rings, offered, goodput) rows.
+json::Value synthetic_doc(
+    const std::vector<std::array<double, 3>>& points) {
+  std::vector<ScenarioResult> rows;
+  LoadGenOptions opts;
+  for (const auto& [rings, offered, goodput] : points) {
+    RatePoint p;
+    p.offered_rate = offered;
+    p.goodput = goodput;
+    p.window_s = 3;
+    p.completed = std::int64_t(goodput * 3);
+    rows.push_back(
+        make_runtime_row("runtime_sweep", int(rings), opts, p, 1, 1));
+  }
+  return bench_document("loadgen", 1, false, rows);
+}
+
+TEST(RuntimeGate, AcceptsSaturatingSweepAndRingScaling) {
+  // fig3 shape per ring count (tracks offered, then flattens) and fig7
+  // scaling from 1 to 2 rings.
+  json::Value doc = synthetic_doc({{1, 500, 495},
+                                   {1, 1000, 980},
+                                   {1, 2000, 1500},
+                                   {1, 4000, 1550},
+                                   {2, 500, 495},
+                                   {2, 1000, 990},
+                                   {2, 2000, 1960},
+                                   {2, 4000, 2900}});
+  RuntimeGateOptions opts;
+  opts.require_saturation = true;
+  opts.require_scaling = true;
+  EXPECT_EQ(gate_runtime_report(doc, nullptr, opts), 0);
+  // And against itself as a baseline: zero delta everywhere.
+  EXPECT_EQ(gate_runtime_report(doc, &doc, opts), 0);
+}
+
+TEST(RuntimeGate, RejectsCollapseAndMissingScaling) {
+  // Goodput collapsing past the knee (not the paper's saturation shape).
+  json::Value collapse =
+      synthetic_doc({{1, 500, 495}, {1, 1000, 900}, {1, 2000, 300}});
+  EXPECT_EQ(gate_runtime_report(collapse, nullptr, RuntimeGateOptions{}), 1);
+
+  // 2 rings no better than 1: fig7 scaling check must fail.
+  json::Value flat = synthetic_doc(
+      {{1, 500, 495}, {1, 1000, 800}, {2, 500, 490}, {2, 1000, 810}});
+  RuntimeGateOptions scaling;
+  scaling.require_scaling = true;
+  EXPECT_EQ(gate_runtime_report(flat, nullptr, scaling), 1);
+
+  // Goodput regression beyond the (wide) tolerance vs baseline.
+  json::Value base = synthetic_doc({{1, 500, 495}, {1, 1000, 900}});
+  json::Value bad = synthetic_doc({{1, 500, 495}, {1, 1000, 400}});
+  RuntimeGateOptions gate;
+  gate.tolerance = 0.5;
+  EXPECT_EQ(gate_runtime_report(bad, &base, gate), 1);
+  // The same regression passes when within tolerance.
+  json::Value okish = synthetic_doc({{1, 500, 495}, {1, 1000, 700}});
+  EXPECT_EQ(gate_runtime_report(okish, &base, gate), 0);
+}
+
+}  // namespace
+}  // namespace amcast::bench
