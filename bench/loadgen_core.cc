@@ -99,14 +99,17 @@ void LoadGenClient::issue(Time intended, kvstore::Command c,
   pend.mid = mid;
   pend.key_index = key_index;
   pend.preload = preload;
-  pend.measured = !preload && window_active_ && intended >= window_start_ &&
-                  intended < window_end_;
-  if (pend.measured) {
-    ++measured_issued_;
-    ++measured_outstanding_;
+  {
+    MutexLock l(&stats_mu_);
+    pend.measured = !preload && window_active_ && intended >= window_start_ &&
+                    intended < window_end_;
+    if (pend.measured) {
+      ++measured_issued_;
+      ++measured_outstanding_;
+    }
+    ++issued_;
   }
   outstanding_[{session, c.seq}] = pend;
-  ++issued_;
 }
 
 void LoadGenClient::set_rate(double offered_per_s) {
@@ -152,6 +155,7 @@ void LoadGenClient::arm_arrival_timer() {
 }
 
 void LoadGenClient::begin_window(Duration window) {
+  MutexLock l(&stats_mu_);
   window_active_ = true;
   window_start_ = now();
   window_end_ = window_start_ + window;
@@ -174,14 +178,17 @@ void LoadGenClient::complete(std::map<OpKey, Pending>::iterator it) {
   Pending p = it->second;
   outstanding_.erase(it);
   clear_proposal(p.mid);
-  ++completed_total_;
   Time t = now();
-  if (window_end_ > 0 && t >= window_start_ && t < window_end_) {
-    ++window_completed_;
-  }
-  if (p.measured) {
-    latency_.record(t - p.intended);
-    --measured_outstanding_;
+  {
+    MutexLock l(&stats_mu_);
+    ++completed_total_;
+    if (window_end_ > 0 && t >= window_start_ && t < window_end_) {
+      ++window_completed_;
+    }
+    if (p.measured) {
+      latency_.record(t - p.intended);
+      --measured_outstanding_;
+    }
   }
   if (p.preload) {
     --preload_remaining_;
@@ -215,10 +222,13 @@ void LoadGenClient::reap_expired() {
     Pending p = it->second;
     it = outstanding_.erase(it);
     clear_proposal(p.mid);
-    ++timeouts_total_;
-    if (p.measured) {
-      ++measured_timeouts_;
-      --measured_outstanding_;
+    {
+      MutexLock l(&stats_mu_);
+      ++timeouts_total_;
+      if (p.measured) {
+        ++measured_timeouts_;
+        --measured_outstanding_;
+      }
     }
     if (p.preload) expired_preloads.push_back(p);
   }
@@ -254,6 +264,7 @@ void LoadGenClient::issue_next_preload() {
 }
 
 RatePoint LoadGenClient::take_point() const {
+  MutexLock l(&stats_mu_);
   RatePoint p;
   p.offered_rate = schedule_.rate();
   p.window_s = duration::to_seconds(window_end_ - window_start_);

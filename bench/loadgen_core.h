@@ -34,6 +34,7 @@
 #include "bench/bench_util.h"
 #include "common/histogram.h"
 #include "common/rng.h"
+#include "common/sync.h"
 #include "common/zipf.h"
 #include "core/multicast.h"
 #include "kvstore/command.h"
@@ -97,6 +98,12 @@ struct RatePoint {
 /// open-loop. Orchestration (warmup/window/drain pacing) is driven from
 /// outside via the phase methods — the node itself only reacts to timers
 /// and responses, so tests can run it on any backend.
+///
+/// Threading: mutators (start_preload, set_rate, begin_window) run on the
+/// loop thread hosting the node. The measurement OBSERVERS — drained(),
+/// take_point(), the counter accessors — are thread-safe (stats_mu_), so a
+/// separate orchestrator thread can watch a running sweep; the multicore
+/// loadgen (one client per ring thread) hangs off the same seam.
 class LoadGenClient final : public core::MulticastNode {
  public:
   LoadGenClient(core::ConfigRegistry& registry,
@@ -118,20 +125,37 @@ class LoadGenClient final : public core::MulticastNode {
   /// Starts a measurement window of length `window` at now(): the latency
   /// histogram restarts, and arrivals intended inside the window become
   /// "measured" (their completions/timeouts make up the point).
-  void begin_window(Duration window);
+  void begin_window(Duration window) AMCAST_EXCLUDES(stats_mu_);
   /// Ends measured-arrival marking (goodput counting is bounded by the
   /// window times themselves, so calling this late is harmless).
-  void end_window() { window_active_ = false; }
+  /// Thread-safe.
+  void end_window() AMCAST_EXCLUDES(stats_mu_) {
+    MutexLock l(&stats_mu_);
+    window_active_ = false;
+  }
   /// True when every measured arrival has completed or timed out — the
-  /// point's tail is fully accounted for.
-  bool drained() const { return measured_outstanding_ == 0; }
-  /// The finished point (call after end_window + drain).
-  RatePoint take_point() const;
+  /// point's tail is fully accounted for. Thread-safe.
+  bool drained() const AMCAST_EXCLUDES(stats_mu_) {
+    MutexLock l(&stats_mu_);
+    return measured_outstanding_ == 0;
+  }
+  /// The finished point (call after end_window + drain). Thread-safe.
+  RatePoint take_point() const AMCAST_EXCLUDES(stats_mu_);
 
-  // --- introspection ------------------------------------------------------
-  std::int64_t issued() const { return issued_; }
-  std::int64_t completed_total() const { return completed_total_; }
-  std::int64_t timeouts_total() const { return timeouts_total_; }
+  // --- introspection (thread-safe) ----------------------------------------
+  std::int64_t issued() const AMCAST_EXCLUDES(stats_mu_) {
+    MutexLock l(&stats_mu_);
+    return issued_;
+  }
+  std::int64_t completed_total() const AMCAST_EXCLUDES(stats_mu_) {
+    MutexLock l(&stats_mu_);
+    return completed_total_;
+  }
+  std::int64_t timeouts_total() const AMCAST_EXCLUDES(stats_mu_) {
+    MutexLock l(&stats_mu_);
+    return timeouts_total_;
+  }
+  /// Loop-thread only (reads the un-guarded pending table).
   std::int64_t outstanding() const {
     return std::int64_t(outstanding_.size());
   }
@@ -152,10 +176,11 @@ class LoadGenClient final : public core::MulticastNode {
   void arm_arrival_timer();
   void fire_arrivals();
   void issue(Time intended, kvstore::Command c, std::uint64_t key_index,
-             bool preload);
+             bool preload) AMCAST_EXCLUDES(stats_mu_);
   void issue_next_preload();
-  void complete(std::map<OpKey, Pending>::iterator it);
-  void reap_expired();
+  void complete(std::map<OpKey, Pending>::iterator it)
+      AMCAST_EXCLUDES(stats_mu_);
+  void reap_expired() AMCAST_EXCLUDES(stats_mu_);
   kvstore::Command next_command(std::uint64_t* key_index);
   std::uint64_t next_key();
   std::string key_name(std::uint64_t k) const;
@@ -176,25 +201,26 @@ class LoadGenClient final : public core::MulticastNode {
   std::uint64_t load_epoch_ = 0;  ///< invalidates stale arrival timers
   env::TimerId reaper_ = 0;
 
-  // Measurement window.
-  bool window_active_ = false;
-  Time window_start_ = 0;
-  Time window_end_ = 0;
-  Histogram latency_;
-  std::int64_t window_completed_ = 0;
-  std::int64_t measured_issued_ = 0;
-  std::int64_t measured_outstanding_ = 0;
-  std::int64_t measured_timeouts_ = 0;
+  // Measurement window + totals: written on the loop thread as ops issue,
+  // complete and expire; read by the orchestrator (possibly another
+  // thread) through the observer methods above.
+  mutable Mutex stats_mu_;
+  bool window_active_ AMCAST_GUARDED_BY(stats_mu_) = false;
+  Time window_start_ AMCAST_GUARDED_BY(stats_mu_) = 0;
+  Time window_end_ AMCAST_GUARDED_BY(stats_mu_) = 0;
+  Histogram latency_ AMCAST_GUARDED_BY(stats_mu_);
+  std::int64_t window_completed_ AMCAST_GUARDED_BY(stats_mu_) = 0;
+  std::int64_t measured_issued_ AMCAST_GUARDED_BY(stats_mu_) = 0;
+  std::int64_t measured_outstanding_ AMCAST_GUARDED_BY(stats_mu_) = 0;
+  std::int64_t measured_timeouts_ AMCAST_GUARDED_BY(stats_mu_) = 0;
+  std::int64_t issued_ AMCAST_GUARDED_BY(stats_mu_) = 0;
+  std::int64_t completed_total_ AMCAST_GUARDED_BY(stats_mu_) = 0;
+  std::int64_t timeouts_total_ AMCAST_GUARDED_BY(stats_mu_) = 0;
 
-  // Preload.
+  // Preload (loop-thread only).
   std::int64_t preload_remaining_ = 0;
   std::uint64_t preload_next_key_ = 0;
   int preload_pipeline_ = 0;
-
-  // Totals.
-  std::int64_t issued_ = 0;
-  std::int64_t completed_total_ = 0;
-  std::int64_t timeouts_total_ = 0;
 };
 
 /// Builds the BENCH_runtime.json scenario row of one rate point (schema in

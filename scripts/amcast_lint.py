@@ -1,0 +1,459 @@
+#!/usr/bin/env python3
+"""amcast_lint — repo-specific determinism & discipline lint.
+
+The compiler cannot know that src/sim, src/ringpaxos, src/core, src/kvstore,
+src/dlog and src/chaos form a DETERMINISTIC domain: every run of the
+simulator must replay bit-identically from a seed (the chaos harness, the
+perf gate and every pinned regression seed depend on it), and the protocol
+code hosted there must behave identically when later re-hosted on the real
+runtime. This lint enforces the rules that keep that true:
+
+  * no wall clocks, ambient entropy, threads, or sleeps in the sim domain —
+    time, randomness and scheduling come from the env::Host;
+  * no iteration over unordered containers in protocol code without an
+    explicit `// lint:ordered <why>` justification (hash order varies
+    between libc++/libstdc++ and between runs with hardened hashing, so it
+    must never feed message or delivery order);
+  * no NDEBUG-stripped `assert(` / raw `abort()` — invariants go through
+    AMCAST_ASSERT/AMCAST_ASSERT_MSG, which stay on in release builds and
+    print file/line context before dying.
+
+Suppressions: append `// NOLINT-amcast(<rule>): <reason>` to the flagged
+line (or the line directly above). The reason is mandatory; a bare NOLINT
+is itself a finding (`nolint-hygiene`). `pragma-once` is file-level: a
+NOLINT for it anywhere in the file suppresses it.
+
+Usage:
+  amcast_lint.py --root <repo>                 # lint src/ and bench/
+  amcast_lint.py --root <repo> --json OUT      # + machine-readable findings
+  amcast_lint.py --root <repo> --summary-md F  # + markdown count table
+  amcast_lint.py --self-test <fixture-dir>     # fixture expectations
+  amcast_lint.py --list-rules
+
+Exit codes: 0 clean, 1 findings (or self-test failure), 2 usage error.
+"""
+
+import argparse
+import json
+import os
+import re
+import sys
+
+# --- domains ---------------------------------------------------------------
+
+# Deterministic domain: everything here replays from a seed.
+SIM_DIRS = (
+    "src/sim", "src/ringpaxos", "src/core", "src/kvstore", "src/dlog",
+    "src/chaos", "src/env", "src/baselines", "src/ycsb",
+)
+# Protocol domain: code whose control flow feeds message/delivery order.
+PROTOCOL_DIRS = (
+    "src/sim", "src/ringpaxos", "src/core", "src/kvstore", "src/dlog",
+    "src/chaos",
+)
+SCAN_ROOTS = ("src", "bench")
+EXTS = (".h", ".cc", ".cpp")
+
+
+def in_dirs(rel, dirs):
+    rel = rel.replace(os.sep, "/")
+    return any(rel == d or rel.startswith(d + "/") for d in dirs)
+
+
+# --- rules -----------------------------------------------------------------
+
+class Rule:
+    def __init__(self, rid, doc, applies, pattern=None, message=None,
+                 file_level=False):
+        self.rid = rid
+        self.doc = doc
+        self.applies = applies          # fn(relpath) -> bool
+        self.pattern = re.compile(pattern) if pattern else None
+        self.message = message or doc
+        self.file_level = file_level
+
+
+def sim_code(rel):
+    return in_dirs(rel, SIM_DIRS) and rel.endswith(EXTS)
+
+
+def protocol_code(rel):
+    return in_dirs(rel, PROTOCOL_DIRS) and rel.endswith(EXTS)
+
+
+def lib_code(rel):
+    # .cpp files are binary entry points (daemons, CLIs, bench drivers);
+    # they may exit()/abort() on operator error. Libraries must not.
+    return rel.endswith((".h", ".cc"))
+
+
+def any_code(rel):
+    return rel.endswith(EXTS)
+
+
+def header(rel):
+    return rel.endswith(".h")
+
+
+RULES = [
+    Rule(
+        "wall-clock",
+        "sim-domain code must take time from env::Host::now(), never the "
+        "wall clock (replay would diverge between runs and machines)",
+        sim_code,
+        r"(?:system_clock|steady_clock|high_resolution_clock)\s*::\s*now"
+        r"|\bgettimeofday\s*\(|\bclock_gettime\s*\("
+        r"|(?<![A-Za-z0-9_])time\s*\(",
+    ),
+    Rule(
+        "ambient-entropy",
+        "sim-domain randomness must come from env::Host::rng() (seeded, "
+        "replayable); ambient entropy sources break determinism",
+        sim_code,
+        r"std::random_device|(?<![A-Za-z0-9_])s?rand\s*\("
+        r"|(?<![A-Za-z0-9_])random\s*\(|/dev/u?random|\bgetentropy\s*\(",
+    ),
+    Rule(
+        "thread-primitives",
+        "sim-domain code is single-threaded by construction; concurrency "
+        "lives in src/runtime and src/net behind common/sync.h",
+        sim_code,
+        r"std::\s*(?:jthread|thread|recursive_mutex|timed_mutex"
+        r"|shared_mutex|mutex|condition_variable\w*|atomic\w*|future"
+        r"|promise|async|barrier|latch|counting_semaphore"
+        r"|binary_semaphore)\b"
+        r"|#\s*include\s*<(?:thread|mutex|shared_mutex|atomic|future"
+        r"|condition_variable|barrier|latch|semaphore|stop_token)>"
+        r"|\bamcast::Mutex\b|\bMutexLock\b|\bpthread_\w+\s*\(",
+    ),
+    Rule(
+        "sleep-calls",
+        "sim-domain code must wait via env timers (set_timer/defer), not "
+        "real sleeps (simulated time does not advance while sleeping)",
+        sim_code,
+        r"\bsleep_for\b|\bsleep_until\b|\busleep\s*\(|\bnanosleep\s*\("
+        r"|(?<![A-Za-z0-9_])sleep\s*\(",
+    ),
+    Rule(
+        "print-determinism",
+        "sim-domain code reports through Metrics/invariant transcripts, "
+        "not stdout/stderr (prints desync chaos-replay transcripts)",
+        sim_code,
+        r"std::cout|std::cerr|(?<![A-Za-z0-9_])f?printf\s*\("
+        r"|(?<![A-Za-z0-9_])puts\s*\(",
+    ),
+    Rule(
+        "bare-assert",
+        "use AMCAST_ASSERT/AMCAST_ASSERT_MSG (always on, prints context); "
+        "bare assert() vanishes under NDEBUG and protocol invariants must "
+        "hold in release builds",
+        any_code,
+        r"(?<![A-Za-z0-9_])assert\s*\("
+        r"|#\s*include\s*<cassert>|#\s*include\s*<assert\.h>",
+    ),
+    Rule(
+        "raw-abort",
+        "library code must fail through AMCAST_ASSERT (context + always "
+        "on) instead of raw abort()/exit()/terminate()",
+        lambda rel: lib_code(rel) and any_code(rel),
+        r"(?<![A-Za-z0-9_:.])abort\s*\(|std::abort\s*\("
+        r"|(?<![A-Za-z0-9_:.])exit\s*\(|std::exit\s*\("
+        r"|\bstd::terminate\s*\(|(?<![A-Za-z0-9_])_Exit\s*\(",
+    ),
+    Rule(
+        "unordered-iteration",
+        "protocol code must not iterate unordered containers without a "
+        "`// lint:ordered <why>` justification (hash order is not stable "
+        "across libcs/runs and must never feed delivery order)",
+        protocol_code,
+        # matched structurally in lint_unordered_iteration()
+    ),
+    Rule(
+        "nolint-hygiene",
+        "NOLINT-amcast suppressions need a known rule and a reason; "
+        "lint:ordered needs a justification",
+        any_code,
+    ),
+    Rule(
+        "pragma-once",
+        "headers use #pragma once (uniform include-guard style)",
+        header,
+        file_level=True,
+    ),
+]
+RULE_IDS = {r.rid for r in RULES}
+RULES_BY_ID = {r.rid: r for r in RULES}
+
+
+# --- matching machinery ----------------------------------------------------
+
+NOLINT_RE = re.compile(r"//\s*NOLINT-amcast\(([^)]*)\)\s*(:?)\s*(.*)")
+ORDERED_RE = re.compile(r"//\s*lint:ordered\b\s*(.*)")
+LINE_COMMENT_RE = re.compile(r"//.*$")
+PRAGMA_ONCE_RE = re.compile(r"\s*#\s*pragma\s+once\b")
+
+
+class Finding:
+    def __init__(self, rule, rel, line_no, snippet):
+        self.rule = rule
+        self.rel = rel
+        self.line_no = line_no
+        self.snippet = snippet.strip()[:160]
+
+    def to_json(self):
+        return {
+            "rule": self.rule,
+            "file": self.rel,
+            "line": self.line_no,
+            "message": RULES_BY_ID[self.rule].message,
+            "snippet": self.snippet,
+        }
+
+    def __str__(self):
+        return "%s:%d: [%s] %s\n    %s" % (
+            self.rel, self.line_no, self.rule,
+            RULES_BY_ID[self.rule].message, self.snippet)
+
+
+def strip_block_comments(text):
+    """Blanks /* ... */ spans (keeps newlines so line numbers survive)."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        j = text.find("/*", i)
+        if j < 0:
+            out.append(text[i:])
+            break
+        out.append(text[i:j])
+        k = text.find("*/", j + 2)
+        if k < 0:
+            k = n - 2
+        out.append("".join(c if c == "\n" else " " for c in text[j:k + 2]))
+        i = k + 2
+    return "".join(out)
+
+
+def code_lines(text):
+    """Lines with comments blanked; raw lines kept for suppression scan."""
+    raw = text.split("\n")
+    stripped = strip_block_comments(text).split("\n")
+    code = [LINE_COMMENT_RE.sub("", s) for s in stripped]
+    return raw, code
+
+
+def suppressions(raw_lines):
+    """line_no -> set(rule) suppressed there, plus hygiene findings."""
+    sup = {}
+    hygiene = []  # (line_no, snippet)
+    for i, line in enumerate(raw_lines, start=1):
+        m = NOLINT_RE.search(line)
+        if m:
+            rid, colon, reason = m.group(1).strip(), m.group(2), m.group(3)
+            if rid not in RULE_IDS:
+                hygiene.append((i, "unknown rule '%s' in NOLINT-amcast" % rid))
+            elif not colon or len(reason.strip()) < 3:
+                hygiene.append(
+                    (i, "NOLINT-amcast(%s) without a ': <reason>'" % rid))
+            else:
+                sup.setdefault(i, set()).add(rid)
+        m = ORDERED_RE.search(line)
+        if m:
+            if len(m.group(1).strip()) < 3:
+                hygiene.append((i, "lint:ordered without a justification"))
+            else:
+                sup.setdefault(i, set()).add("unordered-iteration")
+    return sup, hygiene
+
+
+def suppressed(sup, rule, line_no):
+    # Same line or the line directly above.
+    return rule in sup.get(line_no, ()) or rule in sup.get(line_no - 1, ())
+
+
+UNORDERED_DECL_RE = re.compile(
+    r"unordered_(?:map|set|multimap|multiset)\s*<.*>\s*&?\s*(\w+)\s*[;={(,)]")
+UNORDERED_ALIAS_RE = re.compile(
+    r"using\s+(\w+)\s*=\s*(?:std::)?unordered_(?:map|set|multimap|multiset)\b")
+RANGE_FOR_RE = re.compile(r"\bfor\s*\([^;()]*?:\s*([\w.\->:]+)\s*\)")
+BEGIN_RE = re.compile(r"([\w.\->:]+)\s*\.\s*(?:begin|cbegin)\s*\(")
+
+
+def last_component(expr):
+    return re.split(r"\.|->|::", expr)[-1]
+
+
+def lint_unordered_iteration(rel, raw, code, sup, findings):
+    aliases = set()
+    names = set()
+    for line in code:
+        for m in UNORDERED_ALIAS_RE.finditer(line):
+            aliases.add(m.group(1))
+        for m in UNORDERED_DECL_RE.finditer(line):
+            names.add(m.group(1))
+    for alias in aliases:
+        decl = re.compile(r"\b%s\s*&?\s*(\w+)\s*[;={(]" % re.escape(alias))
+        for line in code:
+            for m in decl.finditer(line):
+                names.add(m.group(1))
+    if not names:
+        return
+    for i, line in enumerate(code, start=1):
+        hits = [m.group(1) for m in RANGE_FOR_RE.finditer(line)]
+        hits += [m.group(1) for m in BEGIN_RE.finditer(line)]
+        for expr in hits:
+            if last_component(expr) in names:
+                if not suppressed(sup, "unordered-iteration", i):
+                    findings.append(
+                        Finding("unordered-iteration", rel, i, raw[i - 1]))
+                break
+
+
+def lint_file(rel, text):
+    findings = []
+    raw, code = code_lines(text)
+    sup, hygiene = suppressions(raw)
+    for line_no, msg in hygiene:
+        findings.append(Finding("nolint-hygiene", rel, line_no, msg))
+    for rule in RULES:
+        if rule.pattern is None or not rule.applies(rel):
+            continue
+        for i, line in enumerate(code, start=1):
+            m = rule.pattern.search(line)
+            if m and not suppressed(sup, rule.rid, i):
+                findings.append(Finding(rule.rid, rel, i, raw[i - 1]))
+    if RULES_BY_ID["unordered-iteration"].applies(rel):
+        lint_unordered_iteration(rel, raw, code, sup, findings)
+    if header(rel) and not any(PRAGMA_ONCE_RE.match(l) for l in code):
+        if not any("pragma-once" in s for s in sup.values()):
+            findings.append(
+                Finding("pragma-once", rel, 1, "missing #pragma once"))
+    return findings
+
+
+def scan_tree(root):
+    findings = []
+    scanned = 0
+    for scan_root in SCAN_ROOTS:
+        top = os.path.join(root, scan_root)
+        for dirpath, _dirnames, filenames in os.walk(top):
+            for fn in sorted(filenames):
+                if not fn.endswith(EXTS):
+                    continue
+                path = os.path.join(dirpath, fn)
+                rel = os.path.relpath(path, root).replace(os.sep, "/")
+                with open(path, encoding="utf-8", errors="replace") as f:
+                    findings.extend(lint_file(rel, f.read()))
+                scanned += 1
+    return findings, scanned
+
+
+# --- outputs ---------------------------------------------------------------
+
+def counts_of(findings):
+    counts = {r.rid: 0 for r in RULES}
+    for f in findings:
+        counts[f.rule] += 1
+    return counts
+
+
+def write_json(path, findings, scanned):
+    doc = {
+        "version": 1,
+        "tool": "amcast_lint",
+        "files_scanned": scanned,
+        "counts": counts_of(findings),
+        "findings": [f.to_json() for f in findings],
+    }
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(doc, f, indent=2)
+        f.write("\n")
+
+
+def write_summary_md(path, findings, scanned):
+    counts = counts_of(findings)
+    with open(path, "w", encoding="utf-8") as f:
+        f.write("| rule | findings |\n|---|---|\n")
+        for r in RULES:
+            n = counts[r.rid]
+            f.write("| `%s` | %s |\n" % (r.rid, n if n else "0"))
+        f.write("\n%d file(s) scanned, %d finding(s).\n"
+                % (scanned, len(findings)))
+
+
+# --- self-test over fixtures ----------------------------------------------
+
+def self_test(fixture_dir):
+    """manifest.json: [{file, as_path, rule, expect: fire|clean}, ...]."""
+    manifest_path = os.path.join(fixture_dir, "manifest.json")
+    with open(manifest_path, encoding="utf-8") as f:
+        manifest = json.load(f)
+    failures = 0
+    covered = set()
+    for entry in manifest:
+        path = os.path.join(fixture_dir, entry["file"])
+        with open(path, encoding="utf-8") as f:
+            text = f.read()
+        findings = lint_file(entry["as_path"], text)
+        fired = {x.rule for x in findings}
+        rule, expect = entry["rule"], entry["expect"]
+        if expect == "fire":
+            ok = rule in fired
+            covered.add(rule)
+        else:
+            ok = rule not in fired
+        print("%s %-28s %-22s expect=%s fired=%s"
+              % ("PASS" if ok else "FAIL", entry["file"], rule, expect,
+                 sorted(fired) or "[]"))
+        if not ok:
+            failures += 1
+    missing = RULE_IDS - covered
+    if missing:
+        print("FAIL rules with no firing fixture: %s" % sorted(missing))
+        failures += 1
+    print("self-test: %s (%d entr%s, %d failure%s)"
+          % ("PASS" if failures == 0 else "FAIL", len(manifest),
+             "y" if len(manifest) == 1 else "ies", failures,
+             "" if failures == 1 else "s"))
+    return 0 if failures == 0 else 1
+
+
+# --- main ------------------------------------------------------------------
+
+def main(argv):
+    ap = argparse.ArgumentParser(description=__doc__,
+                                 formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("--root", default=".", help="repo root (contains src/)")
+    ap.add_argument("--json", metavar="PATH",
+                    help="write machine-readable findings")
+    ap.add_argument("--summary-md", metavar="PATH",
+                    help="write a markdown findings table (for CI summary)")
+    ap.add_argument("--self-test", metavar="DIR",
+                    help="run fixture expectations from DIR/manifest.json")
+    ap.add_argument("--list-rules", action="store_true")
+    args = ap.parse_args(argv)
+
+    if args.list_rules:
+        for r in RULES:
+            print("%-22s %s" % (r.rid, r.doc))
+        return 0
+    if args.self_test:
+        return self_test(args.self_test)
+
+    if not os.path.isdir(os.path.join(args.root, "src")):
+        print("amcast_lint: --root %r has no src/" % args.root,
+              file=sys.stderr)
+        return 2
+    findings, scanned = scan_tree(args.root)
+    for f in findings:
+        print(f)
+    if args.json:
+        write_json(args.json, findings, scanned)
+    if args.summary_md:
+        write_summary_md(args.summary_md, findings, scanned)
+    print("amcast_lint: %d file(s), %d finding(s) -> %s"
+          % (scanned, len(findings), "FAIL" if findings else "PASS"))
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

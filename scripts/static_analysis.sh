@@ -1,0 +1,124 @@
+#!/usr/bin/env bash
+# Static-analysis driver: the one entry point for every analysis gate.
+#
+#   1. amcast_lint        — domain determinism/discipline lint (always runs)
+#   2. lint self-test     — every rule fires on its fixture, suppressions work
+#   3. thread-safety      — clang -Wthread-safety build of the annotated
+#                           libraries (runs when clang++ is on PATH)
+#   4. clang-tidy         — curated .clang-tidy set over src/ and bench/
+#                           (runs when clang-tidy is on PATH)
+#
+# Steps whose tool is missing are SKIPPED with a notice and do not fail the
+# run (the container bakes in GCC only; CI installs clang/clang-tidy). Any
+# step that RUNS and finds problems fails the script.
+#
+# Usage: scripts/static_analysis.sh [--out-dir DIR]
+#   --out-dir DIR   where to leave machine-readable outputs
+#                   (lint.json, lint-summary.md, tidy.log, status.md)
+set -u -o pipefail
+
+cd "$(dirname "$0")/.."
+OUT_DIR="build-sa"
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --out-dir) OUT_DIR="$2"; shift 2 ;;
+    *) echo "usage: $0 [--out-dir DIR]" >&2; exit 2 ;;
+  esac
+done
+mkdir -p "$OUT_DIR"
+STATUS_MD="$OUT_DIR/status.md"
+: > "$STATUS_MD"
+FAILURES=0
+
+note() { echo "== $*"; }
+record() {  # record <step> <result>
+  echo "| $1 | $2 |" >> "$STATUS_MD"
+}
+echo "| step | result |" >> "$STATUS_MD"
+echo "|---|---|" >> "$STATUS_MD"
+
+# --- 1. domain lint --------------------------------------------------------
+note "amcast_lint"
+if python3 scripts/amcast_lint.py --root . \
+    --json "$OUT_DIR/lint.json" --summary-md "$OUT_DIR/lint-summary.md"; then
+  record amcast_lint PASS
+else
+  record amcast_lint FAIL
+  FAILURES=$((FAILURES + 1))
+fi
+
+# --- 2. lint self-test -----------------------------------------------------
+note "amcast_lint --self-test"
+if python3 scripts/amcast_lint.py --self-test tests/lint_fixtures \
+    > "$OUT_DIR/lint-selftest.log" 2>&1; then
+  record lint-self-test PASS
+else
+  record lint-self-test FAIL
+  tail -20 "$OUT_DIR/lint-selftest.log"
+  FAILURES=$((FAILURES + 1))
+fi
+
+# --- 3. clang -Wthread-safety build ---------------------------------------
+note "clang -Wthread-safety"
+if command -v clang++ >/dev/null 2>&1; then
+  TS_DIR="$OUT_DIR/build-threadsafety"
+  if cmake -S . -B "$TS_DIR" -DCMAKE_BUILD_TYPE=Release \
+        -DCMAKE_C_COMPILER=clang -DCMAKE_CXX_COMPILER=clang++ \
+        -DCMAKE_CXX_FLAGS="-Wthread-safety -Werror=thread-safety" \
+        > "$OUT_DIR/threadsafety.log" 2>&1 \
+     && cmake --build "$TS_DIR" -j "$(nproc)" \
+        >> "$OUT_DIR/threadsafety.log" 2>&1; then
+    record thread-safety PASS
+  else
+    record thread-safety FAIL
+    tail -40 "$OUT_DIR/threadsafety.log"
+    FAILURES=$((FAILURES + 1))
+  fi
+else
+  note "clang++ not found — SKIPPING thread-safety build (CI runs it)"
+  record thread-safety "SKIP (no clang++)"
+fi
+
+# --- 4. clang-tidy ---------------------------------------------------------
+note "clang-tidy"
+if command -v clang-tidy >/dev/null 2>&1; then
+  # compile_commands.json comes from any configured build dir (the root
+  # CMakeLists exports it unconditionally); prefer the clang one.
+  CDB=""
+  for d in "$OUT_DIR/build-threadsafety" build build-tidy; do
+    [ -f "$d/compile_commands.json" ] && { CDB="$d"; break; }
+  done
+  if [ -z "$CDB" ]; then
+    CDB="build-tidy"
+    cmake -S . -B "$CDB" -DCMAKE_BUILD_TYPE=Release \
+      > "$OUT_DIR/tidy-configure.log" 2>&1 || true
+  fi
+  if [ ! -f "$CDB/compile_commands.json" ]; then
+    note "could not produce compile_commands.json — SKIPPING clang-tidy"
+    record clang-tidy "SKIP (no compile db)"
+  else
+    # Our own translation units only; gtest/_deps TUs are not our baseline.
+    mapfile -t TUS < <(git ls-files 'src/**/*.cc' 'src/**/*.cpp' \
+                                    'bench/*.cc' 'bench/*.cpp')
+    if clang-tidy -p "$CDB" --quiet "${TUS[@]}" \
+        > "$OUT_DIR/tidy.log" 2> "$OUT_DIR/tidy-stderr.log"; then
+      record clang-tidy PASS
+    else
+      record clang-tidy FAIL
+      grep -E "warning:|error:" "$OUT_DIR/tidy.log" | head -40
+      FAILURES=$((FAILURES + 1))
+    fi
+  fi
+else
+  note "clang-tidy not found — SKIPPING (CI runs it)"
+  record clang-tidy "SKIP (no clang-tidy)"
+fi
+
+# --- summary ---------------------------------------------------------------
+echo
+cat "$STATUS_MD"
+if [ "$FAILURES" -ne 0 ]; then
+  echo "static_analysis: FAIL ($FAILURES step(s))"
+  exit 1
+fi
+echo "static_analysis: PASS"

@@ -15,6 +15,7 @@ namespace amcast {
                                      int line, const char* msg) {
   std::fprintf(stderr, "amcast assertion failed: %s\n  at %s:%d\n  %s\n", expr,
                file, line, msg ? msg : "");
+  // NOLINT-amcast(raw-abort): assert_fail IS the sanctioned process-kill path
   std::abort();
 }
 

@@ -1,10 +1,28 @@
 // Small string helpers shared by the stores, benchmarks and tests.
 #pragma once
 
+#include <string.h>
+
 #include <string>
 #include <string_view>
 
 namespace amcast {
+
+/// Thread-safe strerror: std::strerror writes into a shared static buffer
+/// (clang-tidy concurrency-mt-unsafe), which matters now that
+/// net::Transport's error paths can run on any sender thread. Wraps the
+/// GNU/XSI strerror_r split behind one signature.
+inline std::string errno_str(int err) {
+  char buf[128] = {};
+#if defined(__GLIBC__) && defined(_GNU_SOURCE)
+  // GNU variant: returns the message pointer (buf or a static string).
+  return ::strerror_r(err, buf, sizeof(buf));
+#else
+  // XSI variant: fills buf, returns an int.
+  if (::strerror_r(err, buf, sizeof(buf)) != 0) return "errno " + std::to_string(err);
+  return buf;
+#endif
+}
 
 /// Concatenates any mix of string-like pieces (std::string, string_view,
 /// literals) into one buffer in a single pass, reserving the exact size up

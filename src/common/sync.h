@@ -1,0 +1,113 @@
+// Synchronization primitives annotated for Clang's -Wthread-safety
+// analysis (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html).
+//
+// The codebase is split into two concurrency domains:
+//
+//  * The SIM domain (src/sim, src/ringpaxos, src/core, src/kvstore,
+//    src/dlog, src/chaos, ...) is deterministic and single-threaded by
+//    construction — scripts/amcast_lint.py forbids thread primitives there
+//    outright.
+//  * The RUNTIME domain (src/runtime, src/net, bench/loadgen_core) runs on
+//    real clocks and real sockets and is where the multicore refactor
+//    (thread-per-ring executor sharding) will introduce real concurrency.
+//    Shared state there is guarded by these primitives so that, under
+//    clang, accessing a guarded member without its mutex is a COMPILE
+//    ERROR — the data-race discipline is checked before TSan ever runs.
+//
+// Under GCC (the tier-1 toolchain) every annotation macro expands to
+// nothing and amcast::Mutex is a plain std::mutex wrapper: the build is
+// unaffected. The clang `-Wthread-safety -Werror=thread-safety` CI leg
+// (scripts/static_analysis.sh) is what gives the annotations teeth.
+#pragma once
+
+#include <mutex>
+
+// Annotation macros. `__has_attribute` guards each one so non-clang (and
+// future clang versions dropping an attribute) compile them away.
+#if defined(__clang__) && defined(__has_attribute)
+#define AMCAST_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define AMCAST_THREAD_ANNOTATION_(x)  // no-op outside clang
+#endif
+
+/// Marks a type as a lockable capability ("mutex" in diagnostics).
+#define AMCAST_CAPABILITY(x) AMCAST_THREAD_ANNOTATION_(capability(x))
+
+/// Marks an RAII type whose lifetime acquires/releases a capability.
+#define AMCAST_SCOPED_CAPABILITY AMCAST_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Member may only be touched while holding `x`.
+#define AMCAST_GUARDED_BY(x) AMCAST_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Pointee may only be touched while holding `x`.
+#define AMCAST_PT_GUARDED_BY(x) AMCAST_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Function requires the capability held on entry (and does not release it).
+#define AMCAST_REQUIRES(...) \
+  AMCAST_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/// Function acquires the capability and holds it on return.
+#define AMCAST_ACQUIRE(...) \
+  AMCAST_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+/// Function releases the capability (held on entry).
+#define AMCAST_RELEASE(...) \
+  AMCAST_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+/// Function returns true iff the capability was acquired.
+#define AMCAST_TRY_ACQUIRE(...) \
+  AMCAST_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the capability (the function acquires it itself;
+/// documents non-reentrancy and prevents self-deadlock at compile time).
+#define AMCAST_EXCLUDES(...) \
+  AMCAST_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Declares lock-ordering between two mutexes.
+#define AMCAST_ACQUIRED_BEFORE(...) \
+  AMCAST_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+#define AMCAST_ACQUIRED_AFTER(...) \
+  AMCAST_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+
+/// Function returns a reference to the given capability.
+#define AMCAST_RETURN_CAPABILITY(x) \
+  AMCAST_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Escape hatch: the function's body is exempt from analysis. Every use
+/// must carry a comment explaining why the access is safe.
+#define AMCAST_NO_THREAD_SAFETY_ANALYSIS \
+  AMCAST_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+namespace amcast {
+
+/// A std::mutex that participates in thread-safety analysis. Member state
+/// guarded by a Mutex is declared `T member_ AMCAST_GUARDED_BY(mu_);`.
+class AMCAST_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() AMCAST_ACQUIRE() { mu_.lock(); }
+  void unlock() AMCAST_RELEASE() { mu_.unlock(); }
+  bool try_lock() AMCAST_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII lock. Scoped-capability annotated, so clang knows the capability is
+/// held for exactly the lexical scope of the guard.
+class AMCAST_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) AMCAST_ACQUIRE(mu) : mu_(mu) { mu_->lock(); }
+  ~MutexLock() AMCAST_RELEASE() { mu_->unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* mu_;
+};
+
+}  // namespace amcast

@@ -62,6 +62,9 @@ constexpr std::size_t kPayloadHeader = 8;  // i32 from + i32 to
 
 }  // namespace
 
+// Constructor/destructor run with exclusive access (no other thread can
+// hold a reference yet / anymore), so guarded members are touched freely —
+// clang's analysis exempts them for the same reason.
 Transport::Transport(
     Options opts,
     std::function<void(ProcessId, ProcessId, env::MessagePtr)> on_message,
@@ -105,7 +108,7 @@ bool Transport::listen(std::string* error) {
     if (error) {
       *error = str_cat("bind ", opts_.listen_host, ":",
                        std::to_string(opts_.listen_port), " failed: ",
-                       std::strerror(errno));
+                       errno_str(errno));
     }
     return false;
   }
@@ -165,6 +168,7 @@ void Transport::close_peer(Peer& p) {
 }
 
 void Transport::set_peer(ProcessId id, const PeerAddress& addr) {
+  MutexLock l(&mu_);
   Peer& p = peers_[id];
   if (p.fd >= 0) ::close(p.fd);
   p.fd = -1;
@@ -175,6 +179,7 @@ void Transport::set_peer(ProcessId id, const PeerAddress& addr) {
 }
 
 void Transport::set_send_paused(bool paused) {
+  MutexLock l(&mu_);
   send_paused_ = paused;
   if (!paused) {
     for (auto& [id, p] : peers_) {
@@ -184,6 +189,7 @@ void Transport::set_send_paused(bool paused) {
 }
 
 std::size_t Transport::outq_bytes() const {
+  MutexLock l(&mu_);
   std::size_t n = 0;
   for (const auto& [id, p] : peers_) n += p.outq.size();
   return n;
@@ -209,6 +215,7 @@ void Transport::flush_peer(Peer& p) {
 }
 
 void Transport::send(ProcessId from, ProcessId to, const env::Message& m) {
+  MutexLock l(&mu_);
   auto it = peers_.find(to);
   if (it == peers_.end()) {
     ++stats_.frames_dropped;
@@ -242,7 +249,7 @@ void Transport::send(ProcessId from, ProcessId to, const env::Message& m) {
   if (p.fd >= 0 && !p.connecting) flush_peer(p);
 }
 
-void Transport::parse_frames(Inbound& in) {
+void Transport::parse_frames(Inbound& in, std::vector<Ready>& ready) {
   std::size_t off = 0;
   while (in.buf.size() - off >= kFrameHeader) {
     std::uint32_t len = get_u32_le(in.buf.data() + off);
@@ -265,14 +272,16 @@ void Transport::parse_frames(Inbound& in) {
       ++stats_.decode_errors;  // drop the frame, keep the stream
     } else {
       ++stats_.frames_received;
-      on_message_(from, to, std::move(m));
+      // Staged, not dispatched: the caller invokes on_message once mu_ is
+      // released, because handlers re-enter send().
+      ready.push_back(Ready{from, to, std::move(m)});
     }
     off += kFrameHeader + len;
   }
   if (off > 0) in.buf.erase(in.buf.begin(), in.buf.begin() + long(off));
 }
 
-void Transport::service_inbound(Inbound& in) {
+void Transport::service_inbound(Inbound& in, std::vector<Ready>& ready) {
   while (true) {
     std::uint8_t chunk[64 * 1024];
     ssize_t r = ::recv(in.fd, chunk, sizeof(chunk), 0);
@@ -287,7 +296,7 @@ void Transport::service_inbound(Inbound& in) {
         in.buf.clear();
         return;
       }
-      parse_frames(in);
+      parse_frames(in, ready);
       if (in.fd < 0) return;
       continue;
     }
@@ -303,36 +312,42 @@ void Transport::service_inbound(Inbound& in) {
 void Transport::poll(Duration max_wait) {
   Time now = clock_();
 
-  // Kick due reconnects for peers with queued traffic, and bound the wait
-  // by the earliest pending attempt.
   Duration wait = std::max<Duration>(max_wait, 0);
-  for (auto& [id, p] : peers_) {
-    if (p.fd < 0 && !p.outq.empty()) {
-      if (now >= p.next_attempt) {
-        start_connect(p);
-        if (p.fd >= 0 && !p.connecting) flush_peer(p);
-      } else {
-        wait = std::min(wait, p.next_attempt - now);
-      }
-    }
-  }
-
   std::vector<pollfd> fds;
-  // Index bookkeeping: which pollfd belongs to whom.
+  // Index bookkeeping: which pollfd belongs to whom. Peer pointers stay
+  // valid across the unlocked ::poll (std::map; entries are never erased);
+  // fd identity is re-checked under the lock before they are serviced.
   std::vector<Peer*> peer_of;
   std::vector<Inbound*> in_of;
-  if (listen_fd_ >= 0) {
-    fds.push_back({listen_fd_, POLLIN, 0});
-    peer_of.push_back(nullptr);
-    in_of.push_back(nullptr);
-  }
-  for (auto& [id, p] : peers_) {
-    if (p.fd < 0) continue;
-    short events = POLLIN;  // detect close/reset
-    if (p.connecting || (!p.outq.empty() && !send_paused_)) events |= POLLOUT;
-    fds.push_back({p.fd, events, 0});
-    peer_of.push_back(&p);
-    in_of.push_back(nullptr);
+  {
+    MutexLock l(&mu_);
+    // Kick due reconnects for peers with queued traffic, and bound the
+    // wait by the earliest pending attempt.
+    for (auto& [id, p] : peers_) {
+      if (p.fd < 0 && !p.outq.empty()) {
+        if (now >= p.next_attempt) {
+          start_connect(p);
+          if (p.fd >= 0 && !p.connecting) flush_peer(p);
+        } else {
+          wait = std::min(wait, p.next_attempt - now);
+        }
+      }
+    }
+    if (listen_fd_ >= 0) {
+      fds.push_back({listen_fd_, POLLIN, 0});
+      peer_of.push_back(nullptr);
+      in_of.push_back(nullptr);
+    }
+    for (auto& [id, p] : peers_) {
+      if (p.fd < 0) continue;
+      short events = POLLIN;  // detect close/reset
+      if (p.connecting || (!p.outq.empty() && !send_paused_)) {
+        events |= POLLOUT;
+      }
+      fds.push_back({p.fd, events, 0});
+      peer_of.push_back(&p);
+      in_of.push_back(nullptr);
+    }
   }
   for (auto& in : inbound_) {
     if (in.fd < 0) continue;
@@ -342,7 +357,8 @@ void Transport::poll(Duration max_wait) {
   }
 
   // Round UP so a sub-millisecond wait does not truncate to a busy-spin;
-  // wait == 0 (work already due) still polls without blocking.
+  // wait == 0 (work already due) still polls without blocking. The lock is
+  // NOT held here: a concurrent send() must never block behind the wait.
   Duration capped = std::min<Duration>(wait, duration::seconds(1));
   int timeout_ms = int((capped + duration::milliseconds(1) - 1) /
                        duration::milliseconds(1));
@@ -357,53 +373,60 @@ void Transport::poll(Duration max_wait) {
   // Freshly accepted connections are staged and appended AFTER the loop:
   // in_of holds raw pointers into inbound_, so growing it mid-pass would
   // dangle them. A new connection cannot have readable frames we miss —
-  // the next poll() picks it up.
+  // the next poll() picks it up. Decoded messages are likewise staged in
+  // `ready` and dispatched only after mu_ is released.
   std::vector<Inbound> accepted;
-  for (std::size_t i = 0; i < fds.size(); ++i) {
-    if (fds[i].revents == 0) continue;
-    if (listen_fd_ >= 0 && fds[i].fd == listen_fd_) {
-      while (true) {
-        int cfd = ::accept(listen_fd_, nullptr, nullptr);
-        if (cfd < 0) break;
-        set_nonblocking(cfd);
-        set_nodelay(cfd);
-        accepted.push_back(Inbound{cfd, {}});
-      }
-      continue;
-    }
-    if (Peer* p = peer_of[i]) {
-      if (p->fd != fds[i].fd) continue;  // closed earlier in this pass
-      if (fds[i].revents & (POLLERR | POLLHUP)) {
-        close_peer(*p);
+  std::vector<Ready> ready;
+  {
+    MutexLock l(&mu_);
+    for (std::size_t i = 0; i < fds.size(); ++i) {
+      if (fds[i].revents == 0) continue;
+      if (listen_fd_ >= 0 && fds[i].fd == listen_fd_) {
+        while (true) {
+          int cfd = ::accept(listen_fd_, nullptr, nullptr);
+          if (cfd < 0) break;
+          set_nonblocking(cfd);
+          set_nodelay(cfd);
+          accepted.push_back(Inbound{cfd, {}});
+        }
         continue;
       }
-      if (p->connecting && (fds[i].revents & POLLOUT)) {
-        int err = 0;
-        socklen_t len = sizeof(err);
-        ::getsockopt(p->fd, SOL_SOCKET, SO_ERROR, &err, &len);
-        if (err != 0) {
+      if (Peer* p = peer_of[i]) {
+        // Closed earlier in this pass, or re-pointed by a concurrent
+        // set_peer while ::poll ran unlocked: events are stale, skip.
+        if (p->fd != fds[i].fd) continue;
+        if (fds[i].revents & (POLLERR | POLLHUP)) {
           close_peer(*p);
           continue;
         }
-        p->connecting = false;
-        p->backoff = 0;
-      }
-      if (!p->connecting && (fds[i].revents & POLLOUT)) flush_peer(*p);
-      if (p->fd >= 0 && (fds[i].revents & POLLIN)) {
-        // The receiving side never writes on our outbound connection; any
-        // readable event is EOF/reset.
-        std::uint8_t scratch[256];
-        ssize_t r = ::recv(p->fd, scratch, sizeof(scratch), 0);
-        if (r == 0 || (r < 0 && errno != EAGAIN && errno != EWOULDBLOCK)) {
-          close_peer(*p);
+        if (p->connecting && (fds[i].revents & POLLOUT)) {
+          int err = 0;
+          socklen_t len = sizeof(err);
+          ::getsockopt(p->fd, SOL_SOCKET, SO_ERROR, &err, &len);
+          if (err != 0) {
+            close_peer(*p);
+            continue;
+          }
+          p->connecting = false;
+          p->backoff = 0;
         }
+        if (!p->connecting && (fds[i].revents & POLLOUT)) flush_peer(*p);
+        if (p->fd >= 0 && (fds[i].revents & POLLIN)) {
+          // The receiving side never writes on our outbound connection;
+          // any readable event is EOF/reset.
+          std::uint8_t scratch[256];
+          ssize_t r = ::recv(p->fd, scratch, sizeof(scratch), 0);
+          if (r == 0 || (r < 0 && errno != EAGAIN && errno != EWOULDBLOCK)) {
+            close_peer(*p);
+          }
+        }
+        continue;
       }
-      continue;
-    }
-    if (Inbound* in = in_of[i]) {
-      if (in->fd != fds[i].fd) continue;
-      if (fds[i].revents & (POLLIN | POLLERR | POLLHUP)) {
-        service_inbound(*in);
+      if (Inbound* in = in_of[i]) {
+        if (in->fd != fds[i].fd) continue;
+        if (fds[i].revents & (POLLIN | POLLERR | POLLHUP)) {
+          service_inbound(*in, ready);
+        }
       }
     }
   }
@@ -411,6 +434,9 @@ void Transport::poll(Duration max_wait) {
                                 [](const Inbound& i) { return i.fd < 0; }),
                  inbound_.end());
   for (auto& in : accepted) inbound_.push_back(std::move(in));
+  // Dispatch with the lock released: handlers re-enter send() (and may
+  // call any other thread-safe entry point) freely.
+  for (auto& r : ready) on_message_(r.from, r.to, std::move(r.m));
 }
 
 }  // namespace amcast::net

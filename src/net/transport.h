@@ -18,8 +18,13 @@
 // paper's deployment. Outbound connections reconnect with exponential
 // backoff; queued frames survive a reconnect up to the per-peer byte cap.
 //
-// Single-threaded: poll() multiplexes all sockets and invokes the message
-// handler inline; the owning runtime::Executor calls it from its loop.
+// Threading: ONE thread owns poll() (the runtime::Executor loop today, a
+// dedicated network thread after the multicore refactor); send(),
+// set_peer(), set_send_paused(), outq_bytes(), and stats() may be called
+// from ANY thread. All shared state (peer table, outbound queues, stats,
+// pause flag) is guarded by `mu_` with clang thread-safety annotations
+// (common/sync.h), and the lock is never held across the blocking ::poll
+// wait or the on_message callback — handlers may re-enter send().
 #pragma once
 
 #include <cstdint>
@@ -30,6 +35,7 @@
 #include <vector>
 
 #include "common/ids.h"
+#include "common/sync.h"
 #include "env/message.h"
 #include "net/cluster_config.h"
 
@@ -67,27 +73,36 @@ class Transport {
 
   /// Queues a message toward `to` (must be a configured peer; messages to
   /// unknown peers are dropped and counted). Connects on demand.
-  void send(ProcessId from, ProcessId to, const env::Message& m);
+  /// Thread-safe.
+  void send(ProcessId from, ProcessId to, const env::Message& m)
+      AMCAST_EXCLUDES(mu_);
 
   /// Adds or re-points a peer after construction (connections open on
   /// demand). Lets two port-0 transports be wired to each other once both
   /// listen ports are known; an existing connection to `id` is dropped.
-  void set_peer(ProcessId id, const PeerAddress& addr);
+  /// Thread-safe.
+  void set_peer(ProcessId id, const PeerAddress& addr) AMCAST_EXCLUDES(mu_);
 
   /// Waits up to `max_wait` for socket activity, then services accepts,
   /// reads (dispatching via on_message), writes, and due reconnects.
-  void poll(Duration max_wait);
+  /// Poll-thread only; the wait and the on_message callbacks run unlocked.
+  void poll(Duration max_wait) AMCAST_EXCLUDES(mu_);
 
   /// Pauses outbound writes: send() keeps queueing frames (up to the
   /// per-peer byte cap) but nothing is flushed to the sockets until
   /// unpaused. Models a stalled uplink; the load generator's tests use it
   /// to prove latency is measured from intended send time (coordinated
   /// omission), since a paused client still owes every scheduled request.
-  void set_send_paused(bool paused);
-  bool send_paused() const { return send_paused_; }
+  /// Thread-safe.
+  void set_send_paused(bool paused) AMCAST_EXCLUDES(mu_);
+  bool send_paused() const AMCAST_EXCLUDES(mu_) {
+    MutexLock l(&mu_);
+    return send_paused_;
+  }
 
   /// Bytes currently queued toward all peers (depth of the stalled uplink).
-  std::size_t outq_bytes() const;
+  /// Thread-safe.
+  std::size_t outq_bytes() const AMCAST_EXCLUDES(mu_);
 
   struct Stats {
     std::uint64_t frames_sent = 0;
@@ -97,7 +112,12 @@ class Transport {
     std::uint64_t decode_errors = 0;
     std::uint64_t connects = 0;         ///< outbound connects attempted
   };
-  const Stats& stats() const { return stats_; }
+  /// Snapshot of the counters (by value: the struct mutates concurrently).
+  /// Thread-safe.
+  Stats stats() const AMCAST_EXCLUDES(mu_) {
+    MutexLock l(&mu_);
+    return stats_;
+  }
 
   std::uint16_t listen_port() const { return listen_port_; }
 
@@ -114,22 +134,42 @@ class Transport {
     int fd = -1;
     std::vector<std::uint8_t> buf;  ///< partial frame accumulation
   };
+  /// A decoded inbound frame staged for dispatch once `mu_` is released
+  /// (handlers re-enter send(), which takes the lock).
+  struct Ready {
+    ProcessId from = kInvalidProcess;
+    ProcessId to = kInvalidProcess;
+    env::MessagePtr m;
+  };
 
-  void start_connect(Peer& p);
-  void close_peer(Peer& p);
-  void flush_peer(Peer& p);
-  void service_inbound(Inbound& in);
-  void parse_frames(Inbound& in);
+  void start_connect(Peer& p) AMCAST_REQUIRES(mu_);
+  void close_peer(Peer& p) AMCAST_REQUIRES(mu_);
+  void flush_peer(Peer& p) AMCAST_REQUIRES(mu_);
+  void service_inbound(Inbound& in, std::vector<Ready>& ready)
+      AMCAST_REQUIRES(mu_);
+  void parse_frames(Inbound& in, std::vector<Ready>& ready)
+      AMCAST_REQUIRES(mu_);
 
+  // Immutable after construction (opts_, callbacks) or after listen()
+  // (listen_fd_, listen_port_); safe to read from any thread.
   Options opts_;
   std::function<void(ProcessId, ProcessId, env::MessagePtr)> on_message_;
   std::function<Time()> clock_;
   int listen_fd_ = -1;
   std::uint16_t listen_port_ = 0;
-  std::map<ProcessId, Peer> peers_;
+
+  mutable Mutex mu_;
+  /// Peer map shape is fixed apart from set_peer inserts; Peer pointers
+  /// stay valid (std::map never invalidates on insert), so poll() may
+  /// stash them across an unlocked ::poll and revalidate fd identity on
+  /// re-acquire.
+  std::map<ProcessId, Peer> peers_ AMCAST_GUARDED_BY(mu_);
+  Stats stats_ AMCAST_GUARDED_BY(mu_);
+  bool send_paused_ AMCAST_GUARDED_BY(mu_) = false;
+
+  /// Poll-thread only: inbound connections are accepted, read, and
+  /// compacted exclusively by the thread that owns poll().
   std::vector<Inbound> inbound_;
-  Stats stats_;
-  bool send_paused_ = false;
 };
 
 }  // namespace amcast::net

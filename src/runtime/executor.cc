@@ -71,6 +71,7 @@ Executor::~Executor() = default;
 Time Executor::now() const { return steady_ns() - epoch_ns_; }
 
 void Executor::schedule_after(Duration d, std::function<void()> fn) {
+  MutexLock l(&mu_);
   timers_.push(Timer{now() + std::max<Duration>(d, 0), next_seq_++,
                      std::move(fn)});
 }
@@ -137,20 +138,29 @@ void Executor::start_pending_nodes() {
 
 void Executor::fire_due_timers() {
   // Only fire what is due as of entry; a zero-delay chain (defer loops)
-  // still yields to IO every iteration.
+  // still yields to IO every iteration. The due batch is popped under the
+  // lock, then run unlocked: callbacks re-enter schedule_after (and other
+  // threads keep injecting) without deadlock.
   Time cutoff = now();
-  while (!timers_.empty() && timers_.top().t <= cutoff) {
-    Timer t = std::move(const_cast<Timer&>(timers_.top()));
-    timers_.pop();
-    t.fn();
+  std::vector<Timer> due;
+  {
+    MutexLock l(&mu_);
+    while (!timers_.empty() && timers_.top().t <= cutoff) {
+      due.push_back(std::move(const_cast<Timer&>(timers_.top())));
+      timers_.pop();
+    }
   }
+  for (Timer& t : due) t.fn();
 }
 
 void Executor::run_once(Duration max_wait) {
   start_pending_nodes();
   Duration wait = std::max<Duration>(max_wait, 0);
-  if (!timers_.empty()) {
-    wait = std::min(wait, std::max<Duration>(timers_.top().t - now(), 0));
+  {
+    MutexLock l(&mu_);
+    if (!timers_.empty()) {
+      wait = std::min(wait, std::max<Duration>(timers_.top().t - now(), 0));
+    }
   }
   if (transport_ != nullptr) {
     transport_->poll(wait);
@@ -166,7 +176,7 @@ void Executor::run_once(Duration max_wait) {
 }
 
 void Executor::run() {
-  while (!stopped_) run_once(duration::milliseconds(50));
+  while (!stopped()) run_once(duration::milliseconds(50));
 }
 
 }  // namespace amcast::runtime

@@ -11,6 +11,7 @@
 // simulation hosts is handed to add_node() here and becomes a real server.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -22,6 +23,7 @@
 #include "common/ids.h"
 #include "common/metrics.h"
 #include "common/rng.h"
+#include "common/sync.h"
 #include "env/env.h"
 #include "net/transport.h"
 
@@ -44,7 +46,11 @@ class Executor final : public env::Host {
 
   // --- env::Host ---------------------------------------------------------
   Time now() const override;
-  void schedule_after(Duration d, std::function<void()> fn) override;
+  /// Thread-safe: any thread may inject work; it runs on the loop thread.
+  /// This is the cross-thread seam the multicore refactor builds on (ring
+  /// threads posting into each other's loops).
+  void schedule_after(Duration d, std::function<void()> fn) override
+      AMCAST_EXCLUDES(mu_);
   void send(ProcessId from, ProcessId to, env::MessagePtr m) override;
   std::unique_ptr<env::Disk> make_disk(ProcessId owner, int index,
                                        const env::DiskParams& p) override;
@@ -68,11 +74,11 @@ class Executor final : public env::Host {
   /// Runs until stop(). Safe to call after scheduling initial work.
   void run();
 
-  /// Requests the loop to exit after the current iteration. Also the only
-  /// async-signal-adjacent entry point: signal handlers may set a flag and
-  /// the daemon calls stop() from its poll loop.
-  void stop() { stopped_ = true; }
-  bool stopped() const { return stopped_; }
+  /// Requests the loop to exit after the current iteration. Thread-safe
+  /// and async-signal-safe (a lock-free atomic store): signal handlers and
+  /// other threads may call it directly.
+  void stop() { stopped_.store(true, std::memory_order_relaxed); }
+  bool stopped() const { return stopped_.load(std::memory_order_relaxed); }
 
   /// One loop iteration: waits up to `max_wait` for transport IO or the
   /// next timer, then runs everything due. Exposed for tests and for
@@ -99,18 +105,31 @@ class Executor final : public env::Host {
   };
 
   void start_pending_nodes();
-  void fire_due_timers();
+  /// Pops everything due under the lock, then runs the callbacks with the
+  /// lock released (callbacks schedule more timers, i.e. re-enter).
+  void fire_due_timers() AMCAST_EXCLUDES(mu_);
 
+  // Immutable after construction; readable from any thread (now() is
+  // called by the transport's clock closure under the transport lock).
   ExecutorOptions opts_;
   std::int64_t epoch_ns_ = 0;  ///< steady-clock reading at construction
-  std::uint64_t next_seq_ = 0;
-  std::priority_queue<Timer, std::vector<Timer>, TimerOrder> timers_;
+
+  /// Guards the timer heap — the one structure other threads write into
+  /// (via schedule_after). Everything else below is loop-thread-only.
+  mutable Mutex mu_;
+  std::uint64_t next_seq_ AMCAST_GUARDED_BY(mu_) = 0;
+  std::priority_queue<Timer, std::vector<Timer>, TimerOrder> timers_
+      AMCAST_GUARDED_BY(mu_);
+
+  std::atomic<bool> stopped_ = false;
+
+  // Loop-thread only: node hosting, dispatch, metrics and rng are touched
+  // exclusively by the thread running run()/run_once().
   std::map<ProcessId, env::Node*> nodes_;
   std::vector<env::Node*> pending_start_;
   net::Transport* transport_ = nullptr;
   Metrics metrics_;
   Rng rng_;
-  bool stopped_ = false;
   std::uint64_t dropped_unroutable_ = 0;
 };
 

@@ -7,6 +7,8 @@
 #include <cstring>
 #include <filesystem>
 
+#include "common/strings.h"
+
 namespace amcast::runtime {
 
 namespace {
@@ -44,11 +46,15 @@ FileDisk::FileDisk(env::Host& host, std::string path, env::DiskParams params)
   if (p.has_parent_path()) {
     std::filesystem::create_directories(p.parent_path(), ec);
   }
+  // Construction is single-threaded, but load_existing requires the
+  // capability; an uncontended acquire keeps the annotations honest.
+  MutexLock l(&mu_);
   fd_ = ::open(path_.c_str(), O_RDWR | O_CREAT, 0644);
   if (fd_ >= 0) load_existing();
 }
 
 FileDisk::~FileDisk() {
+  MutexLock l(&mu_);
   if (fd_ >= 0) {
     if (dirty_) ::fdatasync(fd_);
     ::close(fd_);
@@ -92,15 +98,15 @@ void FileDisk::append(const std::vector<std::uint8_t>& rec) {
   std::uint8_t hdr[kRecordHeader];
   put_u32_le(hdr, std::uint32_t(rec.size()));
   put_u32_le(hdr + 4, fnv1a(rec.data(), rec.size()));
-  // Two plain writes: the journal is append-only and single-threaded, so
-  // nothing can interleave between header and body.
+  // Two plain writes: the journal is append-only and append() runs under
+  // mu_, so nothing can interleave between header and body.
   ssize_t w1 = ::write(fd_, hdr, sizeof(hdr));
   ssize_t w2 = ::write(fd_, rec.data(), rec.size());
   if (w1 != ssize_t(sizeof(hdr)) || w2 != ssize_t(rec.size())) {
     // Disk full / IO error: the journal is no longer trustworthy. Flip to
     // dead (write paths then strand all durability continuations).
     std::fprintf(stderr, "FileDisk: journal append to %s failed: %s\n",
-                 path_.c_str(), std::strerror(errno));
+                 path_.c_str(), errno_str(errno).c_str());
     ::close(fd_);
     fd_ = -1;
     return;
@@ -124,13 +130,19 @@ void FileDisk::complete(std::function<void()> cb) {
 }
 
 void FileDisk::write(std::size_t bytes, std::function<void()> on_durable) {
-  bytes_written_ += bytes;
-  if (fd_ < 0) return;  // dead device: never confirm durability (see below)
-  sync();  // durability barrier for everything appended so far
+  {
+    MutexLock l(&mu_);
+    bytes_written_ += bytes;
+    if (fd_ < 0) return;  // dead device: never confirm durability (below)
+    sync();  // durability barrier for everything appended so far
+  }
   complete(std::move(on_durable));
 }
 
-void FileDisk::write_async(std::size_t bytes) { bytes_written_ += bytes; }
+void FileDisk::write_async(std::size_t bytes) {
+  MutexLock l(&mu_);
+  bytes_written_ += bytes;
+}
 
 void FileDisk::read(std::size_t, std::function<void()> done) {
   complete(std::move(done));
@@ -142,26 +154,34 @@ void FileDisk::when_accepting(std::function<void()> cb) {
 
 void FileDisk::write_record(std::size_t bytes, std::vector<std::uint8_t> rec,
                             std::function<void()> on_durable) {
-  bytes_written_ += bytes;
-  append(rec);
-  if (fd_ < 0) return;  // append failed (or device was already dead):
-                        // STRAND the continuation rather than ack a write
-                        // that never reached the journal — a false
-                        // durability ack here would let an acceptor
-                        // restart with a truncated log and break the
-                        // quorum-intersection safety argument. The stall
-                        // is the same behavior as a hung device; the
-                        // daemon refuses to start on an unhealthy journal.
-  sync();
+  {
+    MutexLock l(&mu_);
+    bytes_written_ += bytes;
+    append(rec);
+    if (fd_ < 0) return;  // append failed (or device was already dead):
+                          // STRAND the continuation rather than ack a
+                          // write that never reached the journal — a false
+                          // durability ack here would let an acceptor
+                          // restart with a truncated log and break the
+                          // quorum-intersection safety argument. The stall
+                          // is the same behavior as a hung device; the
+                          // daemon refuses to start on an unhealthy
+                          // journal.
+    sync();
+  }
   complete(std::move(on_durable));
 }
 
 void FileDisk::write_record_async(std::size_t bytes,
                                   std::vector<std::uint8_t> rec) {
+  MutexLock l(&mu_);
   bytes_written_ += bytes;
   append(rec);  // buffered: the OS page cache is the write-behind queue
 }
 
-void FileDisk::journal_record(std::vector<std::uint8_t> rec) { append(rec); }
+void FileDisk::journal_record(std::vector<std::uint8_t> rec) {
+  MutexLock l(&mu_);
+  append(rec);
+}
 
 }  // namespace amcast::runtime

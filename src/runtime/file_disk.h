@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "common/sync.h"
 #include "env/env.h"
 
 namespace amcast::runtime {
@@ -35,13 +36,22 @@ class FileDisk final : public env::Disk {
   FileDisk(const FileDisk&) = delete;
   FileDisk& operator=(const FileDisk&) = delete;
 
-  void write(std::size_t bytes, std::function<void()> on_durable) override;
-  void write_async(std::size_t bytes) override;
+  // The append/sync path is what the multicore refactor moves off the ring
+  // thread (a dedicated flush thread batching fdatasyncs), so the journal
+  // state below is mutex-guarded already: any thread may append or ask for
+  // a durability barrier. Completion callbacks still run on the owner's
+  // loop (host_.schedule_after is itself thread-safe).
+  void write(std::size_t bytes, std::function<void()> on_durable) override
+      AMCAST_EXCLUDES(mu_);
+  void write_async(std::size_t bytes) override AMCAST_EXCLUDES(mu_);
   void read(std::size_t bytes, std::function<void()> done) override;
   bool accepting() const override { return true; }
   void when_accepting(std::function<void()> cb) override;
   std::size_t backlog_bytes() const override { return 0; }
-  std::size_t bytes_written() const override { return bytes_written_; }
+  std::size_t bytes_written() const override AMCAST_EXCLUDES(mu_) {
+    MutexLock l(&mu_);
+    return bytes_written_;
+  }
   void set_epoch_source(std::function<std::uint64_t()> fn) override {
     epoch_fn_ = std::move(fn);
   }
@@ -49,10 +59,13 @@ class FileDisk final : public env::Disk {
 
   bool wants_records() const override { return true; }
   void write_record(std::size_t bytes, std::vector<std::uint8_t> rec,
-                    std::function<void()> on_durable) override;
+                    std::function<void()> on_durable) override
+      AMCAST_EXCLUDES(mu_);
   void write_record_async(std::size_t bytes,
-                          std::vector<std::uint8_t> rec) override;
-  void journal_record(std::vector<std::uint8_t> rec) override;
+                          std::vector<std::uint8_t> rec) override
+      AMCAST_EXCLUDES(mu_);
+  void journal_record(std::vector<std::uint8_t> rec) override
+      AMCAST_EXCLUDES(mu_);
   const std::vector<std::vector<std::uint8_t>>& stored_records() override {
     return records_;
   }
@@ -62,12 +75,15 @@ class FileDisk final : public env::Disk {
   }
 
   const std::string& path() const { return path_; }
-  bool healthy() const override { return fd_ >= 0; }
+  bool healthy() const override AMCAST_EXCLUDES(mu_) {
+    MutexLock l(&mu_);
+    return fd_ >= 0;
+  }
 
  private:
-  void load_existing();
-  void append(const std::vector<std::uint8_t>& rec);
-  void sync();
+  void load_existing() AMCAST_REQUIRES(mu_);
+  void append(const std::vector<std::uint8_t>& rec) AMCAST_REQUIRES(mu_);
+  void sync() AMCAST_REQUIRES(mu_);
   /// Defers `cb` through the host loop, dropping it if the owner crashed.
   void complete(std::function<void()> cb);
   std::uint64_t epoch() const { return epoch_fn_ ? epoch_fn_() : 0; }
@@ -76,10 +92,17 @@ class FileDisk final : public env::Disk {
   std::string path_;
   env::DiskParams params_;
   std::function<std::uint64_t()> epoch_fn_;
-  int fd_ = -1;
-  bool dirty_ = false;  ///< appended since the last fdatasync
-  std::size_t bytes_written_ = 0;
-  std::vector<std::vector<std::uint8_t>> records_;  ///< loaded at open
+
+  /// Guards the journal itself: descriptor health, the dirty flag, and the
+  /// modeled byte count all mutate on the append/sync path.
+  mutable Mutex mu_;
+  int fd_ AMCAST_GUARDED_BY(mu_) = -1;
+  bool dirty_ AMCAST_GUARDED_BY(mu_) = false;  ///< appended since last sync
+  std::size_t bytes_written_ AMCAST_GUARDED_BY(mu_) = 0;
+
+  /// Replay-phase only: filled while loading in the constructor, consumed
+  /// by the owner (AcceptorStorage) before any concurrent use begins.
+  std::vector<std::vector<std::uint8_t>> records_;
 };
 
 }  // namespace amcast::runtime

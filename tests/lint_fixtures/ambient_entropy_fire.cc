@@ -1,0 +1,11 @@
+// Fixture: ambient entropy in sim-domain code must fire ambient-entropy.
+#include <random>
+
+namespace amcast::fixture {
+
+unsigned bad_seed() {
+  std::random_device rd;
+  return rd();
+}
+
+}  // namespace amcast::fixture

@@ -1,0 +1,11 @@
+// Fixture: justified NOLINT silences ambient-entropy.
+#include <random>
+
+namespace amcast::fixture {
+
+unsigned tolerated_seed() {
+  std::random_device rd;  // NOLINT-amcast(ambient-entropy): fixture suppression demo
+  return rd();
+}
+
+}  // namespace amcast::fixture

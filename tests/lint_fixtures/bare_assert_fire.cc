@@ -1,0 +1,8 @@
+// Fixture: NDEBUG-stripped assert() must fire bare-assert.
+#include <cassert>
+
+namespace amcast::fixture {
+
+void bad_check(int quorum) { assert(quorum > 0); }
+
+}  // namespace amcast::fixture

@@ -1,0 +1,17 @@
+// Fixture: justified NOLINTs silence bare-assert; AMCAST_ASSERT and
+// static_assert never fire it.
+// NOLINT-amcast(bare-assert): fixture suppression demo (include line)
+#include <cassert>
+
+#include "common/assert.h"
+
+namespace amcast::fixture {
+
+static_assert(sizeof(int) >= 4, "static_assert is fine");
+
+void tolerated_check(int quorum) {
+  assert(quorum > 0);  // NOLINT-amcast(bare-assert): fixture suppression demo
+  AMCAST_ASSERT(quorum > 0);
+}
+
+}  // namespace amcast::fixture

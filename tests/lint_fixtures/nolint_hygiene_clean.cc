@@ -1,0 +1,10 @@
+// Fixture: a well-formed suppression (known rule + reason) is hygienic.
+
+namespace amcast::fixture {
+
+int good_suppression() {
+  int x = 0;  // NOLINT-amcast(wall-clock): well-formed fixture suppression
+  return x;
+}
+
+}  // namespace amcast::fixture

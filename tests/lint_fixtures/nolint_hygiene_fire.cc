@@ -1,0 +1,12 @@
+// Fixture: a NOLINT without a reason (or with an unknown rule) must fire
+// nolint-hygiene — suppressions are audit records, not mute buttons.
+
+namespace amcast::fixture {
+
+int bad_suppression() {
+  int x = 0;  // NOLINT-amcast(wall-clock)
+  int y = 0;  // NOLINT-amcast(not-a-rule): reason for a rule that is unknown
+  return x + y;
+}
+
+}  // namespace amcast::fixture

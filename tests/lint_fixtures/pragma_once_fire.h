@@ -1,0 +1,7 @@
+// Fixture: a header without #pragma once must fire pragma-once.
+
+namespace amcast::fixture {
+
+inline int missing_guard() { return 1; }
+
+}  // namespace amcast::fixture

@@ -1,0 +1,9 @@
+// Fixture: pragma-once is file-level; a justified NOLINT anywhere in the
+// file suppresses it (e.g. for a textual X-macro include).
+// NOLINT-amcast(pragma-once): fixture models a multiple-inclusion X-macro
+
+namespace amcast::fixture {
+
+inline int intentional_no_guard() { return 1; }
+
+}  // namespace amcast::fixture

@@ -1,0 +1,8 @@
+// Fixture: stdout/stderr from sim-domain code must fire print-determinism.
+#include <iostream>
+
+namespace amcast::fixture {
+
+void bad_report(int n) { std::cout << "delivered " << n << "\n"; }
+
+}  // namespace amcast::fixture

@@ -1,0 +1,11 @@
+// Fixture: justified NOLINT silences print-determinism.
+#include <iostream>
+
+namespace amcast::fixture {
+
+void tolerated_report(int n) {
+  // NOLINT-amcast(print-determinism): fixture suppression demo
+  std::cout << "delivered " << n << "\n";
+}
+
+}  // namespace amcast::fixture

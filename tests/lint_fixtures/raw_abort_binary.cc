@@ -1,0 +1,8 @@
+// Fixture: binary entry points (.cpp) may exit() on operator error — the
+// raw-abort rule is scoped to library code (.h/.cc). Linted as a .cpp path.
+#include <cstdlib>
+
+int main(int argc, char**) {
+  if (argc < 2) std::exit(2);
+  return 0;
+}

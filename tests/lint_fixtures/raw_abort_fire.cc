@@ -1,0 +1,10 @@
+// Fixture: raw abort()/exit() in library code must fire raw-abort.
+#include <cstdlib>
+
+namespace amcast::fixture {
+
+void bad_fail(bool broken) {
+  if (broken) std::abort();
+}
+
+}  // namespace amcast::fixture

@@ -1,0 +1,11 @@
+// Fixture: justified NOLINT silences raw-abort.
+#include <cstdlib>
+
+namespace amcast::fixture {
+
+void tolerated_fail(bool broken) {
+  // NOLINT-amcast(raw-abort): fixture suppression demo
+  if (broken) std::abort();
+}
+
+}  // namespace amcast::fixture

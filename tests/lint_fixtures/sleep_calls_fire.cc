@@ -1,0 +1,11 @@
+// Fixture: real sleeps in sim-domain code must fire sleep-calls.
+#include <chrono>
+#include <thread>
+
+namespace amcast::fixture {
+
+void bad_wait() {
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+}
+
+}  // namespace amcast::fixture

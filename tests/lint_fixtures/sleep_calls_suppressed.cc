@@ -1,0 +1,14 @@
+// Fixture: justified NOLINTs silence sleep-calls (the includes also need
+// thread-primitives suppressions — <thread> is itself banned in sim code).
+#include <chrono>
+// NOLINT-amcast(thread-primitives): fixture suppression demo (include line)
+#include <thread>
+
+namespace amcast::fixture {
+
+void tolerated_wait() {
+  // NOLINT-amcast(sleep-calls): fixture suppression demo
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+}
+
+}  // namespace amcast::fixture

@@ -1,0 +1,11 @@
+// Fixture: threading primitives in sim-domain code must fire
+// thread-primitives.
+#include <mutex>
+
+namespace amcast::fixture {
+
+std::mutex bad_mu;
+
+void bad_lock() { bad_mu.lock(); }
+
+}  // namespace amcast::fixture

@@ -1,0 +1,12 @@
+// Fixture: justified NOLINTs silence thread-primitives.
+// NOLINT-amcast(thread-primitives): fixture suppression demo (include line)
+#include <mutex>
+
+namespace amcast::fixture {
+
+// NOLINT-amcast(thread-primitives): fixture suppression demo (decl line)
+std::mutex tolerated_mu;
+
+void tolerated_lock() { tolerated_mu.lock(); }
+
+}  // namespace amcast::fixture

@@ -1,0 +1,17 @@
+// Fixture: iterating an unordered container in protocol code without a
+// lint:ordered justification must fire unordered-iteration.
+#include <cstdint>
+#include <unordered_map>
+
+namespace amcast::fixture {
+
+// NOLINT-amcast(thread-primitives): fixture focuses on unordered-iteration
+std::unordered_map<std::uint64_t, int> bad_acks;
+
+int bad_sum() {
+  int total = 0;
+  for (const auto& [id, n] : bad_acks) total += n;
+  return total;
+}
+
+}  // namespace amcast::fixture

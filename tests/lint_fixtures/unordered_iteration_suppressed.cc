@@ -1,0 +1,18 @@
+// Fixture: a lint:ordered justification makes unordered iteration OK when
+// the result is genuinely order-insensitive (here: a commutative sum).
+#include <cstdint>
+#include <unordered_map>
+
+namespace amcast::fixture {
+
+// NOLINT-amcast(thread-primitives): fixture focuses on unordered-iteration
+std::unordered_map<std::uint64_t, int> ok_acks;
+
+int ok_sum() {
+  int total = 0;
+  // lint:ordered summation is commutative; iteration order cannot leak out
+  for (const auto& [id, n] : ok_acks) total += n;
+  return total;
+}
+
+}  // namespace amcast::fixture

@@ -1,0 +1,11 @@
+// Fixture: sim-domain code reading the wall clock must fire wall-clock.
+#include <chrono>
+
+namespace amcast::fixture {
+
+long bad_now() {
+  auto t = std::chrono::steady_clock::now();
+  return t.time_since_epoch().count();
+}
+
+}  // namespace amcast::fixture

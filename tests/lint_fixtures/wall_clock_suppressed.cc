@@ -1,0 +1,12 @@
+// Fixture: a justified NOLINT silences wall-clock on that line.
+#include <chrono>
+
+namespace amcast::fixture {
+
+long tolerated_now() {
+  // NOLINT-amcast(wall-clock): fixture demonstrating a sanctioned suppression
+  auto t = std::chrono::steady_clock::now();
+  return t.time_since_epoch().count();
+}
+
+}  // namespace amcast::fixture
