@@ -47,6 +47,7 @@ int usage() {
       "usage: loadgen --config FILE --rates R1,R2,... [options]\n"
       "   or: loadgen --gate FILE [--compare BASELINE] [--tolerance PCT]\n"
       "               [--require-saturation] [--require-scaling]\n"
+      "               [--require-multicore-speedup X]\n"
       "run options:\n"
       "  --process NAME|ID     client process to run as (default: first\n"
       "                        role=client in the config)\n"
@@ -60,6 +61,9 @@ int usage() {
       "  --timeout-ms N        per-op timeout (default 5000)\n"
       "  --seed N              workload/schedule seed (default 1)\n"
       "  --name NAME           scenario row name (default runtime_sweep)\n"
+      "  --label-threads N     executor threads per server process, for the\n"
+      "                        artifact rows (the cluster itself is\n"
+      "                        configured via amcast_noded --threads)\n"
       "  --no-preload          skip populating the key universe\n"
       "  --out FILE            artifact path (default BENCH_runtime.json)\n"
       "  --append              merge rows into an existing artifact\n"
@@ -131,6 +135,7 @@ int main(int argc, char** argv) {
   LoadGenOptions opts;
   bench::RuntimeGateOptions gate_opts;
   double warmup_s = 1, window_s = 3;
+  int label_threads = 1;
   bool append = false, smoke = false, preload = true;
   bool gate_mode = false;
 
@@ -190,6 +195,10 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (!v) return usage();
       name = v;
+    } else if (a == "--label-threads") {
+      double v = 0;
+      if (!next_d(&v) || v < 1) return usage();
+      label_threads = int(v);
     } else if (a == "--out") {
       const char* v = next();
       if (!v) return usage();
@@ -217,6 +226,8 @@ int main(int argc, char** argv) {
       gate_opts.require_saturation = true;
     } else if (a == "--require-scaling") {
       gate_opts.require_scaling = true;
+    } else if (a == "--require-multicore-speedup") {
+      if (!next_d(&gate_opts.require_multicore_speedup)) return usage();
     } else {
       std::fprintf(stderr, "loadgen: unknown flag %s\n", a.c_str());
       return usage();
@@ -263,9 +274,13 @@ int main(int argc, char** argv) {
   net::set_snapshot_state_codec(net::kv_snapshot_state_codec());
 
   runtime::Executor ex({/*data_dir=*/"", std::uint64_t(self->id) + 1});
+  net::Transport::Options topts;
+  topts.self = self->id;
+  topts.listen_host = self->host;
+  topts.listen_port = self->port;
+  topts.peers = cfg.peer_map();
   net::Transport transport(
-      net::Transport::Options{self->id, self->host, self->port,
-                              cfg.peer_map()},
+      topts,
       [&ex](ProcessId from, ProcessId to, env::MessagePtr m) {
         ex.dispatch(from, to, std::move(m));
       },
@@ -324,8 +339,8 @@ int main(int argc, char** argv) {
     pump_until([&] { return client->drained(); },
                opts.op_timeout + duration::seconds(1));
     bench::RatePoint point = client->take_point();
-    rows.push_back(
-        make_runtime_row(name, rings, opts, point, opts.seed, wall.seconds()));
+    rows.push_back(make_runtime_row(name, rings, label_threads, opts, point,
+                                    opts.seed, wall.seconds()));
     total_measured += point.measured;
     std::printf("loadgen: rings=%d offered=%.0f/s goodput=%.0f/s p50=%.2fms "
                 "p99=%.2fms p999=%.2fms timeouts=%lld\n",

@@ -277,13 +277,16 @@ RatePoint LoadGenClient::take_point() const {
 }
 
 ScenarioResult make_runtime_row(const std::string& name, int rings,
-                                const LoadGenOptions& opts,
+                                int threads, const LoadGenOptions& opts,
                                 const RatePoint& point, std::uint64_t seed,
                                 double wall_s) {
   ScenarioResult row;
   row.name = name;
   row.seed = seed;
   row.params.set("rings", rings);
+  // Only multithreaded rows carry the param: gate keys concatenate every
+  // param, so labeling threads=1 would orphan all pre-sharding baselines.
+  if (threads != 1) row.params.set("threads", threads);
   row.params.set("offered_rate", point.offered_rate);
   row.params.set("sessions", opts.sessions);
   row.params.set("get_ratio", opts.get_ratio);
@@ -302,11 +305,14 @@ ScenarioResult make_runtime_row(const std::string& name, int rings,
 
 namespace {
 
-/// (rings, offered_rate, goodput) triple of one runtime scenario row.
+/// (rings, threads, offered_rate, goodput) tuple of one runtime scenario
+/// row. threads defaults to 1: single-threaded rows omit the param.
 struct GatePoint {
   const json::Value* row = nullptr;
   std::string key;
+  std::string name;
   int rings = 0;
+  int threads = 1;
   double offered = 0;
   double goodput = 0;
 };
@@ -331,10 +337,14 @@ std::vector<GatePoint> gate_points(const json::Value& doc) {
     GatePoint p;
     p.row = &row;
     p.key = gate_row_key(row);
+    if (const json::Value* n = row.find("name")) p.name = n->as_string();
     const json::Value* params = row.find("params");
     const json::Value* metrics = row.find("metrics");
     if (params != nullptr) {
       if (const auto* r = params->find("rings")) p.rings = int(r->as_number());
+      if (const auto* t = params->find("threads")) {
+        p.threads = int(t->as_number());
+      }
       if (const auto* r = params->find("offered_rate")) {
         p.offered = r->as_number();
       }
@@ -347,10 +357,15 @@ std::vector<GatePoint> gate_points(const json::Value& doc) {
   return out;
 }
 
-double max_goodput(const std::vector<GatePoint>& pts, int rings) {
+/// Peak goodput at `rings` over single-threaded (threads == 1) or
+/// multithreaded (threads > 1) points; -1 when no point matches.
+double max_goodput(const std::vector<GatePoint>& pts, int rings,
+                   bool multithreaded) {
   double best = -1;
   for (const auto& p : pts) {
-    if (p.rings == rings) best = std::max(best, p.goodput);
+    if (p.rings != rings) continue;
+    if (multithreaded ? p.threads <= 1 : p.threads != 1) continue;
+    best = std::max(best, p.goodput);
   }
   return best;
 }
@@ -407,32 +422,42 @@ int gate_runtime_report(const json::Value& current, const json::Value* baseline,
   }
 
   // --- fig3 shape: goodput tracks offered load, then saturates without ----
-  // collapsing. Checked per ring count over points in ascending offered
-  // rate. Thresholds are deliberately loose — shared-machine wall clock.
+  // collapsing. Checked per (ring count, threads) sweep — a multicore
+  // cluster's points form their own curve, never mixed into the
+  // single-threaded one — over points in ascending offered rate.
+  // Thresholds are deliberately loose — shared-machine wall clock.
   std::vector<int> ring_counts;
+  std::vector<std::pair<int, int>> sweeps;  ///< distinct (rings, threads)
   for (const auto& p : pts) {
     if (std::find(ring_counts.begin(), ring_counts.end(), p.rings) ==
         ring_counts.end()) {
       ring_counts.push_back(p.rings);
     }
+    std::pair<int, int> s{p.rings, p.threads};
+    if (std::find(sweeps.begin(), sweeps.end(), s) == sweeps.end()) {
+      sweeps.push_back(s);
+    }
   }
   std::sort(ring_counts.begin(), ring_counts.end());
+  std::sort(sweeps.begin(), sweeps.end());
   bool saturated_somewhere = false;
-  for (int rings : ring_counts) {
+  for (auto [rings, threads] : sweeps) {
     std::vector<GatePoint> group;
     for (const auto& p : pts) {
-      if (p.rings == rings) group.push_back(p);
+      if (p.rings == rings && p.threads == threads) group.push_back(p);
     }
     std::sort(group.begin(), group.end(),
               [](const GatePoint& a, const GatePoint& b) {
                 return a.offered < b.offered;
               });
+    std::string label = "rings=" + std::to_string(rings);
+    if (threads != 1) label += " threads=" + std::to_string(threads);
     // Below the knee the cluster must keep up with the offered rate.
     const GatePoint& lo = group.front();
     if (lo.goodput < 0.7 * lo.offered) {
-      std::printf("fig3 shape: FAIL rings=%d lowest point (offered=%.0f) "
+      std::printf("fig3 shape: FAIL %s lowest point (offered=%.0f) "
                   "goodput=%.0f < 70%% of offered\n",
-                  rings, lo.offered, lo.goodput);
+                  label.c_str(), lo.offered, lo.goodput);
       ++failures;
     }
     // Past the knee goodput may flatten but must not collapse.
@@ -440,17 +465,18 @@ int gate_runtime_report(const json::Value& current, const json::Value* baseline,
     for (const auto& p : group) {
       running_max = std::max(running_max, p.goodput);
       if (p.goodput < 0.5 * running_max) {
-        std::printf("fig3 shape: FAIL rings=%d offered=%.0f goodput=%.0f "
+        std::printf("fig3 shape: FAIL %s offered=%.0f goodput=%.0f "
                     "collapsed below 50%% of earlier max %.0f\n",
-                    rings, p.offered, p.goodput, running_max);
+                    label.c_str(), p.offered, p.goodput, running_max);
         ++failures;
       }
     }
     const GatePoint& hi = group.back();
     if (hi.goodput < 0.9 * hi.offered) saturated_somewhere = true;
-    std::printf("fig3 shape: rings=%d points=%zu peak_goodput=%.0f/s "
+    std::printf("fig3 shape: %s points=%zu peak_goodput=%.0f/s "
                 "top_point=%.0f/%.0f %s\n",
-                rings, group.size(), running_max, hi.goodput, hi.offered,
+                label.c_str(), group.size(), running_max, hi.goodput,
+                hi.offered,
                 hi.goodput < 0.9 * hi.offered ? "(saturated)"
                                               : "(keeping up)");
   }
@@ -460,10 +486,12 @@ int gate_runtime_report(const json::Value& current, const json::Value* baseline,
     ++failures;
   }
 
-  // --- fig7 shape: rings scale horizontally ------------------------------
+  // --- fig7 shape: rings scale horizontally (single-threaded sweeps ------
+  // only: the multicore leg varies threads at a fixed ring count and has
+  // its own gate below).
   if (opts.require_scaling) {
-    double g1 = max_goodput(pts, 1);
-    double g2 = max_goodput(pts, 2);
+    double g1 = max_goodput(pts, 1, /*multithreaded=*/false);
+    double g2 = max_goodput(pts, 2, /*multithreaded=*/false);
     if (g1 < 0 || g2 < 0) {
       std::printf("fig7 shape: FAIL need both 1-ring and 2-ring sweeps\n");
       ++failures;
@@ -478,12 +506,51 @@ int gate_runtime_report(const json::Value& current, const json::Value* baseline,
                   g2, g2 / g1, g1);
     }
     for (std::size_t i = 2; i < ring_counts.size(); ++i) {
-      double prev = max_goodput(pts, ring_counts[i - 1]);
-      double cur = max_goodput(pts, ring_counts[i]);
+      double prev =
+          max_goodput(pts, ring_counts[i - 1], /*multithreaded=*/false);
+      double cur = max_goodput(pts, ring_counts[i], /*multithreaded=*/false);
       std::printf("fig7 shape: info %d->%d rings peak %.0f -> %.0f/s "
                   "(%.2fx)\n",
                   ring_counts[i - 1], ring_counts[i], prev, cur,
                   prev > 0 ? cur / prev : 0);
+    }
+  }
+
+  // --- multicore: thread-per-ring sharding must buy real throughput ------
+  // Compared within one scenario name at one ring count, so the colocated
+  // leg's 1-thread run is measured against its OWN sharded run — never
+  // against the multi-process sweep that happens to share a ring count.
+  if (opts.require_multicore_speedup > 0) {
+    bool compared = false;
+    std::vector<std::pair<std::string, int>> groups;
+    for (const auto& p : pts) {
+      std::pair<std::string, int> g{p.name, p.rings};
+      if (std::find(groups.begin(), groups.end(), g) == groups.end()) {
+        groups.push_back(g);
+      }
+    }
+    std::sort(groups.begin(), groups.end());
+    for (const auto& [gname, rings] : groups) {
+      double single = -1, multi = -1;
+      for (const auto& p : pts) {
+        if (p.name != gname || p.rings != rings) continue;
+        (p.threads > 1 ? multi : single) =
+            std::max(p.threads > 1 ? multi : single, p.goodput);
+      }
+      if (single < 0 || multi < 0) continue;  // need both sweeps to compare
+      compared = true;
+      bool ok = single > 0 && multi >= opts.require_multicore_speedup * single;
+      if (!ok) ++failures;
+      std::printf("multicore: %s %s rings=%d sharded peak %.0f/s = %.2fx "
+                  "single-thread peak %.0f/s (need >=%.2fx)\n",
+                  ok ? "ok" : "FAIL", gname.c_str(), rings, multi,
+                  single > 0 ? multi / single : 0, single,
+                  opts.require_multicore_speedup);
+    }
+    if (!compared) {
+      std::printf("multicore: FAIL no scenario was measured at both "
+                  "threads=1 and threads>1\n");
+      ++failures;
     }
   }
 

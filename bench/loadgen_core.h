@@ -225,9 +225,11 @@ class LoadGenClient final : public core::MulticastNode {
 
 /// Builds the BENCH_runtime.json scenario row of one rate point (schema in
 /// bench/bench_util.h: params carry the point's identity for gate matching,
-/// metrics carry the measurements).
+/// metrics carry the measurements). `threads` labels the executor threads
+/// per server process (the sharded runtime); it is emitted as a param only
+/// when != 1 so single-threaded rows keep their historical gate keys.
 ScenarioResult make_runtime_row(const std::string& name, int rings,
-                                const LoadGenOptions& opts,
+                                int threads, const LoadGenOptions& opts,
                                 const RatePoint& point, std::uint64_t seed,
                                 double wall_s);
 
@@ -242,6 +244,11 @@ struct RuntimeGateOptions {
   bool require_saturation = false;
   /// fig7: require higher aggregate goodput at 2 rings than at 1.
   bool require_scaling = false;
+  /// Multicore: for at least one ring count measured at both threads==1 and
+  /// threads>1, the multithreaded peak goodput must be >= this factor times
+  /// the single-threaded peak (0 disables). The runtime_bench multicore leg
+  /// gates at 2x on hosts with enough cores.
+  double require_multicore_speedup = 0;
 };
 
 /// Verifies `current` (and optionally compares against `baseline`); prints

@@ -16,7 +16,10 @@ runtime. This lint enforces the rules that keep that true:
     must never feed message or delivery order);
   * no NDEBUG-stripped `assert(` / raw `abort()` — invariants go through
     AMCAST_ASSERT/AMCAST_ASSERT_MSG, which stay on in release builds and
-    print file/line context before dying.
+    print file/line context before dying;
+  * no raw std::thread in src/runtime outside src/runtime/sharding.* —
+    the sharding module owns thread lifetime (join-on-stop, pinning, the
+    TSan CI leg), and stray threads escape all three.
 
 Suppressions: append `// NOLINT-amcast(<rule>): <reason>` to the flagged
 line (or the line directly above). The reason is mandatory; a bare NOLINT
@@ -91,6 +94,14 @@ def any_code(rel):
     return rel.endswith(EXTS)
 
 
+def runtime_nonsharding(rel):
+    # src/runtime minus the blessed sharding module (src/runtime/sharding.*),
+    # which is the one place allowed to spawn raw threads.
+    rel = rel.replace(os.sep, "/")
+    return (in_dirs(rel, ("src/runtime",)) and rel.endswith(EXTS)
+            and not rel.startswith("src/runtime/sharding."))
+
+
 def header(rel):
     return rel.endswith(".h")
 
@@ -159,6 +170,15 @@ RULES = [
         r"(?<![A-Za-z0-9_:.])abort\s*\(|std::abort\s*\("
         r"|(?<![A-Za-z0-9_:.])exit\s*\(|std::exit\s*\("
         r"|\bstd::terminate\s*\(|(?<![A-Za-z0-9_])_Exit\s*\(",
+    ),
+    Rule(
+        "raw-thread-spawn",
+        "src/runtime spawns threads only through the sharding module "
+        "(src/runtime/sharding.* owns thread lifetime: join-on-stop, CPU "
+        "pinning, TSan coverage); raw std::thread elsewhere escapes that "
+        "lifecycle",
+        runtime_nonsharding,
+        r"\bstd::\s*(?:jthread|thread)\b|\bpthread_create\s*\(",
     ),
     Rule(
         "unordered-iteration",

@@ -16,6 +16,14 @@
 # full run adds 4 rings and requires the sweep to reach saturation.
 # Rates/windows are overridable via RATES_1/RATES_2/RATES_4, WARMUP_S,
 # WINDOW_S, SESSIONS, KEYS for experimentation.
+#
+# On hosts with >= 4 cores a MULTICORE leg follows: one process hosts every
+# replica of a 4-ring cluster (the colocated deployment), swept once with
+# --threads 1 and once with --threads 4, rate leveling OFF so the CPU is
+# the bottleneck. The gate then requires the thread-per-ring runtime to
+# deliver >= 2x the single-thread peak. Overrides: MC=1/0 forces the leg on
+# or off, MC_RINGS/MC_THREADS/MC_RATES shape it, and MC_GATE=1 makes a
+# standalone `--gate FILE` run enforce the speedup check too.
 set -euo pipefail
 
 BUILD=build
@@ -46,6 +54,8 @@ say() { echo "[bench] $*"; }
 gate() {
   local artifact=$1
   local flags=(--gate "$artifact" --tolerance 50 --require-scaling)
+  # Set when the multicore leg ran (or exported for standalone gate runs).
+  [ "${MC_GATE:-0}" = 1 ] && flags+=(--require-multicore-speedup 2)
   if [ $SMOKE = 1 ]; then
     # The committed baseline is a smoke-shaped artifact (same rates/params),
     # so only the smoke sweep compares against it; the full sweep's rows
@@ -175,6 +185,59 @@ gen_config() {  # gen_config R OUTFILE
   } > "$out"
 }
 
+# Emits a cluster config where ONE process address hosts every replica of R
+# partition rings (the colocated deployment the sharded runtime targets)
+# plus one client. Rate leveling is OFF: this leg measures CPU scaling
+# across executor threads, so the protocol ceiling must not pin every
+# thread count to the same rate.
+gen_colocated_config() {  # gen_colocated_config R OUTFILE
+  local r=$1 out=$2 n=$((3 * $1))
+  mapfile -t ports < <("$PORTPROBE" 2)
+  [ "${#ports[@]}" = 2 ] || fail "port probe"
+  {
+    echo '{'
+    echo "  \"cluster\": \"bench-colocated-${r}ring\","
+    echo '  "service": "kv",'
+    echo '  "processes": ['
+    local i
+    for i in $(seq 0 $((n - 1))); do
+      echo "    {\"id\": $i, \"name\": \"r$i\", \"host\": \"127.0.0.1\"," \
+           "\"port\": ${ports[0]}, \"role\": \"replica\"," \
+           "\"partition\": $((i / 3))},"
+    done
+    echo "    {\"id\": $n, \"name\": \"client\", \"host\": \"127.0.0.1\"," \
+         "\"port\": ${ports[1]}, \"role\": \"client\"}"
+    echo '  ],'
+    echo '  "rings": ['
+    local p
+    for p in $(seq 0 $((r - 1))); do
+      local a=$((3 * p)) b=$((3 * p + 1)) c=$((3 * p + 2))
+      local comma=','
+      [ "$p" = $((r - 1)) ] && comma=''
+      echo "    {\"kind\": \"partition\", \"partition\": $p," \
+           "\"members\": [$a, $b, $c], \"acceptors\": [$a, $b, $c]," \
+           "\"coordinator\": $a}$comma"
+    done
+    echo '  ],'
+    echo '  "options": {'
+    echo "    \"storage\": \"$STORAGE\","
+    echo '    "m": 1,'
+    echo '    "delta_ms": 5,'
+    echo "    \"lambda\": $LAMBDA,"
+    echo '    "lambda_cap": false,'
+    echo '    "instance_timeout_ms": 2000,'
+    echo '    "proposal_timeout_ms": 4000,'
+    echo '    "gap_repair_timeout_ms": 1000,'
+    echo '    "gap_repair_probe": true,'
+    echo "    \"batch_values\": $BATCH_VALUES,"
+    echo '    "batch_bytes": 262144,'
+    echo '    "batch_delay_ms": 0,'
+    echo '    "client_op_timeout_ms": 15000'
+    echo '  }'
+    echo '}'
+  } > "$out"
+}
+
 rm -f "$OUT"
 for R in "${RING_COUNTS[@]}"; do
   CONFIG=$WORK/cluster-${R}ring.json
@@ -204,6 +267,45 @@ for R in "${RING_COUNTS[@]}"; do
 
   cleanup
 done
+
+# --- multicore leg: 1-thread vs thread-per-ring on one colocated node -----
+MC_DEFAULT=0
+[ "$(nproc)" -ge 4 ] && MC_DEFAULT=1
+: "${MC:=$MC_DEFAULT}" "${MC_RINGS:=4}" "${MC_THREADS:=4}"
+if [ $SMOKE = 1 ]; then
+  : "${MC_RATES:=500,4000}"
+else
+  : "${MC_RATES:=500,4000,10000,20000}"
+fi
+if [ "$MC" = 1 ]; then
+  MC_GATE=1
+  N=$((3 * MC_RINGS))
+  NAMES=$(seq -s, -f 'r%g' 0 $((N - 1)))
+  for T in 1 "$MC_THREADS"; do
+    CONFIG=$WORK/cluster-colocated-t$T.json
+    gen_colocated_config "$MC_RINGS" "$CONFIG"
+    say "booting colocated $MC_RINGS-ring node ($N replicas, threads=$T)"
+    $NODED --config "$CONFIG" --process "$NAMES" --threads "$T" \
+      --data-dir "$WORK/mc-t$T" --status-interval-ms 500 \
+      >> "$WORK/mc-t$T.log" 2>&1 &
+    PIDS+=($!)
+    for i in $(seq 0 $((N - 1))); do
+      wait_for "$WORK/mc-t$T.log" "^READY node=$i " 20 "colocated r$i READY"
+    done
+    wait_for "$WORK/mc-t$T.log" "^STATUS" 15 "colocated STATUS"
+
+    "$LOADGEN" --config "$CONFIG" --rates "$MC_RATES" \
+      --sessions "$SESSIONS" --keys "$KEYS" --get-ratio 0.5 \
+      --value-bytes 128 --warmup-s "$WARMUP_S" --window-s "$WINDOW_S" \
+      --name runtime_multicore --label-threads "$T" \
+      --out "$OUT" --append $([ $SMOKE = 1 ] && echo --smoke) \
+      2>&1 | tee -a "$WORK/loadgen-mc-t$T.log" \
+      || fail "loadgen sweep on the colocated cluster (threads=$T)"
+    cleanup
+  done
+else
+  say "skipping multicore leg (nproc=$(nproc) < 4; MC=1 forces it)"
+fi
 
 say "sweep artifact: $OUT"
 if [ $DO_GATE = 1 ]; then

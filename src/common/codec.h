@@ -19,6 +19,12 @@ class Encoder {
  public:
   Encoder() = default;
   explicit Encoder(std::size_t reserve) { buf_.reserve(reserve); }
+  /// Adopts `buf` as the output buffer, reusing its capacity (the pooled
+  /// transport frame buffers encode in place instead of allocating).
+  /// Contents are discarded; take() hands the vector back.
+  explicit Encoder(std::vector<std::uint8_t>&& buf) : buf_(std::move(buf)) {
+    buf_.clear();
+  }
 
   /// Appends a fixed-width integer. resize+memcpy rather than insert():
   /// same codegen on the happy path, and it avoids the stl_algobase
@@ -65,6 +71,14 @@ class Encoder {
       v >>= 7;
     }
     buf_.push_back(std::uint8_t(v));
+  }
+
+  /// Overwrites 4 already-written bytes at `off` (little-endian). For
+  /// patching a length prefix whose value is only known after the payload
+  /// is encoded (the transport's frame header).
+  void patch_u32(std::size_t off, std::uint32_t v) {
+    AMCAST_ASSERT_MSG(off + 4 <= buf_.size(), "patch past end");
+    std::memcpy(buf_.data() + off, &v, sizeof(v));
   }
 
   /// Releases the encoded buffer.

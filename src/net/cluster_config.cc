@@ -173,7 +173,11 @@ bool ClusterConfig::parse(std::string_view text, ClusterConfig* out,
     return false;
   }
   std::set<ProcessId> ids;
-  std::set<std::pair<std::string, int>> addrs;
+  // role by address: replicas MAY share a listen address (the sharded
+  // daemon colocates one replica per ring behind a single transport and
+  // routes on the frame's explicit `to` id); anything involving a client
+  // at a reused address is still a config mistake.
+  std::map<std::pair<std::string, int>, std::string> addrs;
   for (const auto& pv : procs->items()) {
     if (!pv.is_object()) {
       err.fail("each process must be an object");
@@ -203,9 +207,12 @@ bool ClusterConfig::parse(std::string_view text, ClusterConfig* out,
       err.fail(str_cat("process \"", p.name, "\" needs a listen port"));
       return false;
     }
-    if (!addrs.insert({p.host, int(p.port)}).second) {
+    auto [addr_it, addr_new] =
+        addrs.emplace(std::make_pair(p.host, int(p.port)), p.role);
+    if (!addr_new && (p.role != "replica" || addr_it->second != "replica")) {
       err.fail(str_cat("process \"", p.name, "\" reuses ", p.host, ":",
-                       std::to_string(p.port)));
+                       std::to_string(p.port),
+                       " (only replicas may share an address)"));
       return false;
     }
     cfg.processes.push_back(std::move(p));

@@ -6,12 +6,14 @@
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <cerrno>
 #include <cstring>
 
+#include "common/codec.h"
 #include "common/strings.h"
 #include "net/wire.h"
 
@@ -37,20 +39,9 @@ bool fill_addr(const std::string& host, std::uint16_t port,
   return ::inet_pton(AF_INET, host.c_str(), &addr->sin_addr) == 1;
 }
 
-void put_u32_le(std::uint8_t* p, std::uint32_t v) {
-  p[0] = std::uint8_t(v);
-  p[1] = std::uint8_t(v >> 8);
-  p[2] = std::uint8_t(v >> 16);
-  p[3] = std::uint8_t(v >> 24);
-}
-
 std::uint32_t get_u32_le(const std::uint8_t* p) {
   return std::uint32_t(p[0]) | std::uint32_t(p[1]) << 8 |
          std::uint32_t(p[2]) << 16 | std::uint32_t(p[3]) << 24;
-}
-
-void put_i32_le(std::uint8_t* p, std::int32_t v) {
-  put_u32_le(p, std::uint32_t(v));
 }
 
 std::int32_t get_i32_le(const std::uint8_t* p) {
@@ -59,6 +50,14 @@ std::int32_t get_i32_le(const std::uint8_t* p) {
 
 constexpr std::size_t kFrameHeader = 4;  // u32 payload length
 constexpr std::size_t kPayloadHeader = 8;  // i32 from + i32 to
+
+// Frame-buffer pool bounds: keep at most this many buffers, and never
+// pool a jumbo one (a single 64MB checkpoint frame must not pin 64MB).
+constexpr std::size_t kPoolMaxBuffers = 64;
+constexpr std::size_t kPoolMaxCapacity = 256 * 1024;
+
+// writev gather width per flush call.
+constexpr int kMaxIov = 16;
 
 }  // namespace
 
@@ -72,8 +71,13 @@ Transport::Transport(
     : opts_(std::move(opts)),
       on_message_(std::move(on_message)),
       clock_(std::move(clock)) {
+  auto is_local = [this](ProcessId id) {
+    return id == opts_.self ||
+           std::find(opts_.local_ids.begin(), opts_.local_ids.end(), id) !=
+               opts_.local_ids.end();
+  };
   for (const auto& [id, addr] : opts_.peers) {
-    if (id == opts_.self) continue;
+    if (is_local(id)) continue;
     Peer p;
     p.addr = addr;
     peers_.emplace(id, std::move(p));
@@ -129,6 +133,29 @@ bool Transport::listen(std::string* error) {
   return true;
 }
 
+std::vector<std::uint8_t> Transport::acquire_frame() {
+  if (frame_pool_.empty()) return {};
+  std::vector<std::uint8_t> f = std::move(frame_pool_.back());
+  frame_pool_.pop_back();
+  return f;
+}
+
+void Transport::release_frame(std::vector<std::uint8_t>&& f) {
+  if (frame_pool_.size() >= kPoolMaxBuffers || f.capacity() > kPoolMaxCapacity)
+    return;  // let it free
+  f.clear();
+  frame_pool_.push_back(std::move(f));
+}
+
+void Transport::on_connected(Peer& p) {
+  p.connecting = false;
+  // NOT a backoff reset: connect() success proves nothing about a flapping
+  // peer. The reset happens in close_peer once the connection has carried
+  // bytes and survived backoff_reset_after.
+  p.established_at = clock_();
+  p.sent_since_connect = 0;
+}
+
 void Transport::start_connect(Peer& p) {
   p.fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (p.fd < 0) {
@@ -145,8 +172,7 @@ void Transport::start_connect(Peer& p) {
   ++stats_.connects;
   int rc = ::connect(p.fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
   if (rc == 0) {
-    p.connecting = false;
-    p.backoff = 0;
+    on_connected(p);
     return;
   }
   if (errno == EINPROGRESS) {
@@ -160,6 +186,26 @@ void Transport::close_peer(Peer& p) {
   if (p.fd >= 0) ::close(p.fd);
   p.fd = -1;
   p.connecting = false;
+  // A frame torn mid-write can never be completed on the next connection
+  // (the receiver would see a stream starting mid-frame and drop the
+  // whole connection as corrupt): discard it, count it, keep the rest.
+  if (p.outq_front_off > 0 && !p.outq.empty()) {
+    p.outq_bytes -= p.outq.front().size() - p.outq_front_off;
+    release_frame(std::move(p.outq.front()));
+    p.outq.pop_front();
+    p.outq_front_off = 0;
+    ++stats_.frames_dropped;
+  }
+  // Backoff reset rule: only a connection that actually moved bytes AND
+  // stayed up for backoff_reset_after counts as "healthy" — resetting on
+  // mere connect() success (the old rule) let a peer that accepts and
+  // immediately dies be hammered at reconnect_min forever.
+  if (p.established_at >= 0 && p.sent_since_connect > 0 &&
+      clock_() - p.established_at >= opts_.backoff_reset_after) {
+    p.backoff = 0;
+  }
+  p.established_at = -1;
+  p.sent_since_connect = 0;
   // Exponential backoff before the next attempt; queued frames survive.
   p.backoff = p.backoff == 0
                   ? opts_.reconnect_min
@@ -175,6 +221,16 @@ void Transport::set_peer(ProcessId id, const PeerAddress& addr) {
   p.connecting = false;
   p.backoff = 0;
   p.next_attempt = 0;
+  p.established_at = -1;
+  p.sent_since_connect = 0;
+  // Drop a torn front frame exactly like close_peer would.
+  if (p.outq_front_off > 0 && !p.outq.empty()) {
+    p.outq_bytes -= p.outq.front().size() - p.outq_front_off;
+    release_frame(std::move(p.outq.front()));
+    p.outq.pop_front();
+    p.outq_front_off = 0;
+    ++stats_.frames_dropped;
+  }
   p.addr = addr;
 }
 
@@ -191,21 +247,46 @@ void Transport::set_send_paused(bool paused) {
 std::size_t Transport::outq_bytes() const {
   MutexLock l(&mu_);
   std::size_t n = 0;
-  for (const auto& [id, p] : peers_) n += p.outq.size();
+  for (const auto& [id, p] : peers_) n += p.outq_bytes;
   return n;
 }
 
 void Transport::flush_peer(Peer& p) {
   if (send_paused_) return;
   while (!p.outq.empty()) {
-    // Write from the deque in contiguous runs.
-    std::uint8_t chunk[16 * 1024];
-    std::size_t n = std::min(p.outq.size(), sizeof(chunk));
-    std::copy_n(p.outq.begin(), n, chunk);
-    ssize_t w = ::send(p.fd, chunk, n, MSG_NOSIGNAL);
+    // Gather up to kMaxIov whole frames directly from their pooled
+    // buffers — no staging copy.
+    iovec iov[kMaxIov];
+    int niov = 0;
+    std::size_t off = p.outq_front_off;
+    for (auto it = p.outq.begin(); it != p.outq.end() && niov < kMaxIov;
+         ++it) {
+      iov[niov].iov_base = it->data() + off;
+      iov[niov].iov_len = it->size() - off;
+      off = 0;
+      ++niov;
+    }
+    msghdr mh{};
+    mh.msg_iov = iov;
+    mh.msg_iovlen = std::size_t(niov);
+    ssize_t w = ::sendmsg(p.fd, &mh, MSG_NOSIGNAL);
     if (w > 0) {
-      p.outq.erase(p.outq.begin(), p.outq.begin() + w);
       stats_.bytes_sent += std::uint64_t(w);
+      p.sent_since_connect += std::uint64_t(w);
+      p.outq_bytes -= std::size_t(w);
+      std::size_t left = std::size_t(w);
+      while (left > 0) {
+        std::size_t rem = p.outq.front().size() - p.outq_front_off;
+        if (left >= rem) {
+          left -= rem;
+          release_frame(std::move(p.outq.front()));
+          p.outq.pop_front();
+          p.outq_front_off = 0;
+        } else {
+          p.outq_front_off += left;
+          left = 0;
+        }
+      }
       continue;
     }
     if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
@@ -226,22 +307,27 @@ void Transport::send(ProcessId from, ProcessId to, const env::Message& m) {
   // serialization: sustained traffic toward a dead peer should cost a
   // lookup and a compare, not a full encode per dropped frame. wire_size()
   // approximates the encoded size; the cap is a soft bound either way.
-  if (p.outq.size() + m.wire_size() > opts_.peer_queue_bytes) {
+  if (p.outq_bytes + m.wire_size() > opts_.peer_queue_bytes) {
     ++stats_.frames_dropped;
     return;
   }
-  std::vector<std::uint8_t> body = encode_message(m);
-  std::size_t frame = kFrameHeader + kPayloadHeader + body.size();
-  if (p.outq.size() + frame > opts_.peer_queue_bytes) {
+  // Encode straight into a pooled frame buffer: header placeholder first,
+  // body appended behind it, length patched once known. One buffer is the
+  // frame — flush_peer writev's it to the socket without another copy.
+  Encoder e(acquire_frame());
+  e.put_u32(0);  // payload length, patched below
+  e.put_i32(from);
+  e.put_i32(to);
+  encode_message_into(e, m);
+  e.patch_u32(0, std::uint32_t(e.size() - kFrameHeader));
+  std::vector<std::uint8_t> frame = e.take();
+  if (p.outq_bytes + frame.size() > opts_.peer_queue_bytes) {
     ++stats_.frames_dropped;  // backpressure by loss, like a full NIC queue
+    release_frame(std::move(frame));
     return;
   }
-  std::uint8_t hdr[kFrameHeader + kPayloadHeader];
-  put_u32_le(hdr, std::uint32_t(kPayloadHeader + body.size()));
-  put_i32_le(hdr + 4, from);
-  put_i32_le(hdr + 8, to);
-  p.outq.insert(p.outq.end(), hdr, hdr + sizeof(hdr));
-  p.outq.insert(p.outq.end(), body.begin(), body.end());
+  p.outq_bytes += frame.size();
+  p.outq.push_back(std::move(frame));
   ++stats_.frames_sent;
   if (p.fd < 0 && !p.connecting && clock_() >= p.next_attempt) {
     start_connect(p);
@@ -251,21 +337,24 @@ void Transport::send(ProcessId from, ProcessId to, const env::Message& m) {
 
 void Transport::parse_frames(Inbound& in, std::vector<Ready>& ready) {
   std::size_t off = 0;
-  while (in.buf.size() - off >= kFrameHeader) {
+  while (in.len - off >= kFrameHeader) {
     std::uint32_t len = get_u32_le(in.buf.data() + off);
     if (len < kPayloadHeader || len > opts_.max_frame_bytes) {
       // Corrupt stream: drop the connection (the peer will reconnect).
       ++stats_.decode_errors;
       ::close(in.fd);
       in.fd = -1;
-      in.buf.clear();
+      in.len = 0;
       return;
     }
-    if (in.buf.size() - off < kFrameHeader + len) break;  // partial frame
+    if (in.len - off < kFrameHeader + len) break;  // partial frame
     const std::uint8_t* payload = in.buf.data() + off + kFrameHeader;
     ProcessId from = get_i32_le(payload);
     ProcessId to = get_i32_le(payload + 4);
     std::string error;
+    // Decoded in place from the accumulation buffer: the result is an
+    // owned message object (value payloads become shared_ptr buffers that
+    // travel proposer→journal→learner without further copies).
     env::MessagePtr m = decode_message(payload + kPayloadHeader,
                                       len - kPayloadHeader, &error);
     if (m == nullptr) {
@@ -278,22 +367,32 @@ void Transport::parse_frames(Inbound& in, std::vector<Ready>& ready) {
     }
     off += kFrameHeader + len;
   }
-  if (off > 0) in.buf.erase(in.buf.begin(), in.buf.begin() + long(off));
+  if (off > 0) {
+    // Compact the partial tail to the front (usually a few bytes).
+    std::memmove(in.buf.data(), in.buf.data() + off, in.len - off);
+    in.len -= off;
+  }
 }
 
 void Transport::service_inbound(Inbound& in, std::vector<Ready>& ready) {
   while (true) {
-    std::uint8_t chunk[64 * 1024];
-    ssize_t r = ::recv(in.fd, chunk, sizeof(chunk), 0);
+    // Read straight into the accumulation buffer's tail — no intermediate
+    // stack chunk + insert copy. buf.size() is capacity; grow when the
+    // free tail gets small.
+    if (in.buf.size() - in.len < 4096) {
+      in.buf.resize(std::max<std::size_t>(in.buf.size() * 2, 64 * 1024));
+    }
+    ssize_t r = ::recv(in.fd, in.buf.data() + in.len, in.buf.size() - in.len,
+                       0);
     if (r > 0) {
-      in.buf.insert(in.buf.end(), chunk, chunk + r);
-      if (in.buf.size() > opts_.max_frame_bytes + kFrameHeader + 1024) {
+      in.len += std::size_t(r);
+      if (in.len > opts_.max_frame_bytes + kFrameHeader + 1024) {
         // A frame larger than the cap never completes; parse_frames will
         // already have rejected its header, but guard regardless.
         ++stats_.decode_errors;
         ::close(in.fd);
         in.fd = -1;
-        in.buf.clear();
+        in.len = 0;
         return;
       }
       parse_frames(in, ready);
@@ -304,12 +403,12 @@ void Transport::service_inbound(Inbound& in, std::vector<Ready>& ready) {
     // EOF or error: the sender went away; it reconnects when it has data.
     ::close(in.fd);
     in.fd = -1;
-    in.buf.clear();
+    in.len = 0;
     return;
   }
 }
 
-void Transport::poll(Duration max_wait) {
+void Transport::poll(Duration max_wait, int wake_fd) {
   Time now = clock_();
 
   Duration wait = std::max<Duration>(max_wait, 0);
@@ -319,6 +418,12 @@ void Transport::poll(Duration max_wait) {
   // fd identity is re-checked under the lock before they are serviced.
   std::vector<Peer*> peer_of;
   std::vector<Inbound*> in_of;
+  if (wake_fd >= 0) {
+    // Watched only: the owner (the executor loop) drains it.
+    fds.push_back({wake_fd, POLLIN, 0});
+    peer_of.push_back(nullptr);
+    in_of.push_back(nullptr);
+  }
   {
     MutexLock l(&mu_);
     // Kick due reconnects for peers with queued traffic, and bound the
@@ -381,13 +486,14 @@ void Transport::poll(Duration max_wait) {
     MutexLock l(&mu_);
     for (std::size_t i = 0; i < fds.size(); ++i) {
       if (fds[i].revents == 0) continue;
+      if (wake_fd >= 0 && fds[i].fd == wake_fd) continue;  // caller's fd
       if (listen_fd_ >= 0 && fds[i].fd == listen_fd_) {
         while (true) {
           int cfd = ::accept(listen_fd_, nullptr, nullptr);
           if (cfd < 0) break;
           set_nonblocking(cfd);
           set_nodelay(cfd);
-          accepted.push_back(Inbound{cfd, {}});
+          accepted.push_back(Inbound{cfd, {}, 0});
         }
         continue;
       }
@@ -407,8 +513,7 @@ void Transport::poll(Duration max_wait) {
             close_peer(*p);
             continue;
           }
-          p->connecting = false;
-          p->backoff = 0;
+          on_connected(*p);
         }
         if (!p->connecting && (fds[i].revents & POLLOUT)) flush_peer(*p);
         if (p->fd >= 0 && (fds[i].revents & POLLIN)) {

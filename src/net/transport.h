@@ -9,22 +9,37 @@
 //   [u32 payload length][i32 from][i32 to][wire-encoded message]
 //
 // with the message body produced by net::encode_message. `to` is explicit
-// because one process may host several nodes (tests, future colocations).
+// because one process may host several nodes (the sharded runtime
+// colocates one replica per ring behind a single listen address).
+//
+// Data path: send() encodes straight into a pooled frame buffer (header
+// and body contiguous, no intermediate byte-deque copy) and flush gathers
+// whole frames with writev; the receive side reads into the accumulation
+// buffer's tail and decodes frames in place, handing each ring an owned
+// message whose payload is shared (no re-copy) through journal and
+// learner.
 //
 // Failure semantics match what the protocol already tolerates from the
 // simulated network: a frame that cannot be delivered (peer down, queue
 // over its cap, decode error at the receiver) is DROPPED, and protocol
 // timeouts/retransmissions recover — exactly like a TCP reset in the
 // paper's deployment. Outbound connections reconnect with exponential
-// backoff; queued frames survive a reconnect up to the per-peer byte cap.
+// backoff; queued frames survive a reconnect up to the per-peer byte cap
+// (a frame torn mid-write is dropped, never resumed on the new stream).
+// The backoff resets only after a connection has proved healthy — bytes
+// actually flowed and it stayed up for `backoff_reset_after` — not on
+// mere connect() success, so a flapping peer decays to reconnect_max
+// instead of hammering at reconnect_min.
 //
-// Threading: ONE thread owns poll() (the runtime::Executor loop today, a
-// dedicated network thread after the multicore refactor); send(),
-// set_peer(), set_send_paused(), outq_bytes(), and stats() may be called
-// from ANY thread. All shared state (peer table, outbound queues, stats,
-// pause flag) is guarded by `mu_` with clang thread-safety annotations
-// (common/sync.h), and the lock is never held across the blocking ::poll
-// wait or the on_message callback — handlers may re-enter send().
+// Threading: ONE thread owns poll() (the runtime::Executor loop in the
+// single-threaded daemon, the sharded runtime's dedicated network thread
+// otherwise); send(), set_peer(), set_send_paused(), outq_bytes(), and
+// stats() may be called from ANY thread — ring loops write to the wire by
+// calling send() directly, which flushes inline. All shared state (peer
+// table, outbound queues, buffer pool, stats, pause flag) is guarded by
+// `mu_` with clang thread-safety annotations (common/sync.h), and the
+// lock is never held across the blocking ::poll wait or the on_message
+// callback — handlers may re-enter send().
 #pragma once
 
 #include <cstdint>
@@ -55,6 +70,15 @@ class Transport {
     std::size_t peer_queue_bytes = 64u << 20;
     Duration reconnect_min = duration::milliseconds(50);
     Duration reconnect_max = duration::seconds(2);
+    /// A connection must stay established at least this long WITH bytes
+    /// flowing before a later failure resets the reconnect backoff.
+    Duration backoff_reset_after = duration::milliseconds(250);
+    /// Process ids hosted in this OS process besides `self` (colocated
+    /// ring replicas). No peer entry is created for them: the executor /
+    /// sharded runtime routes those messages in memory, and a stray
+    /// send() toward one is dropped and counted instead of looping a TCP
+    /// connection back to our own listen socket.
+    std::vector<ProcessId> local_ids;
   };
 
   /// `on_message` receives every decoded inbound frame. `clock` supplies
@@ -85,8 +109,11 @@ class Transport {
 
   /// Waits up to `max_wait` for socket activity, then services accepts,
   /// reads (dispatching via on_message), writes, and due reconnects.
+  /// `wake_fd` (when >= 0) is additionally watched for POLLIN so another
+  /// thread can cut the wait short (the executor's eventfd); it is only
+  /// waited on, never read — the caller drains it.
   /// Poll-thread only; the wait and the on_message callbacks run unlocked.
-  void poll(Duration max_wait) AMCAST_EXCLUDES(mu_);
+  void poll(Duration max_wait, int wake_fd = -1) AMCAST_EXCLUDES(mu_);
 
   /// Pauses outbound writes: send() keeps queueing frames (up to the
   /// per-peer byte cap) but nothing is flushed to the sockets until
@@ -108,7 +135,7 @@ class Transport {
     std::uint64_t frames_sent = 0;
     std::uint64_t bytes_sent = 0;
     std::uint64_t frames_received = 0;
-    std::uint64_t frames_dropped = 0;   ///< queue cap / unknown peer
+    std::uint64_t frames_dropped = 0;   ///< queue cap / unknown peer / torn
     std::uint64_t decode_errors = 0;
     std::uint64_t connects = 0;         ///< outbound connects attempted
   };
@@ -126,13 +153,24 @@ class Transport {
     PeerAddress addr;
     int fd = -1;
     bool connecting = false;
-    std::deque<std::uint8_t> outq;  ///< framed bytes awaiting the socket
+    /// Whole frames (header+body contiguous) awaiting the socket; buffers
+    /// come from / return to the pool. front() may be partially written.
+    std::deque<std::vector<std::uint8_t>> outq;
+    std::size_t outq_front_off = 0;  ///< bytes of outq.front() already sent
+    std::size_t outq_bytes = 0;      ///< unsent bytes across outq
     Time next_attempt = 0;
     Duration backoff = 0;
+    // Connection-health tracking for the backoff reset rule.
+    Time established_at = -1;             ///< -1: not connected
+    std::uint64_t sent_since_connect = 0;
   };
   struct Inbound {
     int fd = -1;
-    std::vector<std::uint8_t> buf;  ///< partial frame accumulation
+    /// Accumulation buffer: recv() appends at buf[len]; frames are parsed
+    /// in place and the partial tail compacted to the front. buf.size()
+    /// is the capacity — only [0, len) is valid data.
+    std::vector<std::uint8_t> buf;
+    std::size_t len = 0;
   };
   /// A decoded inbound frame staged for dispatch once `mu_` is released
   /// (handlers re-enter send(), which takes the lock).
@@ -144,7 +182,10 @@ class Transport {
 
   void start_connect(Peer& p) AMCAST_REQUIRES(mu_);
   void close_peer(Peer& p) AMCAST_REQUIRES(mu_);
+  void on_connected(Peer& p) AMCAST_REQUIRES(mu_);
   void flush_peer(Peer& p) AMCAST_REQUIRES(mu_);
+  std::vector<std::uint8_t> acquire_frame() AMCAST_REQUIRES(mu_);
+  void release_frame(std::vector<std::uint8_t>&& f) AMCAST_REQUIRES(mu_);
   void service_inbound(Inbound& in, std::vector<Ready>& ready)
       AMCAST_REQUIRES(mu_);
   void parse_frames(Inbound& in, std::vector<Ready>& ready)
@@ -166,6 +207,8 @@ class Transport {
   std::map<ProcessId, Peer> peers_ AMCAST_GUARDED_BY(mu_);
   Stats stats_ AMCAST_GUARDED_BY(mu_);
   bool send_paused_ AMCAST_GUARDED_BY(mu_) = false;
+  /// Recycled frame buffers (bounded; oversized ones are not pooled).
+  std::vector<std::vector<std::uint8_t>> frame_pool_ AMCAST_GUARDED_BY(mu_);
 
   /// Poll-thread only: inbound connections are accepted, read, and
   /// compacted exclusively by the thread that owns poll().

@@ -560,6 +560,10 @@ std::vector<std::uint8_t> encode_message(const env::Message& m) {
   return e.take();
 }
 
+void encode_message_into(Encoder& e, const env::Message& m) {
+  encode_body(e, m);
+}
+
 env::MessagePtr decode_message(const std::uint8_t* data, std::size_t n,
                                std::string* error) {
   CheckedDecoder d(data, n);

@@ -27,6 +27,12 @@ namespace amcast::net {
 /// baselines, 9xx tests) are not wire-encodable and assert.
 std::vector<std::uint8_t> encode_message(const env::Message& m);
 
+/// Appends the same bytes encode_message would produce to `e`. The
+/// transport uses this to serialize straight into a pooled frame buffer
+/// (after the frame header) instead of paying an allocation plus a copy
+/// per message.
+void encode_message_into(Encoder& e, const env::Message& m);
+
 /// Parses one message from `[data, data+n)`. The whole buffer must be
 /// consumed. Returns nullptr on any error and, when `error` is given,
 /// writes a short diagnostic.

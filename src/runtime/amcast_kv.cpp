@@ -357,9 +357,13 @@ int main(int argc, char** argv) {
   net::set_snapshot_state_codec(net::kv_snapshot_state_codec());
 
   runtime::Executor ex({/*data_dir=*/"", std::uint64_t(self->id) + 1});
+  net::Transport::Options topts;
+  topts.self = self->id;
+  topts.listen_host = self->host;
+  topts.listen_port = self->port;
+  topts.peers = cfg.peer_map();
   net::Transport transport(
-      net::Transport::Options{self->id, self->host, self->port,
-                              cfg.peer_map()},
+      topts,
       [&ex](ProcessId from, ProcessId to, env::MessagePtr m) {
         ex.dispatch(from, to, std::move(m));
       },

@@ -1,25 +1,41 @@
 // amcast_noded — the MRP-Store server daemon of the real-network runtime.
 //
-// One daemon process hosts one KvReplica (the same object the simulation
-// hosts) under a cluster config: it joins its partition ring (and the
-// global ring, when configured) as proposer/acceptor/learner, persists its
-// acceptor log through a file-backed journal, serves clients, and — when
-// started over an existing journal — re-enters through the §5.2 recovery
-// protocol exactly like a restarted simulated replica.
+// One daemon process hosts one or more KvReplicas (the same objects the
+// simulation hosts) under a cluster config: each joins its partition ring
+// (and the global ring, when configured) as proposer/acceptor/learner,
+// persists its acceptor log through a file-backed journal, serves
+// clients, and — when started over an existing journal — re-enters
+// through the §5.2 recovery protocol exactly like a restarted simulated
+// replica.
 //
 //   amcast_noded --config examples/cluster.json --process r0
 //                --data-dir /var/tmp/amcast/r0 [--status-interval-ms 2000]
 //
-// SIGINT/SIGTERM shut the loop down cleanly; the daemon then prints one
-// FINAL line (applied count, order hash, store hash) that the smoke script
-// compares across replicas to check totally-ordered delivery.
+// Colocated multicore hosting (`--process` takes a comma-separated list;
+// all named replicas must share one listen address in the config):
+//
+//   amcast_noded --config cluster.json --process r0,r1,r2,r3 --threads 4
+//
+// With --threads 1 (default) every replica runs on the single classic
+// executor loop, transport polled in-loop — the 1-thread baseline. With
+// --threads N > 1 the sharded runtime pins each replica to the shard for
+// its partition (shard = partition mod N), a dedicated network thread
+// owns the transport, and cross-ring messages ride the post/wake seam.
+// Add --pin-threads to pin shard loops to distinct CPUs.
+//
+// SIGINT/SIGTERM shut the loops down cleanly; the daemon then prints one
+// FINAL line per replica (applied count, order hash, store hash) that the
+// smoke script compares across replicas to check totally-ordered
+// delivery.
 #include <algorithm>
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "kvstore/replica.h"
@@ -27,6 +43,7 @@
 #include "net/transport.h"
 #include "net/wire.h"
 #include "runtime/executor.h"
+#include "runtime/sharding.h"
 
 namespace {
 
@@ -54,10 +71,37 @@ std::uint64_t hash_store(const amcast::kvstore::KvStore& store) {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: amcast_noded --config FILE --process NAME|ID "
-               "[--data-dir DIR] [--status-interval-ms N]\n");
+               "usage: amcast_noded --config FILE --process NAME[,NAME...] "
+               "[--data-dir DIR] [--threads N] [--pin-threads] "
+               "[--status-interval-ms N]\n");
   return 64;
 }
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    std::size_t comma = s.find(',', start);
+    if (comma == std::string::npos) comma = s.size();
+    if (comma > start) out.push_back(s.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return out;
+}
+
+/// Everything one hosted replica owns. The registry is per-replica so no
+/// shard thread ever reads another's config objects.
+struct Hosted {
+  const amcast::net::ProcessSpec* spec = nullptr;
+  amcast::core::ConfigRegistry registry;
+  std::unique_ptr<amcast::kvstore::KvReplica> replica;
+  std::uint64_t order_hash = 0xcbf29ce484222325ULL;
+  std::string wal_path;
+  bool restarted = false;
+  amcast::GroupId my_pg = amcast::kInvalidGroup;
+  bool was_recovering = false;
+  int shard = 0;
+};
 
 }  // namespace
 
@@ -66,6 +110,8 @@ int main(int argc, char** argv) {
 
   std::string config_path, process_arg, data_dir;
   long status_interval_ms = 2000;
+  long threads = 1;
+  bool pin_threads = false;
   for (int i = 1; i < argc; ++i) {
     std::string a = argv[i];
     auto next = [&]() -> const char* {
@@ -83,6 +129,12 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (!v) return usage();
       data_dir = v;
+    } else if (a == "--threads") {
+      const char* v = next();
+      if (!v) return usage();
+      threads = std::strtol(v, nullptr, 10);
+    } else if (a == "--pin-threads") {
+      pin_threads = true;
     } else if (a == "--status-interval-ms") {
       const char* v = next();
       if (!v) return usage();
@@ -91,7 +143,9 @@ int main(int argc, char** argv) {
       return usage();
     }
   }
-  if (config_path.empty() || process_arg.empty()) return usage();
+  if (config_path.empty() || process_arg.empty() || threads < 1) {
+    return usage();
+  }
 
   net::ClusterConfig cfg;
   std::string error;
@@ -99,167 +153,259 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "amcast_noded: %s\n", error.c_str());
     return 1;
   }
-  const net::ProcessSpec* self = cfg.resolve(process_arg);
-  if (self == nullptr) {
-    std::fprintf(stderr, "amcast_noded: unknown process \"%s\"\n",
-                 process_arg.c_str());
-    return 1;
+
+  std::vector<Hosted> hosted;
+  for (const std::string& name : split_csv(process_arg)) {
+    const net::ProcessSpec* self = cfg.resolve(name);
+    if (self == nullptr) {
+      std::fprintf(stderr, "amcast_noded: unknown process \"%s\"\n",
+                   name.c_str());
+      return 1;
+    }
+    if (self->role != "replica") {
+      std::fprintf(stderr, "amcast_noded: process \"%s\" has role %s, not "
+                           "replica\n", self->name.c_str(),
+                   self->role.c_str());
+      return 1;
+    }
+    Hosted h;
+    h.spec = self;
+    hosted.push_back(std::move(h));
   }
-  if (self->role != "replica") {
-    std::fprintf(stderr, "amcast_noded: process \"%s\" has role %s, not "
-                         "replica\n", self->name.c_str(), self->role.c_str());
-    return 1;
+  if (hosted.empty()) return usage();
+  // Colocated replicas answer on ONE listen address (the frame's `to` id
+  // routes within the process).
+  for (const Hosted& h : hosted) {
+    if (h.spec->host != hosted[0].spec->host ||
+        h.spec->port != hosted[0].spec->port) {
+      std::fprintf(stderr, "amcast_noded: colocated processes \"%s\" and "
+                           "\"%s\" must share one listen address\n",
+                   hosted[0].spec->name.c_str(), h.spec->name.c_str());
+      return 1;
+    }
   }
-  if (data_dir.empty()) data_dir = "amcast-data/" + self->name;
+
+  if (data_dir.empty()) data_dir = "amcast-data/" + hosted[0].spec->name;
   std::error_code ec;
   std::filesystem::create_directories(data_dir, ec);
-
-  // A non-empty acceptor journal marks a restarted incarnation: the fresh
-  // process must re-enter through crash()/restart() recovery below.
-  std::string wal_path =
-      data_dir + "/node" + std::to_string(self->id) + "-disk0.wal";
-  bool restarted =
-      std::filesystem::exists(wal_path, ec) &&
-      std::filesystem::file_size(wal_path, ec) > 0;
 
   // Checkpoint transfers carry the kv snapshot state over the wire.
   net::set_snapshot_state_codec(net::kv_snapshot_state_codec());
 
-  runtime::Executor ex({data_dir, std::uint64_t(self->id) + 1});
+  // --- executors: one loop, or one per shard + a network thread ----------
+  int shards = int(std::min<long>(threads, long(hosted.size())));
+  bool sharded = shards > 1;
+  runtime::ShardedRuntimeOptions so;
+  so.data_dir = data_dir;
+  so.seed = std::uint64_t(hosted[0].spec->id) + 1;
+  so.shards = sharded ? shards : 1;
+  so.pin_threads = pin_threads;
+  runtime::ShardedRuntime rt(so);
+  runtime::Executor& ex0 = rt.shard(0);  // the only loop when !sharded
+
+  std::vector<ProcessId> local_ids;
+  for (const Hosted& h : hosted) local_ids.push_back(h.spec->id);
+  net::Transport::Options topts;
+  topts.self = hosted[0].spec->id;
+  topts.listen_host = hosted[0].spec->host;
+  topts.listen_port = hosted[0].spec->port;
+  topts.peers = cfg.peer_map();
+  topts.local_ids = local_ids;
   net::Transport transport(
-      net::Transport::Options{self->id, self->host, self->port,
-                              cfg.peer_map()},
-      [&ex](ProcessId from, ProcessId to, env::MessagePtr m) {
-        ex.dispatch(from, to, std::move(m));
+      topts,
+      [&rt, &ex0, sharded](ProcessId from, ProcessId to, env::MessagePtr m) {
+        // Sharded: network thread → owner shard's SPSC lane. Single loop:
+        // the loop thread itself is polling; dispatch inline.
+        if (sharded) {
+          rt.dispatch(from, to, std::move(m));
+        } else {
+          ex0.dispatch(from, to, std::move(m));
+        }
       },
-      [&ex] { return ex.now(); });
+      [&ex0] { return ex0.now(); });
   if (!transport.listen(&error)) {
     std::fprintf(stderr, "amcast_noded: %s\n", error.c_str());
     return 1;
   }
-  ex.set_transport(&transport);
+  if (sharded) {
+    rt.set_transport(&transport);  // network thread owns poll()
+  } else {
+    ex0.set_transport(&transport);  // classic in-loop polling
+  }
 
-  // --- build the replica (identical wiring to KvDeployment) --------------
-  core::ConfigRegistry registry;
-  std::vector<GroupId> groups = cfg.build_registry(registry);
-  std::vector<GroupId> pgroups = cfg.partition_groups();
-  GroupId global = cfg.global_group();
+  // --- build each replica (identical wiring to KvDeployment) -------------
   int P = cfg.partition_count();
+  for (Hosted& h : hosted) {
+    const net::ProcessSpec* self = h.spec;
+    h.wal_path =
+        data_dir + "/node" + std::to_string(self->id) + "-disk0.wal";
+    // A non-empty acceptor journal marks a restarted incarnation: the
+    // fresh process must re-enter through crash()/restart() recovery.
+    h.restarted = std::filesystem::exists(h.wal_path, ec) &&
+                  std::filesystem::file_size(h.wal_path, ec) > 0;
 
-  kvstore::KvReplicaOptions ko;
-  ko.partition = self->partition;
-  ko.partitioner = kvstore::Partitioner::hash(P);
-  ko.recovery.checkpoint_interval = cfg.options.checkpoint_interval;
-  auto replica = std::make_unique<kvstore::KvReplica>(registry, ko);
-  replica->add_disk(env::DiskParams{});
-  replica->set_partition(cfg.partition_replicas(self->partition));
-  replica->set_return_read_data(true);
+    std::vector<GroupId> groups = cfg.build_registry(h.registry);
+    std::vector<GroupId> pgroups = cfg.partition_groups();
+    GroupId global = cfg.global_group();
 
-  // Order hash: chained over every applied command, so two replicas agree
-  // iff they applied the same commands in the same order.
-  std::uint64_t order_hash = 0xcbf29ce484222325ULL;
-  replica->set_apply_observer([&order_hash](const kvstore::Command& c) {
-    std::uint64_t ids[3] = {std::uint64_t(c.client) << 32 |
-                                std::uint64_t(std::uint32_t(c.thread)),
-                            c.seq, std::uint64_t(c.op)};
-    order_hash = fnv1a64(order_hash, ids, sizeof(ids));
-    order_hash = fnv1a64(order_hash, c.key.data(), c.key.size());
-  });
+    kvstore::KvReplicaOptions ko;
+    ko.partition = self->partition;
+    ko.partitioner = kvstore::Partitioner::hash(P);
+    ko.recovery.checkpoint_interval = cfg.options.checkpoint_interval;
+    h.replica = std::make_unique<kvstore::KvReplica>(h.registry, ko);
+    h.replica->add_disk(env::DiskParams{});
+    h.replica->set_partition(cfg.partition_replicas(self->partition));
+    h.replica->set_return_read_data(true);
 
-  ex.add_node(self->id, replica.get());
+    // Order hash: chained over every applied command, so two replicas
+    // agree iff they applied the same commands in the same order. Written
+    // only by the hosting shard's loop thread; read after join.
+    std::uint64_t* hash = &h.order_hash;
+    h.replica->set_apply_observer([hash](const kvstore::Command& c) {
+      std::uint64_t ids[3] = {std::uint64_t(c.client) << 32 |
+                                  std::uint64_t(std::uint32_t(c.thread)),
+                              c.seq, std::uint64_t(c.op)};
+      *hash = fnv1a64(*hash, ids, sizeof(ids));
+      *hash = fnv1a64(*hash, c.key.data(), c.key.size());
+    });
 
-  ringpaxos::RingOptions ro = cfg.ring_options();
-  core::MergeOptions mo;
-  mo.m = cfg.options.m;
-  GroupId my_pg = pgroups[std::size_t(self->partition)];
-  replica->attach(my_pg, global, ro, mo);
-  for (std::size_t i = 0; i < groups.size(); ++i) {
-    GroupId g = groups[i];
-    if (g == my_pg || g == global) continue;
-    const auto& members = cfg.rings[i].members;
-    if (std::find(members.begin(), members.end(), self->id) != members.end()) {
-      replica->join_only(g, ro);  // acceptor/forwarder duty only
-    }
-  }
-  // Every ring has replayed the journal by now; release the in-memory copy
-  // (the file itself is the durable record). Refuse to serve on a dead
-  // journal — the disk strands durability acks, so the daemon would hang
-  // confusingly instead of failing loudly here.
-  if (replica->disk_count() > 0) {
-    if (!replica->disk(0).healthy()) {
-      std::fprintf(stderr, "amcast_noded: acceptor journal at %s is "
-                           "unusable\n", wal_path.c_str());
-      return 1;
-    }
-    replica->disk(0).forget_stored_records();
-  }
-  if (cfg.options.checkpoint_interval > 0) replica->start_checkpointing();
-  if (cfg.options.trim_interval > 0) {
+    // Thread-per-ring: the replica lives on its partition's shard.
+    h.shard = sharded ? self->partition % shards : 0;
+    rt.add_node(h.shard, self->id, h.replica.get());
+
+    ringpaxos::RingOptions ro = cfg.ring_options();
+    core::MergeOptions mo;
+    mo.m = cfg.options.m;
+    h.my_pg = pgroups[std::size_t(self->partition)];
+    h.replica->attach(h.my_pg, global, ro, mo);
     for (std::size_t i = 0; i < groups.size(); ++i) {
-      if (cfg.rings[i].coordinator != self->id) continue;
-      core::TrimOptions to;
-      to.interval = cfg.options.trim_interval;
-      if (cfg.rings[i].kind == "global") {
-        for (int p = 0; p < P; ++p) {
-          to.partitions.push_back(cfg.partition_replicas(p));
-        }
-      } else {
-        to.partitions.push_back(cfg.partition_replicas(cfg.rings[i].partition));
+      GroupId g = groups[i];
+      if (g == h.my_pg || g == global) continue;
+      const auto& members = cfg.rings[i].members;
+      if (std::find(members.begin(), members.end(), self->id) !=
+          members.end()) {
+        h.replica->join_only(g, ro);  // acceptor/forwarder duty only
       }
-      replica->enable_trim(groups[i], to);
     }
+    // Every ring has replayed the journal by now; release the in-memory
+    // copy (the file itself is the durable record). Refuse to serve on a
+    // dead journal — the disk strands durability acks, so the daemon
+    // would hang confusingly instead of failing loudly here.
+    if (h.replica->disk_count() > 0) {
+      if (!h.replica->disk(0).healthy()) {
+        std::fprintf(stderr, "amcast_noded: acceptor journal at %s is "
+                             "unusable\n", h.wal_path.c_str());
+        return 1;
+      }
+      h.replica->disk(0).forget_stored_records();
+    }
+    if (cfg.options.checkpoint_interval > 0) {
+      h.replica->start_checkpointing();
+    }
+    if (cfg.options.trim_interval > 0) {
+      for (std::size_t i = 0; i < groups.size(); ++i) {
+        if (cfg.rings[i].coordinator != self->id) continue;
+        core::TrimOptions to;
+        to.interval = cfg.options.trim_interval;
+        if (cfg.rings[i].kind == "global") {
+          for (int p = 0; p < P; ++p) {
+            to.partitions.push_back(cfg.partition_replicas(p));
+          }
+        } else {
+          to.partitions.push_back(
+              cfg.partition_replicas(cfg.rings[i].partition));
+        }
+        h.replica->enable_trim(groups[i], to);
+      }
+    }
+
+    if (h.restarted) {
+      // Fresh OS process over an existing journal: the acceptor log was
+      // restored in join_ring; now run the replica through the same
+      // crash/restart path a simulated node takes, which enters the §5.2
+      // recovery protocol (checkpoint query -> install -> catch-up).
+      std::printf("RESTART node=%d journal=%s\n", self->id,
+                  h.wal_path.c_str());
+      h.replica->crash();
+      h.replica->restart();
+    }
+    h.was_recovering = h.replica->recovering();
   }
 
-  if (restarted) {
-    // Fresh OS process over an existing journal: the acceptor log was
-    // restored in join_ring; now run the replica through the same
-    // crash/restart path a simulated node takes, which enters the §5.2
-    // recovery protocol (checkpoint query -> install -> acceptor catch-up).
-    std::printf("RESTART node=%d journal=%s\n", self->id, wal_path.c_str());
-    replica->crash();
-    replica->restart();
+  // --- per-replica watchers, scheduled on the hosting loop ---------------
+  // STATUS/RECOVERED lines must read replica state, which belongs to the
+  // hosting shard's thread — so each replica gets a self-rescheduling
+  // timer on its own executor (printf serializes on stdout's lock).
+  for (Hosted& h : hosted) {
+    runtime::Executor& ex = rt.shard(h.shard);
+    Hosted* hp = &h;
+    auto watch = std::make_shared<std::function<void()>>();
+    *watch = [hp, &ex, watch, status_interval_ms] {
+      kvstore::KvReplica& r = *hp->replica;
+      if (hp->was_recovering && !r.recovering()) {
+        // §5.2 recovery just completed (the smoke script keys off this).
+        std::printf("RECOVERED node=%d t=%.1fs applied=%lld\n",
+                    hp->spec->id, duration::to_seconds(ex.now()),
+                    (long long)r.commands_applied());
+        std::fflush(stdout);
+      }
+      hp->was_recovering = r.recovering();
+      ex.schedule_after(duration::milliseconds(100), *watch);
+    };
+    ex.schedule_after(duration::milliseconds(100), *watch);
+    if (status_interval_ms > 0) {
+      auto status = std::make_shared<std::function<void()>>();
+      *status = [hp, &ex, status, status_interval_ms] {
+        kvstore::KvReplica& r = *hp->replica;
+        std::printf("STATUS node=%d t=%.1fs applied=%lld delivered=%lld "
+                    "recovering=%d cursor0=%lld\n",
+                    hp->spec->id, duration::to_seconds(ex.now()),
+                    (long long)r.commands_applied(),
+                    (long long)r.delivered_count(), int(r.recovering()),
+                    (long long)r.next_to_deliver(hp->my_pg));
+        std::fflush(stdout);
+        ex.schedule_after(duration::milliseconds(status_interval_ms),
+                          *status);
+      };
+      ex.schedule_after(duration::milliseconds(status_interval_ms), *status);
+    }
   }
 
   std::signal(SIGINT, handle_signal);
   std::signal(SIGTERM, handle_signal);
-  std::printf("READY node=%d name=%s listen=%s:%u partition=%d rings=%zu\n",
-              self->id, self->name.c_str(), self->host.c_str(),
-              unsigned(self->port), self->partition, groups.size());
+  for (const Hosted& h : hosted) {
+    std::printf("READY node=%d name=%s listen=%s:%u partition=%d shard=%d "
+                "threads=%d\n",
+                h.spec->id, h.spec->name.c_str(), h.spec->host.c_str(),
+                unsigned(h.spec->port), h.spec->partition, h.shard,
+                sharded ? shards : 1);
+  }
   std::fflush(stdout);
 
-  Time next_status = ex.now() + duration::milliseconds(status_interval_ms);
-  bool was_recovering = replica->recovering();
-  while (!g_stop && !ex.stopped()) {
-    ex.run_once(duration::milliseconds(50));
-    if (was_recovering && !replica->recovering()) {
-      // §5.2 recovery just completed (the smoke script keys off this).
-      std::printf("RECOVERED node=%d t=%.1fs applied=%lld\n", self->id,
-                  duration::to_seconds(ex.now()),
-                  (long long)replica->commands_applied());
-      std::fflush(stdout);
+  if (sharded) {
+    rt.start();
+    while (!g_stop) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
     }
-    was_recovering = replica->recovering();
-    if (status_interval_ms > 0 && ex.now() >= next_status) {
-      next_status = ex.now() + duration::milliseconds(status_interval_ms);
-      std::printf("STATUS node=%d t=%.1fs applied=%lld delivered=%lld "
-                  "recovering=%d cursor0=%lld\n",
-                  self->id, duration::to_seconds(ex.now()),
-                  (long long)replica->commands_applied(),
-                  (long long)replica->delivered_count(),
-                  int(replica->recovering()),
-                  (long long)replica->next_to_deliver(my_pg));
-      std::fflush(stdout);
+    rt.stop();  // joins every shard and the network thread
+  } else {
+    while (!g_stop && !ex0.stopped()) {
+      ex0.run_once(duration::milliseconds(50));
     }
   }
 
-  std::printf("FINAL node=%d applied=%lld duplicates=%lld order_hash=%016llx "
-              "store_hash=%016llx entries=%zu recoveries=%lld\n",
-              self->id, (long long)replica->commands_applied(),
-              (long long)replica->duplicates_filtered(),
-              (unsigned long long)order_hash,
-              (unsigned long long)hash_store(replica->store()),
-              replica->store().entry_count(),
-              (long long)replica->recoveries_started());
+  // All loops are stopped/joined: replica state is safe to read here.
+  for (const Hosted& h : hosted) {
+    const kvstore::KvReplica& r = *h.replica;
+    std::printf("FINAL node=%d applied=%lld duplicates=%lld "
+                "order_hash=%016llx store_hash=%016llx entries=%zu "
+                "recoveries=%lld\n",
+                h.spec->id, (long long)r.commands_applied(),
+                (long long)r.duplicates_filtered(),
+                (unsigned long long)h.order_hash,
+                (unsigned long long)hash_store(r.store()),
+                r.store().entry_count(), (long long)r.recoveries_started());
+  }
   std::fflush(stdout);
   return 0;
 }

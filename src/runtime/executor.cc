@@ -1,6 +1,8 @@
 #include "runtime/executor.h"
 
 #include <poll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <chrono>
@@ -63,39 +65,89 @@ class NullDisk final : public env::Disk {
 
 Executor::Executor(ExecutorOptions opts)
     : opts_(std::move(opts)), rng_(opts_.seed) {
-  epoch_ns_ = steady_ns();
+  epoch_ns_ = opts_.epoch_steady_ns >= 0 ? opts_.epoch_steady_ns : steady_ns();
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
 }
 
-Executor::~Executor() = default;
+Executor::~Executor() {
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+}
 
 Time Executor::now() const { return steady_ns() - epoch_ns_; }
 
+void Executor::wake() {
+  if (wake_fd_ < 0) return;  // degraded: the poll timeout bounds latency
+  std::uint64_t one = 1;
+  // write(2) is async-signal-safe; a full eventfd counter (EAGAIN) already
+  // guarantees the loop has a pending wake.
+  [[maybe_unused]] ssize_t rc = ::write(wake_fd_, &one, sizeof(one));
+}
+
+void Executor::drain_wake_fd() {
+  if (wake_fd_ < 0) return;
+  std::uint64_t count;
+  [[maybe_unused]] ssize_t rc = ::read(wake_fd_, &count, sizeof(count));
+}
+
 void Executor::schedule_after(Duration d, std::function<void()> fn) {
+  {
+    MutexLock l(&mu_);
+    timers_.push(Timer{now() + std::max<Duration>(d, 0), next_seq_++,
+                       std::move(fn)});
+  }
+  // Dekker-style wake handshake (store-buffer litmus): the loop stores
+  // polling_=true, fences, then checks for work; we publish work, fence,
+  // then read polling_. At least one side observes the other, so the loop
+  // either skips the block or gets the eventfd.
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  if (polling_.load(std::memory_order_relaxed)) wake();
+}
+
+int Executor::add_post_source() {
   MutexLock l(&mu_);
-  timers_.push(Timer{now() + std::max<Duration>(d, 0), next_seq_++,
-                     std::move(fn)});
+  post_queues_.push_back(
+      std::make_unique<SpscQueue<Post>>(opts_.post_queue_capacity));
+  return int(post_queues_.size()) - 1;
+}
+
+bool Executor::post(int source, ProcessId from, ProcessId to,
+                    env::MessagePtr m) AMCAST_NO_THREAD_SAFETY_ANALYSIS {
+  // Analysis-exempt: post_queues_ is guarded by mu_ only while sources are
+  // being registered; the contract requires registration to finish before
+  // the loop (and any producer) starts, so this read races with nothing.
+  SpscQueue<Post>* q = post_queues_[std::size_t(source)].get();
+  if (!q->try_push(Post{from, to, std::move(m)})) {
+    // Ring full: backpressure by loss, exactly like the env contract's
+    // send(). Blocking would let one stalled ring loop wedge its peers.
+    posts_dropped_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  if (polling_.load(std::memory_order_relaxed)) wake();
+  return true;
 }
 
 void Executor::send(ProcessId from, ProcessId to, env::MessagePtr m) {
   if (nodes_.count(to)) {
-    // Local short-circuit through the loop: bounded stack, FIFO with the
-    // sender's other work — the runtime analogue of loopback delivery.
-    schedule_after(0, [this, from, to, m = std::move(m)] {
-      dispatch(from, to, std::move(m));
-    });
+    // Local short-circuit: loop-local FIFO, drained in batches by
+    // run_once. Cheaper than the former schedule_after(0) path (no lock,
+    // no Timer allocation) and with an explicit re-entrancy rule — see
+    // drain_local().
+    local_.push_back(Post{from, to, std::move(m)});
     return;
   }
+  if (router_ && router_(from, to, m)) return;
   if (transport_ != nullptr) {
     transport_->send(from, to, *m);
     return;
   }
-  ++dropped_unroutable_;
+  dropped_unroutable_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void Executor::dispatch(ProcessId from, ProcessId to, env::MessagePtr m) {
   auto it = nodes_.find(to);
   if (it == nodes_.end()) {
-    ++dropped_unroutable_;
+    dropped_unroutable_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
   env::Node* n = it->second;
@@ -153,8 +205,53 @@ void Executor::fire_due_timers() {
   for (Timer& t : due) t.fn();
 }
 
+void Executor::drain_local() {
+  // Re-entrancy rule (pinned by ShardedExecutor.NestedSendKeepsFifoOrder):
+  // only the batch present at entry is dispatched; a handler's own nested
+  // send() lands BEHIND that batch and runs on the next drain. Delivery
+  // therefore stays FIFO per sender, the stack depth is one handler (no
+  // recursion through send), and an a→b→a ping-pong chain yields to IO
+  // and timers between batches instead of starving them.
+  std::size_t batch = local_.size();
+  for (std::size_t i = 0; i < batch; ++i) {
+    Post p = std::move(local_.front());
+    local_.pop_front();
+    dispatch(p.from, p.to, std::move(p.m));
+  }
+}
+
+void Executor::drain_posts() {
+  // Refresh the lock-free snapshot if sources were added since (only
+  // possible before the loop first runs, but cheap to keep correct).
+  {
+    MutexLock l(&mu_);
+    if (post_cache_.size() != post_queues_.size()) {
+      post_cache_.clear();
+      for (auto& q : post_queues_) post_cache_.push_back(q.get());
+    }
+  }
+  for (SpscQueue<Post>* q : post_cache_) {
+    // Bounded batch per source: at most one full ring's worth, so a
+    // babbling producer cannot monopolize the loop.
+    std::size_t batch = q->capacity();
+    Post p;
+    for (std::size_t i = 0; i < batch && q->try_pop(&p); ++i) {
+      dispatch(p.from, p.to, std::move(p.m));
+    }
+  }
+}
+
+bool Executor::posts_pending() const {
+  for (SpscQueue<Post>* q : post_cache_) {
+    if (!q->empty()) return true;
+  }
+  return false;
+}
+
 void Executor::run_once(Duration max_wait) {
   start_pending_nodes();
+  drain_posts();
+  drain_local();
   Duration wait = std::max<Duration>(max_wait, 0);
   {
     MutexLock l(&mu_);
@@ -162,17 +259,37 @@ void Executor::run_once(Duration max_wait) {
       wait = std::min(wait, std::max<Duration>(timers_.top().t - now(), 0));
     }
   }
-  if (transport_ != nullptr) {
-    transport_->poll(wait);
-  } else if (wait > 0) {
+  if (!local_.empty() || stopped()) wait = 0;
+  // Wake handshake, loop side: announce the block, then re-check every
+  // producer-writable queue. See schedule_after for the pairing argument.
+  polling_.store(true, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  if (posts_pending()) wait = 0;
+  if (transport_ != nullptr && polls_transport_) {
+    transport_->poll(wait, wake_fd_);
+  } else {
     // Round UP: timers may fire late but never early, and truncating a
     // sub-millisecond remainder to 0 would busy-spin until the timer.
-    ::poll(nullptr, 0,
-           int((wait + duration::milliseconds(1) - 1) /
-               duration::milliseconds(1)));
+    int timeout_ms = int((wait + duration::milliseconds(1) - 1) /
+                         duration::milliseconds(1));
+    if (wake_fd_ >= 0) {
+      pollfd pfd{wake_fd_, POLLIN, 0};
+      ::poll(&pfd, 1, timeout_ms);
+    } else if (wait > 0) {
+      ::poll(nullptr, 0, timeout_ms);
+    }
   }
+  polling_.store(false, std::memory_order_relaxed);
+  drain_wake_fd();
   fire_due_timers();
+  drain_posts();
+  drain_local();
   start_pending_nodes();
+}
+
+void Executor::stop() {
+  stopped_.store(true, std::memory_order_relaxed);
+  wake();
 }
 
 void Executor::run() {

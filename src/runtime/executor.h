@@ -9,10 +9,19 @@
 //
 // The protocol stack runs on it unchanged: the same KvReplica object a
 // simulation hosts is handed to add_node() here and becomes a real server.
+//
+// Threading: every node lives on exactly ONE executor, and all of its
+// callbacks run on that executor's loop thread — the env contract is
+// unchanged by the multicore runtime. Cross-thread entry points are
+// schedule_after(), post(), stop(), and the stats accessors; everything
+// else is loop-thread-only. The sharded runtime (sharding.h) composes
+// several executors, one per ring, plus a network thread that owns the
+// transport and forwards inbound frames with post().
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
@@ -26,6 +35,7 @@
 #include "common/sync.h"
 #include "env/env.h"
 #include "net/transport.h"
+#include "runtime/spsc.h"
 
 namespace amcast::runtime {
 
@@ -34,6 +44,13 @@ struct ExecutorOptions {
   /// Empty: disks are volatile no-ops (tests, pure clients).
   std::string data_dir;
   std::uint64_t seed = 1;
+  /// Clock epoch as a raw steady_clock reading, so several executors can
+  /// share one time base (the sharded runtime aligns all ring loops on the
+  /// first shard's epoch; STATUS lines and the transport clock then agree).
+  /// -1: capture the steady clock at construction.
+  std::int64_t epoch_steady_ns = -1;
+  /// Slots per registered post() source (rounded up to a power of two).
+  std::size_t post_queue_capacity = 4096;
 };
 
 class Executor final : public env::Host {
@@ -44,13 +61,21 @@ class Executor final : public env::Host {
   Executor(const Executor&) = delete;
   Executor& operator=(const Executor&) = delete;
 
+  /// The raw steady-clock reading this executor's clock counts from; pass
+  /// it as ExecutorOptions::epoch_steady_ns to align another executor's
+  /// now() with this one (the sharded runtime does).
+  std::int64_t epoch_steady_ns() const { return epoch_ns_; }
+
   // --- env::Host ---------------------------------------------------------
   Time now() const override;
   /// Thread-safe: any thread may inject work; it runs on the loop thread.
-  /// This is the cross-thread seam the multicore refactor builds on (ring
-  /// threads posting into each other's loops).
+  /// A cross-thread caller also wakes the loop if it is blocked in poll,
+  /// so the callback never waits out the poll timeout.
   void schedule_after(Duration d, std::function<void()> fn) override
       AMCAST_EXCLUDES(mu_);
+  /// Loop-thread only (nodes call it from their handlers). Local targets
+  /// are queued on a loop-local FIFO — see dispatch() for the re-entrancy
+  /// rule — remote ones go to the router (sharded siblings) or transport.
   void send(ProcessId from, ProcessId to, env::MessagePtr m) override;
   std::unique_ptr<env::Disk> make_disk(ProcessId owner, int index,
                                        const env::DiskParams& p) override;
@@ -66,30 +91,69 @@ class Executor final : public env::Host {
   env::Node* find_node(ProcessId id);
 
   /// Attaches the transport (non-owning). Without one, messages to
-  /// non-hosted ids are dropped (single-process tests).
-  void set_transport(net::Transport* t) { transport_ = t; }
+  /// non-hosted ids are dropped (single-process tests). `poll_it` false
+  /// means another thread owns Transport::poll (the sharded runtime's
+  /// network thread); this loop then only calls the thread-safe send().
+  void set_transport(net::Transport* t, bool poll_it = true) {
+    transport_ = t;
+    polls_transport_ = poll_it;
+  }
+
+  /// Routes sends whose target is not hosted here, BEFORE the transport is
+  /// tried: the sharded runtime installs one per shard to post into
+  /// sibling loops. Returns true when it handled (or knowingly dropped)
+  /// the message. Must be installed before the loop starts.
+  using Router =
+      std::function<bool(ProcessId from, ProcessId to, const env::MessagePtr&)>;
+  void set_router(Router r) { router_ = std::move(r); }
+
+  // --- cross-thread message fast path ------------------------------------
+
+  /// Registers a producer and returns its source index. Each source is a
+  /// bounded SPSC queue drained by the loop; exactly one thread may post
+  /// through a given index. All sources must be registered BEFORE the loop
+  /// first runs (the table is then read without locks).
+  int add_post_source() AMCAST_EXCLUDES(mu_);
+
+  /// Thread-safe fast path for cross-thread message delivery: enqueues on
+  /// `source`'s SPSC ring (no timer-heap lock, no std::function
+  /// allocation) and wakes the loop if it is blocked in poll. A full ring
+  /// drops the message and counts it — identical failure semantics to the
+  /// env contract's lossy send(); protocol timeouts recover. Returns false
+  /// on that drop (already counted).
+  bool post(int source, ProcessId from, ProcessId to, env::MessagePtr m);
 
   // --- loop --------------------------------------------------------------
 
   /// Runs until stop(). Safe to call after scheduling initial work.
   void run();
 
-  /// Requests the loop to exit after the current iteration. Thread-safe
-  /// and async-signal-safe (a lock-free atomic store): signal handlers and
-  /// other threads may call it directly.
-  void stop() { stopped_.store(true, std::memory_order_relaxed); }
+  /// Requests the loop to exit after the current iteration and wakes it if
+  /// blocked. Thread-safe and async-signal-safe (an atomic store plus an
+  /// eventfd write): signal handlers and other threads may call it.
+  void stop();
   bool stopped() const { return stopped_.load(std::memory_order_relaxed); }
 
-  /// One loop iteration: waits up to `max_wait` for transport IO or the
-  /// next timer, then runs everything due. Exposed for tests and for
-  /// embedding (the CLI drives it until its ops complete).
+  /// One loop iteration: waits up to `max_wait` for transport IO, a
+  /// cross-thread wake, or the next timer, then runs everything due.
+  /// Exposed for tests and for embedding (the CLI drives it until its ops
+  /// complete).
   void run_once(Duration max_wait);
 
   /// Inbound dispatch (transport handler and local sends converge here).
+  /// Loop-thread only.
   void dispatch(ProcessId from, ProcessId to, env::MessagePtr m);
 
+  // --- stats (thread-safe: atomics, readable while the loop runs) --------
+
   /// Messages dropped because the addressee is not hosted here.
-  std::uint64_t dropped_unroutable() const { return dropped_unroutable_; }
+  std::uint64_t dropped_unroutable() const {
+    return dropped_unroutable_.load(std::memory_order_relaxed);
+  }
+  /// Messages dropped by post() because a source ring was full.
+  std::uint64_t posts_dropped() const {
+    return posts_dropped_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct Timer {
@@ -103,34 +167,67 @@ class Executor final : public env::Host {
       return a.seq > b.seq;
     }
   };
+  /// One queued message (cross-thread post or loop-local send).
+  struct Post {
+    ProcessId from = kInvalidProcess;
+    ProcessId to = kInvalidProcess;
+    env::MessagePtr m;
+  };
 
   void start_pending_nodes();
   /// Pops everything due under the lock, then runs the callbacks with the
   /// lock released (callbacks schedule more timers, i.e. re-enter).
   void fire_due_timers() AMCAST_EXCLUDES(mu_);
+  /// Drains the batch of local sends present at entry (nested sends issued
+  /// by the handlers themselves run on the NEXT drain — bounded stack,
+  /// strict FIFO, and the loop yields to IO between batches).
+  void drain_local();
+  /// Drains every registered post source. Same batch rule as drain_local.
+  void drain_posts();
+  bool posts_pending() const;
+  /// Wakes a loop blocked in poll (writes the eventfd). Safe from any
+  /// thread and from signal handlers.
+  void wake();
+  void drain_wake_fd();
 
   // Immutable after construction; readable from any thread (now() is
   // called by the transport's clock closure under the transport lock).
   ExecutorOptions opts_;
   std::int64_t epoch_ns_ = 0;  ///< steady-clock reading at construction
+  int wake_fd_ = -1;           ///< eventfd; -1 if unavailable (degrades to
+                               ///< waking on the poll timeout)
 
-  /// Guards the timer heap — the one structure other threads write into
-  /// (via schedule_after). Everything else below is loop-thread-only.
+  /// Guards the timer heap and the post-source table — the structures
+  /// other threads write into. Everything below the atomics block is
+  /// loop-thread-only.
   mutable Mutex mu_;
   std::uint64_t next_seq_ AMCAST_GUARDED_BY(mu_) = 0;
   std::priority_queue<Timer, std::vector<Timer>, TimerOrder> timers_
       AMCAST_GUARDED_BY(mu_);
+  /// Grown only by add_post_source() before the loop runs; the queues
+  /// themselves are SPSC and accessed lock-free afterwards.
+  std::vector<std::unique_ptr<SpscQueue<Post>>> post_queues_
+      AMCAST_GUARDED_BY(mu_);
 
   std::atomic<bool> stopped_ = false;
+  /// True while the loop thread is (about to be) blocked in poll. Paired
+  /// with seq_cst fences against queue writes so producers either see it
+  /// and wake the fd, or the loop sees their data and skips the block.
+  std::atomic<bool> polling_ = false;
+  std::atomic<std::uint64_t> dropped_unroutable_ = 0;
+  std::atomic<std::uint64_t> posts_dropped_ = 0;
 
   // Loop-thread only: node hosting, dispatch, metrics and rng are touched
   // exclusively by the thread running run()/run_once().
   std::map<ProcessId, env::Node*> nodes_;
   std::vector<env::Node*> pending_start_;
+  std::deque<Post> local_;  ///< loop-local sends awaiting dispatch
+  std::vector<SpscQueue<Post>*> post_cache_;  ///< lock-free drain snapshot
   net::Transport* transport_ = nullptr;
+  bool polls_transport_ = true;
+  Router router_;
   Metrics metrics_;
   Rng rng_;
-  std::uint64_t dropped_unroutable_ = 0;
 };
 
 }  // namespace amcast::runtime

@@ -1,0 +1,151 @@
+#include "runtime/sharding.h"
+
+#include <pthread.h>
+#include <sched.h>
+
+#include <utility>
+
+#include "common/assert.h"
+
+namespace amcast::runtime {
+
+namespace {
+
+void pin_to_cpu(int index) {
+  unsigned n = std::thread::hardware_concurrency();
+  if (n == 0) return;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(unsigned(index) % n, &set);
+  ::pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+}
+
+}  // namespace
+
+ShardedRuntime::ShardedRuntime(ShardedRuntimeOptions opts)
+    : opts_(std::move(opts)) {
+  AMCAST_ASSERT_MSG(opts_.shards >= 1, "need at least one shard");
+  int n = opts_.shards;
+  shards_.reserve(std::size_t(n));
+  for (int i = 0; i < n; ++i) {
+    ExecutorOptions eo;
+    eo.data_dir = opts_.data_dir;
+    eo.seed = opts_.seed + std::uint64_t(i);
+    // All shards count time from shard 0's epoch so their now() agree.
+    eo.epoch_steady_ns = i == 0 ? -1 : shards_[0]->epoch_steady_ns();
+    eo.post_queue_capacity = opts_.post_queue_capacity;
+    shards_.push_back(std::make_unique<Executor>(eo));
+  }
+  // One SPSC lane per ordered producer→consumer pair, plus the network
+  // thread's lane into every shard. Registered here, before any thread
+  // exists, which is what makes the lock-free reads in post() legal.
+  lane_.assign(std::size_t(n), std::vector<int>(std::size_t(n), -1));
+  net_lane_.assign(std::size_t(n), -1);
+  for (int j = 0; j < n; ++j) {
+    for (int i = 0; i < n; ++i) {
+      if (i != j) lane_[std::size_t(i)][std::size_t(j)] =
+          shards_[std::size_t(j)]->add_post_source();
+    }
+    net_lane_[std::size_t(j)] = shards_[std::size_t(j)]->add_post_source();
+  }
+  // Cross-shard router: a send() on shard i whose target lives on shard j
+  // becomes a post on i's dedicated lane into j. Runs on shard i's loop
+  // thread; owner_ is immutable once the threads exist.
+  for (int i = 0; i < n; ++i) {
+    shards_[std::size_t(i)]->set_router(
+        [this, i](ProcessId from, ProcessId to, const env::MessagePtr& m) {
+          auto it = owner_.find(to);
+          if (it == owner_.end()) return false;  // not ours → transport
+          int j = it->second;
+          // A full lane drops (counted by post) — same lossy semantics as
+          // the env network; protocol timeouts recover.
+          shards_[std::size_t(j)]->post(lane_[std::size_t(i)][std::size_t(j)],
+                                        from, to, env::MessagePtr(m));
+          return true;
+        });
+  }
+}
+
+ShardedRuntime::~ShardedRuntime() { stop(); }
+
+void ShardedRuntime::add_node(int shard, ProcessId id, env::Node* node) {
+  AMCAST_ASSERT_MSG(!running(), "add_node before start()");
+  AMCAST_ASSERT_MSG(shard >= 0 && shard < shards(), "shard out of range");
+  AMCAST_ASSERT_MSG(owner_.emplace(id, shard).second,
+                    "process id already hosted");
+  shards_[std::size_t(shard)]->add_node(id, node);
+}
+
+int ShardedRuntime::owner_shard(ProcessId id) const {
+  auto it = owner_.find(id);
+  return it == owner_.end() ? -1 : it->second;
+}
+
+void ShardedRuntime::set_transport(net::Transport* t) {
+  AMCAST_ASSERT_MSG(!running(), "set_transport before start()");
+  transport_ = t;
+  // Send-only on the ring loops: the network thread owns poll().
+  for (auto& s : shards_) s->set_transport(t, /*poll_it=*/false);
+}
+
+void ShardedRuntime::dispatch(ProcessId from, ProcessId to,
+                              env::MessagePtr m) {
+  auto it = owner_.find(to);
+  if (it == owner_.end()) {
+    dispatch_unroutable_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  int j = it->second;
+  shards_[std::size_t(j)]->post(net_lane_[std::size_t(j)], from, to,
+                                std::move(m));
+}
+
+void ShardedRuntime::start() {
+  AMCAST_ASSERT_MSG(!running(), "already started");
+  running_.store(true, std::memory_order_release);
+  net_stop_.store(false, std::memory_order_relaxed);
+  threads_.reserve(shards_.size());
+  for (int i = 0; i < shards(); ++i) {
+    Executor* ex = shards_[std::size_t(i)].get();
+    bool pin = opts_.pin_threads;
+    threads_.emplace_back([ex, i, pin] {
+      if (pin) pin_to_cpu(i);
+      ex->run();
+    });
+  }
+  if (transport_ != nullptr) {
+    net_thread_ = std::thread([this] {
+      // The transport wakes on socket activity; the short timeout only
+      // bounds shutdown latency and reconnect-timer granularity.
+      while (!net_stop_.load(std::memory_order_relaxed)) {
+        transport_->poll(duration::milliseconds(10));
+      }
+    });
+  }
+}
+
+void ShardedRuntime::stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  // Rings first (stop() wakes each loop's eventfd), then the network
+  // thread: frames arriving during the drain are posted to queues nobody
+  // reads anymore, which is just the lossy network being lossy.
+  for (auto& s : shards_) s->stop();
+  for (auto& t : threads_) t.join();
+  threads_.clear();
+  net_stop_.store(true, std::memory_order_relaxed);
+  if (net_thread_.joinable()) net_thread_.join();
+}
+
+std::uint64_t ShardedRuntime::dropped_unroutable() const {
+  std::uint64_t n = dispatch_unroutable_.load(std::memory_order_relaxed);
+  for (const auto& s : shards_) n += s->dropped_unroutable();
+  return n;
+}
+
+std::uint64_t ShardedRuntime::posts_dropped() const {
+  std::uint64_t n = 0;
+  for (const auto& s : shards_) n += s->posts_dropped();
+  return n;
+}
+
+}  // namespace amcast::runtime

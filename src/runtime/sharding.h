@@ -1,0 +1,121 @@
+// runtime::ShardedRuntime — the thread-per-ring composition of executors
+// (ROADMAP item 1, the multicore refactor).
+//
+// One OS process hosts several env::Node replicas (typically one per
+// partition ring, colocated behind a single transport address); each node
+// is pinned to exactly ONE Executor, and each Executor runs its loop on a
+// dedicated thread. A node therefore keeps the env contract it was
+// written against — all of its callbacks on one thread, FIFO per sender —
+// while different rings' coordinator/acceptor/learner work proceeds in
+// parallel on different cores.
+//
+// Message routing, in priority order, for a send() issued on shard i:
+//   1. target hosted on shard i         → Executor loop-local FIFO
+//   2. target hosted on another shard j → this runtime's router posts it
+//      onto shard j's bounded SPSC ring (i's dedicated lane) and wakes j's
+//      eventfd — the post/wake seam; a full lane drops+counts, like the
+//      lossy env network
+//   3. target in another process        → net::Transport::send (thread-safe;
+//      the ring thread encodes into a pooled frame and flushes inline)
+//
+// A dedicated NETWORK thread owns Transport::poll: it accepts, reads and
+// decodes inbound frames, then forwards each to the owning shard with
+// post(). Ring loops never touch the sockets' read side.
+//
+// This file is the one place in src/runtime allowed to spawn raw
+// std::threads (scripts/amcast_lint.py enforces it): thread lifetime is
+// exactly start()..stop(), and everything the threads touch is either
+// immutable after start() or one of the annotated cross-thread seams.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/ids.h"
+#include "env/env.h"
+#include "net/transport.h"
+#include "runtime/executor.h"
+
+namespace amcast::runtime {
+
+struct ShardedRuntimeOptions {
+  /// Passed through to every shard executor (file-backed disks share the
+  /// directory; wal paths embed the node id, so colocated nodes never
+  /// collide).
+  std::string data_dir;
+  std::uint64_t seed = 1;
+  int shards = 1;
+  /// Pin shard thread i to CPU (i % hardware_concurrency). The network
+  /// thread stays unpinned.
+  bool pin_threads = false;
+  /// Slots per cross-shard SPSC lane.
+  std::size_t post_queue_capacity = 4096;
+};
+
+class ShardedRuntime {
+ public:
+  explicit ShardedRuntime(ShardedRuntimeOptions opts);
+  ~ShardedRuntime();
+
+  ShardedRuntime(const ShardedRuntime&) = delete;
+  ShardedRuntime& operator=(const ShardedRuntime&) = delete;
+
+  int shards() const { return int(shards_.size()); }
+  /// The shard executors share one clock epoch (shard 0's), so their now()
+  /// values — and any STATUS lines printed from different loops — agree.
+  Executor& shard(int i) { return *shards_[std::size_t(i)]; }
+
+  /// Hosts `node` on `shard` under `id`. Before start() only: the owner
+  /// table is read lock-free by every ring thread afterwards.
+  void add_node(int shard, ProcessId id, env::Node* node);
+  /// Which shard hosts `id`; -1 when not hosted here.
+  int owner_shard(ProcessId id) const;
+
+  /// Attaches the transport (non-owning). Before start() only. start()
+  /// then spawns the network thread that owns Transport::poll; shard
+  /// executors get the transport in send-only mode.
+  void set_transport(net::Transport* t);
+
+  /// Inbound-frame handler: forwards to the owning shard's post lane.
+  /// Called by the network thread; also callable directly in tests.
+  void dispatch(ProcessId from, ProcessId to, env::MessagePtr m);
+
+  /// Spawns one thread per shard (running Executor::run) plus the network
+  /// thread when a transport is attached.
+  void start();
+  /// Stops every loop, joins all threads. Idempotent; also run by the
+  /// destructor.
+  void stop();
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  // --- stats (thread-safe) ----------------------------------------------
+  /// Messages addressed to a process no shard hosts (summed over shards
+  /// plus frames the dispatcher itself could not route).
+  std::uint64_t dropped_unroutable() const;
+  /// Cross-shard posts dropped on a full SPSC lane (summed over shards).
+  std::uint64_t posts_dropped() const;
+
+ private:
+  ShardedRuntimeOptions opts_;
+  std::vector<std::unique_ptr<Executor>> shards_;
+  /// ProcessId → hosting shard. Mutated only before start(); ring threads
+  /// and the network thread read it concurrently afterwards.
+  std::map<ProcessId, int> owner_;
+  net::Transport* transport_ = nullptr;
+  /// Post-source indexes: lane_[i][j] is shard i's producer lane into
+  /// shard j (i == j unused); net_lane_[j] is the network thread's.
+  std::vector<std::vector<int>> lane_;
+  std::vector<int> net_lane_;
+  std::vector<std::thread> threads_;
+  std::thread net_thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> net_stop_{false};
+  std::atomic<std::uint64_t> dispatch_unroutable_{0};
+};
+
+}  // namespace amcast::runtime

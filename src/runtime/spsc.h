@@ -1,0 +1,128 @@
+// Bounded single-producer / single-consumer queue — the lock-free handoff
+// between ring loops in the sharded runtime (ROADMAP item 1).
+//
+// Modeled on Derecho's MulticastSST discipline (fixed slot ring, polled
+// counters, no CAS on the fast path): one cache-line-separated index per
+// side, release/acquire pairs on the indexes, and the slot array itself is
+// plain storage. A producer that finds the ring full does NOT spin into
+// the consumer's cache line forever: try_push fails fast (the sharded
+// executor turns that into a counted drop, matching the env contract that
+// send() may drop), while push() parks on a condition variable that the
+// consumer only touches when a producer has announced itself — the mutex
+// never appears on the uncontended path.
+//
+// Exactly ONE thread may call the producer side (try_push/push) and
+// exactly ONE thread the consumer side (try_pop); close() may be called
+// from anywhere, once.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+#include "common/assert.h"
+
+namespace amcast::runtime {
+
+template <typename T>
+class SpscQueue {
+ public:
+  /// `capacity` is rounded up to a power of two (index masking).
+  explicit SpscQueue(std::size_t capacity) {
+    std::size_t cap = 1;
+    while (cap < capacity) cap <<= 1;
+    slots_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  SpscQueue(const SpscQueue&) = delete;
+  SpscQueue& operator=(const SpscQueue&) = delete;
+
+  /// Producer side. False when the ring is full or the queue is closed.
+  bool try_push(T&& v) {
+    if (closed_.load(std::memory_order_acquire)) return false;
+    std::size_t t = tail_.load(std::memory_order_relaxed);
+    if (t - head_.load(std::memory_order_acquire) > mask_) return false;
+    slots_[t & mask_] = std::move(v);
+    tail_.store(t + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Producer side, blocking: waits for space when the ring is full.
+  /// Returns false only if the queue is (or becomes) closed — the value is
+  /// then dropped. This is the backpressure path; the executor's post()
+  /// never uses it (loops must not block on each other), but batch feeders
+  /// and tests do.
+  bool push(T&& v) {
+    if (try_push(std::move(v))) return true;
+    std::unique_lock<std::mutex> l(wait_mu_);
+    waiting_.store(true, std::memory_order_seq_cst);
+    // Re-check after announcing: a consumer that popped before seeing
+    // waiting_==true left space we must not sleep past.
+    while (!try_push(std::move(v))) {
+      if (closed_.load(std::memory_order_acquire)) {
+        waiting_.store(false, std::memory_order_relaxed);
+        return false;
+      }
+      space_.wait(l);
+    }
+    waiting_.store(false, std::memory_order_relaxed);
+    return true;
+  }
+
+  /// Consumer side. False when the ring is empty.
+  bool try_pop(T* out) {
+    std::size_t h = head_.load(std::memory_order_relaxed);
+    if (h == tail_.load(std::memory_order_acquire)) return false;
+    *out = std::move(slots_[h & mask_]);
+    head_.store(h + 1, std::memory_order_release);
+    // seq_cst fence pairs with the producer's seq_cst store of waiting_:
+    // either the producer sees the new head (and re-checks successfully)
+    // or we see waiting_ and signal.
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    if (waiting_.load(std::memory_order_relaxed)) {
+      std::lock_guard<std::mutex> l(wait_mu_);
+      space_.notify_all();
+    }
+    return true;
+  }
+
+  /// Consumer-visible emptiness probe (no synchronization with slots).
+  bool empty() const {
+    return head_.load(std::memory_order_acquire) ==
+           tail_.load(std::memory_order_acquire);
+  }
+
+  /// Approximate depth (racy by design; for stats).
+  std::size_t approx_size() const {
+    std::size_t h = head_.load(std::memory_order_acquire);
+    std::size_t t = tail_.load(std::memory_order_acquire);
+    return t >= h ? t - h : 0;
+  }
+
+  std::size_t capacity() const { return mask_ + 1; }
+
+  /// Permanently closes the queue: blocked producers wake and fail, new
+  /// pushes fail. Already-queued values remain poppable (drain-on-stop).
+  void close() {
+    closed_.store(true, std::memory_order_release);
+    std::lock_guard<std::mutex> l(wait_mu_);
+    space_.notify_all();
+  }
+
+  bool closed() const { return closed_.load(std::memory_order_acquire); }
+
+ private:
+  std::vector<T> slots_;
+  std::size_t mask_ = 0;
+  alignas(64) std::atomic<std::size_t> head_{0};  ///< consumer cursor
+  alignas(64) std::atomic<std::size_t> tail_{0};  ///< producer cursor
+  alignas(64) std::atomic<bool> closed_{false};
+  std::atomic<bool> waiting_{false};  ///< a producer is parked on space_
+  std::mutex wait_mu_;
+  std::condition_variable space_;
+};
+
+}  // namespace amcast::runtime

@@ -73,6 +73,80 @@ TEST(ExecutorConcurrency, CrossThreadScheduleRunsEverythingBeforeStop) {
   EXPECT_TRUE(ex2.stopped());
 }
 
+TEST(ExecutorConcurrency, StatsCountersAreReadableWhileTheLoopRuns) {
+  // dropped_unroutable / posts_dropped are atomics precisely so observers
+  // (STATUS printers, the sweep orchestrator) can read them while the loop
+  // thread and producers mutate them. A producer overflows a tiny post
+  // ring (counting drops) and addresses unroutable ids (counted on the
+  // loop thread at dispatch); an observer hammers both accessors and
+  // checks they only ever move forward.
+  ExecutorOptions opts;
+  opts.post_queue_capacity = 8;
+  Executor ex(opts);
+
+  struct Counter final : env::Node {
+    std::atomic<std::uint64_t> received{0};
+    void on_message(ProcessId, const env::MessagePtr&) override {
+      received.fetch_add(1, std::memory_order_relaxed);
+    }
+  };
+  auto node = std::make_unique<Counter>();
+  ex.add_node(5, node.get());
+  int src = ex.add_post_source();
+
+  std::atomic<bool> stop_observer{false};
+  std::atomic<bool> monotonic{true};
+  std::thread observer([&] {
+    std::uint64_t last_unroutable = 0, last_posts = 0;
+    while (!stop_observer.load(std::memory_order_relaxed)) {
+      std::uint64_t u = ex.dropped_unroutable();
+      std::uint64_t p = ex.posts_dropped();
+      if (u < last_unroutable || p < last_posts) {
+        monotonic.store(false, std::memory_order_relaxed);
+      }
+      last_unroutable = u;
+      last_posts = p;
+    }
+  });
+
+  std::thread loop([&ex] { ex.run(); });
+
+  const std::uint64_t kPosts = 5000;
+  std::uint64_t accepted_routable = 0, accepted_unroutable = 0;
+  struct Tick final : env::Message {
+    std::size_t wire_size() const override { return 8; }
+    int type() const override { return 940; }
+    const char* name() const override { return "Tick"; }
+  };
+  for (std::uint64_t i = 0; i < kPosts; ++i) {
+    ProcessId to = (i % 2 == 0) ? 5 : 99;  // 99 is hosted nowhere
+    if (ex.post(src, 1, to, std::make_shared<Tick>())) {
+      (to == 5 ? accepted_routable : accepted_unroutable) += 1;
+    }
+  }
+
+  // Every accepted post ends up either delivered or counted unroutable.
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while ((node->received.load(std::memory_order_relaxed) < accepted_routable ||
+          ex.dropped_unroutable() < accepted_unroutable) &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ex.stop();
+  loop.join();
+  stop_observer.store(true, std::memory_order_relaxed);
+  observer.join();
+
+  EXPECT_TRUE(monotonic.load());
+  EXPECT_EQ(node->received.load(), accepted_routable);
+  EXPECT_EQ(ex.dropped_unroutable(), accepted_unroutable);
+  EXPECT_EQ(ex.posts_dropped(),
+            kPosts - accepted_routable - accepted_unroutable);
+  // The tiny ring must have overflowed at least once for the drop counter
+  // to have been exercised (the producer runs far ahead of the consumer).
+  EXPECT_GT(ex.posts_dropped(), 0u);
+}
+
 TEST(TransportConcurrency, SendersAndObserversRaceThePollThread) {
   Executor exA({/*data_dir=*/"", 1});
   Executor exB({/*data_dir=*/"", 2});

@@ -1,0 +1,13 @@
+// Fixture: spawning a raw std::thread in src/runtime outside the sharding
+// module must fire raw-thread-spawn. (As src/runtime/sharding.cc the same
+// file is clean — the sharding module is the blessed spawn point.)
+#include <thread>
+
+namespace amcast::fixture {
+
+void bad_spawn() {
+  std::thread t([] {});
+  t.join();
+}
+
+}  // namespace amcast::fixture

@@ -1,0 +1,14 @@
+// Fixture: a justified NOLINT silences raw-thread-spawn, and
+// std::this_thread (sleep/yield, no spawn) never fires it.
+#include <thread>
+
+namespace amcast::fixture {
+
+void tolerated_spawn() {
+  // NOLINT-amcast(raw-thread-spawn): fixture suppression demo
+  std::thread t([] {});
+  t.join();
+  std::this_thread::yield();
+}
+
+}  // namespace amcast::fixture

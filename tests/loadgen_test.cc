@@ -193,7 +193,7 @@ TEST(RuntimeRow, RoundTripsThroughJsonWithAllSchemaKeys) {
 
   auto doc = bench_document(
       "loadgen", 42, /*smoke=*/false,
-      {make_runtime_row("runtime_sweep", 2, opts, p, 42, 5.5)});
+      {make_runtime_row("runtime_sweep", 2, /*threads=*/1, opts, p, 42, 5.5)});
   std::string error;
   json::Value back = json::Value::parse(doc.dump(), &error);
   ASSERT_TRUE(error.empty()) << error;
@@ -208,6 +208,9 @@ TEST(RuntimeRow, RoundTripsThroughJsonWithAllSchemaKeys) {
   const json::Value* params = row.find("params");
   ASSERT_NE(params, nullptr);
   EXPECT_EQ(params->find("rings")->as_number(), 2);
+  // threads==1 must NOT appear as a param: gate keys concatenate every
+  // param, so labeling it would orphan pre-sharding baseline rows.
+  EXPECT_EQ(params->find("threads"), nullptr);
   EXPECT_EQ(params->find("offered_rate")->as_number(), 4000);
   EXPECT_EQ(params->find("sessions")->as_number(), 1000);
   EXPECT_EQ(params->find("get_ratio")->as_number(), 0.25);
@@ -228,21 +231,33 @@ TEST(RuntimeRow, RoundTripsThroughJsonWithAllSchemaKeys) {
   EXPECT_EQ(metrics->find("wall_s")->as_number(), 5.5);
 }
 
-/// Builds a synthetic runtime artifact from (rings, offered, goodput) rows.
-json::Value synthetic_doc(
-    const std::vector<std::array<double, 3>>& points) {
+/// Builds a synthetic runtime artifact from (rings, threads, offered,
+/// goodput) rows.
+json::Value synthetic_threaded_doc(
+    const std::vector<std::array<double, 4>>& points) {
   std::vector<ScenarioResult> rows;
   LoadGenOptions opts;
-  for (const auto& [rings, offered, goodput] : points) {
+  for (const auto& [rings, threads, offered, goodput] : points) {
     RatePoint p;
     p.offered_rate = offered;
     p.goodput = goodput;
     p.window_s = 3;
     p.completed = std::int64_t(goodput * 3);
-    rows.push_back(
-        make_runtime_row("runtime_sweep", int(rings), opts, p, 1, 1));
+    rows.push_back(make_runtime_row("runtime_sweep", int(rings), int(threads),
+                                    opts, p, 1, 1));
   }
   return bench_document("loadgen", 1, false, rows);
+}
+
+/// Builds a synthetic runtime artifact from (rings, offered, goodput) rows.
+json::Value synthetic_doc(
+    const std::vector<std::array<double, 3>>& points) {
+  std::vector<std::array<double, 4>> threaded;
+  threaded.reserve(points.size());
+  for (const auto& [rings, offered, goodput] : points) {
+    threaded.push_back({rings, 1, offered, goodput});
+  }
+  return synthetic_threaded_doc(threaded);
 }
 
 TEST(RuntimeGate, AcceptsSaturatingSweepAndRingScaling) {
@@ -286,6 +301,37 @@ TEST(RuntimeGate, RejectsCollapseAndMissingScaling) {
   // The same regression passes when within tolerance.
   json::Value okish = synthetic_doc({{1, 500, 495}, {1, 1000, 700}});
   EXPECT_EQ(gate_runtime_report(okish, &base, gate), 0);
+}
+
+TEST(RuntimeGate, MulticoreSpeedupComparesShardedAgainstSingleThread) {
+  // 4 rings measured at threads=1 and threads=4: the sharded peak must be
+  // >= the required factor times the single-threaded peak. Each (rings,
+  // threads) sweep is its own fig3 curve — the threads=4 points exceeding
+  // the threads=1 peak must not trip the single-threaded shape checks.
+  auto doc_with_multi_peak = [](double multi_peak) {
+    return synthetic_threaded_doc({{4, 1, 1000, 980},
+                                   {4, 1, 4000, 2000},
+                                   {4, 1, 8000, 2100},
+                                   {4, 4, 1000, 990},
+                                   {4, 4, 4000, 3900},
+                                   {4, 4, 8000, multi_peak}});
+  };
+  RuntimeGateOptions opts;
+  opts.require_multicore_speedup = 2.0;
+  EXPECT_EQ(gate_runtime_report(doc_with_multi_peak(5200), nullptr, opts), 0);
+  // 1.5x is real parallelism but below the required factor.
+  EXPECT_EQ(gate_runtime_report(doc_with_multi_peak(3150), nullptr, opts), 1);
+
+  // No multithreaded sweep at all: the gate must fail loudly, not
+  // vacuously pass.
+  json::Value single_only = synthetic_doc(
+      {{4, 1000, 980}, {4, 4000, 2000}});
+  EXPECT_EQ(gate_runtime_report(single_only, nullptr, opts), 1);
+
+  // Multicore rows are keyed by their threads param: a baseline holding
+  // both sweeps gates each row against its own counterpart.
+  json::Value both = doc_with_multi_peak(5200);
+  EXPECT_EQ(gate_runtime_report(both, &both, opts), 0);
 }
 
 }  // namespace

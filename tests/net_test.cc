@@ -1,6 +1,12 @@
 // Tests for the wire codec (every cross-process message type round-trips;
-// truncated/malformed input fails safely) and the cluster config loader.
+// truncated/malformed input fails safely), the cluster config loader, and
+// the transport's reconnect-backoff policy (driven by a fake clock).
+#include <arpa/inet.h>
+#include <fcntl.h>
 #include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
 #include <memory>
 #include <string>
@@ -11,6 +17,7 @@
 #include "kvstore/messages.h"
 #include "kvstore/replica.h"
 #include "net/cluster_config.h"
+#include "net/transport.h"
 #include "net/wire.h"
 #include "ringpaxos/messages.h"
 
@@ -386,6 +393,140 @@ TEST(ClusterConfig, RejectsInvalidConfigs) {
   expect_bad(R"({"service": "dlog", "processes": [{"id": 0, "port": 1}],
                  "rings": []})",
              "unsupported service");
+}
+
+TEST(ClusterConfig, ReplicasMayShareAnAddressOthersMayNot) {
+  // Colocation (the sharded runtime): several replicas behind one listen
+  // address is valid; a client squatting on a replica's address is not.
+  {
+    ClusterConfig cfg;
+    std::string error;
+    ASSERT_TRUE(ClusterConfig::parse(
+        R"({"processes": [{"id": 0, "port": 9001}, {"id": 1, "port": 9001},
+                          {"id": 2, "port": 9002}],
+            "rings": [{"members": [0, 1, 2], "acceptors": [0, 1, 2],
+                       "coordinator": 0}]})",
+        &cfg, &error))
+        << error;
+  }
+  {
+    ClusterConfig cfg;
+    std::string error;
+    EXPECT_FALSE(ClusterConfig::parse(
+        R"({"processes": [{"id": 0, "port": 9001},
+                          {"id": 1, "port": 9001, "role": "client"}],
+            "rings": [{"members": [0], "acceptors": [0],
+                       "coordinator": 0}]})",
+        &cfg, &error));
+    EXPECT_NE(error.find("share an address"), std::string::npos) << error;
+  }
+}
+
+/// Listener that accepts connections and either instantly closes them (a
+/// flapping peer) or parks them open (a healthy one that just never
+/// replies — our outbound connections are one-directional anyway).
+class FlapServer {
+ public:
+  FlapServer() {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;
+    ::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+    ::listen(fd_, 16);
+    ::fcntl(fd_, F_SETFL, O_NONBLOCK);
+    socklen_t len = sizeof(addr);
+    ::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+    port_ = ntohs(addr.sin_port);
+  }
+  ~FlapServer() {
+    for (int fd : held_) ::close(fd);
+    ::close(fd_);
+  }
+  std::uint16_t port() const { return port_; }
+
+  /// Drains pending accepts; closes them when flapping, holds them open
+  /// otherwise.
+  void service(bool flap) {
+    int cfd;
+    while ((cfd = ::accept(fd_, nullptr, nullptr)) >= 0) {
+      if (flap) {
+        ::close(cfd);
+      } else {
+        held_.push_back(cfd);
+      }
+    }
+  }
+  /// Kills every held (healthy) connection.
+  void drop_held() {
+    for (int fd : held_) ::close(fd);
+    held_.clear();
+  }
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::vector<int> held_;
+};
+
+TEST(Transport, BackoffResetsOnlyAfterAHealthyConnection) {
+  // Fake clock: the test advances time explicitly, so the exponential
+  // schedule is observable deterministically through stats().connects.
+  FlapServer server;
+  Time fake_now = 0;
+
+  Transport::Options opts;
+  opts.self = 1;
+  opts.listen_port = 0;
+  opts.peers[2] = PeerAddress{"127.0.0.1", server.port()};
+  opts.reconnect_min = duration::milliseconds(50);
+  opts.reconnect_max = duration::milliseconds(800);
+  opts.backoff_reset_after = duration::milliseconds(100);
+  Transport t(
+      opts, [](ProcessId, ProcessId, env::MessagePtr) {},
+      [&fake_now] { return fake_now; });
+  std::string error;
+  ASSERT_TRUE(t.listen(&error)) << error;
+
+  // Keep traffic queued so reconnects stay due (they only fire for peers
+  // with pending frames), advancing fake time 5ms per step.
+  auto step = [&](int steps, bool flap) {
+    for (int i = 0; i < steps; ++i) {
+      fake_now += duration::milliseconds(5);
+      auto m = std::make_shared<ringpaxos::DecisionMsg>();
+      m->ring = 0;
+      m->round = 1;
+      m->instance = 42;
+      t.send(1, 2, *m);
+      t.poll(duration::milliseconds(0));
+      server.service(flap);
+    }
+  };
+
+  // Phase 1 — flapping peer, 2s: every connect succeeds, moves bytes, and
+  // dies immediately. The fixed rule resets backoff only after a HEALTHY
+  // period, so attempts decay 50→100→…→800ms: ~6 connects. The old
+  // reset-on-connect rule would hammer every 50ms (~40 connects).
+  step(400, /*flap=*/true);
+  std::uint64_t after_flap = t.stats().connects;
+  EXPECT_GE(after_flap, 4u);
+  EXPECT_LE(after_flap, 10u);
+
+  // Phase 2 — the peer turns healthy, 1.5s (long enough to cover the 800ms
+  // backoff in force plus backoff_reset_after): exactly one reconnect,
+  // which then stays up.
+  step(300, /*flap=*/false);
+  std::uint64_t after_healthy = t.stats().connects;
+  EXPECT_EQ(after_healthy, after_flap + 1);
+
+  // Phase 3 — the healthy connection dies. Backoff was reset (bytes flowed
+  // and it outlived backoff_reset_after), so the next attempt comes at
+  // reconnect_min — within 150ms — not at the 800ms the flapping phase had
+  // decayed to.
+  server.drop_held();
+  step(30, /*flap=*/true);
+  EXPECT_GT(t.stats().connects, after_healthy);
 }
 
 }  // namespace

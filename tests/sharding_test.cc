@@ -1,0 +1,436 @@
+// Tests for the multicore runtime: SpscQueue edge cases (backpressure,
+// close-while-blocked, per-source FIFO under real threads), the executor's
+// local-send re-entrancy rule and cross-thread post path, and the
+// ShardedRuntime hosting the full kv stack across ring threads and real
+// sockets. The threaded tests here are part of the TSan CI leg.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/multicast.h"
+#include "kvstore/command.h"
+#include "kvstore/replica.h"
+#include "net/transport.h"
+#include "runtime/executor.h"
+#include "runtime/sharding.h"
+#include "runtime/spsc.h"
+
+namespace amcast::runtime {
+namespace {
+
+/// Drives the loop until `pred` holds or `timeout` of real time passes.
+template <typename Pred>
+bool run_until(Executor& ex, Pred pred, Duration timeout) {
+  Time deadline = ex.now() + timeout;
+  while (ex.now() < deadline) {
+    if (pred()) return true;
+    ex.run_once(duration::milliseconds(2));
+  }
+  return pred();
+}
+
+/// Spin-waits (no executor involved) until `pred` or `ms` elapse.
+template <typename Pred>
+bool wait_for(Pred pred, int ms) {
+  auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return pred();
+}
+
+/// Minimal message carrying a type tag and a sequence number (not
+/// wire-encodable; in-process tests only).
+struct SeqMsg final : env::Message {
+  int tag;
+  std::uint64_t seq;
+  SeqMsg(int tag, std::uint64_t seq) : tag(tag), seq(seq) {}
+  std::size_t wire_size() const override { return 16; }
+  int type() const override { return tag; }
+  const char* name() const override { return "SeqMsg"; }
+};
+
+// --- SpscQueue ------------------------------------------------------------
+
+TEST(SpscQueue, FifoOrderAndPowerOfTwoCapacity) {
+  SpscQueue<int> q(5);
+  EXPECT_EQ(q.capacity(), 8u);  // rounded up
+  for (int i = 0; i < 8; ++i) EXPECT_TRUE(q.try_push(int(i)));
+  EXPECT_FALSE(q.try_push(99));  // full fails fast, no blocking
+  EXPECT_EQ(q.approx_size(), 8u);
+  int v = -1;
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(q.try_pop(&v));
+    EXPECT_EQ(v, i);
+  }
+  EXPECT_FALSE(q.try_pop(&v));
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(SpscQueue, FullQueueBlocksProducerUntilConsumerPops) {
+  SpscQueue<int> q(4);
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(q.try_push(int(i)));
+  ASSERT_FALSE(q.try_push(4));
+
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    EXPECT_TRUE(q.push(4));  // blocks: the ring is full
+    pushed.store(true, std::memory_order_release);
+  });
+  // The producer must actually park, not sneak in.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(pushed.load(std::memory_order_acquire));
+
+  int v = -1;
+  ASSERT_TRUE(q.try_pop(&v));  // frees a slot and signals the producer
+  EXPECT_EQ(v, 0);
+  EXPECT_TRUE(wait_for(
+      [&] { return pushed.load(std::memory_order_acquire); }, 2000));
+  producer.join();
+  for (int want = 1; want <= 4; ++want) {
+    ASSERT_TRUE(q.try_pop(&v));
+    EXPECT_EQ(v, want);  // blocked value landed behind the earlier ones
+  }
+}
+
+TEST(SpscQueue, CloseWakesBlockedProducerAndKeepsQueuedValues) {
+  SpscQueue<int> q(4);
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(q.try_push(int(i)));
+
+  std::atomic<bool> done{false};
+  std::atomic<bool> push_result{true};
+  std::thread producer([&] {
+    push_result.store(q.push(99), std::memory_order_relaxed);
+    done.store(true, std::memory_order_release);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  ASSERT_FALSE(done.load(std::memory_order_acquire));  // parked on full ring
+
+  q.close();
+  EXPECT_TRUE(wait_for(
+      [&] { return done.load(std::memory_order_acquire); }, 2000));
+  producer.join();
+  EXPECT_FALSE(push_result.load(std::memory_order_relaxed));
+  EXPECT_FALSE(q.try_push(100));  // closed: new pushes fail too
+
+  // Drain-on-stop: everything queued before close stays poppable.
+  int v = -1;
+  for (int want = 0; want < 4; ++want) {
+    ASSERT_TRUE(q.try_pop(&v));
+    EXPECT_EQ(v, want);
+  }
+  EXPECT_FALSE(q.try_pop(&v));
+}
+
+TEST(SpscQueue, TwoLanesKeepPerSourceFifoUnderContention) {
+  // The sharded runtime gives every producer its OWN lane; the consumer
+  // merges by draining lanes in turn. Per-source order must survive real
+  // thread interleavings, and nothing may be lost or duplicated.
+  constexpr std::uint64_t kPerSource = 20000;
+  SpscQueue<std::uint64_t> lane0(64);
+  SpscQueue<std::uint64_t> lane1(64);
+
+  auto produce = [](SpscQueue<std::uint64_t>& lane) {
+    for (std::uint64_t i = 0; i < kPerSource; ++i) {
+      ASSERT_TRUE(lane.push(std::uint64_t(i)));  // blocking: backpressure
+    }
+  };
+  std::thread p0([&] { produce(lane0); });
+  std::thread p1([&] { produce(lane1); });
+
+  std::uint64_t next0 = 0, next1 = 0, v = 0;
+  while (next0 < kPerSource || next1 < kPerSource) {
+    if (lane0.try_pop(&v)) {
+      ASSERT_EQ(v, next0);  // strict FIFO within the lane
+      ++next0;
+    }
+    if (lane1.try_pop(&v)) {
+      ASSERT_EQ(v, next1);
+      ++next1;
+    }
+  }
+  p0.join();
+  p1.join();
+  EXPECT_TRUE(lane0.empty());
+  EXPECT_TRUE(lane1.empty());
+}
+
+// --- Executor local-send rules and the post() fast path -------------------
+
+TEST(ShardedExecutor, NestedSendKeepsFifoOrder) {
+  // A sends m1 then m2 to B; B's m1 handler issues a nested self-send n1.
+  // The re-entrancy rule (drain_local batches) requires n1 to land BEHIND
+  // the batch in flight: delivery order at B is m1, m2, n1 — never
+  // m1, n1, m2 (which recursive dispatch would produce).
+  struct Nested final : env::Node {
+    std::vector<int> got;
+    void on_message(ProcessId, const env::MessagePtr& m) override {
+      got.push_back(m->type());
+      if (m->type() == 901) send(2, std::make_shared<SeqMsg>(903, 0));
+    }
+  };
+  Executor ex;
+  auto a = std::make_unique<Nested>();
+  auto b = std::make_unique<Nested>();
+  ex.add_node(1, a.get());
+  ex.add_node(2, b.get());
+
+  ex.schedule_after(0, [&] {
+    a->send(2, std::make_shared<SeqMsg>(901, 0));
+    a->send(2, std::make_shared<SeqMsg>(902, 1));
+  });
+  ASSERT_TRUE(run_until(
+      ex, [&] { return b->got.size() >= 3; }, duration::seconds(2)));
+  EXPECT_EQ(b->got, (std::vector<int>{901, 902, 903}));
+}
+
+TEST(ShardedExecutor, DeepSelfSendChainRunsOnBoundedStack) {
+  // A node that answers every message with another self-send: 50k hops
+  // must iterate through the drain loop, not recurse through send() (a
+  // recursive dispatch would overflow the stack long before 50k frames).
+  constexpr std::uint64_t kHops = 50000;
+  struct Chain final : env::Node {
+    std::uint64_t count = 0;
+    void on_message(ProcessId, const env::MessagePtr& m) override {
+      const auto& s = env::msg_cast<SeqMsg>(m);
+      count = s.seq + 1;
+      if (count < kHops) send(3, std::make_shared<SeqMsg>(910, count));
+    }
+  };
+  Executor ex;
+  auto n = std::make_unique<Chain>();
+  ex.add_node(3, n.get());
+  ex.schedule_after(0, [&] { n->send(3, std::make_shared<SeqMsg>(910, 0)); });
+  ASSERT_TRUE(run_until(
+      ex, [&] { return n->count >= kHops; }, duration::seconds(10)));
+  EXPECT_EQ(n->count, kHops);
+}
+
+TEST(ShardedExecutor, PostDeliversFifoAndCountsOverflowDrops) {
+  ExecutorOptions opts;
+  opts.post_queue_capacity = 4;
+  Executor ex(opts);
+  struct Recorder final : env::Node {
+    std::vector<std::uint64_t> seqs;
+    void on_message(ProcessId, const env::MessagePtr& m) override {
+      seqs.push_back(env::msg_cast<SeqMsg>(m).seq);
+    }
+  };
+  auto r = std::make_unique<Recorder>();
+  ex.add_node(5, r.get());
+  int src = ex.add_post_source();
+
+  // Fill the source ring, then overflow it: the extras are dropped and
+  // counted (the env contract's lossy send), never blocked on.
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    EXPECT_TRUE(ex.post(src, 1, 5, std::make_shared<SeqMsg>(920, i)));
+  }
+  EXPECT_FALSE(ex.post(src, 1, 5, std::make_shared<SeqMsg>(920, 4)));
+  EXPECT_FALSE(ex.post(src, 1, 5, std::make_shared<SeqMsg>(920, 5)));
+  EXPECT_EQ(ex.posts_dropped(), 2u);
+
+  ASSERT_TRUE(run_until(
+      ex, [&] { return r->seqs.size() >= 4; }, duration::seconds(2)));
+  EXPECT_EQ(r->seqs, (std::vector<std::uint64_t>{0, 1, 2, 3}));
+
+  // A post toward a process nobody hosts is counted as unroutable when the
+  // loop tries to dispatch it.
+  EXPECT_TRUE(ex.post(src, 1, 42, std::make_shared<SeqMsg>(921, 0)));
+  ASSERT_TRUE(run_until(
+      ex, [&] { return ex.dropped_unroutable() >= 1; }, duration::seconds(2)));
+}
+
+// --- ShardedRuntime -------------------------------------------------------
+
+TEST(ShardedRuntime, CrossShardSendsArriveFifoOnTheOwningThread) {
+  constexpr std::uint64_t kMsgs = 2000;
+  struct Recorder final : env::Node {
+    std::vector<std::uint64_t> seqs;
+    std::atomic<std::uint64_t> count{0};
+    void on_message(ProcessId, const env::MessagePtr& m) override {
+      seqs.push_back(env::msg_cast<SeqMsg>(m).seq);
+      count.fetch_add(1, std::memory_order_release);
+    }
+  };
+  struct Sender final : env::Node {
+    void on_message(ProcessId, const env::MessagePtr&) override {}
+  };
+
+  ShardedRuntimeOptions so;
+  so.shards = 2;
+  ShardedRuntime rt(so);
+  auto sender = std::make_unique<Sender>();
+  auto recorder = std::make_unique<Recorder>();
+  rt.add_node(0, 1, sender.get());
+  rt.add_node(1, 2, recorder.get());
+  EXPECT_EQ(rt.owner_shard(1), 0);
+  EXPECT_EQ(rt.owner_shard(2), 1);
+  EXPECT_EQ(rt.owner_shard(99), -1);
+
+  // The sends run on shard 0's thread; the router turns each into a post
+  // on shard 0's lane into shard 1.
+  rt.shard(0).schedule_after(0, [&] {
+    for (std::uint64_t i = 0; i < kMsgs; ++i) {
+      sender->send(2, std::make_shared<SeqMsg>(930, i));
+    }
+  });
+  rt.start();
+  EXPECT_TRUE(wait_for(
+      [&] {
+        return recorder->count.load(std::memory_order_acquire) >= kMsgs;
+      },
+      10000));
+
+  // A frame addressed to a process no shard hosts is counted, not fatal.
+  rt.dispatch(1, 99, std::make_shared<SeqMsg>(931, 0));
+  rt.stop();  // joins: recorder->seqs is safe to read from here
+
+  ASSERT_EQ(recorder->seqs.size(), kMsgs);
+  for (std::uint64_t i = 0; i < kMsgs; ++i) EXPECT_EQ(recorder->seqs[i], i);
+  EXPECT_EQ(rt.posts_dropped(), 0u);
+  EXPECT_GE(rt.dropped_unroutable(), 1u);
+}
+
+TEST(ShardedRuntime, HostsTheFullKvStackAcrossShardsAndSockets) {
+  // The complete protocol stack in the colocated deployment shape: process
+  // A is a ShardedRuntime hosting replicas 0 and 1 on separate ring
+  // threads behind ONE transport (net thread owns poll); process B is a
+  // classic single-threaded executor hosting replica 2 and the client.
+  // Exercises all three routing tiers at once: loop-local FIFO, the
+  // cross-shard SPSC lanes, and pooled-frame sockets.
+  std::vector<ProcessId> ids = {0, 1, 2};
+
+  ringpaxos::RingOptions ro;
+  ro.storage.mode = ringpaxos::StorageOptions::Mode::kMemory;
+  ro.delta = duration::milliseconds(2);
+  ro.lambda = 500;
+  ro.instance_timeout = duration::milliseconds(200);
+  ro.gap_repair_timeout = duration::milliseconds(100);
+  ro.gap_repair_probe = true;
+
+  ShardedRuntimeOptions so;
+  so.shards = 2;
+  ShardedRuntime rtA(so);
+  Executor exB({/*data_dir=*/"", 7});
+
+  // Each replica owns a private registry (the ring layout is identical, so
+  // the group ids agree) — nothing mutable is shared across ring threads.
+  std::vector<std::unique_ptr<core::ConfigRegistry>> registries;
+  std::vector<std::unique_ptr<kvstore::KvReplica>> replicas;
+  GroupId g = kInvalidGroup;
+  for (ProcessId id : ids) {
+    auto reg = std::make_unique<core::ConfigRegistry>();
+    g = reg->create_ring(ids, ids, 0);
+    kvstore::KvReplicaOptions ko;
+    ko.partition = 0;
+    ko.partitioner = kvstore::Partitioner::hash(1);
+    auto r = std::make_unique<kvstore::KvReplica>(*reg, ko);
+    if (id < 2) {
+      rtA.add_node(int(id), id, r.get());  // replica i → shard i
+    } else {
+      exB.add_node(id, r.get());
+    }
+    r->set_partition(ids);
+    r->set_return_read_data(true);
+    r->attach(g, kInvalidGroup, ro);
+    registries.push_back(std::move(reg));
+    replicas.push_back(std::move(r));
+  }
+
+  struct Client final : core::MulticastNode {
+    using core::MulticastNode::MulticastNode;
+    std::vector<kvstore::CommandResult> results;
+    void on_message(ProcessId from, const env::MessagePtr& m) override {
+      if (m->type() != kvstore::kKvResponse) {
+        core::MulticastNode::on_message(from, m);
+        return;
+      }
+      const auto& resp = env::msg_cast<kvstore::KvResponseMsg>(m);
+      for (const auto& r : resp.results) results.push_back(r);
+    }
+  };
+  core::ConfigRegistry client_registry;
+  ASSERT_EQ(client_registry.create_ring(ids, ids, 0), g);
+  auto client = std::make_unique<Client>(client_registry);
+  exB.add_node(7, client.get());
+
+  // Port-0 wiring: B listens first, A's peer table points every id hosted
+  // on B at B's port, then B is re-pointed at A.
+  net::Transport::Options optsB;
+  optsB.self = 2;
+  optsB.listen_port = 0;
+  optsB.local_ids = {2, 7};
+  net::Transport tB(
+      optsB, [&exB](ProcessId f, ProcessId t, env::MessagePtr m) {
+        exB.dispatch(f, t, std::move(m));
+      },
+      [&exB] { return exB.now(); });
+  std::string error;
+  ASSERT_TRUE(tB.listen(&error)) << error;
+
+  net::Transport::Options optsA;
+  optsA.self = 0;
+  optsA.listen_port = 0;
+  optsA.local_ids = {0, 1};
+  optsA.peers[2] = net::PeerAddress{"127.0.0.1", tB.listen_port()};
+  optsA.peers[7] = net::PeerAddress{"127.0.0.1", tB.listen_port()};
+  net::Transport tA(
+      optsA, [&rtA](ProcessId f, ProcessId t, env::MessagePtr m) {
+        rtA.dispatch(f, t, std::move(m));
+      },
+      [&rtA] { return rtA.shard(0).now(); });
+  ASSERT_TRUE(tA.listen(&error)) << error;
+  tB.set_peer(0, net::PeerAddress{"127.0.0.1", tA.listen_port()});
+  tB.set_peer(1, net::PeerAddress{"127.0.0.1", tA.listen_port()});
+
+  rtA.set_transport(&tA);
+  exB.set_transport(&tB);
+  rtA.start();
+
+  auto send_cmd = [&](kvstore::Command c, std::uint64_t seq) {
+    c.client = 7;
+    c.seq = seq;
+    kvstore::CommandBatch b;
+    b.commands.push_back(std::move(c));
+    client->multicast_bytes(g, b.encode());
+  };
+  kvstore::Command put;
+  put.op = kvstore::Op::kInsert;
+  put.key = "k";
+  put.value = {'v', '1'};
+  exB.schedule_after(0, [&] { send_cmd(put, 1); });
+  ASSERT_TRUE(run_until(
+      exB, [&] { return client->results.size() >= 3; },  // one per replica
+      duration::seconds(15)));
+
+  kvstore::Command get;
+  get.op = kvstore::Op::kRead;
+  get.key = "k";
+  exB.schedule_after(0, [&] { send_cmd(get, 2); });
+  ASSERT_TRUE(run_until(
+      exB, [&] { return client->results.size() >= 6; },
+      duration::seconds(15)));
+
+  const auto& rd = client->results.back();
+  EXPECT_TRUE(rd.ok);
+  EXPECT_EQ(rd.data, (std::vector<std::uint8_t>{'v', '1'}));
+
+  rtA.stop();  // joins the ring threads: replica state is safe to read
+  for (const auto& r : replicas) {
+    EXPECT_EQ(r->commands_applied(), 2);
+    EXPECT_EQ(r->store().entry_count(), 1u);
+  }
+  EXPECT_EQ(tA.stats().decode_errors, 0u);
+  EXPECT_EQ(tB.stats().decode_errors, 0u);
+}
+
+}  // namespace
+}  // namespace amcast::runtime
