@@ -115,9 +115,10 @@ int main(int argc, char** argv) {
     for (const auto& w : selected) {
       auto r = w.run(replay_seed);
       std::printf("config=%-12s seed=%llu faults=%lld deliveries=%lld "
-                  "hash=%016llx %s\n",
+                  "epochs=%lld hash=%016llx %s\n",
                   r.config.c_str(), (unsigned long long)r.seed,
                   (long long)r.faults, (long long)r.deliveries,
+                  (long long)r.epoch_installs,
                   (unsigned long long)r.transcript_hash,
                   r.ok() ? "OK" : "FAIL");
       std::printf("fault timeline:\n%s", r.fault_timeline.c_str());

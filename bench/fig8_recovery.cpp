@@ -116,7 +116,7 @@ int main() {
   // acceptor log around its cursor.
   if (d.replica(0, 2).recovering()) {
     InstanceId cur = d.replica(0, 2).next_to_deliver(d.partition_group(0));
-    const auto& cfg = d.registry().ring(d.partition_group(0));
+    const auto& cfg = d.config().ring(d.partition_group(0));
     for (ProcessId a : cfg.acceptors) {
       auto& node = static_cast<core::MulticastNode&>(sim.node(a));
       const auto* st = node.storage_view(d.partition_group(0));

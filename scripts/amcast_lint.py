@@ -19,7 +19,12 @@ runtime. This lint enforces the rules that keep that true:
     print file/line context before dying;
   * no raw std::thread in src/runtime outside src/runtime/sharding.* —
     the sharding module owns thread lifetime (join-on-stop, pinning, the
-    TSan CI leg), and stray threads escape all three.
+    TSan CI leg), and stray threads escape all three;
+  * no ambient config mutation in protocol code — ring membership changes
+    are epoch transitions DECIDED through the ring (a ConfigChange value,
+    applied via ConfigView::install()); constructing a ConfigRegistry or
+    calling its direct mutators belongs to composition roots
+    (src/*/deployment.*, src/runtime, chaos failure-detector oracles).
 
 Suppressions: append `// NOLINT-amcast(<rule>): <reason>` to the flagged
 line (or the line directly above). The reason is mandatory; a bare NOLINT
@@ -92,6 +97,16 @@ def lib_code(rel):
 
 def any_code(rel):
     return rel.endswith(EXTS)
+
+
+def protocol_nondeployment(rel):
+    # Deployment builders (src/*/deployment.*) are composition roots: they
+    # own a ConfigRegistry and may wire rings directly. Everything else in
+    # the protocol domain must get configuration changes DECIDED through
+    # the rings — a ConfigChange value installed via ConfigView::install().
+    rel = rel.replace(os.sep, "/")
+    return (protocol_code(rel)
+            and not os.path.basename(rel).startswith("deployment."))
 
 
 def runtime_nonsharding(rel):
@@ -179,6 +194,20 @@ RULES = [
         "lifecycle",
         runtime_nonsharding,
         r"\bstd::\s*(?:jthread|thread)\b|\bpthread_create\s*\(",
+    ),
+    Rule(
+        "ambient-config-mutation",
+        "protocol code must not construct a ConfigRegistry or mutate ring "
+        "membership directly (reconfigure/remove_member/add_member/"
+        "create_ring/adopt); epoch changes are decided through the rings "
+        "and applied via ConfigView::install() — direct mutation is for "
+        "composition roots (deployments, runtime, chaos oracles)",
+        protocol_nondeployment,
+        r"\bConfigRegistry\s+\w"
+        r"|\bmake_unique<\s*(?:\w+::)*ConfigRegistry\b"
+        r"|\bnew\s+(?:\w+::)*ConfigRegistry\b"
+        r"|(?:\.|->)\s*(?:reconfigure|remove_member|add_member|create_ring"
+        r"|adopt)\s*\(",
     ),
     Rule(
         "unordered-iteration",

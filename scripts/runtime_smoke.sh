@@ -1,11 +1,20 @@
 #!/usr/bin/env bash
-# Real-network runtime smoke: boots examples/cluster.json (the quickstart
+# Real-network runtime smoke, two legs:
+#
+# Leg 1 — crash/recovery: boots examples/cluster.json (the quickstart
 # scenario as 3 daemon processes on localhost TCP), drives it with the
 # amcast_kv client, SIGKILLs one replica mid-traffic, restarts it over its
 # file-backed acceptor journal (§5.2 recovery), and asserts totally-ordered
 # delivery: every replica must report the SAME apply-order hash and store
 # hash in its shutdown FINAL line, and the restarted replica must have gone
 # through recovery.
+#
+# Leg 2 — online reconfiguration: boots a 3-replica ring, decides a
+# ConfigChange through it to admit a 4th replica (which bootstraps live via
+# --join + ConfigPush + §5.2 recovery), decides a coordinator swap, then
+# SIGKILLs the original coordinator and keeps serving. After restarting it
+# over its journal, all FOUR replicas must agree on apply-order/store hash
+# and report the decided epoch.
 #
 #   scripts/runtime_smoke.sh [build-dir]
 #
@@ -18,7 +27,6 @@ NODED=$BUILD/src/runtime/amcast_noded
 KV_BIN=$BUILD/src/runtime/amcast_kv
 PORTPROBE=$BUILD/src/runtime/amcast_portprobe
 WORK=$(mktemp -d "${TMPDIR:-/tmp}/amcast-smoke.XXXXXX")
-NODES=(r0 r1 r2)
 
 # examples/cluster.json hardcodes ports 7471-7474 (fine for the quickstart,
 # a collision machine for CI runners and busy dev boxes): rewrite the config
@@ -32,33 +40,30 @@ sed -e "s/7471/${PORTS[0]}/" -e "s/7472/${PORTS[1]}/" \
 
 say() { echo "[smoke] $*"; }
 
+all_pids() { find "$WORK" -name '*.pid' 2>/dev/null; }
+
 fail() {
   say "FAIL: $*"
-  for n in "${NODES[@]}"; do
-    echo "--- tail of $n.log ---"
-    tail -n 40 "$WORK/$n.log" 2>/dev/null || true
+  find "$WORK" -name '*.log' | while read -r f; do
+    echo "--- tail of $f ---"
+    tail -n 40 "$f" 2>/dev/null || true
   done
   exit 1
 }
 
 cleanup() {
-  for n in "${NODES[@]}"; do
-    [ -f "$WORK/$n.pid" ] && kill "$(cat "$WORK/$n.pid")" 2>/dev/null || true
-  done
+  for p in $(all_pids); do kill "$(cat "$p")" 2>/dev/null || true; done
   # Bounded poll for exit instead of a blind sleep: escalate to SIGKILL only
   # for daemons still alive after 2s.
   for _ in $(seq 1 20); do
     local alive=0
-    for n in "${NODES[@]}"; do
-      [ -f "$WORK/$n.pid" ] && kill -0 "$(cat "$WORK/$n.pid")" 2>/dev/null \
-        && alive=1
+    for p in $(all_pids); do
+      kill -0 "$(cat "$p")" 2>/dev/null && alive=1
     done
     [ $alive = 0 ] && break
     sleep 0.1
   done
-  for n in "${NODES[@]}"; do
-    [ -f "$WORK/$n.pid" ] && kill -9 "$(cat "$WORK/$n.pid")" 2>/dev/null || true
-  done
+  for p in $(all_pids); do kill -9 "$(cat "$p")" 2>/dev/null || true; done
 }
 trap cleanup EXIT
 
@@ -66,11 +71,12 @@ trap cleanup EXIT
 say "work dir: $WORK"
 [ -n "${GITHUB_ENV:-}" ] && echo "SMOKE_WORK_DIR=$WORK" >> "$GITHUB_ENV"
 
-start_node() {
-  local n=$1
-  $NODED --config $CONFIG --process "$n" --data-dir "$WORK/$n" \
-    --status-interval-ms 500 >> "$WORK/$n.log" 2>&1 &
-  echo $! > "$WORK/$n.pid"
+start_node() {  # start_node CONFIG DIR NAME [extra daemon args...]
+  local config=$1 dir=$2 n=$3
+  shift 3
+  $NODED --config "$config" --process "$n" --data-dir "$dir/$n" \
+    --status-interval-ms 500 "$@" >> "$dir/$n.log" 2>&1 &
+  echo $! > "$dir/$n.pid"
 }
 
 wait_for() {  # wait_for FILE REGEX TIMEOUT_S DESCRIPTION
@@ -84,8 +90,13 @@ wait_for() {  # wait_for FILE REGEX TIMEOUT_S DESCRIPTION
 
 kv() { "$KV_BIN" --config $CONFIG "$@"; }
 
+# ==========================================================================
+# Leg 1: crash + restart recovery off the file-backed journal
+# ==========================================================================
+NODES=(r0 r1 r2)
+
 # --- boot ---------------------------------------------------------------
-for n in "${NODES[@]}"; do start_node "$n"; done
+for n in "${NODES[@]}"; do start_node "$CONFIG" "$WORK" "$n"; done
 for n in "${NODES[@]}"; do wait_for "$WORK/$n.log" "^READY" 10 "$n READY"; done
 # READY means "listening"; a STATUS line means the event loop is actually
 # ticking. Poll for it (bounded) rather than sleeping an arbitrary beat.
@@ -113,7 +124,7 @@ kv --timeout-ms 15000 get user1 | grep -qF '= "alice"' \
 say "served writes and reads with r2 dead"
 
 # --- restart r2: recovery off the file-backed acceptor journal ----------
-start_node r2
+start_node "$CONFIG" "$WORK" r2
 wait_for "$WORK/r2.log" "^RESTART node=2" 10 "r2 restart marker"
 wait_for "$WORK/r2.log" "^RECOVERED node=2" 30 "r2 finishing recovery"
 say "r2 recovered"
@@ -123,22 +134,29 @@ kv get during-outage | grep -qF '= "v1"' || fail "read of outage-era write"
 
 # --- quiesce: all replicas report the same applied count, stable long
 # enough to rule out stale STATUS lines (status interval is 500 ms) -------
-applied_of() { grep -oE "applied=[0-9]+" "$WORK/$1.log" | tail -1; }
-stable=0
-for _ in $(seq 1 120); do
-  a0=$(applied_of r0); a1=$(applied_of r1); a2=$(applied_of r2)
-  if [ -n "$a0" ] && [ "$a0" = "$a1" ] && [ "$a1" = "$a2" ] \
-     && [ "$a0" = "${prev:-}" ]; then
-    stable=$((stable + 1))
-    [ $stable -ge 4 ] && break
-  else
-    stable=0
-  fi
-  prev=$a0
-  sleep 0.25
-done
-[ $stable -ge 4 ] || fail "replicas did not converge: r0=$a0 r1=$a1 r2=$a2"
-say "replicas converged at $a0"
+applied_of() { grep -oE "applied=[0-9]+" "$1" | tail -1; }
+quiesce() {  # quiesce DIR NODE...
+  local dir=$1 stable=0 prev="" a first ok
+  shift
+  for _ in $(seq 1 120); do
+    ok=1
+    first=$(applied_of "$dir/$1.log")
+    for n in "$@"; do
+      a=$(applied_of "$dir/$n.log")
+      [ -n "$a" ] && [ "$a" = "$first" ] || ok=0
+    done
+    if [ $ok = 1 ] && [ "$first" = "$prev" ]; then
+      stable=$((stable + 1))
+      [ $stable -ge 4 ] && { say "replicas converged at $first"; return 0; }
+    else
+      stable=0
+    fi
+    prev=$first
+    sleep 0.25
+  done
+  fail "replicas did not converge in $dir"
+}
+quiesce "$WORK" "${NODES[@]}"
 
 # --- clean shutdown + total-order assertion ------------------------------
 for n in "${NODES[@]}"; do kill "$(cat "$WORK/$n.pid")"; done
@@ -154,4 +172,138 @@ hashes=$(grep -h "^FINAL" "$WORK"/r*.log \
 grep "^FINAL node=2" "$WORK/r2.log" | grep -qE "recoveries=[1-9]" \
   || fail "r2 never ran recovery"
 
-say "PASS: totally-ordered delivery across 3 real processes, kill+restart recovered from the on-disk journal"
+say "leg 1 PASS: totally-ordered delivery across 3 real processes, kill+restart recovered from the on-disk journal"
+
+# ==========================================================================
+# Leg 2: online reconfiguration — add a 4th replica to a live ring, decide
+# a coordinator swap, kill the original coordinator, keep serving.
+# ==========================================================================
+say "=== reconfigure leg ==="
+WORK2=$WORK/reconf
+mkdir -p "$WORK2"
+mapfile -t P2 < <("$PORTPROBE" 5)
+[ "${#P2[@]}" = 5 ] || fail "port probe (reconfigure leg) failed"
+
+# The epoch-1 config lists r3 under "processes" (so daemons know its
+# address and `--process r3` resolves) but NOT in the ring: membership is
+# decided at runtime. The "refreshed" config is what an operator would
+# hand clients after the decided add + swap — same cluster, ring view of
+# epoch 3 — needed once the deposed coordinator (which a stale client's
+# proposals would be redirected by) is dead.
+make_config() {  # make_config FILE MEMBERS ACCEPTORS COORDINATOR
+  cat > "$1" <<EOF
+{
+  "cluster": "reconf-smoke",
+  "service": "kv",
+  "processes": [
+    {"id": 0, "name": "r0", "host": "127.0.0.1", "port": ${P2[0]}, "role": "replica", "partition": 0},
+    {"id": 1, "name": "r1", "host": "127.0.0.1", "port": ${P2[1]}, "role": "replica", "partition": 0},
+    {"id": 2, "name": "r2", "host": "127.0.0.1", "port": ${P2[2]}, "role": "replica", "partition": 0},
+    {"id": 3, "name": "r3", "host": "127.0.0.1", "port": ${P2[3]}, "role": "replica", "partition": 0},
+    {"id": 4, "name": "client", "host": "127.0.0.1", "port": ${P2[4]}, "role": "client"}
+  ],
+  "rings": [
+    {"kind": "partition", "partition": 0, "members": [$2], "acceptors": [$3], "coordinator": $4}
+  ],
+  "options": {
+    "storage": "sync_disk",
+    "m": 1,
+    "delta_ms": 5,
+    "lambda": 1000,
+    "instance_timeout_ms": 500,
+    "proposal_timeout_ms": 500,
+    "gap_repair_timeout_ms": 300,
+    "gap_repair_probe": true,
+    "batch_values": 8,
+    "batch_bytes": 262144,
+    "batch_delay_ms": 0,
+    "checkpoint_interval_ms": 0,
+    "trim_interval_ms": 0,
+    "client_op_timeout_ms": 15000
+  }
+}
+EOF
+}
+CONFIG4=$WORK2/cluster4.json
+CONFIG4NEW=$WORK2/cluster4-epoch3.json
+make_config "$CONFIG4"    "0, 1, 2"    "0, 1, 2"    0
+make_config "$CONFIG4NEW" "0, 1, 2, 3" "0, 1, 2, 3" 1
+
+kv2()    { "$KV_BIN" --config "$CONFIG4" "$@"; }
+kv2new() { "$KV_BIN" --config "$CONFIG4NEW" "$@"; }
+
+# --- boot the original three --------------------------------------------
+for n in r0 r1 r2; do start_node "$CONFIG4" "$WORK2" "$n"; done
+for n in r0 r1 r2; do
+  wait_for "$WORK2/$n.log" "^READY" 10 "$n READY (reconf)"
+  wait_for "$WORK2/$n.log" "^STATUS" 10 "$n first STATUS (reconf)"
+done
+kv2 --quiet fill 10 64 || fail "reconf fill failed"
+kv2 put alpha a1 | grep -q "^OK insert" || fail "reconf put alpha"
+say "3-replica ring up, epoch 1 traffic OK"
+
+# --- decide the add through the ring (epoch 1 -> 2) ----------------------
+kv2 reconfigure add r3 --group 0 --from-epoch 1 \
+  | grep -q "^RECONFIGURE" || fail "reconfigure add did not propose"
+for n in r0 r1 r2; do
+  wait_for "$WORK2/$n.log" "^EPOCH node=[0-9]+ group=0 epoch=2 op=0 subject=3" \
+    10 "$n installing epoch 2 (add r3)"
+done
+say "epoch 2 (add r3) decided and installed on all members"
+
+# --- boot the joiner: fresh data dir, view arrives via ConfigPush --------
+start_node "$CONFIG4" "$WORK2" r3 --join
+wait_for "$WORK2/r3.log" "^JOINED node=3 group=0 epoch=2" 15 "r3 JOINED"
+wait_for "$WORK2/r3.log" "^STATUS node=3 .*recovering=0 .*epoch=2" 30 \
+  "r3 finishing bootstrap recovery"
+kv2 put beta b1 | grep -q "^OK insert" || fail "put with 4 members"
+say "r3 joined live and bootstrapped through §5.2 recovery"
+
+# --- decided coordinator swap (epoch 2 -> 3) -----------------------------
+kv2 reconfigure coordinator r1 --group 0 --from-epoch 2 \
+  | grep -q "^RECONFIGURE" || fail "reconfigure coordinator did not propose"
+for n in r0 r1 r2 r3; do
+  wait_for "$WORK2/$n.log" "^EPOCH node=[0-9]+ group=0 epoch=3 op=2 subject=1" \
+    10 "$n installing epoch 3 (coordinator r1)"
+done
+# The client still holds the epoch-1 view: its proposal lands on deposed
+# r0, which redirects it to r1 (stale-epoch redirect path).
+kv2 put gamma c1 | grep -q "^OK insert" || fail "put via stale-epoch redirect"
+say "epoch 3 (coordinator r1) decided; stale-view client served via redirect"
+
+# --- kill the ORIGINAL coordinator, keep serving -------------------------
+kill -9 "$(cat "$WORK2/r0.pid")"
+say "r0 (original coordinator) SIGKILLed"
+kv2new --timeout-ms 15000 put delta d1 | grep -q "^OK insert" \
+  || fail "put with original coordinator dead"
+kv2new --timeout-ms 15000 get alpha | grep -qF '= "a1"' \
+  || fail "get with original coordinator dead"
+say "served writes and reads with the original coordinator dead"
+
+# --- restart r0: journal replay must reinstall the decided epochs --------
+start_node "$CONFIG4" "$WORK2" r0
+wait_for "$WORK2/r0.log" "^RESTART node=0" 10 "r0 restart marker"
+wait_for "$WORK2/r0.log" "^RECOVERED node=0" 30 "r0 finishing recovery"
+say "r0 recovered"
+
+quiesce "$WORK2" r0 r1 r2 r3
+
+# --- clean shutdown: four-way total-order + epoch agreement --------------
+for n in r0 r1 r2 r3; do kill "$(cat "$WORK2/$n.pid")"; done
+for n in r0 r1 r2 r3; do
+  wait_for "$WORK2/$n.log" "^FINAL" 10 "$n FINAL line (reconf)"
+done
+
+grep -h "^FINAL" "$WORK2"/r*.log | sed 's/^/[smoke] /'
+hashes=$(grep -h "^FINAL" "$WORK2"/r*.log \
+  | grep -oE "order_hash=[0-9a-f]+ store_hash=[0-9a-f]+" | sort -u)
+[ "$(echo "$hashes" | wc -l)" = "1" ] \
+  || fail "reconf replicas disagree on apply order or content: $hashes"
+epochs=$(grep -h "^FINAL" "$WORK2"/r*.log | grep -oE "epoch=[0-9]+" | sort -u)
+[ "$epochs" = "epoch=3" ] \
+  || fail "replicas ended on different epochs: $(echo $epochs)"
+grep "^FINAL node=3" "$WORK2/r3.log" | grep -qE "recoveries=[1-9]" \
+  || fail "joiner r3 never ran bootstrap recovery"
+
+say "leg 2 PASS: decided add + coordinator swap survived the original coordinator's death; 4/4 replicas agree on order, content, and epoch"
+say "PASS"

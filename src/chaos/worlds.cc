@@ -9,7 +9,9 @@
 #include "core/invariants.h"
 #include "core/multicast.h"
 #include "dlog/deployment.h"
+#include "env/config.h"
 #include "kvstore/deployment.h"
+#include "ringpaxos/value.h"
 #include "sim/chaos.h"
 #include "sim/simulation.h"
 
@@ -90,6 +92,7 @@ WorldResult run_plain_world(std::uint64_t seed, const char* name, int groups,
   res.config = name;
 
   Simulation sim(seed);
+  // NOLINT-amcast(ambient-config-mutation): chaos world composition root
   ConfigRegistry registry;
   const int kNodes = 5;
   const int kLearners = 3;
@@ -105,8 +108,13 @@ WorldResult run_plain_world(std::uint64_t seed, const char* name, int groups,
   }
   std::vector<GroupId> gs;
   for (int g = 0; g < groups; ++g) {
+    // NOLINT-amcast(ambient-config-mutation): bootstrap topology
     gs.push_back(registry.create_ring(ids, ids, ids[std::size_t(g) % kNodes]));
   }
+  core::ConfigView view(registry);
+  view.on_install([&res](const env::ConfigChange&, const env::RingConfig&) {
+    ++res.epoch_installs;
+  });
 
   InvariantOptions io;
   io.allow_duplicates = true;  // re-proposals may decide a value twice
@@ -146,17 +154,55 @@ WorldResult run_plain_world(std::uint64_t seed, const char* name, int groups,
     fo.slowable_disks = ids;
     fo.disk_slow_rate_hz = 1.0;
   }
+  fo.reconfigurable = ids;
+  fo.reconfigure_rate_hz = 1.5;
 
   ChaosHooks hooks;
   hooks.crash = [&sim, &registry, &gs](ProcessId p) {
     sim.node(p).crash();
+    // NOLINT-amcast(ambient-config-mutation): failure-detector oracle seam
     for (GroupId g : gs) registry.remove_member(g, p);
   };
   hooks.restart = [&sim, &registry, &gs](ProcessId p) {
     // The acceptor log survived the crash (disk or retained slots), so the
     // node rejoins with full duties; it lands at the end of the ring order.
+    // NOLINT-amcast(ambient-config-mutation): failure-detector oracle seam
     for (GroupId g : gs) registry.add_member(g, p, /*acceptor=*/true);
     sim.node(p).restart();
+  };
+  // Decided reconfigurations: the subject proposes an epoch change through
+  // one of the rings — coordinator swaps alternating with ring reorders.
+  // from_epoch is read at fire time, so a change racing the crash oracle's
+  // membership churn simply installs as a no-op (stale epoch). Ids are
+  // minted from the top of the sequence space and cannot collide with
+  // workload multicasts.
+  std::int64_t reconfig_seq = 0;
+  hooks.reconfigure = [&registry, &gs, &nodes, &ids,
+                       &reconfig_seq](ProcessId p) {
+    std::int64_t n = reconfig_seq++;
+    std::size_t idx =
+        std::size_t(std::find(ids.begin(), ids.end(), p) - ids.begin());
+    if (nodes[idx]->crashed()) return;
+    GroupId g = gs[std::size_t(n) % gs.size()];
+    const env::RingConfig& rc = registry.ring(g);
+    if (!rc.is_member(p)) return;
+    env::ConfigChange ch;
+    ch.group = g;
+    ch.from_epoch = rc.version;
+    ch.subject = p;
+    if (n % 2 == 0) {
+      if (rc.coordinator == p) return;
+      ch.op = env::ConfigChange::Op::kSetCoordinator;
+    } else {
+      if (rc.members.size() < 2) return;
+      ch.op = env::ConfigChange::Op::kReorder;
+      ch.members.assign(rc.members.begin() + 1, rc.members.end());
+      ch.members.push_back(rc.members.front());
+    }
+    MessageId mid =
+        make_message_id(p, kMessageIdSeqMask - std::uint64_t(n));
+    nodes[idx]->propose(
+        g, ringpaxos::make_config_value(mid, p, nodes[idx]->now(), ch));
   };
   ChaosInjector inj(sim, FaultSchedule::generate(seed, fo), hooks);
 
@@ -227,6 +273,10 @@ WorldResult run_kvstore(std::uint64_t seed) {
   spec.seed = seed;
   kvstore::KvDeployment dep(spec);
   Simulation& sim = dep.sim();
+  dep.config().on_install(
+      [&res](const env::ConfigChange&, const env::RingConfig&) {
+        ++res.epoch_installs;
+      });
 
   InvariantOptions io;
   io.allow_duplicates = true;
@@ -307,6 +357,8 @@ WorldResult run_kvstore(std::uint64_t seed) {
   fo.slowable_disks = replica_ids;
   fo.disk_slow_rate_hz = 1.0;
   fo.jitter_rate_hz = 0.8;
+  fo.reconfigurable = replica_ids;
+  fo.reconfigure_rate_hz = 1.0;
 
   const int rpp = spec.replicas_per_partition;
   ChaosHooks hooks;
@@ -324,6 +376,29 @@ WorldResult run_kvstore(std::uint64_t seed) {
   hooks.restart = [&dep, &where](ProcessId p) {
     auto [part, idx] = where.at(p);
     dep.restart_replica(part, idx);
+  };
+  // Decided coordinator swaps on the subject's partition ring, proposed by
+  // the subject itself (learner subjects get auto-promoted to acceptor on
+  // install). Stale from_epoch — e.g. the crash oracle reconfigured the
+  // ring while the value circulated — installs as a no-op.
+  std::int64_t reconfig_seq = 0;
+  hooks.reconfigure = [&dep, &where, &reconfig_seq](ProcessId p) {
+    std::int64_t n = reconfig_seq++;
+    auto [part, idx] = where.at(p);
+    kvstore::KvReplica& subject = dep.replica(part, idx);
+    if (subject.crashed()) return;
+    GroupId g = dep.partition_group(part);
+    const env::RingConfig& rc = dep.config().ring(g);
+    if (!rc.is_member(p) || rc.coordinator == p) return;
+    env::ConfigChange ch;
+    ch.op = env::ConfigChange::Op::kSetCoordinator;
+    ch.group = g;
+    ch.from_epoch = rc.version;
+    ch.subject = p;
+    subject.propose(
+        g, ringpaxos::make_config_value(
+               make_message_id(p, kMessageIdSeqMask - std::uint64_t(n)), p,
+               subject.now(), ch));
   };
   ChaosInjector inj(sim, FaultSchedule::generate(seed, fo), hooks);
 
@@ -392,6 +467,10 @@ WorldResult run_dlog(std::uint64_t seed) {
   spec.seed = seed;
   dlog::DLogDeployment dep(spec);
   Simulation& sim = dep.sim();
+  dep.config().on_install(
+      [&res](const env::ConfigChange&, const env::RingConfig&) {
+        ++res.epoch_installs;
+      });
 
   InvariantOptions io;
   io.allow_duplicates = true;
@@ -434,7 +513,35 @@ WorldResult run_dlog(std::uint64_t seed) {
   fo.slowable_disks = server_ids;
   fo.disk_slow_rate_hz = 1.2;
   fo.jitter_rate_hz = 1.0;
-  ChaosInjector inj(sim, FaultSchedule::generate(seed, fo), ChaosHooks{});
+  fo.reconfigurable = server_ids;
+  fo.reconfigure_rate_hz = 1.0;
+
+  // Decided coordinator swaps rotating over the log rings and the shared
+  // ring; servers never crash in this world, so every subject is live.
+  std::vector<GroupId> rings;
+  for (dlog::LogId l = 0; l < spec.logs; ++l) rings.push_back(dep.log_group(l));
+  if (spec.shared_ring) rings.push_back(dep.shared_group());
+  std::int64_t reconfig_seq = 0;
+  ChaosHooks hooks;
+  hooks.reconfigure = [&dep, &server_ids, &rings, &reconfig_seq](ProcessId p) {
+    std::int64_t n = reconfig_seq++;
+    GroupId g = rings[std::size_t(n) % rings.size()];
+    const env::RingConfig& rc = dep.config().ring(g);
+    if (!rc.is_member(p) || rc.coordinator == p) return;
+    std::size_t s = std::size_t(
+        std::find(server_ids.begin(), server_ids.end(), p) -
+        server_ids.begin());
+    env::ConfigChange ch;
+    ch.op = env::ConfigChange::Op::kSetCoordinator;
+    ch.group = g;
+    ch.from_epoch = rc.version;
+    ch.subject = p;
+    dep.server(int(s)).propose(
+        g, ringpaxos::make_config_value(
+               make_message_id(p, kMessageIdSeqMask - std::uint64_t(n)), p,
+               dep.server(int(s)).now(), ch));
+  };
+  ChaosInjector inj(sim, FaultSchedule::generate(seed, fo), hooks);
 
   sim.run_until(kHorizon);
   client.stop();

@@ -19,6 +19,10 @@
 //    slowdowns.
 //  * dlog         — dLog: 2 logs + shared multi-append ring on 3 servers;
 //    link cuts, drops, disk slowdowns, jitter.
+//
+// All worlds additionally run the `reconfigure` fault class: decided
+// epoch changes (coordinator swaps, ring reorders) proposed through the
+// rings mid-chaos; installs are counted in WorldResult::epoch_installs.
 #pragma once
 
 #include <cstdint>
@@ -35,6 +39,7 @@ struct WorldResult {
   std::int64_t deliveries = 0;
   std::int64_t multicasts = 0;
   std::int64_t faults = 0;
+  std::int64_t epoch_installs = 0;  ///< ConfigChanges decided + installed
   std::string fault_timeline;  ///< printable schedule (seed replay aid)
   bool ok() const { return violations.empty(); }
 };

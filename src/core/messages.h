@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/ids.h"
+#include "env/config.h"
 #include "sim/message.h"
 
 namespace amcast::core {
@@ -22,6 +23,7 @@ enum MsgType : int {
   kCheckpointInfo = 204,
   kCheckpointFetch = 205,
   kCheckpointData = 206,
+  kConfigPush = 207,
 };
 
 inline constexpr std::size_t kHeaderBytes = 24;
@@ -124,10 +126,46 @@ struct CheckpointDataMsg final : sim::Message {
   CheckpointTuple tuple;
   std::size_t size_bytes = 0;
   std::shared_ptr<const void> state;
+  /// The donor's current ring views. Configuration is replicated state: a
+  /// checkpoint that covers a decided ConfigChange instance must carry its
+  /// effect, or a recovering replica with a stale bootstrap view would
+  /// install the data but never see the epochs (covered instances are not
+  /// re-delivered). The recoverer adopts these — idempotently — before
+  /// installing the snapshot.
+  std::vector<env::RingConfig> rings;
 
-  std::size_t wire_size() const override { return kHeaderBytes + size_bytes; }
+  std::size_t wire_size() const override {
+    std::size_t n = kHeaderBytes + size_bytes;
+    for (const auto& r : rings) {
+      n += 16 + 4 * (r.members.size() + r.acceptors.size());
+    }
+    return n;
+  }
   int type() const override { return kCheckpointData; }
   const char* name() const override { return "CheckpointData"; }
+};
+
+/// Ring member -> joiner: the current view(s) of rings an installed epoch
+/// just added the receiver to. A joiner cannot deliver the ConfigChange
+/// that admitted it (the change was decided before it became a learner), so
+/// the new epoch's coordinator pushes the resulting views instead; the
+/// joiner adopts them, attaches its rings, and bootstraps through the §5.2
+/// checkpoint-recovery path. Idempotent: adopt() ignores stale versions, so
+/// duplicate pushes are harmless.
+struct ConfigPushMsg final : sim::Message {
+  std::vector<env::RingConfig> rings;
+  std::vector<env::MemberAddress> addresses;  ///< transport (re-)pointing
+
+  std::size_t wire_size() const override {
+    std::size_t n = kHeaderBytes;
+    for (const auto& r : rings) {
+      n += 16 + 4 * (r.members.size() + r.acceptors.size());
+    }
+    for (const auto& a : addresses) n += 8 + a.host.size();
+    return n;
+  }
+  int type() const override { return kConfigPush; }
+  const char* name() const override { return "ConfigPush"; }
 };
 
 }  // namespace amcast::core

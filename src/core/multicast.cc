@@ -14,8 +14,8 @@ bool tuple_le(const CheckpointTuple& a, const CheckpointTuple& b) {
   return true;
 }
 
-MulticastNode::MulticastNode(ConfigRegistry& registry, sim::CpuParams cpu)
-    : ringpaxos::RingNode(registry, cpu), next_mid_(1) {}
+MulticastNode::MulticastNode(ConfigView config, sim::CpuParams cpu)
+    : ringpaxos::RingNode(config, cpu), next_mid_(1) {}
 
 MulticastNode::~MulticastNode() = default;
 
@@ -110,7 +110,11 @@ void MulticastNode::run_merge() {
       take = avail;
     }
     AMCAST_ASSERT(take >= 1);
-    bool deliver_now = !item.value->is_skip() && item.consumed == 0;
+    // Skips and config values advance the round-robin without reaching the
+    // application (the config value's work happened at install time, inside
+    // the ring layer's drain).
+    bool deliver_now = !item.value->is_skip() && !item.value->is_config() &&
+                       item.consumed == 0;
     ValuePtr v = item.value;
     item.consumed += take;
     gs.next_expected += take;
@@ -240,7 +244,7 @@ void MulticastNode::handle_trim_reply(const TrimReplyMsg& m) {
   auto cmd = std::make_shared<TrimCommandMsg>();
   cmd->group = m.group;
   cmd->trim_next = k;
-  for (ProcessId a : registry().ring(m.group).acceptors) send(a, cmd);
+  for (ProcessId a : config().ring(m.group).acceptors) send(a, cmd);
 }
 
 void MulticastNode::handle_trim_command(const TrimCommandMsg& m) {
@@ -260,6 +264,9 @@ void MulticastNode::on_message(ProcessId from, const MessagePtr& m) {
       return;
     case kTrimCommand:
       handle_trim_command(msg_cast<TrimCommandMsg>(m));
+      return;
+    case kConfigPush:
+      if (on_config_push_) on_config_push_(from, msg_cast<ConfigPushMsg>(m));
       return;
     default:
       ringpaxos::RingNode::on_message(from, m);

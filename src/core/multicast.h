@@ -22,6 +22,7 @@
 namespace amcast::core {
 
 using ringpaxos::ConfigRegistry;
+using ringpaxos::ConfigView;
 using ringpaxos::RingOptions;
 using ringpaxos::Value;
 using ringpaxos::ValuePtr;
@@ -42,7 +43,7 @@ struct TrimOptions {
 
 class MulticastNode : public ringpaxos::RingNode {
  public:
-  explicit MulticastNode(ConfigRegistry& registry,
+  explicit MulticastNode(ConfigView config,
                          sim::CpuParams cpu = sim::Presets::server_cpu());
   ~MulticastNode() override;
 
@@ -68,6 +69,16 @@ class MulticastNode : public ringpaxos::RingNode {
 
   /// Enables the §5.2 trim coordinator for a group this node coordinates.
   void enable_trim(GroupId g, TrimOptions opts);
+
+  /// Runtime seam for online reconfiguration: invoked when a ConfigPushMsg
+  /// arrives (a new-epoch coordinator pushing ring views to a joiner that
+  /// cannot deliver the ConfigChange which admitted it). The handler owns
+  /// adoption — runtime composition roots adopt into their per-process
+  /// registry; protocol code only routes the message. Unset = dropped.
+  using ConfigPushFn = std::function<void(ProcessId, const ConfigPushMsg&)>;
+  void set_on_config_push(ConfigPushFn fn) {
+    on_config_push_ = std::move(fn);
+  }
 
   /// The current merge cursor: for each subscribed group, the next instance
   /// to consume. This is the checkpoint tuple of paper §5.2; Predicate 1
@@ -132,6 +143,7 @@ class MulticastNode : public ringpaxos::RingNode {
   void handle_trim_command(const TrimCommandMsg& m);
 
   DeliverFn deliver_;
+  ConfigPushFn on_config_push_;
   std::vector<GroupId> subs_;           ///< ascending
   std::vector<GroupMergeState> merge_;  ///< parallel to subs_ (hot path:
                                         ///< indexed, never map-searched)

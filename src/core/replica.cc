@@ -6,9 +6,9 @@
 
 namespace amcast::core {
 
-ReplicaNode::ReplicaNode(ConfigRegistry& registry, ReplicaOptions opts,
+ReplicaNode::ReplicaNode(ConfigView config, ReplicaOptions opts,
                          sim::CpuParams cpu)
-    : MulticastNode(registry, cpu), opts_(std::move(opts)) {}
+    : MulticastNode(config, cpu), opts_(std::move(opts)) {}
 
 ReplicaNode::~ReplicaNode() = default;
 
@@ -216,6 +216,11 @@ void ReplicaNode::handle_checkpoint_fetch(ProcessId from,
   data->tuple = durable_.tuple;
   data->size_bytes = durable_.size_bytes;
   data->state = durable_.state;
+  // Config is replicated state: ship the current ring views with the
+  // snapshot so a recoverer whose bootstrap view predates decided epochs
+  // does not install data while missing the configuration it was decided
+  // under (the covered ConfigChange instances are never re-delivered).
+  for (GroupId g : config().groups()) data->rings.push_back(config().ring(g));
   send(from, data);  // big transfer: wire_size includes size_bytes
   metrics().counter("recovery.state_transfers")++;
 }
@@ -224,6 +229,11 @@ void ReplicaNode::handle_checkpoint_data(const CheckpointDataMsg& m) {
   if (!recovering_ || m.query_id != recovery_query_ || snapshot_installed_) {
     return;
   }
+  // Adopt the donor's ring views before installing: epochs the snapshot
+  // covers must be in place when catch-up resumes past it. Idempotent, so
+  // a donor view older than ours is a no-op.
+  // NOLINT-amcast(ambient-config-mutation): decided views via §5.2 state transfer, not ambient mutation
+  for (const auto& rc : m.rings) config().adopt(rc);
   Snapshot s;
   s.tuple = m.tuple;
   s.size_bytes = m.size_bytes;
@@ -257,7 +267,7 @@ void ReplicaNode::request_catch_up(GroupId g, InstanceId from) {
   std::uint64_t nonce = take_nonce();
   catch_up_inflight_[g] = nonce;
   catch_up_sent_[g] = now();
-  const auto& acceptors = registry().ring(g).acceptors;
+  const auto& acceptors = config().ring(g).acceptors;
   AMCAST_ASSERT(!acceptors.empty());
   // Rotate over the acceptors (skipping ourselves) so catch-up load spreads
   // and a single slow acceptor cannot gate the whole recovery.
@@ -328,8 +338,12 @@ void ReplicaNode::maybe_finish_recovery() {
   log_event("recovery.done");
   metrics().counter("recovery.completed")++;
   start_checkpointing();
-  // Re-establish a durable checkpoint reflecting the recovered state soon.
-  checkpoint_now();
+  // Re-establish a durable checkpoint reflecting the recovered state soon —
+  // but only when checkpointing is on: interval 0 means "no checkpoints"
+  // (and no trims), and cutting one here anyway would make THIS replica the
+  // newest-checkpoint donor for every later recovery, silently switching a
+  // full-replay deployment to snapshot installs.
+  if (opts_.checkpoint_interval > 0) checkpoint_now();
   on_recovered();
 }
 

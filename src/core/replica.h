@@ -53,7 +53,7 @@ struct Snapshot {
 
 class ReplicaNode : public MulticastNode {
  public:
-  ReplicaNode(ConfigRegistry& registry, ReplicaOptions opts,
+  ReplicaNode(ConfigView config, ReplicaOptions opts,
               sim::CpuParams cpu = sim::Presets::server_cpu());
   ~ReplicaNode() override;
 

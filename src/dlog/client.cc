@@ -2,9 +2,9 @@
 
 namespace amcast::dlog {
 
-DLogClient::DLogClient(core::ConfigRegistry& registry, DLogClientOptions opts,
+DLogClient::DLogClient(core::ConfigView config, DLogClientOptions opts,
                        Generator gen, sim::CpuParams cpu)
-    : core::MulticastNode(registry, cpu),
+    : core::MulticastNode(config, cpu),
       opts_(std::move(opts)),
       gen_(std::move(gen)),
       rng_(opts_.seed) {

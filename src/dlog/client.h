@@ -28,7 +28,7 @@ class DLogClient : public core::MulticastNode {
  public:
   using Generator = std::function<Command(int thread, Rng& rng)>;
 
-  DLogClient(core::ConfigRegistry& registry, DLogClientOptions opts,
+  DLogClient(core::ConfigView config, DLogClientOptions opts,
              Generator gen, sim::CpuParams cpu = sim::Presets::server_cpu());
 
   void on_start() override;

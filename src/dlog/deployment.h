@@ -53,7 +53,9 @@ class DLogDeployment {
   explicit DLogDeployment(DLogDeploymentSpec spec);
 
   sim::Simulation& sim() { return *sim_; }
-  core::ConfigRegistry& registry() { return registry_; }
+  /// Epoch-versioned view of the cluster config (the raw registry is a
+  /// composition-root detail; everything outside reads through the view).
+  core::ConfigView config() { return registry_; }
 
   GroupId log_group(LogId l) const { return log_groups_.at(l); }
   GroupId shared_group() const { return shared_group_; }

@@ -9,9 +9,9 @@ struct DLogSnapshotState {
 };
 }  // namespace
 
-DLogServer::DLogServer(core::ConfigRegistry& registry, DLogServerOptions opts,
+DLogServer::DLogServer(core::ConfigView config, DLogServerOptions opts,
                        sim::CpuParams cpu)
-    : core::ReplicaNode(registry, opts.recovery, cpu), opts_(std::move(opts)) {}
+    : core::ReplicaNode(config, opts.recovery, cpu), opts_(std::move(opts)) {}
 
 void DLogServer::host_log(LogId l, GroupId g, int disk_index,
                           ringpaxos::RingOptions ring_opts,

@@ -25,7 +25,7 @@ struct DLogServerOptions {
 
 class DLogServer : public core::ReplicaNode {
  public:
-  DLogServer(core::ConfigRegistry& registry, DLogServerOptions opts,
+  DLogServer(core::ConfigView config, DLogServerOptions opts,
              sim::CpuParams cpu = sim::Presets::server_cpu());
 
   /// Hosts log `l`, served by ring `g`, persisted on node disk `disk_index`.

@@ -1,8 +1,8 @@
-#include "ringpaxos/ring.h"
+#include "env/config.h"
 
 #include <algorithm>
 
-namespace amcast::ringpaxos {
+namespace amcast::env {
 
 bool RingConfig::is_member(ProcessId p) const {
   return std::find(members.begin(), members.end(), p) != members.end();
@@ -43,6 +43,7 @@ GroupId ConfigRegistry::create_ring(std::vector<ProcessId> members,
   c.acceptors = std::move(acceptors);
   c.coordinator = coordinator;
   validate(c);
+  ++generation_;
   rings_[c.group] = std::move(c);
   return next_group_ - 1;
 }
@@ -63,7 +64,87 @@ std::vector<GroupId> ConfigRegistry::groups() const {
 void ConfigRegistry::notify(const RingConfig& c) {
   auto it = watchers_.find(c.group);
   if (it == watchers_.end()) return;
-  for (auto& w : it->second) w(c);
+  // Index-based on purpose: a watcher (or an install hook running earlier
+  // in the same install) may register further watchers for this group —
+  // e.g. a joiner attaching its ring from inside the hook — which would
+  // invalidate range-for iterators. Late registrations still see this
+  // change, which is harmless: they read the already-committed config.
+  for (std::size_t i = 0; i < it->second.size(); ++i) it->second[i](c);
+}
+
+void ConfigRegistry::commit(RingConfig c) {
+  validate(c);
+  auto& slot = rings_[c.group];
+  slot = std::move(c);
+  ++generation_;
+  notify(slot);
+}
+
+bool ConfigRegistry::install(const ConfigChange& ch) {
+  auto it = rings_.find(ch.group);
+  if (it == rings_.end()) return false;
+  const RingConfig& cur = it->second;
+  // The from_epoch guard makes installs idempotent: a duplicate delivery,
+  // a replayed journal, or the loser of two racing changes finds the ring
+  // already past its base epoch and backs off.
+  if (cur.version != ch.from_epoch) return false;
+
+  RingConfig next = cur;
+  next.version = cur.version + 1;
+  switch (ch.op) {
+    case ConfigChange::Op::kAddMember:
+      if (next.is_member(ch.subject)) return false;
+      next.members.push_back(ch.subject);
+      if (ch.acceptor) next.acceptors.push_back(ch.subject);
+      break;
+    case ConfigChange::Op::kRemoveMember: {
+      if (!next.is_member(ch.subject)) return false;
+      auto& m = next.members;
+      auto& a = next.acceptors;
+      m.erase(std::remove(m.begin(), m.end(), ch.subject), m.end());
+      a.erase(std::remove(a.begin(), a.end(), ch.subject), a.end());
+      if (a.empty()) return false;  // a ring must keep an acceptor
+      if (next.coordinator == ch.subject) next.coordinator = a.front();
+      break;
+    }
+    case ConfigChange::Op::kSetCoordinator:
+      if (!next.is_member(ch.subject)) return false;
+      if (!next.is_acceptor(ch.subject)) next.acceptors.push_back(ch.subject);
+      next.coordinator = ch.subject;
+      break;
+    case ConfigChange::Op::kReorder: {
+      // Same member set, new ring order.
+      if (ch.members.size() != next.members.size()) return false;
+      for (ProcessId p : ch.members) {
+        if (!next.is_member(p)) return false;
+      }
+      std::vector<ProcessId> sorted = ch.members;
+      std::sort(sorted.begin(), sorted.end());
+      if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end()) {
+        return false;  // duplicate entries
+      }
+      next.members = ch.members;
+      break;
+    }
+  }
+  RingConfig installed = next;
+  it->second = std::move(next);
+  ++generation_;
+  // Index-based for the same reason as notify(): a hook may register more
+  // hooks (deployment helpers chaining joins).
+  for (std::size_t i = 0; i < install_hooks_.size(); ++i) {
+    install_hooks_[i](ch, installed);
+  }
+  notify(it->second);
+  return true;
+}
+
+void ConfigRegistry::adopt(const RingConfig& cfg) {
+  validate(cfg);
+  auto it = rings_.find(cfg.group);
+  if (it != rings_.end() && it->second.version >= cfg.version) return;
+  if (it == rings_.end()) next_group_ = std::max(next_group_, cfg.group + 1);
+  commit(cfg);
 }
 
 void ConfigRegistry::reconfigure(GroupId g, std::vector<ProcessId> members,
@@ -77,9 +158,7 @@ void ConfigRegistry::reconfigure(GroupId g, std::vector<ProcessId> members,
   c.members = std::move(members);
   c.acceptors = std::move(acceptors);
   c.coordinator = coordinator;
-  validate(c);
-  it->second = std::move(c);
-  notify(it->second);
+  commit(std::move(c));
 }
 
 void ConfigRegistry::remove_member(GroupId g, ProcessId p) {
@@ -124,4 +203,4 @@ const std::vector<ProcessId>& ConfigRegistry::subscribers(GroupId g) const {
   return it == subscribers_.end() ? kEmpty : it->second;
 }
 
-}  // namespace amcast::ringpaxos
+}  // namespace amcast::env

@@ -1,0 +1,229 @@
+// Epoch-versioned cluster configuration.
+//
+// The paper handles ring membership, coordinator election, and the service
+// partitioning schema with Zookeeper (§4, §7). This module is the
+// in-process substitute, redesigned around *epochs*: every ring's view
+// carries a version (its epoch), and the only way protocol code changes a
+// view is by getting a ConfigChange DECIDED through the ring itself and
+// installed — in delivery order, on every member — via `install()`. The
+// registry still offers direct mutators (`reconfigure`, `remove_member`,
+// `add_member`) for composition roots and failure-detector oracles
+// (deployments, chaos worlds, the runtime's bootstrap); protocol code must
+// not call them (enforced by amcast_lint's ambient-config-mutation rule).
+//
+// Protocol nodes do not hold the registry. They hold a ConfigView: a cheap
+// handle exposing the current epoch, generation-checked snapshots, the
+// epoch-change subscription, and `install` as the sole mutation. The split
+// keeps group membership from being cached ambiently and lets the runtime
+// re-point its transport when an epoch lands.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/assert.h"
+#include "common/ids.h"
+
+namespace amcast::env {
+
+/// One ring's view: the ordered member list, which members are acceptors,
+/// and which acceptor coordinates. The view version is the ring's EPOCH; it
+/// doubles as the Paxos round a (new) coordinator uses, so rounds grow
+/// across epochs and a deposed coordinator's messages are rejected.
+struct RingConfig {
+  GroupId group = kInvalidGroup;
+  std::int32_t version = 1;
+  std::vector<ProcessId> members;    ///< ring order; successor = next index
+  std::vector<ProcessId> acceptors;  ///< subset of members
+  ProcessId coordinator = kInvalidProcess;
+
+  bool is_member(ProcessId p) const;
+  bool is_acceptor(ProcessId p) const;
+  int position(ProcessId p) const;  ///< index in members; asserts membership
+  ProcessId successor(ProcessId p) const;
+  int majority() const { return int(acceptors.size()) / 2 + 1; }
+  int size() const { return int(members.size()); }
+};
+
+/// Transport address of a member, carried by ConfigChange so a runtime
+/// process can (re-)point its transport at peers the epoch introduces.
+/// Simulation backends leave the list empty.
+struct MemberAddress {
+  ProcessId id = kInvalidProcess;
+  std::string host;
+  std::uint16_t port = 0;
+};
+
+/// An epoch transition for one ring, decided through the ring like any
+/// other value. The change is a DELTA against the epoch it was proposed at
+/// (`from_epoch`): install applies it only while the ring is still at that
+/// epoch, so replays and duplicate deliveries are no-ops and two racing
+/// changes cannot both land on the same base.
+struct ConfigChange {
+  enum class Op : std::uint8_t {
+    kAddMember = 0,       ///< append `subject` to the ring order
+    kRemoveMember = 1,    ///< drop `subject`; coordinator falls over if needed
+    kSetCoordinator = 2,  ///< swap coordination to `subject`
+    kReorder = 3,         ///< replace the ring order with `members`
+  };
+
+  GroupId group = kInvalidGroup;
+  std::int32_t from_epoch = 0;  ///< epoch this delta applies on top of
+  Op op = Op::kSetCoordinator;
+  ProcessId subject = kInvalidProcess;  ///< the member added/removed/promoted
+  bool acceptor = false;                ///< kAddMember: join as an acceptor?
+  std::vector<ProcessId> members;       ///< kReorder: the complete new order
+  std::vector<MemberAddress> addresses;  ///< runtime transport (re-)pointing
+};
+
+/// In-process configuration service (Zookeeper substitute).
+class ConfigRegistry {
+ public:
+  using Watcher = std::function<void(const RingConfig&)>;
+  using InstallHook =
+      std::function<void(const ConfigChange&, const RingConfig&)>;
+
+  /// Creates a ring; the coordinator must be one of the acceptors, and all
+  /// acceptors must be members. Returns the group id.
+  GroupId create_ring(std::vector<ProcessId> members,
+                      std::vector<ProcessId> acceptors,
+                      ProcessId coordinator);
+
+  const RingConfig& ring(GroupId g) const;
+  bool has_ring(GroupId g) const { return rings_.count(g) > 0; }
+  std::vector<GroupId> groups() const;
+
+  /// The blessed mutation path: applies a decided ConfigChange. Returns
+  /// false (and changes nothing) when the ring is unknown, the ring has
+  /// moved past `from_epoch` (duplicate delivery, replay, or a racing
+  /// change won), or the delta is a no-op (adding an existing member,
+  /// removing a stranger). On success the ring is at `from_epoch + 1`,
+  /// watchers and install hooks have run.
+  bool install(const ConfigChange& change);
+
+  /// Adopts a complete ring view at an explicit version — the bootstrap
+  /// path for a joiner that could not deliver the change which added it
+  /// (runtime ConfigPush, checkpoint recovery). Older versions than the
+  /// installed one are ignored. Creates the ring if unknown.
+  void adopt(const RingConfig& cfg);
+
+  /// Installs a new view (membership/coordinator change); bumps the version
+  /// and synchronously notifies watchers. Composition roots and
+  /// failure-detector oracles only — protocol code uses install().
+  void reconfigure(GroupId g, std::vector<ProcessId> members,
+                   std::vector<ProcessId> acceptors, ProcessId coordinator);
+
+  /// Removes a crashed member, keeping the relative order of the others.
+  /// If the member was the coordinator, the first remaining acceptor takes
+  /// over. No-op if the process is not a member. Oracle path, like
+  /// reconfigure().
+  void remove_member(GroupId g, ProcessId p);
+
+  /// Re-inserts a member at the end of the ring order. Oracle path.
+  void add_member(GroupId g, ProcessId p, bool acceptor);
+
+  /// Registers a view watcher for a group.
+  void watch(GroupId g, Watcher w) { watchers_[g].push_back(std::move(w)); }
+
+  /// Registers a hook that runs after every successful install(), with the
+  /// change and the resulting view. The runtime uses it to re-point its
+  /// transport and push configuration to joiners; watch() callbacks (which
+  /// also run on oracle mutations) fire afterwards.
+  void on_install(InstallHook h) { install_hooks_.push_back(std::move(h)); }
+
+  /// Monotonic counter bumped on every view mutation of any ring. Snapshot
+  /// freshness checks compare against it.
+  std::uint64_t generation() const { return generation_; }
+
+  /// Learner subscriptions, used by the trim protocol to find the replicas
+  /// of a group (paper §5.2) and by services to locate partitions.
+  void subscribe(GroupId g, ProcessId p);
+  void unsubscribe(GroupId g, ProcessId p);
+  const std::vector<ProcessId>& subscribers(GroupId g) const;
+
+ private:
+  void validate(const RingConfig& c) const;
+  void commit(RingConfig c);  ///< store + bump generation + notify watchers
+  void notify(const RingConfig& c);
+
+  std::map<GroupId, RingConfig> rings_;
+  std::map<GroupId, std::vector<Watcher>> watchers_;
+  std::vector<InstallHook> install_hooks_;
+  std::map<GroupId, std::vector<ProcessId>> subscribers_;
+  GroupId next_group_ = 0;
+  std::uint64_t generation_ = 0;
+};
+
+/// The handle protocol code holds instead of the registry. Copyable and
+/// cheap (a pointer); implicitly constructible from a registry so
+/// composition roots pass their registry where a view is expected, the way
+/// std::string converts to std::string_view. Everything here is read-only
+/// except install() — the blessed epoch transition — and the subscription
+/// registrations a node makes about itself.
+class ConfigView {
+ public:
+  /// A copy of one ring's view plus the registry generation it was taken
+  /// at. Code that must not act on stale membership checks current() before
+  /// using a snapshot it cached across an await point.
+  struct Snapshot {
+    RingConfig cfg;
+    std::uint64_t generation = 0;
+  };
+
+  // NOLINTNEXTLINE(google-explicit-constructor): string_view-style handle.
+  ConfigView(ConfigRegistry& registry) : registry_(&registry) {}
+
+  const RingConfig& ring(GroupId g) const { return registry_->ring(g); }
+  bool has_ring(GroupId g) const { return registry_->has_ring(g); }
+  std::vector<GroupId> groups() const { return registry_->groups(); }
+
+  /// The ring's current epoch (== RingConfig::version).
+  std::int32_t epoch(GroupId g) const { return registry_->ring(g).version; }
+
+  std::uint64_t generation() const { return registry_->generation(); }
+  Snapshot snapshot(GroupId g) const {
+    return Snapshot{registry_->ring(g), registry_->generation()};
+  }
+  bool current(const Snapshot& s) const {
+    return s.generation == registry_->generation();
+  }
+
+  /// Subscribes to epoch changes of `g` (install or oracle mutation). The
+  /// callback runs synchronously at install time, after the new view is in
+  /// place.
+  void on_epoch_change(GroupId g, ConfigRegistry::Watcher w) {
+    registry_->watch(g, std::move(w));
+  }
+
+  /// Subscribes to successful install()s of any ring, with the decided
+  /// change (the runtime needs `addresses`, which the RingConfig lacks).
+  void on_install(ConfigRegistry::InstallHook h) {
+    registry_->on_install(std::move(h));
+  }
+
+  /// Applies a decided ConfigChange — the only mutation protocol code may
+  /// perform. See ConfigRegistry::install.
+  bool install(const ConfigChange& change) {
+    return registry_->install(change);
+  }
+
+  /// Adopts a decided ring view carried by state transfer (§5.2 checkpoint
+  /// data, ConfigPush to a joiner). Idempotent: versions at or below the
+  /// current one are ignored, so adopting is always safe. See
+  /// ConfigRegistry::adopt.
+  void adopt(const RingConfig& cfg) { registry_->adopt(cfg); }
+
+  void subscribe(GroupId g, ProcessId p) { registry_->subscribe(g, p); }
+  void unsubscribe(GroupId g, ProcessId p) { registry_->unsubscribe(g, p); }
+  const std::vector<ProcessId>& subscribers(GroupId g) const {
+    return registry_->subscribers(g);
+  }
+
+ private:
+  ConfigRegistry* registry_;
+};
+
+}  // namespace amcast::env

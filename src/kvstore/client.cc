@@ -2,9 +2,9 @@
 
 namespace amcast::kvstore {
 
-KvClient::KvClient(core::ConfigRegistry& registry, KvClientOptions opts,
+KvClient::KvClient(core::ConfigView config, KvClientOptions opts,
                    Generator gen, sim::CpuParams cpu)
-    : core::MulticastNode(registry, cpu),
+    : core::MulticastNode(config, cpu),
       opts_(std::move(opts)),
       gen_(std::move(gen)),
       rng_(opts_.seed) {

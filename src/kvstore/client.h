@@ -43,7 +43,7 @@ class KvClient : public core::MulticastNode {
   /// stamped by the client.
   using Generator = std::function<Command(int thread, Rng& rng)>;
 
-  KvClient(core::ConfigRegistry& registry, KvClientOptions opts,
+  KvClient(core::ConfigView config, KvClientOptions opts,
            Generator gen, sim::CpuParams cpu = sim::Presets::server_cpu());
 
   void on_start() override;

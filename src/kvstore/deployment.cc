@@ -158,6 +158,81 @@ void KvDeployment::preload(
   }
 }
 
+KvReplica& KvDeployment::add_replica(int partition) {
+  const auto p = std::size_t(partition);
+  GroupId g = partition_groups_[p];
+  sim::RegionId region = spec_.partition_regions.empty()
+                             ? 0
+                             : spec_.partition_regions[p];
+  bool needs_disk =
+      spec_.storage != ringpaxos::StorageOptions::Mode::kMemory ||
+      spec_.checkpoint_interval > 0;
+
+  KvReplicaOptions ko;
+  ko.partition = partition;
+  ko.partitioner = spec_.partitioner;
+  ko.recovery.checkpoint_interval = spec_.checkpoint_interval;
+  auto node = std::make_unique<KvReplica>(registry_, ko);
+  if (needs_disk) node->add_disk(spec_.disk);
+  KvReplica* raw = node.get();
+  ProcessId id = sim_->add_node(std::move(node));
+  sim_->network().place(id, region);
+  replicas_[p].push_back(raw);
+  replica_ids_[p].push_back(id);
+  // Recovery quorums and trim partitions query partition peers; the
+  // newcomer is one from now on.
+  for (auto* r : replicas_[p]) r->set_partition(replica_ids_[p]);
+
+  // The joiner cannot act before EVERY ring admitting it has decided its
+  // epoch (attaching with only one of two memberships installed would merge
+  // a partial subscription set).
+  auto remaining = std::make_shared<int>(global_group_ != kInvalidGroup ? 2 : 1);
+  core::ConfigView view(registry_);
+  view.on_install([this, raw, id, g, remaining](const env::ConfigChange& ch,
+                                                const env::RingConfig&) {
+    if (ch.op != env::ConfigChange::Op::kAddMember || ch.subject != id) return;
+    if (ch.group != g && ch.group != global_group_) return;
+    if (--*remaining > 0) return;
+    // Attach and bootstrap via §5.2 checkpoint recovery (the crash/restart
+    // pair funnels the empty joiner through the same path a crashed
+    // replica uses, fetching a peer checkpoint and replaying the tail).
+    ringpaxos::RingOptions ro = make_ring_options(spec_);
+    core::MergeOptions mo;
+    mo.m = spec_.m;
+    raw->attach(g, global_group_, ro, mo);
+    if (spec_.checkpoint_interval > 0) raw->start_checkpointing();
+    raw->crash();
+    raw->restart();
+  });
+
+  // Decide the admission through the ring(s), proposed by a live replica.
+  // msg_ids from the TOP of the joiner's sequence space cannot collide with
+  // ids any node mints for itself (sequences grow from 1).
+  KvReplica& proposer = *replicas_[p].front();
+  env::ConfigChange add;
+  add.op = env::ConfigChange::Op::kAddMember;
+  add.group = g;
+  add.from_epoch = registry_.ring(g).version;
+  add.subject = id;
+  add.acceptor = spec_.dedicated_acceptors == 0;
+  proposer.propose(g, ringpaxos::make_config_value(
+                          make_message_id(id, kMessageIdSeqMask), id,
+                          sim_->now(), add));
+  if (global_group_ != kInvalidGroup) {
+    env::ConfigChange gadd;
+    gadd.op = env::ConfigChange::Op::kAddMember;
+    gadd.group = global_group_;
+    gadd.from_epoch = registry_.ring(global_group_).version;
+    gadd.subject = id;
+    gadd.acceptor = false;
+    proposer.propose(global_group_,
+                     ringpaxos::make_config_value(
+                         make_message_id(id, kMessageIdSeqMask - 1), id,
+                         sim_->now(), gadd));
+  }
+  return *raw;
+}
+
 void KvDeployment::crash_replica(int partition, int index) {
   ProcessId id = replica_ids_[std::size_t(partition)][std::size_t(index)];
   sim_->node(id).crash();

@@ -75,7 +75,9 @@ class KvDeployment {
   explicit KvDeployment(KvDeploymentSpec spec);
 
   sim::Simulation& sim() { return *sim_; }
-  core::ConfigRegistry& registry() { return registry_; }
+  /// Epoch-versioned view of the cluster config (the raw registry is a
+  /// composition-root detail; everything outside reads through the view).
+  core::ConfigView config() { return registry_; }
   const KvDeploymentSpec& spec() const { return spec_; }
 
   GroupId partition_group(int p) const {
@@ -106,6 +108,15 @@ class KvDeployment {
 
   /// Restarts a crashed replica: rejoins rings, then runs §5.2 recovery.
   void restart_replica(int partition, int index);
+
+  /// Adds a brand-new replica to a LIVE partition, decided through the
+  /// ring: a kAddMember ConfigChange is proposed to the partition ring (and
+  /// the global ring, when configured) by an existing replica; once the
+  /// epoch installs, the joiner attaches its rings and bootstraps through
+  /// the §5.2 checkpoint-recovery path. Returns the joiner; it becomes a
+  /// functioning member only after the change is decided and recovery
+  /// completes (poll commands_applied()/store hashes from the test).
+  KvReplica& add_replica(int partition);
 
  private:
   KvDeploymentSpec spec_;

@@ -2,9 +2,9 @@
 
 namespace amcast::kvstore {
 
-KvReplica::KvReplica(core::ConfigRegistry& registry, KvReplicaOptions opts,
+KvReplica::KvReplica(core::ConfigView config, KvReplicaOptions opts,
                      sim::CpuParams cpu)
-    : core::ReplicaNode(registry, opts.recovery, cpu), opts_(std::move(opts)) {}
+    : core::ReplicaNode(config, opts.recovery, cpu), opts_(std::move(opts)) {}
 
 void KvReplica::attach(GroupId partition_group, GroupId global_group,
                        ringpaxos::RingOptions ring_opts,

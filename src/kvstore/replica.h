@@ -36,7 +36,7 @@ struct KvSnapshotState {
 
 class KvReplica : public core::ReplicaNode {
  public:
-  KvReplica(core::ConfigRegistry& registry, KvReplicaOptions opts,
+  KvReplica(core::ConfigView config, KvReplicaOptions opts,
             sim::CpuParams cpu = sim::Presets::server_cpu());
 
   /// Wires the replica to its rings. `partition_group` is this partition's

@@ -135,6 +135,7 @@ ringpaxos::RingOptions ClusterConfig::ring_options() const {
   ro.lambda_cap = options.lambda_cap;
   ro.instance_timeout = options.instance_timeout;
   ro.proposal_timeout = options.proposal_timeout;
+  ro.failover_timeout = options.failover_timeout;
   ro.gap_repair_timeout = options.gap_repair_timeout;
   ro.gap_repair_probe = options.gap_repair_probe;
   ro.batch_values = options.batch_values;
@@ -329,6 +330,8 @@ bool ClusterConfig::parse(std::string_view text, ClusterConfig* out,
         *ov, "instance_timeout_ms", duration::to_millis(o.instance_timeout)));
     o.proposal_timeout = millis(number_or(
         *ov, "proposal_timeout_ms", duration::to_millis(o.proposal_timeout)));
+    o.failover_timeout = millis(number_or(
+        *ov, "failover_timeout_ms", duration::to_millis(o.failover_timeout)));
     o.gap_repair_timeout =
         millis(number_or(*ov, "gap_repair_timeout_ms",
                          duration::to_millis(o.gap_repair_timeout)));

@@ -58,6 +58,8 @@ struct ClusterOptions {
   bool lambda_cap = false;  ///< enforce lambda as a per-ring rate ceiling
   Duration instance_timeout = duration::milliseconds(500);
   Duration proposal_timeout = duration::milliseconds(500);
+  /// Coordinator failover (see RingOptions::failover_timeout); 0 disables.
+  Duration failover_timeout = 0;
   Duration gap_repair_timeout = duration::milliseconds(300);
   bool gap_repair_probe = true;
   int batch_values = 8;

@@ -66,12 +66,14 @@ void set_error(std::string* error, const char* what) {
 
 void encode_proposal(Encoder& e, const ringpaxos::ProposalMsg& m) {
   e.put_i32(m.ring);
+  e.put_i32(m.epoch);
   encode_value(e, m.value);
 }
 
 env::MessagePtr decode_proposal(CheckedDecoder& d) {
   auto m = std::make_shared<ringpaxos::ProposalMsg>();
   m->ring = d.get_i32();
+  m->epoch = d.get_i32();
   m->value = decode_value(d);
   if (m->value == nullptr) d.fail();  // proposals always carry a value
   return m;
@@ -340,10 +342,14 @@ env::MessagePtr decode_checkpoint_fetch(CheckedDecoder& d) {
   return m;
 }
 
+void encode_ring_configs(Encoder& e, const std::vector<env::RingConfig>& rings);
+bool decode_ring_configs(CheckedDecoder& d, std::vector<env::RingConfig>* out);
+
 void encode_checkpoint_data(Encoder& e, const core::CheckpointDataMsg& m) {
   e.put_u64(m.query_id);
   e.put_u64(m.size_bytes);
   encode_tuple(e, m.tuple);
+  encode_ring_configs(e, m.rings);
   if (m.state == nullptr) {
     e.put_u8(0);
     return;
@@ -361,6 +367,7 @@ env::MessagePtr decode_checkpoint_data(CheckedDecoder& d,
   m->query_id = d.get_u64();
   m->size_bytes = std::size_t(d.get_u64());
   m->tuple = decode_tuple(d);
+  if (!decode_ring_configs(d, &m->rings)) return nullptr;
   if (d.get_u8() != 0) {
     std::vector<std::uint8_t> bytes = d.get_bytes();
     if (!d.ok()) return nullptr;
@@ -379,6 +386,89 @@ env::MessagePtr decode_checkpoint_data(CheckedDecoder& d,
       return nullptr;
     }
   }
+  return m;
+}
+
+void encode_member_addresses(Encoder& e,
+                             const std::vector<env::MemberAddress>& as) {
+  e.put_varint(as.size());
+  for (const auto& a : as) {
+    e.put_i32(a.id);
+    e.put_string(a.host);
+    e.put_u16(a.port);
+  }
+}
+
+std::vector<env::MemberAddress> decode_member_addresses(CheckedDecoder& d) {
+  std::vector<env::MemberAddress> out;
+  std::size_t n = get_count(d, 10);
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    env::MemberAddress a;
+    a.id = d.get_i32();
+    a.host = d.get_string();
+    a.port = d.get_u16();
+    out.push_back(std::move(a));
+  }
+  return out;
+}
+
+void encode_ring_configs(Encoder& e,
+                         const std::vector<env::RingConfig>& rings) {
+  e.put_varint(rings.size());
+  for (const auto& r : rings) {
+    e.put_i32(r.group);
+    e.put_i32(r.version);
+    e.put_i32(r.coordinator);
+    e.put_varint(r.members.size());
+    for (ProcessId p : r.members) e.put_i32(p);
+    e.put_varint(r.acceptors.size());
+    for (ProcessId p : r.acceptors) e.put_i32(p);
+  }
+}
+
+bool decode_ring_configs(CheckedDecoder& d,
+                         std::vector<env::RingConfig>* out) {
+  std::size_t nr = get_count(d, 14);
+  out->reserve(nr);
+  for (std::size_t i = 0; i < nr; ++i) {
+    env::RingConfig r;
+    r.group = d.get_i32();
+    r.version = d.get_i32();
+    r.coordinator = d.get_i32();
+    std::size_t nm = get_count(d, 4);
+    r.members.reserve(nm);
+    for (std::size_t k = 0; k < nm; ++k) r.members.push_back(d.get_i32());
+    std::size_t na = get_count(d, 4);
+    r.acceptors.reserve(na);
+    for (std::size_t k = 0; k < na; ++k) r.acceptors.push_back(d.get_i32());
+    // adopt() asserts on malformed views; reject them at the trust boundary
+    // instead.
+    if (!d.ok() || r.members.empty() || r.acceptors.empty() ||
+        !r.is_acceptor(r.coordinator)) {
+      d.fail();
+      return false;
+    }
+    for (ProcessId p : r.acceptors) {
+      if (!r.is_member(p)) {
+        d.fail();
+        return false;
+      }
+    }
+    out->push_back(std::move(r));
+  }
+  return true;
+}
+
+void encode_config_push(Encoder& e, const core::ConfigPushMsg& m) {
+  encode_ring_configs(e, m.rings);
+  encode_member_addresses(e, m.addresses);
+}
+
+env::MessagePtr decode_config_push(CheckedDecoder& d) {
+  auto m = std::make_shared<core::ConfigPushMsg>();
+  if (!decode_ring_configs(d, &m->rings)) return nullptr;
+  m->addresses = decode_member_addresses(d);
   return m;
 }
 
@@ -503,6 +593,9 @@ void encode_body(Encoder& e, const env::Message& m) {
       encode_checkpoint_data(e,
                              static_cast<const core::CheckpointDataMsg&>(m));
       return;
+    case core::kConfigPush:
+      encode_config_push(e, static_cast<const core::ConfigPushMsg&>(m));
+      return;
     case kvstore::kKvResponse:
       encode_kv_response(e, static_cast<const kvstore::KvResponseMsg&>(m));
       return;
@@ -538,6 +631,7 @@ env::MessagePtr decode_body(CheckedDecoder& d, int depth,
     case core::kCheckpointInfo: m = decode_checkpoint_info(d); break;
     case core::kCheckpointFetch: m = decode_checkpoint_fetch(d); break;
     case core::kCheckpointData: m = decode_checkpoint_data(d, error); break;
+    case core::kConfigPush: m = decode_config_push(d); break;
     case kvstore::kKvResponse: m = decode_kv_response(d); break;
     case dlog::kDLogResponse: m = decode_dlog_response(d); break;
     default:

@@ -39,12 +39,19 @@ inline constexpr std::size_t kHeaderBytes = 24;  ///< TCP/framing overhead
 /// Proposer -> coordinator: please order this value in group `ring`
 /// (paper §4: "a proposer multicasts a value to group γ by proposing the
 /// value to the coordinator responsible for γ").
+///
+/// `epoch` is the sender's view version for the ring. A receiver ahead of
+/// the sender redirects the proposal to its current coordinator; a receiver
+/// BEHIND the sender drops it (it must not route on a view it knows is
+/// stale) and relies on the proposer's re-proposal timeout. 0 means "epoch
+/// unknown" (pre-epoch senders) and is never rejected.
 struct ProposalMsg final : sim::Message {
   GroupId ring = kInvalidGroup;
+  std::int32_t epoch = 0;
   ValuePtr value;
 
   std::size_t wire_size() const override {
-    return kHeaderBytes + value->wire_size();
+    return kHeaderBytes + 4 + value->wire_size();
   }
   int type() const override { return kProposal; }
   const char* name() const override { return "Proposal"; }

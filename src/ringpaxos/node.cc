@@ -6,8 +6,8 @@
 
 namespace amcast::ringpaxos {
 
-RingNode::RingNode(ConfigRegistry& registry, sim::CpuParams cpu)
-    : sim::Node(cpu), registry_(registry) {}
+RingNode::RingNode(ConfigView config, sim::CpuParams cpu)
+    : sim::Node(cpu), config_(config) {}
 
 RingNode::~RingNode() = default;
 
@@ -24,7 +24,7 @@ const RingNode::RingState* RingNode::find_state(GroupId g) const {
 
 void RingNode::join_ring(GroupId g, bool learner, RingOptions opts) {
   AMCAST_ASSERT_MSG(rings_.count(g) == 0, "already joined this ring");
-  const RingConfig& cfg = registry_.ring(g);
+  const RingConfig& cfg = config_.ring(g);
   AMCAST_ASSERT_MSG(cfg.is_member(id()), "join_ring requires membership");
 
   RingState rs;
@@ -41,9 +41,9 @@ void RingNode::join_ring(GroupId g, bool learner, RingOptions opts) {
   }
   auto [it, ok] = rings_.emplace(g, std::move(rs));
   AMCAST_ASSERT(ok);
-  if (learner) registry_.subscribe(g, id());
+  if (learner) config_.subscribe(g, id());
 
-  registry_.watch(g, [this, g](const RingConfig& cfg) {
+  config_.on_epoch_change(g, [this, g](const RingConfig& cfg) {
     if (rings_.count(g)) on_reconfigure(cfg);
   });
 
@@ -84,6 +84,15 @@ void RingNode::on_restart() {
     rs.gap_timer_armed = false;
     rs.gap_nonce = 0;
     rs.gap_stall_ticks = 0;
+    // An epoch installed during the outage may have promoted this node to
+    // acceptor; materialize the log it could not create while crashed.
+    if (rs.cfg.is_acceptor(id()) && rs.storage == nullptr) {
+      env::Disk* d = nullptr;
+      if (rs.opts.storage.mode != StorageOptions::Mode::kMemory) {
+        d = &disk(rs.opts.storage.disk_index);
+      }
+      rs.storage = std::make_unique<AcceptorStorage>(rs.opts.storage, d);
+    }
     if (rs.learner) arm_gap_repair(rs);
     if (rs.cfg.coordinator == id()) become_coordinator(rs);
   }
@@ -96,10 +105,20 @@ void RingNode::on_restart() {
 }
 
 void RingNode::become_coordinator(RingState& rs) {
-  rs.coordinating = true;
   // The view version doubles as the round, so rounds grow across views and
   // a deposed coordinator's messages are rejected by promised acceptors.
-  rs.round = rs.cfg.version;
+  become_coordinator(rs, rs.cfg.version);
+}
+
+void RingNode::become_coordinator(RingState& rs, Round round) {
+  round = std::max(round, rs.round);
+  // Already coordinating at this round: nothing to renew. This is the
+  // failover path re-joining the main one — the volunteer took over at
+  // round version+1 before the swap was decided, so installing the swap
+  // (new version == that round) must not re-run Phase 1.
+  if (rs.coordinating && rs.round == round) return;
+  rs.coordinating = true;
+  rs.round = round;
   if (!rs.timers_armed) {
     rs.timers_armed = true;
     GroupId g = rs.cfg.group;
@@ -143,6 +162,17 @@ void RingNode::start_phase1(RingState& rs) {
 
   GroupId g = rs.cfg.group;
   Round round = rs.round;
+  // Our own acceptor log may have promised a NEWER round than the view we
+  // booted from knows (a deposed coordinator restarting over its journal
+  // with a stale config file: the journal holds the promise made to the
+  // new epoch's coordinator). Self-nack like any acceptor would — Phase 1
+  // stalls harmlessly until recovery replays the config change that
+  // deposes this node. Taking the higher round instead would duel the
+  // legitimate coordinator inside its own round.
+  if (rs.storage->promised() > round) {
+    rs.phase1_running = false;
+    return;
+  }
   std::uint64_t attempt = ++rs.phase1_attempt;
   // Self-promise first (the coordinator is an acceptor). The attempt guard
   // matters because a loss-retry restarts Phase 1 at the SAME round: a
@@ -344,7 +374,7 @@ void RingNode::finish_phase1(RingState& rs) {
 
 void RingNode::propose(GroupId g, ValuePtr v) {
   AMCAST_ASSERT(v != nullptr);
-  const RingConfig& cfg = registry_.ring(g);
+  const RingConfig& cfg = config_.ring(g);
   if (v->msg_id != 0 && !my_proposals_.count(v->msg_id) &&
       find_state(g) == nullptr) {
     // Nothing: membership not required to propose.
@@ -355,6 +385,7 @@ void RingNode::propose(GroupId g, ValuePtr v) {
   } else {
     auto m = std::make_shared<ProposalMsg>();
     m->ring = g;
+    m->epoch = cfg.version;
     m->value = v;
     send(cfg.coordinator, m);
   }
@@ -364,7 +395,7 @@ void RingNode::propose(GroupId g, ValuePtr v) {
   Duration timeout =
       rsp ? rsp->opts.proposal_timeout : default_proposal_timeout_;
   if (timeout > 0 && v->msg_id != 0) {
-    my_proposals_[v->msg_id] = OutstandingProposal{g, v, now()};
+    my_proposals_[v->msg_id] = OutstandingProposal{g, v, now(), now()};
     if (!proposal_timer_armed_) {
       proposal_timer_armed_ = true;
       proposal_timer_interval_ =
@@ -377,19 +408,59 @@ void RingNode::propose(GroupId g, ValuePtr v) {
 
 void RingNode::check_proposal_timeouts() {
   for (auto& [id_, p] : my_proposals_) {
-    const RingState* rs = find_state(p.ring);
+    RingState* rs = find_state(p.ring);
     Duration timeout =
         rs ? rs->opts.proposal_timeout : default_proposal_timeout_;
     if (timeout <= 0) continue;
+    if (rs && rs->opts.failover_timeout > 0 &&
+        now() - p.first_proposed_at >= rs->opts.failover_timeout) {
+      maybe_failover(*rs);
+    }
     if (now() - p.proposed_at < timeout) continue;
     p.proposed_at = now();
     metrics().counter("ringpaxos.reproposals")++;
-    const RingConfig& cfg = registry_.ring(p.ring);
+    if (rs && rs->coordinating) {
+      // This node became the coordinator since the proposal went out (e.g.
+      // a failover takeover): drive the value locally instead of re-sending
+      // it to a possibly-dead predecessor.
+      enqueue_proposal(*rs, p.value);
+      continue;
+    }
+    const RingConfig& cfg = config_.ring(p.ring);
     auto m = std::make_shared<ProposalMsg>();
     m->ring = p.ring;
+    m->epoch = cfg.version;
     m->value = p.value;
     send(cfg.coordinator, m);
   }
+}
+
+/// Stalled-proposal coordinator failover: the first non-coordinator
+/// acceptor of the ring volunteers (exactly one volunteer per view — duel
+/// damping), takes over at round version+1, and proposes the coordinator
+/// swap for itself as a ConfigChange through the ring it now drives. The
+/// takeover round deposes the old coordinator at the acceptors right away;
+/// the decided kSetCoordinator then installs the epoch that makes the swap
+/// visible to every member and proposer.
+void RingNode::maybe_failover(RingState& rs) {
+  if (rs.coordinating || crashed()) return;
+  if (rs.storage == nullptr || !rs.cfg.is_acceptor(id())) return;
+  ProcessId volunteer = kInvalidProcess;
+  for (ProcessId a : rs.cfg.acceptors) {
+    if (a != rs.cfg.coordinator) {
+      volunteer = a;
+      break;
+    }
+  }
+  if (volunteer != id()) return;
+  metrics().counter("ringpaxos.failover_takeovers")++;
+  become_coordinator(rs, Round(rs.cfg.version) + 1);
+  env::ConfigChange ch;
+  ch.group = rs.cfg.group;
+  ch.from_epoch = rs.cfg.version;
+  ch.op = env::ConfigChange::Op::kSetCoordinator;
+  ch.subject = id();
+  enqueue_proposal(rs, make_config_value(0, id(), now(), std::move(ch)));
 }
 
 void RingNode::observe_decided_value(const ValuePtr& v) {
@@ -405,10 +476,23 @@ void RingNode::observe_decided_value(const ValuePtr& v) {
 }
 
 void RingNode::handle_proposal(RingState& rs, const ProposalMsg& m) {
+  if (m.epoch > rs.cfg.version) {
+    // The sender installed an epoch this node has not seen yet: any routing
+    // or membership decision taken here would use a view known to be stale.
+    // Drop; the proposer's re-proposal covers the value once the epoch
+    // reaches us through the ring.
+    metrics().counter("ringpaxos.stale_epoch_dropped")++;
+    return;
+  }
   if (!rs.coordinating) {
-    // Deposed/not-yet coordinator: hand over to the current one.
+    // Deposed/not-yet coordinator: hand over to the current one (this also
+    // redirects proposers still on an older epoch's coordinator).
     if (rs.cfg.coordinator != id()) {
+      if (m.epoch != 0 && m.epoch < rs.cfg.version) {
+        metrics().counter("ringpaxos.stale_epoch_redirected")++;
+      }
       auto fwd = std::make_shared<ProposalMsg>(m);
+      fwd->epoch = rs.cfg.version;
       send(rs.cfg.coordinator, fwd);
     }
     return;
@@ -492,13 +576,19 @@ ValuePtr RingNode::take_batch(RingState& rs) {
   ValuePtr first = rs.proposal_queue.front();
   rs.proposal_queue.pop_front();
   rs.queue_bytes -= first->wire_size();
-  if (rs.opts.batch_values <= 1 || rs.proposal_queue.empty()) return first;
+  // Config values always travel alone: the install point must be one whole
+  // instance of the decided sequence, not a position inside an envelope.
+  if (first->is_config() || rs.opts.batch_values <= 1 ||
+      rs.proposal_queue.empty()) {
+    return first;
+  }
   std::vector<ValuePtr> inner;
   std::size_t bytes = first->wire_size();
   inner.push_back(std::move(first));
   while (!rs.proposal_queue.empty() &&
          int(inner.size()) < rs.opts.batch_values) {
     const ValuePtr& next = rs.proposal_queue.front();
+    if (next->is_config()) break;
     if (bytes + next->wire_size() > rs.opts.batch_bytes) break;
     bytes += next->wire_size();
     rs.queue_bytes -= next->wire_size();
@@ -999,6 +1089,12 @@ void RingNode::drain(RingState& rs) {
         rs.decided_instances += 1;
         if (v->is_skip()) {
           rs.skipped_instances += 1;
+        } else if (v->is_config()) {
+          // Epoch boundary: counted like a skip (no application value is
+          // delivered), installed on EVERY member at this exact point of
+          // the decided sequence — learner or not.
+          rs.skipped_instances += 1;
+          install_config(rs, v);
         } else if (v->is_batch()) {
           rs.delivered_values += std::int64_t(v->batch.size());
         } else {
@@ -1034,6 +1130,9 @@ void RingNode::drain(RingState& rs) {
     rs.decided_instances += eff_count;
     if (v->is_skip()) {
       rs.skipped_instances += eff_count;
+    } else if (v->is_config()) {
+      rs.skipped_instances += eff_count;
+      install_config(rs, v);
     } else if (v->is_batch()) {
       // One instance decided many application values: count the inner ones.
       rs.delivered_values += std::int64_t(v->batch.size());
@@ -1042,6 +1141,21 @@ void RingNode::drain(RingState& rs) {
     }
     observe_decided_value(v);
     if (rs.learner) on_ring_deliver(rs.cfg.group, eff_first, eff_count, v);
+  }
+}
+
+/// The delivery-order epoch install. Every member of the ring executes this
+/// at the same decided instance, so epoch N+1 becomes active at one
+/// well-defined point of the sequence on every replica. install()'s
+/// from_epoch guard absorbs duplicates (re-proposals, retransmitted
+/// recovery traffic, double delivery across a cursor rewind).
+void RingNode::install_config(RingState& rs, const ValuePtr& v) {
+  const env::ConfigChange& ch = *v->config;
+  if (ch.group != rs.cfg.group) return;  // defensive: misrouted change
+  if (config_.install(ch)) {
+    metrics().counter("ringpaxos.epochs_installed")++;
+  } else {
+    metrics().counter("ringpaxos.epoch_installs_stale")++;
   }
 }
 
@@ -1104,6 +1218,17 @@ void RingNode::on_reconfigure(const RingConfig& cfg) {
   auto& rs = state(cfg.group);
   bool was_coordinator = rs.coordinating;
   rs.cfg = cfg;
+  // A member promoted to acceptor by the new epoch (e.g. the subject of a
+  // kSetCoordinator that was not an acceptor before) needs its log
+  // materialized: join_ring only created storage for the join-time view's
+  // acceptors. While crashed, creation is deferred to on_restart.
+  if (cfg.is_acceptor(id()) && rs.storage == nullptr && !crashed()) {
+    env::Disk* d = nullptr;
+    if (rs.opts.storage.mode != StorageOptions::Mode::kMemory) {
+      d = &disk(rs.opts.storage.disk_index);
+    }
+    rs.storage = std::make_unique<AcceptorStorage>(rs.opts.storage, d);
+  }
   if (cfg.coordinator == id() && !crashed()) {
     // (Re-)take coordination under the new view; re-running Phase 1 renews
     // promises and finishes in-flight instances under the new majority.
@@ -1115,6 +1240,21 @@ void RingNode::on_reconfigure(const RingConfig& cfg) {
     }
   } else {
     rs.coordinating = false;
+    if (was_coordinator && !crashed() && !rs.proposal_queue.empty()) {
+      // Deposed with values still queued: hand them to the new coordinator
+      // so nothing accepted-but-not-started is lost to the swap (only
+      // proposers with re-proposal timeouts would recover them otherwise).
+      for (auto& v : rs.proposal_queue) {
+        auto m = std::make_shared<ProposalMsg>();
+        m->ring = cfg.group;
+        m->epoch = cfg.version;
+        m->value = v;
+        send(cfg.coordinator, m);
+      }
+      rs.proposal_queue.clear();
+      rs.queue_bytes = 0;
+      rs.batch_deadline = 0;
+    }
   }
 }
 

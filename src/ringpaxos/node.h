@@ -75,6 +75,16 @@ struct RingOptions {
   /// service layer (paper Figure 8, event 5).
   Duration proposal_timeout = 0;
 
+  /// Coordinator failover: when one of this node's own proposals has been
+  /// outstanding this long with no decision, and this node is the first
+  /// non-coordinator acceptor of the ring (duel damping — exactly one
+  /// volunteer per view), it takes over at round `version + 1` and proposes
+  /// a kSetCoordinator change for itself as its first value, so the swap is
+  /// decided through the ring like any other reconfiguration. 0 disables.
+  /// Requires proposal_timeout > 0 (stalls are detected on re-proposal
+  /// bookkeeping).
+  Duration failover_timeout = 0;
+
   /// Packing: group outgoing ring messages to the same successor into one
   /// packet (paper §4 optimization; the Figure 3 baseline disables it).
   bool packing = false;
@@ -96,8 +106,9 @@ struct RingOptions {
 
 class RingNode : public sim::Node {
  public:
-  /// `registry` must outlive the node. `cpu` models the host server.
-  explicit RingNode(ConfigRegistry& registry,
+  /// The registry behind `config` must outlive the node. `cpu` models the
+  /// host server.
+  explicit RingNode(ConfigView config,
                     sim::CpuParams cpu = sim::Presets::server_cpu());
   ~RingNode() override;
 
@@ -148,7 +159,10 @@ class RingNode : public sim::Node {
   };
   RingCounters ring_counters(GroupId g) const;
 
-  ConfigRegistry& registry() { return registry_; }
+  /// Epoch-versioned view of the cluster configuration. Protocol code reads
+  /// membership through this handle instead of caching it; epochs advance
+  /// under it when a decided ConfigChange is installed (see install_config).
+  ConfigView& config() { return config_; }
 
   void on_message(ProcessId from, const MessagePtr& m) override;
   void on_start() override;
@@ -240,7 +254,8 @@ class RingNode : public sim::Node {
   struct OutstandingProposal {
     GroupId ring;
     ValuePtr value;
-    Time proposed_at = 0;
+    Time proposed_at = 0;        ///< last (re-)send, drives re-proposal
+    Time first_proposed_at = 0;  ///< never reset, drives failover detection
   };
 
   struct RingState {
@@ -354,6 +369,8 @@ class RingNode : public sim::Node {
 
   // Coordinator machinery.
   void become_coordinator(RingState& rs);
+  void become_coordinator(RingState& rs, Round round);
+  void maybe_failover(RingState& rs);
   void start_phase1(RingState& rs);
   void complete_phase1(RingState& rs);
   void finish_phase1(RingState& rs);
@@ -379,6 +396,7 @@ class RingNode : public sim::Node {
   void note_decided(RingState& rs, InstanceId first, std::int32_t count,
                     Round round);
   void drain(RingState& rs);
+  void install_config(RingState& rs, const ValuePtr& v);
 
   // Pending-window plumbing (see PendingSlot).
   bool window_route(RingState& rs, InstanceId first, std::int32_t count);
@@ -394,7 +412,7 @@ class RingNode : public sim::Node {
 
   void on_reconfigure(const RingConfig& cfg);
 
-  ConfigRegistry& registry_;
+  ConfigView config_;
   std::map<GroupId, RingState> rings_;
   std::map<MessageId, OutstandingProposal> my_proposals_;
   MessageId next_msg_id_ = 1;
@@ -410,9 +428,9 @@ class CallbackRingNode final : public RingNode {
  public:
   using DeliverFn = std::function<void(GroupId, InstanceId, std::int32_t,
                                        const ValuePtr&)>;
-  explicit CallbackRingNode(ConfigRegistry& reg,
+  explicit CallbackRingNode(ConfigView config,
                             sim::CpuParams cpu = sim::Presets::server_cpu())
-      : RingNode(reg, cpu) {}
+      : RingNode(config, cpu) {}
   void set_deliver(DeliverFn fn) { deliver_ = std::move(fn); }
 
  protected:

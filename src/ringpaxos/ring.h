@@ -1,86 +1,20 @@
-// Ring configuration and the configuration registry.
+// Ring configuration, re-exported from the environment layer.
 //
-// The paper handles ring membership, coordinator election, and the service
-// partitioning schema with Zookeeper (§4, §7). This registry is the
-// in-process substitute: a deterministic oracle that every node can query
-// and watch. Reconfiguration (e.g., routing the ring around a crashed
-// replica) is performed by calling `reconfigure`, which bumps the view
-// version and notifies all watchers — exactly the role Zookeeper plays in
-// the original system.
+// The registry and its epoch machinery live in env/config.h so that every
+// layer (sim and runtime backends included) shares one configuration
+// object without depending on the protocol libraries. Ring Paxos code uses
+// these aliases; protocol constructors take an env::ConfigView rather than
+// the registry itself.
 #pragma once
 
-#include <functional>
-#include <map>
-#include <vector>
-
-#include "common/assert.h"
-#include "common/ids.h"
+#include "env/config.h"
 
 namespace amcast::ringpaxos {
 
-/// One ring's view: the ordered member list, which members are acceptors,
-/// and which acceptor coordinates. The view version doubles as the Paxos
-/// round a (new) coordinator uses, so rounds grow across views.
-struct RingConfig {
-  GroupId group = kInvalidGroup;
-  std::int32_t version = 1;
-  std::vector<ProcessId> members;    ///< ring order; successor = next index
-  std::vector<ProcessId> acceptors;  ///< subset of members
-  ProcessId coordinator = kInvalidProcess;
-
-  bool is_member(ProcessId p) const;
-  bool is_acceptor(ProcessId p) const;
-  int position(ProcessId p) const;  ///< index in members; asserts membership
-  ProcessId successor(ProcessId p) const;
-  int majority() const { return int(acceptors.size()) / 2 + 1; }
-  int size() const { return int(members.size()); }
-};
-
-/// In-process configuration service (Zookeeper substitute).
-class ConfigRegistry {
- public:
-  using Watcher = std::function<void(const RingConfig&)>;
-
-  /// Creates a ring; the coordinator must be one of the acceptors, and all
-  /// acceptors must be members. Returns the group id.
-  GroupId create_ring(std::vector<ProcessId> members,
-                      std::vector<ProcessId> acceptors,
-                      ProcessId coordinator);
-
-  const RingConfig& ring(GroupId g) const;
-  bool has_ring(GroupId g) const { return rings_.count(g) > 0; }
-  std::vector<GroupId> groups() const;
-
-  /// Installs a new view (membership/coordinator change); bumps the version
-  /// and synchronously notifies watchers.
-  void reconfigure(GroupId g, std::vector<ProcessId> members,
-                   std::vector<ProcessId> acceptors, ProcessId coordinator);
-
-  /// Removes a crashed member, keeping the relative order of the others.
-  /// If the member was the coordinator, the first remaining acceptor takes
-  /// over. No-op if the process is not a member.
-  void remove_member(GroupId g, ProcessId p);
-
-  /// Re-inserts a member at the end of the ring order.
-  void add_member(GroupId g, ProcessId p, bool acceptor);
-
-  /// Registers a view watcher for a group.
-  void watch(GroupId g, Watcher w) { watchers_[g].push_back(std::move(w)); }
-
-  /// Learner subscriptions, used by the trim protocol to find the replicas
-  /// of a group (paper §5.2) and by services to locate partitions.
-  void subscribe(GroupId g, ProcessId p);
-  void unsubscribe(GroupId g, ProcessId p);
-  const std::vector<ProcessId>& subscribers(GroupId g) const;
-
- private:
-  void validate(const RingConfig& c) const;
-  void notify(const RingConfig& c);
-
-  std::map<GroupId, RingConfig> rings_;
-  std::map<GroupId, std::vector<Watcher>> watchers_;
-  std::map<GroupId, std::vector<ProcessId>> subscribers_;
-  GroupId next_group_ = 0;
-};
+using RingConfig = env::RingConfig;
+using ConfigRegistry = env::ConfigRegistry;
+using ConfigChange = env::ConfigChange;
+using ConfigView = env::ConfigView;
+using MemberAddress = env::MemberAddress;
 
 }  // namespace amcast::ringpaxos

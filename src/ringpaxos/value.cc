@@ -33,8 +33,9 @@ ValuePtr make_batch(GroupId group, Time now, std::vector<ValuePtr> inner) {
   v->group = group;
   v->created_at = now;
   for (const auto& b : inner) {
-    AMCAST_ASSERT_MSG(b != nullptr && !b->is_skip() && !b->is_batch(),
-                      "batches hold plain application values only");
+    AMCAST_ASSERT_MSG(
+        b != nullptr && !b->is_skip() && !b->is_batch() && !b->is_config(),
+        "batches hold plain application values only");
   }
   v->batch = std::move(inner);
   return v;
@@ -49,7 +50,72 @@ ValuePtr make_skip(GroupId group, Time now, std::int32_t count) {
   return v;
 }
 
+ValuePtr make_config_value(MessageId id, ProcessId origin, Time now,
+                           env::ConfigChange change) {
+  AMCAST_ASSERT_MSG(change.group != kInvalidGroup,
+                    "config change must name its ring");
+  auto v = std::make_shared<Value>();
+  v->group = change.group;
+  v->msg_id = id;
+  v->origin = origin;
+  v->created_at = now;
+  v->config = std::make_shared<const env::ConfigChange>(std::move(change));
+  return v;
+}
+
 namespace {
+
+void encode_config_change(Encoder& e, const env::ConfigChange& ch) {
+  e.put_i32(ch.group);
+  e.put_i32(ch.from_epoch);
+  e.put_u8(std::uint8_t(ch.op));
+  e.put_i32(ch.subject);
+  e.put_bool(ch.acceptor);
+  e.put_varint(ch.members.size());
+  for (ProcessId p : ch.members) e.put_i32(p);
+  e.put_varint(ch.addresses.size());
+  for (const auto& a : ch.addresses) {
+    e.put_i32(a.id);
+    e.put_string(a.host);
+    e.put_u16(a.port);
+  }
+}
+
+std::shared_ptr<const env::ConfigChange> decode_config_change(
+    CheckedDecoder& d) {
+  auto ch = std::make_shared<env::ConfigChange>();
+  ch->group = d.get_i32();
+  ch->from_epoch = d.get_i32();
+  std::uint8_t op = d.get_u8();
+  if (op > std::uint8_t(env::ConfigChange::Op::kReorder)) {
+    d.fail();
+    return nullptr;
+  }
+  ch->op = env::ConfigChange::Op(op);
+  ch->subject = d.get_i32();
+  ch->acceptor = d.get_bool();
+  std::uint64_t nm = d.get_varint();
+  if (!d.ok() || nm > d.remaining()) {  // each member costs >= 4 bytes
+    d.fail();
+    return nullptr;
+  }
+  ch->members.reserve(std::size_t(nm));
+  for (std::uint64_t i = 0; i < nm; ++i) ch->members.push_back(d.get_i32());
+  std::uint64_t na = d.get_varint();
+  if (!d.ok() || na > d.remaining()) {  // each address costs >= 10 bytes
+    d.fail();
+    return nullptr;
+  }
+  ch->addresses.reserve(std::size_t(na));
+  for (std::uint64_t i = 0; i < na; ++i) {
+    env::MemberAddress a;
+    a.id = d.get_i32();
+    a.host = d.get_string();
+    a.port = d.get_u16();
+    ch->addresses.push_back(std::move(a));
+  }
+  return d.ok() ? ch : nullptr;
+}
 
 void encode_value_at(Encoder& e, const ValuePtr& v, int depth) {
   if (v == nullptr) {
@@ -69,6 +135,12 @@ void encode_value_at(Encoder& e, const ValuePtr& v, int depth) {
   } else {
     e.put_u8(0);
   }
+  if (v->config != nullptr) {
+    e.put_u8(1);
+    encode_config_change(e, *v->config);
+  } else {
+    e.put_u8(0);
+  }
   e.put_varint(v->batch.size());
   for (const ValuePtr& inner : v->batch) encode_value_at(e, inner, depth + 1);
 }
@@ -84,6 +156,13 @@ ValuePtr decode_value_at(CheckedDecoder& d, int depth) {
   if (d.get_u8() != 0) {
     v->payload =
         std::make_shared<const std::vector<std::uint8_t>>(d.get_bytes());
+  }
+  if (d.get_u8() != 0) {
+    v->config = decode_config_change(d);
+    if (!d.ok() || v->config == nullptr) {
+      d.fail();
+      return nullptr;
+    }
   }
   std::uint64_t n = d.get_varint();
   if (!d.ok()) return nullptr;

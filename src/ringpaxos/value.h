@@ -7,6 +7,7 @@
 
 #include "common/codec.h"
 #include "common/ids.h"
+#include "env/config.h"
 
 namespace amcast::ringpaxos {
 
@@ -16,7 +17,7 @@ using Payload = std::shared_ptr<const std::vector<std::uint8_t>>;
 
 /// A value flowing through one consensus instance of one ring.
 ///
-/// Three kinds exist:
+/// Four kinds exist:
 ///  * application values — carry a payload multicast by some proposer;
 ///  * skip values — proposed by the coordinator's rate-leveling logic
 ///    (paper §4) to keep a slow ring's instance rate at λ; they carry no
@@ -26,7 +27,12 @@ using Payload = std::shared_ptr<const std::vector<std::uint8_t>>;
 ///    CPU-bound per instance, so the coordinator amortizes the per-instance
 ///    cost by deciding many values at once). Learners unbatch before
 ///    delivery: counters, delivery callbacks, and proposer acks all see the
-///    inner values, never the envelope.
+///    inner values, never the envelope;
+///  * config values — carry an env::ConfigChange deciding the ring's next
+///    epoch. They ride the ordinary data path so every member installs the
+///    epoch at the same point of the delivery order; like skips they are
+///    invisible to the service layer (the merge advances past them without
+///    delivering) and they are never batched.
 struct Value {
   GroupId group = kInvalidGroup;     ///< multicast group == ring id
   MessageId msg_id = 0;              ///< unique per multicast, 0 for skips
@@ -35,14 +41,20 @@ struct Value {
   Payload payload;                   ///< null for skip and batch values
   std::int32_t skip_count = 0;       ///< >0 marks a skip value
   std::vector<std::shared_ptr<const Value>> batch;  ///< non-empty: envelope
+  std::shared_ptr<const env::ConfigChange> config;  ///< non-null: epoch change
 
   bool is_skip() const { return skip_count > 0; }
   bool is_batch() const { return !batch.empty(); }
+  bool is_config() const { return config != nullptr; }
 
   /// Bytes this value contributes to any message carrying it.
   std::size_t wire_size() const {
     std::size_t n = 32 + (payload ? payload->size() : 0);
     for (const auto& inner : batch) n += inner->wire_size();
+    if (config) {
+      n += 16 + 4 * config->members.size();
+      for (const auto& a : config->addresses) n += 8 + a.host.size();
+    }
     return n;
   }
 };
@@ -60,6 +72,12 @@ ValuePtr make_value_bytes(GroupId group, MessageId id, ProcessId origin,
 
 /// Builds a skip value covering `count` instances.
 ValuePtr make_skip(GroupId group, Time now, std::int32_t count);
+
+/// Builds a config value carrying an epoch change for `change.group`. The
+/// msg_id/origin pair makes the proposal re-proposable like any other value
+/// (duplicate deliveries are absorbed by install()'s from_epoch guard).
+ValuePtr make_config_value(MessageId id, ProcessId origin, Time now,
+                           env::ConfigChange change);
 
 /// Wraps `inner` application values (>= 2, no skips, no nested batches)
 /// into a batch envelope deciding them all in one consensus instance. The

@@ -51,7 +51,12 @@ int usage() {
       "  scan FROM TO         ordered scan [FROM, TO]\n"
       "  fill N [BYTES]       insert key000..N with BYTES-sized values\n"
       "  bench N [BYTES]      N sequential puts, report rate + latency\n"
-      "  script               read one op per line from stdin\n");
+      "  script               read one op per line from stdin\n"
+      "  reconfigure add|remove|coordinator NAME --group G --from-epoch E\n"
+      "              [--learner] [--wait-ms N]\n"
+      "                       propose an epoch change through ring G; the\n"
+      "                       change applies only if the ring is still at\n"
+      "                       epoch E (watch the daemons' STATUS epoch=)\n");
   return 64;
 }
 
@@ -61,6 +66,18 @@ bool printable(const std::vector<std::uint8_t>& v) {
   }
   return true;
 }
+
+/// Admin node for `reconfigure`: proposes one ConfigChange value to the
+/// ring and lets the inherited proposal-timeout machinery re-send it for a
+/// bounded window. The client cannot observe the decision (it is not a
+/// learner); operators watch the daemons' STATUS epoch= instead.
+class AdminClient final : public core::MulticastNode {
+ public:
+  AdminClient(core::ConfigRegistry& reg, Duration repropose)
+      : core::MulticastNode(reg) {
+    set_default_proposal_timeout(repropose);
+  }
+};
 
 /// The CLI's node: a plain MulticastNode that issues the queued ops one at
 /// a time (strict order, one outstanding command) and completes each on
@@ -376,6 +393,94 @@ int main(int argc, char** argv) {
 
   core::ConfigRegistry registry;
   cfg.build_registry(registry);
+
+  if (cmd[0] == "reconfigure") {
+    long group = 0, from_epoch = -1, wait_ms = 3000;
+    bool learner = false;
+    std::vector<std::string> pos;
+    for (std::size_t i = 1; i < cmd.size(); ++i) {
+      const std::string& w = cmd[i];
+      auto val = [&]() -> const char* {
+        return i + 1 < cmd.size() ? cmd[++i].c_str() : nullptr;
+      };
+      if (w == "--group") {
+        const char* v = val();
+        if (!v) return usage();
+        group = std::strtol(v, nullptr, 10);
+      } else if (w == "--from-epoch") {
+        const char* v = val();
+        if (!v) return usage();
+        from_epoch = std::strtol(v, nullptr, 10);
+      } else if (w == "--wait-ms") {
+        const char* v = val();
+        if (!v) return usage();
+        wait_ms = std::strtol(v, nullptr, 10);
+      } else if (w == "--learner") {
+        learner = true;
+      } else {
+        pos.push_back(w);
+      }
+    }
+    if (pos.size() != 2 || from_epoch < 1 || wait_ms < 1) return usage();
+    const net::ProcessSpec* subject = cfg.resolve(pos[1]);
+    if (subject == nullptr) {
+      std::fprintf(stderr, "amcast_kv: unknown process \"%s\"\n",
+                   pos[1].c_str());
+      return 1;
+    }
+    env::ConfigChange ch;
+    ch.group = GroupId(group);
+    ch.from_epoch = std::int32_t(from_epoch);
+    ch.subject = subject->id;
+    if (pos[0] == "add") {
+      ch.op = env::ConfigChange::Op::kAddMember;
+      ch.acceptor = !learner;
+    } else if (pos[0] == "remove") {
+      ch.op = env::ConfigChange::Op::kRemoveMember;
+    } else if (pos[0] == "coordinator") {
+      ch.op = env::ConfigChange::Op::kSetCoordinator;
+    } else {
+      return usage();
+    }
+    if (!registry.has_ring(ch.group)) {
+      std::fprintf(stderr, "amcast_kv: group %ld is not in the config\n",
+                   group);
+      return 1;
+    }
+    // Addresses ride the change so running daemons can point their
+    // transports at processes their own (older) config files never listed.
+    for (const auto& p : cfg.processes) {
+      if (p.role != "replica") continue;
+      ch.addresses.push_back(env::MemberAddress{p.id, p.host, p.port});
+    }
+
+    Duration repropose = cfg.options.proposal_timeout > 0
+                             ? cfg.options.proposal_timeout
+                             : duration::milliseconds(500);
+    auto admin = std::make_unique<AdminClient>(registry, repropose);
+    ex.add_node(self->id, admin.get());
+    // A fresh sequence per invocation (wall clock), like CliClient: two
+    // reconfigure runs minutes apart must not reuse a MessageId.
+    std::uint64_t seq =
+        std::uint64_t(std::chrono::duration_cast<std::chrono::microseconds>(
+                          std::chrono::system_clock::now().time_since_epoch())
+                          .count()) &
+        kMessageIdSeqMask;
+    std::printf("RECONFIGURE op=%s group=%ld subject=%d from_epoch=%ld\n",
+                pos[0].c_str(), group, int(subject->id), from_epoch);
+    std::fflush(stdout);
+    AdminClient* ap = admin.get();
+    GroupId g = ch.group;
+    ex.schedule_after(0, [ap, g, seq, ch = std::move(ch)] {
+      ap->propose(g, ringpaxos::make_config_value(
+                         make_message_id(ap->id(), seq), ap->id(), ap->now(),
+                         ch));
+    });
+    ex.schedule_after(duration::milliseconds(wait_ms), [&ex] { ex.stop(); });
+    ex.run();
+    return 0;
+  }
+
   auto client = std::make_unique<CliClient>(registry, ex, cfg, quiet);
 
   // --- translate the command line into ops -------------------------------

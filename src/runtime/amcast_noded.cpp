@@ -23,6 +23,15 @@
 // owns the transport, and cross-ring messages ride the post/wake seam.
 // Add --pin-threads to pin shard loops to distinct CPUs.
 //
+// Online reconfiguration: decided ConfigChange epochs install on every
+// member (EPOCH lines); addresses riding a change re-point the transport
+// at peers the static config never listed. A brand-new replica starts
+// with `--join` and a config file that lists it under "processes" (same
+// ring order as the cluster's file!) but not in any ring: it idles until
+// an existing replica — the new epoch's coordinator — pushes the decided
+// ring view (ConfigPush), then attaches and bootstraps through §5.2
+// checkpoint recovery. Use `amcast_kv reconfigure` to propose changes.
+//
 // SIGINT/SIGTERM shut the loops down cleanly; the daemon then prints one
 // FINAL line per replica (applied count, order hash, store hash) that the
 // smoke script compares across replicas to check totally-ordered
@@ -34,6 +43,7 @@
 #include <cstring>
 #include <filesystem>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -73,7 +83,7 @@ int usage() {
   std::fprintf(stderr,
                "usage: amcast_noded --config FILE --process NAME[,NAME...] "
                "[--data-dir DIR] [--threads N] [--pin-threads] "
-               "[--status-interval-ms N]\n");
+               "[--status-interval-ms N] [--join]\n");
   return 64;
 }
 
@@ -101,6 +111,9 @@ struct Hosted {
   amcast::GroupId my_pg = amcast::kInvalidGroup;
   bool was_recovering = false;
   int shard = 0;
+  /// --join: ring membership arrives via ConfigPush, not the config file.
+  bool join = false;
+  bool attached = false;  ///< rings subscribed (boot, or after ConfigPush)
 };
 
 }  // namespace
@@ -112,6 +125,7 @@ int main(int argc, char** argv) {
   long status_interval_ms = 2000;
   long threads = 1;
   bool pin_threads = false;
+  bool join_mode = false;
   for (int i = 1; i < argc; ++i) {
     std::string a = argv[i];
     auto next = [&]() -> const char* {
@@ -135,6 +149,8 @@ int main(int argc, char** argv) {
       threads = std::strtol(v, nullptr, 10);
     } else if (a == "--pin-threads") {
       pin_threads = true;
+    } else if (a == "--join") {
+      join_mode = true;
     } else if (a == "--status-interval-ms") {
       const char* v = next();
       if (!v) return usage();
@@ -170,6 +186,7 @@ int main(int argc, char** argv) {
     }
     Hosted h;
     h.spec = self;
+    h.join = join_mode;
     hosted.push_back(std::move(h));
   }
   if (hosted.empty()) return usage();
@@ -233,6 +250,25 @@ int main(int argc, char** argv) {
     ex0.set_transport(&transport);  // classic in-loop polling
   }
 
+  // Peers learned at runtime (epoch installs, config pushes). Guarded
+  // because in sharded mode install hooks run on whichever shard hosts the
+  // installing replica. Re-pointing an unchanged address is skipped so a
+  // duplicate delivery cannot drop a live connection.
+  std::mutex peers_mu;
+  std::map<ProcessId, net::PeerAddress> known_peers = cfg.peer_map();
+  auto learn_peer = [&](const env::MemberAddress& a) {
+    std::lock_guard<std::mutex> lock(peers_mu);
+    auto it = known_peers.find(a.id);
+    if (it != known_peers.end() && it->second.host == a.host &&
+        it->second.port == a.port) {
+      return;
+    }
+    known_peers[a.id] = net::PeerAddress{a.host, a.port};
+    transport.set_peer(a.id, net::PeerAddress{a.host, a.port});
+    std::printf("PEER id=%d addr=%s:%u\n", a.id, a.host.c_str(),
+                unsigned(a.port));
+  };
+
   // --- build each replica (identical wiring to KvDeployment) -------------
   int P = cfg.partition_count();
   for (Hosted& h : hosted) {
@@ -277,30 +313,33 @@ int main(int argc, char** argv) {
     core::MergeOptions mo;
     mo.m = cfg.options.m;
     h.my_pg = pgroups[std::size_t(self->partition)];
-    h.replica->attach(h.my_pg, global, ro, mo);
-    for (std::size_t i = 0; i < groups.size(); ++i) {
-      GroupId g = groups[i];
-      if (g == h.my_pg || g == global) continue;
-      const auto& members = cfg.rings[i].members;
-      if (std::find(members.begin(), members.end(), self->id) !=
-          members.end()) {
-        h.replica->join_only(g, ro);  // acceptor/forwarder duty only
+    if (!h.join) {
+      h.replica->attach(h.my_pg, global, ro, mo);
+      h.attached = true;
+      for (std::size_t i = 0; i < groups.size(); ++i) {
+        GroupId g = groups[i];
+        if (g == h.my_pg || g == global) continue;
+        const auto& members = cfg.rings[i].members;
+        if (std::find(members.begin(), members.end(), self->id) !=
+            members.end()) {
+          h.replica->join_only(g, ro);  // acceptor/forwarder duty only
+        }
       }
-    }
-    // Every ring has replayed the journal by now; release the in-memory
-    // copy (the file itself is the durable record). Refuse to serve on a
-    // dead journal — the disk strands durability acks, so the daemon
-    // would hang confusingly instead of failing loudly here.
-    if (h.replica->disk_count() > 0) {
-      if (!h.replica->disk(0).healthy()) {
-        std::fprintf(stderr, "amcast_noded: acceptor journal at %s is "
-                             "unusable\n", h.wal_path.c_str());
-        return 1;
+      // Every ring has replayed the journal by now; release the in-memory
+      // copy (the file itself is the durable record). Refuse to serve on a
+      // dead journal — the disk strands durability acks, so the daemon
+      // would hang confusingly instead of failing loudly here.
+      if (h.replica->disk_count() > 0) {
+        if (!h.replica->disk(0).healthy()) {
+          std::fprintf(stderr, "amcast_noded: acceptor journal at %s is "
+                               "unusable\n", h.wal_path.c_str());
+          return 1;
+        }
+        h.replica->disk(0).forget_stored_records();
       }
-      h.replica->disk(0).forget_stored_records();
-    }
-    if (cfg.options.checkpoint_interval > 0) {
-      h.replica->start_checkpointing();
+      if (cfg.options.checkpoint_interval > 0) {
+        h.replica->start_checkpointing();
+      }
     }
     if (cfg.options.trim_interval > 0) {
       for (std::size_t i = 0; i < groups.size(); ++i) {
@@ -319,6 +358,16 @@ int main(int argc, char** argv) {
       }
     }
 
+    if (h.join && h.restarted) {
+      // A former joiner restarting keeps ring state its config file does
+      // not describe; it must come back with a file whose rings include it
+      // (plain mode), not through the join path again.
+      std::fprintf(stderr, "amcast_noded: --join needs a fresh data dir "
+                           "(journal %s exists); restart former joiners "
+                           "with a config whose rings include them\n",
+                   h.wal_path.c_str());
+      return 1;
+    }
     if (h.restarted) {
       // Fresh OS process over an existing journal: the acceptor log was
       // restored in join_ring; now run the replica through the same
@@ -330,6 +379,97 @@ int main(int argc, char** argv) {
       h.replica->restart();
     }
     h.was_recovering = h.replica->recovering();
+
+    // --- online reconfiguration ---------------------------------------
+    // Every decided epoch re-points the transport at addresses the change
+    // carries; when THIS replica coordinates the new epoch and the change
+    // admitted a member, it pushes the decided view to the joiner (which
+    // cannot deliver the change that created its own membership).
+    Hosted* hp = &h;
+    core::ConfigView view(h.registry);
+    view.on_install([hp, &transport, &learn_peer, &rt](
+                        const env::ConfigChange& ch,
+                        const env::RingConfig& installed) {
+      for (const auto& a : ch.addresses) {
+        if (a.id != hp->spec->id) learn_peer(a);
+      }
+      std::printf("EPOCH node=%d group=%d epoch=%d op=%d subject=%d "
+                  "coordinator=%d\n",
+                  hp->spec->id, int(installed.group), int(installed.version),
+                  int(ch.op), int(ch.subject), int(installed.coordinator));
+      std::fflush(stdout);
+      if (ch.op == env::ConfigChange::Op::kAddMember &&
+          installed.coordinator == hp->spec->id &&
+          ch.subject != hp->spec->id) {
+        core::ConfigPushMsg push;
+        push.rings.push_back(installed);
+        push.addresses = ch.addresses;
+        // The joiner may not be listening yet (decided add, daemon started
+        // a moment later) and a lost push has no other recovery path, so
+        // re-push on a bounded schedule. Duplicates are harmless: the
+        // joiner's adopt is idempotent and attach happens once.
+        ProcessId me = hp->spec->id;
+        ProcessId subject = ch.subject;
+        GroupId g = installed.group;
+        int epoch = int(installed.version);
+        runtime::Executor* exp = &rt.shard(hp->shard);
+        auto left = std::make_shared<int>(20);
+        auto repush = std::make_shared<std::function<void()>>();
+        *repush = [&transport, exp, me, subject, g, epoch, push, left,
+                   repush] {
+          transport.send(me, subject, push);
+          std::printf("CONFIG_PUSH node=%d to=%d group=%d epoch=%d\n", me,
+                      int(subject), int(g), epoch);
+          std::fflush(stdout);
+          if (--*left > 0) {
+            exp->schedule_after(duration::milliseconds(500), *repush);
+          }
+        };
+        (*repush)();
+      }
+    });
+
+    if (h.join) {
+      // Ring membership arrives over the wire: adopt pushed views, and once
+      // every ring that should admit this replica does (its partition ring,
+      // plus the global ring when the file configures one), attach and
+      // bootstrap through §5.2 checkpoint recovery.
+      std::printf("JOIN node=%d waiting for config push\n", self->id);
+      GroupId global_g = global;
+      h.replica->set_on_config_push(
+          [hp, global_g, ro, mo, &learn_peer, &cfg](
+              ProcessId /*from*/, const core::ConfigPushMsg& push) {
+            for (const auto& a : push.addresses) {
+              if (a.id != hp->spec->id) learn_peer(a);
+            }
+            for (const auto& rc : push.rings) hp->registry.adopt(rc);
+            if (hp->attached) return;  // duplicate push: adoption sufficed
+            ProcessId me = hp->spec->id;
+            if (!hp->registry.ring(hp->my_pg).is_member(me)) return;
+            bool in_global = global_g != kInvalidGroup &&
+                             hp->registry.ring(global_g).is_member(me);
+            if (global_g != kInvalidGroup && !in_global) return;  // wait
+            hp->replica->attach(hp->my_pg,
+                                in_global ? global_g : kInvalidGroup, ro, mo);
+            hp->attached = true;
+            if (hp->replica->disk_count() > 0) {
+              hp->replica->disk(0).forget_stored_records();
+            }
+            if (cfg.options.checkpoint_interval > 0) {
+              hp->replica->start_checkpointing();
+            }
+            std::printf("JOINED node=%d group=%d epoch=%d members=%d\n", me,
+                        int(hp->my_pg),
+                        int(hp->registry.ring(hp->my_pg).version),
+                        hp->registry.ring(hp->my_pg).size());
+            std::fflush(stdout);
+            // The crash/restart pair funnels the empty joiner through the
+            // same §5.2 path a crashed replica uses: checkpoint query ->
+            // install -> catch-up from the decided tail.
+            hp->replica->crash();
+            hp->replica->restart();
+          });
+    }
   }
 
   // --- per-replica watchers, scheduled on the hosting loop ---------------
@@ -358,11 +498,16 @@ int main(int argc, char** argv) {
       *status = [hp, &ex, status, status_interval_ms] {
         kvstore::KvReplica& r = *hp->replica;
         std::printf("STATUS node=%d t=%.1fs applied=%lld delivered=%lld "
-                    "recovering=%d cursor0=%lld\n",
+                    "recovering=%d cursor0=%lld epoch=%d "
+                    "order_hash=%016llx store_hash=%016llx\n",
                     hp->spec->id, duration::to_seconds(ex.now()),
                     (long long)r.commands_applied(),
                     (long long)r.delivered_count(), int(r.recovering()),
-                    (long long)r.next_to_deliver(hp->my_pg));
+                    hp->attached ? (long long)r.next_to_deliver(hp->my_pg)
+                                 : 0LL,
+                    int(hp->registry.ring(hp->my_pg).version),
+                    (unsigned long long)hp->order_hash,
+                    (unsigned long long)hash_store(r.store()));
         std::fflush(stdout);
         ex.schedule_after(duration::milliseconds(status_interval_ms),
                           *status);
@@ -399,12 +544,13 @@ int main(int argc, char** argv) {
     const kvstore::KvReplica& r = *h.replica;
     std::printf("FINAL node=%d applied=%lld duplicates=%lld "
                 "order_hash=%016llx store_hash=%016llx entries=%zu "
-                "recoveries=%lld\n",
+                "recoveries=%lld epoch=%d\n",
                 h.spec->id, (long long)r.commands_applied(),
                 (long long)r.duplicates_filtered(),
                 (unsigned long long)h.order_hash,
                 (unsigned long long)hash_store(r.store()),
-                r.store().entry_count(), (long long)r.recoveries_started());
+                r.store().entry_count(), (long long)r.recoveries_started(),
+                int(h.registry.ring(h.my_pg).version));
   }
   std::fflush(stdout);
   return 0;

@@ -24,6 +24,7 @@ const char* fault_kind_name(FaultKind k) {
     case FaultKind::kDiskNormal: return "disk-normal";
     case FaultKind::kJitterSpike: return "jitter-spike";
     case FaultKind::kJitterNormal: return "jitter-normal";
+    case FaultKind::kReconfigure: return "reconfigure";
   }
   return "?";
 }
@@ -70,6 +71,9 @@ FaultSchedule FaultSchedule::generate(std::uint64_t seed,
   Rng drop_rng = master.split();
   Rng disk_rng = master.split();
   Rng jitter_rng = master.split();
+  // Split AFTER the original six: adding this class must not shift any
+  // pre-existing class's stream (pinned regression seeds depend on it).
+  Rng reconfigure_rng = master.split();
 
   // The heal/restart of a window is clamped slightly before the horizon so
   // the post-chaos grace period always starts fully healed.
@@ -197,6 +201,18 @@ FaultSchedule FaultSchedule::generate(std::uint64_t seed,
              });
   }
 
+  // --- decided reconfigurations (one-shot, nothing to heal) --------------
+  if (!opts.reconfigurable.empty()) {
+    arrivals(reconfigure_rng, opts.reconfigure_rate_hz, opts.horizon,
+             [&](Time t, Rng& rng) {
+               if (t >= heal_by) return;  // settle before quiescence
+               ProcessId subject = opts.reconfigurable[rng.next_u64(
+                   opts.reconfigurable.size())];
+               s.events_.push_back({t, FaultKind::kReconfigure, subject,
+                                    kInvalidProcess, -1, -1, 0});
+             });
+  }
+
   // Restarts sort after everything else at equal timestamps, so a node
   // whose downtime is clamped to the horizon restarts into an already
   // healed network (its recovery traffic is not eaten by a same-instant
@@ -298,6 +314,10 @@ void ChaosInjector::apply(const FaultEvent& e) {
       break;
     case FaultKind::kJitterNormal:
       net.set_jitter_scale(1.0);
+      break;
+    case FaultKind::kReconfigure:
+      // NOLINT-amcast(ambient-config-mutation): hook dispatch, not a registry mutation
+      if (hooks_.reconfigure) hooks_.reconfigure(e.node);
       break;
   }
   sim_.metrics().counter("chaos.faults_applied")++;

@@ -43,6 +43,7 @@ enum class FaultKind {
   kDiskNormal,  // node: owner
   kJitterSpike,  // param: jitter scale
   kJitterNormal,
+  kReconfigure,  // node: subject of a decided epoch change (hook-owned)
 };
 
 const char* fault_kind_name(FaultKind k);
@@ -98,6 +99,14 @@ struct FaultScheduleOptions {
   Duration min_slow = duration::milliseconds(100);
   Duration max_slow = duration::milliseconds(800);
 
+  // Decided reconfigurations: one-shot events (nothing to heal) naming a
+  // subject from `reconfigurable`. The hook owns the semantics — worlds
+  // propose an epoch change (coordinator swap, reorder, ...) through the
+  // ring, reading from_epoch at fire time so the change composes with
+  // whatever the oracle did meanwhile.
+  std::vector<ProcessId> reconfigurable;
+  double reconfigure_rate_hz = 0;
+
   // Jitter spikes (network-wide latency variance, one active at a time).
   double jitter_rate_hz = 0;
   double jitter_scale_min = 5;
@@ -130,6 +139,8 @@ class FaultSchedule {
 struct ChaosHooks {
   std::function<void(ProcessId)> crash;
   std::function<void(ProcessId)> restart;
+  /// kReconfigure: propose a decided epoch change involving the subject.
+  std::function<void(ProcessId)> reconfigure;
 };
 
 /// Schedules a FaultSchedule's events into a simulation. Keep alive until

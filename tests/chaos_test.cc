@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "chaos/worlds.h"
@@ -112,6 +113,38 @@ INSTANTIATE_TEST_SUITE_P(
     case_name);
 
 // ---------------------------------------------------------------------------
+// Reconfiguration regression: every world runs the decided-reconfiguration
+// fault class (coordinator swaps / ring reorders proposed through the rings
+// mid-chaos). These pinned seeds are known to install at least one epoch
+// change; they must keep doing so with every invariant intact.
+// ---------------------------------------------------------------------------
+
+class ChaosReconfigure : public testing::TestWithParam<ChaosCase> {};
+
+TEST_P(ChaosReconfigure, DecidedEpochChangesInstallUnderFaults) {
+  chaos::WorldResult r =
+      chaos::run_world(GetParam().config, GetParam().seed);
+  std::string detail;
+  for (const auto& v : r.violations) detail += "  violation: " + v + "\n";
+  EXPECT_TRUE(r.ok()) << "config=" << r.config << " seed=" << r.seed
+                      << "\nreplay: ./build/bench/chaos_runner --config "
+                      << r.config << " --seed " << r.seed << "\n"
+                      << detail << "fault timeline:\n"
+                      << r.fault_timeline;
+  EXPECT_GT(r.epoch_installs, 0)
+      << "config=" << r.config << " seed=" << r.seed
+      << ": no decided reconfiguration installed\nfault timeline:\n"
+      << r.fault_timeline;
+}
+
+INSTANTIATE_TEST_SUITE_P(PinnedSeeds, ChaosReconfigure,
+                         testing::Values(ChaosCase{"single-ring", 1},
+                                         ChaosCase{"multi-ring", 5},
+                                         ChaosCase{"kvstore", 5},
+                                         ChaosCase{"dlog", 7}),
+                         case_name);
+
+// ---------------------------------------------------------------------------
 // Determinism regression (satellite of the RNG plumbing): the same seed
 // must reproduce the identical world — same fault timeline, same number of
 // deliveries, and the same order-sensitive transcript hash.
@@ -193,6 +226,7 @@ TEST(FaultSchedule, EverythingHealsByHorizon) {
         case sim::FaultKind::kDiskNormal: --slow; break;
         case sim::FaultKind::kJitterSpike: ++jitter; break;
         case sim::FaultKind::kJitterNormal: --jitter; break;
+        case sim::FaultKind::kReconfigure: break;  // one-shot, nothing to heal
       }
     }
     EXPECT_EQ(crashed, 0) << "seed " << seed << ": unhealed crash";
@@ -218,6 +252,32 @@ TEST(FaultSchedule, FaultClassesUseIndependentStreams) {
     return out;
   };
   EXPECT_EQ(crashes_of(with_disk), crashes_of(without_disk));
+}
+
+TEST(FaultSchedule, ReconfigureStreamDoesNotShiftOtherClasses) {
+  // The reconfigure stream was added AFTER the original six splits; turning
+  // it on must leave every other class's timeline untouched, or all pinned
+  // regression seeds would silently replay different worlds.
+  auto fo = all_fault_options();
+  auto before = sim::FaultSchedule::generate(7, fo);
+  fo.reconfigurable = {0, 1, 2, 3};
+  fo.reconfigure_rate_hz = 3;
+  auto after = sim::FaultSchedule::generate(7, fo);
+  auto non_reconfigure = [](const sim::FaultSchedule& s) {
+    std::vector<std::tuple<Time, int, ProcessId>> out;
+    for (const auto& e : s.events()) {
+      if (e.kind != sim::FaultKind::kReconfigure) {
+        out.emplace_back(e.at, int(e.kind), e.node);
+      }
+    }
+    return out;
+  };
+  EXPECT_EQ(non_reconfigure(before), non_reconfigure(after));
+  bool any = false;
+  for (const auto& e : after.events()) {
+    if (e.kind == sim::FaultKind::kReconfigure) any = true;
+  }
+  EXPECT_TRUE(any) << "rate 3 Hz over 1 s produced no reconfigure events";
 }
 
 TEST(FaultSchedule, RespectsMaxConcurrentCrashes) {

@@ -1,0 +1,15 @@
+// Fixture: protocol code constructing a ConfigRegistry and mutating ring
+// membership directly instead of deciding a ConfigChange through the ring.
+#include "env/config.h"
+
+namespace amcast::ringpaxos {
+
+void ambient_mutation(env::ConfigRegistry& registry, GroupId g, ProcessId p) {
+  env::ConfigRegistry local;
+  local.create_ring({p}, {p}, p);
+  registry.remove_member(g, p);
+  registry.add_member(g, p, true);
+  registry.reconfigure(g, {p}, {p}, p);
+}
+
+}  // namespace amcast::ringpaxos

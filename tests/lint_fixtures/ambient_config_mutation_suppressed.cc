@@ -1,0 +1,12 @@
+// Fixture: oracle sites carry a justified suppression.
+#include "env/config.h"
+
+namespace amcast::core {
+
+void oracle(env::ConfigRegistry& registry, GroupId g, ProcessId p) {
+  // NOLINT-amcast(ambient-config-mutation): failure-detector oracle seam
+  registry.remove_member(g, p);
+  registry.add_member(g, p, true);  // NOLINT-amcast(ambient-config-mutation): oracle re-admits the healed node
+}
+
+}  // namespace amcast::core

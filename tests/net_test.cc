@@ -46,6 +46,38 @@ std::vector<env::MessagePtr> all_message_samples() {
     out.push_back(m);
   }
   {
+    // Config-change value riding the data path, plus the sender-epoch
+    // stamp that drives stale-epoch drop/redirect.
+    auto m = std::make_shared<ringpaxos::ProposalMsg>();
+    m->ring = 2;
+    m->epoch = 7;
+    env::ConfigChange ch;
+    ch.group = 2;
+    ch.from_epoch = 7;
+    ch.op = env::ConfigChange::Op::kReorder;
+    ch.subject = 3;
+    ch.acceptor = true;
+    ch.members = {3, 1, 2};
+    ch.addresses = {{3, "kv-3.example", 7003}};
+    m->value = ringpaxos::make_config_value(make_message_id(3, 9), 3,
+                                            duration::milliseconds(4),
+                                            std::move(ch));
+    out.push_back(m);
+  }
+  {
+    // Coordinator -> joiner bootstrap push: full ring views + addresses.
+    auto m = std::make_shared<core::ConfigPushMsg>();
+    env::RingConfig rc;
+    rc.group = 1;
+    rc.version = 4;
+    rc.members = {1, 2, 3};
+    rc.acceptors = {1, 2};
+    rc.coordinator = 2;
+    m->rings.push_back(rc);
+    m->addresses = {{1, "a.example", 7001}, {2, "b.example", 7002}};
+    out.push_back(m);
+  }
+  {
     auto m = std::make_shared<ringpaxos::Phase1AMsg>();
     m->ring = 1;
     m->round = 3;
@@ -162,6 +194,13 @@ std::vector<env::MessagePtr> all_message_samples() {
     m->tuple.next = {77};
     m->size_bytes = 128;
     m->state = nullptr;  // the no-checkpoint recovery path
+    env::RingConfig rc;   // donor ring views ride the checkpoint transfer
+    rc.group = 0;
+    rc.version = 3;
+    rc.members = {0, 1, 2, 3};
+    rc.acceptors = {0, 1, 2, 3};
+    rc.coordinator = 1;
+    m->rings.push_back(std::move(rc));
     out.push_back(m);
   }
   {
@@ -259,6 +298,61 @@ TEST(Wire, RoundTripPreservesFieldsSpotChecks) {
     const auto& kr = env::msg_cast<kvstore::KvResponseMsg>(back);
     ASSERT_EQ(kr.results.size(), 1u);
     EXPECT_EQ(kr.results[0].data, (std::vector<std::uint8_t>{'x', 'y'}));
+  }
+}
+
+TEST(Wire, ConfigMessagesPreserveFields) {
+  {
+    auto m = std::make_shared<ringpaxos::ProposalMsg>();
+    m->ring = 2;
+    m->epoch = 7;
+    env::ConfigChange ch;
+    ch.group = 2;
+    ch.from_epoch = 7;
+    ch.op = env::ConfigChange::Op::kReorder;
+    ch.subject = 3;
+    ch.members = {3, 1, 2};
+    ch.addresses = {{3, "kv-3.example", 7003}};
+    m->value = ringpaxos::make_config_value(make_message_id(3, 9), 3,
+                                            duration::milliseconds(4),
+                                            std::move(ch));
+    auto back = decode_message(encode_message(*m));
+    ASSERT_NE(back, nullptr);
+    const auto& p = env::msg_cast<ringpaxos::ProposalMsg>(back);
+    EXPECT_EQ(p.epoch, 7);
+    ASSERT_NE(p.value, nullptr);
+    ASSERT_TRUE(p.value->is_config());
+    EXPECT_EQ(p.value->config->op, env::ConfigChange::Op::kReorder);
+    EXPECT_EQ(p.value->config->from_epoch, 7);
+    EXPECT_EQ(p.value->config->subject, 3);
+    EXPECT_EQ(p.value->config->members, (std::vector<ProcessId>{3, 1, 2}));
+    ASSERT_EQ(p.value->config->addresses.size(), 1u);
+    EXPECT_EQ(p.value->config->addresses[0].id, 3);
+    EXPECT_EQ(p.value->config->addresses[0].host, "kv-3.example");
+    EXPECT_EQ(p.value->config->addresses[0].port, 7003);
+  }
+  {
+    auto m = std::make_shared<core::ConfigPushMsg>();
+    env::RingConfig rc;
+    rc.group = 1;
+    rc.version = 4;
+    rc.members = {1, 2, 3};
+    rc.acceptors = {1, 2};
+    rc.coordinator = 2;
+    m->rings.push_back(rc);
+    m->addresses = {{1, "a.example", 7001}, {2, "b.example", 7002}};
+    auto back = decode_message(encode_message(*m));
+    ASSERT_NE(back, nullptr);
+    const auto& cp = env::msg_cast<core::ConfigPushMsg>(back);
+    ASSERT_EQ(cp.rings.size(), 1u);
+    EXPECT_EQ(cp.rings[0].group, 1);
+    EXPECT_EQ(cp.rings[0].version, 4);
+    EXPECT_EQ(cp.rings[0].members, (std::vector<ProcessId>{1, 2, 3}));
+    EXPECT_EQ(cp.rings[0].acceptors, (std::vector<ProcessId>{1, 2}));
+    EXPECT_EQ(cp.rings[0].coordinator, 2);
+    ASSERT_EQ(cp.addresses.size(), 2u);
+    EXPECT_EQ(cp.addresses[1].host, "b.example");
+    EXPECT_EQ(cp.addresses[1].port, 7002);
   }
 }
 

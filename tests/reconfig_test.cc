@@ -1,0 +1,334 @@
+// Epoch-edge tests for online reconfiguration: ConfigChange values decided
+// through the rings, epoch installs at every member, stale-epoch traffic
+// handling (drop newer-than-us, redirect older-than-us), double-install
+// idempotence, decided coordinator swaps plus timeout-driven failover
+// takeover, and §5.2 joiner bootstrap through a trimmed prefix while a
+// workload and the checkpoint/trim machinery run concurrently.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "common/strings.h"
+#include "env/config.h"
+#include "kvstore/deployment.h"
+#include "ringpaxos/node.h"
+#include "sim/simulation.h"
+
+namespace amcast::ringpaxos {
+namespace {
+
+using sim::Simulation;
+
+struct Delivery {
+  GroupId g;
+  InstanceId first;
+  std::int32_t count;
+  ValuePtr v;
+};
+
+/// Ring fixture with either one shared registry (the classic sim shape) or
+/// one registry per node (the runtime shape, where every process holds its
+/// own config copy — epoch skew between nodes becomes possible, which the
+/// stale-epoch tests need).
+struct EpochRing {
+  std::vector<std::unique_ptr<env::ConfigRegistry>> regs;  // outlive sim
+  Simulation sim{7};
+  std::vector<CallbackRingNode*> nodes;
+  std::vector<ProcessId> ids;
+  std::vector<std::vector<Delivery>> delivered;
+  GroupId group = kInvalidGroup;
+
+  void build(int n, RingOptions opts = {}, bool per_node_registry = false) {
+    int registries = per_node_registry ? n : 1;
+    for (int i = 0; i < registries; ++i) {
+      regs.push_back(std::make_unique<env::ConfigRegistry>());
+    }
+    for (int i = 0; i < n; ++i) {
+      auto node = std::make_unique<CallbackRingNode>(reg(i));
+      nodes.push_back(node.get());
+      ids.push_back(sim.add_node(std::move(node)));
+    }
+    // Fresh registries assign group ids identically, so every per-node copy
+    // of the ring lands on the same GroupId — exactly how runtime processes
+    // parse the same cluster config file.
+    for (auto& r : regs) group = r->create_ring(ids, ids, ids[0]);
+    delivered.resize(std::size_t(n));
+    for (int i = 0; i < n; ++i) {
+      auto* node = nodes[std::size_t(i)];
+      node->set_deliver([this, i](GroupId g, InstanceId first,
+                                  std::int32_t count, const ValuePtr& v) {
+        // The raw ring layer reports every decided instance; skips and
+        // config values are filtered one layer up (core merge). Track only
+        // application values, like MulticastNode's deliver callback would.
+        if (v->is_skip() || v->is_config()) return;
+        delivered[std::size_t(i)].push_back({g, first, count, v});
+      });
+      node->join_ring(group, /*learner=*/true, opts);
+    }
+  }
+
+  env::ConfigRegistry& reg(int i) {
+    return *regs[std::min(std::size_t(i), regs.size() - 1)];
+  }
+
+  std::int64_t& counter(const char* name) {
+    return sim.metrics().counter(name);
+  }
+
+  /// Config proposals mint ids from the top of the sequence space (the
+  /// convention every composition root uses) so they cannot collide with
+  /// app values.
+  ValuePtr config_value(int proposer, env::ConfigChange ch,
+                        std::uint64_t seq) {
+    ProcessId p = ids[std::size_t(proposer)];
+    return make_config_value(make_message_id(p, kMessageIdSeqMask - seq), p,
+                             nodes[std::size_t(proposer)]->now(),
+                             std::move(ch));
+  }
+
+  std::size_t total_app_deliveries() const {
+    std::size_t n = 0;
+    for (const auto& d : delivered) n += d.size();
+    return n;
+  }
+};
+
+env::ConfigChange swap_coordinator(GroupId g, std::int32_t from_epoch,
+                                   ProcessId subject) {
+  env::ConfigChange ch;
+  ch.group = g;
+  ch.from_epoch = from_epoch;
+  ch.op = env::ConfigChange::Op::kSetCoordinator;
+  ch.subject = subject;
+  return ch;
+}
+
+// ---------------------------------------------------------------------------
+// Decided installs.
+// ---------------------------------------------------------------------------
+
+TEST(Reconfig, DecidedCoordinatorSwapInstallsEpochEverywhere) {
+  EpochRing t;
+  t.build(3);
+  t.sim.run_until(duration::milliseconds(10));
+  t.nodes[2]->propose(t.group,
+                      t.config_value(2, swap_coordinator(t.group, 1,
+                                                         t.ids[1]), 0));
+  t.sim.run_until(duration::seconds(1));
+
+  const env::RingConfig& rc = t.reg(0).ring(t.group);
+  EXPECT_EQ(rc.version, 2);
+  EXPECT_EQ(rc.coordinator, t.ids[1]);
+  EXPECT_GE(t.counter("ringpaxos.epochs_installed"), 1);
+  // The decided change is consumed by the install path, not the workload.
+  EXPECT_EQ(t.total_app_deliveries(), 0u);
+
+  // The new coordinator drives traffic after the swap.
+  t.nodes[0]->propose(t.group, make_value(t.group, 1, t.ids[0], 0, 64));
+  t.sim.run_until(t.sim.now() + duration::seconds(1));
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_EQ(t.delivered[std::size_t(i)].size(), 1u) << "learner " << i;
+    EXPECT_EQ(t.delivered[std::size_t(i)][0].v->msg_id, 1u);
+  }
+}
+
+TEST(Reconfig, DoubleInstallIsIdempotent) {
+  EpochRing t;
+  t.build(3);
+  t.sim.run_until(duration::milliseconds(10));
+  // The same delta decided twice (re-proposal race): one install, one
+  // stale no-op — the epoch advances exactly once.
+  t.nodes[2]->propose(t.group,
+                      t.config_value(2, swap_coordinator(t.group, 1,
+                                                         t.ids[1]), 0));
+  t.nodes[1]->propose(t.group,
+                      t.config_value(1, swap_coordinator(t.group, 1,
+                                                         t.ids[1]), 1));
+  t.sim.run_until(duration::seconds(1));
+
+  EXPECT_EQ(t.reg(0).ring(t.group).version, 2);
+  EXPECT_EQ(t.reg(0).ring(t.group).coordinator, t.ids[1]);
+  EXPECT_EQ(t.counter("ringpaxos.epochs_installed"), 1);
+  EXPECT_GE(t.counter("ringpaxos.epoch_installs_stale"), 1);
+}
+
+TEST(Reconfig, ReorderIsDecidedThroughTheRing) {
+  EpochRing t;
+  t.build(3);
+  t.sim.run_until(duration::milliseconds(10));
+  env::ConfigChange ch;
+  ch.group = t.group;
+  ch.from_epoch = 1;
+  ch.op = env::ConfigChange::Op::kReorder;
+  ch.subject = t.ids[0];
+  ch.members = {t.ids[1], t.ids[2], t.ids[0]};  // rotate by one
+  t.nodes[0]->propose(t.group, t.config_value(0, std::move(ch), 0));
+  t.sim.run_until(duration::seconds(1));
+
+  const env::RingConfig& rc = t.reg(0).ring(t.group);
+  EXPECT_EQ(rc.version, 2);
+  EXPECT_EQ(rc.members, (std::vector<ProcessId>{t.ids[1], t.ids[2],
+                                                t.ids[0]}));
+  EXPECT_EQ(rc.coordinator, t.ids[0]);  // reorder keeps the coordinator
+
+  // Traffic still flows over the rotated ring.
+  t.nodes[1]->propose(t.group, make_value(t.group, 1, t.ids[1], 0, 64));
+  t.sim.run_until(t.sim.now() + duration::seconds(1));
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_EQ(t.delivered[std::size_t(i)].size(), 1u) << "learner " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Stale-epoch traffic.
+// ---------------------------------------------------------------------------
+
+TEST(Reconfig, ProposalFromNewerEpochIsDropped) {
+  EpochRing t;
+  t.build(3, {}, /*per_node_registry=*/true);
+  t.sim.run_until(duration::milliseconds(10));
+
+  // Node 2 installs epoch 2 locally (as if the decided change reached it
+  // first); the coordinator is still on epoch 1. Its proposal now carries
+  // an epoch the coordinator has not seen — any routing decision there
+  // would use a view known to be stale, so the coordinator must drop it.
+  env::ConfigView view2(t.reg(2));
+  ASSERT_TRUE(view2.install(swap_coordinator(t.group, 1, t.ids[0])));
+  ASSERT_EQ(t.reg(2).ring(t.group).version, 2);
+  ASSERT_EQ(t.reg(0).ring(t.group).version, 1);
+
+  t.nodes[2]->propose(t.group, make_value(t.group, 1, t.ids[2], 0, 64));
+  t.sim.run_until(duration::seconds(1));
+
+  EXPECT_GE(t.counter("ringpaxos.stale_epoch_dropped"), 1);
+  EXPECT_EQ(t.total_app_deliveries(), 0u);  // no re-proposal configured
+}
+
+TEST(Reconfig, ProposalFromOlderEpochIsRedirectedToNewCoordinator) {
+  EpochRing t;
+  t.build(3, {}, /*per_node_registry=*/true);
+  t.sim.run_until(duration::milliseconds(10));
+
+  // Epoch 2 (coordinator moves 0 -> 1) installed at nodes 0 and 1; node 2
+  // still believes node 0 coordinates. Its epoch-1 proposal reaches the
+  // deposed node 0, which re-stamps and forwards to the real coordinator.
+  for (int i = 0; i < 2; ++i) {
+    env::ConfigView v(t.reg(i));
+    ASSERT_TRUE(v.install(swap_coordinator(t.group, 1, t.ids[1])));
+  }
+  ASSERT_EQ(t.reg(2).ring(t.group).version, 1);
+
+  t.nodes[2]->propose(t.group, make_value(t.group, 1, t.ids[2], 0, 64));
+  t.sim.run_until(duration::seconds(1));
+
+  EXPECT_GE(t.counter("ringpaxos.stale_epoch_redirected"), 1);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_EQ(t.delivered[std::size_t(i)].size(), 1u) << "learner " << i;
+    EXPECT_EQ(t.delivered[std::size_t(i)][0].v->msg_id, 1u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Failover: coordinator silence -> volunteer takeover -> decided swap.
+// ---------------------------------------------------------------------------
+
+TEST(Reconfig, StalledProposalTriggersVolunteerTakeover) {
+  EpochRing t;
+  RingOptions opts;
+  opts.proposal_timeout = duration::milliseconds(200);
+  opts.failover_timeout = duration::milliseconds(500);
+  t.build(3, opts);
+  t.sim.run_until(duration::milliseconds(10));
+
+  // Kill the coordinator before it sees any traffic. Node 1's proposal
+  // stalls; past failover_timeout the first non-coordinator acceptor
+  // (node 1 itself) volunteers and takes over at round version+1.
+  t.sim.node(t.ids[0]).crash();
+  t.nodes[1]->propose(t.group, make_value(t.group, 1, t.ids[1], 0, 64));
+  t.sim.run_until(duration::seconds(2));
+  EXPECT_GE(t.counter("ringpaxos.failover_takeovers"), 1);
+
+  // The dead node still sits in the ring, so the takeover cannot commit
+  // anything yet. Once the membership oracle removes it (what the decided
+  // kRemoveMember or a failure detector does), the stalled value and the
+  // re-proposed coordinator swap drive to completion over the 2-node ring.
+  t.reg(0).remove_member(t.group, t.ids[0]);
+  t.sim.run_until(t.sim.now() + duration::seconds(2));
+
+  EXPECT_EQ(t.reg(0).ring(t.group).coordinator, t.ids[1]);
+  for (int i = 1; i < 3; ++i) {
+    ASSERT_GE(t.delivered[std::size_t(i)].size(), 1u) << "learner " << i;
+    EXPECT_EQ(t.delivered[std::size_t(i)][0].v->msg_id, 1u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Joiner bootstrap: kAddMember decided mid-traffic, §5.2 recovery through
+// a trimmed prefix, concurrent checkpoints and trims.
+// ---------------------------------------------------------------------------
+
+TEST(Reconfig, JoinerBootstrapsThroughTrimmedPrefixMidTraffic) {
+  kvstore::KvDeploymentSpec spec;
+  spec.partitions = 1;
+  spec.replicas_per_partition = 2;
+  spec.partitioner = kvstore::Partitioner::hash(1);
+  spec.storage = StorageOptions::Mode::kAsyncDisk;
+  spec.disk = sim::Presets::ssd();
+  spec.delta = duration::milliseconds(5);
+  spec.lambda = 2000;
+  spec.instance_timeout = duration::milliseconds(300);
+  spec.checkpoint_interval = duration::milliseconds(100);
+  spec.trim_interval = duration::milliseconds(200);
+  spec.proposal_timeout = duration::milliseconds(250);
+  spec.gap_repair_timeout = duration::milliseconds(400);
+  spec.gap_repair_probe = true;
+  spec.seed = 33;
+  kvstore::KvDeployment dep(spec);
+
+  auto gen = [](int /*thread*/, Rng& rng) {
+    kvstore::Command c;
+    c.key = str_cat("user", std::to_string(1000 + rng.next_u64(50)));
+    if (rng.next_double() < 0.8) {
+      c.op = kvstore::Op::kInsert;
+      c.value.assign(64, 7);
+    } else {
+      c.op = kvstore::Op::kRead;
+    }
+    return c;
+  };
+  kvstore::KvClient& client = dep.add_client(2, gen);
+
+  // Run long enough that checkpoints are durable and the trim coordinator
+  // has discarded the log prefix the joiner would otherwise replay.
+  dep.sim().run_until(duration::milliseconds(700));
+  ASSERT_GE(dep.sim().metrics().counter("recovery.acceptor_trims"), 1)
+      << "trim machinery never ran; the joiner test would not exercise the "
+         "trimmed-prefix path";
+
+  // Live add: decided through the partition ring while traffic and the
+  // checkpoint/trim timers keep running.
+  kvstore::KvReplica& joiner = dep.add_replica(0);
+  dep.sim().run_until(duration::milliseconds(2500));
+  client.stop();
+  dep.sim().run_until(duration::milliseconds(6000));
+
+  const env::RingConfig& rc =
+      dep.config().ring(dep.partition_group(0));
+  EXPECT_GE(rc.version, 2);
+  EXPECT_TRUE(rc.is_member(joiner.id()));
+  EXPECT_GE(dep.sim().metrics().counter("ringpaxos.epochs_installed"), 1);
+
+  // The joiner bootstrapped via §5.2 checkpoint recovery (its cursor starts
+  // at a trimmed prefix, not instance 0) and converged to the same store.
+  EXPECT_GE(joiner.recoveries_started(), 1);
+  EXPECT_FALSE(joiner.recovering());
+  auto ref = dep.replica(0, 0).store().snapshot();
+  EXPECT_EQ(*dep.replica(0, 1).store().snapshot(), *ref);
+  EXPECT_EQ(*joiner.store().snapshot(), *ref);
+  EXPECT_GT(joiner.commands_applied(), 0);
+}
+
+}  // namespace
+}  // namespace amcast::ringpaxos
