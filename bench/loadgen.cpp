@@ -23,6 +23,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -33,6 +34,7 @@
 #include "net/cluster_config.h"
 #include "net/transport.h"
 #include "net/wire.h"
+#include "obs/scrape.h"
 #include "runtime/executor.h"
 
 namespace {
@@ -65,6 +67,9 @@ int usage() {
       "                        artifact rows (the cluster itself is\n"
       "                        configured via amcast_noded --threads)\n"
       "  --no-preload          skip populating the key universe\n"
+      "  --scrape              scrape the replicas' /metrics after each\n"
+      "                        point; adds server-side stage breakdowns\n"
+      "                        (server_stage_*_p50/p99_ms) to the rows\n"
       "  --out FILE            artifact path (default BENCH_runtime.json)\n"
       "  --append              merge rows into an existing artifact\n"
       "  --smoke               mark the artifact as a reduced run\n");
@@ -91,6 +96,44 @@ std::vector<double> parse_rates(const std::string& arg) {
     if (r > 0) rates.push_back(r);
   }
   return rates;
+}
+
+/// --scrape: server-side stage breakdown for one rate point. The stage
+/// histograms are cumulative since daemon start (sampled lifecycle
+/// traces), so this is a running profile rather than a per-window delta —
+/// what the smoke check needs (stage p50 sum vs the client-observed p50)
+/// and enough to see where time goes as a sweep saturates. Every replica
+/// exposing a metrics_port is scraped; the endpoint that completed the
+/// most traces wins (the partition coordinator observes the full
+/// submit->apply span; other replicas only see the tail stages).
+bool scrape_stage_metrics(const net::ClusterConfig& cfg,
+                          std::map<std::string, double>* out) {
+  double best_count = -1;
+  for (const auto& p : cfg.processes) {
+    if (p.role != "replica" || p.metrics_port == 0) continue;
+    obs::ScrapeResult res = obs::http_get(p.host, p.metrics_port, "/metrics");
+    if (!res.ok || res.status != 200) continue;
+    auto m = obs::parse_prometheus(res.body);
+    double count = obs::metric_value(m, "obs_stage_total_ms_count");
+    if (count > best_count) {
+      best_count = count;
+      *out = std::move(m);
+    }
+  }
+  return best_count >= 0;
+}
+
+void add_stage_metrics(const std::map<std::string, double>& m,
+                       bench::ScenarioResult* row) {
+  for (const char* stage : {"queue", "ring", "merge", "apply", "total"}) {
+    std::string fam = std::string("obs_stage_") + stage + "_ms";
+    row->metrics.set("server_stage_" + std::string(stage) + "_p50_ms",
+                     obs::metric_value(m, fam + "{quantile=\"0.5\"}"));
+    row->metrics.set("server_stage_" + std::string(stage) + "_p99_ms",
+                     obs::metric_value(m, fam + "{quantile=\"0.99\"}"));
+  }
+  row->metrics.set("server_stage_traces",
+                   obs::metric_value(m, "obs_stage_total_ms_count"));
 }
 
 int run_gate(const std::string& current_path, const std::string& compare_path,
@@ -136,7 +179,7 @@ int main(int argc, char** argv) {
   bench::RuntimeGateOptions gate_opts;
   double warmup_s = 1, window_s = 3;
   int label_threads = 1;
-  bool append = false, smoke = false, preload = true;
+  bool append = false, smoke = false, preload = true, scrape = false;
   bool gate_mode = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -209,6 +252,8 @@ int main(int argc, char** argv) {
       smoke = true;
     } else if (a == "--no-preload") {
       preload = false;
+    } else if (a == "--scrape") {
+      scrape = true;
     } else if (a == "--gate") {
       const char* v = next();
       if (!v) return usage();
@@ -347,6 +392,28 @@ int main(int argc, char** argv) {
                 rings, point.offered_rate, point.goodput,
                 point.latency.p50_ms(), point.latency.p99_ms(),
                 point.latency.p999_ms(), (long long)point.timeouts);
+    if (scrape) {
+      std::map<std::string, double> samples;
+      if (scrape_stage_metrics(cfg, &samples)) {
+        add_stage_metrics(samples, &rows.back());
+        std::printf("loadgen: server stages p50ms (cumulative) queue=%.2f "
+                    "ring=%.2f merge=%.2f apply=%.2f total=%.2f traces=%.0f\n",
+                    obs::metric_value(samples,
+                                      "obs_stage_queue_ms{quantile=\"0.5\"}"),
+                    obs::metric_value(samples,
+                                      "obs_stage_ring_ms{quantile=\"0.5\"}"),
+                    obs::metric_value(samples,
+                                      "obs_stage_merge_ms{quantile=\"0.5\"}"),
+                    obs::metric_value(samples,
+                                      "obs_stage_apply_ms{quantile=\"0.5\"}"),
+                    obs::metric_value(samples,
+                                      "obs_stage_total_ms{quantile=\"0.5\"}"),
+                    obs::metric_value(samples, "obs_stage_total_ms_count"));
+      } else {
+        std::fprintf(stderr, "loadgen: --scrape reached no metrics endpoint "
+                             "(metrics_port in the config? daemons up?)\n");
+      }
+    }
     std::fflush(stdout);
   }
   client->stop_load();

@@ -24,7 +24,13 @@ runtime. This lint enforces the rules that keep that true:
     are epoch transitions DECIDED through the ring (a ConfigChange value,
     applied via ConfigView::install()); constructing a ConfigRegistry or
     calling its direct mutators belongs to composition roots
-    (src/*/deployment.*, src/runtime, chaos failure-detector oracles).
+    (src/*/deployment.*, src/runtime, chaos failure-detector oracles);
+  * no ad-hoc stdout in src/runtime or src/net — operational state is
+    reported through Metrics (scraped at /metrics) and the sanctioned
+    obs::logf/log_line sink (which flushes, so daemon lines survive a
+    kill -9 in the smoke scripts); a raw printf is a line the
+    observability plane cannot see. stderr stays free for fatal setup
+    errors, and CLIs whose stdout IS their interface are allowlisted.
 
 Suppressions: append `// NOLINT-amcast(<rule>): <reason>` to the flagged
 line (or the line directly above). The reason is mandatory; a bare NOLINT
@@ -115,6 +121,21 @@ def runtime_nonsharding(rel):
     rel = rel.replace(os.sep, "/")
     return (in_dirs(rel, ("src/runtime",)) and rel.endswith(EXTS)
             and not rel.startswith("src/runtime/sharding."))
+
+
+# CLIs whose stdout IS their interface: amcast_kv prints op results / the
+# top table, port_probe prints the probed port for shell capture. Daemon
+# operational lines go through obs::logf/log_line instead.
+STDOUT_CLI_ALLOWLIST = (
+    "src/runtime/amcast_kv.cpp",
+    "src/runtime/port_probe.cpp",
+)
+
+
+def runtime_net_noncli(rel):
+    rel = rel.replace(os.sep, "/")
+    return (in_dirs(rel, ("src/runtime", "src/net")) and rel.endswith(EXTS)
+            and rel not in STDOUT_CLI_ALLOWLIST)
 
 
 def header(rel):
@@ -208,6 +229,20 @@ RULES = [
         r"|\bnew\s+(?:\w+::)*ConfigRegistry\b"
         r"|(?:\.|->)\s*(?:reconfigure|remove_member|add_member|create_ring"
         r"|adopt)\s*\(",
+    ),
+    Rule(
+        "ad-hoc-stdout",
+        "runtime/net code reports through Metrics (/metrics scrape) and "
+        "the obs::logf/log_line sink (flushed, byte-stable lines); ad-hoc "
+        "stdout prints are invisible to the observability plane and can be "
+        "lost unflushed on kill. stderr is fine for fatal setup errors; "
+        "CLIs whose stdout is their interface are allowlisted",
+        runtime_net_noncli,
+        r"std::cout\b"
+        r"|(?<![A-Za-z0-9_:])(?:std\s*::\s*)?printf\s*\("
+        r"|(?<![A-Za-z0-9_:])(?:std\s*::\s*)?puts\s*\("
+        r"|(?<![A-Za-z0-9_])putchar\s*\("
+        r"|\bfprintf\s*\(\s*stdout\b|\bfputs\s*\([^;]*,\s*stdout\s*\)",
     ),
     Rule(
         "unordered-iteration",

@@ -9,6 +9,13 @@
 # hash in its shutdown FINAL line, and the restarted replica must have gone
 # through recovery.
 #
+# Leg 1 also exercises the observability plane: after the kill/recover
+# cycle every replica must serve /metrics and /healthz, all scraped epochs
+# must agree, the stage-latency histograms must be populated, and the sum
+# of the server-side per-stage p50s must be within 25% (2 ms floor) of the
+# client-observed p50 from `amcast_kv bench`. A /tracez sample is saved
+# into the work dir so CI uploads it as an artifact.
+#
 # Leg 2 — online reconfiguration: boots a 3-replica ring, decides a
 # ConfigChange through it to admit a 4th replica (which bootstraps live via
 # --join + ConfigPush + §5.2 recovery), decides a coordinator swap, then
@@ -28,15 +35,18 @@ KV_BIN=$BUILD/src/runtime/amcast_kv
 PORTPROBE=$BUILD/src/runtime/amcast_portprobe
 WORK=$(mktemp -d "${TMPDIR:-/tmp}/amcast-smoke.XXXXXX")
 
-# examples/cluster.json hardcodes ports 7471-7474 (fine for the quickstart,
-# a collision machine for CI runners and busy dev boxes): rewrite the config
-# onto kernel-assigned free ports.
+# examples/cluster.json hardcodes ports 7471-7474 plus metrics listeners on
+# 7481-7483 (fine for the quickstart, a collision machine for CI runners and
+# busy dev boxes): rewrite the config onto kernel-assigned free ports.
 CONFIG=$WORK/cluster.json
-mapfile -t PORTS < <("$PORTPROBE" 4)
-[ "${#PORTS[@]}" = 4 ] || { echo "[smoke] port probe failed"; exit 1; }
+mapfile -t PORTS < <("$PORTPROBE" 7)
+[ "${#PORTS[@]}" = 7 ] || { echo "[smoke] port probe failed"; exit 1; }
 sed -e "s/7471/${PORTS[0]}/" -e "s/7472/${PORTS[1]}/" \
     -e "s/7473/${PORTS[2]}/" -e "s/7474/${PORTS[3]}/" \
+    -e "s/7481/${PORTS[4]}/" -e "s/7482/${PORTS[5]}/" \
+    -e "s/7483/${PORTS[6]}/" \
     examples/cluster.json > "$CONFIG"
+MPORTS=("${PORTS[4]}" "${PORTS[5]}" "${PORTS[6]}")  # r0/r1/r2 /metrics
 
 say() { echo "[smoke] $*"; }
 
@@ -90,13 +100,35 @@ wait_for() {  # wait_for FILE REGEX TIMEOUT_S DESCRIPTION
 
 kv() { "$KV_BIN" --config $CONFIG "$@"; }
 
+scrape() {  # scrape PORT PATH OUTFILE -> 0 iff HTTP 200 with a body
+  local url="http://127.0.0.1:$1$2"
+  if command -v curl >/dev/null 2>&1; then
+    curl -sf --max-time 5 -o "$3" "$url"
+  else
+    python3 -c '
+import sys, urllib.request
+body = urllib.request.urlopen(sys.argv[1], timeout=5).read()
+open(sys.argv[2], "wb").write(body)' "$url" "$3" 2>/dev/null
+  fi
+}
+
+metric() {  # metric FILE KEY -> value of the `KEY value` sample (or empty)
+  # `|| true`: an absent sample must yield "" under set -e/pipefail, not
+  # abort the script (replicas that coordinate no ring trace no full spans).
+  grep -F "$2 " "$1" 2>/dev/null | tail -1 | awk '{print $NF}' || true
+}
+
 # ==========================================================================
-# Leg 1: crash + restart recovery off the file-backed journal
+# Leg 1: crash + restart recovery off the file-backed journal, plus the
+# observability plane (config metrics_port turns it on; sample every value
+# so the short smoke run populates the stage histograms densely).
 # ==========================================================================
 NODES=(r0 r1 r2)
 
 # --- boot ---------------------------------------------------------------
-for n in "${NODES[@]}"; do start_node "$CONFIG" "$WORK" "$n"; done
+for n in "${NODES[@]}"; do
+  start_node "$CONFIG" "$WORK" "$n" --trace-sample 1
+done
 for n in "${NODES[@]}"; do wait_for "$WORK/$n.log" "^READY" 10 "$n READY"; done
 # READY means "listening"; a STATUS line means the event loop is actually
 # ticking. Poll for it (bounded) rather than sleeping an arbitrary beat.
@@ -124,13 +156,73 @@ kv --timeout-ms 15000 get user1 | grep -qF '= "alice"' \
 say "served writes and reads with r2 dead"
 
 # --- restart r2: recovery off the file-backed acceptor journal ----------
-start_node "$CONFIG" "$WORK" r2
+start_node "$CONFIG" "$WORK" r2 --trace-sample 1
 wait_for "$WORK/r2.log" "^RESTART node=2" 10 "r2 restart marker"
 wait_for "$WORK/r2.log" "^RECOVERED node=2" 30 "r2 finishing recovery"
 say "r2 recovered"
 
 kv put after-restart v2 | grep -q "^OK insert" || fail "put after restart"
 kv get during-outage | grep -qF '= "v1"' || fail "read of outage-era write"
+
+# --- observability plane: every replica must serve /metrics + /healthz
+# after the kill/recover cycle, the scraped epochs must agree, and the
+# server-side stage breakdown must add up to what the client measured -----
+BENCH_LINE=$(kv bench 300 64) || fail "bench for the stage comparison"
+say "$BENCH_LINE"
+CLIENT_P50=$(echo "$BENCH_LINE" | grep -oE "p50=[0-9.]+" | cut -d= -f2 || true)
+[ -n "$CLIENT_P50" ] || fail "bench did not report a client p50"
+
+for i in 0 1 2; do
+  scrape "${MPORTS[$i]}" /healthz "$WORK/healthz-r$i.json" \
+    || fail "/healthz scrape on r$i"
+  grep -q '"status":"ok"' "$WORK/healthz-r$i.json" \
+    || fail "r$i /healthz body is not ok"
+  scrape "${MPORTS[$i]}" /metrics "$WORK/metrics-r$i.prom" \
+    || fail "/metrics scrape on r$i"
+done
+# CI uploads the work dir's observability files as artifacts.
+scrape "${MPORTS[0]}" /tracez "$WORK/tracez-r0.json" || fail "/tracez scrape"
+say "all replicas scraped; /tracez sample saved to $WORK/tracez-r0.json"
+
+# Each replica exports its own epoch gauge; the plane must agree.
+epochs=$(for i in 0 1 2; do
+  metric "$WORK/metrics-r$i.prom" "ringpaxos_epoch{node=\"$i\"}"
+done | sort -u)
+[ -n "$epochs" ] && [ "$(echo "$epochs" | wc -l)" = 1 ] \
+  || fail "scraped epochs disagree or are missing: $(echo $epochs)"
+
+# Every replica applies, so stage_apply must be populated everywhere. The
+# full submit->apply span is only traced where values are both proposed
+# and learned, so the stage-vs-client comparison uses the replica with the
+# most complete spans.
+best=""
+best_count=0
+for i in 0 1 2; do
+  c=$(metric "$WORK/metrics-r$i.prom" "obs_stage_apply_ms_count")
+  awk -v c="${c:-0}" 'BEGIN { exit !(c > 0) }' \
+    || fail "r$i scraped with an empty stage_apply histogram"
+  t=$(metric "$WORK/metrics-r$i.prom" "obs_stage_total_ms_count")
+  if awk -v t="${t:-0}" -v b="$best_count" 'BEGIN { exit !(t > b) }'; then
+    best_count=${t:-0}
+    best="$WORK/metrics-r$i.prom"
+  fi
+done
+[ -n "$best" ] || fail "no replica traced a complete submit->apply span"
+
+stage_p50() { metric "$best" "obs_stage_${1}_ms{quantile=\"0.5\"}"; }
+awk -v q="$(stage_p50 queue)" -v r="$(stage_p50 ring)" \
+    -v m="$(stage_p50 merge)" -v a="$(stage_p50 apply)" \
+    -v cli="$CLIENT_P50" '
+  BEGIN {
+    sum = q + r + m + a
+    tol = cli * 0.25; if (tol < 2.0) tol = 2.0
+    d = sum - cli; if (d < 0) d = -d
+    printf "[smoke] server stage p50s: queue=%.2f ring=%.2f merge=%.2f " \
+           "apply=%.2f sum=%.2fms vs client p50=%.2fms (tol %.2fms)\n",
+           q, r, m, a, sum, cli, tol
+    exit !(d <= tol)
+  }' || fail "server stage p50 sum disagrees with the client-observed p50"
+say "observability plane agrees with the cluster (health, epoch, stage sums)"
 
 # --- quiesce: all replicas report the same applied count, stable long
 # enough to rule out stale STATUS lines (status interval is 500 ms) -------

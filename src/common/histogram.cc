@@ -54,7 +54,12 @@ std::int64_t Histogram::percentile(double q) const {
   std::uint64_t seen = 0;
   for (std::size_t i = 0; i < buckets_.size(); ++i) {
     seen += buckets_[i];
-    if (seen > target) return bucket_value(i);
+    if (seen > target) {
+      // Bucket midpoints can overshoot max_ (or undershoot min_) on sparse
+      // histograms — a one-sample histogram must report that sample, not the
+      // midpoint of its bucket.
+      return std::clamp(bucket_value(i), min_, max_);
+    }
   }
   return max_;
 }

@@ -69,6 +69,14 @@ class RunningStat {
     sum_ += v;
     ++n_;
   }
+  /// Folds another accumulator into this one (for cross-shard snapshots).
+  void merge(const RunningStat& other) {
+    if (other.n_ == 0) return;
+    if (n_ == 0 || other.min_ < min_) min_ = other.min_;
+    if (n_ == 0 || other.max_ > max_) max_ = other.max_;
+    sum_ += other.sum_;
+    n_ += other.n_;
+  }
   std::uint64_t count() const { return n_; }
   double mean() const { return n_ ? sum_ / double(n_) : 0; }
   double min() const { return n_ ? min_ : 0; }

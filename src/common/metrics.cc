@@ -13,4 +13,17 @@ void TimeSeries::add(Time t, double value) {
   counts_[idx] += 1;
 }
 
+void MetricsSnapshot::merge(const MetricsSnapshot& other) {
+  for (const auto& [name, v] : other.counters) counters[name] += v;
+  for (const auto& [name, h] : other.histograms) {
+    auto it = histograms.find(name);
+    if (it == histograms.end()) {
+      histograms.emplace(name, h);
+    } else {
+      it->second.merge(h);
+    }
+  }
+  for (const auto& [name, s] : other.stats) stats[name].merge(s);
+}
+
 }  // namespace amcast

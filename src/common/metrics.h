@@ -50,8 +50,24 @@ class TimeSeries {
   std::vector<std::uint64_t> counts_;
 };
 
+/// Point-in-time copy of a Metrics registry. Snapshots are plain values:
+/// they can be handed across threads and merged (per-shard registries are
+/// combined on scrape in the multicore runtime). Time series are excluded —
+/// they are sim-domain plotting state, not scrape material.
+struct MetricsSnapshot {
+  std::map<std::string, std::int64_t> counters;
+  std::map<std::string, Histogram> histograms;
+  std::map<std::string, RunningStat> stats;
+
+  /// Folds `other` into this snapshot: counters add, histograms and running
+  /// stats merge. Metric names present in only one side are kept as-is.
+  void merge(const MetricsSnapshot& other);
+};
+
 /// Central registry for one experiment run. Not thread-safe by design: the
-/// discrete-event simulator is single-threaded.
+/// discrete-event simulator is single-threaded and the runtime keeps one
+/// registry per executor thread; cross-thread reads go through snapshot()
+/// taken on the owning thread.
 class Metrics {
  public:
   /// Monotonic counter (messages sent, bytes written, ...).
@@ -94,6 +110,12 @@ class Metrics {
     return histograms_;
   }
   const std::map<std::string, RunningStat>& stats() const { return stats_; }
+
+  /// Copies the registry into a transferable snapshot. Must be called on the
+  /// thread that owns this registry.
+  MetricsSnapshot snapshot() const {
+    return MetricsSnapshot{counters_, histograms_, stats_};
+  }
 
   void clear() {
     counters_.clear();

@@ -1,0 +1,103 @@
+#include "common/trace.h"
+
+#include "common/metrics.h"
+
+namespace amcast {
+
+const char* trace_stage_name(TraceStage s) {
+  switch (s) {
+    case TraceStage::kSubmit:
+      return "submit";
+    case TraceStage::kPhase2:
+      return "phase2";
+    case TraceStage::kDecide:
+      return "decide";
+    case TraceStage::kDeliver:
+      return "deliver";
+    case TraceStage::kApply:
+      return "apply";
+  }
+  return "?";
+}
+
+void Tracer::configure(const Options& opts) {
+  std::lock_guard<std::mutex> lock(mu_);
+  opts_ = opts;
+  if (opts_.ring_capacity == 0) opts_.ring_capacity = 1;
+  ring_.assign(opts_.ring_capacity, Trace{});
+  ring_next_ = 0;
+  ring_count_ = 0;
+  active_.clear();
+  sample_every_.store(opts.sample_every, std::memory_order_relaxed);
+}
+
+void Tracer::record(MessageId id, TraceStage stage, Time at) {
+  if (!sampled(id)) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = active_.find(id);
+  if (it == active_.end()) {
+    if (active_.size() >= opts_.max_active) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    it = active_.emplace(id, Trace{}).first;
+    it->second.id = id;
+  }
+  Time& slot = it->second.at[std::size_t(stage)];
+  if (slot < 0) slot = at;
+}
+
+bool Tracer::finish(MessageId id, Metrics* sink) {
+  if (!sampled(id)) return false;
+  Trace done;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = active_.find(id);
+    if (it == active_.end()) return false;
+    done = it->second;
+    active_.erase(it);
+    ring_[ring_next_] = done;
+    ring_next_ = (ring_next_ + 1) % ring_.size();
+    if (ring_count_ < ring_.size()) ++ring_count_;
+  }
+  if (sink != nullptr) record_stage_histograms(*sink, done);
+  return true;
+}
+
+std::vector<Trace> Tracer::recent() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Trace> out;
+  out.reserve(ring_count_);
+  // Oldest first: the slot after ring_next_ holds the oldest entry once the
+  // ring has wrapped.
+  std::size_t start = ring_count_ < ring_.size() ? 0 : ring_next_;
+  for (std::size_t i = 0; i < ring_count_; ++i) {
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  }
+  return out;
+}
+
+namespace {
+void record_delta(Metrics& m, const char* name, const Trace& t, TraceStage a,
+                  TraceStage b) {
+  if (!t.has(a) || !t.has(b)) return;
+  Time d = t.stage(b) - t.stage(a);
+  if (d < 0) return;
+  m.histogram(name).record(d);
+}
+}  // namespace
+
+void record_stage_histograms(Metrics& m, const Trace& t) {
+  record_delta(m, "obs.stage_queue_ms", t, TraceStage::kSubmit,
+               TraceStage::kPhase2);
+  record_delta(m, "obs.stage_ring_ms", t, TraceStage::kPhase2,
+               TraceStage::kDecide);
+  record_delta(m, "obs.stage_merge_ms", t, TraceStage::kDecide,
+               TraceStage::kDeliver);
+  record_delta(m, "obs.stage_apply_ms", t, TraceStage::kDeliver,
+               TraceStage::kApply);
+  record_delta(m, "obs.stage_total_ms", t, TraceStage::kSubmit,
+               TraceStage::kApply);
+}
+
+}  // namespace amcast

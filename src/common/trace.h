@@ -1,0 +1,114 @@
+// Per-value lifecycle tracing: a fixed-size ring of sampled traces, each a
+// set of stage timestamps stamped along the value path (submit → Phase 2 →
+// decide → deliver → apply). Sampling is pure in the value id — no RNG, no
+// wall clock — so enabling it in the sim domain cannot perturb the schedule;
+// it is off (sample_every = 0) unless a daemon opts in. Timestamps are
+// supplied by the caller from env::Host::now(), so the recorder itself never
+// reads a clock.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+
+namespace amcast {
+
+class Metrics;
+
+/// Stages of a value's life, in path order. Every stage is stamped with the
+/// local node's clock only — stages recorded on different processes are never
+/// mixed, so a trace is meaningful exactly on nodes that play every role
+/// (a coordinator that is also a learner sees the full path).
+enum class TraceStage : std::uint8_t {
+  kSubmit = 0,  // coordinator accepted the proposal into its queue
+  kPhase2,      // value sealed into an instance; Phase 2 starts circulating
+  kDecide,      // instance decided (majority observed locally)
+  kDeliver,     // merge layer released the value to the learner
+  kApply,       // kv store applied the command batch
+};
+inline constexpr std::size_t kTraceStageCount = 5;
+
+const char* trace_stage_name(TraceStage s);
+
+/// One sampled value's stage timestamps. A stage that never fired locally
+/// stays at -1.
+struct Trace {
+  MessageId id = 0;
+  std::array<Time, kTraceStageCount> at{};
+
+  Trace() { at.fill(Time(-1)); }
+
+  Time stage(TraceStage s) const { return at[std::size_t(s)]; }
+  bool has(TraceStage s) const { return stage(s) >= 0; }
+};
+
+/// Thread-safe trace recorder. One per env::Host; disabled by default.
+/// Hot path (`sampled`) is a pure arithmetic check on an atomic, so
+/// instrumentation points cost one branch when tracing is off.
+class Tracer {
+ public:
+  struct Options {
+    /// Sample values whose id is a multiple of this; 0 disables tracing.
+    std::uint64_t sample_every = 0;
+    /// Finished traces retained for /tracez (ring buffer, oldest evicted).
+    std::size_t ring_capacity = 64;
+    /// Bound on in-flight traces; further samples are dropped until slots
+    /// free up (protects memory if finishes never fire, e.g. non-learners).
+    std::size_t max_active = 1024;
+  };
+
+  void configure(const Options& opts);
+
+  bool enabled() const {
+    return sample_every_.load(std::memory_order_relaxed) != 0;
+  }
+
+  /// Pure sampling decision: id 0 is reserved for skip values and never
+  /// sampled. Deterministic across runs by construction.
+  bool sampled(MessageId id) const {
+    auto n = sample_every_.load(std::memory_order_relaxed);
+    return n != 0 && id != 0 && std::uint64_t(id) % n == 0;
+  }
+
+  /// Stamps `stage` of value `id` at time `at` (caller supplies its host
+  /// clock). First write per stage wins. No-op unless `sampled(id)`.
+  void record(MessageId id, TraceStage stage, Time at);
+
+  /// Completes the trace for `id`: per-stage deltas are recorded into
+  /// `sink` (when non-null) as obs.stage_*_ms histograms, and the trace
+  /// moves to the finished ring. Returns false if `id` was not in flight.
+  bool finish(MessageId id, Metrics* sink);
+
+  /// Most recent finished traces, oldest first.
+  std::vector<Trace> recent() const;
+
+  std::uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> sample_every_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+
+  mutable std::mutex mu_;
+  Options opts_;
+  std::map<MessageId, Trace> active_;
+  std::vector<Trace> ring_;     // fixed capacity once configured
+  std::size_t ring_next_ = 0;   // next slot to overwrite
+  std::size_t ring_count_ = 0;  // number of valid entries
+};
+
+/// Records the per-stage deltas of `t` into `m`'s stage histograms
+/// (obs.stage_queue_ms, obs.stage_ring_ms, obs.stage_merge_ms,
+/// obs.stage_apply_ms, obs.stage_total_ms). Values are nanoseconds; the
+/// `_ms` suffix is the exposition unit, scaled at export. A delta is only
+/// recorded when both endpoint stages fired locally.
+void record_stage_histograms(Metrics& m, const Trace& t);
+
+}  // namespace amcast

@@ -32,6 +32,7 @@
 #include "common/ids.h"
 #include "common/metrics.h"
 #include "common/rng.h"
+#include "common/trace.h"
 #include "env/message.h"
 #include "env/params.h"
 
@@ -171,6 +172,14 @@ class Host {
 
   /// Deterministically seeded RNG of the run/process.
   virtual Rng& rng() = 0;
+
+  /// Lifecycle trace recorder of the run/process. Shared by every backend;
+  /// disabled (sampling off) unless the hosting daemon configures it, so
+  /// sim runs stay bit-identical.
+  Tracer& tracer() { return tracer_; }
+
+ private:
+  Tracer tracer_;
 };
 
 /// Node: the actor base class. Every protocol role, replica, and client in
@@ -229,6 +238,9 @@ class Node {
 
   /// Backend RNG (deterministically seeded).
   Rng& rng() { return host_->rng(); }
+
+  /// Backend lifecycle tracer (shared by all nodes of the run/process).
+  Tracer& tracer() { return host_->tracer(); }
 
   /// Attaches a disk with the given parameters; returns its index. May be
   /// called before the node joins a backend (devices are materialized when

@@ -40,6 +40,9 @@ void KvReplica::on_deliver(GroupId g, const ringpaxos::ValuePtr& v) {
   // unwraps coordinator batch envelopes before this hook.
   AMCAST_ASSERT_MSG(!v->is_batch(), "batch envelope reached the service");
   AMCAST_ASSERT(v->payload != nullptr);
+  if (tracer().enabled()) {
+    tracer().record(v->msg_id, TraceStage::kDeliver, now());
+  }
   CommandBatch batch = CommandBatch::decode(*v->payload);
 
   // Group responses per client so one UDP-style message answers the batch.
@@ -74,6 +77,10 @@ void KvReplica::on_deliver(GroupId g, const ringpaxos::ValuePtr& v) {
     auto m = std::make_shared<KvResponseMsg>(std::move(resp));
     m->partition = opts_.partition;
     send(client, m);
+  }
+  if (tracer().enabled()) {
+    tracer().record(v->msg_id, TraceStage::kApply, now());
+    tracer().finish(v->msg_id, &metrics());
   }
   core::ReplicaNode::on_deliver(g, v);
 }

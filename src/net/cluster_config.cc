@@ -191,6 +191,7 @@ bool ClusterConfig::parse(std::string_view text, ClusterConfig* out,
     p.port = std::uint16_t(number_or(pv, "port", 0));
     p.role = string_or(pv, "role", "replica");
     p.partition = int(number_or(pv, "partition", 0));
+    p.metrics_port = std::uint16_t(number_or(pv, "metrics_port", 0));
     if (p.id < 0) {
       err.fail(str_cat("process \"", p.name, "\" needs a nonnegative id"));
       return false;

@@ -38,6 +38,10 @@ struct ProcessSpec {
   std::uint16_t port = 0;    ///< transport listen port
   std::string role = "replica";  ///< "replica" | "client"
   int partition = 0;         ///< replica's service partition
+  /// Observability HTTP listener (/metrics, /healthz, /tracez); 0 = none.
+  /// Scrapers (amcast_kv top, loadgen --scrape, the smoke script) read it
+  /// from the shared config instead of guessing ports.
+  std::uint16_t metrics_port = 0;
 };
 
 struct RingSpec {

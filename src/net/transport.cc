@@ -51,6 +51,22 @@ std::int32_t get_i32_le(const std::uint8_t* p) {
 constexpr std::size_t kFrameHeader = 4;  // u32 payload length
 constexpr std::size_t kPayloadHeader = 8;  // i32 from + i32 to
 
+// Frames whose `to` is this pseudo-process are transport-internal control
+// frames (RTT probes), consumed in parse_frames instead of dispatched.
+// Body: [u8 opcode][i64 sender timestamp, echoed unchanged in the pong] —
+// the prober computes RTT against its own clock only, so no cross-process
+// clock comparison ever happens.
+constexpr ProcessId kControlProcess = -2;
+constexpr std::uint8_t kRttPing = 1;
+constexpr std::uint8_t kRttPong = 2;
+constexpr std::size_t kControlBody = 9;
+
+std::int64_t get_i64_le(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = v << 8 | p[i];
+  return std::int64_t(v);
+}
+
 // Frame-buffer pool bounds: keep at most this many buffers, and never
 // pool a jumbo one (a single 64MB checkpoint frame must not pin 64MB).
 constexpr std::size_t kPoolMaxBuffers = 64;
@@ -170,6 +186,7 @@ void Transport::start_connect(Peer& p) {
     return;
   }
   ++stats_.connects;
+  ++p.connects;
   int rc = ::connect(p.fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
   if (rc == 0) {
     on_connected(p);
@@ -195,6 +212,7 @@ void Transport::close_peer(Peer& p) {
     p.outq.pop_front();
     p.outq_front_off = 0;
     ++stats_.frames_dropped;
+    ++p.frames_dropped;
   }
   // Backoff reset rule: only a connection that actually moved bytes AND
   // stayed up for backoff_reset_after counts as "healthy" — resetting on
@@ -230,6 +248,7 @@ void Transport::set_peer(ProcessId id, const PeerAddress& addr) {
     p.outq.pop_front();
     p.outq_front_off = 0;
     ++stats_.frames_dropped;
+    ++p.frames_dropped;
   }
   p.addr = addr;
 }
@@ -249,6 +268,26 @@ std::size_t Transport::outq_bytes() const {
   std::size_t n = 0;
   for (const auto& [id, p] : peers_) n += p.outq_bytes;
   return n;
+}
+
+std::vector<Transport::PeerInfo> Transport::peer_info() const {
+  MutexLock l(&mu_);
+  std::vector<PeerInfo> out;
+  out.reserve(peers_.size());
+  for (const auto& [id, p] : peers_) {
+    PeerInfo info;
+    info.id = id;
+    info.host = p.addr.host;
+    info.port = p.addr.port;
+    info.connected = p.fd >= 0 && !p.connecting;
+    info.queue_bytes = p.outq_bytes;
+    info.connects = p.connects;
+    info.frames_sent = p.frames_sent;
+    info.frames_dropped = p.frames_dropped;
+    info.rtt_ns = p.rtt_ns;
+    out.push_back(std::move(info));
+  }
+  return out;
 }
 
 void Transport::flush_peer(Peer& p) {
@@ -309,6 +348,7 @@ void Transport::send(ProcessId from, ProcessId to, const env::Message& m) {
   // approximates the encoded size; the cap is a soft bound either way.
   if (p.outq_bytes + m.wire_size() > opts_.peer_queue_bytes) {
     ++stats_.frames_dropped;
+    ++p.frames_dropped;
     return;
   }
   // Encode straight into a pooled frame buffer: header placeholder first,
@@ -323,16 +363,35 @@ void Transport::send(ProcessId from, ProcessId to, const env::Message& m) {
   std::vector<std::uint8_t> frame = e.take();
   if (p.outq_bytes + frame.size() > opts_.peer_queue_bytes) {
     ++stats_.frames_dropped;  // backpressure by loss, like a full NIC queue
+    ++p.frames_dropped;
     release_frame(std::move(frame));
     return;
   }
   p.outq_bytes += frame.size();
   p.outq.push_back(std::move(frame));
   ++stats_.frames_sent;
+  ++p.frames_sent;
   if (p.fd < 0 && !p.connecting && clock_() >= p.next_attempt) {
     start_connect(p);
   }
   if (p.fd >= 0 && !p.connecting) flush_peer(p);
+}
+
+void Transport::enqueue_control(Peer& p, std::uint8_t opcode, Time t) {
+  Encoder e(acquire_frame());
+  e.put_u32(0);  // payload length, patched below
+  e.put_i32(opts_.self);
+  e.put_i32(kControlProcess);
+  e.put_u8(opcode);
+  e.put_i64(t);
+  e.patch_u32(0, std::uint32_t(e.size() - kFrameHeader));
+  std::vector<std::uint8_t> frame = e.take();
+  if (p.outq_bytes + frame.size() > opts_.peer_queue_bytes) {
+    release_frame(std::move(frame));  // probes yield to real traffic
+    return;
+  }
+  p.outq_bytes += frame.size();
+  p.outq.push_back(std::move(frame));
 }
 
 void Transport::parse_frames(Inbound& in, std::vector<Ready>& ready) {
@@ -351,6 +410,30 @@ void Transport::parse_frames(Inbound& in, std::vector<Ready>& ready) {
     const std::uint8_t* payload = in.buf.data() + off + kFrameHeader;
     ProcessId from = get_i32_le(payload);
     ProcessId to = get_i32_le(payload + 4);
+    if (to == kControlProcess) {
+      // Transport-internal RTT probe: answer pings over our own outbound
+      // connection (connections are unidirectional); pongs close the loop
+      // against this side's clock. Unknown senders are ignored.
+      if (len == kPayloadHeader + kControlBody) {
+        std::uint8_t op = payload[kPayloadHeader];
+        Time t = get_i64_le(payload + kPayloadHeader + 1);
+        auto pit = peers_.find(from);
+        if (pit != peers_.end()) {
+          Peer& p = pit->second;
+          if (op == kRttPing) {
+            enqueue_control(p, kRttPong, t);
+            if (p.fd < 0 && !p.connecting && clock_() >= p.next_attempt) {
+              start_connect(p);
+            }
+            if (p.fd >= 0 && !p.connecting) flush_peer(p);
+          } else if (op == kRttPong) {
+            p.rtt_ns = clock_() - t;
+          }
+        }
+      }
+      off += kFrameHeader + len;
+      continue;
+    }
     std::string error;
     // Decoded in place from the accumulation buffer: the result is an
     // owned message object (value payloads become shared_ptr buffers that
@@ -426,6 +509,17 @@ void Transport::poll(Duration max_wait, int wake_fd) {
   }
   {
     MutexLock l(&mu_);
+    // Periodic RTT probe: ping every connected peer; the 9-byte control
+    // frame rides the normal outbound queue and flush path.
+    if (opts_.rtt_probe_interval > 0 && now >= next_rtt_probe_) {
+      next_rtt_probe_ = now + opts_.rtt_probe_interval;
+      for (auto& [id, p] : peers_) {
+        if (p.fd >= 0 && !p.connecting) {
+          enqueue_control(p, kRttPing, now);
+          flush_peer(p);
+        }
+      }
+    }
     // Kick due reconnects for peers with queued traffic, and bound the
     // wait by the earliest pending attempt.
     for (auto& [id, p] : peers_) {

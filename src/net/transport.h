@@ -73,6 +73,11 @@ class Transport {
     /// A connection must stay established at least this long WITH bytes
     /// flowing before a later failure resets the reconnect backoff.
     Duration backoff_reset_after = duration::milliseconds(250);
+    /// When > 0, ping every connected peer this often with a tiny control
+    /// frame the receiver echoes back; the measured round-trip feeds
+    /// peer_info().rtt_ns (pairwise latency for the geo optimizer,
+    /// exported as transport_peer_rtt_ms). 0 disables probing.
+    Duration rtt_probe_interval = 0;
     /// Process ids hosted in this OS process besides `self` (colocated
     /// ring replicas). No peer entry is created for them: the executor /
     /// sharded runtime routes those messages in memory, and a stray
@@ -146,6 +151,22 @@ class Transport {
     return stats_;
   }
 
+  /// Per-peer view for the observability plane (/metrics transport_*
+  /// families and `amcast_kv top`).
+  struct PeerInfo {
+    ProcessId id = kInvalidProcess;
+    std::string host;
+    std::uint16_t port = 0;
+    bool connected = false;
+    std::size_t queue_bytes = 0;        ///< unsent bytes queued toward it
+    std::uint64_t connects = 0;         ///< outbound connect attempts
+    std::uint64_t frames_sent = 0;      ///< frames accepted into the queue
+    std::uint64_t frames_dropped = 0;   ///< cap/torn drops toward this peer
+    std::int64_t rtt_ns = -1;           ///< last probe round-trip; -1 unknown
+  };
+  /// Snapshot of every peer's counters, ascending by id. Thread-safe.
+  std::vector<PeerInfo> peer_info() const AMCAST_EXCLUDES(mu_);
+
   std::uint16_t listen_port() const { return listen_port_; }
 
  private:
@@ -163,6 +184,11 @@ class Transport {
     // Connection-health tracking for the backoff reset rule.
     Time established_at = -1;             ///< -1: not connected
     std::uint64_t sent_since_connect = 0;
+    // Per-peer observability counters (exported via peer_info()).
+    std::uint64_t connects = 0;
+    std::uint64_t frames_sent = 0;
+    std::uint64_t frames_dropped = 0;
+    std::int64_t rtt_ns = -1;  ///< last RTT probe result; -1 unknown
   };
   struct Inbound {
     int fd = -1;
@@ -182,6 +208,9 @@ class Transport {
 
   void start_connect(Peer& p) AMCAST_REQUIRES(mu_);
   void close_peer(Peer& p) AMCAST_REQUIRES(mu_);
+  /// Queues an RTT control frame (ping or pong echoing `t`) toward `p`.
+  void enqueue_control(Peer& p, std::uint8_t opcode, Time t)
+      AMCAST_REQUIRES(mu_);
   void on_connected(Peer& p) AMCAST_REQUIRES(mu_);
   void flush_peer(Peer& p) AMCAST_REQUIRES(mu_);
   std::vector<std::uint8_t> acquire_frame() AMCAST_REQUIRES(mu_);
@@ -207,6 +236,7 @@ class Transport {
   std::map<ProcessId, Peer> peers_ AMCAST_GUARDED_BY(mu_);
   Stats stats_ AMCAST_GUARDED_BY(mu_);
   bool send_paused_ AMCAST_GUARDED_BY(mu_) = false;
+  Time next_rtt_probe_ AMCAST_GUARDED_BY(mu_) = 0;
   /// Recycled frame buffers (bounded; oversized ones are not pooled).
   std::vector<std::vector<std::uint8_t>> frame_pool_ AMCAST_GUARDED_BY(mu_);
 

@@ -1,0 +1,151 @@
+#include "obs/exposition.h"
+
+#include <cctype>
+#include <cinttypes>
+#include <cstdio>
+#include <set>
+#include <utility>
+
+namespace amcast::obs {
+
+namespace {
+
+/// Splits an internal name into (family, label list). `kv.applied#node=3`
+/// → family `kv_applied`, labels `node="3"`.
+struct ParsedName {
+  std::string family;
+  std::vector<std::pair<std::string, std::string>> labels;
+};
+
+ParsedName parse_name(const std::string& name) {
+  ParsedName out;
+  auto hash = name.find('#');
+  std::string base = name.substr(0, hash);
+  for (char& c : base) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_') c = '_';
+  }
+  out.family = std::move(base);
+  while (hash != std::string::npos) {
+    auto next = name.find('#', hash + 1);
+    std::string kv = name.substr(hash + 1, next == std::string::npos
+                                               ? std::string::npos
+                                               : next - hash - 1);
+    auto eq = kv.find('=');
+    if (eq != std::string::npos) {
+      out.labels.emplace_back(kv.substr(0, eq), kv.substr(eq + 1));
+    }
+    hash = next;
+  }
+  return out;
+}
+
+std::string render_labels(
+    const std::vector<std::pair<std::string, std::string>>& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += k + "=\"";
+    for (char c : v) {  // escape per exposition format
+      if (c == '\\' || c == '"') out += '\\';
+      out += c;
+    }
+    out += "\"";
+  }
+  out += "}";
+  return out;
+}
+
+void type_line(std::string& out, std::set<std::string>& emitted,
+               const std::string& family, const char* type) {
+  if (!emitted.insert(family).second) return;
+  out += "# TYPE " + family + " " + type + "\n";
+}
+
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string to_prometheus(const MetricsSnapshot& s) {
+  std::string out;
+  std::set<std::string> emitted;
+
+  for (const auto& [name, value] : s.counters) {
+    ParsedName p = parse_name(name);
+    type_line(out, emitted, p.family, "counter");
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRId64, value);
+    out += p.family + render_labels(p.labels) + " " + buf + "\n";
+  }
+
+  for (const auto& [name, h] : s.histograms) {
+    ParsedName p = parse_name(name);
+    // Nanosecond-valued families named `_ms` export in milliseconds.
+    bool ms = p.family.size() > 3 &&
+              p.family.compare(p.family.size() - 3, 3, "_ms") == 0;
+    double scale = ms ? 1e-6 : 1.0;
+    type_line(out, emitted, p.family, "summary");
+    static constexpr std::pair<const char*, double> kQuantiles[] = {
+        {"0.5", 0.50}, {"0.9", 0.90}, {"0.99", 0.99}, {"0.999", 0.999}};
+    for (const auto& [qname, q] : kQuantiles) {
+      auto labels = p.labels;
+      labels.emplace_back("quantile", qname);
+      out += p.family + render_labels(labels) + " " +
+             fmt_double(double(h.percentile(q)) * scale) + "\n";
+    }
+    out += p.family + "_sum" + render_labels(p.labels) + " " +
+           fmt_double(h.mean() * double(h.count()) * scale) + "\n";
+    out += p.family + "_count" + render_labels(p.labels) + " " +
+           std::to_string(h.count()) + "\n";
+  }
+
+  for (const auto& [name, st] : s.stats) {
+    ParsedName p = parse_name(name);
+    type_line(out, emitted, p.family, "gauge");
+    static constexpr const char* kStats[] = {"mean", "min", "max", "count"};
+    for (const char* which : kStats) {
+      auto labels = p.labels;
+      labels.emplace_back("stat", which);
+      double v = which == kStats[0]   ? st.mean()
+                 : which == kStats[1] ? st.min()
+                 : which == kStats[2] ? st.max()
+                                      : double(st.count());
+      out += p.family + render_labels(labels) + " " + fmt_double(v) + "\n";
+    }
+  }
+  return out;
+}
+
+std::string traces_to_json(const std::vector<Trace>& traces,
+                           std::uint64_t dropped) {
+  // Hand-rolled rather than json::Value: i64 nanosecond timestamps would
+  // lose precision as doubles.
+  std::string out = "{\"dropped\":" + std::to_string(dropped) +
+                    ",\"traces\":[";
+  bool first_trace = true;
+  for (const Trace& t : traces) {
+    if (!first_trace) out += ",";
+    first_trace = false;
+    out += "{\"id\":" + std::to_string(t.id) + ",\"stages\":{";
+    bool first = true;
+    for (std::size_t i = 0; i < kTraceStageCount; ++i) {
+      auto stage = TraceStage(i);
+      if (!t.has(stage)) continue;
+      if (!first) out += ",";
+      first = false;
+      out += std::string("\"") + trace_stage_name(stage) +
+             "\":" + std::to_string(t.stage(stage));
+    }
+    out += "}}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace amcast::obs

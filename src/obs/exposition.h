@@ -1,0 +1,32 @@
+// Rendering of internal observability state for external consumers:
+// MetricsSnapshot → Prometheus text exposition, finished traces → JSON.
+//
+// Naming convention (docs/ARCHITECTURE.md "Observability"):
+//  * internal metric names are dotted (`subsystem.name_unit`, e.g.
+//    `ringpaxos.decided_instances`, `obs.stage_apply_ms`); exposition maps
+//    dots to underscores, so the exported family is `subsystem_name_unit`;
+//  * an internal name may carry `#key=value` label suffixes (e.g.
+//    `kv.applied#node=3`), which become Prometheus labels;
+//  * histogram values are recorded in nanoseconds; families whose name ends
+//    in `_ms` are scaled to milliseconds at export time.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/trace.h"
+
+namespace amcast::obs {
+
+/// Renders a merged metrics snapshot in Prometheus text format (v0.0.4).
+/// Counters export as counters, histograms as summaries (p50/p90/p99/p999
+/// quantiles plus _count/_sum), running stats as gauges with a `stat` label.
+std::string to_prometheus(const MetricsSnapshot& s);
+
+/// Renders finished traces for /tracez: stage timestamps (ns, host clock)
+/// and derived span durations per trace.
+std::string traces_to_json(const std::vector<Trace>& traces,
+                           std::uint64_t dropped);
+
+}  // namespace amcast::obs

@@ -1,0 +1,159 @@
+#include "obs/http_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+namespace amcast::obs {
+
+namespace {
+
+/// "host:port" / ":port" → (host, port). Host defaults to 0.0.0.0.
+bool split_addr(const std::string& addr, std::string* host, int* port) {
+  auto colon = addr.rfind(':');
+  if (colon == std::string::npos) return false;
+  *host = addr.substr(0, colon);
+  if (host->empty()) *host = "0.0.0.0";
+  try {
+    *port = std::stoi(addr.substr(colon + 1));
+  } catch (...) {
+    return false;
+  }
+  return *port >= 0 && *port <= 65535;
+}
+
+const char* status_text(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    default:
+      return "Error";
+  }
+}
+
+}  // namespace
+
+HttpServer::~HttpServer() { stop(); }
+
+void HttpServer::handle(const std::string& path, Handler h) {
+  handlers_[path] = std::move(h);
+}
+
+bool HttpServer::start(const std::string& addr) {
+  std::string host;
+  int port = 0;
+  if (!split_addr(addr, &host, &port)) {
+    errno = EINVAL;
+    return false;
+  }
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return false;
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(std::uint16_t(port));
+  if (::inet_pton(AF_INET, host.c_str(), &sa.sin_addr) != 1) {
+    ::close(fd);
+    errno = EINVAL;
+    return false;
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) != 0 ||
+      ::listen(fd, 16) != 0) {
+    int saved = errno;
+    ::close(fd);
+    errno = saved;
+    return false;
+  }
+  socklen_t len = sizeof(sa);
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&sa), &len);
+  port_ = ntohs(sa.sin_port);
+  listen_fd_ = fd;
+  stopping_.store(false, std::memory_order_relaxed);
+  thread_ = std::thread([this] { serve_loop(); });
+  return true;
+}
+
+void HttpServer::stop() {
+  if (listen_fd_ < 0) return;
+  stopping_.store(true, std::memory_order_relaxed);
+  if (thread_.joinable()) thread_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+}
+
+void HttpServer::serve_loop() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    int n = ::poll(&pfd, 1, /*timeout_ms=*/200);
+    if (n <= 0 || (pfd.revents & POLLIN) == 0) continue;
+    int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
+    if (fd < 0) continue;
+    serve_one(fd);
+    ::close(fd);
+  }
+}
+
+void HttpServer::serve_one(int fd) {
+  // A scrape request fits in one small read; bound total wait so a stuck
+  // client cannot park the accept thread.
+  timeval tv{};
+  tv.tv_sec = 2;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+
+  std::string req;
+  char buf[2048];
+  while (req.find("\r\n\r\n") == std::string::npos && req.size() < 16384) {
+    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) return;
+    req.append(buf, std::size_t(n));
+  }
+
+  // Request line: METHOD SP PATH SP VERSION.
+  HttpResponse resp;
+  auto sp1 = req.find(' ');
+  auto sp2 = sp1 == std::string::npos ? std::string::npos
+                                      : req.find(' ', sp1 + 1);
+  if (sp2 == std::string::npos) return;
+  std::string method = req.substr(0, sp1);
+  std::string path = req.substr(sp1 + 1, sp2 - sp1 - 1);
+  auto query = path.find('?');
+  if (query != std::string::npos) path.resize(query);
+
+  if (method != "GET") {
+    resp.status = 405;
+    resp.body = "GET only\n";
+  } else {
+    auto it = handlers_.find(path);
+    if (it == handlers_.end()) {
+      resp.status = 404;
+      resp.body = "not found\n";
+    } else {
+      resp = it->second();
+    }
+  }
+
+  std::string out = "HTTP/1.0 " + std::to_string(resp.status) + " " +
+                    status_text(resp.status) +
+                    "\r\nContent-Type: " + resp.content_type +
+                    "\r\nContent-Length: " + std::to_string(resp.body.size()) +
+                    "\r\nConnection: close\r\n\r\n" + resp.body;
+  std::size_t off = 0;
+  while (off < out.size()) {
+    ssize_t n = ::send(fd, out.data() + off, out.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) return;
+    off += std::size_t(n);
+  }
+}
+
+}  // namespace amcast::obs

@@ -1,0 +1,63 @@
+// Minimal embedded HTTP server for the observability plane: GET-only,
+// one short-lived connection at a time, own accept thread. It exists to
+// serve /metrics, /healthz and /tracez — it is deliberately not a general
+// web server (no keep-alive, no chunking, no TLS).
+//
+// Threading: handlers run on the server's accept thread and must therefore
+// be thread-safe with respect to the process they observe; the sanctioned
+// pattern is to read state through MetricsSnapshot gathers (see
+// runtime::gather_metrics), never to touch loop-owned objects directly.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <thread>
+
+namespace amcast::obs {
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+class HttpServer {
+ public:
+  using Handler = std::function<HttpResponse()>;
+
+  HttpServer() = default;
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Registers a handler for an exact path (query strings are stripped
+  /// before lookup). Must be called before start().
+  void handle(const std::string& path, Handler h);
+
+  /// Binds and starts serving on `addr` ("host:port" or ":port"; port 0
+  /// picks a free port). Returns false with errno intact on bind failure.
+  bool start(const std::string& addr);
+
+  /// Stops the accept loop and joins the thread. Idempotent.
+  void stop();
+
+  bool running() const { return listen_fd_ >= 0; }
+  /// Actual bound port (useful with port 0).
+  std::uint16_t port() const { return port_; }
+
+ private:
+  void serve_loop();
+  void serve_one(int fd);
+
+  std::map<std::string, Handler> handlers_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::thread thread_;
+};
+
+}  // namespace amcast::obs

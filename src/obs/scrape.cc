@@ -1,0 +1,124 @@
+#include "obs/scrape.h"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+namespace amcast::obs {
+
+namespace {
+
+ScrapeResult fail(const std::string& what) {
+  ScrapeResult r;
+  r.error = what + ": " + std::strerror(errno);
+  return r;
+}
+
+}  // namespace
+
+ScrapeResult http_get(const std::string& host, std::uint16_t port,
+                      const std::string& path, int timeout_ms) {
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  if (::getaddrinfo(host.c_str(), std::to_string(port).c_str(), &hints,
+                    &res) != 0 ||
+      res == nullptr) {
+    ScrapeResult r;
+    r.error = "resolve " + host + " failed";
+    return r;
+  }
+  int fd = ::socket(res->ai_family, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    ::freeaddrinfo(res);
+    return fail("socket");
+  }
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  int rc = ::connect(fd, res->ai_addr, res->ai_addrlen);
+  ::freeaddrinfo(res);
+  if (rc != 0) {
+    ScrapeResult r = fail("connect");
+    ::close(fd);
+    return r;
+  }
+
+  std::string req = "GET " + path + " HTTP/1.0\r\nHost: " + host +
+                    "\r\nConnection: close\r\n\r\n";
+  std::size_t off = 0;
+  while (off < req.size()) {
+    ssize_t n = ::send(fd, req.data() + off, req.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) {
+      ScrapeResult r = fail("send");
+      ::close(fd);
+      return r;
+    }
+    off += std::size_t(n);
+  }
+
+  std::string raw;
+  char buf[4096];
+  for (;;) {
+    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n < 0) {
+      ScrapeResult r = fail("recv");
+      ::close(fd);
+      return r;
+    }
+    if (n == 0) break;
+    raw.append(buf, std::size_t(n));
+  }
+  ::close(fd);
+
+  ScrapeResult r;
+  auto header_end = raw.find("\r\n\r\n");
+  if (header_end == std::string::npos || raw.compare(0, 5, "HTTP/") != 0) {
+    r.error = "malformed response";
+    return r;
+  }
+  auto sp = raw.find(' ');
+  if (sp != std::string::npos) r.status = std::atoi(raw.c_str() + sp + 1);
+  r.body = raw.substr(header_end + 4);
+  // ok = the HTTP exchange completed; callers check `status` for 200 (a 404
+  // is a successful scrape of a server that lacks the path, not a failure).
+  r.ok = r.status != 0;
+  return r;
+}
+
+std::map<std::string, double> parse_prometheus(const std::string& body) {
+  std::map<std::string, double> out;
+  std::size_t pos = 0;
+  while (pos < body.size()) {
+    std::size_t eol = body.find('\n', pos);
+    if (eol == std::string::npos) eol = body.size();
+    std::string line = body.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty() || line[0] == '#') continue;
+    // `name{labels} value` or `name value`; the value is the last
+    // space-separated token (we never emit timestamps).
+    auto sp = line.rfind(' ');
+    if (sp == std::string::npos || sp == 0) continue;
+    std::string key = line.substr(0, sp);
+    out[key] = std::strtod(line.c_str() + sp + 1, nullptr);
+  }
+  return out;
+}
+
+double metric_value(const std::map<std::string, double>& samples,
+                    const std::string& key, double fallback) {
+  auto it = samples.find(key);
+  return it == samples.end() ? fallback : it->second;
+}
+
+}  // namespace amcast::obs

@@ -1,0 +1,32 @@
+// Scrape-side client for the observability plane: a blocking one-shot HTTP
+// GET plus a parser for the Prometheus text format `/metrics` serves. Used
+// by `amcast_kv top` and the loadgen's optional server-side scrapes.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace amcast::obs {
+
+struct ScrapeResult {
+  bool ok = false;      ///< the HTTP exchange completed (any status code)
+  int status = 0;       ///< HTTP status (0 when the connection failed)
+  std::string body;
+  std::string error;    ///< connect/read failure description
+};
+
+/// Blocking GET http://host:port{path}. Bounded by `timeout_ms` end to end.
+ScrapeResult http_get(const std::string& host, std::uint16_t port,
+                      const std::string& path, int timeout_ms = 2000);
+
+/// Parses Prometheus text exposition into sample → value. Keys are the
+/// sample names exactly as exposed, labels included: e.g.
+/// `kv_applied{node="0"}` or `obs_stage_apply_ms{quantile="0.5"}`.
+std::map<std::string, double> parse_prometheus(const std::string& body);
+
+/// Convenience lookup; returns `fallback` when `key` is absent.
+double metric_value(const std::map<std::string, double>& samples,
+                    const std::string& key, double fallback = 0);
+
+}  // namespace amcast::obs

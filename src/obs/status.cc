@@ -1,0 +1,110 @@
+#include "obs/status.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+namespace amcast::obs {
+
+namespace {
+
+std::string sfx(int node) { return "#node=" + std::to_string(node); }
+
+std::int64_t get(const MetricsSnapshot& s, const std::string& name) {
+  auto it = s.counters.find(name);
+  return it == s.counters.end() ? 0 : it->second;
+}
+
+}  // namespace
+
+void publish_replica_status(Metrics& m, const ReplicaStatus& st) {
+  std::string n = sfx(st.node);
+  m.counter("obs.uptime_ns" + n) = st.t;
+  m.counter("kv.applied" + n) = st.applied;
+  m.counter("kv.delivered" + n) = st.delivered;
+  m.counter("core.recovering" + n) = st.recovering ? 1 : 0;
+  m.counter("core.cursor0" + n) = st.cursor0;
+  m.counter("core.recoveries" + n) = st.recoveries;
+  m.counter("ringpaxos.epoch" + n) = st.epoch;
+  m.counter("kv.order_hash" + n) = std::int64_t(st.order_hash);
+  m.counter("kv.store_hash" + n) = std::int64_t(st.store_hash);
+}
+
+bool replica_status_from_snapshot(const MetricsSnapshot& s, int node,
+                                  ReplicaStatus* out) {
+  std::string n = sfx(node);
+  if (s.counters.find("obs.uptime_ns" + n) == s.counters.end()) return false;
+  out->node = node;
+  out->t = get(s, "obs.uptime_ns" + n);
+  out->applied = get(s, "kv.applied" + n);
+  out->delivered = get(s, "kv.delivered" + n);
+  out->recovering = get(s, "core.recovering" + n) != 0;
+  out->cursor0 = get(s, "core.cursor0" + n);
+  out->recoveries = get(s, "core.recoveries" + n);
+  out->epoch = int(get(s, "ringpaxos.epoch" + n));
+  out->order_hash = std::uint64_t(get(s, "kv.order_hash" + n));
+  out->store_hash = std::uint64_t(get(s, "kv.store_hash" + n));
+  return true;
+}
+
+std::vector<int> replica_nodes_in_snapshot(const MetricsSnapshot& s) {
+  std::vector<int> out;
+  const std::string prefix = "obs.uptime_ns#node=";
+  for (auto it = s.counters.lower_bound(prefix); it != s.counters.end();
+       ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    out.push_back(std::atoi(it->first.c_str() + prefix.size()));
+  }
+  return out;
+}
+
+std::string format_status_line(const ReplicaStatus& st) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "STATUS node=%d t=%.1fs applied=%lld delivered=%lld "
+                "recovering=%d cursor0=%lld epoch=%d "
+                "order_hash=%016llx store_hash=%016llx",
+                st.node, duration::to_seconds(st.t), (long long)st.applied,
+                (long long)st.delivered, int(st.recovering),
+                (long long)st.cursor0, st.epoch,
+                (unsigned long long)st.order_hash,
+                (unsigned long long)st.store_hash);
+  return buf;
+}
+
+std::string healthz_json(const MetricsSnapshot& s) {
+  std::string out = "{\"status\":\"ok\",\"replicas\":[";
+  bool first = true;
+  for (int node : replica_nodes_in_snapshot(s)) {
+    ReplicaStatus st;
+    if (!replica_status_from_snapshot(s, node, &st)) continue;
+    if (!first) out += ",";
+    first = false;
+    out += "{\"node\":" + std::to_string(st.node) +
+           ",\"role\":\"replica\",\"epoch\":" + std::to_string(st.epoch) +
+           ",\"recovering\":" + (st.recovering ? "true" : "false") +
+           ",\"recoveries\":" + std::to_string(st.recoveries) +
+           ",\"applied\":" + std::to_string(st.applied) +
+           ",\"delivered\":" + std::to_string(st.delivered) +
+           ",\"uptime_s\":" + std::to_string(duration::to_seconds(st.t)) +
+           "}";
+  }
+  out += "]}";
+  return out;
+}
+
+void log_line(const std::string& line) {
+  std::fwrite(line.data(), 1, line.size(), stdout);
+  std::fputc('\n', stdout);
+  std::fflush(stdout);
+}
+
+void logf(const char* fmt, ...) {
+  va_list ap;
+  va_start(ap, fmt);
+  std::vfprintf(stdout, fmt, ap);
+  va_end(ap);
+  std::fflush(stdout);
+}
+
+}  // namespace amcast::obs

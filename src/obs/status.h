@@ -1,0 +1,64 @@
+// Daemon status reporting, backed by the metrics plane.
+//
+// amcast_noded publishes each replica's externally visible state into its
+// shard's Metrics registry (publish_replica_status) and renders the classic
+// `STATUS ...` stdout line *from the resulting snapshot*
+// (replica_status_from_snapshot + format_status_line). /metrics and
+// /healthz read the same snapshot, so the smoke scripts' parsers and the
+// scrape endpoints can never disagree about a replica's state.
+//
+// This header is also the sanctioned stdout sink (logf/log_line) that the
+// `ad-hoc-stdout` lint rule points daemons at.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/metrics.h"
+
+namespace amcast::obs {
+
+/// One replica's externally visible state, as published to /metrics and as
+/// printed on the STATUS line.
+struct ReplicaStatus {
+  int node = 0;
+  Time t = 0;  ///< local uptime, nanoseconds
+  std::int64_t applied = 0;
+  std::int64_t delivered = 0;
+  bool recovering = false;
+  std::int64_t cursor0 = 0;
+  int epoch = 0;
+  std::int64_t recoveries = 0;
+  std::uint64_t order_hash = 0;
+  std::uint64_t store_hash = 0;
+};
+
+/// Writes `st` into `m` under `#node=` labelled gauge names
+/// (kv.applied#node=3, ...). Call on the registry's owning thread.
+void publish_replica_status(Metrics& m, const ReplicaStatus& st);
+
+/// Reads node `node`'s published status back out of a snapshot. Returns
+/// false when the node has not published yet.
+bool replica_status_from_snapshot(const MetricsSnapshot& s, int node,
+                                  ReplicaStatus* out);
+
+/// All node ids with a published status in `s`, ascending.
+std::vector<int> replica_nodes_in_snapshot(const MetricsSnapshot& s);
+
+/// The STATUS line (no trailing newline), byte-compatible with the format
+/// the smoke scripts have parsed since PR 5.
+std::string format_status_line(const ReplicaStatus& st);
+
+/// /healthz body: one JSON object per published replica (node, role,
+/// epoch, recovery state, applied counters).
+std::string healthz_json(const MetricsSnapshot& s);
+
+/// Sanctioned stdout sinks for daemon event lines (PEER/EPOCH/READY/...):
+/// write and flush. The ad-hoc-stdout lint rule steers src/runtime and
+/// src/net here instead of raw printf.
+void log_line(const std::string& line);
+void logf(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace amcast::obs

@@ -6,6 +6,21 @@
 
 namespace amcast::ringpaxos {
 
+namespace {
+/// Stamps `stage` for every application value inside `v` (recursing into
+/// batch envelopes). Callers guard with tracer().enabled() so the off path
+/// costs one branch.
+void trace_value_stage(Tracer& tr, Time at, const ValuePtr& v,
+                       TraceStage stage) {
+  if (v == nullptr) return;
+  if (v->is_batch()) {
+    for (const auto& inner : v->batch) trace_value_stage(tr, at, inner, stage);
+    return;
+  }
+  tr.record(v->msg_id, stage, at);
+}
+}  // namespace
+
 RingNode::RingNode(ConfigView config, sim::CpuParams cpu)
     : sim::Node(cpu), config_(config) {}
 
@@ -471,6 +486,9 @@ void RingNode::observe_decided_value(const ValuePtr& v) {
     for (const ValuePtr& inner : v->batch) observe_decided_value(inner);
     return;
   }
+  if (tracer().enabled()) {
+    tracer().record(v->msg_id, TraceStage::kDecide, now());
+  }
   if (v->msg_id == 0 || my_proposals_.empty()) return;
   my_proposals_.erase(v->msg_id);
 }
@@ -501,6 +519,9 @@ void RingNode::handle_proposal(RingState& rs, const ProposalMsg& m) {
 }
 
 void RingNode::enqueue_proposal(RingState& rs, ValuePtr v) {
+  if (tracer().enabled()) {
+    trace_value_stage(tracer(), now(), v, TraceStage::kSubmit);
+  }
   rs.queue_bytes += v->wire_size();
   rs.proposal_queue.push_back(std::move(v));
   ++rs.proposed_in_window;
@@ -633,6 +654,9 @@ void RingNode::rate_level_tick(RingState& rs) {
 void RingNode::start_instance(RingState& rs, InstanceId instance,
                               std::int32_t count, ValuePtr value, Round round) {
   AMCAST_ASSERT(rs.storage != nullptr);
+  if (tracer().enabled()) {
+    trace_value_stage(tracer(), now(), value, TraceStage::kPhase2);
+  }
   rs.outstanding[instance] = Outstanding{value, count, round, now()};
 
   GroupId g = rs.cfg.group;

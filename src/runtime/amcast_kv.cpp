@@ -18,11 +18,13 @@
 #include <cstdio>
 #include <cstring>
 #include <iostream>
+#include <map>
 #include <memory>
 #include <random>
 #include <set>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/histogram.h"
@@ -33,6 +35,7 @@
 #include "net/cluster_config.h"
 #include "net/transport.h"
 #include "net/wire.h"
+#include "obs/scrape.h"
 #include "runtime/executor.h"
 
 namespace {
@@ -56,7 +59,10 @@ int usage() {
       "              [--learner] [--wait-ms N]\n"
       "                       propose an epoch change through ring G; the\n"
       "                       change applies only if the ring is still at\n"
-      "                       epoch E (watch the daemons' STATUS epoch=)\n");
+      "                       epoch E (watch the daemons' STATUS epoch=)\n"
+      "  top [--interval-ms N] [--iterations N]\n"
+      "                       live cluster table, refreshed by scraping\n"
+      "                       every replica's /metrics endpoint\n");
   return 64;
 }
 
@@ -313,6 +319,85 @@ bool parse_op(const std::vector<std::string>& words, CliClient* client,
   return true;
 }
 
+/// `top`: live per-node cluster table rendered from the replicas' /metrics
+/// endpoints — the same scrape any Prometheus server would perform, so what
+/// top shows is exactly what the monitoring plane sees. Read-only over
+/// HTTP; needs no client process, transport or executor.
+int run_top(const net::ClusterConfig& cfg, long interval_ms,
+            long iterations) {
+  struct Target {
+    const net::ProcessSpec* spec;
+    double last_applied = -1;
+  };
+  std::vector<Target> targets;
+  for (const auto& p : cfg.processes) {
+    if (p.role == "replica" && p.metrics_port != 0) {
+      targets.push_back(Target{&p});
+    }
+  }
+  if (targets.empty()) {
+    std::fprintf(stderr, "amcast_kv: no replica has a metrics_port in the "
+                         "config (top scrapes /metrics)\n");
+    return 1;
+  }
+  auto last = std::chrono::steady_clock::now();
+  double dt = 0;
+  for (long it = 0; iterations <= 0 || it < iterations; ++it) {
+    if (it > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+      auto now = std::chrono::steady_clock::now();
+      dt = std::chrono::duration<double>(now - last).count();
+      last = now;
+    }
+    std::printf("%-5s %-4s %10s %10s %9s %5s %3s %9s %9s %9s %9s %9s\n",
+                "node", "up", "applied", "goodput/s", "queue_B", "epoch",
+                "rec", "queue_p99", "ring_p99", "merge_p99", "apply_p99",
+                "rtt_ms");
+    for (Target& t : targets) {
+      const net::ProcessSpec& p = *t.spec;
+      obs::ScrapeResult res =
+          obs::http_get(p.host, p.metrics_port, "/metrics");
+      if (!res.ok || res.status != 200) {
+        std::printf("%-5d %-4s %10s (scrape %s:%u failed: %s)\n", p.id,
+                    "DOWN", "-", p.host.c_str(), unsigned(p.metrics_port),
+                    res.error.empty() ? "non-200" : res.error.c_str());
+        t.last_applied = -1;
+        continue;
+      }
+      auto m = obs::parse_prometheus(res.body);
+      std::string node = "{node=\"" + std::to_string(p.id) + "\"}";
+      double applied = obs::metric_value(m, "kv_applied" + node);
+      double goodput = (t.last_applied >= 0 && dt > 0)
+                           ? (applied - t.last_applied) / dt
+                           : 0;
+      t.last_applied = applied;
+      double queue_bytes = 0, rtt_ns = 0;
+      int rtt_n = 0;
+      for (const auto& [key, value] : m) {
+        if (key.rfind("transport_peer_queue_bytes", 0) == 0) {
+          queue_bytes += value;
+        } else if (key.rfind("transport_peer_rtt_ns", 0) == 0) {
+          rtt_ns += value;
+          ++rtt_n;
+        }
+      }
+      auto p99 = [&m](const char* stage) {
+        return obs::metric_value(
+            m, std::string("obs_stage_") + stage + "_ms{quantile=\"0.99\"}");
+      };
+      std::printf("%-5d %-4s %10.0f %10.0f %9.0f %5.0f %3.0f %9.2f %9.2f "
+                  "%9.2f %9.2f %9.2f\n",
+                  p.id, "up", applied, goodput, queue_bytes,
+                  obs::metric_value(m, "ringpaxos_epoch" + node),
+                  obs::metric_value(m, "core_recovering" + node),
+                  p99("queue"), p99("ring"), p99("merge"), p99("apply"),
+                  rtt_n > 0 ? rtt_ns / rtt_n / 1e6 : 0);
+    }
+    std::fflush(stdout);
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -354,6 +439,29 @@ int main(int argc, char** argv) {
   if (timeout_ms > 0) {
     cfg.options.client_op_timeout = duration::milliseconds(timeout_ms);
   }
+
+  if (cmd[0] == "top") {
+    long interval_ms = 2000, iterations = 0;  // 0: until interrupted
+    for (std::size_t i = 1; i < cmd.size(); ++i) {
+      auto val = [&]() -> const char* {
+        return i + 1 < cmd.size() ? cmd[++i].c_str() : nullptr;
+      };
+      if (cmd[i] == "--interval-ms") {
+        const char* v = val();
+        if (!v) return usage();
+        interval_ms = std::strtol(v, nullptr, 10);
+      } else if (cmd[i] == "--iterations") {
+        const char* v = val();
+        if (!v) return usage();
+        iterations = std::strtol(v, nullptr, 10);
+      } else {
+        return usage();
+      }
+    }
+    if (interval_ms < 1) return usage();
+    return run_top(cfg, interval_ms, iterations);
+  }
+
   const net::ProcessSpec* self = nullptr;
   if (!process_arg.empty()) {
     self = cfg.resolve(process_arg);

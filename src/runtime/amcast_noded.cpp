@@ -37,6 +37,7 @@
 // smoke script compares across replicas to check totally-ordered
 // delivery.
 #include <algorithm>
+#include <cerrno>
 #include <chrono>
 #include <csignal>
 #include <cstdio>
@@ -52,6 +53,9 @@
 #include "net/cluster_config.h"
 #include "net/transport.h"
 #include "net/wire.h"
+#include "obs/exposition.h"
+#include "obs/http_server.h"
+#include "obs/status.h"
 #include "runtime/executor.h"
 #include "runtime/sharding.h"
 
@@ -83,7 +87,8 @@ int usage() {
   std::fprintf(stderr,
                "usage: amcast_noded --config FILE --process NAME[,NAME...] "
                "[--data-dir DIR] [--threads N] [--pin-threads] "
-               "[--status-interval-ms N] [--join]\n");
+               "[--status-interval-ms N] [--join] "
+               "[--metrics-addr HOST:PORT] [--trace-sample N]\n");
   return 64;
 }
 
@@ -121,9 +126,10 @@ struct Hosted {
 int main(int argc, char** argv) {
   using namespace amcast;
 
-  std::string config_path, process_arg, data_dir;
+  std::string config_path, process_arg, data_dir, metrics_addr;
   long status_interval_ms = 2000;
   long threads = 1;
+  long trace_sample = -1;  // -1: default (on iff metrics are served)
   bool pin_threads = false;
   bool join_mode = false;
   for (int i = 1; i < argc; ++i) {
@@ -155,6 +161,14 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (!v) return usage();
       status_interval_ms = std::strtol(v, nullptr, 10);
+    } else if (a == "--metrics-addr") {
+      const char* v = next();
+      if (!v) return usage();
+      metrics_addr = v;
+    } else if (a == "--trace-sample") {
+      const char* v = next();
+      if (!v) return usage();
+      trace_sample = std::strtol(v, nullptr, 10);
     } else {
       return usage();
     }
@@ -206,6 +220,17 @@ int main(int argc, char** argv) {
   std::error_code ec;
   std::filesystem::create_directories(data_dir, ec);
 
+  // Observability plane: --metrics-addr overrides the config's
+  // metrics_port; either one enables the HTTP listener (/metrics, /healthz,
+  // /tracez), transport RTT probing, and — unless --trace-sample overrides
+  // — lifecycle trace sampling.
+  if (metrics_addr.empty() && hosted[0].spec->metrics_port != 0) {
+    metrics_addr = hosted[0].spec->host + ":" +
+                   std::to_string(hosted[0].spec->metrics_port);
+  }
+  bool obs_enabled = !metrics_addr.empty();
+  if (trace_sample < 0) trace_sample = obs_enabled ? 16 : 0;
+
   // Checkpoint transfers carry the kv snapshot state over the wire.
   net::set_snapshot_state_codec(net::kv_snapshot_state_codec());
 
@@ -219,6 +244,14 @@ int main(int argc, char** argv) {
   so.pin_threads = pin_threads;
   runtime::ShardedRuntime rt(so);
   runtime::Executor& ex0 = rt.shard(0);  // the only loop when !sharded
+  if (trace_sample > 0) {
+    Tracer::Options tro;
+    tro.sample_every = std::uint64_t(trace_sample);
+    tro.ring_capacity = 128;
+    for (int i = 0; i < rt.shards(); ++i) {
+      rt.shard(i).tracer().configure(tro);
+    }
+  }
 
   std::vector<ProcessId> local_ids;
   for (const Hosted& h : hosted) local_ids.push_back(h.spec->id);
@@ -228,6 +261,9 @@ int main(int argc, char** argv) {
   topts.listen_port = hosted[0].spec->port;
   topts.peers = cfg.peer_map();
   topts.local_ids = local_ids;
+  // Pairwise RTT probing rides along whenever the plane is on (the geo
+  // optimizer's input; exported as transport_peer_rtt_ns).
+  if (obs_enabled) topts.rtt_probe_interval = duration::seconds(1);
   net::Transport transport(
       topts,
       [&rt, &ex0, sharded](ProcessId from, ProcessId to, env::MessagePtr m) {
@@ -250,6 +286,72 @@ int main(int argc, char** argv) {
     ex0.set_transport(&transport);  // classic in-loop polling
   }
 
+  // --- observability endpoints ------------------------------------------
+  // Handlers run on the HTTP thread; everything they read goes through a
+  // thread-safe seam (cross-shard snapshot gather, transport stats
+  // accessors, the tracers' internal locks).
+  obs::HttpServer http;
+  if (obs_enabled) {
+    auto gather = [&rt, &transport] {
+      MetricsSnapshot s = rt.gather_metrics(duration::seconds(2));
+      net::Transport::Stats ts = transport.stats();
+      s.counters["transport.frames_sent"] = std::int64_t(ts.frames_sent);
+      s.counters["transport.bytes_sent"] = std::int64_t(ts.bytes_sent);
+      s.counters["transport.frames_received"] =
+          std::int64_t(ts.frames_received);
+      s.counters["transport.frames_dropped"] =
+          std::int64_t(ts.frames_dropped);
+      s.counters["transport.decode_errors"] = std::int64_t(ts.decode_errors);
+      s.counters["transport.connects"] = std::int64_t(ts.connects);
+      for (const auto& pi : transport.peer_info()) {
+        std::string sfx = "#peer=" + std::to_string(pi.id);
+        s.counters["transport.peer_connected" + sfx] = pi.connected ? 1 : 0;
+        s.counters["transport.peer_queue_bytes" + sfx] =
+            std::int64_t(pi.queue_bytes);
+        s.counters["transport.peer_connects" + sfx] =
+            std::int64_t(pi.connects);
+        s.counters["transport.peer_frames_sent" + sfx] =
+            std::int64_t(pi.frames_sent);
+        s.counters["transport.peer_frames_dropped" + sfx] =
+            std::int64_t(pi.frames_dropped);
+        if (pi.rtt_ns >= 0) {
+          s.counters["transport.peer_rtt_ns" + sfx] = pi.rtt_ns;
+        }
+      }
+      return s;
+    };
+    http.handle("/metrics", [gather] {
+      obs::HttpResponse r;
+      r.content_type = "text/plain; version=0.0.4; charset=utf-8";
+      r.body = obs::to_prometheus(gather());
+      return r;
+    });
+    http.handle("/healthz", [gather] {
+      obs::HttpResponse r;
+      r.content_type = "application/json";
+      r.body = obs::healthz_json(gather());
+      return r;
+    });
+    http.handle("/tracez", [&rt] {
+      std::vector<Trace> traces;
+      std::uint64_t dropped = 0;
+      for (int i = 0; i < rt.shards(); ++i) {
+        auto t = rt.shard(i).tracer().recent();
+        traces.insert(traces.end(), t.begin(), t.end());
+        dropped += rt.shard(i).tracer().dropped();
+      }
+      obs::HttpResponse r;
+      r.content_type = "application/json";
+      r.body = obs::traces_to_json(traces, dropped);
+      return r;
+    });
+    if (!http.start(metrics_addr)) {
+      std::fprintf(stderr, "amcast_noded: cannot serve metrics on %s: %s\n",
+                   metrics_addr.c_str(), std::strerror(errno));
+      return 1;
+    }
+  }
+
   // Peers learned at runtime (epoch installs, config pushes). Guarded
   // because in sharded mode install hooks run on whichever shard hosts the
   // installing replica. Re-pointing an unchanged address is skipped so a
@@ -265,8 +367,8 @@ int main(int argc, char** argv) {
     }
     known_peers[a.id] = net::PeerAddress{a.host, a.port};
     transport.set_peer(a.id, net::PeerAddress{a.host, a.port});
-    std::printf("PEER id=%d addr=%s:%u\n", a.id, a.host.c_str(),
-                unsigned(a.port));
+    obs::logf("PEER id=%d addr=%s:%u\n", a.id, a.host.c_str(),
+              unsigned(a.port));
   };
 
   // --- build each replica (identical wiring to KvDeployment) -------------
@@ -373,8 +475,8 @@ int main(int argc, char** argv) {
       // restored in join_ring; now run the replica through the same
       // crash/restart path a simulated node takes, which enters the §5.2
       // recovery protocol (checkpoint query -> install -> catch-up).
-      std::printf("RESTART node=%d journal=%s\n", self->id,
-                  h.wal_path.c_str());
+      obs::logf("RESTART node=%d journal=%s\n", self->id,
+                h.wal_path.c_str());
       h.replica->crash();
       h.replica->restart();
     }
@@ -393,11 +495,10 @@ int main(int argc, char** argv) {
       for (const auto& a : ch.addresses) {
         if (a.id != hp->spec->id) learn_peer(a);
       }
-      std::printf("EPOCH node=%d group=%d epoch=%d op=%d subject=%d "
-                  "coordinator=%d\n",
-                  hp->spec->id, int(installed.group), int(installed.version),
-                  int(ch.op), int(ch.subject), int(installed.coordinator));
-      std::fflush(stdout);
+      obs::logf("EPOCH node=%d group=%d epoch=%d op=%d subject=%d "
+                "coordinator=%d\n",
+                hp->spec->id, int(installed.group), int(installed.version),
+                int(ch.op), int(ch.subject), int(installed.coordinator));
       if (ch.op == env::ConfigChange::Op::kAddMember &&
           installed.coordinator == hp->spec->id &&
           ch.subject != hp->spec->id) {
@@ -418,9 +519,8 @@ int main(int argc, char** argv) {
         *repush = [&transport, exp, me, subject, g, epoch, push, left,
                    repush] {
           transport.send(me, subject, push);
-          std::printf("CONFIG_PUSH node=%d to=%d group=%d epoch=%d\n", me,
-                      int(subject), int(g), epoch);
-          std::fflush(stdout);
+          obs::logf("CONFIG_PUSH node=%d to=%d group=%d epoch=%d\n", me,
+                    int(subject), int(g), epoch);
           if (--*left > 0) {
             exp->schedule_after(duration::milliseconds(500), *repush);
           }
@@ -434,7 +534,7 @@ int main(int argc, char** argv) {
       // every ring that should admit this replica does (its partition ring,
       // plus the global ring when the file configures one), attach and
       // bootstrap through §5.2 checkpoint recovery.
-      std::printf("JOIN node=%d waiting for config push\n", self->id);
+      obs::logf("JOIN node=%d waiting for config push\n", self->id);
       GroupId global_g = global;
       h.replica->set_on_config_push(
           [hp, global_g, ro, mo, &learn_peer, &cfg](
@@ -458,11 +558,10 @@ int main(int argc, char** argv) {
             if (cfg.options.checkpoint_interval > 0) {
               hp->replica->start_checkpointing();
             }
-            std::printf("JOINED node=%d group=%d epoch=%d members=%d\n", me,
-                        int(hp->my_pg),
-                        int(hp->registry.ring(hp->my_pg).version),
-                        hp->registry.ring(hp->my_pg).size());
-            std::fflush(stdout);
+            obs::logf("JOINED node=%d group=%d epoch=%d members=%d\n", me,
+                      int(hp->my_pg),
+                      int(hp->registry.ring(hp->my_pg).version),
+                      hp->registry.ring(hp->my_pg).size());
             // The crash/restart pair funnels the empty joiner through the
             // same §5.2 path a crashed replica uses: checkpoint query ->
             // install -> catch-up from the decided tail.
@@ -484,31 +583,43 @@ int main(int argc, char** argv) {
       kvstore::KvReplica& r = *hp->replica;
       if (hp->was_recovering && !r.recovering()) {
         // §5.2 recovery just completed (the smoke script keys off this).
-        std::printf("RECOVERED node=%d t=%.1fs applied=%lld\n",
-                    hp->spec->id, duration::to_seconds(ex.now()),
-                    (long long)r.commands_applied());
-        std::fflush(stdout);
+        obs::logf("RECOVERED node=%d t=%.1fs applied=%lld\n",
+                  hp->spec->id, duration::to_seconds(ex.now()),
+                  (long long)r.commands_applied());
       }
       hp->was_recovering = r.recovering();
       ex.schedule_after(duration::milliseconds(100), *watch);
     };
     ex.schedule_after(duration::milliseconds(100), *watch);
+    // Publish the replica's state into the shard registry, then render the
+    // STATUS line FROM the published snapshot — the stdout line and the
+    // /metrics / /healthz scrape read the very same values, so the smoke
+    // parsers and the plane can never disagree.
+    auto publish = [hp, &ex] {
+      kvstore::KvReplica& r = *hp->replica;
+      obs::ReplicaStatus st;
+      st.node = hp->spec->id;
+      st.t = ex.now();
+      st.applied = r.commands_applied();
+      st.delivered = r.delivered_count();
+      st.recovering = r.recovering();
+      st.cursor0 = hp->attached ? r.next_to_deliver(hp->my_pg) : 0;
+      st.epoch = int(hp->registry.ring(hp->my_pg).version);
+      st.recoveries = r.recoveries_started();
+      st.order_hash = hp->order_hash;
+      st.store_hash = hash_store(r.store());
+      obs::publish_replica_status(ex.metrics(), st);
+    };
+    publish();  // before start(): loops are not running yet, main may write
     if (status_interval_ms > 0) {
       auto status = std::make_shared<std::function<void()>>();
-      *status = [hp, &ex, status, status_interval_ms] {
-        kvstore::KvReplica& r = *hp->replica;
-        std::printf("STATUS node=%d t=%.1fs applied=%lld delivered=%lld "
-                    "recovering=%d cursor0=%lld epoch=%d "
-                    "order_hash=%016llx store_hash=%016llx\n",
-                    hp->spec->id, duration::to_seconds(ex.now()),
-                    (long long)r.commands_applied(),
-                    (long long)r.delivered_count(), int(r.recovering()),
-                    hp->attached ? (long long)r.next_to_deliver(hp->my_pg)
-                                 : 0LL,
-                    int(hp->registry.ring(hp->my_pg).version),
-                    (unsigned long long)hp->order_hash,
-                    (unsigned long long)hash_store(r.store()));
-        std::fflush(stdout);
+      *status = [hp, &ex, status, publish, status_interval_ms] {
+        publish();
+        obs::ReplicaStatus st;
+        if (obs::replica_status_from_snapshot(ex.metrics().snapshot(),
+                                              hp->spec->id, &st)) {
+          obs::log_line(obs::format_status_line(st));
+        }
         ex.schedule_after(duration::milliseconds(status_interval_ms),
                           *status);
       };
@@ -519,13 +630,12 @@ int main(int argc, char** argv) {
   std::signal(SIGINT, handle_signal);
   std::signal(SIGTERM, handle_signal);
   for (const Hosted& h : hosted) {
-    std::printf("READY node=%d name=%s listen=%s:%u partition=%d shard=%d "
-                "threads=%d\n",
-                h.spec->id, h.spec->name.c_str(), h.spec->host.c_str(),
-                unsigned(h.spec->port), h.spec->partition, h.shard,
-                sharded ? shards : 1);
+    obs::logf("READY node=%d name=%s listen=%s:%u partition=%d shard=%d "
+              "threads=%d\n",
+              h.spec->id, h.spec->name.c_str(), h.spec->host.c_str(),
+              unsigned(h.spec->port), h.spec->partition, h.shard,
+              sharded ? shards : 1);
   }
-  std::fflush(stdout);
 
   if (sharded) {
     rt.start();
@@ -539,19 +649,22 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Scrapes must not observe half-stopped loops (gather would time out and
+  // report a partial snapshot): close the listener before touching state.
+  http.stop();
+
   // All loops are stopped/joined: replica state is safe to read here.
   for (const Hosted& h : hosted) {
     const kvstore::KvReplica& r = *h.replica;
-    std::printf("FINAL node=%d applied=%lld duplicates=%lld "
-                "order_hash=%016llx store_hash=%016llx entries=%zu "
-                "recoveries=%lld epoch=%d\n",
-                h.spec->id, (long long)r.commands_applied(),
-                (long long)r.duplicates_filtered(),
-                (unsigned long long)h.order_hash,
-                (unsigned long long)hash_store(r.store()),
-                r.store().entry_count(), (long long)r.recoveries_started(),
-                int(h.registry.ring(h.my_pg).version));
+    obs::logf("FINAL node=%d applied=%lld duplicates=%lld "
+              "order_hash=%016llx store_hash=%016llx entries=%zu "
+              "recoveries=%lld epoch=%d\n",
+              h.spec->id, (long long)r.commands_applied(),
+              (long long)r.duplicates_filtered(),
+              (unsigned long long)h.order_hash,
+              (unsigned long long)hash_store(r.store()),
+              r.store().entry_count(), (long long)r.recoveries_started(),
+              int(h.registry.ring(h.my_pg).version));
   }
-  std::fflush(stdout);
   return 0;
 }

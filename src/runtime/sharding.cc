@@ -3,6 +3,9 @@
 #include <pthread.h>
 #include <sched.h>
 
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
 #include <utility>
 
 #include "common/assert.h"
@@ -146,6 +149,41 @@ std::uint64_t ShardedRuntime::posts_dropped() const {
   std::uint64_t n = 0;
   for (const auto& s : shards_) n += s->posts_dropped();
   return n;
+}
+
+MetricsSnapshot ShardedRuntime::gather_metrics(Duration timeout) {
+  std::vector<Executor*> loops;
+  loops.reserve(shards_.size());
+  for (auto& s : shards_) loops.push_back(s.get());
+  return runtime::gather_metrics(loops, timeout);
+}
+
+MetricsSnapshot gather_metrics(const std::vector<Executor*>& loops,
+                               Duration timeout) {
+  struct Gather {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::size_t pending;
+    MetricsSnapshot merged;
+  };
+  auto g = std::make_shared<Gather>();
+  g->pending = loops.size();
+  for (Executor* ex : loops) {
+    // The closure runs on ex's loop thread (the one place its registry may
+    // be read); the shared_ptr keeps the gather state alive even if this
+    // caller times out and returns first.
+    ex->schedule_after(Duration(0), [g, ex] {
+      auto snap = ex->metrics().snapshot();
+      std::lock_guard<std::mutex> lock(g->mu);
+      g->merged.merge(snap);
+      --g->pending;
+      g->cv.notify_all();
+    });
+  }
+  std::unique_lock<std::mutex> lock(g->mu);
+  g->cv.wait_for(lock, std::chrono::nanoseconds(timeout),
+                 [&] { return g->pending == 0; });
+  return g->merged;
 }
 
 }  // namespace amcast::runtime

@@ -100,6 +100,13 @@ class ShardedRuntime {
   /// Cross-shard posts dropped on a full SPSC lane (summed over shards).
   std::uint64_t posts_dropped() const;
 
+  /// Merged snapshot of every shard's metrics registry. Thread-safe: each
+  /// shard snapshots on its own loop thread (posted via the schedule_after
+  /// seam); shards that do not respond within `timeout` (stopped loops) are
+  /// simply missing from the merge.
+  MetricsSnapshot gather_metrics(
+      Duration timeout = duration::milliseconds(2000));
+
  private:
   ShardedRuntimeOptions opts_;
   std::vector<std::unique_ptr<Executor>> shards_;
@@ -117,5 +124,12 @@ class ShardedRuntime {
   std::atomic<bool> net_stop_{false};
   std::atomic<std::uint64_t> dispatch_unroutable_{0};
 };
+
+/// Snapshots each executor's metrics registry on its own loop thread and
+/// merges the results. Callable from any thread; loops that do not run the
+/// posted closure within `timeout` contribute nothing (partial merge is the
+/// graceful-shutdown behavior, not an error).
+MetricsSnapshot gather_metrics(const std::vector<Executor*>& loops,
+                               Duration timeout);
 
 }  // namespace amcast::runtime

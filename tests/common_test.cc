@@ -440,6 +440,58 @@ TEST(Histogram, P999OnLogBucketBoundaries) {
   }
 }
 
+TEST(Histogram, PercentilesClampedToObservedRange) {
+  // Log-bucket midpoints can land just outside the recorded range (a lone
+  // sample of 100 lives in a bucket whose midpoint is 101): percentile()
+  // must clamp to [min, max] so no quantile invents a value never seen.
+  for (std::int64_t v : {std::int64_t(100), std::int64_t(777),
+                         std::int64_t(99999), std::int64_t(3) << 40}) {
+    Histogram h;
+    h.record(v);
+    for (double q : {0.0, 0.5, 0.99, 0.999, 1.0}) {
+      EXPECT_GE(h.percentile(q), v) << "v=" << v << " q=" << q;
+      EXPECT_LE(h.percentile(q), v) << "v=" << v << " q=" << q;
+    }
+  }
+  Histogram h;
+  for (int i = 0; i < 100; ++i) h.record(500 + i);
+  EXPECT_GE(h.percentile(0.0), h.min());
+  EXPECT_LE(h.percentile(1.0), h.max());
+}
+
+TEST(Histogram, MergeIntoEmptyAndWithEmpty) {
+  Histogram a, b;
+  for (int i = 1; i <= 100; ++i) b.record(i * 10);
+  a.merge(b);  // empty <- populated adopts everything
+  EXPECT_EQ(a.count(), 100u);
+  EXPECT_EQ(a.min(), 10);
+  EXPECT_EQ(a.max(), 1000);
+  Histogram empty;
+  a.merge(empty);  // populated <- empty is a no-op
+  EXPECT_EQ(a.count(), 100u);
+  EXPECT_EQ(a.min(), 10);
+  EXPECT_EQ(a.max(), 1000);
+}
+
+TEST(RunningStat, MergeCombinesExtremesAndMean) {
+  RunningStat a, b, empty;
+  a.add(1);
+  a.add(3);
+  b.add(10);
+  b.add(-2);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_DOUBLE_EQ(a.min(), -2);
+  EXPECT_DOUBLE_EQ(a.max(), 10);
+  EXPECT_DOUBLE_EQ(a.mean(), 3.0);
+  a.merge(empty);  // no-op
+  EXPECT_EQ(a.count(), 4u);
+  empty.merge(a);  // empty adopts, including extremes
+  EXPECT_EQ(empty.count(), 4u);
+  EXPECT_DOUBLE_EQ(empty.min(), -2);
+  EXPECT_DOUBLE_EQ(empty.max(), 10);
+}
+
 TEST(TimeSeries, BucketsByTime) {
   TimeSeries ts(duration::seconds(1));
   ts.add(duration::milliseconds(100), 2.0);
@@ -449,6 +501,33 @@ TEST(TimeSeries, BucketsByTime) {
   EXPECT_DOUBLE_EQ(ts.sum(0), 6.0);
   EXPECT_DOUBLE_EQ(ts.mean(1), 6.0);
   EXPECT_DOUBLE_EQ(ts.rate(0), 2.0);
+}
+
+TEST(TimeSeries, BucketBoundariesAreHalfOpen) {
+  // Buckets are [i*w, (i+1)*w): a sample at exactly t = i*w belongs to
+  // bucket i, and the last nanosecond before the boundary still belongs to
+  // bucket i-1. Sweep several boundaries to pin the convention down.
+  TimeSeries ts(duration::seconds(1));
+  for (std::int64_t i : {0, 1, 2, 5}) {
+    Time boundary = i * duration::seconds(1);
+    ts.add(boundary, 1.0);                              // opens bucket i
+    if (boundary > 0) ts.add(boundary - 1, 10.0);       // closes bucket i-1
+  }
+  EXPECT_EQ(ts.samples(0), 2u);   // t=0 plus t=1s-1ns
+  EXPECT_DOUBLE_EQ(ts.sum(0), 11.0);
+  EXPECT_EQ(ts.samples(1), 2u);   // t=1s plus t=2s-1ns
+  EXPECT_DOUBLE_EQ(ts.sum(1), 11.0);
+  EXPECT_EQ(ts.samples(2), 1u);   // t=2s (nothing closes bucket 2)
+  EXPECT_DOUBLE_EQ(ts.sum(2), 1.0);
+  EXPECT_EQ(ts.samples(3), 0u);
+  EXPECT_EQ(ts.samples(4), 1u);   // t=5s-1ns
+  EXPECT_EQ(ts.samples(5), 1u);   // t=5s
+  EXPECT_EQ(ts.bucket_count(), 6u);
+  // Negative times are clamped into bucket 0, never a crash or a lost
+  // sample (runtime clocks can report a hair before the origin).
+  ts.add(-duration::milliseconds(5), 100.0);
+  EXPECT_EQ(ts.samples(0), 3u);
+  EXPECT_DOUBLE_EQ(ts.sum(0), 111.0);
 }
 
 TEST(Metrics, CountersHistogramsAndStats) {
@@ -463,6 +542,32 @@ TEST(Metrics, CountersHistogramsAndStats) {
   EXPECT_DOUBLE_EQ(m.stat("s").mean(), 2.0);
   m.clear();
   EXPECT_EQ(m.counter_value("x"), 0);
+}
+
+TEST(Metrics, SnapshotCopiesAndMerges) {
+  Metrics a, b;
+  a.counter("n") = 3;
+  a.counter("only_a") = 1;
+  a.histogram("h").record(10);
+  a.stat("s").add(2);
+  b.counter("n") = 4;
+  b.histogram("h").record(1000);
+  b.histogram("only_b").record(7);
+  b.stat("s").add(8);
+
+  MetricsSnapshot sa = a.snapshot();
+  a.counter("n") = 99;  // the snapshot is a copy, not a view
+  EXPECT_EQ(sa.counters.at("n"), 3);
+
+  sa.merge(b.snapshot());
+  EXPECT_EQ(sa.counters.at("n"), 7);        // counters add
+  EXPECT_EQ(sa.counters.at("only_a"), 1);   // one-sided keys survive
+  EXPECT_EQ(sa.histograms.at("h").count(), 2u);
+  EXPECT_EQ(sa.histograms.at("h").min(), 10);
+  EXPECT_GE(sa.histograms.at("h").max(), 1000);
+  EXPECT_EQ(sa.histograms.at("only_b").count(), 1u);
+  EXPECT_EQ(sa.stats.at("s").count(), 2u);
+  EXPECT_DOUBLE_EQ(sa.stats.at("s").mean(), 5.0);
 }
 
 TEST(TextTable, FormatsNumbers) {

@@ -1,0 +1,17 @@
+// Fixture: ad-hoc stdout sinks in runtime/net code. Every line below is a
+// print the observability plane cannot see (and that an unflushed kill -9
+// would lose); the daemon must use obs::logf/log_line + Metrics instead.
+#include <cstdio>
+#include <iostream>
+
+void report(int node) {
+  std::printf("STATUS node=%d\n", node);
+  printf("ready\n");
+  std::cout << "node " << node << "\n";
+  puts("done");
+  fprintf(stdout, "node=%d\n", node);
+}
+
+void stderr_is_fine(const char* err) {
+  std::fprintf(stderr, "fatal: %s\n", err);  // setup errors: allowed
+}

@@ -1,0 +1,11 @@
+// Fixture: suppressed ad-hoc stdout (reason given), plus the sanctioned
+// patterns that must not fire: stderr reporting and snprintf formatting.
+#include <cstdio>
+
+void report(int node) {
+  // NOLINT-amcast(ad-hoc-stdout): legacy line, keeping bytes stable for v1 parsers
+  std::printf("STATUS node=%d\n", node);
+  std::fprintf(stderr, "note: node=%d\n", node);
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "node=%d", node);
+}

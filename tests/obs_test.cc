@@ -1,0 +1,437 @@
+// Observability plane tests: the Tracer (sampling purity, ring eviction,
+// stage-delta histograms), cross-shard snapshot gathering under concurrent
+// writers (the TSan leg's quarry), the Prometheus/JSON exposition and its
+// scrape-side parser, the status module's byte-compatible STATUS line, the
+// HTTP listener, and an end-to-end stage-span check over a simulated
+// cluster (spans contiguous, deltas telescope to the full submit→apply
+// latency).
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/trace.h"
+#include "gtest/gtest.h"
+#include "kvstore/deployment.h"
+#include "obs/exposition.h"
+#include "obs/http_server.h"
+#include "obs/scrape.h"
+#include "obs/status.h"
+#include "runtime/sharding.h"
+
+namespace amcast {
+namespace {
+
+Tracer::Options tracer_opts(std::uint64_t every, std::size_t ring = 64,
+                            std::size_t max_active = 1024) {
+  Tracer::Options o;
+  o.sample_every = every;
+  o.ring_capacity = ring;
+  o.max_active = max_active;
+  return o;
+}
+
+// ------------------------------ Tracer -------------------------------------
+
+TEST(Tracer, DisabledByDefaultAndSamplingIsPure) {
+  Tracer t;
+  EXPECT_FALSE(t.enabled());
+  EXPECT_FALSE(t.sampled(16));  // off: nothing samples
+
+  t.configure(tracer_opts(4));
+  EXPECT_TRUE(t.enabled());
+  for (MessageId id = 1; id < 100; ++id) {
+    EXPECT_EQ(t.sampled(id), id % 4 == 0) << id;
+  }
+  // Id 0 is the ring's skip value: never sampled even at sample_every=1.
+  t.configure(tracer_opts(1));
+  EXPECT_FALSE(t.sampled(0));
+  EXPECT_TRUE(t.sampled(1));
+  // The decision is a pure function of the id: repeated asks agree.
+  EXPECT_EQ(t.sampled(12), t.sampled(12));
+}
+
+TEST(Tracer, FirstWritePerStageWins) {
+  Tracer t;
+  t.configure(tracer_opts(1));
+  t.record(7, TraceStage::kSubmit, 100);
+  t.record(7, TraceStage::kSubmit, 50);  // duplicate stamp: ignored
+  t.record(7, TraceStage::kApply, 900);
+  ASSERT_TRUE(t.finish(7, nullptr));
+  auto traces = t.recent();
+  ASSERT_EQ(traces.size(), 1u);
+  EXPECT_EQ(traces[0].id, 7);
+  EXPECT_EQ(traces[0].stage(TraceStage::kSubmit), 100);
+  EXPECT_EQ(traces[0].stage(TraceStage::kApply), 900);
+  EXPECT_FALSE(traces[0].has(TraceStage::kDecide));
+  // Finishing again is a miss: the id left the active table.
+  EXPECT_FALSE(t.finish(7, nullptr));
+}
+
+TEST(Tracer, RingWrapsKeepingNewestOldestFirst) {
+  Tracer t;
+  t.configure(tracer_opts(1, /*ring=*/4));
+  for (MessageId id = 1; id <= 10; ++id) {
+    t.record(id, TraceStage::kSubmit, Time(id) * 10);
+    ASSERT_TRUE(t.finish(id, nullptr));
+  }
+  auto traces = t.recent();
+  ASSERT_EQ(traces.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(traces[i].id, MessageId(7 + i));  // 7,8,9,10 oldest first
+  }
+}
+
+TEST(Tracer, ActiveTableBoundDropsAndCounts) {
+  Tracer t;
+  t.configure(tracer_opts(1, /*ring=*/4, /*max_active=*/2));
+  t.record(1, TraceStage::kSubmit, 1);
+  t.record(2, TraceStage::kSubmit, 2);
+  t.record(3, TraceStage::kSubmit, 3);  // table full: dropped
+  EXPECT_EQ(t.dropped(), 1u);
+  EXPECT_FALSE(t.finish(3, nullptr));
+  // Finishing one frees a slot for the next sample.
+  EXPECT_TRUE(t.finish(1, nullptr));
+  t.record(4, TraceStage::kSubmit, 4);
+  EXPECT_TRUE(t.finish(4, nullptr));
+}
+
+TEST(Tracer, FinishRecordsTelescopingStageHistograms) {
+  Tracer t;
+  Metrics m;
+  t.configure(tracer_opts(1));
+  t.record(5, TraceStage::kSubmit, 100);
+  t.record(5, TraceStage::kPhase2, 300);
+  t.record(5, TraceStage::kDecide, 600);
+  t.record(5, TraceStage::kDeliver, 1000);
+  t.record(5, TraceStage::kApply, 1500);
+  ASSERT_TRUE(t.finish(5, &m));
+  auto hist = [&m](const char* name) {
+    return double(m.histogram(name).percentile(0.5));
+  };
+  EXPECT_EQ(m.histogram("obs.stage_queue_ms").count(), 1u);
+  EXPECT_NEAR(hist("obs.stage_queue_ms"), 200, 8);   // submit→phase2
+  EXPECT_NEAR(hist("obs.stage_ring_ms"), 300, 10);   // phase2→decide
+  EXPECT_NEAR(hist("obs.stage_merge_ms"), 400, 14);  // decide→deliver
+  EXPECT_NEAR(hist("obs.stage_apply_ms"), 500, 16);  // deliver→apply
+  EXPECT_NEAR(hist("obs.stage_total_ms"), 1400, 44); // submit→apply
+}
+
+TEST(Tracer, PartialTracesRecordOnlyCompleteSpans) {
+  // A learner that never saw the submit records only the spans whose both
+  // endpoints fired locally — no negative or cross-clock garbage.
+  Tracer t;
+  Metrics m;
+  t.configure(tracer_opts(1));
+  t.record(9, TraceStage::kDeliver, 2000);
+  t.record(9, TraceStage::kApply, 2600);
+  ASSERT_TRUE(t.finish(9, &m));
+  EXPECT_EQ(m.histogram("obs.stage_apply_ms").count(), 1u);
+  EXPECT_FALSE(m.has_histogram("obs.stage_queue_ms"));
+  EXPECT_FALSE(m.has_histogram("obs.stage_ring_ms"));
+  EXPECT_FALSE(m.has_histogram("obs.stage_total_ms"));
+}
+
+// ----------------------- cross-shard snapshot gather -----------------------
+
+TEST(ShardedGather, MergesAllShardsUnderConcurrentWriters) {
+  runtime::ShardedRuntimeOptions so;
+  so.shards = 3;
+  runtime::ShardedRuntime rt(so);
+  std::atomic<bool> stop{false};
+  std::array<std::atomic<std::int64_t>, 3> written{};
+  for (int i = 0; i < 3; ++i) {
+    runtime::Executor* ex = &rt.shard(i);
+    std::atomic<std::int64_t>* w = &written[std::size_t(i)];
+    std::string key = "obs.gather_test#shard=" + std::to_string(i);
+    auto tick = std::make_shared<std::function<void()>>();
+    *tick = [ex, tick, w, key, &stop] {
+      if (stop.load(std::memory_order_relaxed)) return;
+      ex->metrics().counter(key) += 1;
+      ex->metrics().histogram("obs.gather_lat_ms").record(1000);
+      w->fetch_add(1, std::memory_order_relaxed);
+      ex->schedule_after(duration::milliseconds(1), *tick);
+    };
+    ex->schedule_after(Duration(0), *tick);
+  }
+  rt.start();
+  // Gather concurrently with the writers: the merge must be race-free
+  // (TSan leg) and must see every shard's key once it has written.
+  std::int64_t last_total = 0;
+  for (int round = 0; round < 20; ++round) {
+    MetricsSnapshot s = rt.gather_metrics(duration::seconds(10));
+    std::int64_t total = 0;
+    for (int i = 0; i < 3; ++i) {
+      auto it = s.counters.find("obs.gather_test#shard=" + std::to_string(i));
+      if (it != s.counters.end()) total += it->second;
+    }
+    EXPECT_GE(total, last_total);  // snapshots move forward in time
+    last_total = total;
+  }
+  // Quiesce the writers, then a final gather must account for every write.
+  stop.store(true);
+  std::int64_t expect_total = 0;
+  MetricsSnapshot final_snap;
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    final_snap = rt.gather_metrics(duration::seconds(10));
+    expect_total = 0;
+    for (const auto& w : written) expect_total += w.load();
+    std::int64_t got = 0;
+    for (const auto& [k, v] : final_snap.counters) {
+      if (k.rfind("obs.gather_test#", 0) == 0) got += v;
+    }
+    if (got == expect_total) break;
+  }
+  std::int64_t got = 0;
+  for (const auto& [k, v] : final_snap.counters) {
+    if (k.rfind("obs.gather_test#", 0) == 0) got += v;
+  }
+  EXPECT_EQ(got, expect_total);
+  EXPECT_EQ(final_snap.histograms.at("obs.gather_lat_ms").count(),
+            std::uint64_t(expect_total));
+  rt.stop();
+}
+
+// ------------------------------ exposition ---------------------------------
+
+TEST(Exposition, RendersAndParsesRoundTrip) {
+  MetricsSnapshot s;
+  s.counters["kv.applied#node=0"] = 42;
+  s.counters["kv.applied#node=1"] = 7;
+  s.counters["transport.frames_sent"] = 1234;
+  for (int i = 0; i < 100; ++i) {
+    s.histograms["obs.stage_apply_ms"].record(1000000);  // 1 ms in ns
+  }
+  s.stats["merge.queue_depth"].add(3);
+  s.stats["merge.queue_depth"].add(5);
+
+  std::string text = obs::to_prometheus(s);
+  // Families are underscored, labels carried, histograms exported as
+  // summaries with ms scaling for *_ms names.
+  EXPECT_NE(text.find("kv_applied{node=\"0\"} 42"), std::string::npos);
+  EXPECT_NE(text.find("kv_applied{node=\"1\"} 7"), std::string::npos);
+  EXPECT_NE(text.find("transport_frames_sent 1234"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE kv_applied counter"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE obs_stage_apply_ms summary"),
+            std::string::npos);
+  EXPECT_NE(text.find("obs_stage_apply_ms_count 100"), std::string::npos);
+
+  auto samples = obs::parse_prometheus(text);
+  EXPECT_DOUBLE_EQ(
+      obs::metric_value(samples, "kv_applied{node=\"0\"}"), 42);
+  EXPECT_DOUBLE_EQ(
+      obs::metric_value(samples, "transport_frames_sent"), 1234);
+  EXPECT_DOUBLE_EQ(
+      obs::metric_value(samples, "obs_stage_apply_ms_count"), 100);
+  // 1,000,000 ns exports as ~1 ms (log-bucket quantization inside 5%).
+  double p50 =
+      obs::metric_value(samples, "obs_stage_apply_ms{quantile=\"0.5\"}");
+  EXPECT_NEAR(p50, 1.0, 0.05);
+  EXPECT_DOUBLE_EQ(
+      obs::metric_value(samples, "merge_queue_depth{stat=\"mean\"}"), 4);
+  EXPECT_DOUBLE_EQ(obs::metric_value(samples, "nope", -1), -1);
+}
+
+TEST(Exposition, TracesToJsonCarriesStagesAndDropped) {
+  Trace t;
+  t.id = 321;
+  t.at[std::size_t(TraceStage::kSubmit)] = 10;
+  t.at[std::size_t(TraceStage::kApply)] = 510;
+  std::string json = obs::traces_to_json({t}, /*dropped=*/6);
+  EXPECT_NE(json.find("\"dropped\":6"), std::string::npos);
+  EXPECT_NE(json.find("321"), std::string::npos);
+  EXPECT_NE(json.find("\"submit\":10"), std::string::npos);
+  EXPECT_NE(json.find("\"apply\":510"), std::string::npos);
+  EXPECT_EQ(json.find("\"decide\""), std::string::npos);  // never fired
+}
+
+// -------------------------------- status -----------------------------------
+
+obs::ReplicaStatus sample_status() {
+  obs::ReplicaStatus st;
+  st.node = 1;
+  st.t = duration::milliseconds(2500);
+  st.applied = 10;
+  st.delivered = 12;
+  st.recovering = false;
+  st.cursor0 = 7;
+  st.epoch = 3;
+  st.recoveries = 2;
+  st.order_hash = 0xdeadbeefULL;
+  st.store_hash = 0xabcULL;
+  return st;
+}
+
+TEST(Status, FormatStatusLineIsByteCompatible) {
+  // The exact format the smoke scripts have parsed since PR 5: changing a
+  // single byte here breaks their awk programs.
+  EXPECT_EQ(obs::format_status_line(sample_status()),
+            "STATUS node=1 t=2.5s applied=10 delivered=12 recovering=0 "
+            "cursor0=7 epoch=3 order_hash=00000000deadbeef "
+            "store_hash=0000000000000abc");
+}
+
+TEST(Status, PublishSnapshotRoundTrip) {
+  Metrics m;
+  obs::ReplicaStatus st = sample_status();
+  obs::publish_replica_status(m, st);
+  MetricsSnapshot s = m.snapshot();
+
+  obs::ReplicaStatus back;
+  EXPECT_FALSE(obs::replica_status_from_snapshot(s, 99, &back));
+  ASSERT_TRUE(obs::replica_status_from_snapshot(s, 1, &back));
+  EXPECT_EQ(obs::format_status_line(back), obs::format_status_line(st));
+  EXPECT_EQ(back.recoveries, 2);
+  EXPECT_EQ(back.order_hash, 0xdeadbeefULL);
+
+  auto nodes = obs::replica_nodes_in_snapshot(s);
+  ASSERT_EQ(nodes.size(), 1u);
+  EXPECT_EQ(nodes[0], 1);
+
+  std::string health = obs::healthz_json(s);
+  EXPECT_NE(health.find("\"status\":\"ok\""), std::string::npos);
+  EXPECT_NE(health.find("\"node\":1"), std::string::npos);
+  EXPECT_NE(health.find("\"epoch\":3"), std::string::npos);
+}
+
+// ------------------------------ HTTP listener ------------------------------
+
+TEST(HttpServer, ServesRegisteredExactPaths) {
+  obs::HttpServer http;
+  http.handle("/metrics", [] {
+    obs::HttpResponse r;
+    r.content_type = "text/plain";
+    r.body = "x_total 1\n";
+    return r;
+  });
+  ASSERT_TRUE(http.start("127.0.0.1:0"));  // ephemeral port
+  ASSERT_NE(http.port(), 0);
+
+  obs::ScrapeResult ok = obs::http_get("127.0.0.1", http.port(), "/metrics");
+  ASSERT_TRUE(ok.ok) << ok.error;
+  EXPECT_EQ(ok.status, 200);
+  EXPECT_EQ(ok.body, "x_total 1\n");
+
+  obs::ScrapeResult missing =
+      obs::http_get("127.0.0.1", http.port(), "/nope");
+  ASSERT_TRUE(missing.ok) << missing.error;
+  EXPECT_EQ(missing.status, 404);
+  http.stop();
+}
+
+// ------------------------- end-to-end stage spans --------------------------
+
+TEST(TraceEndToEnd, StageSpansAreContiguousAndTelescopeInSim) {
+  using kvstore::Command;
+  using kvstore::KvDeployment;
+  using kvstore::KvDeploymentSpec;
+  using kvstore::Op;
+  using kvstore::Partitioner;
+
+  KvDeploymentSpec spec;
+  spec.partitions = 1;
+  spec.replicas_per_partition = 3;
+  spec.partitioner = Partitioner::hash(1);
+  spec.global_ring = false;
+  spec.storage = ringpaxos::StorageOptions::Mode::kMemory;
+  spec.lambda = 2000;
+  KvDeployment d(spec);
+  d.sim().tracer().configure(tracer_opts(1, /*ring=*/512));
+
+  struct Script {
+    int i = 0;
+    Command operator()(int, Rng&) {
+      Command c;
+      c.op = Op::kInsert;
+      c.key = "trace" + std::to_string(i++ % 50);
+      c.value.assign(64, 0);
+      return c;
+    }
+  };
+  auto& client = d.add_client(1, Script{});
+  d.sim().run_until(duration::seconds(2));
+  ASSERT_GT(client.completed(), 10);
+
+  // In the sim every node shares the host tracer, so the first finisher
+  // (the coordinator-learner) owns the full-span traces; later replicas'
+  // re-finishes only carry tail stages. Check the full-span ones.
+  auto traces = d.sim().tracer().recent();
+  ASSERT_FALSE(traces.empty());
+  int full = 0;
+  for (const Trace& t : traces) {
+    bool all = true;
+    for (std::size_t s = 0; s < kTraceStageCount; ++s) {
+      all = all && t.at[s] >= 0;
+    }
+    if (!all) continue;
+    ++full;
+    // Stages are stamped in path order: spans are contiguous...
+    for (std::size_t s = 1; s < kTraceStageCount; ++s) {
+      EXPECT_LE(t.at[s - 1], t.at[s]) << "trace " << t.id << " stage " << s;
+    }
+    // ...and the four stage deltas telescope to the full latency.
+    Time sum = (t.stage(TraceStage::kPhase2) - t.stage(TraceStage::kSubmit)) +
+               (t.stage(TraceStage::kDecide) - t.stage(TraceStage::kPhase2)) +
+               (t.stage(TraceStage::kDeliver) - t.stage(TraceStage::kDecide)) +
+               (t.stage(TraceStage::kApply) - t.stage(TraceStage::kDeliver));
+    EXPECT_EQ(sum,
+              t.stage(TraceStage::kApply) - t.stage(TraceStage::kSubmit));
+  }
+  EXPECT_GT(full, 0) << "no full submit→apply trace was captured";
+
+  // The stage histograms fed the host metrics registry as values finished.
+  auto& m = d.sim().metrics();
+  ASSERT_TRUE(m.has_histogram("obs.stage_total_ms"));
+  EXPECT_GT(m.histogram("obs.stage_total_ms").count(), 0u);
+  EXPECT_GT(m.histogram("obs.stage_apply_ms").count(), 0u);
+  EXPECT_GE(m.histogram("obs.stage_apply_ms").count(),
+            m.histogram("obs.stage_total_ms").count());
+}
+
+TEST(TraceEndToEnd, SimSchedulesIdenticalWithTracingOnAndOff) {
+  // The determinism contract behind "BENCH_perf.json stays bit-identical":
+  // sampling is pure in the value id and recording never touches the
+  // schedule, so a traced run applies exactly what an untraced run does.
+  auto run = [](std::uint64_t sample_every) {
+    using kvstore::Command;
+    using kvstore::Op;
+    kvstore::KvDeploymentSpec spec;
+    spec.partitions = 1;
+    spec.replicas_per_partition = 3;
+    spec.partitioner = kvstore::Partitioner::hash(1);
+    spec.global_ring = false;
+    spec.storage = ringpaxos::StorageOptions::Mode::kMemory;
+    spec.lambda = 2000;
+    kvstore::KvDeployment d(spec);
+    if (sample_every != 0) {
+      Tracer::Options o;
+      o.sample_every = sample_every;
+      d.sim().tracer().configure(o);
+    }
+    struct Script {
+      int i = 0;
+      Command operator()(int, Rng&) {
+        Command c;
+        c.op = Op::kInsert;
+        c.key = "det" + std::to_string(i++ % 20);
+        c.value.assign(32, 1);
+        return c;
+      }
+    };
+    auto& client = d.add_client(1, Script{});
+    d.sim().run_until(duration::seconds(1));
+    return std::pair<std::int64_t, std::int64_t>(
+        client.completed(), d.replica(0, 0).commands_applied());
+  };
+  auto off = run(0);
+  auto on = run(1);
+  EXPECT_EQ(off.first, on.first);
+  EXPECT_EQ(off.second, on.second);
+}
+
+}  // namespace
+}  // namespace amcast
